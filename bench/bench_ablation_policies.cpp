@@ -1,0 +1,138 @@
+// Ablation bench for the paper's §7 file-system design principles.
+//
+// The paper closes by arguing that request aggregation, prefetching and
+// write-behind belong in the file system, so applications would not need the
+// hand-tuning the ESCAT/PRISM teams performed.  This bench quantifies each
+// policy on a version-A-style request stream (many small sequential
+// requests) and compares against the hand-tuned version-C-style stream
+// (stripe-aligned large requests):
+//
+//   row 1  naive stream, vanilla PFS            (the version-A situation)
+//   row 2  naive stream + client aggregation    (library does the batching)
+//   row 3  naive stream + server prefetch       (reload accelerated)
+//   row 4  naive stream + both
+//   row 5  naive stream, write-through servers  (write-behind disabled)
+//   row 6  hand-tuned stream, vanilla PFS       (the version-C situation)
+
+#include <cstdio>
+#include <string>
+
+#include "core/sio.hpp"
+
+namespace {
+
+using namespace sio;
+
+constexpr int kNodes = 16;
+constexpr std::uint64_t kTotal = 8ull << 20;  // 8 MB staged then reloaded
+constexpr std::uint64_t kSmall = 2048;
+constexpr std::uint64_t kLarge = 128 * 1024;
+
+struct Setup {
+  const char* name;
+  bool aggregate;
+  int prefetch;
+  bool write_through;
+  bool tuned_stream;
+};
+
+sim::Task<void> stage_and_reload(pfs::Pfs& fs, const Setup& s) {
+  auto& file = fs.stage_file("a/data", 0);
+
+  // --- staging (writes from node 0, like ESCAT version A's coordinator) ---
+  const std::uint64_t chunk = s.tuned_stream ? kLarge : kSmall;
+  if (s.aggregate) {
+    pfs::RequestAggregator agg(fs, file, 0);
+    for (std::uint64_t off = 0; off < kTotal; off += chunk) {
+      co_await agg.submit(off, chunk);
+    }
+    co_await agg.drain();
+  } else {
+    for (std::uint64_t off = 0; off < kTotal; off += chunk) {
+      co_await fs.transfer(0, file, off, chunk, /*is_write=*/true, /*buffered=*/true);
+    }
+  }
+
+  // --- reload (sequential whole-file scan, like the quadrature re-read) ---
+  const std::uint64_t units = kTotal / fs.layout().unit();
+  for (std::uint64_t u = 0; u < units; ++u) {
+    co_await fs.fetch_unit(0, file, u);
+  }
+
+  // --- cold compulsory reads: every node scans its own staged input file
+  // concurrently (a phase-one pattern).  The arrays' heads thrash between
+  // the per-node extents; sequential prefetch amortizes that positioning ---
+  std::vector<pfs::FileState*> inputs;
+  for (int n = 0; n < kNodes; ++n) {
+    inputs.push_back(&fs.stage_file("a/input" + std::to_string(n), kTotal));
+  }
+  co_await apps::parallel_section(
+      fs.machine().engine(), kNodes, [&fs, &inputs](int node) -> sim::Task<void> {
+        const std::uint64_t scan_units = kTotal / fs.layout().unit();
+        for (std::uint64_t u = 0; u < scan_units; ++u) {
+          co_await fs.fetch_unit(node, *inputs[static_cast<std::size_t>(node)], u);
+        }
+      });
+}
+
+struct Outcome {
+  double wall = 0;       ///< end-to-end simulated seconds
+  double disk_busy = 0;  ///< summed array service time (occupancy)
+};
+
+Outcome run_setup(const Setup& s) {
+  hw::Machine machine(hw::Machine::caltech_paragon(kNodes));
+  pablo::Collector collector(machine.engine());
+  pfs::ServerConfig server;
+  if (s.prefetch > 0) server = pfs::with_prefetch(server, s.prefetch);
+  if (s.write_through) server = pfs::with_write_behind(server, 0);
+  pfs::Pfs fs(machine, collector, pfs::PfsConfig{server, pfs::ContentPolicy::kExtentsOnly});
+  machine.engine().spawn(stage_and_reload(fs, s));
+  machine.engine().run();
+  Outcome out;
+  out.wall = sim::to_seconds(machine.engine().now());
+  for (int i = 0; i < fs.server_count(); ++i) {
+    out.disk_busy += sim::to_seconds(fs.server(i).disk().busy_time());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: §7 design principles on an 8 MB stage+reload cycle\n");
+  std::printf("(request stream: naive = 2KB sequential, tuned = 128KB aligned)\n\n");
+
+  const Setup setups[] = {
+      {"naive, vanilla PFS", false, 0, false, false},
+      {"naive + aggregation", true, 0, false, false},
+      {"naive + prefetch(2)", false, 2, false, false},
+      {"naive + aggregation + prefetch", true, 2, false, false},
+      {"naive, write-through (no WB)", false, 0, true, false},
+      {"tuned stream, vanilla PFS", false, 0, false, true},
+  };
+
+  double naive = 0, tuned = 0, agg = 0;
+  pablo::TextTable t({"configuration", "wall_s", "vs naive", "disk_busy_s"});
+  for (const auto& s : setups) {
+    const Outcome o = run_setup(s);
+    if (std::string(s.name) == "naive, vanilla PFS") naive = o.wall;
+    if (std::string(s.name) == "tuned stream, vanilla PFS") tuned = o.wall;
+    if (std::string(s.name) == "naive + aggregation") agg = o.wall;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", naive > 0 ? naive / o.wall : 1.0);
+    t.add_row({s.name, pablo::fmt_fixed(o.wall, 3), speedup, pablo::fmt_fixed(o.disk_busy, 2)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nClaim check: client-library request aggregation alone recovers %.0f%% of\n"
+      "the hand-tuning gap without touching the application's natural request\n"
+      "stream (paper §7: request aggregation / prefetching / write-behind by\n"
+      "the file system eliminate the need for code restructuring).  Server\n"
+      "prefetch cuts array occupancy (disk_busy column) on the cold scans; its\n"
+      "end-to-end effect depends on queue structure, as §7's caution about\n"
+      "policy/workload matching anticipates.\n",
+      100.0 * (naive - agg) / (naive - tuned > 0 ? naive - tuned : 1.0));
+  return 0;
+}

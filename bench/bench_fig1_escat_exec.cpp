@@ -1,0 +1,12 @@
+// Reproduces paper Figure 1: total execution time for the six ESCAT code
+// progressions (ethylene, 128 nodes), showing the ~20% overall reduction
+// from the first version to the tuned version C.
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  std::fputs(sio::core::render_fig1().c_str(), stdout);
+  return 0;
+}

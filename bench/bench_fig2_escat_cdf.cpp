@@ -1,0 +1,12 @@
+// Reproduces paper Figure 2: cumulative distributions of ESCAT read/write
+// request sizes, with both operation-count and byte-volume weightings.
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  const auto study = sio::core::run_escat_study();
+  std::fputs(sio::core::render_fig2(study).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Figure 3: ESCAT read request sizes as a function of
+// execution time, versions A and C (reads cluster at the start and end).
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  const auto study = sio::core::run_escat_study();
+  std::fputs(sio::core::render_fig3(study).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces paper Figure 4: ESCAT write request sizes over execution time —
+// version A's four node-zero request sizes vs version C's uniform M_ASYNC
+// writes from all nodes.
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  const auto study = sio::core::run_escat_study();
+  std::fputs(sio::core::render_fig4(study).c_str(), stdout);
+  return 0;
+}

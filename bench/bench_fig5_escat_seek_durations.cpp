@@ -1,0 +1,13 @@
+// Reproduces paper Figure 5: ESCAT seek operation durations — version B's
+// serialized shared-file seeks vs version C's local M_ASYNC pointer updates
+// (note the order-of-magnitude gap between the y-axes).
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  const auto study = sio::core::run_escat_study();
+  std::fputs(sio::core::render_fig5(study).c_str(), stdout);
+  return 0;
+}

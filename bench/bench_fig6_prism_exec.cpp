@@ -1,0 +1,12 @@
+// Reproduces paper Figure 6: total execution time for the three PRISM code
+// versions (64 nodes), showing the ~23% reduction from A to C.
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  const auto study = sio::core::run_prism_study();
+  std::fputs(sio::core::render_fig6(study).c_str(), stdout);
+  return 0;
+}

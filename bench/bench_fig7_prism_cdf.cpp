@@ -1,0 +1,13 @@
+// Reproduces paper Figure 7: cumulative distributions of PRISM read/write
+// request sizes — many tiny (<40 byte) requests, with a few >150 KB requests
+// carrying the bulk of the data volume.
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  const auto study = sio::core::run_prism_study();
+  std::fputs(sio::core::render_fig7(study).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces paper Figure 8: PRISM read sizes over the phase-one window for
+// all three versions — A's serialized spread, B's compact synchronized
+// pattern, and C's re-lengthened window after buffering was disabled.
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  const auto study = sio::core::run_prism_study();
+  std::fputs(sio::core::render_fig8(study).c_str(), stdout);
+  return 0;
+}

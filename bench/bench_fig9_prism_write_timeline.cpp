@@ -1,0 +1,12 @@
+// Reproduces paper Figure 9: PRISM version C write sizes over execution time
+// — the five checkpoint bursts and the final field dump are clearly visible.
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  const auto study = sio::core::run_prism_study();
+  std::fputs(sio::core::render_fig9(study).c_str(), stdout);
+  return 0;
+}

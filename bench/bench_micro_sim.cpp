@@ -1,0 +1,133 @@
+// Microbenchmarks (google-benchmark) for the simulator substrate itself:
+// event dispatch throughput, coroutine task overhead, synchronization
+// primitives, striping arithmetic, RNG, and a small end-to-end PFS
+// operation.  These bound how much simulated work the reproduction can
+// afford — the full ESCAT/PRISM studies dispatch a few million events.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sio.hpp"
+
+namespace {
+
+using namespace sio;
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < 1000; ++i) {
+      e.schedule_at(i, [] {});
+    }
+    e.run();
+    benchmark::DoNotOptimize(e.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+sim::Task<void> hopper(sim::Engine& e, int hops) {
+  for (int i = 0; i < hops; ++i) {
+    co_await e.delay(1);
+  }
+}
+
+void BM_CoroutineDelayHops(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    e.spawn(hopper(e, 1000));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineDelayHops);
+
+sim::Task<void> locker(sim::Engine& e, sim::Mutex& m, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    auto g = co_await m.scoped();
+    co_await e.delay(1);
+  }
+}
+
+void BM_MutexContention(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::Mutex m(e);
+    for (int t = 0; t < tasks; ++t) e.spawn(locker(e, m, 100));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks * 100);
+}
+BENCHMARK(BM_MutexContention)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_StripeMap(benchmark::State& state) {
+  pfs::StripeLayout layout(64 * 1024, 16);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    auto segs = layout.map(off, 155584);
+    benchmark::DoNotOptimize(segs.data());
+    off += 131071;
+  }
+}
+BENCHMARK(BM_StripeMap);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform_int(0, 1 << 20));
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_CdfBuild(benchmark::State& state) {
+  sim::Rng rng(7);
+  std::vector<std::uint64_t> sizes;
+  for (int i = 0; i < 10000; ++i) {
+    sizes.push_back(static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 20)));
+  }
+  for (auto _ : state) {
+    auto copy = sizes;
+    pablo::SizeCdf cdf(std::move(copy));
+    benchmark::DoNotOptimize(cdf.total_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CdfBuild);
+
+sim::Task<void> pfs_writer(pfs::Pfs& fs, pfs::FileState& file, int ops) {
+  for (int i = 0; i < ops; ++i) {
+    co_await fs.transfer(0, file, static_cast<std::uint64_t>(i) * 2048, 2048, true, true);
+  }
+}
+
+void BM_PfsSmallWrites(benchmark::State& state) {
+  for (auto _ : state) {
+    hw::Machine machine(hw::Machine::caltech_paragon(16));
+    pablo::Collector collector(machine.engine());
+    pfs::Pfs fs(machine, collector);
+    auto& file = fs.stage_file("m/bench", 0);
+    machine.engine().spawn(pfs_writer(fs, file, 256));
+    machine.engine().run();
+    benchmark::DoNotOptimize(machine.engine().events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PfsSmallWrites);
+
+void BM_EscatSmallRun(benchmark::State& state) {
+  apps::escat::Workload w;
+  w.nodes = 16;
+  w.quad_cycles = 8;
+  w.reload_record = 16 * 1024;
+  w.init_small_reads = 10;
+  for (auto _ : state) {
+    auto cfg = apps::escat::make_config(apps::escat::Version::C, w);
+    const auto r = core::run_escat(cfg);
+    benchmark::DoNotOptimize(r.exec_time);
+  }
+}
+BENCHMARK(BM_EscatSmallRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

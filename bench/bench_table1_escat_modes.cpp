@@ -1,0 +1,11 @@
+// Reproduces paper Table 1: node activity and file access modes for each
+// ESCAT phase and code version, as encoded in the workload model.
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  std::fputs(sio::core::render_table1().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Reproduces paper Table 2: aggregate I/O performance summaries for ESCAT —
+// the percentage of total I/O time attributable to each operation type, for
+// code versions A, B and C on the ethylene dataset (128 nodes).
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  const auto study = sio::core::run_escat_study();
+  std::fputs(sio::core::render_table2(study).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(sio::core::render_io_share_table(study.a, "Detail: version A").c_str(), stdout);
+  std::fputs(sio::core::render_io_share_table(study.b, "Detail: version B").c_str(), stdout);
+  std::fputs(sio::core::render_io_share_table(study.c, "Detail: version C").c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces paper Table 4: node activity and file access modes for each
+// PRISM phase and code version, as encoded in the workload model.
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  std::fputs(sio::core::render_table4().c_str(), stdout);
+  return 0;
+}

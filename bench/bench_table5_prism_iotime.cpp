@@ -1,0 +1,17 @@
+// Reproduces paper Table 5: aggregate I/O performance summaries for PRISM —
+// the percentage of total I/O time per operation type for versions A/B/C,
+// including version C's read blow-up after system buffering was disabled.
+
+#include <cstdio>
+
+#include "core/figures.hpp"
+
+int main() {
+  const auto study = sio::core::run_prism_study();
+  std::fputs(sio::core::render_table5(study).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(sio::core::render_io_share_table(study.a, "Detail: version A").c_str(), stdout);
+  std::fputs(sio::core::render_io_share_table(study.b, "Detail: version B").c_str(), stdout);
+  std::fputs(sio::core::render_io_share_table(study.c, "Detail: version C").c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// ESCAT evolution walkthrough: runs the three tracked code versions of the
+// electron-scattering application on the simulated Paragon and prints the
+// comparative analysis the paper builds §4 around — execution times,
+// per-operation I/O breakdowns, and what changed between versions.
+//
+//   ./build/examples/escat_evolution
+
+#include <cstdio>
+
+#include "core/sio.hpp"
+
+int main() {
+  using namespace sio;
+
+  std::printf("ESCAT (Schwinger multichannel electron scattering), ethylene data set,\n");
+  std::printf("128 nodes of the simulated Caltech Paragon XP/S.\n\n");
+
+  const auto study = core::run_escat_study();
+
+  for (const core::RunResult* r : {&study.a, &study.b, &study.c}) {
+    std::fputs(core::render_io_share_table(*r, "=== Version " + r->label + " ===").c_str(),
+               stdout);
+    std::fputs("\n", stdout);
+  }
+
+  std::printf("What changed:\n");
+  std::printf(" A -> B: node zero reads + broadcasts the input files (read time down);\n");
+  std::printf("         all nodes stage the quadrature via seek+write in M_UNIX\n");
+  std::printf("         (seek time explodes); gopen replaces concurrent opens.\n");
+  std::printf(" B -> C: phase-2 writes switch to M_ASYNC (OSF/1 R1.3) — seeks become\n");
+  std::printf("         local pointer updates and serialization disappears.\n\n");
+
+  const double red = 100.0 * (1.0 - study.c.exec_seconds() / study.a.exec_seconds());
+  std::printf("Execution time: A=%.0fs  B=%.0fs  C=%.0fs  (%.1f%% total reduction)\n\n",
+              study.a.exec_seconds(), study.b.exec_seconds(), study.c.exec_seconds(), red);
+
+  // Functional classes (paper §2/§6): ESCAT's out-of-core quadrature traffic
+  // is data staging, bracketed by the compulsory input/result phases.
+  const auto classes = pablo::classify_phases(study.c.events, study.c.phases);
+  std::printf("Functional I/O classes (version C, by bytes):\n");
+  for (int i = 0; i < pablo::kIoClassCount; ++i) {
+    const auto c = static_cast<pablo::IoClass>(i);
+    std::printf("  %-13s %8llu ops  %s\n", std::string(pablo::io_class_name(c)).c_str(),
+                static_cast<unsigned long long>(classes.of(c).ops),
+                pablo::fmt_bytes(classes.of(c).bytes).c_str());
+  }
+  std::printf("\nPer-phase profile (version C):\n%s",
+              pablo::render_phase_profiles(
+                  pablo::phase_profiles(study.c.events, study.c.phases))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Mode explorer: the "comprehensive set of parallel file system I/O
+// benchmarks" the paper's §7 proposes deriving from its characterizations.
+// Sweeps every PFS access mode across request sizes with a fixed node count
+// and prints the achieved aggregate transfer rate — making the mode/request
+// interaction (stripe-aligned M_RECORD fast, shared M_UNIX serialized slow)
+// directly visible.
+//
+//   ./build/examples/mode_explorer
+
+#include <cstdio>
+#include <vector>
+
+#include "core/sio.hpp"
+
+namespace {
+
+using namespace sio;
+
+constexpr int kNodes = 32;
+constexpr std::uint64_t kBytesPerNode = 1 << 20;  // 1 MB each, 32 MB total
+
+// Each node writes its share of a file, in `request`-sized chunks, using the
+// given mode; returns the aggregate MB/s achieved.
+double sweep_case(pfs::IoMode mode, std::uint64_t request) {
+  hw::Machine machine(hw::Machine::caltech_paragon(kNodes));
+  pablo::Collector collector(machine.engine());
+  pfs::Pfs fs(machine, collector);
+  auto group = pfs::Group::contiguous(machine.engine(), kNodes);
+
+  machine.engine().spawn(apps::parallel_section(
+      machine.engine(), kNodes, [&](int node) -> sim::Task<void> {
+        pfs::OpenOptions opts;
+        opts.mode = mode;
+        opts.truncate = true;
+        if (mode == pfs::IoMode::kRecord) opts.record_size = request;
+        auto fh = co_await fs.gopen(node, "x/sweep", *group, opts);
+
+        const int requests = static_cast<int>(kBytesPerNode / request);
+        const int rank = group->rank_of(node);
+        for (int i = 0; i < requests; ++i) {
+          switch (mode) {
+            case pfs::IoMode::kUnix:
+            case pfs::IoMode::kAsync: {
+              // Disjoint per-node regions, strided like the ESCAT staging.
+              const std::uint64_t off =
+                  (static_cast<std::uint64_t>(i) * kNodes + static_cast<std::uint64_t>(rank)) *
+                  request;
+              co_await fh.seek(off);
+              co_await fh.write(request);
+              break;
+            }
+            default:
+              co_await fh.write(request);
+              break;
+          }
+        }
+        co_await fh.close();
+      }));
+  machine.engine().run();
+
+  const double secs = sim::to_seconds(machine.engine().now());
+  const double mb = static_cast<double>(kBytesPerNode) * kNodes / (1024.0 * 1024.0);
+  return mb / secs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PFS access-mode / request-size sweep: %d nodes write 1 MB each\n", kNodes);
+  std::printf("(aggregate MB/s; higher is better)\n\n");
+
+  const std::vector<std::uint64_t> sizes = {512, 2048, 8192, 65536, 131072};
+  const std::vector<pfs::IoMode> modes = {pfs::IoMode::kUnix, pfs::IoMode::kRecord,
+                                          pfs::IoMode::kAsync, pfs::IoMode::kSync,
+                                          pfs::IoMode::kLog};
+
+  pablo::TextTable t({"mode", "512B", "2KB", "8KB", "64KB", "128KB"});
+  for (const auto mode : modes) {
+    std::vector<std::string> row{std::string(pfs::io_mode_name(mode))};
+    for (const auto size : sizes) {
+      row.push_back(pablo::fmt_fixed(sweep_case(mode, size), 1));
+    }
+    t.add_row(std::move(row));
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf(
+      "\nReadings: M_UNIX serializes on the shared-file token; M_RECORD/M_ASYNC\n"
+      "parallelize, and stripe-multiple requests (64KB+) engage every array —\n"
+      "exactly why the tuned applications settled on 128KB records.\n");
+  return 0;
+}

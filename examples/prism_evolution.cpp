@@ -1,0 +1,56 @@
+// PRISM evolution walkthrough: runs the three tracked versions of the
+// spectral-element Navier-Stokes code (64 nodes) and prints the §5 analysis,
+// including the famous version-C lesson: disabling system I/O buffering
+// turned a handful of sub-40-byte header reads into the dominant I/O cost.
+//
+//   ./build/examples/prism_evolution
+
+#include <cstdio>
+
+#include "core/sio.hpp"
+
+int main() {
+  using namespace sio;
+
+  std::printf("PRISM (3-D Navier-Stokes, spectral elements), 201-element cylinder flow,\n");
+  std::printf("Re=1000, 1250 steps, checkpoint every 250; 64 nodes.\n\n");
+
+  const auto study = core::run_prism_study();
+
+  for (const core::RunResult* r : {&study.a, &study.b, &study.c}) {
+    std::fputs(core::render_io_share_table(*r, "=== Version " + r->label + " ===").c_str(),
+               stdout);
+    const auto& p1 = r->phase("phase1");
+    std::printf("phase-1 (compulsory read) window: %.0fs\n\n", sim::to_seconds(p1.span()));
+  }
+
+  // Miller & Katz functional classes (paper §2/§6): PRISM's middle phase is
+  // checkpoint I/O; the compulsory reads/writes bracket the run.
+  const auto classes = pablo::classify_phases(study.c.events, study.c.phases);
+  std::printf("Functional I/O classes (version C, by bytes):\n");
+  for (int i = 0; i < pablo::kIoClassCount; ++i) {
+    const auto c = static_cast<pablo::IoClass>(i);
+    std::printf("  %-13s %8llu ops  %s\n", std::string(pablo::io_class_name(c)).c_str(),
+                static_cast<unsigned long long>(classes.of(c).ops),
+                pablo::fmt_bytes(classes.of(c).bytes).c_str());
+  }
+  std::printf("\nPer-phase profile (version C) — the paper's §6 dimensions:\n%s\n",
+              pablo::render_phase_profiles(
+                  pablo::phase_profiles(study.c.events, study.c.phases))
+                  .c_str());
+
+  std::printf("What changed:\n");
+  std::printf(" A -> B: setiomode switches the input files to M_GLOBAL / M_RECORD —\n");
+  std::printf("         reads collapse into single shared transfers; the field file is\n");
+  std::printf("         written concurrently in M_ASYNC (write time rises).\n");
+  std::printf(" B -> C: gopen replaces open+setiomode (open time collapses); binary\n");
+  std::printf("         connectivity parsing removes most small reads; BUT buffering is\n");
+  std::printf("         disabled on the restart file, so each tiny header read becomes a\n");
+  std::printf("         raw RAID-3 granule access — read time jumps to ~%.0f%% of all I/O.\n",
+              study.c.breakdown().pct_of_io_time(pablo::IoOp::kRead));
+
+  const double red = 100.0 * (1.0 - study.c.exec_seconds() / study.a.exec_seconds());
+  std::printf("\nExecution time: A=%.0fs  B=%.0fs  C=%.0fs  (%.1f%% total reduction)\n",
+              study.a.exec_seconds(), study.b.exec_seconds(), study.c.exec_seconds(), red);
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "apps/common.hpp"
+
+#include <stdexcept>
+
+namespace sio::apps {
+
+const PhaseSpan& PhaseLog::find(std::string_view name) const {
+  for (const auto& s : spans_) {
+    if (s.name == name) return s;
+  }
+  throw std::out_of_range("no phase named " + std::string(name));
+}
+
+ComputeModel::ComputeModel(sim::Engine& engine, std::uint64_t seed, int nodes) : engine_(engine) {
+  sim::Rng root(seed);
+  rngs_.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) rngs_.push_back(root.fork());
+}
+
+sim::Tick ComputeModel::sample(int node, sim::Tick mean, double jitter) {
+  SIO_ASSERT(node >= 0 && static_cast<std::size_t>(node) < rngs_.size());
+  return rngs_[static_cast<std::size_t>(node)].jitter(mean, jitter);
+}
+
+sim::Task<void> ComputeModel::run(int node, sim::Tick mean, double jitter) {
+  co_await engine_.delay(sample(node, mean, jitter));
+}
+
+namespace {
+
+sim::Task<void> wrap_body(std::function<sim::Task<void>(int)> body, int node,
+                          sim::WaitGroup* wg) {
+  co_await body(node);
+  wg->done();
+}
+
+}  // namespace
+
+sim::Task<void> parallel_section(sim::Engine& engine, const std::vector<int>& nodes,
+                                 std::function<sim::Task<void>(int)> body) {
+  sim::WaitGroup wg(engine);
+  for (int n : nodes) {
+    wg.add();
+    engine.spawn(wrap_body(body, n, &wg));
+  }
+  co_await wg.wait();
+}
+
+sim::Task<void> parallel_section(sim::Engine& engine, int nodes,
+                                 std::function<sim::Task<void>(int)> body) {
+  std::vector<int> list(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) list[static_cast<std::size_t>(i)] = i;
+  co_await parallel_section(engine, list, std::move(body));
+}
+
+}  // namespace sio::apps

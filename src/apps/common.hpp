@@ -1,0 +1,83 @@
+// Shared infrastructure for the application workload models.
+//
+// Both ESCAT and PRISM are SPMD codes: every node runs the same phase
+// sequence with per-node data.  `ParallelSection` spawns one coroutine per
+// node and joins them; `ComputeModel` produces deterministic, per-node
+// jittered compute delays (the jitter is what staggers arrivals at
+// collective operations and file servers, which in turn shapes queueing —
+// exactly the mechanism behind several of the paper's observations).
+//
+// `PhaseLog` records phase boundaries so the analysis can measure phase
+// spans (e.g. the length of PRISM's initial read window in Figure 8).
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/random.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace sio::apps {
+
+/// Record of one application phase's simulated time span.
+struct PhaseSpan {
+  std::string name;
+  sim::Tick t0 = 0;
+  sim::Tick t1 = 0;
+
+  sim::Tick span() const { return t1 - t0; }
+};
+
+class PhaseLog {
+ public:
+  void begin(std::string name, sim::Tick now) { open_.push_back({std::move(name), now, now}); }
+  void end(sim::Tick now) {
+    SIO_ASSERT(!open_.empty());
+    PhaseSpan s = open_.back();
+    open_.pop_back();
+    s.t1 = now;
+    spans_.push_back(std::move(s));
+  }
+
+  const std::vector<PhaseSpan>& spans() const { return spans_; }
+
+  /// First phase with the given name (throws if absent).
+  const PhaseSpan& find(std::string_view name) const;
+
+ private:
+  std::vector<PhaseSpan> open_;
+  std::vector<PhaseSpan> spans_;
+};
+
+/// Deterministic per-node compute-time model.
+class ComputeModel {
+ public:
+  ComputeModel(sim::Engine& engine, std::uint64_t seed, int nodes);
+
+  /// Delay of `mean` jittered by +/- `jitter` fraction, per-node stream.
+  sim::Task<void> run(int node, sim::Tick mean, double jitter = 0.05);
+
+  /// Raw jittered duration without occupying time (for pre-computation).
+  sim::Tick sample(int node, sim::Tick mean, double jitter = 0.05);
+
+ private:
+  sim::Engine& engine_;
+  std::vector<sim::Rng> rngs_;
+};
+
+/// Runs `body(node)` concurrently for nodes [0, nodes) and completes when
+/// every instance has finished.  Exceptions in any instance surface through
+/// the engine (the run stops and rethrows).
+sim::Task<void> parallel_section(sim::Engine& engine, int nodes,
+                                 std::function<sim::Task<void>(int)> body);
+
+/// As above but over an explicit node list.
+sim::Task<void> parallel_section(sim::Engine& engine, const std::vector<int>& nodes,
+                                 std::function<sim::Task<void>(int)> body);
+
+}  // namespace sio::apps

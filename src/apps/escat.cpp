@@ -1,0 +1,314 @@
+#include "apps/escat.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "machine/os_profile.hpp"
+
+namespace sio::apps::escat {
+
+Workload ethylene() { return Workload{}; }
+
+Workload carbon_monoxide() {
+  Workload w;
+  w.name = "carbon-monoxide";
+  w.nodes = 256;
+  w.channels = 13;
+  // Three energy batches re-read the full quadrature set (out-of-core
+  // energy-dependent passes); 13 channels x 32 MB = 416 MB of staged data,
+  // past the combined I/O-node caches, so the reloads are disk-bound.
+  w.energy_passes = 4;
+  w.quad_cycles = 8;
+  w.quad_chunk = 8192;          // the CO staging writes were already tuned up
+  w.reload_record = 64 * 1024;  // one full PFS stripe per record
+  w.phase2_cycle_compute = sim::seconds(250);
+  w.phase3_energy_compute = sim::seconds(6750);
+  w.jitter = 0.10;
+  return w;
+}
+
+hw::OsProfile os_for(Version v) {
+  // Versions A and B ran under OSF/1 R1.2, version C under R1.3 (Table 1).
+  return v == Version::C ? hw::osf_r13() : hw::osf_r12();
+}
+
+double default_compute_scale(Version v) {
+  switch (v) {
+    case Version::A: return 1.0;
+    case Version::B: return 0.915;
+    case Version::C: return 0.818;
+  }
+  return 1.0;
+}
+
+Config make_config(Version v, Workload w) {
+  Config cfg;
+  cfg.version = v;
+  cfg.workload = std::move(w);
+  cfg.compute_scale = default_compute_scale(v);
+  cfg.label = std::string(version_name(v));
+  return cfg;
+}
+
+std::vector<Config> six_progressions() {
+  std::vector<Config> runs;
+  auto add = [&runs](Version v, double overhead, std::string label) {
+    Config c = make_config(v);
+    c.overhead_scale = overhead;
+    c.label = std::move(label);
+    runs.push_back(std::move(c));
+  };
+  add(Version::A, 1.012, "A1 (OSF 1.2, Pablo beta)");
+  add(Version::A, 1.000, "A2 (OSF 1.2, Pablo beta)");
+  add(Version::B, 1.008, "B1 (OSF 1.2, Pablo 4.0)");
+  add(Version::B, 1.000, "B2 (OSF 1.2, Pablo 4.0)");
+  add(Version::B, 0.993, "B3 (OSF 1.2, Pablo 4.0)");
+  add(Version::C, 1.000, "C  (OSF 1.3, Pablo 4.0)");
+  return runs;
+}
+
+namespace {
+
+struct Ctx {
+  hw::Machine& machine;
+  pfs::Pfs& fs;
+  const Config& cfg;
+  ComputeModel compute;
+  std::unique_ptr<pfs::Group> group;
+  std::vector<sim::Rng> read_rngs;  // per-node request-size streams
+
+  sim::Engine& engine() { return machine.engine(); }
+  const Workload& w() const { return cfg.workload; }
+
+  /// Compute scaled by version and progression factors.
+  sim::Task<void> work(int node, sim::Tick base) {
+    const double s = cfg.compute_scale * cfg.overhead_scale;
+    return compute.run(node, static_cast<sim::Tick>(static_cast<double>(base) * s),
+                       w().jitter);
+  }
+
+  std::uint64_t small_read_size(int node) {
+    auto& rng = read_rngs[static_cast<std::size_t>(node)];
+    return static_cast<std::uint64_t>(
+        rng.uniform_int(static_cast<std::int64_t>(w().init_small_lo),
+                        static_cast<std::int64_t>(w().init_small_hi)));
+  }
+
+  static std::string input_path(int i) { return "escat/input" + std::to_string(i); }
+  static std::string quad_path(int ch) { return "escat/quad" + std::to_string(ch); }
+  static std::string out_path(int ch) { return "escat/out" + std::to_string(ch); }
+};
+
+/// The four-size write pattern node zero used when staging the quadrature
+/// data in version A (Figure 4, upper panel).
+constexpr std::array<std::uint64_t, 4> kVersionAWriteSizes = {3072, 2048, 1024, 512};
+
+// ------------------------------------------------------------- phase one --
+
+sim::Task<void> read_init_file(Ctx& c, int node, int file_index) {
+  auto fh = co_await c.fs.open(node, Ctx::input_path(file_index));
+  for (int i = 0; i < c.w().init_small_reads; ++i) {
+    co_await fh.read(c.small_read_size(node));
+    co_await c.compute.run(node, c.w().parse_compute, c.w().jitter);
+    // Occasional pointer reposition while parsing (a shared-file metadata
+    // operation under M_UNIX -- the source of version A's small seek share).
+    if (c.w().init_rewind_seeks > 0 &&
+        (i + 1) % std::max(1, c.w().init_small_reads / c.w().init_rewind_seeks) == 0) {
+      co_await fh.seek(fh.tell());
+    }
+  }
+  for (int i = 0; i < c.w().init_large_reads; ++i) {
+    co_await fh.read(c.w().init_large_size);
+  }
+  co_await fh.close();
+}
+
+sim::Task<void> phase_one(Ctx& c, int node) {
+  const auto& w = c.w();
+  // The three input files are read back to back at startup; the problem
+  // setup compute happens once the data is in memory.
+  for (int f = 0; f < w.init_files; ++f) {
+    if (c.cfg.version == Version::A) {
+      // All nodes read the initialization files concurrently (M_UNIX).
+      co_await read_init_file(c, node, f);
+    } else {
+      // Node zero reads and broadcasts (versions B and C).
+      if (node == 0) co_await read_init_file(c, node, f);
+      co_await c.group->arrive();
+      const std::uint64_t bcast_bytes =
+          static_cast<std::uint64_t>(w.init_small_reads) * (w.init_small_lo + w.init_small_hi) / 2 +
+          static_cast<std::uint64_t>(w.init_large_reads) * w.init_large_size;
+      co_await c.engine().delay(
+          c.machine.network().broadcast_arrival(c.group->rank_of(node), w.nodes, bcast_bytes));
+    }
+  }
+  co_await c.work(node, w.phase1_setup_compute * w.init_files);
+}
+
+// ------------------------------------------------------------- phase two --
+
+sim::Task<void> phase_two_version_a(Ctx& c, int node) {
+  const auto& w = c.w();
+  std::vector<pfs::FileHandle> quad;
+  if (node == 0) {
+    for (int ch = 0; ch < w.channels; ++ch) {
+      quad.push_back(co_await c.fs.open(0, Ctx::quad_path(ch), {.truncate = true}));
+    }
+  }
+  const std::uint64_t cycle_bytes = static_cast<std::uint64_t>(w.nodes) * w.quad_chunk;
+  for (int cycle = 0; cycle < w.quad_cycles; ++cycle) {
+    co_await c.work(node, w.phase2_cycle_compute);
+    co_await c.group->arrive();  // the write step is synchronized
+    if (node == 0) {
+      // Collect every node's contribution, then stage it to disk with the
+      // code's four request sizes.
+      co_await c.engine().delay(c.machine.network().gather_time(
+          w.nodes, w.quad_chunk * static_cast<std::uint64_t>(w.channels)));
+      for (int ch = 0; ch < w.channels; ++ch) {
+        std::uint64_t written = 0;
+        std::size_t pattern = 0;
+        while (written < cycle_bytes) {
+          const std::uint64_t n =
+              std::min(kVersionAWriteSizes[pattern % kVersionAWriteSizes.size()],
+                       cycle_bytes - written);
+          co_await quad[static_cast<std::size_t>(ch)].write(n);
+          written += n;
+          ++pattern;
+        }
+      }
+    }
+    co_await c.group->arrive();
+  }
+  if (node == 0) {
+    for (auto& fh : quad) co_await fh.close();
+  }
+}
+
+sim::Task<void> phase_two_version_bc(Ctx& c, int node) {
+  const auto& w = c.w();
+  const int rank = c.group->rank_of(node);
+  std::vector<pfs::FileHandle> quad;
+  for (int ch = 0; ch < w.channels; ++ch) {
+    quad.push_back(co_await c.fs.gopen(node, Ctx::quad_path(ch), *c.group, {.truncate = true}));
+  }
+  if (c.cfg.version == Version::C) {
+    // M_ASYNC (new in OSF/1 R1.3): private pointers, no atomicity token.
+    for (int ch = 0; ch < w.channels; ++ch) {
+      co_await quad[static_cast<std::size_t>(ch)].set_iomode(pfs::IoMode::kAsync);
+    }
+  }
+  for (int cycle = 0; cycle < w.quad_cycles; ++cycle) {
+    co_await c.work(node, w.phase2_cycle_compute);
+    co_await c.group->arrive();  // the write step is synchronized (paper §4)
+    for (int ch = 0; ch < w.channels; ++ch) {
+      auto& fh = quad[static_cast<std::size_t>(ch)];
+      // Seek to the offset determined by node number, iteration and stripe
+      // size (paper §4.1), then write this node's chunk.
+      const std::uint64_t offset =
+          (static_cast<std::uint64_t>(cycle) * static_cast<std::uint64_t>(w.nodes) +
+           static_cast<std::uint64_t>(rank)) *
+          w.quad_chunk;
+      co_await fh.seek(offset);
+      co_await fh.write(w.quad_chunk);
+    }
+  }
+  for (auto& fh : quad) co_await fh.close();
+}
+
+// ----------------------------------------------------------- phase three --
+
+sim::Task<void> phase_three_version_a(Ctx& c, int node) {
+  const auto& w = c.w();
+  for (int pass = 0; pass < w.energy_passes; ++pass) {
+    co_await c.work(node, w.phase3_energy_compute);
+    co_await c.group->arrive();
+    if (node == 0) {
+      // Node zero reloads the quadrature in small chunks and broadcasts
+      // them to the other nodes.
+      for (int ch = 0; ch < w.channels; ++ch) {
+        auto fh = co_await c.fs.open(0, Ctx::quad_path(ch));
+        const std::uint64_t total = w.quad_bytes_per_channel();
+        for (std::uint64_t off = 0; off < total; off += w.quad_chunk) {
+          co_await fh.read(w.quad_chunk);
+          co_await c.engine().delay(c.machine.network().broadcast_time(w.nodes, w.quad_chunk));
+        }
+        co_await fh.close();
+      }
+    }
+    co_await c.group->arrive();  // all nodes hold the quadrature data
+  }
+}
+
+sim::Task<void> phase_three_version_bc(Ctx& c, int node) {
+  const auto& w = c.w();
+  for (int pass = 0; pass < w.energy_passes; ++pass) {
+    co_await c.work(node, w.phase3_energy_compute);
+    co_await c.group->arrive();  // nodes synchronize before the reload
+    for (int ch = 0; ch < w.channels; ++ch) {
+      auto fh = co_await c.fs.gopen(node, Ctx::quad_path(ch), *c.group);
+      co_await fh.set_iomode(pfs::IoMode::kRecord, w.reload_record);
+      for (int wave = 0; wave < w.reload_waves(); ++wave) {
+        co_await fh.read(w.reload_record);
+      }
+      co_await fh.close();
+    }
+  }
+}
+
+// ------------------------------------------------------------ phase four --
+
+sim::Task<void> phase_four(Ctx& c, int node) {
+  const auto& w = c.w();
+  if (node == 0) {
+    for (int ch = 0; ch < w.channels; ++ch) {
+      auto fh = co_await c.fs.open(0, Ctx::out_path(ch), {.truncate = true});
+      for (int i = 0; i < w.result_writes; ++i) {
+        co_await fh.write(w.result_write_size);
+      }
+      co_await fh.close();
+    }
+  }
+  co_await c.group->arrive();
+}
+
+}  // namespace
+
+sim::Task<void> run(hw::Machine& machine, pfs::Pfs& fs, Config cfg, PhaseLog* log) {
+  const Workload& w = cfg.workload;
+  SIO_ASSERT(w.nodes <= machine.compute_nodes());
+  SIO_ASSERT(w.quad_bytes_per_channel() %
+                 (static_cast<std::uint64_t>(w.nodes) * w.reload_record) ==
+             0);
+
+  Ctx ctx{machine,
+          fs,
+          cfg,
+          ComputeModel(machine.engine(), machine.config().seed ^ 0xe5ca7ULL, w.nodes),
+          pfs::Group::contiguous(machine.engine(), w.nodes),
+          {}};
+  sim::Rng rng_root(machine.config().seed ^ 0x51e5ULL);
+  ctx.read_rngs.reserve(static_cast<std::size_t>(w.nodes));
+  for (int i = 0; i < w.nodes; ++i) ctx.read_rngs.push_back(rng_root.fork());
+
+  // The initialization files exist before the run (compulsory input).
+  const std::uint64_t init_size =
+      static_cast<std::uint64_t>(w.init_small_reads) * w.init_small_hi +
+      static_cast<std::uint64_t>(w.init_large_reads) * w.init_large_size + 64 * 1024;
+  for (int f = 0; f < w.init_files; ++f) fs.stage_file(Ctx::input_path(f), init_size);
+
+  auto phase = [&](const char* name, sim::Task<void> (*body)(Ctx&, int)) -> sim::Task<void> {
+    if (log != nullptr) log->begin(name, machine.engine().now());
+    co_await parallel_section(machine.engine(), w.nodes,
+                              [&ctx, body](int node) { return body(ctx, node); });
+    if (log != nullptr) log->end(machine.engine().now());
+  };
+
+  co_await phase("phase1", &phase_one);
+  co_await phase(
+      "phase2", cfg.version == Version::A ? &phase_two_version_a : &phase_two_version_bc);
+  co_await phase(
+      "phase3", cfg.version == Version::A ? &phase_three_version_a : &phase_three_version_bc);
+  co_await phase("phase4", &phase_four);
+}
+
+}  // namespace sio::apps::escat

@@ -1,0 +1,131 @@
+// ESCAT — Schwinger Multichannel electron-scattering workload model (paper §4).
+//
+// The model reproduces the application's I/O *structure*, phase by phase,
+// for each of the code versions the paper tracked:
+//
+//   Phase 1  compulsory reads of three initialization files
+//   Phase 2  data staging: compute/write cycles of quadrature data, one
+//            file per collision channel, write steps synchronized
+//   Phase 3  data staging: quadrature reload (energy-dependent passes)
+//   Phase 4  compulsory writes of per-channel result files
+//
+//   Version A (OSF/1 R1.2): all nodes read the init files concurrently in
+//     M_UNIX; node zero gathers and writes the quadrature with four request
+//     sizes; node zero reloads it in <2 KB chunks and broadcasts.
+//   Version B (OSF/1 R1.2): node zero reads + broadcasts; all nodes gopen
+//     the quadrature files and seek/write under M_UNIX (seeks dominate);
+//     reload via M_RECORD in 128 KB records.
+//   Version C (OSF/1 R1.3): as B, but phase 2 writes use M_ASYNC — seeks
+//     become local pointer updates and the serialization vanishes.
+//
+// Workload magnitudes (request counts/sizes, compute durations) are
+// calibration constants chosen so the ethylene runs land on the paper's
+// Tables 1-3 and Figures 1-5; the carbon-monoxide dataset scales the
+// quadrature volume past the server caches, reproducing Table 3's last
+// column where I/O grows to ~20% of execution time.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/common.hpp"
+#include "machine/machine.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/task.hpp"
+
+namespace sio::apps::escat {
+
+enum class Version { A, B, C };
+
+constexpr std::string_view version_name(Version v) {
+  switch (v) {
+    case Version::A: return "A";
+    case Version::B: return "B";
+    case Version::C: return "C";
+  }
+  return "?";
+}
+
+/// Dataset-level workload knobs.
+struct Workload {
+  std::string name = "ethylene";
+  int nodes = 128;
+  int channels = 2;       ///< collision channels -> quadrature/result files
+  int energy_passes = 1;  ///< phase-3 repetitions (one per collision energy batch)
+
+  // Phase 1: three initialization files.
+  int init_files = 3;
+  int init_small_reads = 50;  ///< small text/header reads per file per reader
+  std::uint64_t init_small_lo = 64;
+  std::uint64_t init_small_hi = 1800;
+  int init_large_reads = 1;  ///< large matrix reads per file per reader
+  std::uint64_t init_large_size = 256 * 1024;
+  int init_rewind_seeks = 3;  ///< pointer repositions per file while parsing
+
+  // Phase 2: quadrature staging.  Per channel the file holds
+  // quad_cycles * nodes * quad_chunk bytes.
+  int quad_cycles = 64;
+  std::uint64_t quad_chunk = 2048;
+  /// Record size of the phase-3 M_RECORD reload (two PFS stripes).
+  std::uint64_t reload_record = 128 * 1024;
+
+  // Phase 4: results.
+  int result_writes = 64;
+  std::uint64_t result_write_size = 1536;
+
+  // Compute model (per-version scale applied on top).
+  sim::Tick phase1_setup_compute = sim::seconds(30);
+  sim::Tick phase2_cycle_compute = sim::seconds(91.5);
+  sim::Tick phase3_energy_compute = sim::seconds(350);
+  sim::Tick parse_compute = sim::milliseconds(8);
+  double jitter = 0.06;
+
+  /// Total quadrature bytes per channel file.
+  std::uint64_t quad_bytes_per_channel() const {
+    return static_cast<std::uint64_t>(quad_cycles) * static_cast<std::uint64_t>(nodes) *
+           quad_chunk;
+  }
+  /// M_RECORD waves needed to reload one channel file.
+  int reload_waves() const {
+    return static_cast<int>(quad_bytes_per_channel() /
+                            (static_cast<std::uint64_t>(nodes) * reload_record));
+  }
+};
+
+/// The paper's baseline problem: electronic excitation of ethylene, two
+/// collision channels, 128 nodes.
+Workload ethylene();
+
+/// The larger carbon-monoxide problem: 13 collision channels, 256 nodes,
+/// quadrature volume far past the I/O-node caches, many energy passes.
+Workload carbon_monoxide();
+
+struct Config {
+  Version version = Version::C;
+  Workload workload = ethylene();
+  /// Version-level compute scale (code restructuring sped up compute too).
+  double compute_scale = 1.0;
+  /// Progression-level overhead (instrumentation/OS differences, Fig. 1).
+  double overhead_scale = 1.0;
+  std::string label = "C";
+};
+
+/// OS release each version ran under (Table 1).
+hw::OsProfile os_for(Version v);
+
+/// Default compute scale per version, calibrated to Figure 1's ~20% total
+/// execution-time reduction net of the I/O changes.
+double default_compute_scale(Version v);
+
+/// Convenience: a fully-populated Config for a version/workload.
+Config make_config(Version v, Workload w = ethylene());
+
+/// The six code progressions of Figure 1 (two A-era, three B-era, one C).
+std::vector<Config> six_progressions();
+
+/// The application root task.  Spawn it on the machine's engine and run the
+/// engine to completion; `log` (optional) receives phase spans.
+sim::Task<void> run(hw::Machine& machine, pfs::Pfs& fs, Config cfg, PhaseLog* log = nullptr);
+
+}  // namespace sio::apps::escat

@@ -1,0 +1,121 @@
+// PRISM — 3-D spectral-element Navier-Stokes workload model (paper §5).
+//
+// Three phases:
+//
+//   Phase 1  compulsory reads of the parameter file (P), the restart file
+//            (R: a small text header plus a body read in 155,584-byte
+//            requests) and the connectivity file (C)
+//   Phase 2  time integration: 1250 steps on 64 nodes, node zero writing
+//            the measurement and history data every step and the three
+//            flow-statistics files at each of the five checkpoints
+//   Phase 3  postprocessing: the field file is written
+//
+// Version differences (Table 4), all under OSF/1 R1.3:
+//
+//   A: every node opens and reads all three files in M_UNIX (serialized);
+//      node zero writes everything, including the phase-3 field file.
+//   B: the input files are opened then switched with setiomode — P and C to
+//      M_GLOBAL, R's header to M_GLOBAL and its body to M_RECORD; the field
+//      file is written concurrently by all nodes in M_ASYNC.
+//   C: P and C are gopen'ed in M_GLOBAL (C is parsed as *binary*, far fewer
+//      small reads); the restart file is accessed in M_ASYNC with system
+//      buffering DISABLED — every one of the tiny header reads becomes a
+//      raw RAID-3 granule access, and read time explodes to ~84% of all
+//      I/O time (Table 5), even though total execution time still drops.
+
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "apps/common.hpp"
+#include "machine/machine.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/task.hpp"
+
+namespace sio::apps::prism {
+
+enum class Version { A, B, C };
+
+constexpr std::string_view version_name(Version v) {
+  switch (v) {
+    case Version::A: return "A";
+    case Version::B: return "B";
+    case Version::C: return "C";
+  }
+  return "?";
+}
+
+/// Test-problem workload knobs (201 elements, Re = 1000, 1250 steps with a
+/// checkpoint every 250).
+struct Workload {
+  std::string name = "cylinder-201";
+  int nodes = 64;
+  int elements = 201;
+  int reynolds = 1000;
+  int steps = 1250;
+  int checkpoint_every = 250;
+
+  // Phase 1.
+  int param_reads = 60;  ///< small text reads of the parameter file
+  std::uint64_t small_read_lo = 16;
+  std::uint64_t small_read_hi = 48;
+  int conn_text_reads = 150;   ///< text parse of the connectivity file (A/B)
+  int conn_binary_reads = 20;  ///< binary parse (version C)
+  std::uint64_t conn_binary_size = 4096;
+  int header_reads = 8;  ///< "a few requests of less than 40 bytes each"
+  std::uint64_t body_record = 155584;
+  int body_records_per_node = 1;
+  int text_seeks = 40;  ///< per-node pointer repositioning while parsing (A)
+
+  // Phase 2 (node zero).
+  std::uint64_t history_write = 64;
+  std::uint64_t measure_write = 48;
+  int stats_files = 3;
+  int stats_chunks = 24;  ///< writes per stats file per checkpoint
+  std::uint64_t stats_chunk = 1072;
+
+  // Phase 3.
+  std::uint64_t field_chunk = 155584;
+  int field_chunks_per_node = 8;
+
+  // Compute model.
+  sim::Tick step_compute = sim::milliseconds(6700);
+  sim::Tick parse_compute = sim::milliseconds(3);
+  /// Setup compute after reading each input file (param, restart, conn) —
+  /// this is what spreads the phase-1 read window (Figure 8).
+  std::array<sim::Tick, 3> phase1_setup{sim::seconds(10), sim::seconds(40), sim::seconds(150)};
+  /// Compute skew before each collective setiomode (version B) — the
+  /// rendezvous wait it creates is most of Table 5's iomode share.
+  sim::Tick pre_iomode_skew = sim::milliseconds(320);
+  double jitter = 0.08;
+};
+
+Workload cylinder();
+
+struct Config {
+  Version version = Version::C;
+  Workload workload = cylinder();
+  double compute_scale = 1.0;
+  std::string label = "C";
+};
+
+/// Default per-version compute scale (Figure 6's ~23% reduction, net of the
+/// I/O changes; version C's binary connectivity parse is also a compute
+/// saving).
+double default_compute_scale(Version v);
+
+/// Per-version phase-1 setup computes (shorter once parsing was
+/// restructured; see Figure 8's shrinking read window).
+std::array<sim::Tick, 3> default_phase1_setup(Version v);
+
+Config make_config(Version v, Workload w = cylinder());
+
+/// All three tracked versions, for Figure 6 / Table 5 sweeps.
+std::vector<Config> three_versions();
+
+/// The application root task.
+sim::Task<void> run(hw::Machine& machine, pfs::Pfs& fs, Config cfg, PhaseLog* log = nullptr);
+
+}  // namespace sio::apps::prism

@@ -1,0 +1,95 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "machine/machine.hpp"
+#include "pablo/collector.hpp"
+#include "pfs/pfs.hpp"
+
+namespace sio::core {
+
+pablo::AggregateBreakdown RunResult::breakdown() const {
+  pablo::SummaryCore core;
+  for (const auto& ev : events) core.add(ev);
+  return pablo::AggregateBreakdown(core, exec_time > 0 ? exec_time : 1);
+}
+
+const apps::PhaseSpan& RunResult::phase(std::string_view name) const {
+  for (const auto& p : phases) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("no phase named " + std::string(name));
+}
+
+namespace {
+
+template <class App, class Cfg>
+RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uint64_t seed) {
+  auto mc = hw::Machine::caltech_paragon(nodes, os);
+  mc.seed = seed;
+  hw::Machine machine(mc);
+  pablo::Collector collector(machine.engine());
+  pfs::Pfs fs(machine, collector);
+  apps::PhaseLog log;
+
+  RunResult r;
+  r.label = cfg.label;
+  machine.engine().spawn(app(machine, fs, std::move(cfg), &log));
+  machine.engine().run();
+
+  r.exec_time = machine.engine().now();
+  r.events = collector.events();
+  r.file_names.reserve(collector.file_count());
+  for (std::size_t i = 0; i < collector.file_count(); ++i) {
+    r.file_names.push_back(collector.file_name(static_cast<pablo::FileId>(i)));
+  }
+  r.phases = log.spans();
+  return r;
+}
+
+}  // namespace
+
+RunResult run_escat(apps::escat::Config cfg, std::uint64_t seed) {
+  const auto os = apps::escat::os_for(cfg.version);
+  const int nodes = cfg.workload.nodes;
+  return run_app(
+      [](hw::Machine& m, pfs::Pfs& fs, apps::escat::Config c, apps::PhaseLog* log) {
+        return apps::escat::run(m, fs, std::move(c), log);
+      },
+      std::move(cfg), os, nodes, seed);
+}
+
+RunResult run_prism(apps::prism::Config cfg, std::uint64_t seed) {
+  const int nodes = cfg.workload.nodes;
+  return run_app(
+      [](hw::Machine& m, pfs::Pfs& fs, apps::prism::Config c, apps::PhaseLog* log) {
+        return apps::prism::run(m, fs, std::move(c), log);
+      },
+      std::move(cfg), hw::osf_r13(), nodes, seed);
+}
+
+EscatStudy run_escat_study(std::uint64_t seed) {
+  using apps::escat::Version;
+  EscatStudy s;
+  s.a = run_escat(apps::escat::make_config(Version::A), seed);
+  s.b = run_escat(apps::escat::make_config(Version::B), seed);
+  s.c = run_escat(apps::escat::make_config(Version::C), seed);
+  return s;
+}
+
+RunResult run_escat_carbon_monoxide(std::uint64_t seed) {
+  auto cfg = apps::escat::make_config(apps::escat::Version::C, apps::escat::carbon_monoxide());
+  cfg.label = "C (carbon monoxide)";
+  return run_escat(std::move(cfg), seed);
+}
+
+PrismStudy run_prism_study(std::uint64_t seed) {
+  using apps::prism::Version;
+  PrismStudy s;
+  s.a = run_prism(apps::prism::make_config(Version::A), seed);
+  s.b = run_prism(apps::prism::make_config(Version::B), seed);
+  s.c = run_prism(apps::prism::make_config(Version::C), seed);
+  return s;
+}
+
+}  // namespace sio::core

@@ -1,0 +1,69 @@
+// Experiment runner: one call = one fully-traced application run.
+//
+// `run_escat` / `run_prism` build a fresh simulated Caltech Paragon with the
+// version-appropriate OS profile, run the workload to completion, and return
+// a self-contained `RunResult` (execution time, the full I/O trace, phase
+// spans).  Every run is deterministic for a given seed.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/common.hpp"
+#include "apps/escat.hpp"
+#include "apps/prism.hpp"
+#include "pablo/aggregate.hpp"
+#include "pablo/cdf.hpp"
+#include "pablo/timeline.hpp"
+
+namespace sio::core {
+
+inline constexpr std::uint64_t kDefaultSeed = 0x510b5eedULL;
+
+struct RunResult {
+  std::string label;
+  sim::Tick exec_time = 0;
+  std::vector<pablo::TraceEvent> events;  // start-sorted
+  std::vector<std::string> file_names;
+  std::vector<apps::PhaseSpan> phases;
+
+  /// Per-operation breakdown (% of I/O time, % of execution time).
+  pablo::AggregateBreakdown breakdown() const;
+
+  pablo::SizeCdf read_cdf() const { return pablo::size_cdf(events, pablo::IoOp::kRead); }
+  pablo::SizeCdf write_cdf() const { return pablo::size_cdf(events, pablo::IoOp::kWrite); }
+
+  std::vector<pablo::TimelinePoint> op_timeline(pablo::IoOp op) const {
+    return pablo::timeline(events, op);
+  }
+
+  const apps::PhaseSpan& phase(std::string_view name) const;
+
+  double exec_seconds() const { return sim::to_seconds(exec_time); }
+};
+
+/// Runs one ESCAT configuration on a fresh simulated machine.
+RunResult run_escat(apps::escat::Config cfg, std::uint64_t seed = kDefaultSeed);
+
+/// Runs one PRISM configuration on a fresh simulated machine.
+RunResult run_prism(apps::prism::Config cfg, std::uint64_t seed = kDefaultSeed);
+
+/// The ethylene A/B/C study behind Tables 1-3 and Figures 2-5.
+struct EscatStudy {
+  RunResult a, b, c;
+};
+EscatStudy run_escat_study(std::uint64_t seed = kDefaultSeed);
+
+/// The carbon-monoxide version-C run of Table 3's last column (256 nodes).
+RunResult run_escat_carbon_monoxide(std::uint64_t seed = kDefaultSeed);
+
+/// The PRISM A/B/C study behind Tables 4-5 and Figures 6-9.
+struct PrismStudy {
+  RunResult a, b, c;
+};
+PrismStudy run_prism_study(std::uint64_t seed = kDefaultSeed);
+
+}  // namespace sio::core

@@ -1,0 +1,25 @@
+// Umbrella header for the SIO reproduction library.
+//
+// Include this to get the whole public API: the simulation kernel, the
+// Paragon machine model, the PFS file system, the Pablo analysis layer, the
+// ESCAT/PRISM workload models and the experiment/figure generators.
+
+#pragma once
+
+#include "apps/escat.hpp"     // IWYU pragma: export
+#include "apps/prism.hpp"     // IWYU pragma: export
+#include "core/experiment.hpp"  // IWYU pragma: export
+#include "core/figures.hpp"   // IWYU pragma: export
+#include "machine/machine.hpp"  // IWYU pragma: export
+#include "pablo/aggregate.hpp"  // IWYU pragma: export
+#include "pablo/cdf.hpp"      // IWYU pragma: export
+#include "pablo/classify.hpp" // IWYU pragma: export
+#include "pablo/report.hpp"   // IWYU pragma: export
+#include "pablo/sddf.hpp"     // IWYU pragma: export
+#include "pablo/summary.hpp"  // IWYU pragma: export
+#include "pablo/timeline.hpp" // IWYU pragma: export
+#include "pfs/pfs.hpp"        // IWYU pragma: export
+#include "pfs/policies.hpp"   // IWYU pragma: export
+#include "sim/engine.hpp"     // IWYU pragma: export
+#include "sim/sync.hpp"       // IWYU pragma: export
+#include "sim/task.hpp"       // IWYU pragma: export

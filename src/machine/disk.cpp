@@ -1,0 +1,34 @@
+#include "machine/disk.hpp"
+
+#include <cmath>
+
+namespace sio::hw {
+
+sim::Tick Raid3Disk::service_time(std::uint64_t offset, std::uint64_t bytes) const {
+  sim::Tick t = cfg_.controller_overhead;
+
+  if (offset != head_pos_) {
+    const std::uint64_t span = offset > head_pos_ ? offset - head_pos_ : head_pos_ - offset;
+    t += span <= cfg_.short_seek_span ? cfg_.short_seek : cfg_.avg_seek;
+    t += cfg_.rotation / 2;  // average rotational positioning
+  }
+
+  const std::uint64_t granules = (bytes + cfg_.granule - 1) / cfg_.granule;
+  const std::uint64_t moved = granules == 0 ? cfg_.granule : granules * cfg_.granule;
+  t += static_cast<sim::Tick>(std::llround(static_cast<double>(moved) / cfg_.bytes_per_tick));
+  return t;
+}
+
+sim::Task<sim::Tick> Raid3Disk::access(std::uint64_t offset, std::uint64_t bytes, bool write) {
+  (void)write;  // reads and writes cost the same in a RAID-3 full-stripe model
+  auto guard = co_await queue_.scoped();
+  const sim::Tick service = service_time(offset, bytes);
+  head_pos_ = offset + (bytes == 0 ? cfg_.granule : bytes);
+  busy_time_ += service;
+  ++ops_;
+  bytes_transferred_ += bytes;
+  co_await engine_.delay(service);
+  co_return service;
+}
+
+}  // namespace sio::hw

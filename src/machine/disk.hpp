@@ -1,0 +1,82 @@
+// RAID-3 disk array service model.
+//
+// Each Paragon I/O node fronted a 4.8 GB RAID-3 array.  RAID-3 is
+// bit/byte-interleaved with a dedicated parity drive: every access engages
+// all spindles, so the array behaves like one big disk with high transfer
+// bandwidth, one effective head position, and a *large minimum transfer
+// granule* (a full striped sector group).  The granule is what makes
+// unbuffered tiny requests catastrophically expensive — the effect PRISM
+// version C ran into when it disabled file-system buffering.
+//
+// Service time for a request of `bytes` at `offset`:
+//
+//     t = controller + seek(distance) + rotation/2 + ceil_to_granule(bytes)/bw
+//
+// with the seek skipped when the request starts where the previous one
+// ended (sequential detection).  Requests are serviced strictly FIFO through
+// an internal queue; `access()` durations therefore include queueing delay.
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace sio::hw {
+
+struct DiskConfig {
+  /// Fixed controller/command overhead per array access.
+  sim::Tick controller_overhead = sim::microseconds(600);
+  /// Average seek when the head must move a long way.
+  sim::Tick avg_seek = sim::milliseconds(11);
+  /// Short seek (adjacent cylinder group).
+  sim::Tick short_seek = sim::milliseconds(3);
+  /// Full rotation time (5400 rpm class spindles).
+  sim::Tick rotation = sim::milliseconds(11);
+  /// Sustained array transfer rate in bytes per tick (0.008 B/ns = 8 MB/s,
+  /// a mid-90s RAID-3 array figure).
+  double bytes_per_tick = 0.008;
+  /// Minimum transfer granule of the striped array.
+  std::uint64_t granule = 16 * 1024;
+  /// Array capacity (4.8 GB on the Caltech machine).
+  std::uint64_t capacity = 4'800ull * 1024 * 1024;
+  /// Offset distance (bytes) under which a seek counts as "short".
+  std::uint64_t short_seek_span = 8ull * 1024 * 1024;
+};
+
+/// Single RAID-3 array with a FIFO request queue.
+class Raid3Disk {
+ public:
+  Raid3Disk(sim::Engine& engine, const DiskConfig& cfg)
+      : engine_(engine), cfg_(cfg), queue_(engine) {}
+
+  const DiskConfig& config() const { return cfg_; }
+
+  /// Raw positional service time (no queueing).  Public so tests and the
+  /// analytic policies can reason about it.
+  sim::Tick service_time(std::uint64_t offset, std::uint64_t bytes) const;
+
+  /// Performs one access: waits for the head (FIFO), then occupies it for
+  /// the service time.  Returns the service time actually charged.
+  sim::Task<sim::Tick> access(std::uint64_t offset, std::uint64_t bytes, bool write);
+
+  /// Cumulative busy time of the array (service only, no queueing).
+  sim::Tick busy_time() const { return busy_time_; }
+  std::uint64_t ops() const { return ops_; }
+  std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+  std::size_t queue_depth() const { return queue_.queue_length(); }
+
+ private:
+  sim::Engine& engine_;
+  DiskConfig cfg_;
+  sim::Mutex queue_;
+  std::uint64_t head_pos_ = 0;  // byte offset just past the previous access
+  sim::Tick busy_time_ = 0;
+  std::uint64_t ops_ = 0;
+  std::uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace sio::hw

@@ -1,0 +1,16 @@
+#include "machine/machine.hpp"
+
+namespace sio::hw {
+
+MachineConfig Machine::caltech_paragon(int compute_nodes, OsProfile os) {
+  MachineConfig cfg;
+  cfg.mesh_rows = 16;
+  cfg.mesh_cols = 32;
+  cfg.compute_nodes = compute_nodes;
+  cfg.io_nodes = 16;
+  cfg.stripe_unit = 64 * 1024;
+  cfg.os = std::move(os);
+  return cfg;
+}
+
+}  // namespace sio::hw

@@ -1,0 +1,76 @@
+// Top-level simulated machine: engine + topology + network + configuration.
+//
+// A `Machine` owns the discrete-event engine and the interconnect model and
+// carries the hardware/OS configuration that the file system (sio::pfs) and
+// the workloads (sio::apps) build on.  The disks themselves belong to the
+// file system's I/O-node servers, which are created from `disk` config here.
+
+#pragma once
+
+#include <memory>
+
+#include "machine/disk.hpp"
+#include "machine/network.hpp"
+#include "machine/os_profile.hpp"
+#include "machine/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+namespace sio::hw {
+
+struct MachineConfig {
+  int mesh_rows = 16;
+  int mesh_cols = 32;
+  /// Number of compute nodes the application runs on.
+  int compute_nodes = 128;
+  /// Number of I/O nodes (each fronting one RAID-3 array).
+  int io_nodes = 16;
+  /// PFS stripe unit (64 KB was the Paragon default).
+  std::uint64_t stripe_unit = 64 * 1024;
+  NetConfig net{};
+  DiskConfig disk{};
+  OsProfile os = osf_r13();
+  /// Master seed; every stochastic element forks its stream from this.
+  std::uint64_t seed = 0x510b5eedULL;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg)
+      : cfg_(std::move(cfg)),
+        mesh_(cfg_.mesh_rows, cfg_.mesh_cols),
+        net_(engine_, mesh_, cfg_.net),
+        rng_(cfg_.seed) {
+    SIO_ASSERT(cfg_.compute_nodes > 0 && cfg_.compute_nodes <= mesh_.size());
+    SIO_ASSERT(cfg_.io_nodes > 0);
+    SIO_ASSERT(cfg_.stripe_unit > 0);
+  }
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const { return cfg_; }
+  sim::Engine& engine() { return engine_; }
+  const Mesh2D& mesh() const { return mesh_; }
+  Network& network() { return net_; }
+  const Network& network() const { return net_; }
+  sim::Rng& rng() { return rng_; }
+
+  int compute_nodes() const { return cfg_.compute_nodes; }
+  int io_nodes() const { return cfg_.io_nodes; }
+
+  /// The Caltech 512-node Paragon XP/S configuration used throughout the
+  /// paper: 16x32 mesh, 16 I/O nodes with 4.8 GB RAID-3 arrays, 64 KB
+  /// stripes.  `compute_nodes` is the application partition size (128 for
+  /// ESCAT/ethylene, 256 for carbon monoxide, 64 for PRISM).
+  static MachineConfig caltech_paragon(int compute_nodes, OsProfile os = osf_r13());
+
+ private:
+  MachineConfig cfg_;
+  sim::Engine engine_;
+  Mesh2D mesh_;
+  Network net_;
+  sim::Rng rng_;
+};
+
+}  // namespace sio::hw

@@ -1,0 +1,53 @@
+#include "machine/network.hpp"
+
+#include <cmath>
+
+namespace sio::hw {
+
+sim::Tick Network::payload_time(std::uint64_t bytes) const {
+  return static_cast<sim::Tick>(std::llround(static_cast<double>(bytes) / cfg_.bytes_per_tick));
+}
+
+sim::Tick Network::message_time(NodeId src, NodeId dst, std::uint64_t bytes) const {
+  const int hops = mesh_.hops_between(src, dst);
+  return cfg_.sw_overhead + hops * cfg_.per_hop + payload_time(bytes);
+}
+
+sim::Tick Network::message_time_to_io(NodeId src, IoNodeId dst, std::uint64_t bytes) const {
+  const int hops = mesh_.hops_to_io(src, dst);
+  return cfg_.sw_overhead + hops * cfg_.per_hop + payload_time(bytes);
+}
+
+sim::Tick Network::broadcast_arrival(int rank, int group_size, std::uint64_t bytes) const {
+  SIO_ASSERT(rank >= 0 && rank < group_size);
+  const int rounds = binomial_rounds_to_rank(rank);
+  const sim::Tick per_round =
+      cfg_.sw_overhead + mesh_.diameter() / 2 * cfg_.per_hop + payload_time(bytes);
+  return rounds * per_round;
+}
+
+sim::Tick Network::broadcast_time(int group_size, std::uint64_t bytes) const {
+  SIO_ASSERT(group_size > 0);
+  const int rounds = binomial_total_rounds(group_size);
+  const sim::Tick per_round =
+      cfg_.sw_overhead + mesh_.diameter() / 2 * cfg_.per_hop + payload_time(bytes);
+  return rounds * per_round;
+}
+
+sim::Tick Network::gather_time(int group_size, std::uint64_t bytes_per_node) const {
+  SIO_ASSERT(group_size > 0);
+  // In a binomial gather the root's final round carries half the total
+  // payload; earlier rounds are progressively cheaper.  The serialized
+  // payload at the root is the bound: (n-1) * bytes flow into it.
+  const int rounds = binomial_total_rounds(group_size);
+  const sim::Tick overheads = rounds * (cfg_.sw_overhead + mesh_.diameter() / 2 * cfg_.per_hop);
+  return overheads + payload_time(bytes_per_node * static_cast<std::uint64_t>(group_size - 1));
+}
+
+sim::Task<void> Network::send(NodeId src, NodeId dst, std::uint64_t bytes) {
+  bytes_moved_ += bytes;
+  ++messages_;
+  co_await engine_.delay(message_time(src, dst, bytes));
+}
+
+}  // namespace sio::hw

@@ -1,0 +1,79 @@
+// Analytic network cost model for the mesh interconnect.
+//
+// The Paragon's wormhole-routed mesh makes message latency nearly distance
+// insensitive; cost is dominated by per-message software overhead plus the
+// payload's serialization time.  We therefore use an analytic model
+//
+//     t(src, dst, bytes) = sw_overhead + hops * per_hop + bytes / bandwidth
+//
+// with no link contention: the contention that matters for the paper's
+// results happens at the file-system serialization points (tokens, metadata
+// server, disk queues), all of which *are* modeled as queues.
+//
+// Collectives (broadcast / gather over a node group) are costed with
+// binomial trees, which is what NX's global operations used.
+
+#pragma once
+
+#include <cstdint>
+
+#include "machine/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace sio::hw {
+
+struct NetConfig {
+  /// Per-message software overhead (send + receive sides combined).
+  sim::Tick sw_overhead = sim::microseconds(45);
+  /// Additional latency per mesh hop.
+  sim::Tick per_hop = sim::nanoseconds(150);
+  /// Link payload bandwidth in bytes per tick (0.175 B/ns = 175 MB/s,
+  /// the Paragon's realizable node-to-node rate).
+  double bytes_per_tick = 0.175;
+};
+
+class Network {
+ public:
+  Network(sim::Engine& engine, const Mesh2D& mesh, const NetConfig& cfg)
+      : engine_(engine), mesh_(mesh), cfg_(cfg) {}
+
+  const NetConfig& config() const { return cfg_; }
+
+  /// Point-to-point message time between two compute nodes.
+  sim::Tick message_time(NodeId src, NodeId dst, std::uint64_t bytes) const;
+
+  /// Message time between a compute node and an I/O node.
+  sim::Tick message_time_to_io(NodeId src, IoNodeId dst, std::uint64_t bytes) const;
+
+  /// Time for `bytes` to reach the participant with the given broadcast rank
+  /// (rank 0 = root) in a binomial-tree broadcast over `group_size` nodes.
+  sim::Tick broadcast_arrival(int rank, int group_size, std::uint64_t bytes) const;
+
+  /// Completion time of a binomial-tree broadcast over `group_size` nodes.
+  sim::Tick broadcast_time(int group_size, std::uint64_t bytes) const;
+
+  /// Completion time at the root of a binomial gather of `bytes_per_node`
+  /// from each of `group_size` nodes.
+  sim::Tick gather_time(int group_size, std::uint64_t bytes_per_node) const;
+
+  /// Coroutine convenience: occupies simulated time for a point-to-point
+  /// message between compute nodes.
+  sim::Task<void> send(NodeId src, NodeId dst, std::uint64_t bytes);
+
+  /// Total bytes moved through the model so far (for reports and tests).
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+  std::uint64_t messages_sent() const { return messages_; }
+
+ private:
+  sim::Engine& engine_;
+  const Mesh2D& mesh_;
+  NetConfig cfg_;
+  std::uint64_t bytes_moved_ = 0;
+  std::uint64_t messages_ = 0;
+
+  sim::Tick payload_time(std::uint64_t bytes) const;
+};
+
+}  // namespace sio::hw

@@ -1,0 +1,44 @@
+#include "machine/os_profile.hpp"
+
+namespace sio::hw {
+
+OsProfile osf_r12() {
+  OsProfile p;
+  p.name = "OSF/1 R1.2";
+  p.has_masync = false;
+  p.open_service = sim::milliseconds(7.4);
+  p.open_service_solo = sim::milliseconds(3);
+  p.gopen_service = sim::milliseconds(12);
+  p.gopen_client = sim::milliseconds(2);
+  p.iomode_service = sim::milliseconds(30);
+  p.iomode_client = sim::microseconds(1500);
+  p.close_service = sim::microseconds(150);
+  p.token_read_service = sim::microseconds(40);
+  p.shared_read_per_opener = sim::microseconds(50);
+  p.token_write_service = sim::microseconds(400);
+  p.shared_seek_service = sim::microseconds(300);
+  return p;
+}
+
+OsProfile osf_r13() {
+  OsProfile p;
+  p.name = "OSF/1 R1.3";
+  p.has_masync = true;
+  // Metadata regression relative to R1.2: the mode bookkeeping added for the
+  // new access modes made open/iomode markedly slower under concurrency,
+  // which both application teams worked around with gopen.
+  p.open_service = sim::milliseconds(42);
+  p.open_service_solo = sim::milliseconds(4);
+  p.gopen_service = sim::milliseconds(14);
+  p.gopen_client = sim::milliseconds(2);
+  p.iomode_service = sim::milliseconds(11);
+  p.iomode_client = sim::microseconds(1800);
+  p.close_service = sim::microseconds(100);
+  p.token_read_service = sim::microseconds(40);
+  p.shared_read_per_opener = sim::microseconds(30);
+  p.token_write_service = sim::microseconds(260);
+  p.shared_seek_service = sim::microseconds(1200);
+  return p;
+}
+
+}  // namespace sio::hw

@@ -1,0 +1,81 @@
+// OSF/1 release calibration profiles.
+//
+// The paper tracks two operating-system releases of the Paragon.  PFS
+// behavior changed between them — M_ASYNC only exists from R1.3, and
+// metadata costs shifted enough that both application teams replaced
+// `open` with the collective `gopen` (the paper: "In both versions A and B,
+// the open operation is very expensive").  Each profile carries the service
+// times of the metadata/token server and the client-side constants; all
+// values are calibration parameters of the reproduction, chosen so the
+// simulated runs land on the paper's Table 2/3/5 shapes.
+
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace sio::hw {
+
+struct OsProfile {
+  std::string name;
+
+  /// True from R1.3: the M_ASYNC access mode is available.
+  bool has_masync = true;
+
+  // ---- metadata/token server service times (FIFO-queued) ----
+  /// Service per `open` of a file that other processes also open.
+  sim::Tick open_service = sim::milliseconds(5);
+  /// Service per `open` when the caller is the only opener (fast path).
+  sim::Tick open_service_solo = sim::milliseconds(3);
+  /// One-time metadata service of a collective `gopen`.
+  sim::Tick gopen_service = sim::milliseconds(12);
+  /// Per-participant client-side completion cost of a `gopen`.
+  sim::Tick gopen_client = sim::milliseconds(2);
+  /// Metadata service of a collective `setiomode`.
+  sim::Tick iomode_service = sim::milliseconds(10);
+  /// Per-participant client-side completion cost of a `setiomode`.
+  sim::Tick iomode_client = sim::microseconds(1500);
+  /// Service per `close`.
+  sim::Tick close_service = sim::milliseconds(4);
+  /// Token-grant service for one M_UNIX/M_LOG *read* on a shared file (the
+  /// pointer bookkeeping the mode serializes on).
+  sim::Tick token_read_service = sim::microseconds(22);
+  /// Token-grant service for one M_UNIX/M_LOG *write* on a shared file —
+  /// more expensive than a read grant because write atomicity needs
+  /// exclusive region bookkeeping.
+  sim::Tick token_write_service = sim::microseconds(60);
+  /// Service of a `seek` on a shared M_UNIX file (pointer update must be
+  /// registered with the token server).
+  sim::Tick shared_seek_service = sim::microseconds(220);
+  /// Per-opener consistency-validation cost of a read on a shared M_UNIX
+  /// file: preserving UNIX sharing semantics means every read validates the
+  /// request against every other opener's pointer/atomicity state, so the
+  /// per-operation cost grows with the number of concurrent openers.  This
+  /// is the "all reads during phase one are serialized" inefficiency of the
+  /// paper's version-A analyses.
+  sim::Tick shared_read_per_opener = sim::microseconds(32);
+
+  // ---- client-side constants ----
+  /// Local syscall overhead of any I/O call.
+  sim::Tick syscall_overhead = sim::microseconds(15);
+  /// Cost of a read/write satisfied entirely by the client buffer cache.
+  sim::Tick buffered_op = sim::microseconds(55);
+  /// Local seek (private pointer, no server involvement).
+  sim::Tick local_seek = sim::microseconds(18);
+  /// Per-operation coordination cost of the synchronized modes
+  /// (M_RECORD/M_SYNC/M_GLOBAL wave bookkeeping).
+  sim::Tick sync_mode_overhead = sim::microseconds(120);
+  /// Service per `flush` call at the I/O node.
+  sim::Tick flush_service = sim::microseconds(800);
+};
+
+/// OSF/1 R1.2 — the release ESCAT versions A and B ran under.
+OsProfile osf_r12();
+
+/// OSF/1 R1.3 — introduced M_ASYNC; used by ESCAT version C and all PRISM
+/// versions.  Metadata operations are substantially more expensive than in
+/// R1.2, which is what pushed both teams to gopen.
+OsProfile osf_r13();
+
+}  // namespace sio::hw

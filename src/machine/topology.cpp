@@ -1,0 +1,71 @@
+#include "machine/topology.hpp"
+
+#include <cstdlib>
+
+namespace sio::hw {
+
+Mesh2D::Mesh2D(int rows, int cols) : rows_(rows), cols_(cols) {
+  SIO_ASSERT(rows > 0 && cols > 0);
+}
+
+Coord Mesh2D::compute_coord(NodeId node) const {
+  SIO_ASSERT(node >= 0 && node < size());
+  return Coord{node / cols_, node % cols_};
+}
+
+Coord Mesh2D::io_coord(IoNodeId io_node) const {
+  SIO_ASSERT(io_node >= 0);
+  // Right-most column, wrapping to the next-to-last column if there are more
+  // I/O nodes than rows (never the case for the Caltech configuration).
+  const int col = cols_ - 1 - (io_node / rows_);
+  SIO_ASSERT(col >= 0);
+  return Coord{io_node % rows_, col};
+}
+
+int Mesh2D::hops(Coord a, Coord b) const {
+  return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+}
+
+int Mesh2D::hops_to_io(NodeId node, IoNodeId io_node) const {
+  return hops(compute_coord(node), io_coord(io_node));
+}
+
+int Mesh2D::hops_between(NodeId a, NodeId b) const {
+  return hops(compute_coord(a), compute_coord(b));
+}
+
+double Mesh2D::mean_hops_to_io(int compute_nodes, int io_nodes) const {
+  SIO_ASSERT(compute_nodes > 0 && io_nodes > 0);
+  long total = 0;
+  for (NodeId n = 0; n < compute_nodes; ++n) {
+    for (IoNodeId d = 0; d < io_nodes; ++d) {
+      total += hops_to_io(n, d);
+    }
+  }
+  return static_cast<double>(total) / (static_cast<double>(compute_nodes) * io_nodes);
+}
+
+int binomial_rounds_to_rank(int rank) {
+  SIO_ASSERT(rank >= 0);
+  if (rank == 0) return 0;
+  int rounds = 0;
+  int reach = 1;  // number of nodes holding the data after `rounds` rounds
+  while (reach <= rank) {
+    reach *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+int binomial_total_rounds(int n) {
+  SIO_ASSERT(n > 0);
+  int rounds = 0;
+  int reach = 1;
+  while (reach < n) {
+    reach *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace sio::hw

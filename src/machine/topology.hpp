@@ -1,0 +1,71 @@
+// 2-D mesh topology of the simulated Intel Paragon XP/S.
+//
+// The Caltech machine was a 16x32 mesh of i860 nodes with wormhole routing.
+// We model node placement and dimension-ordered (XY) route lengths; service
+// nodes (the I/O nodes hosting the RAID-3 arrays) sit on one mesh edge, as
+// on the real machine.
+
+#pragma once
+
+#include <vector>
+
+#include "sim/assert.hpp"
+
+namespace sio::hw {
+
+/// Index of a compute node (0-based application rank).
+using NodeId = int;
+/// Index of an I/O node (0-based, separate space from compute nodes).
+using IoNodeId = int;
+
+struct Coord {
+  int row = 0;
+  int col = 0;
+
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Rectangular mesh with XY dimension-ordered routing.
+class Mesh2D {
+ public:
+  Mesh2D(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+
+  /// Mesh coordinate of a compute node laid out row-major from the origin.
+  Coord compute_coord(NodeId node) const;
+
+  /// Mesh coordinate of an I/O node; I/O nodes occupy the right-most column
+  /// from the top, matching the Paragon's edge-attached service partition.
+  Coord io_coord(IoNodeId io_node) const;
+
+  /// Number of hops of the XY route between two coordinates.
+  int hops(Coord a, Coord b) const;
+
+  /// Hops between a compute node and an I/O node.
+  int hops_to_io(NodeId node, IoNodeId io_node) const;
+
+  /// Hops between two compute nodes.
+  int hops_between(NodeId a, NodeId b) const;
+
+  /// Worst-case compute-to-compute hop count (network diameter).
+  int diameter() const { return (rows_ - 1) + (cols_ - 1); }
+
+  /// Average compute-to-I/O hop count, used by analytic cost models.
+  double mean_hops_to_io(int compute_nodes, int io_nodes) const;
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+/// Number of rounds of a binomial broadcast tree needed to reach `rank`
+/// (root = rank 0 receives in round 0; rank r in round floor(log2(r)) + 1).
+int binomial_rounds_to_rank(int rank);
+
+/// Total rounds for a binomial collective over n participants: ceil(log2 n).
+int binomial_total_rounds(int n);
+
+}  // namespace sio::hw

@@ -1,0 +1,46 @@
+#include "pablo/aggregate.hpp"
+
+#include "sim/assert.hpp"
+
+namespace sio::pablo {
+
+AggregateBreakdown::AggregateBreakdown(const Collector& collector, sim::Tick exec_time)
+    : exec_time_(exec_time) {
+  SIO_ASSERT(exec_time > 0);
+  for (const TraceEvent& ev : collector.events()) core_.add(ev);
+}
+
+AggregateBreakdown::AggregateBreakdown(const SummaryCore& core, sim::Tick exec_time)
+    : core_(core), exec_time_(exec_time) {
+  SIO_ASSERT(exec_time > 0);
+}
+
+double AggregateBreakdown::pct_of_io_time(IoOp op) const {
+  const sim::Tick total = core_.total_io_time();
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(core_.stats(op).total_duration) / static_cast<double>(total);
+}
+
+double AggregateBreakdown::pct_of_exec_time(IoOp op) const {
+  return 100.0 * static_cast<double>(core_.stats(op).total_duration) /
+         static_cast<double>(exec_time_);
+}
+
+double AggregateBreakdown::pct_io_of_exec() const {
+  return 100.0 * static_cast<double>(core_.total_io_time()) / static_cast<double>(exec_time_);
+}
+
+IoOp AggregateBreakdown::dominant_op() const {
+  IoOp best = IoOp::kOpen;
+  sim::Tick best_time = -1;
+  for (int i = 0; i < kIoOpCount; ++i) {
+    const auto op = static_cast<IoOp>(i);
+    if (core_.stats(op).total_duration > best_time) {
+      best_time = core_.stats(op).total_duration;
+      best = op;
+    }
+  }
+  return best;
+}
+
+}  // namespace sio::pablo

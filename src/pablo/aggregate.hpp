@@ -1,0 +1,51 @@
+// Aggregate I/O performance summaries (paper Tables 2, 3 and 5).
+//
+// Table 2/5 report, per operation type, the share of *total I/O time* (the
+// sum of all operation durations across all nodes).  Table 3 reports the
+// share of *total execution time*.  Both views come from the same per-op
+// duration sums; `AggregateBreakdown` computes them together so the two
+// tables stay consistent by construction (as they are in the paper).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "pablo/collector.hpp"
+#include "pablo/event.hpp"
+#include "pablo/summary.hpp"
+
+namespace sio::pablo {
+
+class AggregateBreakdown {
+ public:
+  /// Builds the breakdown from a trace; `exec_time` is the run's wall-clock
+  /// execution time (used for the percent-of-execution view).
+  AggregateBreakdown(const Collector& collector, sim::Tick exec_time);
+
+  /// Builds from pre-aggregated per-op stats.
+  AggregateBreakdown(const SummaryCore& core, sim::Tick exec_time);
+
+  sim::Tick exec_time() const { return exec_time_; }
+  sim::Tick total_io_time() const { return core_.total_io_time(); }
+
+  const OpStats& stats(IoOp op) const { return core_.stats(op); }
+
+  /// Operation time / total I/O time * 100 (Table 2 / Table 5 cells).
+  double pct_of_io_time(IoOp op) const;
+
+  /// Operation time / total execution time * 100 (Table 3 cells).
+  double pct_of_exec_time(IoOp op) const;
+
+  /// All-I/O row of Table 3: total I/O time / execution time * 100.
+  double pct_io_of_exec() const;
+
+  /// Operation with the largest share of I/O time (what "dominates").
+  IoOp dominant_op() const;
+
+ private:
+  SummaryCore core_;
+  sim::Tick exec_time_;
+};
+
+}  // namespace sio::pablo

@@ -1,0 +1,69 @@
+#include "pablo/cdf.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace sio::pablo {
+
+SizeCdf::SizeCdf(std::vector<std::uint64_t> sizes) {
+  if (sizes.empty()) return;
+  std::sort(sizes.begin(), sizes.end());
+  total_ops_ = sizes.size();
+  for (std::uint64_t s : sizes) total_bytes_ += s;
+
+  std::uint64_t ops_so_far = 0;
+  std::uint64_t bytes_so_far = 0;
+  for (std::size_t i = 0; i < sizes.size();) {
+    const std::uint64_t value = sizes[i];
+    while (i < sizes.size() && sizes[i] == value) {
+      ++ops_so_far;
+      bytes_so_far += sizes[i];
+      ++i;
+    }
+    CdfPoint p;
+    p.size = value;
+    p.op_fraction = static_cast<double>(ops_so_far) / static_cast<double>(total_ops_);
+    p.byte_fraction =
+        total_bytes_ == 0 ? 1.0 : static_cast<double>(bytes_so_far) / static_cast<double>(total_bytes_);
+    points_.push_back(p);
+  }
+}
+
+double SizeCdf::op_fraction_le(std::uint64_t size) const {
+  double frac = 0.0;
+  for (const auto& p : points_) {
+    if (p.size > size) break;
+    frac = p.op_fraction;
+  }
+  return frac;
+}
+
+double SizeCdf::byte_fraction_le(std::uint64_t size) const {
+  double frac = 0.0;
+  for (const auto& p : points_) {
+    if (p.size > size) break;
+    frac = p.byte_fraction;
+  }
+  return frac;
+}
+
+std::uint64_t SizeCdf::op_quantile(double q) const {
+  SIO_ASSERT(q >= 0.0 && q <= 1.0);
+  for (const auto& p : points_) {
+    if (p.op_fraction >= q) return p.size;
+  }
+  return points_.empty() ? 0 : points_.back().size;
+}
+
+SizeCdf size_cdf(const std::vector<TraceEvent>& events, IoOp op) {
+  std::vector<std::uint64_t> sizes;
+  for (const auto& ev : events) {
+    if (ev.op == op) sizes.push_back(ev.bytes);
+  }
+  return SizeCdf(std::move(sizes));
+}
+
+SizeCdf size_cdf(const Collector& collector, IoOp op) { return size_cdf(collector.events(), op); }
+
+}  // namespace sio::pablo

@@ -1,0 +1,64 @@
+// Request-size cumulative distribution functions (paper Figures 2 and 7).
+//
+// Each figure plots, against request size, both the fraction of *operations*
+// at or below that size and the fraction of *data* transferred by them.  The
+// divergence of the two curves — most requests small, most bytes in a few
+// large requests — is the paper's central spatial observation, so both
+// weightings are first-class here.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pablo/collector.hpp"
+#include "pablo/event.hpp"
+
+namespace sio::pablo {
+
+/// Step of an empirical CDF: cumulative fractions at a distinct size value.
+struct CdfPoint {
+  std::uint64_t size = 0;
+  double op_fraction = 0.0;    ///< Fraction of operations with size <= this.
+  double byte_fraction = 0.0;  ///< Fraction of bytes moved by them.
+};
+
+/// Empirical, doubly-weighted CDF over request sizes.
+class SizeCdf {
+ public:
+  SizeCdf() = default;
+  explicit SizeCdf(std::vector<std::uint64_t> sizes);
+
+  bool empty() const { return points_.empty(); }
+  std::uint64_t total_ops() const { return total_ops_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Distinct-size steps in increasing size order.
+  const std::vector<CdfPoint>& points() const { return points_; }
+
+  /// Fraction of operations with size <= `size`.
+  double op_fraction_le(std::uint64_t size) const;
+
+  /// Fraction of bytes transferred by operations with size <= `size`.
+  double byte_fraction_le(std::uint64_t size) const;
+
+  /// Smallest size S such that op_fraction_le(S) >= q (quantile).
+  std::uint64_t op_quantile(double q) const;
+
+  std::uint64_t min_size() const { return points_.empty() ? 0 : points_.front().size; }
+  std::uint64_t max_size() const { return points_.empty() ? 0 : points_.back().size; }
+
+ private:
+  std::vector<CdfPoint> points_;
+  std::uint64_t total_ops_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Extracts the sizes of all events of `op` (usually kRead or kWrite) and
+/// builds their CDF.
+SizeCdf size_cdf(const Collector& collector, IoOp op);
+
+/// Same, over an arbitrary event span (for per-phase analysis).
+SizeCdf size_cdf(const std::vector<TraceEvent>& events, IoOp op);
+
+}  // namespace sio::pablo

@@ -1,0 +1,124 @@
+#include "pablo/classify.hpp"
+
+#include <sstream>
+
+#include "pablo/report.hpp"
+#include "pablo/timeline.hpp"
+#include "sim/assert.hpp"
+
+namespace sio::pablo {
+
+IoClass ClassBreakdown::dominant_by_bytes() const {
+  IoClass best = IoClass::kCompulsory;
+  std::uint64_t best_bytes = 0;
+  for (int i = 0; i < kIoClassCount; ++i) {
+    const auto c = static_cast<IoClass>(i);
+    if (of(c).bytes >= best_bytes) {
+      best_bytes = of(c).bytes;
+      best = c;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+bool is_data_op(const TraceEvent& ev) {
+  return ev.op == IoOp::kRead || ev.op == IoOp::kWrite;
+}
+
+/// True if the phase's data operations arrive in more than one separated
+/// burst (checkpoint signature) rather than one continuous band.
+bool is_bursty(const std::vector<TraceEvent>& events, const apps::PhaseSpan& phase) {
+  std::vector<TimelinePoint> series;
+  for (const auto& ev : events) {
+    if (!is_data_op(ev)) continue;
+    if (ev.start < phase.t0 || ev.start >= phase.t1) continue;
+    // Ignore the per-step trickle: checkpoint bursts are carried by the
+    // bulk writes.
+    if (ev.bytes < 512) continue;
+    series.push_back(TimelinePoint{ev.start, ev.bytes, ev.duration, ev.node});
+  }
+  if (series.empty()) return false;
+  const auto profile = burst_profile(series, phase.t0, phase.t1, 24);
+  return count_bursts(profile) > 1;
+}
+
+}  // namespace
+
+ClassBreakdown classify_phases(const std::vector<TraceEvent>& events,
+                               const std::vector<apps::PhaseSpan>& phases) {
+  SIO_ASSERT(!phases.empty());
+  ClassBreakdown out;
+
+  // Pre-compute which middle phases look like checkpointing.
+  std::vector<IoClass> phase_class(phases.size(), IoClass::kCompulsory);
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i == 0 || i + 1 == phases.size()) {
+      phase_class[i] = IoClass::kCompulsory;
+    } else {
+      phase_class[i] = is_bursty(events, phases[i]) ? IoClass::kCheckpoint : IoClass::kStaging;
+    }
+  }
+
+  for (const auto& ev : events) {
+    if (!is_data_op(ev)) continue;
+    IoClass cls = IoClass::kStaging;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      if (ev.start >= phases[i].t0 && ev.start < phases[i].t1) {
+        cls = phase_class[i];
+        break;
+      }
+    }
+    auto& entry = out.of(cls);
+    ++entry.ops;
+    entry.bytes += ev.bytes;
+    entry.time += ev.duration;
+  }
+  return out;
+}
+
+std::vector<PhaseProfile> phase_profiles(const std::vector<TraceEvent>& events,
+                                         const std::vector<apps::PhaseSpan>& phases) {
+  std::vector<PhaseProfile> out;
+  out.reserve(phases.size());
+  for (const auto& p : phases) {
+    PhaseProfile prof;
+    prof.phase = p.name;
+    std::set<int> nodes;
+    for (const auto& ev : events) {
+      if (ev.start < p.t0 || ev.start >= p.t1) continue;
+      if (is_data_op(ev)) {
+        if (ev.op == IoOp::kRead) ++prof.reads;
+        if (ev.op == IoOp::kWrite) ++prof.writes;
+        prof.bytes += ev.bytes;
+        if (ev.bytes < 2048) ++prof.small_ops;
+        if (ev.bytes >= 128 * 1024) ++prof.large_ops;
+        nodes.insert(ev.node);
+      } else {
+        prof.op_kinds.insert(std::string(io_op_name(ev.op)));
+      }
+    }
+    prof.parallelism = static_cast<int>(nodes.size());
+    out.push_back(std::move(prof));
+  }
+  return out;
+}
+
+std::string render_phase_profiles(const std::vector<PhaseProfile>& profiles) {
+  TextTable t({"phase", "reads", "writes", "bytes", "small(<2K)", "large(>=128K)", "parallelism",
+               "control ops"});
+  for (const auto& p : profiles) {
+    std::string kinds;
+    for (const auto& k : p.op_kinds) {
+      if (!kinds.empty()) kinds += "+";
+      kinds += k;
+    }
+    t.add_row({p.phase, std::to_string(p.reads), std::to_string(p.writes), fmt_bytes(p.bytes),
+               std::to_string(p.small_ops), std::to_string(p.large_ops),
+               std::to_string(p.parallelism), kinds.empty() ? "-" : kinds});
+  }
+  return t.render();
+}
+
+}  // namespace sio::pablo

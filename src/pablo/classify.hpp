@@ -1,0 +1,89 @@
+// High-level I/O classification.
+//
+// Two classification schemes the paper builds on:
+//
+// 1. Miller & Katz's functional classes, which the paper uses throughout its
+//    phase descriptions: *compulsory* I/O (required input/output at the
+//    start and end), *checkpoint* I/O (periodic state dumps during the
+//    computation), and *data staging* (out-of-core traffic to scratch
+//    files).  `classify_phases()` assigns every data operation to one of
+//    these classes given the application's phase spans and the checkpoint
+//    periodicity heuristic.
+//
+// 2. The paper's own §6 three-dimensional view of each phase: request size
+//    class, degree of I/O parallelism (how many nodes participate), and the
+//    access modes used.  `phase_profile()` computes it from the trace, and
+//    `render_phase_profiles()` prints the §6-style comparison.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/common.hpp"
+#include "pablo/collector.hpp"
+#include "pablo/event.hpp"
+
+namespace sio::pablo {
+
+/// Miller & Katz functional I/O classes.
+enum class IoClass : std::uint8_t {
+  kCompulsory = 0,  ///< required input (first phase) / final results
+  kCheckpoint,      ///< periodic bursts during computation
+  kStaging,         ///< out-of-core scratch traffic
+};
+
+inline constexpr int kIoClassCount = 3;
+
+constexpr std::string_view io_class_name(IoClass c) {
+  constexpr std::array<std::string_view, kIoClassCount> names = {"compulsory", "checkpoint",
+                                                                 "data-staging"};
+  return names[static_cast<std::size_t>(c)];
+}
+
+/// Totals per functional class.
+struct ClassBreakdown {
+  struct Entry {
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+    sim::Tick time = 0;
+  };
+  std::array<Entry, kIoClassCount> per_class{};
+
+  const Entry& of(IoClass c) const { return per_class[static_cast<std::size_t>(c)]; }
+  Entry& of(IoClass c) { return per_class[static_cast<std::size_t>(c)]; }
+
+  /// Class carrying the most bytes.
+  IoClass dominant_by_bytes() const;
+};
+
+/// Classifies every data operation (read/write) of a trace:
+///  * operations inside the first and last phase are compulsory;
+///  * operations in middle phases are checkpoint I/O if they recur in
+///    separated bursts (more than one burst over the phase), data staging
+///    otherwise.
+ClassBreakdown classify_phases(const std::vector<TraceEvent>& events,
+                               const std::vector<apps::PhaseSpan>& phases);
+
+/// §6 per-phase profile: the three dimensions the paper compares across.
+struct PhaseProfile {
+  std::string phase;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t small_ops = 0;     ///< requests < 2 KB
+  std::uint64_t large_ops = 0;     ///< requests >= 128 KB
+  int parallelism = 0;             ///< distinct nodes doing data I/O
+  std::set<std::string> op_kinds;  ///< non-data operations seen (gopen, ...)
+};
+
+std::vector<PhaseProfile> phase_profiles(const std::vector<TraceEvent>& events,
+                                         const std::vector<apps::PhaseSpan>& phases);
+
+/// Renders profiles as an aligned table ("phase | reads | writes | ...").
+std::string render_phase_profiles(const std::vector<PhaseProfile>& profiles);
+
+}  // namespace sio::pablo

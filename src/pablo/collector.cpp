@@ -1,0 +1,27 @@
+#include "pablo/collector.hpp"
+
+#include <algorithm>
+
+namespace sio::pablo {
+
+FileId Collector::register_file(std::string_view path) {
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i] == path) return static_cast<FileId>(i);
+  }
+  files_.emplace_back(path);
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+const std::vector<TraceEvent>& Collector::events() const {
+  if (!sorted_) {
+    std::stable_sort(events_.begin(), events_.end(), [](const TraceEvent& a, const TraceEvent& b) {
+      if (a.start != b.start) return a.start < b.start;
+      if (a.node != b.node) return a.node < b.node;
+      return static_cast<int>(a.op) < static_cast<int>(b.op);
+    });
+    sorted_ = true;
+  }
+  return events_;
+}
+
+}  // namespace sio::pablo

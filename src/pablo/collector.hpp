@@ -1,0 +1,99 @@
+// Trace collection (the Pablo data-capture library).
+//
+// The file system's client layer reports every I/O operation here.  The
+// collector also owns the file-name registry and, once a run finishes, hands
+// out the trace sorted by start time for analysis.  An RAII `OpTimer` makes
+// the instrumentation in the client a one-liner per operation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pablo/event.hpp"
+#include "sim/assert.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace sio::pablo {
+
+class Collector {
+ public:
+  explicit Collector(sim::Engine& engine) : engine_(engine) {}
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Registers (or looks up) a file name, returning its trace id.
+  FileId register_file(std::string_view path);
+
+  /// Name of a registered file.
+  const std::string& file_name(FileId id) const {
+    SIO_ASSERT(id < files_.size());
+    return files_[id];
+  }
+
+  std::size_t file_count() const { return files_.size(); }
+
+  /// Appends one finished operation to the trace.
+  void record(const TraceEvent& ev) {
+    if (enabled_) {
+      events_.push_back(ev);
+      sorted_ = false;
+    }
+  }
+
+  /// Turns capture on/off (tests use this to scope the window of interest).
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// All events, sorted by (start, node, op).  Sorting happens lazily and is
+  /// cached; recording new events invalidates the cache.
+  const std::vector<TraceEvent>& events() const;
+
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Removes all recorded events (keeps the file registry).
+  void clear() { events_.clear(); sorted_ = false; }
+
+  sim::Engine& engine() { return engine_; }
+
+ private:
+  sim::Engine& engine_;
+  std::vector<std::string> files_;
+  mutable std::vector<TraceEvent> events_;
+  mutable bool sorted_ = false;
+  bool enabled_ = true;
+};
+
+/// RAII timing helper: captures the start time at construction and records
+/// the completed event on `finish()`.
+class OpTimer {
+ public:
+  OpTimer(Collector& c, std::int32_t node, FileId file, IoOp op)
+      : collector_(c), start_(c.engine().now()), node_(node), file_(file), op_(op) {}
+
+  /// Records the event with the given access parameters.
+  void finish(std::uint64_t offset = 0, std::uint64_t bytes = 0) {
+    TraceEvent ev;
+    ev.start = start_;
+    ev.duration = collector_.engine().now() - start_;
+    ev.node = node_;
+    ev.file = file_;
+    ev.op = op_;
+    ev.offset = offset;
+    ev.bytes = bytes;
+    collector_.record(ev);
+  }
+
+ private:
+  Collector& collector_;
+  sim::Tick start_;
+  std::int32_t node_;
+  FileId file_;
+  IoOp op_;
+};
+
+}  // namespace sio::pablo

@@ -1,0 +1,58 @@
+// I/O trace event model (the Pablo instrumentation record).
+//
+// The Pablo environment captured, for every I/O operation, the time, the
+// duration, the size and the operation parameters.  `TraceEvent` is that
+// record.  Durations are wall-clock as seen by the calling node — they
+// include queueing and token waits, exactly as a wrapped I/O call would
+// measure — because that is what the paper's Tables 2/3/5 aggregate.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace sio::pablo {
+
+/// Identifier of a traced file, assigned by the collector at registration.
+using FileId = std::uint32_t;
+
+inline constexpr FileId kNoFile = 0xffffffffu;
+
+/// The I/O operation types the paper reports on (Tables 2, 3 and 5).
+enum class IoOp : std::uint8_t {
+  kOpen = 0,
+  kGopen,
+  kRead,
+  kSeek,
+  kWrite,
+  kIomode,
+  kFlush,
+  kClose,
+};
+
+inline constexpr int kIoOpCount = 8;
+
+/// Stable short name used in reports ("open", "gopen", ...).
+constexpr std::string_view io_op_name(IoOp op) {
+  constexpr std::array<std::string_view, kIoOpCount> names = {
+      "open", "gopen", "read", "seek", "write", "iomode", "flush", "close"};
+  return names[static_cast<std::size_t>(op)];
+}
+
+/// One traced I/O operation.
+struct TraceEvent {
+  sim::Tick start = 0;     ///< Simulated time the call was issued.
+  sim::Tick duration = 0;  ///< Call duration including all waits.
+  std::int32_t node = 0;   ///< Issuing compute node.
+  FileId file = kNoFile;   ///< Target file (kNoFile for non-file ops).
+  IoOp op = IoOp::kRead;
+  std::uint64_t offset = 0;  ///< File offset of the access (reads/writes/seeks).
+  std::uint64_t bytes = 0;   ///< Payload size (reads/writes), else 0.
+
+  sim::Tick end() const { return start + duration; }
+};
+
+}  // namespace sio::pablo

@@ -1,0 +1,198 @@
+#include "pablo/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace sio::pablo {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SIO_ASSERT(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SIO_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) out << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TextTable::render_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) out << ',';
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fGB", static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 1024ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", static_cast<double>(bytes) / (1024.0 * 1024));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.0fKB", static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+namespace {
+
+/// Maps a value into [0, cells) given an axis range, optionally log-scaled.
+int axis_bin(double v, double lo, double hi, int cells, bool log_scale) {
+  if (log_scale) {
+    v = std::log10(std::max(v, 1e-12));
+    lo = std::log10(std::max(lo, 1e-12));
+    hi = std::log10(std::max(hi, 1e-12));
+  }
+  if (hi <= lo) return 0;
+  int bin = static_cast<int>((v - lo) / (hi - lo) * cells);
+  return std::clamp(bin, 0, cells - 1);
+}
+
+std::string frame_plot(const std::vector<std::string>& grid, const PlotOptions& opts, double y_lo,
+                       double y_hi, double x_lo, double x_hi) {
+  std::ostringstream out;
+  if (!opts.title.empty()) out << opts.title << '\n';
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%11.4g", y_hi);
+  out << buf << " +" << std::string(static_cast<std::size_t>(opts.width), '-') << "+\n";
+  for (int r = opts.height - 1; r >= 0; --r) {
+    out << std::string(12, ' ') << '|' << grid[static_cast<std::size_t>(r)] << "|\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%11.4g", y_lo);
+  out << buf << " +" << std::string(static_cast<std::size_t>(opts.width), '-') << "+\n";
+  std::snprintf(buf, sizeof(buf), "%.4g", x_lo);
+  std::string left = buf;
+  std::snprintf(buf, sizeof(buf), "%.4g", x_hi);
+  std::string right = buf;
+  out << std::string(13, ' ') << left
+      << std::string(
+             std::max<std::size_t>(1, static_cast<std::size_t>(opts.width) - left.size() - right.size()),
+             ' ')
+      << right << '\n';
+  out << std::string(13, ' ') << opts.x_label << "   (y: " << opts.y_label << ")\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_scatter(const std::vector<TimelinePoint>& series, bool y_is_duration,
+                           const PlotOptions& opts) {
+  if (series.empty()) return opts.title + "\n(empty series)\n";
+
+  double x_lo = 1e300, x_hi = -1e300, y_lo = 1e300, y_hi = -1e300;
+  auto y_of = [&](const TimelinePoint& p) {
+    return y_is_duration ? sim::to_seconds(p.duration) : static_cast<double>(p.bytes);
+  };
+  for (const auto& p : series) {
+    const double x = sim::to_seconds(p.at);
+    const double y = y_of(p);
+    x_lo = std::min(x_lo, x);
+    x_hi = std::max(x_hi, x);
+    y_lo = std::min(y_lo, y);
+    y_hi = std::max(y_hi, y);
+  }
+  if (opts.log_y) y_lo = std::max(y_lo, opts.log_y && y_is_duration ? 1e-6 : 1.0);
+  if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+  if (x_hi <= x_lo) x_hi = x_lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(opts.height),
+                                std::string(static_cast<std::size_t>(opts.width), ' '));
+  for (const auto& p : series) {
+    const int cx = axis_bin(sim::to_seconds(p.at), x_lo, x_hi, opts.width, opts.log_x);
+    const int cy = axis_bin(y_of(p), y_lo, y_hi, opts.height, opts.log_y);
+    grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = '*';
+  }
+  return frame_plot(grid, opts, y_lo, y_hi, x_lo, x_hi);
+}
+
+std::string render_cdf(const SizeCdf& cdf, const PlotOptions& opts) {
+  if (cdf.empty()) return opts.title + "\n(empty cdf)\n";
+  const double x_lo = std::max<double>(1.0, static_cast<double>(cdf.min_size()));
+  const double x_hi = std::max(x_lo + 1.0, static_cast<double>(cdf.max_size()));
+
+  std::vector<std::string> grid(static_cast<std::size_t>(opts.height),
+                                std::string(static_cast<std::size_t>(opts.width), ' '));
+  // Walk each column, evaluate both step functions at the column's size.
+  for (int cx = 0; cx < opts.width; ++cx) {
+    double size;
+    if (opts.log_x) {
+      const double l0 = std::log10(x_lo), l1 = std::log10(x_hi);
+      size = std::pow(10.0, l0 + (l1 - l0) * (cx + 0.5) / opts.width);
+    } else {
+      size = x_lo + (x_hi - x_lo) * (cx + 0.5) / opts.width;
+    }
+    const auto s = static_cast<std::uint64_t>(size);
+    const double fo = cdf.op_fraction_le(s);
+    const double fb = cdf.byte_fraction_le(s);
+    const int ro = axis_bin(fo, 0.0, 1.0, opts.height, false);
+    const int rb = axis_bin(fb, 0.0, 1.0, opts.height, false);
+    grid[static_cast<std::size_t>(ro)][static_cast<std::size_t>(cx)] = 'o';
+    auto& cell = grid[static_cast<std::size_t>(rb)][static_cast<std::size_t>(cx)];
+    cell = cell == 'o' && rb == ro ? '*' : '#';
+  }
+  std::string body = frame_plot(grid, opts, 0.0, 1.0, x_lo, x_hi);
+  return body + "            o = fraction of operations, # = fraction of data, * = both\n";
+}
+
+std::string cdf_csv(const SizeCdf& cdf) {
+  std::ostringstream out;
+  out << "size_bytes,op_fraction,byte_fraction\n";
+  for (const auto& p : cdf.points()) {
+    out << p.size << ',' << fmt_fixed(p.op_fraction, 6) << ',' << fmt_fixed(p.byte_fraction, 6)
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string timeline_csv(const std::vector<TimelinePoint>& series) {
+  std::ostringstream out;
+  out << "t_seconds,bytes,duration_seconds,node\n";
+  for (const auto& p : series) {
+    out << fmt_fixed(sim::to_seconds(p.at), 6) << ',' << p.bytes << ','
+        << fmt_fixed(sim::to_seconds(p.duration), 6) << ',' << p.node << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sio::pablo

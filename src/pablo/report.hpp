@@ -1,0 +1,73 @@
+// Report rendering: ASCII tables, ASCII scatter/CDF plots, CSV export.
+//
+// The bench harness regenerates each of the paper's tables and figures as
+// text.  Tables render with aligned columns; figures render as character
+// scatter plots (log axes where the paper uses them) plus a CSV block so the
+// series can be re-plotted with external tools.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pablo/cdf.hpp"
+#include "pablo/timeline.hpp"
+
+namespace sio::pablo {
+
+/// Simple aligned-column table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+  /// Renders as CSV (no alignment, comma separated, no quoting — cells in
+  /// this project never contain commas).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimals (Table cells like "53.68").
+std::string fmt_fixed(double v, int decimals = 2);
+
+/// Formats a byte count with a unit suffix ("64KB", "1.2MB").
+std::string fmt_bytes(std::uint64_t bytes);
+
+/// Options for the character plots.
+struct PlotOptions {
+  int width = 72;
+  int height = 18;
+  bool log_x = false;
+  bool log_y = false;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  std::string title;
+};
+
+/// Scatter plot of (time-in-seconds, size-in-bytes) points — the shape of
+/// the paper's Figures 3/4/8/9.  Y values of zero are clamped to the
+/// smallest positive value when log_y is set.
+std::string render_scatter(const std::vector<TimelinePoint>& series, bool y_is_duration,
+                           const PlotOptions& opts);
+
+/// Line rendering of a size CDF with both weightings — the shape of the
+/// paper's Figures 2/7 ('o' = fraction of operations, '#' = fraction of
+/// data, '*' where they overlap).
+std::string render_cdf(const SizeCdf& cdf, const PlotOptions& opts);
+
+/// CSV of a CDF: size, op_fraction, byte_fraction.
+std::string cdf_csv(const SizeCdf& cdf);
+
+/// CSV of a timeline: t_seconds, bytes, duration_seconds, node.
+std::string timeline_csv(const std::vector<TimelinePoint>& series);
+
+}  // namespace sio::pablo

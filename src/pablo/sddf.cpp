@@ -1,0 +1,105 @@
+#include "pablo/sddf.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sio::pablo {
+
+namespace {
+constexpr const char* kMagic = "#SDDF-IO 1";
+constexpr const char* kFields = "#fields start_ns duration_ns node file op offset bytes";
+}  // namespace
+
+IoOp parse_io_op(const std::string& name) {
+  for (int i = 0; i < kIoOpCount; ++i) {
+    const auto op = static_cast<IoOp>(i);
+    if (io_op_name(op) == name) return op;
+  }
+  throw std::runtime_error("SDDF: unknown I/O operation '" + name + "'");
+}
+
+void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
+                const std::vector<TraceEvent>& events) {
+  out << kMagic << '\n' << kFields << '\n';
+  for (std::size_t i = 0; i < file_names.size(); ++i) {
+    out << "#file " << i << ' ' << file_names[i] << '\n';
+  }
+  for (const auto& ev : events) {
+    out << ev.start << ' ' << ev.duration << ' ' << ev.node << ' ';
+    if (ev.file == kNoFile) {
+      out << "- ";
+    } else {
+      out << ev.file << ' ';
+    }
+    out << io_op_name(ev.op) << ' ' << ev.offset << ' ' << ev.bytes << '\n';
+  }
+}
+
+void write_sddf(std::ostream& out, const Collector& collector) {
+  std::vector<std::string> names;
+  names.reserve(collector.file_count());
+  for (std::size_t i = 0; i < collector.file_count(); ++i) {
+    names.push_back(collector.file_name(static_cast<FileId>(i)));
+  }
+  write_sddf(out, names, collector.events());
+}
+
+TraceFile read_sddf(std::istream& in) {
+  TraceFile tf;
+  std::string line;
+
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::runtime_error("SDDF: bad magic line");
+  }
+  if (!std::getline(in, line) || line != kFields) {
+    throw std::runtime_error("SDDF: bad field declaration");
+  }
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("#file ", 0) == 0) {
+      std::istringstream ls(line.substr(6));
+      std::size_t id = 0;
+      std::string path;
+      if (!(ls >> id >> path)) throw std::runtime_error("SDDF: bad #file line");
+      if (id != tf.file_names.size()) {
+        throw std::runtime_error("SDDF: file table ids must be dense and ordered");
+      }
+      tf.file_names.push_back(path);
+      continue;
+    }
+    if (line[0] == '#') continue;  // future extension records
+
+    std::istringstream ls(line);
+    TraceEvent ev;
+    std::string file_field;
+    std::string op_name;
+    if (!(ls >> ev.start >> ev.duration >> ev.node >> file_field >> op_name >> ev.offset >>
+          ev.bytes)) {
+      throw std::runtime_error("SDDF: truncated record: " + line);
+    }
+    ev.file = file_field == "-" ? kNoFile
+                                : static_cast<FileId>(std::stoul(file_field));
+    if (ev.file != kNoFile && ev.file >= tf.file_names.size()) {
+      throw std::runtime_error("SDDF: record references unknown file id");
+    }
+    ev.op = parse_io_op(op_name);
+    tf.events.push_back(ev);
+  }
+  return tf;
+}
+
+std::string to_sddf_string(const Collector& collector) {
+  std::ostringstream out;
+  write_sddf(out, collector);
+  return out.str();
+}
+
+TraceFile from_sddf_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_sddf(in);
+}
+
+}  // namespace sio::pablo

@@ -1,0 +1,52 @@
+// SDDF-style trace serialization.
+//
+// The Pablo environment recorded its instrumentation data in SDDF, the
+// Self-Describing Data Format: a header describing each record's fields,
+// followed by the records.  This module implements a compact text dialect of
+// that idea for the I/O traces: a run can be dumped to a stream/file and
+// reloaded later for offline analysis, so traces captured by one program can
+// be post-processed by another (exactly the capture/analysis split Pablo's
+// toolkit had).
+//
+// Format:
+//   #SDDF-IO 1
+//   #fields start_ns duration_ns node file op offset bytes
+//   #file <id> <path>            (one per registered file)
+//   <records: one event per line, space separated, op by name>
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pablo/collector.hpp"
+#include "pablo/event.hpp"
+
+namespace sio::pablo {
+
+/// A deserialized trace: events plus the file-name table.
+struct TraceFile {
+  std::vector<std::string> file_names;
+  std::vector<TraceEvent> events;
+};
+
+/// Writes the collector's registered files and events to `out`.
+void write_sddf(std::ostream& out, const Collector& collector);
+
+/// Writes a pre-extracted trace.
+void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
+                const std::vector<TraceEvent>& events);
+
+/// Parses a trace written by write_sddf.  Throws std::runtime_error on
+/// malformed input (bad magic, unknown op, truncated record).
+TraceFile read_sddf(std::istream& in);
+
+/// Convenience round trip through a string (used by tests and tools).
+std::string to_sddf_string(const Collector& collector);
+TraceFile from_sddf_string(const std::string& text);
+
+/// Parses an operation name ("open", "gopen", ...); throws on unknown names.
+IoOp parse_io_op(const std::string& name);
+
+}  // namespace sio::pablo

@@ -1,0 +1,91 @@
+#include "pablo/summary.hpp"
+
+#include <algorithm>
+
+namespace sio::pablo {
+
+sim::Tick SummaryCore::total_io_time() const {
+  sim::Tick total = 0;
+  for (const auto& s : per_op) total += s.total_duration;
+  return total;
+}
+
+std::uint64_t SummaryCore::total_ops() const {
+  std::uint64_t total = 0;
+  for (const auto& s : per_op) total += s.count;
+  return total;
+}
+
+std::vector<FileLifetimeSummary> file_lifetime_summaries(const Collector& collector) {
+  std::vector<FileLifetimeSummary> out(collector.file_count());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].file = static_cast<FileId>(i);
+    out[i].first_open = -1;
+  }
+  for (const TraceEvent& ev : collector.events()) {
+    if (ev.file == kNoFile) continue;
+    SIO_ASSERT(ev.file < out.size());
+    auto& s = out[ev.file];
+    s.core.add(ev);
+    if ((ev.op == IoOp::kOpen || ev.op == IoOp::kGopen) &&
+        (s.first_open < 0 || ev.start < s.first_open)) {
+      s.first_open = ev.start;
+    }
+    if (ev.op == IoOp::kClose) s.last_close = std::max(s.last_close, ev.end());
+  }
+  for (auto& s : out) {
+    if (s.first_open < 0) s.first_open = 0;
+  }
+  return out;
+}
+
+FileLifetimeSummary file_lifetime_summary(const Collector& collector, FileId file) {
+  auto all = file_lifetime_summaries(collector);
+  SIO_ASSERT(file < all.size());
+  return all[file];
+}
+
+TimeWindowSummary time_window_summary(const Collector& collector, sim::Tick t0, sim::Tick t1) {
+  SIO_ASSERT(t0 <= t1);
+  TimeWindowSummary w;
+  w.t0 = t0;
+  w.t1 = t1;
+  for (const TraceEvent& ev : collector.events()) {
+    if (ev.start >= t1) break;  // events are sorted by start
+    if (ev.start >= t0) w.core.add(ev);
+  }
+  return w;
+}
+
+std::vector<TimeWindowSummary> time_window_series(const Collector& collector, sim::Tick t_begin,
+                                                  sim::Tick t_end, int n) {
+  SIO_ASSERT(n > 0 && t_end >= t_begin);
+  std::vector<TimeWindowSummary> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const sim::Tick span = t_end - t_begin;
+  for (int i = 0; i < n; ++i) {
+    const sim::Tick lo = t_begin + span * i / n;
+    const sim::Tick hi = i + 1 == n ? t_end : t_begin + span * (i + 1) / n;
+    out.push_back(time_window_summary(collector, lo, hi));
+  }
+  return out;
+}
+
+FileRegionSummary file_region_summary(const Collector& collector, FileId file, std::uint64_t lo,
+                                      std::uint64_t hi) {
+  SIO_ASSERT(lo <= hi);
+  FileRegionSummary r;
+  r.file = file;
+  r.lo = lo;
+  r.hi = hi;
+  for (const TraceEvent& ev : collector.events()) {
+    if (ev.file != file) continue;
+    if (ev.op != IoOp::kRead && ev.op != IoOp::kWrite) continue;
+    const std::uint64_t ev_lo = ev.offset;
+    const std::uint64_t ev_hi = ev.offset + ev.bytes;
+    if (ev_lo < hi && ev_hi > lo) r.core.add(ev);
+  }
+  return r;
+}
+
+}  // namespace sio::pablo

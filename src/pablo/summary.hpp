@@ -1,0 +1,97 @@
+// Statistical summaries over I/O traces.
+//
+// The Pablo environment offered three summary forms, all reproduced here:
+//   * file lifetime  — per-file totals over the whole run (§3.1);
+//   * time window    — the same aggregates restricted to [t0, t1);
+//   * file region    — the spatial analog, restricted to accesses that
+//                      intersect a byte range of one file.
+// Each summary exposes per-operation counts and total durations, bytes
+// moved, and (for lifetime summaries) the span the file was open.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "pablo/collector.hpp"
+#include "pablo/event.hpp"
+
+namespace sio::pablo {
+
+/// Per-operation counters shared by all three summary forms.
+struct OpStats {
+  std::uint64_t count = 0;
+  sim::Tick total_duration = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct SummaryCore {
+  std::array<OpStats, kIoOpCount> per_op{};
+
+  const OpStats& stats(IoOp op) const { return per_op[static_cast<std::size_t>(op)]; }
+  OpStats& stats(IoOp op) { return per_op[static_cast<std::size_t>(op)]; }
+
+  std::uint64_t bytes_read() const { return stats(IoOp::kRead).bytes; }
+  std::uint64_t bytes_written() const { return stats(IoOp::kWrite).bytes; }
+
+  /// Total time spent in all I/O operations (sum of durations).
+  sim::Tick total_io_time() const;
+  /// Total number of operations.
+  std::uint64_t total_ops() const;
+
+  void add(const TraceEvent& ev) {
+    auto& s = stats(ev.op);
+    ++s.count;
+    s.total_duration += ev.duration;
+    s.bytes += ev.bytes;
+  }
+};
+
+/// Totals over the lifetime of one file.
+struct FileLifetimeSummary {
+  FileId file = kNoFile;
+  SummaryCore core;
+  sim::Tick first_open = 0;   ///< Start of the first open/gopen.
+  sim::Tick last_close = 0;   ///< End of the last close.
+  /// Total time the file was open (first open to last close; 0 if the file
+  /// was never opened or never closed).
+  sim::Tick open_span() const { return last_close > first_open ? last_close - first_open : 0; }
+};
+
+/// Totals over a time window [t0, t1); an event belongs to the window if it
+/// *starts* inside it, matching Pablo's windowing rule.
+struct TimeWindowSummary {
+  sim::Tick t0 = 0;
+  sim::Tick t1 = 0;
+  SummaryCore core;
+};
+
+/// Totals over accesses of one file intersecting the byte range [lo, hi).
+/// Non-data operations (open/close/...) are excluded: a region summary is
+/// about the spatial access pattern.
+struct FileRegionSummary {
+  FileId file = kNoFile;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  SummaryCore core;
+};
+
+/// Builds one lifetime summary per registered file, indexed by FileId.
+std::vector<FileLifetimeSummary> file_lifetime_summaries(const Collector& collector);
+
+/// Builds the lifetime summary of a single file.
+FileLifetimeSummary file_lifetime_summary(const Collector& collector, FileId file);
+
+/// Builds a time-window summary over [t0, t1).
+TimeWindowSummary time_window_summary(const Collector& collector, sim::Tick t0, sim::Tick t1);
+
+/// Slices [t_begin, t_end) into `n` equal windows (burst profiles).
+std::vector<TimeWindowSummary> time_window_series(const Collector& collector, sim::Tick t_begin,
+                                                  sim::Tick t_end, int n);
+
+/// Builds a file-region summary over byte range [lo, hi) of `file`.
+FileRegionSummary file_region_summary(const Collector& collector, FileId file, std::uint64_t lo,
+                                      std::uint64_t hi);
+
+}  // namespace sio::pablo

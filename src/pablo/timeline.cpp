@@ -1,0 +1,79 @@
+#include "pablo/timeline.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace sio::pablo {
+
+namespace {
+
+std::vector<TimelinePoint> extract(const std::vector<TraceEvent>& events, IoOp op, FileId file,
+                                   bool any_file) {
+  std::vector<TimelinePoint> out;
+  for (const auto& ev : events) {
+    if (ev.op != op) continue;
+    if (!any_file && ev.file != file) continue;
+    out.push_back(TimelinePoint{ev.start, ev.bytes, ev.duration, ev.node});
+  }
+  return out;  // collector events are already start-sorted
+}
+
+}  // namespace
+
+std::vector<TimelinePoint> timeline(const Collector& collector, IoOp op) {
+  return extract(collector.events(), op, kNoFile, /*any_file=*/true);
+}
+
+std::vector<TimelinePoint> timeline(const std::vector<TraceEvent>& events, IoOp op) {
+  return extract(events, op, kNoFile, /*any_file=*/true);
+}
+
+std::vector<TimelinePoint> timeline(const Collector& collector, IoOp op, FileId file) {
+  return extract(collector.events(), op, file, /*any_file=*/false);
+}
+
+std::vector<Burst> burst_profile(const std::vector<TimelinePoint>& series, sim::Tick t_begin,
+                                 sim::Tick t_end, int windows) {
+  SIO_ASSERT(windows > 0 && t_end >= t_begin);
+  std::vector<Burst> out(static_cast<std::size_t>(windows));
+  const sim::Tick span = t_end - t_begin;
+  for (int i = 0; i < windows; ++i) {
+    out[static_cast<std::size_t>(i)].t0 = t_begin + span * i / windows;
+    out[static_cast<std::size_t>(i)].t1 =
+        i + 1 == windows ? t_end : t_begin + span * (i + 1) / windows;
+  }
+  if (span == 0) return out;
+  for (const auto& p : series) {
+    if (p.at < t_begin || p.at >= t_end) continue;
+    auto idx = static_cast<std::size_t>((p.at - t_begin) * windows / span);
+    if (idx >= out.size()) idx = out.size() - 1;
+    ++out[idx].ops;
+    out[idx].bytes += p.bytes;
+  }
+  return out;
+}
+
+int count_bursts(const std::vector<Burst>& profile) {
+  int bursts = 0;
+  bool in_burst = false;
+  for (const auto& w : profile) {
+    if (w.ops > 0) {
+      if (!in_burst) ++bursts;
+      in_burst = true;
+    } else {
+      in_burst = false;
+    }
+  }
+  return bursts;
+}
+
+sim::Tick largest_gap(const std::vector<TimelinePoint>& series) {
+  sim::Tick gap = 0;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    gap = std::max(gap, series[i].at - series[i - 1].at);
+  }
+  return gap;
+}
+
+}  // namespace sio::pablo

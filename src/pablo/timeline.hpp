@@ -1,0 +1,56 @@
+// Temporal access-pattern extraction (paper Figures 3, 4, 5, 8 and 9).
+//
+// The paper's timeline figures are scatter plots of request size (or seek
+// duration) against program execution time.  `timeline()` extracts the raw
+// series; `burst_profile()` folds it into fixed windows for burst-structure
+// analysis (e.g. counting PRISM's five checkpoint bursts).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pablo/collector.hpp"
+#include "pablo/event.hpp"
+
+namespace sio::pablo {
+
+/// One timeline sample.
+struct TimelinePoint {
+  sim::Tick at = 0;           ///< Operation start time.
+  std::uint64_t bytes = 0;    ///< Request size (reads/writes).
+  sim::Tick duration = 0;     ///< Operation duration (the y-axis of Fig. 5).
+  std::int32_t node = 0;
+};
+
+/// Extracts the (start-time, size, duration) series of all events of `op`,
+/// in start-time order.
+std::vector<TimelinePoint> timeline(const Collector& collector, IoOp op);
+
+/// Same, over a pre-extracted (start-sorted) event vector.
+std::vector<TimelinePoint> timeline(const std::vector<TraceEvent>& events, IoOp op);
+
+/// Restricts a timeline to one file.
+std::vector<TimelinePoint> timeline(const Collector& collector, IoOp op, FileId file);
+
+/// Aggregate of one fixed-width timeline window.
+struct Burst {
+  sim::Tick t0 = 0;
+  sim::Tick t1 = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Folds a timeline into `windows` equal-width bins over [t_begin, t_end).
+std::vector<Burst> burst_profile(const std::vector<TimelinePoint>& series, sim::Tick t_begin,
+                                 sim::Tick t_end, int windows);
+
+/// Number of activity bursts: maximal runs of non-empty windows separated by
+/// at least one empty window.  PRISM version C's write timeline shows five
+/// checkpoint bursts plus the final field dump.
+int count_bursts(const std::vector<Burst>& profile);
+
+/// Largest gap (ticks) between consecutive events of a series.
+sim::Tick largest_gap(const std::vector<TimelinePoint>& series);
+
+}  // namespace sio::pablo

@@ -1,0 +1,484 @@
+#include "pfs/client.hpp"
+
+#include <algorithm>
+
+#include "pfs/pfs.hpp"
+
+namespace sio::pfs {
+
+namespace {
+
+std::uint64_t clamp_read(const FileState& f, std::uint64_t offset, std::uint64_t bytes) {
+  const std::uint64_t avail = f.size > offset ? f.size - offset : 0;
+  return std::min(bytes, avail);
+}
+
+}  // namespace
+
+IoMode FileHandle::mode() const {
+  SIO_ASSERT(file_ != nullptr);
+  return file_->mode;
+}
+
+void FileHandle::require_group(const char* what) const {
+  if (group_ == nullptr) {
+    throw PfsError(std::string(what) + " requires a collective group (gopen or set_group)");
+  }
+}
+
+void FileHandle::set_group(Group* g) {
+  SIO_ASSERT(g != nullptr);
+  group_ = g;
+  rank_ = g->rank_of(node_);
+}
+
+void FileHandle::set_buffering(bool on) {
+  SIO_ASSERT(wb_len_ == 0);  // flush() before disabling buffering
+  buffering_ = on;
+  if (!on) cached_unit_ = -1;
+}
+
+bool FileHandle::client_cache_allowed() const {
+  if (!buffering_) return false;
+  // Client caching is only coherent while this process is the sole opener of
+  // a private-pointer UNIX-semantics file (node zero's stdio-style streams).
+  // M_ASYNC is PFS's *direct* parallel-I/O path: requests go to the I/O
+  // nodes as issued, which is why its small writes cost a full transfer.
+  return file_->mode == IoMode::kUnix && !file_->shared();
+}
+
+// ---------------------------------------------------------------- caching --
+
+sim::Task<void> FileHandle::flush_write_buffer() {
+  if (wb_len_ == 0) co_return;
+  const std::uint64_t start = wb_start_;
+  const std::uint64_t len = wb_len_;
+  wb_len_ = 0;
+  co_await fs_->transfer(node_, *file_, start, len, /*is_write=*/true, /*buffered=*/true);
+}
+
+sim::Task<void> FileHandle::cached_read(std::uint64_t offset, std::uint64_t bytes) {
+  const auto& os = fs_->os();
+  // Served from the coalescing write buffer?
+  if (wb_len_ > 0 && offset >= wb_start_ && offset + bytes <= wb_start_ + wb_len_) {
+    co_await fs_->machine().engine().delay(os.buffered_op);
+    co_return;
+  }
+  const std::uint64_t unit_size = fs_->layout().unit();
+  if (bytes >= unit_size) {
+    // Big requests stream directly; caching them would only evict.
+    co_await flush_write_buffer();
+    co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/false, /*buffered=*/true);
+    co_return;
+  }
+  const std::uint64_t first = fs_->layout().unit_of(offset);
+  const std::uint64_t last = fs_->layout().unit_of(offset + bytes - 1);
+  for (std::uint64_t u = first; u <= last; ++u) {
+    if (static_cast<std::int64_t>(u) != cached_unit_) {
+      co_await flush_write_buffer();
+      co_await fs_->fetch_unit(node_, *file_, u);
+      cached_unit_ = static_cast<std::int64_t>(u);
+    }
+    co_await fs_->machine().engine().delay(os.buffered_op);
+  }
+}
+
+sim::Task<void> FileHandle::buffered_write(std::uint64_t offset, std::uint64_t bytes) {
+  const auto& os = fs_->os();
+  const std::uint64_t unit_size = fs_->layout().unit();
+  if (!client_cache_allowed() || bytes >= unit_size) {
+    co_await flush_write_buffer();
+    co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_);
+    co_return;
+  }
+  if (wb_len_ > 0 && offset == wb_start_ + wb_len_) {
+    wb_len_ += bytes;  // sequential append coalesces
+  } else {
+    co_await flush_write_buffer();
+    wb_start_ = offset;
+    wb_len_ = bytes;
+  }
+  if (cached_unit_ >= 0) {
+    const auto u = static_cast<std::uint64_t>(cached_unit_);
+    if (offset < (u + 1) * unit_size && offset + bytes > u * unit_size) cached_unit_ = -1;
+  }
+  co_await fs_->machine().engine().delay(os.buffered_op);
+  if (wb_len_ >= unit_size) co_await flush_write_buffer();
+}
+
+// ------------------------------------------------------------------ reads --
+
+sim::Task<std::uint64_t> FileHandle::read(std::uint64_t bytes, std::span<std::byte> out) {
+  SIO_ASSERT(open_);
+  pablo::OpTimer timer(fs_->collector(), node_, file_->id, pablo::IoOp::kRead);
+  std::uint64_t n = 0;
+  switch (file_->mode) {
+    case IoMode::kUnix:
+    case IoMode::kAsync:
+      n = co_await read_unix_or_async(bytes);
+      break;
+    case IoMode::kRecord:
+      n = co_await read_record(bytes);
+      break;
+    case IoMode::kGlobal:
+      n = co_await read_global(bytes);
+      break;
+    case IoMode::kSync:
+      n = co_await read_sync(bytes);
+      break;
+    case IoMode::kLog:
+      n = co_await read_log(bytes);
+      break;
+  }
+  if (!out.empty() && file_->content && n > 0) {
+    SIO_ASSERT(out.size() >= n);
+    file_->content->read(last_op_offset_, out.subspan(0, static_cast<std::size_t>(n)));
+  }
+  timer.finish(last_op_offset_, n);
+  co_return n;
+}
+
+sim::Task<std::uint64_t> FileHandle::read_unix_or_async(std::uint64_t bytes) {
+  const auto& os = fs_->os();
+  const std::uint64_t offset = pos_;
+  const std::uint64_t n = clamp_read(*file_, offset, bytes);
+  last_op_offset_ = offset;
+  co_await fs_->machine().engine().delay(os.syscall_overhead);
+  if (n > 0) {
+    if (file_->mode == IoMode::kUnix && file_->shared()) {
+      // Shared UNIX semantics: atomicity bookkeeping serializes at the
+      // metadata/token server, and the consistency validation cost grows
+      // with the number of concurrent openers; no client caching.
+      co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
+      co_await fs_->metadata().token_op(file_->id, /*is_write=*/false);
+      co_await fs_->machine().engine().delay(os.shared_read_per_opener *
+                                             static_cast<sim::Tick>(file_->open_count));
+      co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_);
+    } else if (client_cache_allowed()) {
+      co_await cached_read(offset, n);
+    } else {
+      co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_);
+    }
+  }
+  pos_ = offset + n;
+  co_return n;
+}
+
+sim::Task<std::uint64_t> FileHandle::read_record(std::uint64_t bytes) {
+  require_group("M_RECORD access");
+  if (file_->record_size == 0) throw PfsError("M_RECORD record size not set");
+  if (bytes != file_->record_size) {
+    throw PfsError("M_RECORD requires record-sized requests");
+  }
+  const auto& os = fs_->os();
+  const std::uint64_t offset =
+      (op_index_ * static_cast<std::uint64_t>(group_->size()) + static_cast<std::uint64_t>(rank_)) *
+      file_->record_size;
+  ++op_index_;
+  last_op_offset_ = offset;
+  const std::uint64_t n = clamp_read(*file_, offset, bytes);
+  co_await fs_->machine().engine().delay(os.syscall_overhead + os.sync_mode_overhead);
+  if (n > 0) {
+    co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_);
+  }
+  pos_ = offset + n;
+  co_return n;
+}
+
+sim::Task<std::uint64_t> FileHandle::read_global(std::uint64_t bytes) {
+  require_group("M_GLOBAL access");
+  const auto& os = fs_->os();
+  co_await fs_->machine().engine().delay(os.syscall_overhead);
+  group_->scratch()[static_cast<std::size_t>(rank_)] = bytes;
+  FileState* f = file_;
+  Group* g = group_;
+  co_await group_->arrive([f, g] {
+    // All requests must be identical; advance the shared pointer once.
+    const std::uint64_t req = g->scratch()[0];
+    for (const std::uint64_t s : g->scratch()) {
+      if (s != req) throw PfsError("M_GLOBAL requires identical requests");
+    }
+    const std::uint64_t base = f->shared_offset;
+    const std::uint64_t n = clamp_read(*f, base, req);
+    for (auto& w : g->wave_offsets()) w = base;
+    f->shared_offset = base + n;
+  });
+  const std::uint64_t base = group_->wave_offsets()[static_cast<std::size_t>(rank_)];
+  const std::uint64_t n = clamp_read(*file_, base, bytes);
+  last_op_offset_ = base;
+  if (rank_ == 0 && n > 0) {
+    co_await fs_->transfer(node_, *file_, base, n, /*is_write=*/false, /*buffered=*/true);
+  }
+  co_await group_->arrive();  // data is on the leader
+  co_await fs_->machine().engine().delay(
+      fs_->machine().network().broadcast_arrival(rank_, group_->size(), n) +
+      os.sync_mode_overhead);
+  co_return n;
+}
+
+sim::Task<std::uint64_t> FileHandle::read_sync(std::uint64_t bytes) {
+  require_group("M_SYNC access");
+  const auto& os = fs_->os();
+  co_await fs_->machine().engine().delay(os.syscall_overhead);
+  group_->scratch()[static_cast<std::size_t>(rank_)] = bytes;
+  FileState* f = file_;
+  Group* g = group_;
+  co_await group_->arrive([f, g] {
+    std::uint64_t acc = f->shared_offset;
+    for (std::size_t r = 0; r < g->wave_offsets().size(); ++r) {
+      g->wave_offsets()[r] = acc;
+      acc += g->scratch()[r];
+    }
+    f->shared_offset = acc;
+  });
+  const std::uint64_t offset = group_->wave_offsets()[static_cast<std::size_t>(rank_)];
+  const std::uint64_t n = clamp_read(*file_, offset, bytes);
+  last_op_offset_ = offset;
+  // Requests are serviced in node order.
+  co_await fs_->machine().engine().delay(static_cast<sim::Tick>(rank_) * os.token_read_service +
+                                         os.sync_mode_overhead);
+  if (n > 0) {
+    co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, /*buffered=*/true);
+  }
+  co_await group_->arrive();
+  co_return n;
+}
+
+sim::Task<std::uint64_t> FileHandle::read_log(std::uint64_t bytes) {
+  const auto& os = fs_->os();
+  co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
+  co_await fs_->metadata().token_op(file_->id, /*is_write=*/false);
+  const std::uint64_t offset = file_->shared_offset;
+  const std::uint64_t n = clamp_read(*file_, offset, bytes);
+  file_->shared_offset = offset + n;
+  last_op_offset_ = offset;
+  if (n > 0) {
+    co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_);
+  }
+  co_return n;
+}
+
+// ----------------------------------------------------------------- writes --
+
+sim::Task<std::uint64_t> FileHandle::write(std::uint64_t bytes, std::span<const std::byte> data) {
+  SIO_ASSERT(open_);
+  SIO_ASSERT(data.empty() || data.size() == bytes);
+  pablo::OpTimer timer(fs_->collector(), node_, file_->id, pablo::IoOp::kWrite);
+  std::uint64_t n = 0;
+  switch (file_->mode) {
+    case IoMode::kUnix:
+    case IoMode::kAsync:
+      n = co_await write_unix_or_async(bytes);
+      break;
+    case IoMode::kRecord:
+      n = co_await write_record(bytes);
+      break;
+    case IoMode::kGlobal:
+      n = co_await write_global(bytes);
+      break;
+    case IoMode::kSync:
+      n = co_await write_sync(bytes);
+      break;
+    case IoMode::kLog:
+      n = co_await write_log(bytes);
+      break;
+  }
+  if (!data.empty() && file_->content && n > 0) {
+    file_->content->write(last_op_offset_, data.subspan(0, static_cast<std::size_t>(n)));
+  }
+  timer.finish(last_op_offset_, n);
+  co_return n;
+}
+
+sim::Task<std::uint64_t> FileHandle::write_unix_or_async(std::uint64_t bytes) {
+  const auto& os = fs_->os();
+  const std::uint64_t offset = pos_;
+  last_op_offset_ = offset;
+  co_await fs_->machine().engine().delay(os.syscall_overhead);
+  if (bytes > 0) {
+    if (file_->mode == IoMode::kUnix && file_->shared()) {
+      co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
+      co_await fs_->metadata().token_op(file_->id, /*is_write=*/true);
+      co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_);
+    } else {
+      co_await buffered_write(offset, bytes);
+    }
+  }
+  pos_ = offset + bytes;
+  file_->size = std::max(file_->size, offset + bytes);
+  co_return bytes;
+}
+
+sim::Task<std::uint64_t> FileHandle::write_record(std::uint64_t bytes) {
+  require_group("M_RECORD access");
+  if (file_->record_size == 0) throw PfsError("M_RECORD record size not set");
+  if (bytes != file_->record_size) {
+    throw PfsError("M_RECORD requires record-sized requests");
+  }
+  const auto& os = fs_->os();
+  const std::uint64_t offset =
+      (op_index_ * static_cast<std::uint64_t>(group_->size()) + static_cast<std::uint64_t>(rank_)) *
+      file_->record_size;
+  ++op_index_;
+  last_op_offset_ = offset;
+  co_await fs_->machine().engine().delay(os.syscall_overhead + os.sync_mode_overhead);
+  co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_);
+  pos_ = offset + bytes;
+  file_->size = std::max(file_->size, offset + bytes);
+  co_return bytes;
+}
+
+sim::Task<std::uint64_t> FileHandle::write_global(std::uint64_t bytes) {
+  require_group("M_GLOBAL access");
+  const auto& os = fs_->os();
+  co_await fs_->machine().engine().delay(os.syscall_overhead);
+  group_->scratch()[static_cast<std::size_t>(rank_)] = bytes;
+  FileState* f = file_;
+  Group* g = group_;
+  co_await group_->arrive([f, g] {
+    const std::uint64_t req = g->scratch()[0];
+    for (const std::uint64_t s : g->scratch()) {
+      if (s != req) throw PfsError("M_GLOBAL requires identical requests");
+    }
+    const std::uint64_t base = f->shared_offset;
+    for (auto& w : g->wave_offsets()) w = base;
+    f->shared_offset = base + req;
+    f->size = std::max(f->size, base + req);
+  });
+  const std::uint64_t base = group_->wave_offsets()[static_cast<std::size_t>(rank_)];
+  last_op_offset_ = base;
+  if (rank_ == 0 && bytes > 0) {
+    co_await fs_->transfer(node_, *file_, base, bytes, /*is_write=*/true, /*buffered=*/true);
+  }
+  co_await group_->arrive();
+  co_await fs_->machine().engine().delay(os.sync_mode_overhead);
+  co_return bytes;
+}
+
+sim::Task<std::uint64_t> FileHandle::write_sync(std::uint64_t bytes) {
+  require_group("M_SYNC access");
+  const auto& os = fs_->os();
+  co_await fs_->machine().engine().delay(os.syscall_overhead);
+  group_->scratch()[static_cast<std::size_t>(rank_)] = bytes;
+  FileState* f = file_;
+  Group* g = group_;
+  co_await group_->arrive([f, g] {
+    std::uint64_t acc = f->shared_offset;
+    for (std::size_t r = 0; r < g->wave_offsets().size(); ++r) {
+      g->wave_offsets()[r] = acc;
+      acc += g->scratch()[r];
+    }
+    f->shared_offset = acc;
+    f->size = std::max(f->size, acc);
+  });
+  const std::uint64_t offset = group_->wave_offsets()[static_cast<std::size_t>(rank_)];
+  last_op_offset_ = offset;
+  co_await fs_->machine().engine().delay(static_cast<sim::Tick>(rank_) * os.token_read_service +
+                                         os.sync_mode_overhead);
+  if (bytes > 0) {
+    co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, /*buffered=*/true);
+  }
+  co_await group_->arrive();
+  co_return bytes;
+}
+
+sim::Task<std::uint64_t> FileHandle::write_log(std::uint64_t bytes) {
+  const auto& os = fs_->os();
+  co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
+  co_await fs_->metadata().token_op(file_->id, /*is_write=*/true);
+  const std::uint64_t offset = file_->shared_offset;
+  file_->shared_offset = offset + bytes;
+  file_->size = std::max(file_->size, offset + bytes);
+  last_op_offset_ = offset;
+  if (bytes > 0) {
+    co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_);
+  }
+  co_return bytes;
+}
+
+// ------------------------------------------------------------ control ops --
+
+sim::Task<void> FileHandle::seek(std::uint64_t offset) {
+  SIO_ASSERT(open_);
+  if (shares_pointer(file_->mode) || file_->mode == IoMode::kRecord) {
+    throw PfsError("seek is not meaningful in mode " + std::string(io_mode_name(file_->mode)));
+  }
+  pablo::OpTimer timer(fs_->collector(), node_, file_->id, pablo::IoOp::kSeek);
+  co_await flush_write_buffer();
+  const auto& os = fs_->os();
+  if (file_->mode == IoMode::kUnix && file_->shared()) {
+    // Seeking a shared M_UNIX file registers the pointer move with the
+    // metadata server — the cost that dominated ESCAT version B.
+    co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
+    co_await fs_->metadata().seek_op(file_->id);
+  } else {
+    co_await fs_->machine().engine().delay(os.local_seek);
+  }
+  pos_ = offset;
+  timer.finish(offset, 0);
+}
+
+sim::Task<void> FileHandle::set_iomode(IoMode m, std::uint64_t record_size) {
+  SIO_ASSERT(open_);
+  const auto& os = fs_->os();
+  if (m == IoMode::kAsync && !os.has_masync) {
+    throw PfsError("M_ASYNC is not available under " + os.name);
+  }
+  if (m == IoMode::kRecord && record_size == 0 && file_->record_size == 0) {
+    throw PfsError("M_RECORD requires a record size");
+  }
+  if ((is_collective(m) || m == IoMode::kRecord) && group_ == nullptr) {
+    throw PfsError("collective modes require a group");
+  }
+
+  pablo::OpTimer timer(fs_->collector(), node_, file_->id, pablo::IoOp::kIomode);
+  co_await flush_write_buffer();
+  co_await fs_->machine().engine().delay(os.syscall_overhead);
+  FileState* f = file_;
+  auto apply = [f, m, record_size] {
+    f->mode = m;
+    if (record_size != 0) f->record_size = record_size;
+  };
+  if (group_ != nullptr) {
+    co_await group_->arrive();
+    if (rank_ == 0) {
+      co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
+      co_await fs_->metadata().iomode_op(file_->id);
+      apply();
+    }
+    co_await group_->arrive();
+    co_await fs_->machine().engine().delay(os.iomode_client);
+  } else {
+    co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
+    co_await fs_->metadata().iomode_op(file_->id);
+    apply();
+  }
+  cached_unit_ = -1;
+  op_index_ = 0;
+  timer.finish();
+}
+
+sim::Task<void> FileHandle::flush() {
+  SIO_ASSERT(open_);
+  pablo::OpTimer timer(fs_->collector(), node_, file_->id, pablo::IoOp::kFlush);
+  co_await flush_write_buffer();
+  const auto& os = fs_->os();
+  co_await fs_->machine().engine().delay(os.syscall_overhead + os.flush_service);
+  timer.finish();
+}
+
+sim::Task<void> FileHandle::close() {
+  SIO_ASSERT(open_);
+  pablo::OpTimer timer(fs_->collector(), node_, file_->id, pablo::IoOp::kClose);
+  co_await flush_write_buffer();
+  const auto& os = fs_->os();
+  co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
+  co_await fs_->metadata().close_op(file_->id);
+  --file_->open_count;
+  SIO_ASSERT(file_->open_count >= 0);
+  open_ = false;
+  cached_unit_ = -1;
+  timer.finish();
+}
+
+}  // namespace sio::pfs

@@ -1,0 +1,44 @@
+#include "pfs/content.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sio::pfs {
+
+void SparseContent::write(std::uint64_t offset, std::span<const std::byte> data) {
+  std::uint64_t pos = offset;
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t chunk = pos / kChunk;
+    const std::uint64_t in_chunk = pos % kChunk;
+    const std::size_t take =
+        std::min<std::size_t>(data.size() - done, static_cast<std::size_t>(kChunk - in_chunk));
+    auto& buf = chunks_[chunk];
+    if (buf.empty()) buf.assign(kChunk, std::byte{0});
+    std::memcpy(buf.data() + in_chunk, data.data() + done, take);
+    pos += take;
+    done += take;
+  }
+  high_water_ = std::max(high_water_, offset + data.size());
+}
+
+void SparseContent::read(std::uint64_t offset, std::span<std::byte> out) const {
+  std::uint64_t pos = offset;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t chunk = pos / kChunk;
+    const std::uint64_t in_chunk = pos % kChunk;
+    const std::size_t take =
+        std::min<std::size_t>(out.size() - done, static_cast<std::size_t>(kChunk - in_chunk));
+    const auto it = chunks_.find(chunk);
+    if (it == chunks_.end()) {
+      std::memset(out.data() + done, 0, take);
+    } else {
+      std::memcpy(out.data() + done, it->second.data() + in_chunk, take);
+    }
+    pos += take;
+    done += take;
+  }
+}
+
+}  // namespace sio::pfs

@@ -1,0 +1,45 @@
+// Sparse byte-accurate file contents.
+//
+// The workload runs only need extents and sizes (storing the quadrature
+// data's gigabytes would be pointless), but the correctness tests verify
+// actual bytes written and read back through every access mode.  This store
+// keeps contents in 4 KB chunks allocated on first write; reads of holes
+// return zero bytes, like a POSIX sparse file.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace sio::pfs {
+
+class SparseContent {
+ public:
+  static constexpr std::uint64_t kChunk = 4096;
+
+  /// Writes `data` at `offset`, allocating chunks as needed.
+  void write(std::uint64_t offset, std::span<const std::byte> data);
+
+  /// Reads into `out` from `offset`; unwritten ranges read as zero.
+  void read(std::uint64_t offset, std::span<std::byte> out) const;
+
+  /// Bytes currently resident (allocated chunks * chunk size).
+  std::uint64_t resident_bytes() const { return chunks_.size() * kChunk; }
+
+  /// Highest offset ever written (0 if never written).
+  std::uint64_t high_water() const { return high_water_; }
+
+  void clear() {
+    chunks_.clear();
+    high_water_ = 0;
+  }
+
+ private:
+  std::map<std::uint64_t, std::vector<std::byte>> chunks_;  // chunk index -> bytes
+  std::uint64_t high_water_ = 0;
+};
+
+}  // namespace sio::pfs

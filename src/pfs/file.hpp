@@ -1,0 +1,58 @@
+// Per-file state shared by every handle of a PFS file.
+//
+// A file carries its access mode (set by gopen or setiomode and shared by
+// all openers), its size, the shared file pointer used by the
+// shared-pointer modes, the M_UNIX/M_LOG serialization token, and the lazy
+// stripe-unit -> disk-offset allocation map.  Optionally it stores actual
+// bytes (ContentPolicy::kStoreBytes) so tests can verify data round-trips
+// through every mode.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "pablo/event.hpp"
+#include "pfs/content.hpp"
+#include "pfs/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace sio::pfs {
+
+struct FileState {
+  FileState(pablo::FileId id_, std::string path_, ContentPolicy policy)
+      : id(id_), path(std::move(path_)) {
+    if (policy == ContentPolicy::kStoreBytes) content = std::make_unique<SparseContent>();
+  }
+
+  pablo::FileId id;
+  std::string path;
+
+  IoMode mode = IoMode::kUnix;
+  std::uint64_t size = 0;
+  std::uint64_t record_size = 0;
+  /// File pointer shared by M_GLOBAL/M_SYNC/M_LOG.
+  std::uint64_t shared_offset = 0;
+  int open_count = 0;
+
+  /// Byte-accurate contents (only with ContentPolicy::kStoreBytes).
+  std::unique_ptr<SparseContent> content;
+
+  /// Lazily assigned location of each global stripe unit on its I/O node's
+  /// array (bump-allocated by the Pfs, so a file's units are mostly
+  /// contiguous per array).
+  std::unordered_map<std::uint64_t, std::uint64_t> unit_disk_offset;
+
+  bool shared() const { return open_count > 1; }
+
+  void truncate() {
+    size = 0;
+    shared_offset = 0;
+    if (content) content->clear();
+  }
+};
+
+}  // namespace sio::pfs

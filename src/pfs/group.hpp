@@ -1,0 +1,99 @@
+// Process groups for collective I/O.
+//
+// A `Group` is an ordered set of compute nodes that perform collective file
+// operations together (gopen, setiomode, and all data operations of the
+// collective modes M_GLOBAL/M_SYNC).  Usage is SPMD: every member executes
+// the same sequence of collective calls on the group, like an MPI
+// communicator.
+//
+// `arrive()` is the rendezvous primitive: the *last* caller runs a hook
+// synchronously — before any waiter resumes — which is how shared-pointer
+// updates are made race-free in the cooperative scheduler; members then read
+// their per-rank results from `wave_offsets()` immediately upon resuming,
+// before their next suspension point.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "machine/topology.hpp"
+#include "sim/assert.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace sio::pfs {
+
+class Group {
+ public:
+  Group(sim::Engine& engine, std::vector<hw::NodeId> members)
+      : engine_(engine),
+        members_(std::move(members)),
+        gen_(std::make_unique<sim::Event>(engine_)),
+        scratch_(members_.size(), 0),
+        wave_offsets_(members_.size(), 0) {
+    SIO_ASSERT(!members_.empty());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      rank_of_[members_[i]] = static_cast<int>(i);
+    }
+  }
+
+  /// Convenience: the contiguous group {0, 1, ..., n-1}.
+  static std::unique_ptr<Group> contiguous(sim::Engine& engine, int n) {
+    std::vector<hw::NodeId> m(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) m[static_cast<std::size_t>(i)] = i;
+    return std::make_unique<Group>(engine, std::move(m));
+  }
+
+  int size() const { return static_cast<int>(members_.size()); }
+  const std::vector<hw::NodeId>& members() const { return members_; }
+  hw::NodeId leader() const { return members_[0]; }
+
+  int rank_of(hw::NodeId node) const {
+    auto it = rank_of_.find(node);
+    SIO_ASSERT(it != rank_of_.end());
+    return it->second;
+  }
+
+  bool contains(hw::NodeId node) const { return rank_of_.find(node) != rank_of_.end(); }
+
+  /// Per-rank input slots for collective size exchange.
+  std::vector<std::uint64_t>& scratch() { return scratch_; }
+
+  /// Per-rank results computed by the last arriver's hook.
+  const std::vector<std::uint64_t>& wave_offsets() const { return wave_offsets_; }
+  std::vector<std::uint64_t>& wave_offsets() { return wave_offsets_; }
+
+  /// Rendezvous: suspends until all members have arrived; the last arriver
+  /// executes `on_last` synchronously before anyone resumes, then proceeds
+  /// without suspending.  Pass nullptr for a plain barrier.
+  sim::Task<void> arrive(std::function<void()> on_last = nullptr);
+
+ private:
+  sim::Engine& engine_;
+  std::vector<hw::NodeId> members_;
+  std::unordered_map<hw::NodeId, int> rank_of_;
+  int arrived_ = 0;
+  std::unique_ptr<sim::Event> gen_;
+  std::vector<std::uint64_t> scratch_;
+  std::vector<std::uint64_t> wave_offsets_;
+};
+
+inline sim::Task<void> Group::arrive(std::function<void()> on_last) {
+  if (arrived_ + 1 == size()) {
+    arrived_ = 0;
+    if (on_last) on_last();
+    auto finished = std::move(gen_);
+    gen_ = std::make_unique<sim::Event>(engine_);
+    finished->set();  // waiters resume through the event queue
+    co_return;
+  }
+  ++arrived_;
+  sim::Event& ev = *gen_;
+  co_await ev.wait();
+}
+
+}  // namespace sio::pfs

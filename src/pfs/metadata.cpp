@@ -1,0 +1,21 @@
+#include "pfs/metadata.hpp"
+
+namespace sio::pfs {
+
+sim::Mutex& MetadataServer::queue_for(pablo::FileId file, MetaClass cls) {
+  const Key key{file, cls};
+  auto it = queues_.find(key);
+  if (it == queues_.end()) {
+    it = queues_.emplace(key, std::make_unique<sim::Mutex>(engine_)).first;
+  }
+  return *it->second;
+}
+
+sim::Task<void> MetadataServer::request(pablo::FileId file, MetaClass cls, sim::Tick service) {
+  auto guard = co_await queue_for(file, cls).scoped();
+  ++served_;
+  busy_ += service;
+  co_await engine_.delay(service);
+}
+
+}  // namespace sio::pfs

@@ -1,0 +1,89 @@
+// PFS metadata / token server.
+//
+// The server arbitrates file metadata operations (open, gopen, setiomode,
+// close) and the per-operation grants that M_UNIX and M_LOG serialize on.
+// Serialization is per (file, service class): concurrent opens of the same
+// file queue behind each other — which is what makes `open` dominate the
+// initial versions of both applications (Tables 2 and 5) — but operations
+// on different files, and different service classes of the same file
+// (pointer-seek registry vs read grants vs write-atomicity grants), proceed
+// independently, as they did on the real machine's distributed token
+// handling.  Service times come from the active OS profile.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "machine/os_profile.hpp"
+#include "pablo/event.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace sio::pfs {
+
+/// Independent serialization classes of the metadata service.
+enum class MetaClass : std::uint8_t {
+  kControl = 0,  ///< open/gopen/setiomode
+  kClose,        ///< close (cheap reference-count decrement path)
+  kSeek,         ///< shared-pointer seek registry
+  kTokenRead,    ///< M_UNIX/M_LOG read grants
+  kTokenWrite,   ///< M_UNIX/M_LOG write-atomicity grants
+};
+
+inline constexpr int kMetaClassCount = 5;
+
+class MetadataServer {
+ public:
+  MetadataServer(sim::Engine& engine, const hw::OsProfile& os) : engine_(engine), os_(os) {}
+
+  /// FIFO-queued metadata operation on (file, class) with the given service.
+  sim::Task<void> request(pablo::FileId file, MetaClass cls, sim::Tick service);
+
+  sim::Task<void> open_op(pablo::FileId f) { return request(f, MetaClass::kControl, os_.open_service); }
+  sim::Task<void> gopen_op(pablo::FileId f) {
+    return request(f, MetaClass::kControl, os_.gopen_service);
+  }
+  sim::Task<void> iomode_op(pablo::FileId f) {
+    return request(f, MetaClass::kControl, os_.iomode_service);
+  }
+  sim::Task<void> close_op(pablo::FileId f) {
+    return request(f, MetaClass::kClose, os_.close_service);
+  }
+  sim::Task<void> token_op(pablo::FileId f, bool is_write) {
+    return is_write ? request(f, MetaClass::kTokenWrite, os_.token_write_service)
+                    : request(f, MetaClass::kTokenRead, os_.token_read_service);
+  }
+  sim::Task<void> seek_op(pablo::FileId f) {
+    return request(f, MetaClass::kSeek, os_.shared_seek_service);
+  }
+
+  std::uint64_t requests_served() const { return served_; }
+  sim::Tick busy_time() const { return busy_; }
+
+ private:
+  struct Key {
+    pablo::FileId file;
+    MetaClass cls;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(k.file) << 3) |
+                                        static_cast<std::uint64_t>(k.cls));
+    }
+  };
+
+  sim::Engine& engine_;
+  const hw::OsProfile& os_;
+  std::unordered_map<Key, std::unique_ptr<sim::Mutex>, KeyHash> queues_;
+  std::uint64_t served_ = 0;
+  sim::Tick busy_ = 0;
+
+  sim::Mutex& queue_for(pablo::FileId file, MetaClass cls);
+};
+
+}  // namespace sio::pfs

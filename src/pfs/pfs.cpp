@@ -1,0 +1,216 @@
+#include "pfs/pfs.hpp"
+
+#include <algorithm>
+
+namespace sio::pfs {
+
+Pfs::Pfs(hw::Machine& machine, pablo::Collector& collector, PfsConfig cfg)
+    : machine_(machine),
+      collector_(collector),
+      cfg_(cfg),
+      meta_(machine.engine(), machine.config().os),
+      layout_(machine.config().stripe_unit, machine.config().io_nodes),
+      next_disk_offset_(static_cast<std::size_t>(machine.config().io_nodes), 0) {
+  servers_.reserve(static_cast<std::size_t>(machine.config().io_nodes));
+  for (int i = 0; i < machine.config().io_nodes; ++i) {
+    servers_.push_back(std::make_unique<IoServer>(machine.engine(), i, machine.config().disk,
+                                                  machine.config().stripe_unit,
+                                                  machine.config().io_nodes, cfg_.server));
+  }
+}
+
+FileState& Pfs::get_or_create(std::string_view path) {
+  auto it = files_.find(std::string(path));
+  if (it != files_.end()) return *it->second;
+  const pablo::FileId id = collector_.register_file(path);
+  auto state = std::make_unique<FileState>(id, std::string(path), cfg_.content);
+  FileState& ref = *state;
+  files_.emplace(std::string(path), std::move(state));
+  return ref;
+}
+
+bool Pfs::exists(std::string_view path) const { return files_.count(std::string(path)) > 0; }
+
+FileState& Pfs::lookup(std::string_view path) {
+  auto it = files_.find(std::string(path));
+  if (it == files_.end()) throw PfsError("no such file: " + std::string(path));
+  return *it->second;
+}
+
+std::uint64_t Pfs::file_size(std::string_view path) { return lookup(path).size; }
+
+FileState& Pfs::stage_file(std::string_view path, std::uint64_t size) {
+  FileState& f = get_or_create(path);
+  f.size = size;
+  // A file that exists before the run occupies contiguous extents on each
+  // array (it was written out sequentially at some point in the past), so
+  // allocate all of its stripe units now, in order.
+  const std::uint64_t units = size == 0 ? 0 : (size + layout_.unit() - 1) / layout_.unit();
+  for (std::uint64_t u = 0; u < units; ++u) {
+    disk_offset_of(f, u);
+  }
+  return f;
+}
+
+void Pfs::stage_contents(std::string_view path, std::uint64_t offset,
+                         std::span<const std::byte> data) {
+  FileState& f = lookup(path);
+  if (!f.content) throw PfsError("stage_contents requires ContentPolicy::kStoreBytes");
+  f.content->write(offset, data);
+  f.size = std::max(f.size, offset + data.size());
+}
+
+sim::Tick Pfs::meta_round_trip(hw::NodeId node) const {
+  (void)node;  // the server sits mid-mesh; per-node variation is sub-mic
+  const auto& net = machine_.config().net;
+  return 2 * net.sw_overhead + machine_.mesh().diameter() * net.per_hop;
+}
+
+std::uint64_t Pfs::disk_offset_of(FileState& file, std::uint64_t unit_index) {
+  auto it = file.unit_disk_offset.find(unit_index);
+  if (it != file.unit_disk_offset.end()) return it->second;
+  const int io = layout_.io_node_of(unit_index);
+  auto& bump = next_disk_offset_[static_cast<std::size_t>(io)];
+  const std::uint64_t off = bump;
+  bump += layout_.unit();
+  SIO_ASSERT(bump <= machine_.config().disk.capacity);
+  file.unit_disk_offset.emplace(unit_index, off);
+  return off;
+}
+
+sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSegment seg,
+                                      bool is_write, bool buffered, sim::WaitGroup* wg) {
+  auto& engine = machine_.engine();
+  auto& net = machine_.network();
+  const std::uint64_t unit_off = disk_offset_of(*file, seg.unit_index);
+  const UnitKey key{file->id, seg.unit_index};
+  constexpr std::uint64_t kHeader = 64;  // request/ack control message size
+
+  co_await engine.delay(
+      net.message_time_to_io(node, seg.io_node, is_write ? seg.length + kHeader : kHeader));
+  if (is_write) {
+    co_await server(seg.io_node).write(key, unit_off, seg.offset_in_unit, seg.length, buffered);
+  } else {
+    // How many further units of this file live on the same I/O node —
+    // bounds server-side prefetch so it never runs past the file.
+    const std::uint64_t unit = layout_.unit();
+    const std::uint64_t file_units = file->size == 0 ? 0 : (file->size + unit - 1) / unit;
+    int cap = 0;
+    if (file_units > seg.unit_index + 1) {
+      cap = static_cast<int>((file_units - 1 - seg.unit_index) /
+                             static_cast<std::uint64_t>(layout_.io_nodes()));
+    }
+    co_await server(seg.io_node).read(key, unit_off, seg.offset_in_unit, seg.length, buffered,
+                                      cap);
+  }
+  co_await engine.delay(
+      net.message_time_to_io(node, seg.io_node, is_write ? kHeader : seg.length + kHeader));
+
+  if (wg != nullptr) wg->done();
+}
+
+sim::Task<void> Pfs::transfer(hw::NodeId node, FileState& file, std::uint64_t offset,
+                              std::uint64_t bytes, bool is_write, bool buffered) {
+  if (bytes == 0) co_return;
+  ++data_ops_;
+  if (is_write) {
+    bytes_written_ += bytes;
+  } else {
+    bytes_read_ += bytes;
+  }
+
+  auto segs = layout_.map(offset, bytes);
+  if (segs.size() == 1) {
+    co_await transfer_segment(node, &file, segs.front(), is_write, buffered, nullptr);
+    co_return;
+  }
+  // Striped parallelism: all segments proceed concurrently; segments that
+  // land on the same I/O node serialize in its CPU/disk queues.
+  sim::WaitGroup wg(machine_.engine());
+  for (const auto& seg : segs) {
+    wg.add();
+    machine_.engine().spawn(transfer_segment(node, &file, seg, is_write, buffered, &wg));
+  }
+  co_await wg.wait();
+}
+
+sim::Task<void> Pfs::fetch_unit(hw::NodeId node, FileState& file, std::uint64_t unit_index) {
+  StripeSegment seg;
+  seg.io_node = layout_.io_node_of(unit_index);
+  seg.unit_index = unit_index;
+  seg.offset_in_unit = 0;
+  seg.length = layout_.unit();
+  seg.file_offset = unit_index * layout_.unit();
+  bytes_read_ += seg.length;
+  ++data_ops_;
+  co_await transfer_segment(node, &file, seg, /*is_write=*/false, /*buffered=*/true, nullptr);
+}
+
+sim::Task<void> Pfs::flush_servers() {
+  for (auto& srv : servers_) {
+    co_await srv->flush_all();
+  }
+}
+
+sim::Task<FileHandle> Pfs::open(hw::NodeId node, std::string_view path, OpenOptions opts) {
+  FileState& f = get_or_create(path);
+  if (opts.mode != f.mode && opts.mode != IoMode::kUnix) {
+    throw PfsError("open() does not set the access mode; use gopen() or set_iomode()");
+  }
+
+  pablo::OpTimer timer(collector_, node, f.id, pablo::IoOp::kOpen);
+  co_await machine_.engine().delay(os().syscall_overhead + meta_round_trip(node));
+  co_await meta_.open_op(f.id);
+  if (opts.truncate && f.open_count == 0) f.truncate();
+  ++f.open_count;
+
+  FileHandle h;
+  h.fs_ = this;
+  h.file_ = &f;
+  h.node_ = node;
+  h.open_ = true;
+  h.buffering_ = opts.buffering;
+  timer.finish();
+  co_return h;
+}
+
+sim::Task<FileHandle> Pfs::gopen(hw::NodeId node, std::string_view path, Group& group,
+                                 OpenOptions opts) {
+  if (opts.mode == IoMode::kAsync && !os().has_masync) {
+    throw PfsError("M_ASYNC is not available under " + os().name);
+  }
+  if (opts.mode == IoMode::kRecord && opts.record_size == 0) {
+    throw PfsError("M_RECORD requires a record size");
+  }
+
+  FileState& f = get_or_create(path);
+  const int rank = group.rank_of(node);
+
+  pablo::OpTimer timer(collector_, node, f.id, pablo::IoOp::kGopen);
+  co_await machine_.engine().delay(os().syscall_overhead);
+  co_await group.arrive();  // all members enter the collective
+  if (rank == 0) {
+    co_await machine_.engine().delay(meta_round_trip(node));
+    co_await meta_.gopen_op(f.id);
+    if (opts.truncate && f.open_count == 0) f.truncate();
+    f.mode = opts.mode;
+    if (opts.record_size != 0) f.record_size = opts.record_size;
+  }
+  co_await group.arrive();  // leader's metadata op is done
+  co_await machine_.engine().delay(
+      os().gopen_client + machine_.network().broadcast_arrival(rank, group.size(), 128));
+  ++f.open_count;
+
+  FileHandle h;
+  h.fs_ = this;
+  h.file_ = &f;
+  h.node_ = node;
+  h.group_ = &group;
+  h.rank_ = rank;
+  h.open_ = true;
+  h.buffering_ = opts.buffering;
+  timer.finish();
+  co_return h;
+}
+
+}  // namespace sio::pfs

@@ -1,0 +1,131 @@
+// The parallel file system facade.
+//
+// `Pfs` ties together the metadata/token server, the per-I/O-node servers,
+// the striping layout and the Pablo collector, and hands out `FileHandle`s
+// via open (per-process, M_UNIX cost model) and gopen (collective: one
+// metadata operation plus a broadcast — the cheap alternative both
+// application teams converged on).
+//
+// Downstream users drive it from coroutine tasks:
+//
+//   sio::pfs::Pfs fs(machine, collector);
+//   auto group = sio::pfs::Group::contiguous(machine.engine(), nodes);
+//   // per node task:
+//   auto fh = co_await fs.gopen(node, "/pfs/data", *group,
+//                               {.mode = sio::pfs::IoMode::kRecord,
+//                                .record_size = 128 * 1024});
+//   co_await fh.read(128 * 1024);
+//   co_await fh.close();
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "pablo/collector.hpp"
+#include "pfs/client.hpp"
+#include "pfs/file.hpp"
+#include "pfs/group.hpp"
+#include "pfs/metadata.hpp"
+#include "pfs/server.hpp"
+#include "pfs/stripe.hpp"
+#include "pfs/types.hpp"
+
+namespace sio::pfs {
+
+struct PfsConfig {
+  ServerConfig server{};
+  ContentPolicy content = ContentPolicy::kExtentsOnly;
+};
+
+class Pfs {
+ public:
+  Pfs(hw::Machine& machine, pablo::Collector& collector, PfsConfig cfg = {});
+
+  Pfs(const Pfs&) = delete;
+  Pfs& operator=(const Pfs&) = delete;
+
+  /// Per-process open.  Does not change the file's access mode (use
+  /// setiomode / gopen for that); a newly created file starts in M_UNIX.
+  sim::Task<FileHandle> open(hw::NodeId node, std::string_view path, OpenOptions opts = {});
+
+  /// Collective open: every member of `group` must call.  One metadata
+  /// operation is performed and the result broadcast; the options (mode,
+  /// record size, truncation) are applied by the leader.
+  sim::Task<FileHandle> gopen(hw::NodeId node, std::string_view path, Group& group,
+                              OpenOptions opts = {});
+
+  /// Creates (or resizes) a file without timing cost — used to stage the
+  /// input files that exist before a run begins.
+  FileState& stage_file(std::string_view path, std::uint64_t size);
+
+  /// Pre-populates a staged file's contents (requires kStoreBytes).
+  void stage_contents(std::string_view path, std::uint64_t offset,
+                      std::span<const std::byte> data);
+
+  bool exists(std::string_view path) const;
+  FileState& lookup(std::string_view path);
+  std::uint64_t file_size(std::string_view path);
+
+  // ---- internals used by FileHandle (and by tests) ----
+  hw::Machine& machine() { return machine_; }
+  pablo::Collector& collector() { return collector_; }
+  MetadataServer& metadata() { return meta_; }
+  const StripeLayout& layout() const { return layout_; }
+  const hw::OsProfile& os() const { return machine_.config().os; }
+  IoServer& server(int i) { return *servers_[static_cast<std::size_t>(i)]; }
+  int server_count() const { return static_cast<int>(servers_.size()); }
+
+  /// Round-trip time of a small control message between a compute node and
+  /// the metadata server (placed mid-mesh).
+  sim::Tick meta_round_trip(hw::NodeId node) const;
+
+  /// Performs the data movement of one request: splits [offset, offset +
+  /// bytes) into stripe segments and runs them against their I/O-node
+  /// servers in parallel, including the request/response network time.
+  sim::Task<void> transfer(hw::NodeId node, FileState& file, std::uint64_t offset,
+                           std::uint64_t bytes, bool is_write, bool buffered);
+
+  /// Fetches one whole stripe unit into the server cache and charges the
+  /// network round trip (client read-cache fill).
+  sim::Task<void> fetch_unit(hw::NodeId node, FileState& file, std::uint64_t unit_index);
+
+  /// Flushes every server's dirty units to the arrays (end-of-run barrier
+  /// in tests; not part of the traced workload).
+  sim::Task<void> flush_servers();
+
+  /// Disk location of a stripe unit, bump-allocated on first touch.
+  std::uint64_t disk_offset_of(FileState& file, std::uint64_t unit_index);
+
+  // ---- aggregate statistics ----
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t data_ops() const { return data_ops_; }
+
+ private:
+  hw::Machine& machine_;
+  pablo::Collector& collector_;
+  PfsConfig cfg_;
+  MetadataServer meta_;
+  StripeLayout layout_;
+  std::vector<std::unique_ptr<IoServer>> servers_;
+  std::unordered_map<std::string, std::unique_ptr<FileState>> files_;
+  std::vector<std::uint64_t> next_disk_offset_;  // per-I/O-node bump allocator
+
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t data_ops_ = 0;
+
+  friend class FileHandle;
+
+  FileState& get_or_create(std::string_view path);
+  sim::Task<void> transfer_segment(hw::NodeId node, FileState* file, StripeSegment seg,
+                                   bool is_write, bool buffered, sim::WaitGroup* wg);
+};
+
+}  // namespace sio::pfs

@@ -1,0 +1,42 @@
+#include "pfs/policies.hpp"
+
+namespace sio::pfs {
+
+ServerConfig with_prefetch(ServerConfig base, int units) {
+  base.prefetch_units = units;
+  return base;
+}
+
+ServerConfig with_write_behind(ServerConfig base, std::size_t dirty_units) {
+  base.dirty_limit = dirty_units;
+  return base;
+}
+
+sim::Task<void> RequestAggregator::submit(std::uint64_t offset, std::uint64_t bytes) {
+  submitted_ += bytes;
+  if (len_ > 0 && offset != start_ + len_) {
+    co_await drain();
+  }
+  if (len_ == 0) start_ = offset;
+  len_ += bytes;
+  while (len_ >= unit_) {
+    const std::uint64_t ship = unit_ - (start_ % unit_);  // stay stripe-aligned
+    ++flushes_;
+    co_await fs_.transfer(node_, file_, start_, ship, /*is_write=*/true, /*buffered=*/true);
+    file_.size = std::max(file_.size, start_ + ship);
+    start_ += ship;
+    len_ -= ship;
+  }
+}
+
+sim::Task<void> RequestAggregator::drain() {
+  if (len_ == 0) co_return;
+  ++flushes_;
+  const std::uint64_t s = start_;
+  const std::uint64_t l = len_;
+  len_ = 0;
+  co_await fs_.transfer(node_, file_, s, l, /*is_write=*/true, /*buffered=*/true);
+  file_.size = std::max(file_.size, s + l);
+}
+
+}  // namespace sio::pfs

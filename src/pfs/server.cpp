@@ -1,0 +1,150 @@
+#include "pfs/server.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace sio::pfs {
+
+bool IoServer::lookup(const UnitKey& key) { return cache_.find(key) != cache_.end(); }
+
+void IoServer::touch(const UnitKey& key) {
+  auto it = cache_.find(key);
+  SIO_ASSERT(it != cache_.end());
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(key);
+  it->second.lru_pos = lru_.begin();
+}
+
+void IoServer::insert(const UnitKey& key, std::uint64_t disk_offset, bool dirty) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    touch(key);
+    if (dirty && !it->second.dirty) {
+      it->second.dirty = true;
+      dirty_.push_back(key);
+    }
+    return;
+  }
+  lru_.push_front(key);
+  CacheEntry entry;
+  entry.lru_pos = lru_.begin();
+  entry.disk_offset = disk_offset;
+  entry.dirty = dirty;
+  cache_.emplace(key, entry);
+  if (dirty) dirty_.push_back(key);
+}
+
+sim::Task<void> IoServer::evict_if_needed() {
+  while (lru_.size() > cfg_.cache_units) {
+    const UnitKey victim = lru_.back();
+    auto it = cache_.find(victim);
+    SIO_ASSERT(it != cache_.end());
+    if (it->second.dirty) {
+      // Write the victim back before dropping it.
+      const std::uint64_t off = it->second.disk_offset;
+      dirty_.remove(victim);
+      co_await disk_.access(off, stripe_unit_, /*write=*/true);
+      it = cache_.find(victim);  // iterator may be stale only if erased; keys are stable
+      SIO_ASSERT(it != cache_.end());
+    }
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+}
+
+sim::Task<void> IoServer::flush_oldest_dirty() {
+  if (dirty_.empty()) co_return;
+  const UnitKey key = dirty_.front();
+  dirty_.pop_front();
+  auto it = cache_.find(key);
+  if (it == cache_.end()) co_return;
+  it->second.dirty = false;
+  co_await disk_.access(it->second.disk_offset, stripe_unit_, /*write=*/true);
+}
+
+sim::Task<void> IoServer::read(UnitKey key, std::uint64_t unit_disk_offset,
+                               std::uint64_t offset_in_unit, std::uint64_t len, bool buffered,
+                               int prefetch_cap) {
+  auto guard = co_await cpu_.scoped();
+  const std::uint64_t disk_offset = unit_disk_offset;
+
+  if (!buffered) {
+    ++unbuffered_;
+    co_await engine_.delay(cfg_.miss_setup);
+    // Unbuffered access bypasses the cache and pays a raw array access;
+    // RAID-3 rounds the transfer up to its granule internally.
+    co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/false);
+    co_return;
+  }
+
+  if (lookup(key)) {
+    ++hits_;
+    touch(key);
+    // Hits advance the sequential detector too, so a run that alternates
+    // between prefetched hits and misses keeps prefetching.
+    last_unit_[key.file] = key.unit;
+    co_await engine_.delay(cfg_.hit_service);
+    co_return;
+  }
+
+  ++misses_;
+  co_await engine_.delay(cfg_.miss_setup);
+
+  // Sequential prefetch (policy extension): if this miss extends a
+  // sequential run for the file, fetch extra units in the same array access.
+  // On this server, consecutive units of one file differ by the stripe
+  // factor in global index but are contiguous on the local array.
+  int extra = 0;
+  if (cfg_.prefetch_units > 0) {
+    auto it = last_unit_.find(key.file);
+    if (it != last_unit_.end() && key.unit == it->second + stripe_factor_) {
+      extra = std::min(cfg_.prefetch_units, prefetch_cap);
+    }
+  }
+  last_unit_[key.file] = key.unit;
+
+  const std::uint64_t fetch_bytes = stripe_unit_ * static_cast<std::uint64_t>(1 + extra);
+  co_await disk_.access(disk_offset, fetch_bytes, /*write=*/false);
+  insert(key, disk_offset, /*dirty=*/false);
+  for (int i = 1; i <= extra; ++i) {
+    const auto step = static_cast<std::uint64_t>(i);
+    insert(UnitKey{key.file, key.unit + step * stripe_factor_}, disk_offset + step * stripe_unit_,
+           /*dirty=*/false);
+    ++prefetched_;
+  }
+  co_await evict_if_needed();
+  (void)len;
+}
+
+sim::Task<void> IoServer::write(UnitKey key, std::uint64_t unit_disk_offset,
+                                std::uint64_t offset_in_unit, std::uint64_t len, bool buffered) {
+  auto guard = co_await cpu_.scoped();
+  const std::uint64_t disk_offset = unit_disk_offset;
+
+  if (!buffered) {
+    ++unbuffered_;
+    co_await engine_.delay(cfg_.miss_setup);
+    co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/true);
+    co_return;
+  }
+
+  co_await engine_.delay(cfg_.write_absorb +
+                         static_cast<sim::Tick>(static_cast<double>(len) /
+                                                cfg_.absorb_bytes_per_tick));
+  insert(key, disk_offset, /*dirty=*/true);
+  if (dirty_.size() > cfg_.dirty_limit) {
+    co_await flush_oldest_dirty();
+  }
+  co_await evict_if_needed();
+  (void)len;
+}
+
+sim::Task<void> IoServer::flush_all() {
+  auto guard = co_await cpu_.scoped();
+  while (!dirty_.empty()) {
+    co_await flush_oldest_dirty();
+  }
+}
+
+}  // namespace sio::pfs

@@ -1,0 +1,139 @@
+// I/O-node server: one per I/O node, fronting one RAID-3 array.
+//
+// The server owns a stripe-unit cache (read cache + write-back buffer) and a
+// CPU service queue.  Buffered reads fetch whole stripe units so subsequent
+// small sequential reads hit; buffered writes are absorbed into the cache
+// and flushed to the array when the dirty backlog crosses a threshold (or on
+// explicit flush).  *Unbuffered* operations bypass the cache entirely and
+// pay a full array access rounded up to the RAID-3 granule — the behavior
+// PRISM version C bought itself by disabling buffering.
+//
+// An optional sequential-prefetch policy (one of the paper's §7 design
+// principles) widens cache-miss fetches when the per-file access stream
+// looks sequential; the ablation bench quantifies its effect.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "machine/disk.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace sio::pfs {
+
+struct ServerConfig {
+  /// CPU service for an operation satisfied from cache.
+  sim::Tick hit_service = sim::microseconds(12);
+  /// CPU service to absorb a buffered write into the cache: a fixed setup
+  /// cost plus a copy cost proportional to the payload.
+  sim::Tick write_absorb = sim::microseconds(50);
+  /// Copy-in bandwidth of the server cache (bytes per tick; 0.033 = 33 MB/s).
+  double absorb_bytes_per_tick = 0.05;
+  /// CPU service to set up any disk transfer.
+  sim::Tick miss_setup = sim::microseconds(120);
+  /// Read-cache capacity in stripe units.
+  std::size_t cache_units = 192;
+  /// Dirty units above which a write triggers an inline flush of the oldest
+  /// dirty unit (keeps the model free of perpetual background tasks).
+  std::size_t dirty_limit = 96;
+  /// Sequential prefetch: number of *extra* units fetched on a miss that
+  /// extends a sequential per-file run (0 = off, the PFS baseline).
+  int prefetch_units = 0;
+};
+
+/// Cache key: (file id, global stripe-unit index).
+struct UnitKey {
+  std::uint32_t file = 0;
+  std::uint64_t unit = 0;
+
+  friend bool operator==(const UnitKey&, const UnitKey&) = default;
+};
+
+struct UnitKeyHash {
+  std::size_t operator()(const UnitKey& k) const {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(k.file) << 40) ^ k.unit);
+  }
+};
+
+class IoServer {
+ public:
+  /// `stripe_factor` is the total number of I/O nodes: consecutive stripe
+  /// units of one file seen by *this* server differ by that much in their
+  /// global unit index (used by the sequential-prefetch detector).
+  IoServer(sim::Engine& engine, int id, const hw::DiskConfig& disk_cfg, std::uint64_t stripe_unit,
+           int stripe_factor, const ServerConfig& cfg)
+      : engine_(engine),
+        id_(id),
+        cfg_(cfg),
+        stripe_unit_(stripe_unit),
+        stripe_factor_(static_cast<std::uint64_t>(stripe_factor)),
+        disk_(engine, disk_cfg),
+        cpu_(engine) {}
+
+  int id() const { return id_; }
+  hw::Raid3Disk& disk() { return disk_; }
+  const ServerConfig& config() const { return cfg_; }
+
+  /// Read of [offset_in_unit, +len) of a stripe unit.  `unit_disk_offset`
+  /// is where the unit starts on this node's array.  Buffered misses fetch
+  /// the whole unit; unbuffered reads bypass the cache and pay a raw array
+  /// access at the exact position.  `prefetch_cap` bounds how many units
+  /// beyond this one may be prefetched (the client derives it from the
+  /// file's remaining extent on this node, so prefetch never overshoots).
+  sim::Task<void> read(UnitKey key, std::uint64_t unit_disk_offset, std::uint64_t offset_in_unit,
+                       std::uint64_t len, bool buffered, int prefetch_cap = 1 << 20);
+
+  /// Write into a stripe unit; buffered writes are absorbed into the
+  /// write-back cache, unbuffered writes go straight to the array.
+  sim::Task<void> write(UnitKey key, std::uint64_t unit_disk_offset, std::uint64_t offset_in_unit,
+                        std::uint64_t len, bool buffered);
+
+  /// Drains every dirty unit to the array.
+  sim::Task<void> flush_all();
+
+  // ---- statistics ----
+  std::uint64_t cache_hits() const { return hits_; }
+  std::uint64_t cache_misses() const { return misses_; }
+  std::uint64_t unbuffered_ops() const { return unbuffered_; }
+  std::uint64_t prefetched_units() const { return prefetched_; }
+  std::size_t dirty_units() const { return dirty_.size(); }
+  std::size_t cached_units() const { return lru_.size(); }
+
+ private:
+  struct CacheEntry {
+    std::list<UnitKey>::iterator lru_pos;
+    std::uint64_t disk_offset = 0;
+    bool dirty = false;
+  };
+
+  sim::Engine& engine_;
+  int id_;
+  ServerConfig cfg_;
+  std::uint64_t stripe_unit_;
+  std::uint64_t stripe_factor_;
+  hw::Raid3Disk disk_;
+  sim::Mutex cpu_;
+
+  std::list<UnitKey> lru_;  // front = most recent
+  std::unordered_map<UnitKey, CacheEntry, UnitKeyHash> cache_;
+  std::list<UnitKey> dirty_;  // FIFO flush order
+  std::unordered_map<std::uint32_t, std::uint64_t> last_unit_;  // per-file sequential detector
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t unbuffered_ = 0;
+  std::uint64_t prefetched_ = 0;
+
+  bool lookup(const UnitKey& key);
+  void insert(const UnitKey& key, std::uint64_t disk_offset, bool dirty);
+  void touch(const UnitKey& key);
+  sim::Task<void> evict_if_needed();
+  sim::Task<void> flush_oldest_dirty();
+};
+
+}  // namespace sio::pfs

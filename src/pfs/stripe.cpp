@@ -1,0 +1,37 @@
+#include "pfs/stripe.hpp"
+
+#include <algorithm>
+
+namespace sio::pfs {
+
+std::vector<StripeSegment> StripeLayout::map(std::uint64_t offset, std::uint64_t length) const {
+  std::vector<StripeSegment> out;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = length;
+  while (remaining > 0) {
+    const std::uint64_t u = unit_of(pos);
+    const std::uint64_t in_unit = pos - u * unit_;
+    const std::uint64_t take = std::min(remaining, unit_ - in_unit);
+    StripeSegment seg;
+    seg.io_node = io_node_of(u);
+    seg.unit_index = u;
+    seg.offset_in_unit = in_unit;
+    seg.length = take;
+    seg.file_offset = pos;
+    out.push_back(seg);
+    pos += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+int StripeLayout::spread(std::uint64_t offset, std::uint64_t length) const {
+  const auto segs = map(offset, length);
+  std::vector<int> nodes;
+  for (const auto& s : segs) nodes.push_back(s.io_node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return static_cast<int>(nodes.size());
+}
+
+}  // namespace sio::pfs

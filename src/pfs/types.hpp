@@ -1,0 +1,81 @@
+// Common types of the PFS model.
+//
+// The six access modes are exactly those of Intel PFS as described in §3.2
+// of the paper; their semantics drive everything the paper measures:
+//
+//   M_UNIX    private pointers, standard UNIX sharing semantics; request
+//             atomicity preserved -> operations on a shared file serialize
+//             on a per-file token.
+//   M_RECORD  private pointers, fixed-size records, concurrent operations in
+//             node order; process i's k-th access maps to record k*N + i.
+//   M_ASYNC   private pointers, variable sizes, no atomicity -> fully
+//             parallel (introduced in OSF/1 R1.3).
+//   M_GLOBAL  shared pointer, all processes issue identical synchronized
+//             requests; data is read once and shared (broadcast).
+//   M_SYNC    shared pointer, node-order, per-node sizes may vary.
+//   M_LOG     shared pointer, first-come-first-serve (stdout-style).
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sio::pfs {
+
+enum class IoMode : std::uint8_t {
+  kUnix = 0,
+  kRecord,
+  kAsync,
+  kGlobal,
+  kSync,
+  kLog,
+};
+
+inline constexpr int kIoModeCount = 6;
+
+constexpr std::string_view io_mode_name(IoMode m) {
+  switch (m) {
+    case IoMode::kUnix: return "M_UNIX";
+    case IoMode::kRecord: return "M_RECORD";
+    case IoMode::kAsync: return "M_ASYNC";
+    case IoMode::kGlobal: return "M_GLOBAL";
+    case IoMode::kSync: return "M_SYNC";
+    case IoMode::kLog: return "M_LOG";
+  }
+  return "?";
+}
+
+/// True for the modes that share one file pointer among all processes.
+constexpr bool shares_pointer(IoMode m) {
+  return m == IoMode::kGlobal || m == IoMode::kSync || m == IoMode::kLog;
+}
+
+/// True for the modes whose data operations are collective (every member of
+/// the group must call them together).
+constexpr bool is_collective(IoMode m) { return m == IoMode::kGlobal || m == IoMode::kSync; }
+
+/// Error thrown on misuse of the file-system API (bad mode/size/sequence).
+class PfsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Options for open/gopen.
+struct OpenOptions {
+  IoMode mode = IoMode::kUnix;
+  /// Fixed record size; required before data access in M_RECORD.
+  std::uint64_t record_size = 0;
+  /// Client/server caching for this handle.  PRISM version C disabled this
+  /// for the restart file — with famous consequences (paper §5.1).
+  bool buffering = true;
+  /// Truncate the file at open.
+  bool truncate = false;
+};
+
+/// Whether files keep byte-accurate contents (for verification tests) or
+/// only extents (cheap, used by the big workload runs).
+enum class ContentPolicy : std::uint8_t { kExtentsOnly, kStoreBytes };
+
+}  // namespace sio::pfs

@@ -1,0 +1,33 @@
+// Internal invariant checking.
+//
+// `SIO_ASSERT` is active in all build types: the simulator's value is its
+// correctness, and the cost of the checks is negligible next to event
+// dispatch.  Failures throw `sio::sim::AssertionError` so tests can observe
+// them and so a failed invariant cannot silently corrupt an experiment.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sio::sim {
+
+/// Thrown when an internal invariant of the simulator is violated.
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void assertion_failure(const char* expr, const char* file, int line) {
+  throw AssertionError(std::string("SIO_ASSERT failed: ") + expr + " at " + file + ":" +
+                       std::to_string(line));
+}
+
+}  // namespace sio::sim
+
+#define SIO_ASSERT(expr)                                        \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::sio::sim::assertion_failure(#expr, __FILE__, __LINE__); \
+    }                                                           \
+  } while (false)

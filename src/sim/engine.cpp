@@ -1,0 +1,56 @@
+#include "sim/engine.hpp"
+
+#include "sim/task.hpp"
+
+namespace sio::sim {
+
+void Engine::schedule_at(Tick t, std::function<void()> fn) {
+  SIO_ASSERT(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::post(std::coroutine_handle<> h) {
+  schedule_at(now_, [h] { h.resume(); });
+}
+
+void Engine::report_task_error(std::exception_ptr e) {
+  if (!task_error_) task_error_ = e;
+  stopped_ = true;
+}
+
+void Engine::dispatch_one() {
+  // Moving the function out before popping keeps the event alive while it
+  // runs even if the handler schedules new events (which reallocates the
+  // queue's underlying vector).
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  SIO_ASSERT(ev.at >= now_);
+  now_ = ev.at;
+  ++events_processed_;
+  ev.fn();
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    dispatch_one();
+  }
+  if (task_error_) {
+    auto err = std::exchange(task_error_, nullptr);
+    std::rethrow_exception(err);
+  }
+}
+
+void Engine::run_until(Tick t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().at <= t) {
+    dispatch_one();
+  }
+  if (now_ < t) now_ = t;
+  if (task_error_) {
+    auto err = std::exchange(task_error_, nullptr);
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace sio::sim

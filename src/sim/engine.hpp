@@ -1,0 +1,127 @@
+// Deterministic discrete-event simulation engine.
+//
+// The engine owns a priority queue of (time, sequence) ordered events.  Ties
+// in time are broken by insertion order, so two events scheduled for the same
+// tick always fire in FIFO order — this, plus integer time and a seeded RNG,
+// makes every simulation run bit-reproducible.
+//
+// Coroutine processes (`Task<void>`, see task.hpp) are driven through the
+// same queue: `spawn()` enqueues the initial resume, awaitables returned by
+// `delay()` and by the synchronization primitives enqueue resumes as plain
+// events.  The engine is strictly single-threaded.
+
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace sio::sim {
+
+template <class T>
+class Task;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Tick now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (must be >= now()).
+  void schedule_at(Tick t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` ticks from now (delay must be >= 0).
+  void schedule_in(Tick delay, std::function<void()> fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Enqueues a coroutine resume at the current time, behind any event
+  /// already queued for this tick.  All primitive wake-ups funnel through
+  /// here so resumption order is the FIFO order of the wake-up calls.
+  void post(std::coroutine_handle<> h);
+
+  /// Runs until the event queue drains or `stop()` is called.  Rethrows the
+  /// first exception that escaped a detached task.
+  void run();
+
+  /// Runs until simulated time would exceed `t` (events at exactly `t` run).
+  void run_until(Tick t);
+
+  /// Requests `run()` to return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Starts a detached coroutine process.  The engine assumes ownership of
+  /// the coroutine frame; it is destroyed when the task completes.
+  void spawn(Task<void> task);
+
+  /// Awaitable that suspends the calling task for `d` ticks (d >= 0).
+  /// A zero-tick delay still yields through the event queue, which gives
+  /// deterministic round-robin interleaving between ready tasks.
+  auto delay(Tick d);
+
+  /// Number of events dispatched so far (for tests and microbenchmarks).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Number of spawned tasks that have not yet finished.
+  std::uint64_t live_tasks() const { return live_tasks_; }
+
+  /// Records an exception escaping a detached task; stops the run.
+  void report_task_error(std::exception_ptr e);
+
+  /// Called by the final awaiter of a detached task.
+  void on_detached_task_done() {
+    SIO_ASSERT(live_tasks_ > 0);
+    --live_tasks_;
+  }
+
+ private:
+  struct Event {
+    Tick at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t live_tasks_ = 0;
+  bool stopped_ = false;
+  std::exception_ptr task_error_;
+
+  void dispatch_one();
+};
+
+namespace detail {
+
+/// Awaitable returned by Engine::delay().
+struct DelayAwaiter {
+  Engine& engine;
+  Tick dur;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    SIO_ASSERT(dur >= 0);
+    engine.schedule_in(dur, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+inline auto Engine::delay(Tick d) { return detail::DelayAwaiter{*this, d}; }
+
+}  // namespace sio::sim

@@ -1,0 +1,67 @@
+// Deterministic random number generation for workload models.
+//
+// We deliberately avoid <random>'s distributions: their outputs are not
+// specified bit-for-bit across standard library implementations, and the
+// reproduction's experiments must be replayable anywhere.  The generator is
+// xoshiro256** seeded through SplitMix64; the distributions are implemented
+// here from first principles.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace sio::sim {
+
+/// xoshiro256** pseudo-random generator with SplitMix64 seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive); lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// True with probability p (0 <= p <= 1).
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller (no cached spare: fully stateless per call pair).
+  double normal(double mu, double sigma);
+
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_pick(std::span<const double> weights);
+
+  /// Multiplies `base` by a uniform factor in [1-frac, 1+frac]; never
+  /// returns a negative duration.  Used to de-synchronize compute phases.
+  Tick jitter(Tick base, double frac);
+
+  /// Forks an independent stream (e.g. one per simulated node) whose seed is
+  /// derived deterministically from this stream.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace sio::sim

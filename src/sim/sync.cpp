@@ -1,0 +1,67 @@
+#include "sim/sync.hpp"
+
+namespace sio::sim {
+
+void Event::set() {
+  if (set_) return;
+  set_ = true;
+  for (auto h : waiters_) engine_.post(h);
+  waiters_.clear();
+}
+
+ScopedLock& ScopedLock::operator=(ScopedLock&& o) noexcept {
+  if (this != &o) {
+    unlock();
+    mutex_ = std::exchange(o.mutex_, nullptr);
+  }
+  return *this;
+}
+
+ScopedLock::~ScopedLock() { unlock(); }
+
+void ScopedLock::unlock() {
+  if (mutex_ != nullptr) {
+    auto* m = std::exchange(mutex_, nullptr);
+    m->unlock();
+  }
+}
+
+void Mutex::unlock() {
+  SIO_ASSERT(locked_);
+  if (waiters_.empty()) {
+    locked_ = false;
+    return;
+  }
+  // Hand-off: the mutex stays locked and ownership passes to the oldest
+  // waiter, which is resumed through the event queue.
+  auto h = waiters_.front();
+  waiters_.pop_front();
+  engine_.post(h);
+}
+
+void Semaphore::release() {
+  if (!waiters_.empty()) {
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    engine_.post(h);  // the unit is handed straight to the waiter
+    return;
+  }
+  ++count_;
+}
+
+void Barrier::release_generation() {
+  SIO_ASSERT(arrived_ == parties_ - 1);
+  arrived_ = 0;
+  for (auto h : waiters_) engine_.post(h);
+  waiters_.clear();
+}
+
+void WaitGroup::done() {
+  SIO_ASSERT(count_ > 0);
+  if (--count_ == 0) {
+    for (auto h : waiters_) engine_.post(h);
+    waiters_.clear();
+  }
+}
+
+}  // namespace sio::sim

@@ -1,0 +1,275 @@
+// Coroutine synchronization primitives for simulation processes.
+//
+// Every primitive is strictly FIFO and wakes waiters by *posting* the resume
+// through the engine's event queue rather than resuming inline.  That keeps
+// stacks shallow (no resume recursion), and makes wake-up order — and hence
+// the whole simulation — deterministic.
+//
+// Provided: Event (one-shot latch), Mutex (FIFO, with RAII scoped lock),
+// Semaphore, Barrier (cyclic), WaitGroup (fan-in join), and Channel<T>
+// (unbounded FIFO queue with blocking pop).
+
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/assert.hpp"
+#include "sim/engine.hpp"
+
+namespace sio::sim {
+
+/// One-shot latch: tasks wait until some task calls set(); afterwards waits
+/// complete immediately.
+class Event {
+ public:
+  explicit Event(Engine& eng) : engine_(eng) {}
+
+  bool is_set() const { return set_; }
+
+  /// Wakes every current waiter (in arrival order) and latches.
+  void set();
+
+  /// Awaitable: suspends until the event is set.
+  auto wait() {
+    struct Awaiter {
+      Event& ev;
+      bool await_ready() const { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  bool set_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+class Mutex;
+
+/// RAII ownership of a Mutex acquired via `co_await mutex.scoped()`.
+class [[nodiscard]] ScopedLock {
+ public:
+  ScopedLock() = default;
+  explicit ScopedLock(Mutex* m) : mutex_(m) {}
+  ScopedLock(ScopedLock&& o) noexcept : mutex_(std::exchange(o.mutex_, nullptr)) {}
+  ScopedLock& operator=(ScopedLock&& o) noexcept;
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+  ~ScopedLock();
+
+  /// Releases the lock early.
+  void unlock();
+
+ private:
+  Mutex* mutex_ = nullptr;
+};
+
+/// FIFO mutex.  `unlock()` hands ownership directly to the oldest waiter, so
+/// the lock is never stolen by a task that arrived later.
+class Mutex {
+ public:
+  explicit Mutex(Engine& eng) : engine_(eng) {}
+
+  bool locked() const { return locked_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+  /// Awaitable acquire; caller must pair with unlock().
+  auto lock() {
+    struct Awaiter {
+      Mutex& m;
+      bool await_ready() {
+        if (!m.locked_) {
+          m.locked_ = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { m.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Awaitable acquire returning an RAII guard.
+  auto scoped() {
+    struct Awaiter {
+      Mutex& m;
+      bool await_ready() {
+        if (!m.locked_) {
+          m.locked_ = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { m.waiters_.push_back(h); }
+      ScopedLock await_resume() { return ScopedLock(&m); }
+    };
+    return Awaiter{*this};
+  }
+
+  void unlock();
+
+ private:
+  Engine& engine_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO grant order.
+class Semaphore {
+ public:
+  Semaphore(Engine& eng, std::int64_t initial) : engine_(eng), count_(initial) {
+    SIO_ASSERT(initial >= 0);
+  }
+
+  std::int64_t available() const { return count_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& s;
+      bool await_ready() {
+        if (s.count_ > 0) {
+          --s.count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void release();
+
+ private:
+  Engine& engine_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Cyclic barrier for a fixed party count.  The last arrival releases the
+/// whole generation; the barrier is immediately reusable.
+class Barrier {
+ public:
+  Barrier(Engine& eng, int parties) : engine_(eng), parties_(parties) {
+    SIO_ASSERT(parties > 0);
+  }
+
+  int parties() const { return parties_; }
+  int arrived() const { return arrived_; }
+
+  auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier& b;
+      bool await_ready() {
+        if (b.arrived_ + 1 == b.parties_) {
+          b.release_generation();
+          return true;  // last arrival does not suspend
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ++b.arrived_;
+        b.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine& engine_;
+  int parties_;
+  int arrived_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+
+  void release_generation();
+};
+
+/// Join counter: spawners add(), children done(), a joiner awaits wait().
+class WaitGroup {
+ public:
+  explicit WaitGroup(Engine& eng) : engine_(eng) {}
+
+  void add(std::int64_t n = 1) {
+    SIO_ASSERT(n >= 0);
+    count_ += n;
+  }
+
+  void done();
+
+  std::int64_t pending() const { return count_; }
+
+  auto wait() {
+    struct Awaiter {
+      WaitGroup& wg;
+      bool await_ready() const { return wg.count_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) { wg.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine& engine_;
+  std::int64_t count_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded FIFO channel.  push() never blocks; pop() suspends until a value
+/// is available.  Values are delivered to poppers in arrival order.
+template <class T>
+class Channel {
+ public:
+  explicit Channel(Engine& eng) : engine_(eng) {}
+
+  void push(T value) {
+    values_.push_back(std::move(value));
+    if (!poppers_.empty()) {
+      auto h = poppers_.front();
+      poppers_.pop_front();
+      engine_.post(h);
+    }
+  }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  auto pop() {
+    struct Awaiter {
+      Channel& ch;
+      bool await_ready() const { return !ch.values_.empty(); }
+      void await_suspend(std::coroutine_handle<> h) { ch.poppers_.push_back(h); }
+      T await_resume() {
+        SIO_ASSERT(!ch.values_.empty());
+        T v = std::move(ch.values_.front());
+        ch.values_.pop_front();
+        // If values remain and other poppers are parked, pass the baton.
+        if (!ch.values_.empty() && !ch.poppers_.empty()) {
+          auto h = ch.poppers_.front();
+          ch.poppers_.pop_front();
+          ch.engine_.post(h);
+        }
+        return v;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine& engine_;
+  std::deque<T> values_;
+  std::deque<std::coroutine_handle<>> poppers_;
+};
+
+}  // namespace sio::sim

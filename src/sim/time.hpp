@@ -1,0 +1,76 @@
+// Simulated-time representation for the discrete-event kernel.
+//
+// All simulated time is carried as a signed 64-bit count of nanoseconds
+// (`Tick`).  Integer time keeps event ordering exact and runs bit-identical
+// across platforms, which the reproduction relies on (every experiment is
+// seeded and deterministic).  Helpers convert to and from human units; the
+// double-based constructors round to the nearest nanosecond.
+
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+
+namespace sio::sim {
+
+/// Simulated time point or duration, in nanoseconds.
+using Tick = std::int64_t;
+
+/// One microsecond in ticks.
+inline constexpr Tick kTicksPerMicro = 1'000;
+/// One millisecond in ticks.
+inline constexpr Tick kTicksPerMilli = 1'000'000;
+/// One second in ticks.
+inline constexpr Tick kTicksPerSecond = 1'000'000'000;
+
+/// Builds a duration from integral nanoseconds.
+template <std::integral I>
+constexpr Tick nanoseconds(I n) {
+  return static_cast<Tick>(n);
+}
+
+/// Builds a duration from integral microseconds.
+template <std::integral I>
+constexpr Tick microseconds(I n) {
+  return static_cast<Tick>(n) * kTicksPerMicro;
+}
+
+/// Builds a duration from integral milliseconds.
+template <std::integral I>
+constexpr Tick milliseconds(I n) {
+  return static_cast<Tick>(n) * kTicksPerMilli;
+}
+
+/// Builds a duration from integral seconds.
+template <std::integral I>
+constexpr Tick seconds(I n) {
+  return static_cast<Tick>(n) * kTicksPerSecond;
+}
+
+/// Builds a duration from fractional microseconds (rounded to nearest tick).
+inline Tick microseconds(double x) {
+  return static_cast<Tick>(std::llround(x * static_cast<double>(kTicksPerMicro)));
+}
+
+/// Builds a duration from fractional milliseconds (rounded to nearest tick).
+inline Tick milliseconds(double x) {
+  return static_cast<Tick>(std::llround(x * static_cast<double>(kTicksPerMilli)));
+}
+
+/// Builds a duration from fractional seconds (rounded to nearest tick).
+inline Tick seconds(double x) {
+  return static_cast<Tick>(std::llround(x * static_cast<double>(kTicksPerSecond)));
+}
+
+/// Converts a tick count to fractional seconds (for reporting only).
+constexpr double to_seconds(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+
+/// Converts a tick count to fractional milliseconds (for reporting only).
+constexpr double to_milliseconds(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerMilli);
+}
+
+}  // namespace sio::sim

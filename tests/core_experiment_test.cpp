@@ -1,0 +1,174 @@
+// Tests for the experiment runner and figure generators: RunResult
+// integrity, breakdown consistency, and that every render_* artifact is
+// produced with its expected anchors.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+
+namespace sio::core {
+namespace {
+
+apps::escat::Config tiny_escat(apps::escat::Version v) {
+  apps::escat::Workload w;
+  w.nodes = 8;
+  w.channels = 2;
+  w.init_small_reads = 5;
+  w.quad_cycles = 4;
+  w.reload_record = 8 * 1024;  // 4*8*2048 = 8 nodes * 8 KB
+  w.phase1_setup_compute = sim::seconds(1);
+  w.phase2_cycle_compute = sim::seconds(1);
+  w.phase3_energy_compute = sim::seconds(1);
+  return apps::escat::make_config(v, w);
+}
+
+TEST(RunResult, CarriesTraceAndPhases) {
+  const auto r = run_escat(tiny_escat(apps::escat::Version::C));
+  EXPECT_GT(r.exec_time, 0);
+  EXPECT_FALSE(r.events.empty());
+  EXPECT_FALSE(r.file_names.empty());
+  EXPECT_EQ(r.phases.size(), 4u);
+  EXPECT_EQ(r.label, "C");
+  EXPECT_THROW(r.phase("nope"), std::out_of_range);
+}
+
+TEST(RunResult, BreakdownSharesSumToHundred) {
+  const auto r = run_escat(tiny_escat(apps::escat::Version::B));
+  const auto b = r.breakdown();
+  double total = 0;
+  for (int i = 0; i < pablo::kIoOpCount; ++i) {
+    total += b.pct_of_io_time(static_cast<pablo::IoOp>(i));
+  }
+  EXPECT_NEAR(total, 100.0, 1e-6);
+  EXPECT_GT(b.pct_io_of_exec(), 0.0);
+  EXPECT_LT(b.pct_io_of_exec(), 100.0 * 8);  // sums across 8 nodes
+}
+
+TEST(RunResult, CdfAndTimelineAccessorsWork) {
+  const auto r = run_escat(tiny_escat(apps::escat::Version::C));
+  const auto reads = r.read_cdf();
+  const auto writes = r.write_cdf();
+  EXPECT_GT(reads.total_ops(), 0u);
+  EXPECT_GT(writes.total_ops(), 0u);
+  EXPECT_FALSE(r.op_timeline(pablo::IoOp::kWrite).empty());
+}
+
+TEST(RunResult, SeedChangesOutcomeDeterministically) {
+  const auto a = run_escat(tiny_escat(apps::escat::Version::C), 1);
+  const auto b = run_escat(tiny_escat(apps::escat::Version::C), 1);
+  const auto c = run_escat(tiny_escat(apps::escat::Version::C), 2);
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_NE(a.exec_time, c.exec_time);
+}
+
+TEST(Figures, StaticTablesRender) {
+  const auto t1 = render_table1();
+  EXPECT_NE(t1.find("M_ASYNC"), std::string::npos);
+  EXPECT_NE(t1.find("Phase Three"), std::string::npos);
+  const auto t4 = render_table4();
+  EXPECT_NE(t4.find("M_GLOBAL"), std::string::npos);
+  EXPECT_NE(t4.find("M_RECORD"), std::string::npos);
+}
+
+// The full studies are the expensive fixtures; run them once for a batch of
+// artifact checks.
+class FullStudies : public ::testing::Test {
+ protected:
+  static const EscatStudy& escat() {
+    static const EscatStudy s = run_escat_study();
+    return s;
+  }
+  static const PrismStudy& prism() {
+    static const PrismStudy s = run_prism_study();
+    return s;
+  }
+};
+
+TEST_F(FullStudies, Table2RendersAllVersions) {
+  const auto t = render_table2(escat());
+  EXPECT_NE(t.find("seek"), std::string::npos);
+  EXPECT_NE(t.find("63.21"), std::string::npos);  // paper reference column
+}
+
+TEST_F(FullStudies, Table5RendersAllVersions) {
+  const auto t = render_table5(prism());
+  EXPECT_NE(t.find("75.43"), std::string::npos);
+  EXPECT_NE(t.find("iomode"), std::string::npos);
+}
+
+TEST_F(FullStudies, EscatHeadlineShapesHold) {
+  const auto& s = escat();
+  // Fig. 1 ordering and ~20% reduction.
+  EXPECT_GT(s.a.exec_time, s.b.exec_time);
+  EXPECT_GT(s.b.exec_time, s.c.exec_time);
+  const double reduction = 1.0 - s.c.exec_seconds() / s.a.exec_seconds();
+  EXPECT_GT(reduction, 0.12);
+  EXPECT_LT(reduction, 0.30);
+
+  // Table 2 dominants per version.
+  EXPECT_EQ(s.a.breakdown().dominant_op(), pablo::IoOp::kOpen);
+  EXPECT_EQ(s.b.breakdown().dominant_op(), pablo::IoOp::kSeek);
+  EXPECT_EQ(s.c.breakdown().dominant_op(), pablo::IoOp::kWrite);
+
+  // Table 3's non-monotonic I/O share: B above A, C far below both.
+  EXPECT_GT(s.b.breakdown().pct_io_of_exec(), s.a.breakdown().pct_io_of_exec());
+  EXPECT_LT(s.c.breakdown().pct_io_of_exec(), s.a.breakdown().pct_io_of_exec());
+}
+
+TEST_F(FullStudies, EscatCdfShapesHold) {
+  const auto& s = escat();
+  // Version A: almost all reads small, carrying a minority of the bytes.
+  const auto a = s.a.read_cdf();
+  EXPECT_GT(a.op_fraction_le(2048), 0.95);
+  EXPECT_LT(a.byte_fraction_le(2048), 0.5);
+  // Versions B/C: 128 KB reads carry nearly all bytes.
+  const auto c = s.c.read_cdf();
+  EXPECT_GT(1.0 - c.byte_fraction_le(128 * 1024 - 1), 0.95);
+}
+
+TEST_F(FullStudies, EscatSeekDurationsCollapseByOrdersOfMagnitude) {
+  const auto& s = escat();
+  sim::Tick max_b = 0, max_c = 0;
+  for (const auto& p : s.b.op_timeline(pablo::IoOp::kSeek)) max_b = std::max(max_b, p.duration);
+  for (const auto& p : s.c.op_timeline(pablo::IoOp::kSeek)) max_c = std::max(max_c, p.duration);
+  EXPECT_GT(max_b, max_c * 100);
+}
+
+TEST_F(FullStudies, PrismHeadlineShapesHold) {
+  const auto& s = prism();
+  EXPECT_GT(s.a.exec_time, s.b.exec_time);
+  EXPECT_GT(s.b.exec_time, s.c.exec_time);
+  const double reduction = 1.0 - s.c.exec_seconds() / s.a.exec_seconds();
+  EXPECT_GT(reduction, 0.15);
+  EXPECT_LT(reduction, 0.30);
+
+  // Table 5 dominants: open in A and B, read in C.
+  EXPECT_EQ(s.a.breakdown().dominant_op(), pablo::IoOp::kOpen);
+  EXPECT_EQ(s.b.breakdown().dominant_op(), pablo::IoOp::kOpen);
+  EXPECT_EQ(s.c.breakdown().dominant_op(), pablo::IoOp::kRead);
+  EXPECT_GT(s.c.breakdown().pct_of_io_time(pablo::IoOp::kRead), 70.0);
+}
+
+TEST_F(FullStudies, PrismReadWindowOrdering) {
+  const auto& s = prism();
+  const auto wa = s.a.phase("phase1").span();
+  const auto wb = s.b.phase("phase1").span();
+  const auto wc = s.c.phase("phase1").span();
+  EXPECT_GT(wa, wc);  // A's serialized window is the longest
+  EXPECT_GT(wc, wb);  // C is longer than B again (buffering disabled)
+}
+
+TEST_F(FullStudies, FigureRenderersProduceAnchors) {
+  EXPECT_NE(render_fig2(escat()).find("fraction of data"), std::string::npos);
+  EXPECT_NE(render_fig3(escat()).find("version C"), std::string::npos);
+  EXPECT_NE(render_fig4(escat()).find("four request sizes"), std::string::npos);
+  EXPECT_NE(render_fig5(escat()).find("Max seek duration"), std::string::npos);
+  EXPECT_NE(render_fig6(prism()).find("Reduction A -> C"), std::string::npos);
+  EXPECT_NE(render_fig7(prism()).find("(b) writes"), std::string::npos);
+  EXPECT_NE(render_fig8(prism()).find("Read-window span"), std::string::npos);
+  EXPECT_NE(render_fig9(prism()).find("Checkpoint bursts"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sio::core

@@ -1,0 +1,138 @@
+// Tests for the RAID-3 array model: positional service times, granule
+// rounding, sequential-access detection, FIFO queueing, and statistics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/disk.hpp"
+#include "sim/task.hpp"
+
+namespace sio::hw {
+namespace {
+
+DiskConfig test_config() {
+  DiskConfig cfg;
+  cfg.controller_overhead = sim::microseconds(500);
+  cfg.avg_seek = sim::milliseconds(10);
+  cfg.short_seek = sim::milliseconds(2);
+  cfg.rotation = sim::milliseconds(10);
+  cfg.bytes_per_tick = 0.008;  // 8 MB/s
+  cfg.granule = 16 * 1024;
+  return cfg;
+}
+
+TEST(Raid3Disk, ServiceTimeIncludesSeekRotationTransfer) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  // Cold access far from position 0 is impossible (head starts at 0), so an
+  // access at a large offset pays the long seek + half rotation.
+  const sim::Tick t = d.service_time(100 * 1024 * 1024, 16 * 1024);
+  // controller 0.5ms + avg seek 10ms + rotation/2 5ms + 16384B / 0.008B-per-ns
+  const auto xfer = static_cast<sim::Tick>(16384 / 0.008);
+  EXPECT_EQ(t, sim::microseconds(500) + sim::milliseconds(10) + sim::milliseconds(5) + xfer);
+}
+
+TEST(Raid3Disk, SequentialAccessSkipsSeek) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  // Head starts at offset 0; a read at 0 is sequential.
+  const sim::Tick t = d.service_time(0, 16 * 1024);
+  const auto xfer = static_cast<sim::Tick>(16384 / 0.008);
+  EXPECT_EQ(t, sim::microseconds(500) + xfer);
+}
+
+TEST(Raid3Disk, ShortDistanceUsesShortSeek) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  const sim::Tick t = d.service_time(1024 * 1024, 16 * 1024);  // 1 MB away
+  const auto xfer = static_cast<sim::Tick>(16384 / 0.008);
+  EXPECT_EQ(t, sim::microseconds(500) + sim::milliseconds(2) + sim::milliseconds(5) + xfer);
+}
+
+TEST(Raid3Disk, TransfersRoundUpToGranule) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  // A 30-byte read moves a full 16 KB granule — the RAID-3 property that
+  // makes unbuffered tiny requests so expensive.
+  EXPECT_EQ(d.service_time(0, 30), d.service_time(0, 16 * 1024));
+  // 16K+1 bytes round to two granules.
+  EXPECT_EQ(d.service_time(0, 16 * 1024 + 1), d.service_time(0, 32 * 1024));
+}
+
+TEST(Raid3Disk, ZeroByteAccessStillMovesOneGranule) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  EXPECT_EQ(d.service_time(0, 0), d.service_time(0, 1));
+}
+
+sim::Task<void> do_access(Raid3Disk& d, std::uint64_t off, std::uint64_t bytes,
+                          std::vector<sim::Tick>* done, sim::Engine& e) {
+  co_await d.access(off, bytes, false);
+  done->push_back(e.now());
+}
+
+TEST(Raid3Disk, AccessesServiceFifo) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  std::vector<sim::Tick> done;
+  for (int i = 0; i < 3; ++i) {
+    e.spawn(do_access(d, static_cast<std::uint64_t>(i) * 256 * 1024 * 1024, 16 * 1024, &done, e));
+  }
+  e.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_LT(done[0], done[1]);
+  EXPECT_LT(done[1], done[2]);
+  EXPECT_EQ(d.ops(), 3u);
+  EXPECT_GT(d.busy_time(), 0);
+  // Total completion equals the sum of services (no idle gaps).
+  EXPECT_EQ(done[2], d.busy_time());
+}
+
+TEST(Raid3Disk, StatsAccumulate) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  std::vector<sim::Tick> done;
+  e.spawn(do_access(d, 0, 64 * 1024, &done, e));
+  e.spawn(do_access(d, 64 * 1024, 64 * 1024, &done, e));
+  e.run();
+  EXPECT_EQ(d.ops(), 2u);
+  EXPECT_EQ(d.bytes_transferred(), 128u * 1024);
+}
+
+TEST(Raid3Disk, SequentialStreamIsFasterThanRandom) {
+  sim::Engine e1;
+  Raid3Disk seq(e1, test_config());
+  std::vector<sim::Tick> done;
+  for (int i = 0; i < 16; ++i) {
+    e1.spawn(do_access(seq, static_cast<std::uint64_t>(i) * 64 * 1024, 64 * 1024, &done, e1));
+  }
+  e1.run();
+  const sim::Tick t_seq = e1.now();
+
+  sim::Engine e2;
+  Raid3Disk rnd(e2, test_config());
+  done.clear();
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t off = static_cast<std::uint64_t>((i * 7 + 3) % 16) * 512 * 1024 * 1024;
+    e2.spawn(do_access(rnd, off, 64 * 1024, &done, e2));
+  }
+  e2.run();
+  EXPECT_LT(t_seq, e2.now());
+}
+
+// Parameterized: service time is monotone in request size.
+class DiskSize : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiskSize, ServiceTimeMonotoneInSize) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  const std::uint64_t bytes = GetParam();
+  EXPECT_LE(d.service_time(0, bytes), d.service_time(0, bytes * 2 + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DiskSize,
+                         ::testing::Values(1u, 512u, 4096u, 16384u, 65536u, 1048576u));
+
+}  // namespace
+}  // namespace sio::hw

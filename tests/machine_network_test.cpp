@@ -1,0 +1,111 @@
+// Tests for the analytic interconnect model: point-to-point cost structure,
+// collective timing, and the coroutine send path.
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+#include "machine/network.hpp"
+
+namespace sio::hw {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  Mesh2D mesh{16, 32};
+  NetConfig cfg{};
+  Network net{engine, mesh, cfg};
+};
+
+TEST(Network, MessageTimeGrowsWithDistance) {
+  Fixture f;
+  const auto near = f.net.message_time(0, 1, 1024);
+  const auto far = f.net.message_time(0, 511, 1024);
+  EXPECT_LT(near, far);
+}
+
+TEST(Network, MessageTimeGrowsWithPayload) {
+  Fixture f;
+  EXPECT_LT(f.net.message_time(0, 5, 64), f.net.message_time(0, 5, 1024 * 1024));
+}
+
+TEST(Network, SelfMessageStillPaysSoftwareOverhead) {
+  Fixture f;
+  EXPECT_EQ(f.net.message_time(3, 3, 0), f.cfg.sw_overhead);
+}
+
+TEST(Network, PayloadTimeMatchesBandwidth) {
+  Fixture f;
+  const std::uint64_t bytes = 1024 * 1024;
+  const sim::Tick t = f.net.message_time(0, 0, bytes) - f.cfg.sw_overhead;
+  const double rate = static_cast<double>(bytes) / static_cast<double>(t);
+  EXPECT_NEAR(rate, f.cfg.bytes_per_tick, 0.001);
+}
+
+TEST(Network, BroadcastArrivalRankZeroIsFree) {
+  Fixture f;
+  EXPECT_EQ(f.net.broadcast_arrival(0, 128, 4096), 0);
+}
+
+TEST(Network, BroadcastArrivalMonotoneInRankRounds) {
+  Fixture f;
+  // Rank 1 receives in round 1, rank 127 in round 7.
+  EXPECT_LT(f.net.broadcast_arrival(1, 128, 4096), f.net.broadcast_arrival(127, 128, 4096));
+}
+
+TEST(Network, BroadcastTimeBoundsEveryArrival) {
+  Fixture f;
+  const auto total = f.net.broadcast_time(128, 4096);
+  for (int r = 0; r < 128; ++r) {
+    EXPECT_LE(f.net.broadcast_arrival(r, 128, 4096), total);
+  }
+}
+
+TEST(Network, GatherScalesWithGroupPayload) {
+  Fixture f;
+  EXPECT_LT(f.net.gather_time(16, 2048), f.net.gather_time(128, 2048));
+}
+
+TEST(Network, GatherOfOneNodeIsCheap) {
+  Fixture f;
+  EXPECT_LE(f.net.gather_time(1, 1 << 20), f.cfg.sw_overhead * 2);
+}
+
+sim::Task<void> do_send(Network& net, NodeId a, NodeId b, std::uint64_t bytes) {
+  co_await net.send(a, b, bytes);
+}
+
+TEST(Network, SendOccupiesSimulatedTimeAndCountsTraffic) {
+  Fixture f;
+  f.engine.spawn(do_send(f.net, 0, 100, 64 * 1024));
+  f.engine.run();
+  EXPECT_EQ(f.engine.now(), f.net.message_time(0, 100, 64 * 1024));
+  EXPECT_EQ(f.net.bytes_moved(), 64u * 1024);
+  EXPECT_EQ(f.net.messages_sent(), 1u);
+}
+
+TEST(Machine, CaltechParagonConfig) {
+  const auto cfg = Machine::caltech_paragon(128);
+  EXPECT_EQ(cfg.mesh_rows, 16);
+  EXPECT_EQ(cfg.mesh_cols, 32);
+  EXPECT_EQ(cfg.compute_nodes, 128);
+  EXPECT_EQ(cfg.io_nodes, 16);
+  EXPECT_EQ(cfg.stripe_unit, 64u * 1024);
+}
+
+TEST(Machine, RejectsMoreComputeNodesThanMesh) {
+  auto cfg = Machine::caltech_paragon(128);
+  cfg.compute_nodes = 1024;
+  EXPECT_THROW(Machine m(cfg), sim::AssertionError);
+}
+
+TEST(Machine, OsProfilesDifferAcrossReleases) {
+  const auto r12 = osf_r12();
+  const auto r13 = osf_r13();
+  EXPECT_FALSE(r12.has_masync);
+  EXPECT_TRUE(r13.has_masync);
+  // The R1.3 metadata regression that motivated gopen.
+  EXPECT_GT(r13.open_service, r12.open_service);
+}
+
+}  // namespace
+}  // namespace sio::hw

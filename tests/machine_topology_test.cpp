@@ -1,0 +1,132 @@
+// Tests for the mesh topology: coordinates, XY route lengths, I/O-node
+// placement on the service edge, and binomial-tree round counts.
+
+#include <gtest/gtest.h>
+
+#include "machine/topology.hpp"
+#include "sim/assert.hpp"
+
+namespace sio::hw {
+namespace {
+
+TEST(Mesh2D, ComputeCoordsAreRowMajor) {
+  Mesh2D m(16, 32);
+  EXPECT_EQ(m.compute_coord(0), (Coord{0, 0}));
+  EXPECT_EQ(m.compute_coord(31), (Coord{0, 31}));
+  EXPECT_EQ(m.compute_coord(32), (Coord{1, 0}));
+  EXPECT_EQ(m.compute_coord(511), (Coord{15, 31}));
+}
+
+TEST(Mesh2D, OutOfRangeNodeAsserts) {
+  Mesh2D m(4, 4);
+  EXPECT_THROW(m.compute_coord(16), sim::AssertionError);
+  EXPECT_THROW(m.compute_coord(-1), sim::AssertionError);
+}
+
+TEST(Mesh2D, IoNodesOccupyRightmostColumn) {
+  Mesh2D m(16, 32);
+  for (int d = 0; d < 16; ++d) {
+    const Coord c = m.io_coord(d);
+    EXPECT_EQ(c.col, 31);
+    EXPECT_EQ(c.row, d);
+  }
+}
+
+TEST(Mesh2D, ExtraIoNodesWrapToNextColumn) {
+  Mesh2D m(4, 8);
+  EXPECT_EQ(m.io_coord(3), (Coord{3, 7}));
+  EXPECT_EQ(m.io_coord(4), (Coord{0, 6}));
+}
+
+TEST(Mesh2D, HopsAreManhattanDistance) {
+  Mesh2D m(16, 32);
+  EXPECT_EQ(m.hops({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(m.hops({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(m.hops({5, 10}, {2, 1}), 12);
+}
+
+TEST(Mesh2D, HopsAreSymmetric) {
+  Mesh2D m(8, 8);
+  for (int a = 0; a < 64; a += 7) {
+    for (int b = 0; b < 64; b += 5) {
+      EXPECT_EQ(m.hops_between(a, b), m.hops_between(b, a));
+    }
+  }
+}
+
+TEST(Mesh2D, DiameterMatchesCorners) {
+  Mesh2D m(16, 32);
+  EXPECT_EQ(m.diameter(), 46);
+  EXPECT_EQ(m.hops({0, 0}, {15, 31}), m.diameter());
+}
+
+TEST(Mesh2D, MeanHopsToIoIsWithinBounds) {
+  Mesh2D m(16, 32);
+  const double mean = m.mean_hops_to_io(128, 16);
+  EXPECT_GT(mean, 0.0);
+  EXPECT_LE(mean, m.diameter());
+}
+
+TEST(Binomial, RoundsToRank) {
+  EXPECT_EQ(binomial_rounds_to_rank(0), 0);
+  EXPECT_EQ(binomial_rounds_to_rank(1), 1);
+  EXPECT_EQ(binomial_rounds_to_rank(2), 2);
+  EXPECT_EQ(binomial_rounds_to_rank(3), 2);
+  EXPECT_EQ(binomial_rounds_to_rank(4), 3);
+  EXPECT_EQ(binomial_rounds_to_rank(7), 3);
+  EXPECT_EQ(binomial_rounds_to_rank(8), 4);
+  EXPECT_EQ(binomial_rounds_to_rank(127), 7);
+}
+
+TEST(Binomial, TotalRounds) {
+  EXPECT_EQ(binomial_total_rounds(1), 0);
+  EXPECT_EQ(binomial_total_rounds(2), 1);
+  EXPECT_EQ(binomial_total_rounds(3), 2);
+  EXPECT_EQ(binomial_total_rounds(64), 6);
+  EXPECT_EQ(binomial_total_rounds(65), 7);
+  EXPECT_EQ(binomial_total_rounds(128), 7);
+}
+
+TEST(Binomial, EveryRankReachedWithinTotalRounds) {
+  for (int n : {2, 3, 8, 17, 64, 128, 512}) {
+    const int total = binomial_total_rounds(n);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_LE(binomial_rounds_to_rank(r), total) << "n=" << n << " rank=" << r;
+    }
+  }
+}
+
+// Parameterized sweep: hop triangle inequality over mesh shapes.
+class MeshShape : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MeshShape, TriangleInequalityHolds) {
+  const auto [rows, cols] = GetParam();
+  Mesh2D m(rows, cols);
+  const int n = m.size();
+  for (int a = 0; a < n; a += std::max(1, n / 13)) {
+    for (int b = 0; b < n; b += std::max(1, n / 11)) {
+      for (int c = 0; c < n; c += std::max(1, n / 7)) {
+        EXPECT_LE(m.hops_between(a, c), m.hops_between(a, b) + m.hops_between(b, c));
+      }
+    }
+  }
+}
+
+TEST_P(MeshShape, IoCoordsAreDistinct) {
+  const auto [rows, cols] = GetParam();
+  Mesh2D m(rows, cols);
+  std::vector<Coord> coords;
+  for (int d = 0; d < rows; ++d) coords.push_back(m.io_coord(d));
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    for (std::size_t j = i + 1; j < coords.size(); ++j) {
+      EXPECT_FALSE(coords[i] == coords[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MeshShape,
+                         ::testing::Values(std::pair{2, 2}, std::pair{4, 8}, std::pair{16, 32},
+                                           std::pair{8, 8}, std::pair{1, 16}));
+
+}  // namespace
+}  // namespace sio::hw

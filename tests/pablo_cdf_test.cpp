@@ -1,0 +1,113 @@
+// Tests for the request-size CDFs: dual weighting, quantiles, monotonicity
+// properties, and the count-vs-bytes divergence the paper's figures hinge on.
+
+#include <gtest/gtest.h>
+
+#include "pablo/cdf.hpp"
+
+namespace sio::pablo {
+namespace {
+
+TEST(SizeCdf, EmptyIsEmpty) {
+  SizeCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.total_ops(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.op_fraction_le(1000), 0.0);
+}
+
+TEST(SizeCdf, SingleValue) {
+  SizeCdf cdf({100, 100, 100});
+  EXPECT_EQ(cdf.total_ops(), 3u);
+  EXPECT_EQ(cdf.total_bytes(), 300u);
+  EXPECT_DOUBLE_EQ(cdf.op_fraction_le(99), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.op_fraction_le(100), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.byte_fraction_le(100), 1.0);
+  EXPECT_EQ(cdf.min_size(), 100u);
+  EXPECT_EQ(cdf.max_size(), 100u);
+}
+
+TEST(SizeCdf, CountVsByteWeightingDiverges) {
+  // 99 tiny requests and one huge one: most *ops* are small, most *bytes*
+  // travel in the large request — the paper's core spatial observation.
+  std::vector<std::uint64_t> sizes(99, 64);
+  sizes.push_back(1 << 20);
+  SizeCdf cdf(std::move(sizes));
+  EXPECT_DOUBLE_EQ(cdf.op_fraction_le(64), 0.99);
+  EXPECT_LT(cdf.byte_fraction_le(64), 0.01);
+  EXPECT_DOUBLE_EQ(cdf.byte_fraction_le(1 << 20), 1.0);
+}
+
+TEST(SizeCdf, QuantilesPickSmallestSatisfyingSize) {
+  SizeCdf cdf({10, 20, 30, 40});
+  EXPECT_EQ(cdf.op_quantile(0.0), 10u);
+  EXPECT_EQ(cdf.op_quantile(0.25), 10u);
+  EXPECT_EQ(cdf.op_quantile(0.26), 20u);
+  EXPECT_EQ(cdf.op_quantile(0.5), 20u);
+  EXPECT_EQ(cdf.op_quantile(1.0), 40u);
+}
+
+TEST(SizeCdf, PointsAreStrictlyIncreasingInSize) {
+  SizeCdf cdf({5, 1, 3, 3, 9, 1});
+  const auto& pts = cdf.points();
+  ASSERT_EQ(pts.size(), 4u);  // distinct sizes: 1, 3, 5, 9
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i - 1].size, pts[i].size);
+    EXPECT_LE(pts[i - 1].op_fraction, pts[i].op_fraction);
+    EXPECT_LE(pts[i - 1].byte_fraction, pts[i].byte_fraction);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().op_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().byte_fraction, 1.0);
+}
+
+TEST(SizeCdf, ExtractsOnlyRequestedOp) {
+  std::vector<TraceEvent> events;
+  TraceEvent r;
+  r.op = IoOp::kRead;
+  r.bytes = 100;
+  TraceEvent w;
+  w.op = IoOp::kWrite;
+  w.bytes = 999;
+  events.push_back(r);
+  events.push_back(w);
+  events.push_back(r);
+  const auto cdf = size_cdf(events, IoOp::kRead);
+  EXPECT_EQ(cdf.total_ops(), 2u);
+  EXPECT_EQ(cdf.max_size(), 100u);
+}
+
+TEST(SizeCdf, ZeroByteRequestsAreCounted) {
+  SizeCdf cdf({0, 0, 10});
+  EXPECT_EQ(cdf.total_ops(), 3u);
+  EXPECT_NEAR(cdf.op_fraction_le(0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf.byte_fraction_le(0), 0.0);
+}
+
+// Property sweep: fractions are within [0,1] and monotone for random-ish
+// size mixtures.
+class CdfProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdfProperty, FractionsAreMonotoneAndBounded) {
+  const int seed = GetParam();
+  std::vector<std::uint64_t> sizes;
+  std::uint64_t x = static_cast<std::uint64_t>(seed) * 2654435761u + 1;
+  for (int i = 0; i < 500; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    sizes.push_back((x >> 33) % 200000);
+  }
+  SizeCdf cdf(std::move(sizes));
+  double prev_op = -1, prev_bytes = -1;
+  for (const auto& p : cdf.points()) {
+    EXPECT_GE(p.op_fraction, 0.0);
+    EXPECT_LE(p.op_fraction, 1.0);
+    EXPECT_GE(p.op_fraction, prev_op);
+    EXPECT_GE(p.byte_fraction, prev_bytes);
+    prev_op = p.op_fraction;
+    prev_bytes = p.byte_fraction;
+  }
+  EXPECT_DOUBLE_EQ(cdf.points().back().op_fraction, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace sio::pablo

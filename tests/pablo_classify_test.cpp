@@ -1,0 +1,100 @@
+// Tests for the functional I/O classification (compulsory / checkpoint /
+// data staging) and the §6 per-phase profiles.
+
+#include <gtest/gtest.h>
+
+#include "pablo/classify.hpp"
+
+namespace sio::pablo {
+namespace {
+
+TraceEvent data(sim::Tick start, IoOp op, std::uint64_t bytes, int node = 0) {
+  TraceEvent e;
+  e.start = start;
+  e.duration = 1;
+  e.node = node;
+  e.file = 0;
+  e.op = op;
+  e.bytes = bytes;
+  return e;
+}
+
+std::vector<apps::PhaseSpan> three_phases() {
+  return {{"init", 0, sim::seconds(10)},
+          {"compute", sim::seconds(10), sim::seconds(90)},
+          {"final", sim::seconds(90), sim::seconds(100)}};
+}
+
+TEST(Classify, FirstAndLastPhasesAreCompulsory) {
+  std::vector<TraceEvent> events{data(sim::seconds(1), IoOp::kRead, 1000),
+                                 data(sim::seconds(95), IoOp::kWrite, 2000)};
+  const auto b = classify_phases(events, three_phases());
+  EXPECT_EQ(b.of(IoClass::kCompulsory).ops, 2u);
+  EXPECT_EQ(b.of(IoClass::kCompulsory).bytes, 3000u);
+  EXPECT_EQ(b.of(IoClass::kCheckpoint).ops, 0u);
+  EXPECT_EQ(b.of(IoClass::kStaging).ops, 0u);
+}
+
+TEST(Classify, BurstyMiddlePhaseIsCheckpoint) {
+  std::vector<TraceEvent> events;
+  // Three separated bursts of 1 KB writes inside the middle phase.
+  for (sim::Tick t : {sim::seconds(20), sim::seconds(50), sim::seconds(80)}) {
+    for (int i = 0; i < 5; ++i) events.push_back(data(t + i, IoOp::kWrite, 1024));
+  }
+  const auto b = classify_phases(events, three_phases());
+  EXPECT_EQ(b.of(IoClass::kCheckpoint).ops, 15u);
+  EXPECT_EQ(b.of(IoClass::kStaging).ops, 0u);
+}
+
+TEST(Classify, ContinuousMiddlePhaseIsStaging) {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 70; ++i) {
+    events.push_back(data(sim::seconds(11 + i), IoOp::kWrite, 2048));
+  }
+  const auto b = classify_phases(events, three_phases());
+  EXPECT_EQ(b.of(IoClass::kStaging).ops, 70u);
+  EXPECT_EQ(b.of(IoClass::kCheckpoint).ops, 0u);
+  EXPECT_EQ(b.dominant_by_bytes(), IoClass::kStaging);
+}
+
+TEST(Classify, NonDataOpsAreIgnored) {
+  std::vector<TraceEvent> events{data(sim::seconds(1), IoOp::kOpen, 0),
+                                 data(sim::seconds(1), IoOp::kSeek, 0)};
+  const auto b = classify_phases(events, three_phases());
+  for (int i = 0; i < kIoClassCount; ++i) {
+    EXPECT_EQ(b.per_class[static_cast<std::size_t>(i)].ops, 0u);
+  }
+}
+
+TEST(Classify, ClassNamesAreStable) {
+  EXPECT_EQ(io_class_name(IoClass::kCompulsory), "compulsory");
+  EXPECT_EQ(io_class_name(IoClass::kCheckpoint), "checkpoint");
+  EXPECT_EQ(io_class_name(IoClass::kStaging), "data-staging");
+}
+
+TEST(PhaseProfiles, ComputesTheThreeDimensions) {
+  std::vector<TraceEvent> events;
+  events.push_back(data(sim::seconds(1), IoOp::kRead, 100, /*node=*/0));
+  events.push_back(data(sim::seconds(2), IoOp::kRead, 256 * 1024, /*node=*/1));
+  events.push_back(data(sim::seconds(3), IoOp::kGopen, 0, /*node=*/0));
+  events.push_back(data(sim::seconds(50), IoOp::kWrite, 4096, /*node=*/2));
+
+  const auto profiles = phase_profiles(events, three_phases());
+  ASSERT_EQ(profiles.size(), 3u);
+  const auto& init = profiles[0];
+  EXPECT_EQ(init.reads, 2u);
+  EXPECT_EQ(init.small_ops, 1u);
+  EXPECT_EQ(init.large_ops, 1u);
+  EXPECT_EQ(init.parallelism, 2);
+  EXPECT_TRUE(init.op_kinds.count("gopen"));
+  EXPECT_EQ(profiles[1].writes, 1u);
+  EXPECT_EQ(profiles[1].parallelism, 1);
+  EXPECT_EQ(profiles[2].parallelism, 0);
+
+  const std::string table = render_phase_profiles(profiles);
+  EXPECT_NE(table.find("init"), std::string::npos);
+  EXPECT_NE(table.find("parallelism"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sio::pablo

@@ -1,0 +1,104 @@
+// Tests for the SDDF-style trace serialization: round trips, the file-name
+// table, and malformed-input rejection.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pablo/collector.hpp"
+#include "pablo/sddf.hpp"
+#include "sim/engine.hpp"
+
+namespace sio::pablo {
+namespace {
+
+TraceEvent ev(sim::Tick start, sim::Tick dur, int node, FileId file, IoOp op,
+              std::uint64_t off, std::uint64_t bytes) {
+  TraceEvent e;
+  e.start = start;
+  e.duration = dur;
+  e.node = node;
+  e.file = file;
+  e.op = op;
+  e.offset = off;
+  e.bytes = bytes;
+  return e;
+}
+
+TEST(Sddf, RoundTripsEventsAndFileTable) {
+  sim::Engine engine;
+  Collector col(engine);
+  const FileId fa = col.register_file("escat/input0");
+  const FileId fb = col.register_file("escat/quad1");
+  col.record(ev(sim::seconds(1), sim::milliseconds(3), 5, fa, IoOp::kRead, 1234, 2048));
+  col.record(ev(sim::seconds(2), sim::microseconds(40), 0, fb, IoOp::kWrite, 0, 155584));
+  col.record(ev(0, 1, 7, fb, IoOp::kGopen, 0, 0));
+
+  const auto tf = from_sddf_string(to_sddf_string(col));
+  ASSERT_EQ(tf.file_names.size(), 2u);
+  EXPECT_EQ(tf.file_names[0], "escat/input0");
+  EXPECT_EQ(tf.file_names[1], "escat/quad1");
+  ASSERT_EQ(tf.events.size(), 3u);
+
+  // Events come back sorted by start (the collector sorts before export).
+  EXPECT_EQ(tf.events[0].op, IoOp::kGopen);
+  EXPECT_EQ(tf.events[1].op, IoOp::kRead);
+  EXPECT_EQ(tf.events[1].start, sim::seconds(1));
+  EXPECT_EQ(tf.events[1].duration, sim::milliseconds(3));
+  EXPECT_EQ(tf.events[1].node, 5);
+  EXPECT_EQ(tf.events[1].offset, 1234u);
+  EXPECT_EQ(tf.events[1].bytes, 2048u);
+  EXPECT_EQ(tf.events[2].bytes, 155584u);
+}
+
+TEST(Sddf, HandlesEventsWithoutFile) {
+  std::vector<TraceEvent> events{ev(5, 1, 2, kNoFile, IoOp::kSeek, 0, 0)};
+  std::ostringstream out;
+  write_sddf(out, {}, events);
+  const auto tf = from_sddf_string(out.str());
+  ASSERT_EQ(tf.events.size(), 1u);
+  EXPECT_EQ(tf.events[0].file, kNoFile);
+}
+
+TEST(Sddf, EmptyTraceRoundTrips) {
+  sim::Engine engine;
+  Collector col(engine);
+  const auto tf = from_sddf_string(to_sddf_string(col));
+  EXPECT_TRUE(tf.events.empty());
+  EXPECT_TRUE(tf.file_names.empty());
+}
+
+TEST(Sddf, ParseIoOpCoversAllNames) {
+  for (int i = 0; i < kIoOpCount; ++i) {
+    const auto op = static_cast<IoOp>(i);
+    EXPECT_EQ(parse_io_op(std::string(io_op_name(op))), op);
+  }
+  EXPECT_THROW(parse_io_op("fsync"), std::runtime_error);
+}
+
+TEST(Sddf, RejectsBadMagic) {
+  EXPECT_THROW(from_sddf_string("not a trace\n"), std::runtime_error);
+}
+
+TEST(Sddf, RejectsTruncatedRecord) {
+  const std::string text =
+      "#SDDF-IO 1\n#fields start_ns duration_ns node file op offset bytes\n1 2 3\n";
+  EXPECT_THROW(from_sddf_string(text), std::runtime_error);
+}
+
+TEST(Sddf, RejectsUnknownFileReference) {
+  const std::string text =
+      "#SDDF-IO 1\n#fields start_ns duration_ns node file op offset bytes\n"
+      "1 2 3 9 read 0 0\n";
+  EXPECT_THROW(from_sddf_string(text), std::runtime_error);
+}
+
+TEST(Sddf, RejectsOutOfOrderFileTable) {
+  const std::string text =
+      "#SDDF-IO 1\n#fields start_ns duration_ns node file op offset bytes\n"
+      "#file 1 b\n";
+  EXPECT_THROW(from_sddf_string(text), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sio::pablo

@@ -1,0 +1,155 @@
+// Tests for timeline extraction, burst profiling and the report renderers.
+
+#include <gtest/gtest.h>
+
+#include "pablo/collector.hpp"
+#include "pablo/report.hpp"
+#include "pablo/timeline.hpp"
+#include "sim/engine.hpp"
+
+namespace sio::pablo {
+namespace {
+
+TraceEvent ev(sim::Tick start, IoOp op, std::uint64_t bytes, sim::Tick dur = 1, FileId file = 0) {
+  TraceEvent e;
+  e.start = start;
+  e.duration = dur;
+  e.op = op;
+  e.bytes = bytes;
+  e.file = file;
+  return e;
+}
+
+struct Fixture {
+  sim::Engine engine;
+  Collector col{engine};
+  FileId fa = col.register_file("a");
+  FileId fb = col.register_file("b");
+};
+
+TEST(Timeline, ExtractsOpInStartOrder) {
+  Fixture f;
+  f.col.record(ev(sim::seconds(3), IoOp::kRead, 30));
+  f.col.record(ev(sim::seconds(1), IoOp::kRead, 10));
+  f.col.record(ev(sim::seconds(2), IoOp::kWrite, 999));
+  const auto series = timeline(f.col, IoOp::kRead);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].bytes, 10u);
+  EXPECT_EQ(series[1].bytes, 30u);
+}
+
+TEST(Timeline, FileFilterWorks) {
+  Fixture f;
+  f.col.record(ev(0, IoOp::kRead, 1, 1, f.fa));
+  f.col.record(ev(0, IoOp::kRead, 2, 1, f.fb));
+  EXPECT_EQ(timeline(f.col, IoOp::kRead, f.fa).size(), 1u);
+  EXPECT_EQ(timeline(f.col, IoOp::kRead, f.fb).size(), 1u);
+}
+
+TEST(BurstProfile, BinsOpsAndBytes) {
+  std::vector<TimelinePoint> series;
+  for (int i = 0; i < 10; ++i) {
+    series.push_back({sim::seconds(i), 100, 1, 0});
+  }
+  const auto profile = burst_profile(series, 0, sim::seconds(10), 5);
+  ASSERT_EQ(profile.size(), 5u);
+  for (const auto& w : profile) {
+    EXPECT_EQ(w.ops, 2u);
+    EXPECT_EQ(w.bytes, 200u);
+  }
+}
+
+TEST(BurstProfile, CountsSeparatedBursts) {
+  std::vector<TimelinePoint> series;
+  // Three bursts: t in [0,1), [4,5), [8,9) over a 10s span, 10 windows.
+  for (sim::Tick t : {sim::seconds(0), sim::milliseconds(500), sim::seconds(4), sim::seconds(8)}) {
+    series.push_back({t, 1, 1, 0});
+  }
+  const auto profile = burst_profile(series, 0, sim::seconds(10), 10);
+  EXPECT_EQ(count_bursts(profile), 3);
+}
+
+TEST(BurstProfile, OutOfRangePointsIgnored) {
+  std::vector<TimelinePoint> series{{sim::seconds(-1), 1, 1, 0}, {sim::seconds(99), 1, 1, 0}};
+  const auto profile = burst_profile(series, 0, sim::seconds(10), 5);
+  EXPECT_EQ(count_bursts(profile), 0);
+}
+
+TEST(LargestGap, FindsMaxSpacing) {
+  std::vector<TimelinePoint> series{{0, 1, 1, 0},
+                                    {sim::seconds(1), 1, 1, 0},
+                                    {sim::seconds(7), 1, 1, 0},
+                                    {sim::seconds(8), 1, 1, 0}};
+  EXPECT_EQ(largest_gap(series), sim::seconds(6));
+  EXPECT_EQ(largest_gap({}), 0);
+}
+
+TEST(TextTable, RendersAlignedColumnsAndCsv) {
+  TextTable t({"op", "count"});
+  t.add_row({"read", "123"});
+  t.add_row({"write", "7"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("op"), std::string::npos);
+  EXPECT_NE(s.find("read"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("op,count"), std::string::npos);
+  EXPECT_NE(csv.find("write,7"), std::string::npos);
+}
+
+TEST(TextTable, RowArityMismatchAsserts) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), sim::AssertionError);
+}
+
+TEST(Format, FixedAndBytes) {
+  EXPECT_EQ(fmt_fixed(53.684, 2), "53.68");
+  EXPECT_EQ(fmt_fixed(0.0, 2), "0.00");
+  EXPECT_EQ(fmt_bytes(17), "17B");
+  EXPECT_EQ(fmt_bytes(64 * 1024), "64KB");
+  EXPECT_EQ(fmt_bytes(1536 * 1024), "1.5MB");
+  EXPECT_EQ(fmt_bytes(3ull * 1024 * 1024 * 1024), "3.0GB");
+}
+
+TEST(Plots, ScatterRendersNonEmpty) {
+  std::vector<TimelinePoint> series;
+  for (int i = 0; i < 50; ++i) {
+    series.push_back({sim::seconds(i), static_cast<std::uint64_t>(1) << (i % 16), 1, 0});
+  }
+  PlotOptions opts;
+  opts.log_y = true;
+  opts.title = "test";
+  const std::string plot = render_scatter(series, false, opts);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("test"), std::string::npos);
+}
+
+TEST(Plots, ScatterHandlesEmptySeries) {
+  PlotOptions opts;
+  opts.title = "empty";
+  EXPECT_NE(render_scatter({}, false, opts).find("empty"), std::string::npos);
+}
+
+TEST(Plots, CdfRendersBothCurves) {
+  SizeCdf cdf({64, 64, 64, 1 << 20});
+  PlotOptions opts;
+  opts.log_x = true;
+  const std::string plot = render_cdf(cdf, opts);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+}
+
+TEST(Csv, CdfAndTimelineExportHeaderPlusRows) {
+  SizeCdf cdf({10, 20});
+  const std::string c = cdf_csv(cdf);
+  EXPECT_NE(c.find("size_bytes,op_fraction,byte_fraction"), std::string::npos);
+  EXPECT_NE(c.find("\n10,"), std::string::npos);
+
+  std::vector<TimelinePoint> series{{sim::seconds(1), 42, sim::milliseconds(5), 3}};
+  const std::string t = timeline_csv(series);
+  EXPECT_NE(t.find("t_seconds,bytes,duration_seconds,node"), std::string::npos);
+  EXPECT_NE(t.find("1.000000,42,0.005000,3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sio::pablo

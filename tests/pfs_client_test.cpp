@@ -1,0 +1,291 @@
+// Tests for the client/file-system layer: open/gopen/close accounting,
+// buffering behavior, EOF clamping, error contracts, staging, striped
+// allocation, and trace emission.
+
+#include <gtest/gtest.h>
+
+#include "apps/common.hpp"
+#include "machine/machine.hpp"
+#include "pablo/collector.hpp"
+#include "pfs/pfs.hpp"
+
+namespace sio::pfs {
+namespace {
+
+struct Fixture {
+  hw::Machine machine;
+  pablo::Collector collector;
+  Pfs fs;
+  std::unique_ptr<Group> group;
+
+  explicit Fixture(int nodes = 4, hw::OsProfile os = hw::osf_r13())
+      : machine(hw::Machine::caltech_paragon(nodes, std::move(os))),
+        collector(machine.engine()),
+        fs(machine, collector, PfsConfig{{}, ContentPolicy::kStoreBytes}),
+        group(Group::contiguous(machine.engine(), nodes)) {}
+
+  sim::Engine& engine() { return machine.engine(); }
+
+  void run(sim::Task<void> t) {
+    engine().spawn(std::move(t));
+    engine().run();
+  }
+
+  std::uint64_t count_ops(pablo::IoOp op) const {
+    std::uint64_t n = 0;
+    for (const auto& ev : collector.events()) {
+      if (ev.op == op) ++n;
+    }
+    return n;
+  }
+};
+
+sim::Task<void> open_close_body(Fixture& f) {
+  auto fh = co_await f.fs.open(0, "c/a", {.truncate = true});
+  EXPECT_TRUE(fh.is_open());
+  EXPECT_EQ(f.fs.lookup("c/a").open_count, 1);
+  co_await fh.close();
+  EXPECT_FALSE(fh.is_open());
+  EXPECT_EQ(f.fs.lookup("c/a").open_count, 0);
+}
+
+TEST(PfsClient, OpenCreatesAndTracksOpenCount) {
+  Fixture f;
+  f.run(open_close_body(f));
+  EXPECT_EQ(f.count_ops(pablo::IoOp::kOpen), 1u);
+  EXPECT_EQ(f.count_ops(pablo::IoOp::kClose), 1u);
+}
+
+sim::Task<void> write_extends_body(Fixture& f) {
+  auto fh = co_await f.fs.open(0, "c/grow", {.truncate = true});
+  co_await fh.write(1000);
+  EXPECT_EQ(fh.tell(), 1000u);
+  co_await fh.seek(5000);
+  co_await fh.write(500);
+  co_await fh.close();
+  EXPECT_EQ(f.fs.file_size("c/grow"), 5500u);
+}
+
+TEST(PfsClient, WritesExtendTheFile) {
+  Fixture f;
+  f.run(write_extends_body(f));
+}
+
+sim::Task<void> clamp_body(Fixture& f) {
+  f.fs.stage_file("c/short", 100);
+  auto fh = co_await f.fs.open(0, "c/short");
+  const auto n1 = co_await fh.read(60);
+  EXPECT_EQ(n1, 60u);
+  const auto n2 = co_await fh.read(60);  // only 40 left
+  EXPECT_EQ(n2, 40u);
+  const auto n3 = co_await fh.read(60);  // at EOF
+  EXPECT_EQ(n3, 0u);
+  co_await fh.close();
+}
+
+TEST(PfsClient, ReadsClampAtEndOfFile) {
+  Fixture f;
+  f.run(clamp_body(f));
+}
+
+sim::Task<void> round_trip_body(Fixture& f) {
+  std::vector<std::byte> data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::byte>(i & 0xff);
+  auto fh = co_await f.fs.open(0, "c/rt", {.truncate = true});
+  co_await fh.write(data.size(), data);
+  co_await fh.seek(0);
+  std::vector<std::byte> out(300);
+  const auto n = co_await fh.read(300, out);
+  EXPECT_EQ(n, 300u);
+  EXPECT_EQ(out, data);
+  co_await fh.close();
+}
+
+TEST(PfsClient, SoloWriteReadRoundTripsThroughClientBuffer) {
+  Fixture f;
+  f.run(round_trip_body(f));
+}
+
+sim::Task<void> buffering_cost_body(Fixture& f, bool buffered, sim::Tick* io_time) {
+  f.fs.stage_file(buffered ? "c/buf" : "c/raw", 1 << 20);
+  auto fh =
+      co_await f.fs.open(0, buffered ? "c/buf" : "c/raw", {.buffering = buffered});
+  for (int i = 0; i < 64; ++i) {
+    co_await fh.read(64);  // tiny sequential reads
+  }
+  co_await fh.close();
+  sim::Tick total = 0;
+  for (const auto& ev : f.collector.events()) {
+    if (ev.op == pablo::IoOp::kRead) total += ev.duration;
+  }
+  *io_time = total;
+}
+
+TEST(PfsClient, DisablingBufferingMakesTinyReadsRawArrayAccesses) {
+  // The PRISM version C lesson, as a unit test.
+  sim::Tick with_buf = 0, without_buf = 0;
+  {
+    Fixture f;
+    f.run(buffering_cost_body(f, true, &with_buf));
+  }
+  {
+    Fixture f;
+    f.run(buffering_cost_body(f, false, &without_buf));
+  }
+  EXPECT_GT(without_buf, with_buf * 5);
+}
+
+sim::Task<void> mode_errors_body(Fixture& f) {
+  auto fh = co_await f.fs.open(0, "c/err", {.truncate = true});
+  bool threw = false;
+  try {
+    co_await fh.set_iomode(IoMode::kRecord);  // no record size
+  } catch (const PfsError&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  threw = false;
+  try {
+    co_await fh.set_iomode(IoMode::kGlobal);  // no group
+  } catch (const PfsError&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  co_await fh.close();
+}
+
+TEST(PfsClient, ModeChangeErrorContracts) {
+  Fixture f;
+  f.run(mode_errors_body(f));
+}
+
+TEST(PfsClient, OpenWithNonUnixModeThrows) {
+  Fixture f;
+  f.engine().spawn([](Fixture& fx) -> sim::Task<void> {
+    auto fh = co_await fx.fs.open(0, "c/badmode", {.mode = IoMode::kRecord, .record_size = 1024});
+    co_await fh.close();
+  }(f));
+  EXPECT_THROW(f.engine().run(), PfsError);
+}
+
+sim::Task<void> set_iomode_solo_body(Fixture& f) {
+  auto fh = co_await f.fs.open(0, "c/modes", {.truncate = true});
+  co_await fh.set_iomode(IoMode::kAsync);
+  EXPECT_EQ(fh.mode(), IoMode::kAsync);
+  co_await fh.close();
+}
+
+TEST(PfsClient, SoloSetIomodeWorks) {
+  Fixture f;
+  f.run(set_iomode_solo_body(f));
+  EXPECT_EQ(f.count_ops(pablo::IoOp::kIomode), 1u);
+}
+
+TEST(PfsClient, LookupOfMissingFileThrows) {
+  Fixture f;
+  EXPECT_THROW(f.fs.lookup("does/not/exist"), PfsError);
+  EXPECT_FALSE(f.fs.exists("does/not/exist"));
+}
+
+TEST(PfsClient, StageContentsRequiresByteStore) {
+  hw::Machine machine(hw::Machine::caltech_paragon(2));
+  pablo::Collector collector(machine.engine());
+  Pfs fs(machine, collector);  // extents only
+  fs.stage_file("c/x", 100);
+  std::vector<std::byte> d(10);
+  EXPECT_THROW(fs.stage_contents("c/x", 0, d), PfsError);
+}
+
+TEST(PfsClient, DiskOffsetsAreStable) {
+  Fixture f;
+  auto& file = f.fs.stage_file("c/alloc", 1 << 20);
+  const auto a = f.fs.disk_offset_of(file, 0);
+  const auto b = f.fs.disk_offset_of(file, 16);  // same I/O node, next local unit
+  EXPECT_EQ(f.fs.disk_offset_of(file, 0), a);    // idempotent
+  EXPECT_EQ(b, a + f.fs.layout().unit());        // bump-contiguous per node
+}
+
+sim::Task<void> flush_traced_body(Fixture& f) {
+  auto fh = co_await f.fs.open(0, "c/flush", {.truncate = true});
+  co_await fh.write(100);
+  co_await fh.flush();
+  co_await fh.close();
+}
+
+TEST(PfsClient, FlushIsTraced) {
+  Fixture f;
+  f.run(flush_traced_body(f));
+  EXPECT_EQ(f.count_ops(pablo::IoOp::kFlush), 1u);
+}
+
+sim::Task<void> gopen_counts_body(Fixture& f) {
+  co_await apps::parallel_section(f.engine(), 4, [&f](int node) -> sim::Task<void> {
+    auto fh = co_await f.fs.gopen(node, "c/gopen", *f.group, {.truncate = true});
+    co_await fh.close();
+  });
+}
+
+TEST(PfsClient, GopenTracesOnePerParticipant) {
+  Fixture f(4);
+  f.run(gopen_counts_body(f));
+  EXPECT_EQ(f.count_ops(pablo::IoOp::kGopen), 4u);
+  EXPECT_EQ(f.count_ops(pablo::IoOp::kOpen), 0u);
+  EXPECT_EQ(f.fs.lookup("c/gopen").open_count, 0);
+}
+
+TEST(PfsClient, GopenIsCheaperThanConcurrentOpens) {
+  auto measure = [](bool collective) {
+    Fixture f(32);
+    sim::Tick total = 0;
+    f.engine().spawn(apps::parallel_section(f.engine(), 32, [&f, collective](int node)
+                                                               -> sim::Task<void> {
+      if (collective) {
+        auto fh = co_await f.fs.gopen(node, "c/cmp", *f.group, {});
+        co_await fh.close();
+      } else {
+        auto fh = co_await f.fs.open(node, "c/cmp", {});
+        co_await fh.close();
+      }
+    }));
+    f.engine().run();
+    for (const auto& ev : f.collector.events()) {
+      if (ev.op == pablo::IoOp::kOpen || ev.op == pablo::IoOp::kGopen) total += ev.duration;
+    }
+    return total;
+  };
+  const sim::Tick open_cost = measure(false);
+  const sim::Tick gopen_cost = measure(true);
+  EXPECT_GT(open_cost, gopen_cost * 3);
+}
+
+sim::Task<void> determinism_body(Fixture& f) {
+  co_await apps::parallel_section(f.engine(), 4, [&f](int node) -> sim::Task<void> {
+    auto fh = co_await f.fs.gopen(node, "c/det", *f.group, {.truncate = true});
+    co_await fh.set_iomode(IoMode::kAsync);
+    co_await fh.seek(static_cast<std::uint64_t>(node) * 8192);
+    for (int i = 0; i < 10; ++i) co_await fh.write(512);
+    co_await fh.close();
+  });
+}
+
+TEST(PfsClient, RunsAreDeterministic) {
+  sim::Tick t1, t2;
+  std::size_t n1, n2;
+  {
+    Fixture f(4);
+    f.run(determinism_body(f));
+    t1 = f.engine().now();
+    n1 = f.collector.event_count();
+  }
+  {
+    Fixture f(4);
+    f.run(determinism_body(f));
+    t2 = f.engine().now();
+    n2 = f.collector.event_count();
+  }
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(n1, n2);
+}
+
+}  // namespace
+}  // namespace sio::pfs

@@ -1,0 +1,114 @@
+// Tests for the sparse content store: byte-accurate round trips across chunk
+// boundaries, hole semantics, and residency accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "pfs/content.hpp"
+
+namespace sio::pfs {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 131 + seed) & 0xff);
+  }
+  return v;
+}
+
+TEST(SparseContent, RoundTripsWithinOneChunk) {
+  SparseContent c;
+  const auto data = pattern(100, 1);
+  c.write(10, data);
+  std::vector<std::byte> out(100);
+  c.read(10, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(SparseContent, RoundTripsAcrossChunkBoundary) {
+  SparseContent c;
+  const auto data = pattern(3 * SparseContent::kChunk + 17, 2);
+  c.write(SparseContent::kChunk - 5, data);
+  std::vector<std::byte> out(data.size());
+  c.read(SparseContent::kChunk - 5, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(SparseContent, HolesReadAsZero) {
+  SparseContent c;
+  c.write(100 * SparseContent::kChunk, pattern(10, 3));
+  std::vector<std::byte> out(64, std::byte{0xff});
+  c.read(5 * SparseContent::kChunk, out);
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(SparseContent, OverwriteReplaces) {
+  SparseContent c;
+  c.write(0, pattern(256, 4));
+  const auto newer = pattern(128, 5);
+  c.write(64, newer);
+  std::vector<std::byte> out(128);
+  c.read(64, out);
+  EXPECT_EQ(out, newer);
+  // Bytes before the overwrite keep the old pattern.
+  std::vector<std::byte> head(64);
+  c.read(0, head);
+  const auto old = pattern(256, 4);
+  EXPECT_TRUE(std::memcmp(head.data(), old.data(), 64) == 0);
+}
+
+TEST(SparseContent, ResidencyCountsOnlyTouchedChunks) {
+  SparseContent c;
+  EXPECT_EQ(c.resident_bytes(), 0u);
+  c.write(0, pattern(1, 6));
+  EXPECT_EQ(c.resident_bytes(), SparseContent::kChunk);
+  c.write(10 * SparseContent::kChunk, pattern(1, 7));
+  EXPECT_EQ(c.resident_bytes(), 2 * SparseContent::kChunk);
+}
+
+TEST(SparseContent, HighWaterTracksExtent) {
+  SparseContent c;
+  EXPECT_EQ(c.high_water(), 0u);
+  c.write(1000, pattern(24, 8));
+  EXPECT_EQ(c.high_water(), 1024u);
+  c.write(10, pattern(4, 9));
+  EXPECT_EQ(c.high_water(), 1024u);
+}
+
+TEST(SparseContent, ClearResets) {
+  SparseContent c;
+  c.write(0, pattern(100, 10));
+  c.clear();
+  EXPECT_EQ(c.resident_bytes(), 0u);
+  EXPECT_EQ(c.high_water(), 0u);
+  std::vector<std::byte> out(10, std::byte{0x5a});
+  c.read(0, out);
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+// Parameterized property: write-then-read round trip at awkward offsets.
+class ContentRoundTrip : public ::testing::TestWithParam<std::pair<std::uint64_t, std::size_t>> {};
+
+TEST_P(ContentRoundTrip, Holds) {
+  const auto [offset, size] = GetParam();
+  SparseContent c;
+  const auto data = pattern(size, static_cast<unsigned>(offset));
+  c.write(offset, data);
+  std::vector<std::byte> out(size);
+  c.read(offset, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(c.high_water(), offset + size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ContentRoundTrip,
+                         ::testing::Values(std::pair{0ull, std::size_t{1}},
+                                           std::pair{4095ull, std::size_t{2}},
+                                           std::pair{4096ull, std::size_t{4096}},
+                                           std::pair{1ull << 30, std::size_t{10000}},
+                                           std::pair{123456789ull, std::size_t{65536}}));
+
+}  // namespace
+}  // namespace sio::pfs

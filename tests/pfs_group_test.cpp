@@ -1,0 +1,120 @@
+// Tests for the collective Group: rendezvous semantics, last-arriver hooks,
+// wave-offset publication, reusability, and membership queries.
+
+#include <gtest/gtest.h>
+
+#include "pfs/file.hpp"
+#include "pfs/group.hpp"
+
+namespace sio::pfs {
+namespace {
+
+sim::Task<void> arriver(sim::Engine& e, Group& g, sim::Tick delay, std::vector<sim::Tick>* out) {
+  co_await e.delay(delay);
+  co_await g.arrive();
+  out->push_back(e.now());
+}
+
+TEST(Group, ArriveReleasesWhenAllPresent) {
+  sim::Engine e;
+  auto g = Group::contiguous(e, 3);
+  std::vector<sim::Tick> released;
+  e.spawn(arriver(e, *g, sim::seconds(1), &released));
+  e.spawn(arriver(e, *g, sim::seconds(9), &released));
+  e.spawn(arriver(e, *g, sim::seconds(4), &released));
+  e.run();
+  ASSERT_EQ(released.size(), 3u);
+  for (auto t : released) EXPECT_EQ(t, sim::seconds(9));
+}
+
+sim::Task<void> hooked_arriver(sim::Engine& e, Group& g, sim::Tick delay, int* hook_runs) {
+  co_await e.delay(delay);
+  co_await g.arrive([hook_runs] { ++*hook_runs; });
+}
+
+TEST(Group, HookRunsExactlyOncePerWave) {
+  sim::Engine e;
+  auto g = Group::contiguous(e, 4);
+  int hook_runs = 0;
+  for (int i = 0; i < 4; ++i) {
+    e.spawn(hooked_arriver(e, *g, sim::seconds(i), &hook_runs));
+  }
+  e.run();
+  EXPECT_EQ(hook_runs, 1);
+}
+
+sim::Task<void> wave_user(sim::Engine& e, Group& g, int rank, FileState* f,
+                          std::vector<std::uint64_t>* offsets) {
+  co_await e.delay(sim::seconds(rank + 1));
+  g.scratch()[static_cast<std::size_t>(rank)] = static_cast<std::uint64_t>((rank + 1) * 10);
+  Group* gp = &g;
+  co_await g.arrive([gp, f] {
+    std::uint64_t acc = f->shared_offset;
+    for (std::size_t r = 0; r < gp->wave_offsets().size(); ++r) {
+      gp->wave_offsets()[r] = acc;
+      acc += gp->scratch()[r];
+    }
+    f->shared_offset = acc;
+  });
+  offsets->push_back(g.wave_offsets()[static_cast<std::size_t>(rank)]);
+}
+
+TEST(Group, WaveOffsetsArePrefixSumsAndRaceFree) {
+  sim::Engine e;
+  auto g = Group::contiguous(e, 3);
+  FileState f(0, "x", ContentPolicy::kExtentsOnly);
+  std::vector<std::uint64_t> offsets;
+  std::vector<std::unique_ptr<std::vector<std::uint64_t>>> keep;
+  for (int r = 0; r < 3; ++r) {
+    e.spawn(wave_user(e, *g, r, &f, &offsets));
+  }
+  e.run();
+  std::sort(offsets.begin(), offsets.end());
+  EXPECT_EQ(offsets, (std::vector<std::uint64_t>{0, 10, 30}));
+  EXPECT_EQ(f.shared_offset, 60u);
+}
+
+sim::Task<void> repeat_arriver(sim::Engine& e, Group& g, int rounds, sim::Tick step, int* done) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await e.delay(step);
+    co_await g.arrive();
+  }
+  ++*done;
+}
+
+TEST(Group, IsReusableAcrossManyWaves) {
+  sim::Engine e;
+  auto g = Group::contiguous(e, 2);
+  int done = 0;
+  e.spawn(repeat_arriver(e, *g, 50, sim::seconds(1), &done));
+  e.spawn(repeat_arriver(e, *g, 50, sim::seconds(2), &done));
+  e.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(e.now(), sim::seconds(100));  // paced by the slower member
+}
+
+TEST(Group, MembershipQueries) {
+  sim::Engine e;
+  Group g(e, {4, 9, 2});
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.leader(), 4);
+  EXPECT_EQ(g.rank_of(4), 0);
+  EXPECT_EQ(g.rank_of(9), 1);
+  EXPECT_EQ(g.rank_of(2), 2);
+  EXPECT_TRUE(g.contains(9));
+  EXPECT_FALSE(g.contains(7));
+  EXPECT_THROW(g.rank_of(7), sim::AssertionError);
+}
+
+TEST(Group, SingleMemberGroupNeverBlocks) {
+  sim::Engine e;
+  auto g = Group::contiguous(e, 1);
+  int hook_runs = 0;
+  e.spawn(hooked_arriver(e, *g, sim::seconds(1), &hook_runs));
+  e.run();
+  EXPECT_EQ(hook_runs, 1);
+  EXPECT_EQ(e.now(), sim::seconds(1));
+}
+
+}  // namespace
+}  // namespace sio::pfs

@@ -1,0 +1,92 @@
+// Tests for the metadata/token server: per-(file, class) serialization,
+// independence across files and classes, and OS-profile service times.
+
+#include <gtest/gtest.h>
+
+#include "pfs/metadata.hpp"
+
+namespace sio::pfs {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  hw::OsProfile os = hw::osf_r13();
+  MetadataServer meta{engine, os};
+
+  void run() { engine.run(); }
+};
+
+sim::Task<void> request_n(MetadataServer& m, pablo::FileId f, MetaClass c, sim::Tick service,
+                          int n, std::vector<sim::Tick>* done, sim::Engine& e) {
+  for (int i = 0; i < n; ++i) {
+    co_await m.request(f, c, service);
+  }
+  done->push_back(e.now());
+}
+
+TEST(MetadataServer, SameFileSameClassSerializes) {
+  Fixture f;
+  std::vector<sim::Tick> done;
+  for (int i = 0; i < 4; ++i) {
+    f.engine.spawn(request_n(f.meta, 1, MetaClass::kControl, sim::milliseconds(10), 1, &done,
+                             f.engine));
+  }
+  f.run();
+  // Four 10ms requests on one queue: finish at 10, 20, 30, 40 ms.
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_EQ(done.back(), sim::milliseconds(40));
+  EXPECT_EQ(f.meta.requests_served(), 4u);
+  EXPECT_EQ(f.meta.busy_time(), sim::milliseconds(40));
+}
+
+TEST(MetadataServer, DifferentFilesProceedInParallel) {
+  Fixture f;
+  std::vector<sim::Tick> done;
+  for (pablo::FileId id = 0; id < 4; ++id) {
+    f.engine.spawn(request_n(f.meta, id, MetaClass::kControl, sim::milliseconds(10), 1, &done,
+                             f.engine));
+  }
+  f.run();
+  for (auto t : done) EXPECT_EQ(t, sim::milliseconds(10));
+}
+
+TEST(MetadataServer, DifferentClassesOfOneFileProceedInParallel) {
+  Fixture f;
+  std::vector<sim::Tick> done;
+  f.engine.spawn(request_n(f.meta, 1, MetaClass::kControl, sim::milliseconds(10), 1, &done,
+                           f.engine));
+  f.engine.spawn(request_n(f.meta, 1, MetaClass::kSeek, sim::milliseconds(10), 1, &done,
+                           f.engine));
+  f.engine.spawn(request_n(f.meta, 1, MetaClass::kTokenRead, sim::milliseconds(10), 1, &done,
+                           f.engine));
+  f.run();
+  for (auto t : done) EXPECT_EQ(t, sim::milliseconds(10));
+}
+
+sim::Task<void> one_op(sim::Task<void> op, std::vector<sim::Tick>* done, sim::Engine& e) {
+  co_await std::move(op);
+  done->push_back(e.now());
+}
+
+TEST(MetadataServer, NamedOpsUseProfileServiceTimes) {
+  Fixture f;
+  std::vector<sim::Tick> done;
+  f.engine.spawn(one_op(f.meta.open_op(1), &done, f.engine));
+  f.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], f.os.open_service);
+
+  done.clear();
+  f.engine.spawn(one_op(f.meta.token_op(2, /*is_write=*/false), &done, f.engine));
+  f.engine.spawn(one_op(f.meta.token_op(3, /*is_write=*/true), &done, f.engine));
+  f.run();
+  ASSERT_EQ(done.size(), 2u);
+}
+
+TEST(MetadataServer, TokenWriteCostsMoreThanTokenRead) {
+  const auto os = hw::osf_r12();
+  EXPECT_GT(os.token_write_service, os.token_read_service);
+}
+
+}  // namespace
+}  // namespace sio::pfs

@@ -1,0 +1,211 @@
+// Unit tests for the discrete-event kernel: ordering, determinism, time
+// arithmetic, and coroutine task lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace sio::sim {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(microseconds(1), 1'000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_EQ(seconds(1.5), 1'500'000'000);
+  EXPECT_EQ(milliseconds(4.4), 4'400'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(42)), 42.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(7)), 7.0);
+}
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.events_processed(), 0u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(seconds(3), [&] { order.push_back(3); });
+  e.schedule_at(seconds(1), [&] { order.push_back(1); });
+  e.schedule_at(seconds(2), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), seconds(3));
+}
+
+TEST(Engine, SameTickIsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    e.schedule_at(seconds(5), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, HandlersCanScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) e.schedule_in(seconds(1), chain);
+  };
+  e.schedule_in(seconds(1), chain);
+  e.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(e.now(), seconds(10));
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(seconds(1), [&] { ++fired; });
+  e.schedule_at(seconds(2), [&] { ++fired; });
+  e.schedule_at(seconds(5), [&] { ++fired; });
+  e.run_until(seconds(2));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), seconds(2));
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(seconds(2), [&] {
+    EXPECT_THROW(e.schedule_at(seconds(1), [] {}), AssertionError);
+  });
+  e.run();
+}
+
+TEST(Engine, StopHaltsTheLoop) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(seconds(1), [&] {
+    ++fired;
+    e.stop();
+  });
+  e.schedule_at(seconds(2), [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  e.run();  // resumes with the remaining event
+  EXPECT_EQ(fired, 2);
+}
+
+Task<void> simple_sleeper(Engine& e, Tick d, int* done) {
+  co_await e.delay(d);
+  *done = 1;
+}
+
+TEST(Task, SpawnedTaskRunsToCompletion) {
+  Engine e;
+  int done = 0;
+  e.spawn(simple_sleeper(e, seconds(2), &done));
+  EXPECT_EQ(e.live_tasks(), 1u);
+  e.run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(e.now(), seconds(2));
+  EXPECT_EQ(e.live_tasks(), 0u);
+}
+
+Task<int> answer(Engine& e) {
+  co_await e.delay(seconds(1));
+  co_return 42;
+}
+
+Task<void> awaits_child(Engine& e, int* result) {
+  *result = co_await answer(e);
+}
+
+TEST(Task, AwaitingChildReturnsValue) {
+  Engine e;
+  int result = 0;
+  e.spawn(awaits_child(e, &result));
+  e.run();
+  EXPECT_EQ(result, 42);
+}
+
+Task<void> thrower(Engine& e) {
+  co_await e.delay(seconds(1));
+  throw std::runtime_error("boom");
+}
+
+TEST(Task, DetachedExceptionSurfacesFromRun) {
+  Engine e;
+  e.spawn(thrower(e));
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+Task<void> catches_child(Engine& e, bool* caught) {
+  try {
+    co_await thrower(e);
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(Task, AwaiterCanCatchChildException) {
+  Engine e;
+  bool caught = false;
+  e.spawn(catches_child(e, &caught));
+  e.run();
+  EXPECT_TRUE(caught);
+}
+
+Task<void> nested_inner(Engine& e, std::vector<int>* log) {
+  log->push_back(1);
+  co_await e.delay(seconds(1));
+  log->push_back(2);
+}
+
+Task<void> nested_outer(Engine& e, std::vector<int>* log) {
+  log->push_back(0);
+  co_await nested_inner(e, log);
+  log->push_back(3);
+}
+
+TEST(Task, NestedAwaitsPreserveOrder) {
+  Engine e;
+  std::vector<int> log;
+  e.spawn(nested_outer(e, &log));
+  e.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+}
+
+Task<void> delayer(Engine& e, Tick d, std::vector<Tick>* finish_times) {
+  co_await e.delay(d);
+  finish_times->push_back(e.now());
+}
+
+TEST(Task, ManyConcurrentTasksInterleaveDeterministically) {
+  Engine e;
+  std::vector<Tick> times;
+  for (int i = 10; i >= 1; --i) {
+    e.spawn(delayer(e, seconds(i), &times));
+  }
+  e.run();
+  ASSERT_EQ(times.size(), 10u);
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_LT(times[i - 1], times[i]);
+}
+
+TEST(Task, ZeroDelayStillYields) {
+  Engine e;
+  std::vector<int> order;
+  auto t = [](Engine& eng, std::vector<int>* ord, int id) -> Task<void> {
+    co_await eng.delay(0);
+    ord->push_back(id);
+  };
+  e.spawn(t(e, &order, 1));
+  e.spawn(t(e, &order, 2));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.now(), 0);
+}
+
+}  // namespace
+}  // namespace sio::sim

@@ -1,0 +1,185 @@
+// Tests for the deterministic RNG: reproducibility, range contracts and
+// rough distribution sanity.  Parameterized sweeps exercise the range
+// properties across many (seed, bounds) combinations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/assert.hpp"
+#include "sim/random.hpp"
+
+namespace sio::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(77);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(77);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng b = a.fork();
+  Rng c = a.fork();
+  EXPECT_NE(b.next_u64(), c.next_u64());
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng r(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng r(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, WeightedPickRespectsZeroWeights) {
+  Rng r(23);
+  const double weights[] = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(r.weighted_pick(weights), 1u);
+}
+
+TEST(Rng, WeightedPickRoughlyProportional) {
+  Rng r(29);
+  const double weights[] = {1.0, 3.0};
+  int counts[2] = {0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[r.weighted_pick(weights)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedPickRejectsAllZero) {
+  Rng r(31);
+  const double weights[] = {0.0, 0.0};
+  EXPECT_THROW(r.weighted_pick(weights), AssertionError);
+}
+
+TEST(Rng, JitterZeroFractionIsIdentity) {
+  Rng r(37);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.jitter(seconds(5), 0.0), seconds(5));
+}
+
+TEST(Rng, JitterStaysInBand) {
+  Rng r(41);
+  const Tick base = seconds(10);
+  for (int i = 0; i < 5000; ++i) {
+    const Tick x = r.jitter(base, 0.1);
+    EXPECT_GE(x, seconds(9.0) - 1);
+    EXPECT_LE(x, seconds(11.0) + 1);
+  }
+}
+
+TEST(Rng, JitterNeverNegative) {
+  Rng r(43);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.jitter(microseconds(1), 1.0), 0);
+}
+
+// ---- parameterized range sweeps ----
+
+struct RangeCase {
+  std::uint64_t seed;
+  std::int64_t lo;
+  std::int64_t hi;
+};
+
+class UniformIntRange : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(UniformIntRange, StaysInClosedRangeAndHitsBothEnds) {
+  const auto& p = GetParam();
+  Rng r(p.seed);
+  bool hit_lo = false, hit_hi = false;
+  const std::int64_t span = p.hi - p.lo;
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t x = r.uniform_int(p.lo, p.hi);
+    ASSERT_GE(x, p.lo);
+    ASSERT_LE(x, p.hi);
+    hit_lo = hit_lo || x == p.lo;
+    hit_hi = hit_hi || x == p.hi;
+  }
+  if (span < 1000) {
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UniformIntRange,
+                         ::testing::Values(RangeCase{1, 0, 0}, RangeCase{2, 0, 1},
+                                           RangeCase{3, -5, 5}, RangeCase{4, 0, 127},
+                                           RangeCase{5, 64, 1800},
+                                           RangeCase{6, -1000000, 1000000},
+                                           RangeCase{7, 0, 2}));
+
+class UniformRealRange : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(UniformRealRange, StaysInHalfOpenRange) {
+  const auto& p = GetParam();
+  Rng r(p.seed);
+  const auto lo = static_cast<double>(p.lo);
+  const auto hi = static_cast<double>(p.hi);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform_real(lo, hi);
+    ASSERT_GE(x, lo);
+    ASSERT_LT(x, hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UniformRealRange,
+                         ::testing::Values(RangeCase{11, 0, 1}, RangeCase{12, -3, 7},
+                                           RangeCase{13, 100, 10000}));
+
+}  // namespace
+}  // namespace sio::sim

@@ -1,0 +1,290 @@
+// Unit tests for the coroutine synchronization primitives: FIFO ordering,
+// hand-off semantics, reusability, and interaction with simulated time.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace sio::sim {
+namespace {
+
+TEST(Event, WaitBeforeSetSuspends) {
+  Engine e;
+  Event ev(e);
+  std::vector<int> order;
+  auto waiter = [](Engine&, Event& event, std::vector<int>* ord) -> Task<void> {
+    co_await event.wait();
+    ord->push_back(1);
+  };
+  e.spawn(waiter(e, ev, &order));
+  e.schedule_at(seconds(5), [&] { ev.set(); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_TRUE(ev.is_set());
+  EXPECT_EQ(e.now(), seconds(5));
+}
+
+TEST(Event, WaitAfterSetCompletesImmediately) {
+  Engine e;
+  Event ev(e);
+  ev.set();
+  bool done = false;
+  auto waiter = [](Event& event, bool* flag) -> Task<void> {
+    co_await event.wait();
+    *flag = true;
+  };
+  e.spawn(waiter(ev, &done));
+  e.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(e.now(), 0);
+}
+
+TEST(Event, SetIsIdempotentAndWakesAllWaitersInOrder) {
+  Engine e;
+  Event ev(e);
+  std::vector<int> order;
+  auto waiter = [](Event& event, std::vector<int>* ord, int id) -> Task<void> {
+    co_await event.wait();
+    ord->push_back(id);
+  };
+  for (int i = 0; i < 5; ++i) e.spawn(waiter(ev, &order, i));
+  e.schedule_at(seconds(1), [&] {
+    ev.set();
+    ev.set();
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+Task<void> lock_hold_unlock(Engine& e, Mutex& m, Tick hold, std::vector<int>* order, int id) {
+  co_await m.lock();
+  order->push_back(id);
+  co_await e.delay(hold);
+  m.unlock();
+}
+
+TEST(Mutex, UncontendedAcquireIsImmediate) {
+  Engine e;
+  Mutex m(e);
+  std::vector<int> order;
+  e.spawn(lock_hold_unlock(e, m, seconds(1), &order, 7));
+  e.run_until(0);
+  EXPECT_EQ(order, (std::vector<int>{7}));  // acquired at t=0, no wait
+  e.run();
+  EXPECT_FALSE(m.locked());
+}
+
+TEST(Mutex, GrantsInFifoOrder) {
+  Engine e;
+  Mutex m(e);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) e.spawn(lock_hold_unlock(e, m, seconds(1), &order, i));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(e.now(), seconds(4));
+  EXPECT_FALSE(m.locked());
+}
+
+TEST(Mutex, QueueLengthReflectsWaiters) {
+  Engine e;
+  Mutex m(e);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) e.spawn(lock_hold_unlock(e, m, seconds(1), &order, i));
+  e.run_until(seconds(0));
+  EXPECT_TRUE(m.locked());
+  EXPECT_EQ(m.queue_length(), 2u);
+  e.run();
+}
+
+Task<void> scoped_user(Engine& e, Mutex& m, std::vector<int>* order, int id) {
+  auto guard = co_await m.scoped();
+  order->push_back(id);
+  co_await e.delay(seconds(1));
+  // guard releases on destruction
+}
+
+TEST(Mutex, ScopedLockReleasesAutomatically) {
+  Engine e;
+  Mutex m(e);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) e.spawn(scoped_user(e, m, &order, i));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(m.locked());
+}
+
+TEST(Mutex, UnlockWithoutLockAsserts) {
+  Engine e;
+  Mutex m(e);
+  EXPECT_THROW(m.unlock(), AssertionError);
+}
+
+Task<void> sem_user(Engine& e, Semaphore& s, std::vector<Tick>* starts) {
+  co_await s.acquire();
+  starts->push_back(e.now());
+  co_await e.delay(seconds(2));
+  s.release();
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Engine e;
+  Semaphore s(e, 2);
+  std::vector<Tick> starts;
+  for (int i = 0; i < 6; ++i) e.spawn(sem_user(e, s, &starts));
+  e.run();
+  ASSERT_EQ(starts.size(), 6u);
+  // Two start immediately, then pairs every 2 seconds.
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[1], 0);
+  EXPECT_EQ(starts[2], seconds(2));
+  EXPECT_EQ(starts[3], seconds(2));
+  EXPECT_EQ(starts[4], seconds(4));
+  EXPECT_EQ(starts[5], seconds(4));
+}
+
+TEST(Semaphore, ReleaseWithoutWaitersIncrementsCount) {
+  Engine e;
+  Semaphore s(e, 0);
+  s.release();
+  EXPECT_EQ(s.available(), 1);
+}
+
+Task<void> barrier_user(Engine& e, Barrier& b, Tick arrival, std::vector<Tick>* releases) {
+  co_await e.delay(arrival);
+  co_await b.arrive_and_wait();
+  releases->push_back(e.now());
+}
+
+TEST(Barrier, ReleasesWhenLastArrives) {
+  Engine e;
+  Barrier b(e, 3);
+  std::vector<Tick> releases;
+  e.spawn(barrier_user(e, b, seconds(1), &releases));
+  e.spawn(barrier_user(e, b, seconds(5), &releases));
+  e.spawn(barrier_user(e, b, seconds(3), &releases));
+  e.run();
+  ASSERT_EQ(releases.size(), 3u);
+  for (Tick t : releases) EXPECT_EQ(t, seconds(5));
+}
+
+Task<void> barrier_cycler(Engine& e, Barrier& b, int rounds, Tick step, std::vector<Tick>* log) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await e.delay(step);
+    co_await b.arrive_and_wait();
+    log->push_back(e.now());
+  }
+}
+
+TEST(Barrier, IsReusableAcrossGenerations) {
+  Engine e;
+  Barrier b(e, 2);
+  std::vector<Tick> log;
+  e.spawn(barrier_cycler(e, b, 3, seconds(1), &log));
+  e.spawn(barrier_cycler(e, b, 3, seconds(2), &log));
+  e.run();
+  ASSERT_EQ(log.size(), 6u);
+  // Each round completes at the slower task's pace: 2, 4, 6 seconds.
+  EXPECT_EQ(log[0], seconds(2));
+  EXPECT_EQ(log[1], seconds(2));
+  EXPECT_EQ(log[2], seconds(4));
+  EXPECT_EQ(log[3], seconds(4));
+  EXPECT_EQ(log[4], seconds(6));
+  EXPECT_EQ(log[5], seconds(6));
+}
+
+Task<void> wg_worker(Engine& e, WaitGroup& wg, Tick d) {
+  co_await e.delay(d);
+  wg.done();
+}
+
+Task<void> wg_joiner(Engine& e, WaitGroup& wg, Tick* done_at) {
+  co_await wg.wait();
+  *done_at = e.now();
+}
+
+TEST(WaitGroup, WaitsForAllWorkers) {
+  Engine e;
+  WaitGroup wg(e);
+  Tick done_at = -1;
+  wg.add(3);
+  e.spawn(wg_worker(e, wg, seconds(1)));
+  e.spawn(wg_worker(e, wg, seconds(7)));
+  e.spawn(wg_worker(e, wg, seconds(3)));
+  e.spawn(wg_joiner(e, wg, &done_at));
+  e.run();
+  EXPECT_EQ(done_at, seconds(7));
+}
+
+TEST(WaitGroup, WaitOnZeroCompletesImmediately) {
+  Engine e;
+  WaitGroup wg(e);
+  Tick done_at = -1;
+  e.spawn(wg_joiner(e, wg, &done_at));
+  e.run();
+  EXPECT_EQ(done_at, 0);
+}
+
+TEST(WaitGroup, DoneBelowZeroAsserts) {
+  Engine e;
+  WaitGroup wg(e);
+  EXPECT_THROW(wg.done(), AssertionError);
+}
+
+Task<void> producer(Engine& e, Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await e.delay(seconds(1));
+    ch.push(i);
+  }
+}
+
+Task<void> consumer(Engine&, Channel<int>& ch, int n, std::vector<int>* got) {
+  for (int i = 0; i < n; ++i) {
+    got->push_back(co_await ch.pop());
+  }
+}
+
+TEST(Channel, DeliversInFifoOrder) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<int> got;
+  e.spawn(producer(e, ch, 5));
+  e.spawn(consumer(e, ch, 5, &got));
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, MultipleConsumersShareValues) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<int> got_a, got_b;
+  e.spawn(consumer(e, ch, 2, &got_a));
+  e.spawn(consumer(e, ch, 2, &got_b));
+  e.spawn(producer(e, ch, 4));
+  e.run();
+  EXPECT_EQ(got_a.size() + got_b.size(), 4u);
+  std::vector<int> all;
+  all.insert(all.end(), got_a.begin(), got_a.end());
+  all.insert(all.end(), got_b.begin(), got_b.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Channel, PushBeforePopBuffers) {
+  Engine e;
+  Channel<int> ch(e);
+  ch.push(42);
+  ch.push(43);
+  EXPECT_EQ(ch.size(), 2u);
+  std::vector<int> got;
+  e.spawn(consumer(e, ch, 2, &got));
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{42, 43}));
+  EXPECT_TRUE(ch.empty());
+}
+
+}  // namespace
+}  // namespace sio::sim
