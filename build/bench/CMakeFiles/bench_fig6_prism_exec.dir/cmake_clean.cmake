@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_prism_exec.dir/bench_fig6_prism_exec.cpp.o"
+  "CMakeFiles/bench_fig6_prism_exec.dir/bench_fig6_prism_exec.cpp.o.d"
+  "bench_fig6_prism_exec"
+  "bench_fig6_prism_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_prism_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

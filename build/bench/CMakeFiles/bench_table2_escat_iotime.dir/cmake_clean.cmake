@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_escat_iotime.dir/bench_table2_escat_iotime.cpp.o"
+  "CMakeFiles/bench_table2_escat_iotime.dir/bench_table2_escat_iotime.cpp.o.d"
+  "bench_table2_escat_iotime"
+  "bench_table2_escat_iotime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_escat_iotime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

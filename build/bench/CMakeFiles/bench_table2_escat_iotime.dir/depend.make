@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_escat_iotime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_escat_pct_exec.dir/bench_table3_escat_pct_exec.cpp.o"
+  "CMakeFiles/bench_table3_escat_pct_exec.dir/bench_table3_escat_pct_exec.cpp.o.d"
+  "bench_table3_escat_pct_exec"
+  "bench_table3_escat_pct_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_escat_pct_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_prism_iotime.dir/bench_table5_prism_iotime.cpp.o"
+  "CMakeFiles/bench_table5_prism_iotime.dir/bench_table5_prism_iotime.cpp.o.d"
+  "bench_table5_prism_iotime"
+  "bench_table5_prism_iotime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_prism_iotime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_checkpoint_app.dir/custom_checkpoint_app.cpp.o"
+  "CMakeFiles/custom_checkpoint_app.dir/custom_checkpoint_app.cpp.o.d"
+  "custom_checkpoint_app"
+  "custom_checkpoint_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_checkpoint_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escat_evolution.dir/escat_evolution.cpp.o"
+  "CMakeFiles/escat_evolution.dir/escat_evolution.cpp.o.d"
+  "escat_evolution"
+  "escat_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escat_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_evolution.dir/prism_evolution.cpp.o"
+  "CMakeFiles/prism_evolution.dir/prism_evolution.cpp.o.d"
+  "prism_evolution"
+  "prism_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

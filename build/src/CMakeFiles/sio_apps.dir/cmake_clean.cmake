@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sio_apps.dir/apps/common.cpp.o"
+  "CMakeFiles/sio_apps.dir/apps/common.cpp.o.d"
+  "CMakeFiles/sio_apps.dir/apps/escat.cpp.o"
+  "CMakeFiles/sio_apps.dir/apps/escat.cpp.o.d"
+  "CMakeFiles/sio_apps.dir/apps/prism.cpp.o"
+  "CMakeFiles/sio_apps.dir/apps/prism.cpp.o.d"
+  "libsio_apps.a"
+  "libsio_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sio_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sio_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/sio_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/sio_core.dir/core/figures.cpp.o"
+  "CMakeFiles/sio_core.dir/core/figures.cpp.o.d"
+  "libsio_core.a"
+  "libsio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/disk.cpp" "src/CMakeFiles/sio_hw.dir/machine/disk.cpp.o" "gcc" "src/CMakeFiles/sio_hw.dir/machine/disk.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/sio_hw.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/sio_hw.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/machine/network.cpp" "src/CMakeFiles/sio_hw.dir/machine/network.cpp.o" "gcc" "src/CMakeFiles/sio_hw.dir/machine/network.cpp.o.d"
+  "/root/repo/src/machine/os_profile.cpp" "src/CMakeFiles/sio_hw.dir/machine/os_profile.cpp.o" "gcc" "src/CMakeFiles/sio_hw.dir/machine/os_profile.cpp.o.d"
+  "/root/repo/src/machine/topology.cpp" "src/CMakeFiles/sio_hw.dir/machine/topology.cpp.o" "gcc" "src/CMakeFiles/sio_hw.dir/machine/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sio_hw.dir/machine/disk.cpp.o"
+  "CMakeFiles/sio_hw.dir/machine/disk.cpp.o.d"
+  "CMakeFiles/sio_hw.dir/machine/machine.cpp.o"
+  "CMakeFiles/sio_hw.dir/machine/machine.cpp.o.d"
+  "CMakeFiles/sio_hw.dir/machine/network.cpp.o"
+  "CMakeFiles/sio_hw.dir/machine/network.cpp.o.d"
+  "CMakeFiles/sio_hw.dir/machine/os_profile.cpp.o"
+  "CMakeFiles/sio_hw.dir/machine/os_profile.cpp.o.d"
+  "CMakeFiles/sio_hw.dir/machine/topology.cpp.o"
+  "CMakeFiles/sio_hw.dir/machine/topology.cpp.o.d"
+  "libsio_hw.a"
+  "libsio_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sio_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pablo/aggregate.cpp" "src/CMakeFiles/sio_pablo.dir/pablo/aggregate.cpp.o" "gcc" "src/CMakeFiles/sio_pablo.dir/pablo/aggregate.cpp.o.d"
+  "/root/repo/src/pablo/cdf.cpp" "src/CMakeFiles/sio_pablo.dir/pablo/cdf.cpp.o" "gcc" "src/CMakeFiles/sio_pablo.dir/pablo/cdf.cpp.o.d"
+  "/root/repo/src/pablo/classify.cpp" "src/CMakeFiles/sio_pablo.dir/pablo/classify.cpp.o" "gcc" "src/CMakeFiles/sio_pablo.dir/pablo/classify.cpp.o.d"
+  "/root/repo/src/pablo/collector.cpp" "src/CMakeFiles/sio_pablo.dir/pablo/collector.cpp.o" "gcc" "src/CMakeFiles/sio_pablo.dir/pablo/collector.cpp.o.d"
+  "/root/repo/src/pablo/report.cpp" "src/CMakeFiles/sio_pablo.dir/pablo/report.cpp.o" "gcc" "src/CMakeFiles/sio_pablo.dir/pablo/report.cpp.o.d"
+  "/root/repo/src/pablo/sddf.cpp" "src/CMakeFiles/sio_pablo.dir/pablo/sddf.cpp.o" "gcc" "src/CMakeFiles/sio_pablo.dir/pablo/sddf.cpp.o.d"
+  "/root/repo/src/pablo/summary.cpp" "src/CMakeFiles/sio_pablo.dir/pablo/summary.cpp.o" "gcc" "src/CMakeFiles/sio_pablo.dir/pablo/summary.cpp.o.d"
+  "/root/repo/src/pablo/timeline.cpp" "src/CMakeFiles/sio_pablo.dir/pablo/timeline.cpp.o" "gcc" "src/CMakeFiles/sio_pablo.dir/pablo/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sio_pablo.dir/pablo/aggregate.cpp.o"
+  "CMakeFiles/sio_pablo.dir/pablo/aggregate.cpp.o.d"
+  "CMakeFiles/sio_pablo.dir/pablo/cdf.cpp.o"
+  "CMakeFiles/sio_pablo.dir/pablo/cdf.cpp.o.d"
+  "CMakeFiles/sio_pablo.dir/pablo/classify.cpp.o"
+  "CMakeFiles/sio_pablo.dir/pablo/classify.cpp.o.d"
+  "CMakeFiles/sio_pablo.dir/pablo/collector.cpp.o"
+  "CMakeFiles/sio_pablo.dir/pablo/collector.cpp.o.d"
+  "CMakeFiles/sio_pablo.dir/pablo/report.cpp.o"
+  "CMakeFiles/sio_pablo.dir/pablo/report.cpp.o.d"
+  "CMakeFiles/sio_pablo.dir/pablo/sddf.cpp.o"
+  "CMakeFiles/sio_pablo.dir/pablo/sddf.cpp.o.d"
+  "CMakeFiles/sio_pablo.dir/pablo/summary.cpp.o"
+  "CMakeFiles/sio_pablo.dir/pablo/summary.cpp.o.d"
+  "CMakeFiles/sio_pablo.dir/pablo/timeline.cpp.o"
+  "CMakeFiles/sio_pablo.dir/pablo/timeline.cpp.o.d"
+  "libsio_pablo.a"
+  "libsio_pablo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sio_pablo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

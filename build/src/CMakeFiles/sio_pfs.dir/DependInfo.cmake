@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/client.cpp" "src/CMakeFiles/sio_pfs.dir/pfs/client.cpp.o" "gcc" "src/CMakeFiles/sio_pfs.dir/pfs/client.cpp.o.d"
+  "/root/repo/src/pfs/content.cpp" "src/CMakeFiles/sio_pfs.dir/pfs/content.cpp.o" "gcc" "src/CMakeFiles/sio_pfs.dir/pfs/content.cpp.o.d"
+  "/root/repo/src/pfs/metadata.cpp" "src/CMakeFiles/sio_pfs.dir/pfs/metadata.cpp.o" "gcc" "src/CMakeFiles/sio_pfs.dir/pfs/metadata.cpp.o.d"
+  "/root/repo/src/pfs/pfs.cpp" "src/CMakeFiles/sio_pfs.dir/pfs/pfs.cpp.o" "gcc" "src/CMakeFiles/sio_pfs.dir/pfs/pfs.cpp.o.d"
+  "/root/repo/src/pfs/policies.cpp" "src/CMakeFiles/sio_pfs.dir/pfs/policies.cpp.o" "gcc" "src/CMakeFiles/sio_pfs.dir/pfs/policies.cpp.o.d"
+  "/root/repo/src/pfs/server.cpp" "src/CMakeFiles/sio_pfs.dir/pfs/server.cpp.o" "gcc" "src/CMakeFiles/sio_pfs.dir/pfs/server.cpp.o.d"
+  "/root/repo/src/pfs/stripe.cpp" "src/CMakeFiles/sio_pfs.dir/pfs/stripe.cpp.o" "gcc" "src/CMakeFiles/sio_pfs.dir/pfs/stripe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sio_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sio_pablo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

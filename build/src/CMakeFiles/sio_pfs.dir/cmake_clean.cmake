@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sio_pfs.dir/pfs/client.cpp.o"
+  "CMakeFiles/sio_pfs.dir/pfs/client.cpp.o.d"
+  "CMakeFiles/sio_pfs.dir/pfs/content.cpp.o"
+  "CMakeFiles/sio_pfs.dir/pfs/content.cpp.o.d"
+  "CMakeFiles/sio_pfs.dir/pfs/metadata.cpp.o"
+  "CMakeFiles/sio_pfs.dir/pfs/metadata.cpp.o.d"
+  "CMakeFiles/sio_pfs.dir/pfs/pfs.cpp.o"
+  "CMakeFiles/sio_pfs.dir/pfs/pfs.cpp.o.d"
+  "CMakeFiles/sio_pfs.dir/pfs/policies.cpp.o"
+  "CMakeFiles/sio_pfs.dir/pfs/policies.cpp.o.d"
+  "CMakeFiles/sio_pfs.dir/pfs/server.cpp.o"
+  "CMakeFiles/sio_pfs.dir/pfs/server.cpp.o.d"
+  "CMakeFiles/sio_pfs.dir/pfs/stripe.cpp.o"
+  "CMakeFiles/sio_pfs.dir/pfs/stripe.cpp.o.d"
+  "libsio_pfs.a"
+  "libsio_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sio_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

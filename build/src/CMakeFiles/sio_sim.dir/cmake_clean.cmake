@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sio_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/sio_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/sio_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/sio_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/sio_sim.dir/sim/sync.cpp.o"
+  "CMakeFiles/sio_sim.dir/sim/sync.cpp.o.d"
+  "libsio_sim.a"
+  "libsio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsio_sim.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_escat_test.dir/apps_escat_test.cpp.o"
+  "CMakeFiles/apps_escat_test.dir/apps_escat_test.cpp.o.d"
+  "apps_escat_test"
+  "apps_escat_test.pdb"
+  "apps_escat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_escat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

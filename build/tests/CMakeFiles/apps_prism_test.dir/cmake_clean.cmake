@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_prism_test.dir/apps_prism_test.cpp.o"
+  "CMakeFiles/apps_prism_test.dir/apps_prism_test.cpp.o.d"
+  "apps_prism_test"
+  "apps_prism_test.pdb"
+  "apps_prism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_prism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

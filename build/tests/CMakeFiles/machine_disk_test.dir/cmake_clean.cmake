@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_disk_test.dir/machine_disk_test.cpp.o"
+  "CMakeFiles/machine_disk_test.dir/machine_disk_test.cpp.o.d"
+  "machine_disk_test"
+  "machine_disk_test.pdb"
+  "machine_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

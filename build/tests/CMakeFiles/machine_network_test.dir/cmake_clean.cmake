@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_network_test.dir/machine_network_test.cpp.o"
+  "CMakeFiles/machine_network_test.dir/machine_network_test.cpp.o.d"
+  "machine_network_test"
+  "machine_network_test.pdb"
+  "machine_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_topology_test.dir/machine_topology_test.cpp.o"
+  "CMakeFiles/machine_topology_test.dir/machine_topology_test.cpp.o.d"
+  "machine_topology_test"
+  "machine_topology_test.pdb"
+  "machine_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pablo_cdf_test.dir/pablo_cdf_test.cpp.o"
+  "CMakeFiles/pablo_cdf_test.dir/pablo_cdf_test.cpp.o.d"
+  "pablo_cdf_test"
+  "pablo_cdf_test.pdb"
+  "pablo_cdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pablo_cdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

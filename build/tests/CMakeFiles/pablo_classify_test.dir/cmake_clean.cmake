@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pablo_classify_test.dir/pablo_classify_test.cpp.o"
+  "CMakeFiles/pablo_classify_test.dir/pablo_classify_test.cpp.o.d"
+  "pablo_classify_test"
+  "pablo_classify_test.pdb"
+  "pablo_classify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pablo_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

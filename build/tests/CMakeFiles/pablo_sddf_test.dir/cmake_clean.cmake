@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pablo_sddf_test.dir/pablo_sddf_test.cpp.o"
+  "CMakeFiles/pablo_sddf_test.dir/pablo_sddf_test.cpp.o.d"
+  "pablo_sddf_test"
+  "pablo_sddf_test.pdb"
+  "pablo_sddf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pablo_sddf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

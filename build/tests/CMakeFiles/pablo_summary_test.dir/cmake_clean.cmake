@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pablo_summary_test.dir/pablo_summary_test.cpp.o"
+  "CMakeFiles/pablo_summary_test.dir/pablo_summary_test.cpp.o.d"
+  "pablo_summary_test"
+  "pablo_summary_test.pdb"
+  "pablo_summary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pablo_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pablo_timeline_test.dir/pablo_timeline_test.cpp.o"
+  "CMakeFiles/pablo_timeline_test.dir/pablo_timeline_test.cpp.o.d"
+  "pablo_timeline_test"
+  "pablo_timeline_test.pdb"
+  "pablo_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pablo_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pfs_content_test.cpp" "tests/CMakeFiles/pfs_content_test.dir/pfs_content_test.cpp.o" "gcc" "tests/CMakeFiles/pfs_content_test.dir/pfs_content_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sio_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sio_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sio_pablo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

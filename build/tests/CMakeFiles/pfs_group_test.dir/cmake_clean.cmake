@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfs_group_test.dir/pfs_group_test.cpp.o"
+  "CMakeFiles/pfs_group_test.dir/pfs_group_test.cpp.o.d"
+  "pfs_group_test"
+  "pfs_group_test.pdb"
+  "pfs_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfs_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

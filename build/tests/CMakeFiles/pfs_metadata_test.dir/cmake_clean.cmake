@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfs_metadata_test.dir/pfs_metadata_test.cpp.o"
+  "CMakeFiles/pfs_metadata_test.dir/pfs_metadata_test.cpp.o.d"
+  "pfs_metadata_test"
+  "pfs_metadata_test.pdb"
+  "pfs_metadata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfs_metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

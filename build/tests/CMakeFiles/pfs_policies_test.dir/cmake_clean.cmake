@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfs_policies_test.dir/pfs_policies_test.cpp.o"
+  "CMakeFiles/pfs_policies_test.dir/pfs_policies_test.cpp.o.d"
+  "pfs_policies_test"
+  "pfs_policies_test.pdb"
+  "pfs_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfs_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

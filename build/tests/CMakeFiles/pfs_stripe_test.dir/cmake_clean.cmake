@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfs_stripe_test.dir/pfs_stripe_test.cpp.o"
+  "CMakeFiles/pfs_stripe_test.dir/pfs_stripe_test.cpp.o.d"
+  "pfs_stripe_test"
+  "pfs_stripe_test.pdb"
+  "pfs_stripe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfs_stripe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

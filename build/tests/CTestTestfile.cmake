@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_random_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_disk_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_network_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_stripe_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_content_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_server_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_modes_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_client_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_policies_test[1]_include.cmake")
+include("/root/repo/build/tests/pablo_summary_test[1]_include.cmake")
+include("/root/repo/build/tests/pablo_cdf_test[1]_include.cmake")
+include("/root/repo/build/tests/pablo_timeline_test[1]_include.cmake")
+include("/root/repo/build/tests/pablo_sddf_test[1]_include.cmake")
+include("/root/repo/build/tests/pablo_classify_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_group_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_metadata_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_escat_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_prism_test[1]_include.cmake")
+include("/root/repo/build/tests/core_experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
