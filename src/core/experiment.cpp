@@ -38,6 +38,7 @@ RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uin
   machine.engine().run();
 
   r.exec_time = machine.engine().now();
+  r.events_processed = machine.engine().events_processed();
   r.events = collector.events();
   r.file_names.reserve(collector.file_count());
   for (std::size_t i = 0; i < collector.file_count(); ++i) {

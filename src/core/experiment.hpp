@@ -26,6 +26,7 @@ inline constexpr std::uint64_t kDefaultSeed = 0x510b5eedULL;
 struct RunResult {
   std::string label;
   sim::Tick exec_time = 0;
+  std::uint64_t events_processed = 0;  // engine dispatch count (determinism checks)
   std::vector<pablo::TraceEvent> events;  // start-sorted
   std::vector<std::string> file_names;
   std::vector<apps::PhaseSpan> phases;

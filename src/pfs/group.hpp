@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -32,7 +33,7 @@ class Group {
   Group(sim::Engine& engine, std::vector<hw::NodeId> members)
       : engine_(engine),
         members_(std::move(members)),
-        gen_(std::make_unique<sim::Event>(engine_)),
+        gen_(std::make_unique<sim::Event>(engine_, "Group::arrive")),
         scratch_(members_.size(), 0),
         wave_offsets_(members_.size(), 0) {
     SIO_ASSERT(!members_.empty());
@@ -75,7 +76,9 @@ class Group {
  private:
   sim::Engine& engine_;
   std::vector<hw::NodeId> members_;
-  std::unordered_map<hw::NodeId, int> rank_of_;
+  // Ordered map: lookups are log(n) on tiny groups, and any future iteration
+  // (e.g. a membership dump in a report) is deterministic by construction.
+  std::map<hw::NodeId, int> rank_of_;
   int arrived_ = 0;
   std::unique_ptr<sim::Event> gen_;
   std::vector<std::uint64_t> scratch_;
@@ -87,7 +90,7 @@ inline sim::Task<void> Group::arrive(std::function<void()> on_last) {
     arrived_ = 0;
     if (on_last) on_last();
     auto finished = std::move(gen_);
-    gen_ = std::make_unique<sim::Event>(engine_);
+    gen_ = std::make_unique<sim::Event>(engine_, "Group::arrive");
     finished->set();  // waiters resume through the event queue
     co_return;
   }

@@ -20,7 +20,7 @@ Pfs::Pfs(hw::Machine& machine, pablo::Collector& collector, PfsConfig cfg)
 }
 
 FileState& Pfs::get_or_create(std::string_view path) {
-  auto it = files_.find(std::string(path));
+  auto it = files_.find(path);
   if (it != files_.end()) return *it->second;
   const pablo::FileId id = collector_.register_file(path);
   auto state = std::make_unique<FileState>(id, std::string(path), cfg_.content);
@@ -29,10 +29,10 @@ FileState& Pfs::get_or_create(std::string_view path) {
   return ref;
 }
 
-bool Pfs::exists(std::string_view path) const { return files_.count(std::string(path)) > 0; }
+bool Pfs::exists(std::string_view path) const { return files_.find(path) != files_.end(); }
 
 FileState& Pfs::lookup(std::string_view path) {
-  auto it = files_.find(std::string(path));
+  auto it = files_.find(path);
   if (it == files_.end()) throw PfsError("no such file: " + std::string(path));
   return *it->second;
 }

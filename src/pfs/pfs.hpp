@@ -20,10 +20,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "machine/machine.hpp"
@@ -114,7 +114,9 @@ class Pfs {
   MetadataServer meta_;
   StripeLayout layout_;
   std::vector<std::unique_ptr<IoServer>> servers_;
-  std::unordered_map<std::string, std::unique_ptr<FileState>> files_;
+  // Ordered by path so any future iteration (listing, whole-FS flush, dump)
+  // is deterministic; std::less<> enables string_view lookups without a copy.
+  std::map<std::string, std::unique_ptr<FileState>, std::less<>> files_;
   std::vector<std::uint64_t> next_disk_offset_;  // per-I/O-node bump allocator
 
   std::uint64_t bytes_read_ = 0;

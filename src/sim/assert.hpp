@@ -10,12 +10,45 @@
 #include <stdexcept>
 #include <string>
 
+// `SIO_SIM_CHECKS` gates the sim-sanitizer: runtime detection of
+// schedule-in-the-past, double-resume of a coroutine handle, and deadlock
+// (event queue drained while tasks are still live).  Like `SIO_ASSERT` it is
+// on in every build type; define it to 0 only to measure its (tiny) cost.
+#ifndef SIO_SIM_CHECKS
+#define SIO_SIM_CHECKS 1
+#endif
+
 namespace sio::sim {
 
 /// Thrown when an internal invariant of the simulator is violated.
 class AssertionError : public std::logic_error {
  public:
   using std::logic_error::logic_error;
+};
+
+/// Base class for sim-sanitizer diagnostics (derives from AssertionError so
+/// existing handlers keep working).
+class SimCheckError : public AssertionError {
+ public:
+  using AssertionError::AssertionError;
+};
+
+/// An event was scheduled at a time earlier than the current simulated time.
+class SchedulePastError : public SimCheckError {
+ public:
+  using SimCheckError::SimCheckError;
+};
+
+/// The same suspended coroutine handle was posted for resumption twice.
+class DoubleResumeError : public SimCheckError {
+ public:
+  using SimCheckError::SimCheckError;
+};
+
+/// The event queue drained while spawned tasks were still live.
+class DeadlockError : public SimCheckError {
+ public:
+  using SimCheckError::SimCheckError;
 };
 
 [[noreturn]] inline void assertion_failure(const char* expr, const char* file, int line) {

@@ -1,16 +1,48 @@
 #include "sim/engine.hpp"
 
+#include <map>
+#include <utility>
+
 #include "sim/task.hpp"
 
 namespace sio::sim {
 
 void Engine::schedule_at(Tick t, std::function<void()> fn) {
+#if SIO_SIM_CHECKS
+  if (t < now_) {
+    throw SchedulePastError("sim-check: schedule_at(t=" + std::to_string(t) +
+                            ") is in the past (now=" + std::to_string(now_) + ")");
+  }
+#else
   SIO_ASSERT(t >= now_);
+#endif
   queue_.push(Event{t, next_seq_++, std::move(fn)});
 }
 
 void Engine::post(std::coroutine_handle<> h) {
+#if SIO_SIM_CHECKS
+  if (!pending_resumes_.insert(h.address()).second) {
+    throw DoubleResumeError("sim-check: coroutine handle posted for resumption twice "
+                            "(a primitive woke the same waiter again before it ran)");
+  }
+  schedule_at(now_, [this, h] {
+    pending_resumes_.erase(h.address());
+    blocked_.erase(h.address());
+    h.resume();
+  });
+#else
   schedule_at(now_, [h] { h.resume(); });
+#endif
+}
+
+void Engine::note_blocked(std::coroutine_handle<> h, const char* kind, const char* name) {
+#if SIO_SIM_CHECKS
+  blocked_[h.address()] = BlockSite{kind, name};
+#else
+  (void)h;
+  (void)kind;
+  (void)name;
+#endif
 }
 
 void Engine::report_task_error(std::exception_ptr e) {
@@ -30,6 +62,35 @@ void Engine::dispatch_one() {
   ev.fn();
 }
 
+void Engine::throw_deadlock() {
+  // Aggregate waiter provenance into a sorted map so the message is
+  // deterministic (frame addresses are not).
+  std::map<std::string, int> sites;
+  for (const auto& [addr, site] : blocked_) {
+    std::string label = site.kind;
+    if (site.name != nullptr) label += std::string("(") + site.name + ")";
+    ++sites[label];
+  }
+  std::string msg = "sim-check: deadlock: event queue drained with " +
+                    std::to_string(live_tasks_) + " live task(s)";
+  if (sites.empty()) {
+    msg += "; no registered wait sites (task suspended outside the sync primitives?)";
+  } else {
+    msg += "; blocked waiters:";
+    for (const auto& [label, count] : sites) {
+      msg += " " + std::to_string(count) + "x " + label;
+    }
+  }
+  blocked_.clear();
+  throw DeadlockError(msg);
+}
+
+void Engine::check_drained_queue() {
+#if SIO_SIM_CHECKS
+  if (!stopped_ && queue_.empty() && live_tasks_ > 0) throw_deadlock();
+#endif
+}
+
 void Engine::run() {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
@@ -39,6 +100,7 @@ void Engine::run() {
     auto err = std::exchange(task_error_, nullptr);
     std::rethrow_exception(err);
   }
+  check_drained_queue();
 }
 
 void Engine::run_until(Tick t) {
@@ -51,6 +113,8 @@ void Engine::run_until(Tick t) {
     auto err = std::exchange(task_error_, nullptr);
     std::rethrow_exception(err);
   }
+  // No deadlock check here: a time-bounded run legitimately leaves tasks
+  // parked for events beyond the horizon.
 }
 
 }  // namespace sio::sim

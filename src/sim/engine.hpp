@@ -17,6 +17,9 @@
 #include <exception>
 #include <functional>
 #include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/assert.hpp"
@@ -81,6 +84,17 @@ class Engine {
     --live_tasks_;
   }
 
+  // ---- sim-sanitizer (SIO_SIM_CHECKS) ----
+
+  /// Records that `h` parked on a synchronization primitive, so a deadlock
+  /// report can say *where* tasks are stuck.  `kind` is the primitive type
+  /// ("Event", "Mutex", ...); `name` is an optional user label.  The entry is
+  /// cleared automatically when the handle is woken through post().
+  void note_blocked(std::coroutine_handle<> h, const char* kind, const char* name);
+
+  /// Number of handles currently parked on synchronization primitives.
+  std::size_t blocked_waiters() const { return blocked_.size(); }
+
  private:
   struct Event {
     Tick at;
@@ -94,6 +108,11 @@ class Engine {
     }
   };
 
+  struct BlockSite {
+    const char* kind;
+    const char* name;  // may be nullptr
+  };
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -102,7 +121,15 @@ class Engine {
   bool stopped_ = false;
   std::exception_ptr task_error_;
 
+  // Sanitizer state, keyed by coroutine frame address.  Never iterated on a
+  // path that affects simulation results: the deadlock report aggregates
+  // into a sorted map before printing.
+  std::unordered_set<void*> pending_resumes_;
+  std::unordered_map<void*, BlockSite> blocked_;
+
   void dispatch_one();
+  void check_drained_queue();
+  [[noreturn]] void throw_deadlock();
 };
 
 namespace detail {

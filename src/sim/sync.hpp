@@ -8,6 +8,10 @@
 // Provided: Event (one-shot latch), Mutex (FIFO, with RAII scoped lock),
 // Semaphore, Barrier (cyclic), WaitGroup (fan-in join), and Channel<T>
 // (unbounded FIFO queue with blocking pop).
+//
+// Every primitive registers waiter provenance with the engine (an optional
+// constructor `name` labels the instance), so the sim-sanitizer's deadlock
+// report can say how many tasks are parked on which primitive.
 
 #pragma once
 
@@ -26,7 +30,7 @@ namespace sio::sim {
 /// complete immediately.
 class Event {
  public:
-  explicit Event(Engine& eng) : engine_(eng) {}
+  explicit Event(Engine& eng, const char* name = nullptr) : engine_(eng), name_(name) {}
 
   bool is_set() const { return set_; }
 
@@ -38,7 +42,10 @@ class Event {
     struct Awaiter {
       Event& ev;
       bool await_ready() const { return ev.set_; }
-      void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        ev.engine_.note_blocked(h, "Event", ev.name_);
+        ev.waiters_.push_back(h);
+      }
       void await_resume() const noexcept {}
     };
     return Awaiter{*this};
@@ -48,6 +55,7 @@ class Event {
 
  private:
   Engine& engine_;
+  const char* name_;
   bool set_ = false;
   std::deque<std::coroutine_handle<>> waiters_;
 };
@@ -76,7 +84,7 @@ class [[nodiscard]] ScopedLock {
 /// the lock is never stolen by a task that arrived later.
 class Mutex {
  public:
-  explicit Mutex(Engine& eng) : engine_(eng) {}
+  explicit Mutex(Engine& eng, const char* name = nullptr) : engine_(eng), name_(name) {}
 
   bool locked() const { return locked_; }
   std::size_t queue_length() const { return waiters_.size(); }
@@ -92,7 +100,10 @@ class Mutex {
         }
         return false;
       }
-      void await_suspend(std::coroutine_handle<> h) { m.waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        m.engine_.note_blocked(h, "Mutex", m.name_);
+        m.waiters_.push_back(h);
+      }
       void await_resume() const noexcept {}
     };
     return Awaiter{*this};
@@ -109,7 +120,10 @@ class Mutex {
         }
         return false;
       }
-      void await_suspend(std::coroutine_handle<> h) { m.waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        m.engine_.note_blocked(h, "Mutex", m.name_);
+        m.waiters_.push_back(h);
+      }
       ScopedLock await_resume() { return ScopedLock(&m); }
     };
     return Awaiter{*this};
@@ -119,6 +133,7 @@ class Mutex {
 
  private:
   Engine& engine_;
+  const char* name_;
   bool locked_ = false;
   std::deque<std::coroutine_handle<>> waiters_;
 };
@@ -126,7 +141,8 @@ class Mutex {
 /// Counting semaphore with FIFO grant order.
 class Semaphore {
  public:
-  Semaphore(Engine& eng, std::int64_t initial) : engine_(eng), count_(initial) {
+  Semaphore(Engine& eng, std::int64_t initial, const char* name = nullptr)
+      : engine_(eng), name_(name), count_(initial) {
     SIO_ASSERT(initial >= 0);
   }
 
@@ -143,7 +159,10 @@ class Semaphore {
         }
         return false;
       }
-      void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        s.engine_.note_blocked(h, "Semaphore", s.name_);
+        s.waiters_.push_back(h);
+      }
       void await_resume() const noexcept {}
     };
     return Awaiter{*this};
@@ -153,6 +172,7 @@ class Semaphore {
 
  private:
   Engine& engine_;
+  const char* name_;
   std::int64_t count_;
   std::deque<std::coroutine_handle<>> waiters_;
 };
@@ -161,7 +181,8 @@ class Semaphore {
 /// whole generation; the barrier is immediately reusable.
 class Barrier {
  public:
-  Barrier(Engine& eng, int parties) : engine_(eng), parties_(parties) {
+  Barrier(Engine& eng, int parties, const char* name = nullptr)
+      : engine_(eng), name_(name), parties_(parties) {
     SIO_ASSERT(parties > 0);
   }
 
@@ -179,6 +200,7 @@ class Barrier {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
+        b.engine_.note_blocked(h, "Barrier", b.name_);
         ++b.arrived_;
         b.waiters_.push_back(h);
       }
@@ -189,6 +211,7 @@ class Barrier {
 
  private:
   Engine& engine_;
+  const char* name_;
   int parties_;
   int arrived_ = 0;
   std::deque<std::coroutine_handle<>> waiters_;
@@ -199,7 +222,7 @@ class Barrier {
 /// Join counter: spawners add(), children done(), a joiner awaits wait().
 class WaitGroup {
  public:
-  explicit WaitGroup(Engine& eng) : engine_(eng) {}
+  explicit WaitGroup(Engine& eng, const char* name = nullptr) : engine_(eng), name_(name) {}
 
   void add(std::int64_t n = 1) {
     SIO_ASSERT(n >= 0);
@@ -214,7 +237,10 @@ class WaitGroup {
     struct Awaiter {
       WaitGroup& wg;
       bool await_ready() const { return wg.count_ == 0; }
-      void await_suspend(std::coroutine_handle<> h) { wg.waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        wg.engine_.note_blocked(h, "WaitGroup", wg.name_);
+        wg.waiters_.push_back(h);
+      }
       void await_resume() const noexcept {}
     };
     return Awaiter{*this};
@@ -222,6 +248,7 @@ class WaitGroup {
 
  private:
   Engine& engine_;
+  const char* name_;
   std::int64_t count_ = 0;
   std::deque<std::coroutine_handle<>> waiters_;
 };
@@ -231,7 +258,7 @@ class WaitGroup {
 template <class T>
 class Channel {
  public:
-  explicit Channel(Engine& eng) : engine_(eng) {}
+  explicit Channel(Engine& eng, const char* name = nullptr) : engine_(eng), name_(name) {}
 
   void push(T value) {
     values_.push_back(std::move(value));
@@ -249,7 +276,10 @@ class Channel {
     struct Awaiter {
       Channel& ch;
       bool await_ready() const { return !ch.values_.empty(); }
-      void await_suspend(std::coroutine_handle<> h) { ch.poppers_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch.engine_.note_blocked(h, "Channel", ch.name_);
+        ch.poppers_.push_back(h);
+      }
       T await_resume() {
         SIO_ASSERT(!ch.values_.empty());
         T v = std::move(ch.values_.front());
@@ -268,6 +298,7 @@ class Channel {
 
  private:
   Engine& engine_;
+  const char* name_;
   std::deque<T> values_;
   std::deque<std::coroutine_handle<>> poppers_;
 };

@@ -1,0 +1,207 @@
+// Tests for the sim-sanitizer runtime checks (SIO_SIM_CHECKS): deadlock
+// detection with waiter provenance, schedule-in-the-past diagnostics, and
+// double-resume detection.
+
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <functional>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace sio::sim {
+namespace {
+
+std::string message_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const SimCheckError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+Task<void> wait_forever(Event& ev) { co_await ev.wait(); }
+
+TEST(SimChecks, DrainedQueueWithLiveTasksIsADeadlock) {
+  Engine e;
+  Event ev(e);  // never set
+  e.spawn(wait_forever(ev));
+  EXPECT_THROW(e.run(), DeadlockError);
+  // The check is non-fatal: signal the event and the simulation recovers.
+  ev.set();
+  e.run();
+  EXPECT_EQ(e.live_tasks(), 0u);
+}
+
+TEST(SimChecks, DeadlockReportCountsStuckTasksAndNamesThePrimitive) {
+  Engine e;
+  Event ev(e, "never-signaled-condition");
+  e.spawn(wait_forever(ev));
+  e.spawn(wait_forever(ev));
+  const std::string msg = message_of([&] { e.run(); });
+  EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2 live task(s)"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2x Event(never-signaled-condition)"), std::string::npos) << msg;
+  ev.set();
+  e.run();
+}
+
+Task<void> lock_and_leak(Mutex& m) {
+  co_await m.lock();
+  // Never unlocks: the next acquirer is stuck forever.  This task itself
+  // completes, so it does not count toward the live-task total.
+}
+
+Task<void> lock_again(Mutex& m) {
+  co_await m.lock();
+  m.unlock();
+}
+
+TEST(SimChecks, DeadlockReportAggregatesProvenanceAcrossPrimitives) {
+  Engine e;
+  Mutex m(e, "cpu-queue");
+  WaitGroup wg(e, "join");
+  wg.add(1);  // no worker will ever call done()
+  auto joiner = [](WaitGroup& g) -> Task<void> { co_await g.wait(); };
+  e.spawn(lock_and_leak(m));
+  e.spawn(lock_again(m));
+  e.spawn(joiner(wg));
+  const std::string msg = message_of([&] { e.run(); });
+  EXPECT_NE(msg.find("2 live task(s)"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("1x Mutex(cpu-queue)"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("1x WaitGroup(join)"), std::string::npos) << msg;
+  m.unlock();
+  wg.done();
+  e.run();
+  EXPECT_EQ(e.live_tasks(), 0u);
+}
+
+TEST(SimChecks, BlockedWaiterBookkeepingClearsOnWake) {
+  Engine e;
+  Event ev(e);
+  e.spawn(wait_forever(ev));
+  e.run_until(0);
+  EXPECT_EQ(e.blocked_waiters(), 1u);
+  ev.set();
+  e.run();
+  EXPECT_EQ(e.blocked_waiters(), 0u);
+  EXPECT_EQ(e.live_tasks(), 0u);
+}
+
+TEST(SimChecks, RunUntilDoesNotReportPendingTasksAsDeadlock) {
+  Engine e;
+  Event ev(e);
+  e.spawn(wait_forever(ev));
+  EXPECT_NO_THROW(e.run_until(seconds(10)));
+  EXPECT_EQ(e.live_tasks(), 1u);
+  ev.set();  // release so the engine drains cleanly
+  e.run();
+}
+
+TEST(SimChecks, StoppedRunDoesNotReportDeadlock) {
+  Engine e;
+  Event ev(e);
+  e.spawn(wait_forever(ev));
+  e.schedule_at(seconds(1), [&] { e.stop(); });
+  EXPECT_NO_THROW(e.run());
+  ev.set();
+  e.run();
+}
+
+TEST(SimChecks, ScheduleInThePastThrowsWithBothTimes) {
+  Engine e;
+  e.schedule_at(seconds(3), [] {});
+  e.run();
+  ASSERT_EQ(e.now(), seconds(3));
+  const std::string msg = message_of([&] { e.schedule_at(seconds(1), [] {}); });
+  EXPECT_NE(msg.find("in the past"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(std::to_string(seconds(1))), std::string::npos) << msg;
+  EXPECT_NE(msg.find(std::to_string(seconds(3))), std::string::npos) << msg;
+}
+
+TEST(SimChecks, ScheduleInThePastIsStillAnAssertionError) {
+  // Compatibility: SchedulePastError derives from AssertionError, so code
+  // written against the original contract keeps working.
+  Engine e;
+  e.schedule_at(seconds(2), [&] {
+    EXPECT_THROW(e.schedule_at(seconds(1), [] {}), AssertionError);
+  });
+  e.run();
+}
+
+struct CaptureHandle {
+  std::coroutine_handle<>* out;
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) { *out = h; }
+  void await_resume() const noexcept {}
+};
+
+Task<void> capture_self(std::coroutine_handle<>* out, bool* finished) {
+  co_await CaptureHandle{out};
+  *finished = true;
+}
+
+TEST(SimChecks, DoublePostOfOneHandleIsDetected) {
+  Engine e;
+  std::coroutine_handle<> h{};
+  bool finished = false;
+  e.spawn(capture_self(&h, &finished));
+  e.run_until(0);  // parks the task and hands us its handle
+  ASSERT_TRUE(h);
+  EXPECT_FALSE(finished);
+  e.post(h);
+  EXPECT_THROW(e.post(h), DoubleResumeError);
+  e.run();  // the single queued resume completes the task
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(e.live_tasks(), 0u);
+}
+
+TEST(SimChecks, RepostAfterResumeIsFine) {
+  Engine e;
+  std::coroutine_handle<> h{};
+  bool finished = false;
+  auto twice = [](std::coroutine_handle<>* out, bool* done) -> Task<void> {
+    co_await CaptureHandle{out};
+    co_await CaptureHandle{out};
+    *done = true;
+  };
+  e.spawn(twice(&h, &finished));
+  e.run_until(0);
+  e.post(h);  // first wake
+  e.run_until(0);
+  e.post(h);  // second wake, after the first actually ran
+  EXPECT_NO_THROW(e.run());
+  EXPECT_TRUE(finished);
+}
+
+Task<void> block_on_channel(Channel<int>& ch, int* got) { *got = co_await ch.pop(); }
+
+TEST(SimChecks, ChannelProvenanceAppearsInDeadlockReport) {
+  Engine e;
+  Channel<int> ch(e, "work-queue");
+  int got = 0;
+  e.spawn(block_on_channel(ch, &got));
+  const std::string msg = message_of([&] { e.run(); });
+  EXPECT_NE(msg.find("1x Channel(work-queue)"), std::string::npos) << msg;
+  ch.push(7);
+  e.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(SimChecks, UnnamedPrimitiveReportsItsKind) {
+  Engine e;
+  Semaphore s(e, 0);
+  auto taker = [](Semaphore& sem) -> Task<void> { co_await sem.acquire(); };
+  e.spawn(taker(s));
+  const std::string msg = message_of([&] { e.run(); });
+  EXPECT_NE(msg.find("1x Semaphore"), std::string::npos) << msg;
+  s.release();
+  e.run();
+}
+
+}  // namespace
+}  // namespace sio::sim

@@ -1,0 +1,235 @@
+// Selftest for the siolint rule engine: every rule must fire on a seeded
+// violation fixture and stay quiet on the matching clean variant, and the
+// `siolint:allow` suppression mechanism must silence findings in place.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "siolint/rules.hpp"
+
+namespace {
+
+using siolint::Diagnostic;
+using siolint::SourceFile;
+
+std::vector<Diagnostic> lint_one(const std::string& path, const std::string& content) {
+  return siolint::lint({SourceFile{path, content}});
+}
+
+std::set<std::string> rules_fired(const std::vector<Diagnostic>& diags) {
+  std::set<std::string> out;
+  for (const auto& d : diags) out.insert(d.rule);
+  return out;
+}
+
+TEST(SiolintWallClock, FiresOnChronoClocksAndTimeCalls) {
+  const auto diags = lint_one("src/sim/bad.cpp",
+                              "auto t = std::chrono::steady_clock::now();\n"
+                              "auto u = time(nullptr);\n"
+                              "gettimeofday(&tv, nullptr);\n");
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].rule, "wall-clock");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_EQ(diags[1].line, 2);
+  EXPECT_EQ(diags[2].line, 3);
+}
+
+TEST(SiolintWallClock, IgnoresSimTimeIdentifiers) {
+  const auto diags = lint_one("src/pablo/ok.cpp",
+                              "auto a = core_.total_io_time();\n"
+                              "auto b = disk.busy_time();\n"
+                              "auto c = net.payload_time(bytes);\n"
+                              "// time(nullptr) in a comment is fine\n"
+                              "auto s = std::string(\"time(\");\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SiolintRawRandom, FiresOnRandAndRandomDevice) {
+  const auto diags = lint_one("bench/bad.cpp",
+                              "int a = rand();\n"
+                              "std::random_device rd;\n"
+                              "srand(42);\n");
+  ASSERT_EQ(diags.size(), 3u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "raw-random");
+}
+
+TEST(SiolintRawRandom, IgnoresTheSeededRng) {
+  const auto diags = lint_one("src/apps/ok.cpp",
+                              "sim::Rng rng(seed);\n"
+                              "auto x = rng.uniform_int(0, 7);\n"
+                              "auto y = rng.exponential(mean);\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SiolintGetenv, FiresOnlyInsideSrc) {
+  const std::string code = "const char* home = getenv(\"HOME\");\n";
+  EXPECT_EQ(rules_fired(lint_one("src/core/bad.cpp", code)),
+            (std::set<std::string>{"getenv"}));
+  EXPECT_TRUE(lint_one("tests/ok_test.cpp", code).empty());
+}
+
+TEST(SiolintBannedHeader, FiresOnThreadingHeadersInSrc) {
+  const auto diags = lint_one("src/pfs/bad.cpp",
+                              "#include <thread>\n"
+                              "#include <mutex>\n"
+                              "#include <vector>\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "banned-header");
+  EXPECT_EQ(diags[1].line, 2);
+}
+
+TEST(SiolintBannedHeader, RandomAllowedOnlyInSimRandom) {
+  const std::string inc = "#include <random>\n";
+  EXPECT_EQ(rules_fired(lint_one("src/machine/bad.cpp", inc)),
+            (std::set<std::string>{"banned-header"}));
+  EXPECT_TRUE(lint_one("src/sim/random.cpp", inc).empty());
+  EXPECT_TRUE(lint_one("src/sim/random.hpp", inc).empty());
+  EXPECT_TRUE(lint_one("tests/ok_test.cpp", inc).empty());  // scope is src/ only
+}
+
+TEST(SiolintDiscardedTask, FiresOnBareStatementCall) {
+  const std::string decl = "sim::Task<void> drain_queue(int n);\n";
+  const auto diags = siolint::lint({
+      SourceFile{"src/pfs/decl.hpp", decl},
+      SourceFile{"src/pfs/bad.cpp",
+                 "void f(Server& s) {\n"
+                 "  s.drain_queue(3);\n"
+                 "}\n"},
+  });
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "discarded-task");
+  EXPECT_EQ(diags[0].file, "src/pfs/bad.cpp");
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(SiolintDiscardedTask, QuietWhenAwaitedSpawnedOrAssigned) {
+  const auto diags = siolint::lint({
+      SourceFile{"src/pfs/decl.hpp", "sim::Task<void> drain_queue(int n);\n"},
+      SourceFile{"src/pfs/ok.cpp",
+                 "sim::Task<void> g(Engine& e, Server& s) {\n"
+                 "  co_await s.drain_queue(1);\n"
+                 "  e.spawn(s.drain_queue(2));\n"
+                 "  auto t = s.drain_queue(3);\n"
+                 "  co_await std::move(t);\n"
+                 "}\n"},
+  });
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SiolintDiscardedTask, AmbiguousNamesAreSkipped) {
+  // `pump` is declared both as a coroutine and as a plain void function;
+  // a line-based pass cannot tell the overloads apart at a call site.
+  const auto diags = siolint::lint({
+      SourceFile{"src/pfs/decl.hpp",
+                 "sim::Task<void> pump(int n);\n"
+                 "void pump();\n"},
+      SourceFile{"src/pfs/maybe.cpp", "void f(Pump& p) { p.pump(); }\n"},
+  });
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SiolintAssertSideEffect, FiresOnMutatingConditions) {
+  const auto diags = lint_one("src/sim/bad.cpp",
+                              "SIO_ASSERT(count++ > 0);\n"
+                              "SIO_ASSERT(live = busy);\n"
+                              "SIO_ASSERT(total += delta);\n");
+  ASSERT_EQ(diags.size(), 3u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "assert-side-effect");
+}
+
+TEST(SiolintAssertSideEffect, QuietOnComparisons) {
+  const auto diags = lint_one("src/sim/ok.cpp",
+                              "SIO_ASSERT(a == b);\n"
+                              "SIO_ASSERT(a <= b && c >= d);\n"
+                              "SIO_ASSERT(x != y);\n"
+                              "SIO_ASSERT(queue.empty());\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SiolintAssertSideEffect, HandlesMultiLineConditions) {
+  const auto diags = lint_one("src/sim/bad.cpp",
+                              "SIO_ASSERT(first == second &&\n"
+                              "           bump++ < limit);\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "assert-side-effect");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(SiolintUnorderedIter, FiresInOrderSensitiveDirsOnly) {
+  const std::string code =
+      "std::unordered_map<int, long> counts_;\n"
+      "void dump(std::ostream& os) {\n"
+      "  for (const auto& kv : counts_) os << kv.first;\n"
+      "}\n";
+  const auto in_pablo = lint_one("src/pablo/bad.cpp", code);
+  ASSERT_EQ(in_pablo.size(), 1u);
+  EXPECT_EQ(in_pablo[0].rule, "unordered-iter");
+  EXPECT_EQ(in_pablo[0].line, 3);
+  // The same pattern in src/pfs/ is out of the rule's scope (the server
+  // cache is iterated only through its deterministic LRU list).
+  EXPECT_TRUE(lint_one("src/pfs/ok.cpp", code).empty());
+}
+
+TEST(SiolintUnorderedIter, SeesMembersDeclaredInHeaders) {
+  const auto diags = siolint::lint({
+      SourceFile{"src/core/state.hpp", "std::unordered_set<std::string> labels_;\n"},
+      SourceFile{"src/core/bad.cpp", "void f() { for (const auto& l : labels_) use(l); }\n"},
+  });
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "unordered-iter");
+}
+
+TEST(SiolintSuppression, SameLineAllowSilences) {
+  const auto diags = lint_one("src/sim/ok.cpp",
+                              "int a = rand();  // siolint:allow(raw-random)\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SiolintSuppression, PrecedingCommentLineAllowSilences) {
+  const auto diags = lint_one("src/sim/ok.cpp",
+                              "// siolint:allow(wall-clock)\n"
+                              "auto t = time(nullptr);\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SiolintSuppression, AllowAllSilencesEveryRule) {
+  const auto diags = lint_one("src/sim/ok.cpp",
+                              "auto t = time(rand());  // siolint:allow(all)\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SiolintSuppression, WrongRuleNameDoesNotSilence) {
+  const auto diags = lint_one("src/sim/bad.cpp",
+                              "int a = rand();  // siolint:allow(wall-clock)\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "raw-random");
+}
+
+TEST(SiolintOutput, FormatAndOrdering) {
+  const auto diags = siolint::lint({
+      SourceFile{"src/b.cpp", "int a = rand();\n"},
+      SourceFile{"src/a.cpp", "auto t = time(nullptr);\nint b = rand();\n"},
+  });
+  ASSERT_EQ(diags.size(), 3u);
+  // Sorted by (file, line, rule).
+  EXPECT_EQ(diags[0].file, "src/a.cpp");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_EQ(diags[1].file, "src/a.cpp");
+  EXPECT_EQ(diags[1].line, 2);
+  EXPECT_EQ(diags[2].file, "src/b.cpp");
+  const std::string line = siolint::format(diags[0]);
+  EXPECT_EQ(line.find("src/a.cpp:1: [wall-clock]"), 0u);
+}
+
+TEST(SiolintRuleTable, ListsEveryRuleOnce) {
+  std::set<std::string> ids;
+  for (const auto& r : siolint::rule_table()) ids.insert(std::string(r.id));
+  EXPECT_EQ(ids, (std::set<std::string>{"wall-clock", "raw-random", "getenv", "banned-header",
+                                        "discarded-task", "assert-side-effect",
+                                        "unordered-iter"}));
+}
+
+}  // namespace
