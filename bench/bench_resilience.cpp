@@ -1,0 +1,103 @@
+// Resilience bench: the tuned (version C) ESCAT and PRISM codes under the
+// three canned fault scenarios, each against its fault-free baseline.
+//
+//   fault-free     no injections, retry machinery disabled
+//   disk-degraded  spindle failures + background rebuild + stuck requests
+//   io-node-crash  server crash/restart with write-back cache loss
+//   slow-link      lossy/slow compute->io links plus one short outage
+//
+// For every (app, plan) cell the bench prints the resilience report
+// (injections, per-phase timeout/retry/failure counts, added I/O and
+// execution time) and appends a machine-readable record to
+// `bench_resilience.json` (path overridable as argv[1]) for CI archival.
+//
+// Everything is seeded: rerunning this binary reproduces every number.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/sio.hpp"
+
+namespace {
+
+using namespace sio;
+
+struct Cell {
+  std::string app;
+  std::string plan;
+  core::RunResult run;
+};
+
+void append_json(std::string& out, const Cell& c, const core::RunResult& baseline) {
+  const auto& rc = c.run.resilience;
+  out += "  {\"app\": \"" + c.app + "\", \"plan\": \"" + c.plan + "\"";
+  out += ", \"exec_time_s\": " + pablo::fmt_fixed(sim::to_seconds(c.run.exec_time), 6);
+  out += ", \"io_time_s\": " + pablo::fmt_fixed(sim::to_seconds(c.run.io_time()), 6);
+  out += ", \"baseline_exec_time_s\": " +
+         pablo::fmt_fixed(sim::to_seconds(baseline.exec_time), 6);
+  out += ", \"baseline_io_time_s\": " + pablo::fmt_fixed(sim::to_seconds(baseline.io_time()), 6);
+  out += ", \"injected\": " + std::to_string(c.run.fault_events.size());
+  out += ", \"retries\": " + std::to_string(rc.retries);
+  out += ", \"timeouts\": " + std::to_string(rc.timeouts);
+  out += ", \"failed_ops\": " + std::to_string(rc.failed_ops);
+  out += ", \"replayed_ops\": " + std::to_string(rc.replayed_ops);
+  out += ", \"coalesced_ops\": " + std::to_string(rc.coalesced_ops);
+  out += ", \"dropped_messages\": " + std::to_string(rc.dropped_messages);
+  out += ", \"degraded_disk_ops\": " + std::to_string(rc.degraded_disk_ops);
+  out += ", \"stuck_disk_ops\": " + std::to_string(rc.stuck_disk_ops);
+  out += ", \"server_crashes\": " + std::to_string(rc.server_crashes);
+  out += "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "bench_resilience.json";
+  constexpr std::uint64_t kSeed = 510;
+
+  struct PlanRow {
+    const char* name;
+    fault::FaultPlan plan;
+  };
+  const std::vector<PlanRow> plans = {
+      {"disk-degraded", fault::FaultPlan::disk_degraded(kSeed)},
+      {"io-node-crash", fault::FaultPlan::io_node_crash(kSeed)},
+      {"slow-link", fault::FaultPlan::slow_link(kSeed)},
+  };
+
+  std::string json = "[\n";
+  bool first = true;
+
+  std::printf("Resilience: tuned ESCAT/PRISM (version C) under canned fault plans\n\n");
+
+  for (const char* app : {"escat", "prism"}) {
+    const bool is_escat = std::string(app) == "escat";
+    const auto baseline =
+        is_escat ? core::run_escat(apps::escat::make_config(apps::escat::Version::C), kSeed)
+                 : core::run_prism(apps::prism::make_config(apps::prism::Version::C), kSeed);
+    for (const auto& row : plans) {
+      Cell c;
+      c.app = app;
+      c.plan = row.name;
+      c.run = is_escat
+                  ? core::run_escat(apps::escat::make_config(apps::escat::Version::C), row.plan,
+                                    kSeed)
+                  : core::run_prism(apps::prism::make_config(apps::prism::Version::C), row.plan,
+                                    kSeed);
+      std::printf("==== %s / %s ====\n", c.app.c_str(), c.plan.c_str());
+      std::fputs(core::render_resilience_summary(c.run, baseline).c_str(), stdout);
+      std::printf("\n");
+      if (!first) json += ",\n";
+      first = false;
+      append_json(json, c, baseline);
+    }
+  }
+  json += "\n]\n";
+
+  std::ofstream f(json_path);
+  f << json;
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

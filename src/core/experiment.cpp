@@ -1,7 +1,9 @@
 #include "core/experiment.hpp"
 
+#include <optional>
 #include <stdexcept>
 
+#include "fault/clock.hpp"
 #include "machine/machine.hpp"
 #include "pablo/collector.hpp"
 #include "pfs/pfs.hpp"
@@ -21,23 +23,48 @@ const apps::PhaseSpan& RunResult::phase(std::string_view name) const {
   throw std::out_of_range("no phase named " + std::string(name));
 }
 
+sim::Tick RunResult::io_time() const {
+  sim::Tick total = 0;
+  for (const auto& ev : events) total += ev.duration;
+  return total;
+}
+
 namespace {
 
 template <class App, class Cfg>
-RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uint64_t seed) {
+RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uint64_t seed,
+                  const fault::FaultPlan* plan) {
   auto mc = hw::Machine::caltech_paragon(nodes, os);
   mc.seed = seed;
   hw::Machine machine(mc);
   pablo::Collector collector(machine.engine());
-  pfs::Pfs fs(machine, collector);
+  pfs::PfsConfig pcfg;
+  if (plan != nullptr) pcfg.retry = plan->retry;
+  pfs::Pfs fs(machine, collector, pcfg);
   apps::PhaseLog log;
+
+  std::optional<fault::FaultClock> fclock;
+  if (plan != nullptr) {
+    fclock.emplace(machine, fs, collector, *plan);
+    fclock->arm();
+  }
 
   RunResult r;
   r.label = cfg.label;
-  machine.engine().spawn(app(machine, fs, std::move(cfg), &log));
+  // Execution time is when the *application* finishes, captured by a wrapper
+  // around its root task.  The engine then keeps draining — expired timeout
+  // timers, a background RAID rebuild — without those trailing no-op events
+  // inflating the reported runtime.
+  sim::Tick app_done = 0;
+  auto wrap = [](sim::Engine& eng, sim::Task<void> inner, sim::Tick* done) -> sim::Task<void> {
+    co_await std::move(inner);
+    *done = eng.now();
+  };
+  machine.engine().spawn(
+      wrap(machine.engine(), app(machine, fs, std::move(cfg), &log), &app_done));
   machine.engine().run();
 
-  r.exec_time = machine.engine().now();
+  r.exec_time = app_done;
   r.events_processed = machine.engine().events_processed();
   r.events = collector.events();
   r.file_names.reserve(collector.file_count());
@@ -45,28 +72,51 @@ RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uin
     r.file_names.push_back(collector.file_name(static_cast<pablo::FileId>(i)));
   }
   r.phases = log.spans();
+  r.fault_events = collector.fault_events();
+
+  auto& rc = r.resilience;
+  rc.retries = fs.op_retries();
+  rc.timeouts = fs.op_timeouts();
+  rc.failed_ops = fs.failed_ops();
+  rc.dropped_messages = machine.network().messages_dropped();
+  for (int i = 0; i < fs.server_count(); ++i) {
+    auto& srv = fs.server(i);
+    rc.replayed_ops += srv.replayed_ops();
+    rc.coalesced_ops += srv.coalesced_ops();
+    rc.server_crashes += srv.crash_count();
+    rc.degraded_disk_ops += srv.disk().degraded_ops();
+    rc.stuck_disk_ops += srv.disk().stuck_ops();
+  }
   return r;
 }
 
 }  // namespace
 
 RunResult run_escat(apps::escat::Config cfg, std::uint64_t seed) {
+  return run_escat(std::move(cfg), fault::FaultPlan::fault_free(), seed);
+}
+
+RunResult run_prism(apps::prism::Config cfg, std::uint64_t seed) {
+  return run_prism(std::move(cfg), fault::FaultPlan::fault_free(), seed);
+}
+
+RunResult run_escat(apps::escat::Config cfg, const fault::FaultPlan& plan, std::uint64_t seed) {
   const auto os = apps::escat::os_for(cfg.version);
   const int nodes = cfg.workload.nodes;
   return run_app(
       [](hw::Machine& m, pfs::Pfs& fs, apps::escat::Config c, apps::PhaseLog* log) {
         return apps::escat::run(m, fs, std::move(c), log);
       },
-      std::move(cfg), os, nodes, seed);
+      std::move(cfg), os, nodes, seed, plan.empty() && !plan.retry.enabled ? nullptr : &plan);
 }
 
-RunResult run_prism(apps::prism::Config cfg, std::uint64_t seed) {
+RunResult run_prism(apps::prism::Config cfg, const fault::FaultPlan& plan, std::uint64_t seed) {
   const int nodes = cfg.workload.nodes;
   return run_app(
       [](hw::Machine& m, pfs::Pfs& fs, apps::prism::Config c, apps::PhaseLog* log) {
         return apps::prism::run(m, fs, std::move(c), log);
       },
-      std::move(cfg), hw::osf_r13(), nodes, seed);
+      std::move(cfg), hw::osf_r13(), nodes, seed, plan.empty() && !plan.retry.enabled ? nullptr : &plan);
 }
 
 EscatStudy run_escat_study(std::uint64_t seed) {

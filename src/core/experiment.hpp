@@ -15,6 +15,7 @@
 #include "apps/common.hpp"
 #include "apps/escat.hpp"
 #include "apps/prism.hpp"
+#include "fault/plan.hpp"
 #include "pablo/aggregate.hpp"
 #include "pablo/cdf.hpp"
 #include "pablo/timeline.hpp"
@@ -23,6 +24,19 @@ namespace sio::core {
 
 inline constexpr std::uint64_t kDefaultSeed = 0x510b5eedULL;
 
+/// Recovery-machinery counters gathered after a (possibly faulted) run.
+struct ResilienceCounters {
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t failed_ops = 0;
+  std::uint64_t replayed_ops = 0;
+  std::uint64_t coalesced_ops = 0;
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t degraded_disk_ops = 0;
+  std::uint64_t stuck_disk_ops = 0;
+  std::uint64_t server_crashes = 0;
+};
+
 struct RunResult {
   std::string label;
   sim::Tick exec_time = 0;
@@ -30,6 +44,9 @@ struct RunResult {
   std::vector<pablo::TraceEvent> events;  // start-sorted
   std::vector<std::string> file_names;
   std::vector<apps::PhaseSpan> phases;
+  /// Fault/recovery records (empty for fault-free runs).
+  std::vector<pablo::FaultEvent> fault_events;
+  ResilienceCounters resilience{};
 
   /// Per-operation breakdown (% of I/O time, % of execution time).
   pablo::AggregateBreakdown breakdown() const;
@@ -44,6 +61,10 @@ struct RunResult {
   const apps::PhaseSpan& phase(std::string_view name) const;
 
   double exec_seconds() const { return sim::to_seconds(exec_time); }
+
+  /// Total wall-clock I/O time across all nodes (sum of event durations) —
+  /// what the resilience report compares against the fault-free baseline.
+  sim::Tick io_time() const;
 };
 
 /// Runs one ESCAT configuration on a fresh simulated machine.
@@ -51,6 +72,15 @@ RunResult run_escat(apps::escat::Config cfg, std::uint64_t seed = kDefaultSeed);
 
 /// Runs one PRISM configuration on a fresh simulated machine.
 RunResult run_prism(apps::prism::Config cfg, std::uint64_t seed = kDefaultSeed);
+
+/// Runs one ESCAT configuration under a fault plan (the plan's retry policy
+/// is applied to the file system's clients).
+RunResult run_escat(apps::escat::Config cfg, const fault::FaultPlan& plan,
+                    std::uint64_t seed = kDefaultSeed);
+
+/// Runs one PRISM configuration under a fault plan.
+RunResult run_prism(apps::prism::Config cfg, const fault::FaultPlan& plan,
+                    std::uint64_t seed = kDefaultSeed);
 
 /// The ethylene A/B/C study behind Tables 1-3 and Figures 2-5.
 struct EscatStudy {

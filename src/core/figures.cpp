@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "pablo/report.hpp"
+#include "pablo/resilience.hpp"
 
 namespace sio::core {
 
@@ -318,4 +319,20 @@ std::string render_io_share_table(const RunResult& r, const std::string& title) 
   return out.str();
 }
 
+
+std::string render_resilience_summary(const RunResult& run, const RunResult& baseline) {
+  std::vector<pablo::PhaseWindow> windows;
+  windows.reserve(run.phases.size());
+  for (const auto& p : run.phases) {
+    windows.push_back({p.name, p.t0, p.t1});
+  }
+  const auto summary = pablo::summarize_resilience(run.fault_events, windows);
+  std::ostringstream out;
+  out << "Resilience report: " << run.label << " (baseline: " << baseline.label << ")\n\n";
+  out << pablo::render_resilience(summary, run.io_time(), run.exec_time, baseline.io_time(),
+                                  baseline.exec_time);
+  return out.str();
+}
+
 }  // namespace sio::core
+

@@ -66,4 +66,11 @@ std::string render_fig9(const PrismStudy& s);
 /// One "A vs paper" comparison row: operation shares of I/O time.
 std::string render_io_share_table(const RunResult& r, const std::string& title);
 
+// ---- resilience (fault-injection runs) ----
+
+/// Resilience report for a faulted run against its fault-free baseline:
+/// injected faults, per-phase timeout/retry/failure counts, and the added
+/// I/O / execution time.
+std::string render_resilience_summary(const RunResult& run, const RunResult& baseline);
+
 }  // namespace sio::core

@@ -1,0 +1,46 @@
+// Fault injection driver.
+//
+// The `FaultClock` takes a validated `FaultPlan` and arms it against a
+// machine + file system: every planned fault is scheduled as an ordinary
+// engine event at its planned tick, flipping the corresponding hardware or
+// server fault state and recording a `pablo::FaultEvent` so the trace shows
+// exactly what was injected and when.  Passive windows (disk slow, stuck
+// requests, link faults) are registered up front — the hardware checks them
+// against the simulated clock — and still get trace records at their edges.
+//
+// Arm once, before `engine.run()`.  Everything after that is deterministic:
+// same plan, same seed, same trace.
+
+#pragma once
+
+#include "fault/plan.hpp"
+#include "machine/machine.hpp"
+#include "pablo/collector.hpp"
+#include "pfs/pfs.hpp"
+
+namespace sio::fault {
+
+class FaultClock {
+ public:
+  FaultClock(hw::Machine& machine, pfs::Pfs& fs, pablo::Collector& collector,
+             const FaultPlan& plan)
+      : machine_(machine), fs_(fs), collector_(collector), plan_(plan) {}
+
+  FaultClock(const FaultClock&) = delete;
+  FaultClock& operator=(const FaultClock&) = delete;
+
+  /// Validates the plan against the machine and schedules every injection.
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  hw::Machine& machine_;
+  pfs::Pfs& fs_;
+  pablo::Collector& collector_;
+  FaultPlan plan_;
+
+  void record(pablo::FaultKind kind, int target, std::uint64_t info = 0);
+};
+
+}  // namespace sio::fault

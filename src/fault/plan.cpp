@@ -1,0 +1,194 @@
+#include "fault/plan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/random.hpp"
+
+namespace sio::fault {
+
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument("FaultPlan: " + what);
+}
+
+void check_node(int io_node, int io_nodes, const char* kind) {
+  require(io_node >= 0 && io_node < io_nodes,
+          std::string(kind) + " targets io node " + std::to_string(io_node) + " but machine has " +
+              std::to_string(io_nodes));
+}
+
+/// Retry policy generous enough to ride out every window the scenario
+/// constructors (and random_plan) are allowed to schedule.
+pfs::RetryPolicy generous_retry() {
+  pfs::RetryPolicy rp;
+  rp.enabled = true;
+  // Deadline sized between the scenarios' guaranteed hangs (stuck requests
+  // hold an access 3 s, crashes last 4 s — both must provoke timeouts) and
+  // the queueing delay a full-size degraded run legitimately reaches.  The
+  // retry budget is deliberately deep: abandoned attempts still occupy the
+  // disk FIFO, so a client may need to ride out its own duplicates.
+  rp.op_deadline = sim::seconds(2);
+  rp.max_retries = 24;
+  rp.backoff_base = sim::milliseconds(4);
+  rp.backoff_factor = 2.0;
+  rp.backoff_cap = sim::seconds(1);
+  rp.backoff_jitter = 0.25;
+  return rp;
+}
+
+}  // namespace
+
+void FaultPlan::validate(int io_nodes) const {
+  require(io_nodes > 0, "machine has no io nodes");
+  for (const auto& f : disk_failures) {
+    check_node(f.io_node, io_nodes, "disk failure");
+    require(f.at >= 0, "disk failure scheduled before t=0");
+    require(f.rebuild_bytes > 0, "disk failure with zero rebuild bytes");
+  }
+  for (const auto& f : disk_slow) {
+    check_node(f.io_node, io_nodes, "disk slow window");
+    require(f.t0 >= 0 && f.t1 > f.t0, "disk slow window is inverted or empty");
+    require(f.multiplier >= 1.0, "disk slow multiplier under 1.0");
+  }
+  for (const auto& f : disk_stuck) {
+    check_node(f.io_node, io_nodes, "stuck request");
+    require(f.at >= 0 && f.extra >= 0, "stuck request with negative time");
+  }
+  for (const auto& f : server_crashes) {
+    check_node(f.io_node, io_nodes, "server crash");
+    require(f.at >= 0, "server crash scheduled before t=0");
+    // Mandatory restart: a crashed server that never comes back would park
+    // clients forever and trip the deadlock sanitizer at queue drain.
+    require(f.restart_at > f.at, "server crash without a later restart tick");
+    require(retry.enabled, "server crash planned but client retry is disabled");
+  }
+  for (const auto& f : server_degraded) {
+    check_node(f.io_node, io_nodes, "server degraded window");
+    require(f.t0 >= 0 && f.t1 > f.t0, "server degraded window is inverted or empty");
+  }
+  for (const auto& f : link_faults) {
+    check_node(f.io_node, io_nodes, "link fault");
+    require(f.t0 >= 0 && f.t1 > f.t0, "link fault window is inverted or empty");
+    require(f.drop_p >= 0.0 && f.drop_p <= 1.0, "link drop probability outside [0, 1]");
+    require(f.extra_delay >= 0, "link fault with negative extra delay");
+    // Without client retry the non-robust data path never consults the link
+    // fault windows, so the plan would silently do nothing.
+    require(retry.enabled, "link fault planned but client retry is disabled");
+  }
+}
+
+FaultPlan FaultPlan::fault_free() { return {}; }
+
+FaultPlan FaultPlan::disk_degraded(std::uint64_t seed) {
+  FaultPlan p;
+  p.name = "disk-degraded";
+  p.seed = seed;
+  p.retry = generous_retry();
+  // Stuck requests at t=0 hang the first access of the first arrays past the
+  // client deadline, guaranteeing visible timeouts/retries no matter when
+  // the workload first touches the disks.
+  for (int io = 0; io < 2; ++io) {
+    p.disk_stuck.push_back({io, 0, sim::seconds(3)});
+  }
+  // Spindle failures early in the run: long degraded windows with background
+  // rebuild stealing head time.
+  p.disk_failures.push_back({0, sim::seconds(1), 48ull * 1024 * 1024});
+  p.disk_failures.push_back({1, sim::seconds(2), 32ull * 1024 * 1024});
+  // One transient slow window later on a different array.
+  p.disk_slow.push_back({2, sim::seconds(4), sim::seconds(12), 3.0});
+  return p;
+}
+
+FaultPlan FaultPlan::io_node_crash(std::uint64_t seed) {
+  FaultPlan p;
+  p.name = "io-node-crash";
+  p.seed = seed;
+  p.retry = generous_retry();
+  // Crash half a second in — mid startup I/O burst for both paper codes —
+  // with a 6-second outage: any op parked in the first two thirds of it
+  // out-waits the 2 s op deadline, so timeouts/retries (and the replay or
+  // coalesce of the re-driven duplicate) are guaranteed, yet the outage is
+  // far under total client patience (25 attempts x 2 s plus ~20 s backoff).
+  p.server_crashes.push_back({0, sim::milliseconds(500), sim::milliseconds(6500)});
+  // The restarted server comes back degraded while its caches re-warm.
+  p.server_degraded.push_back({0, sim::milliseconds(6500), sim::milliseconds(10500)});
+  return p;
+}
+
+FaultPlan FaultPlan::slow_link(std::uint64_t seed) {
+  FaultPlan p;
+  p.name = "slow-link";
+  p.seed = seed;
+  p.retry = generous_retry();
+  for (int io = 0; io < 4; ++io) {
+    p.link_faults.push_back(
+        {io, sim::seconds(1), sim::seconds(20), /*down=*/false, sim::milliseconds(2), 0.02});
+  }
+  // One short total outage on the first link.
+  p.link_faults.push_back(
+      {0, sim::seconds(5), sim::milliseconds(5500), /*down=*/true, 0, 0.0});
+  return p;
+}
+
+FaultPlan FaultPlan::random_plan(std::uint64_t seed, sim::Tick horizon, int io_nodes) {
+  SIO_ASSERT(horizon > 0 && io_nodes > 0);
+  FaultPlan p;
+  p.name = "random-" + std::to_string(seed);
+  p.seed = seed;
+  p.retry = generous_retry();
+  // Random plans run against full-size workloads whose FIFO queueing delay
+  // under stacked faults can legitimately exceed the tight scenario
+  // deadline; give clients room so a plan never starves an op outright.
+  p.retry.op_deadline = sim::seconds(5);
+  p.retry.max_retries = 20;
+  sim::Rng rng(seed ^ 0xFA01D5EEDull);
+
+  auto node = [&] { return static_cast<int>(rng.uniform_int(0, io_nodes - 1)); };
+  auto tick = [&](sim::Tick lo, sim::Tick hi) { return rng.uniform_int(lo, hi); };
+
+  const int n_fail = static_cast<int>(rng.uniform_int(0, 2));
+  for (int i = 0; i < n_fail; ++i) {
+    p.disk_failures.push_back({node(), tick(0, horizon / 2),
+                               static_cast<std::uint64_t>(rng.uniform_int(8, 64)) * 1024 * 1024});
+  }
+  const int n_slow = static_cast<int>(rng.uniform_int(0, 3));
+  for (int i = 0; i < n_slow; ++i) {
+    const sim::Tick t0 = tick(0, horizon - 1);
+    p.disk_slow.push_back({node(), t0, t0 + tick(sim::seconds(1), sim::seconds(10)),
+                           rng.uniform_real(1.5, 4.0)});
+  }
+  const int n_stuck = static_cast<int>(rng.uniform_int(0, 4));
+  for (int i = 0; i < n_stuck; ++i) {
+    p.disk_stuck.push_back(
+        {node(), tick(0, horizon - 1), tick(sim::milliseconds(100), sim::seconds(1))});
+  }
+  const int n_crash =
+      horizon > sim::seconds(7) ? static_cast<int>(rng.uniform_int(0, 2)) : 0;
+  for (int i = 0; i < n_crash; ++i) {
+    const sim::Tick at = tick(0, horizon - sim::seconds(6));
+    // Outages capped at 5 s, under the generous policy's patience.
+    p.server_crashes.push_back({node(), at, at + tick(sim::seconds(1), sim::seconds(5))});
+  }
+  const int n_deg = static_cast<int>(rng.uniform_int(0, 2));
+  for (int i = 0; i < n_deg; ++i) {
+    const sim::Tick t0 = tick(0, horizon - 1);
+    p.server_degraded.push_back({node(), t0, t0 + tick(sim::seconds(1), sim::seconds(8))});
+  }
+  const int n_link =
+      horizon > sim::seconds(4) ? static_cast<int>(rng.uniform_int(0, 3)) : 0;
+  for (int i = 0; i < n_link; ++i) {
+    const bool down = rng.bernoulli(0.3);
+    const sim::Tick t0 = tick(0, horizon - sim::seconds(3));
+    const sim::Tick t1 =
+        t0 + (down ? tick(sim::milliseconds(200), sim::seconds(2))
+                   : tick(sim::seconds(1), sim::seconds(15)));
+    p.link_faults.push_back({node(), t0, t1, down,
+                             down ? 0 : tick(0, sim::milliseconds(3)),
+                             down ? 0.0 : rng.uniform_real(0.0, 0.05)});
+  }
+  return p;
+}
+
+}  // namespace sio::fault

@@ -1,0 +1,124 @@
+// Deterministic fault plans.
+//
+// A `FaultPlan` is pure data: a named, seeded schedule of hardware and
+// server faults plus the client retry policy the run should use.  Plans are
+// built up front (hand-written scenarios or drawn from a seeded Rng) and
+// handed to a `FaultClock`, which injects every fault at its planned
+// simulated tick.  Because the plan is fixed before the run starts and all
+// injection happens at deterministic simulated times, two runs with the same
+// plan produce byte-identical traces — faults included.
+//
+// Scenario constructors cover the bench matrix: `disk_degraded` (spindle
+// failures + stuck requests), `io_node_crash` (server outage with restart
+// and write replay), `slow_link` (degraded/down I/O links with drops), and
+// `random_plan` (a seeded draw over all fault types for fuzzing the
+// recovery machinery).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pfs/types.hpp"
+#include "sim/time.hpp"
+
+namespace sio::fault {
+
+/// Spindle failure: the array at `io_node` enters degraded mode at `at` and
+/// rebuilds `rebuild_bytes` onto the spare in the background.
+struct DiskFault {
+  int io_node = 0;
+  sim::Tick at = 0;
+  std::uint64_t rebuild_bytes = 64ull * 1024 * 1024;
+};
+
+/// Transient slow-disk window: service times multiplied in [t0, t1).
+struct DiskSlowFault {
+  int io_node = 0;
+  sim::Tick t0 = 0;
+  sim::Tick t1 = 0;
+  double multiplier = 2.0;
+};
+
+/// One-shot stuck request: the next access at/after `at` hangs for `extra`.
+struct DiskStuckFault {
+  int io_node = 0;
+  sim::Tick at = 0;
+  sim::Tick extra = sim::milliseconds(500);
+};
+
+/// Server crash at `at`, cold restart at `restart_at` (> at, mandatory —
+/// a crashed server that never restarts would park clients forever).
+struct ServerCrashFault {
+  int io_node = 0;
+  sim::Tick at = 0;
+  sim::Tick restart_at = 0;
+};
+
+/// Server degraded window: CPU services stretched in [t0, t1).
+struct ServerDegradedFault {
+  int io_node = 0;
+  sim::Tick t0 = 0;
+  sim::Tick t1 = 0;
+};
+
+/// I/O-link fault window; see hw::Network::IoLinkFault for the semantics.
+struct LinkFault {
+  int io_node = 0;
+  sim::Tick t0 = 0;
+  sim::Tick t1 = 0;
+  bool down = false;
+  sim::Tick extra_delay = 0;
+  double drop_p = 0.0;
+};
+
+struct FaultPlan {
+  std::string name = "fault-free";
+  /// Seeds the network drop stream (and documents the draw for random
+  /// plans); independent of the machine's workload seed.
+  std::uint64_t seed = 0;
+  /// Client-side resilience knobs for the run.  A plan with faults should
+  /// enable retry; `validate` enforces it when any fault could stall ops.
+  pfs::RetryPolicy retry{};
+
+  std::vector<DiskFault> disk_failures;
+  std::vector<DiskSlowFault> disk_slow;
+  std::vector<DiskStuckFault> disk_stuck;
+  std::vector<ServerCrashFault> server_crashes;
+  std::vector<ServerDegradedFault> server_degraded;
+  std::vector<LinkFault> link_faults;
+
+  bool empty() const {
+    return disk_failures.empty() && disk_slow.empty() && disk_stuck.empty() &&
+           server_crashes.empty() && server_degraded.empty() && link_faults.empty();
+  }
+
+  /// Number of planned hardware/server fault injections.
+  std::size_t injection_count() const {
+    return disk_failures.size() + disk_slow.size() + disk_stuck.size() + server_crashes.size() +
+           server_degraded.size() + link_faults.size();
+  }
+
+  /// Sanity-checks the plan against a machine with `io_nodes` I/O nodes.
+  /// Throws std::invalid_argument on out-of-range targets, inverted windows,
+  /// missing restarts, or faults that stall clients while retry is disabled.
+  void validate(int io_nodes) const;
+
+  // ---- scenario constructors ----
+  static FaultPlan fault_free();
+  /// Spindle failures on a few arrays early in the run plus stuck requests
+  /// that fire on the first accesses (guaranteeing visible retries).
+  static FaultPlan disk_degraded(std::uint64_t seed);
+  /// One I/O server crashes and restarts; clients ride out the outage on
+  /// retries and the server replays re-driven writes idempotently.
+  static FaultPlan io_node_crash(std::uint64_t seed);
+  /// Slow/lossy links toward the first few I/O nodes plus one short total
+  /// outage window.
+  static FaultPlan slow_link(std::uint64_t seed);
+  /// Seeded draw over all fault types within [0, horizon); every knob kept
+  /// inside limits the generous default retry budget can ride out.
+  static FaultPlan random_plan(std::uint64_t seed, sim::Tick horizon, int io_nodes);
+};
+
+}  // namespace sio::fault

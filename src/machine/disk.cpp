@@ -1,5 +1,6 @@
 #include "machine/disk.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace sio::hw {
@@ -19,16 +20,77 @@ sim::Tick Raid3Disk::service_time(std::uint64_t offset, std::uint64_t bytes) con
   return t;
 }
 
+sim::Tick Raid3Disk::fault_adjusted(sim::Tick service) {
+  double mult = 1.0;
+  if (degraded_) {
+    mult *= cfg_.degraded_multiplier;
+    ++degraded_ops_;
+  }
+  const sim::Tick now = engine_.now();
+  for (const auto& w : slow_windows_) {
+    if (now >= w.t0 && now < w.t1) mult *= w.multiplier;
+  }
+  if (mult != 1.0) {
+    const auto stretched =
+        static_cast<sim::Tick>(std::llround(static_cast<double>(service) * mult));
+    fault_delay_ += stretched - service;
+    service = stretched;
+  }
+  for (auto& s : stuck_) {
+    if (!s.fired && now >= s.at) {
+      s.fired = true;
+      ++stuck_ops_;
+      fault_delay_ += s.extra;
+      service += s.extra;
+      break;  // one stuck fault per access
+    }
+  }
+  return service;
+}
+
 sim::Task<sim::Tick> Raid3Disk::access(std::uint64_t offset, std::uint64_t bytes, bool write) {
   (void)write;  // reads and writes cost the same in a RAID-3 full-stripe model
   auto guard = co_await queue_.scoped();
-  const sim::Tick service = service_time(offset, bytes);
+  const sim::Tick service = fault_adjusted(service_time(offset, bytes));
   head_pos_ = offset + (bytes == 0 ? cfg_.granule : bytes);
   busy_time_ += service;
   ++ops_;
   bytes_transferred_ += bytes;
   co_await engine_.delay(service);
   co_return service;
+}
+
+void Raid3Disk::fail_spindle(std::uint64_t rebuild_bytes, std::function<void()> on_rebuilt) {
+  SIO_ASSERT(!degraded_);
+  degraded_ = true;
+  engine_.spawn(rebuild(rebuild_bytes, std::move(on_rebuilt)));
+}
+
+void Raid3Disk::add_slow_window(sim::Tick t0, sim::Tick t1, double multiplier) {
+  SIO_ASSERT(t0 <= t1);
+  SIO_ASSERT(multiplier >= 1.0);
+  slow_windows_.push_back({t0, t1, multiplier});
+}
+
+void Raid3Disk::inject_stuck(sim::Tick at, sim::Tick extra_service) {
+  SIO_ASSERT(extra_service >= 0);
+  stuck_.push_back({at, extra_service, false});
+}
+
+sim::Task<void> Raid3Disk::rebuild(std::uint64_t bytes, std::function<void()> on_rebuilt) {
+  std::uint64_t done = 0;
+  while (done < bytes) {
+    co_await engine_.delay(cfg_.rebuild_gap);
+    auto guard = co_await queue_.scoped();
+    const std::uint64_t chunk = std::min(cfg_.rebuild_chunk, bytes - done);
+    const auto burst =
+        static_cast<sim::Tick>(std::llround(static_cast<double>(chunk) / cfg_.bytes_per_tick));
+    rebuild_busy_ += burst;
+    co_await engine_.delay(burst);
+    done += chunk;
+  }
+  degraded_ = false;
+  if (on_rebuilt) on_rebuilt();
 }
 
 }  // namespace sio::hw

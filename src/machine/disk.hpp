@@ -15,10 +15,26 @@
 // with the seek skipped when the request starts where the previous one
 // ended (sequential detection).  Requests are serviced strictly FIFO through
 // an internal queue; `access()` durations therefore include queueing delay.
+//
+// Fault model (driven by the fault-injection subsystem, src/fault/):
+//
+//   * degraded mode — a failed spindle puts the array into parity
+//     reconstruction: every access is stretched by `degraded_multiplier`
+//     while a background rebuild periodically occupies the head (stealing
+//     bandwidth from foreground requests) until the spare is rebuilt;
+//   * slow windows — transient service-time multipliers over [t0, t1)
+//     (thermal recalibration, vibration, media retries);
+//   * stuck requests — a one-shot fault that hangs the next access issued at
+//     or after a given tick for an extra service period.
+//
+// All fault state is plain data mutated at deterministic simulated times, so
+// a faulted run is exactly as reproducible as a healthy one.
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
@@ -45,31 +61,82 @@ struct DiskConfig {
   std::uint64_t capacity = 4'800ull * 1024 * 1024;
   /// Offset distance (bytes) under which a seek counts as "short".
   std::uint64_t short_seek_span = 8ull * 1024 * 1024;
+
+  // ---- fault model ----
+  /// Service-time multiplier while the array runs with a failed spindle
+  /// (every read regenerates the missing drive's data from parity).
+  double degraded_multiplier = 2.5;
+  /// Background rebuild after a spindle failure reconstructs this many
+  /// bytes per burst onto the hot spare...
+  std::uint64_t rebuild_chunk = 256 * 1024;
+  /// ...one burst every `rebuild_gap`, stealing head time from foreground
+  /// requests (the classic rebuild-bandwidth trade-off).
+  sim::Tick rebuild_gap = sim::milliseconds(320);
 };
 
 /// Single RAID-3 array with a FIFO request queue.
 class Raid3Disk {
  public:
   Raid3Disk(sim::Engine& engine, const DiskConfig& cfg)
-      : engine_(engine), cfg_(cfg), queue_(engine) {}
+      : engine_(engine), cfg_(cfg), queue_(engine, "Raid3Disk::queue") {}
 
   const DiskConfig& config() const { return cfg_; }
 
-  /// Raw positional service time (no queueing).  Public so tests and the
-  /// analytic policies can reason about it.
+  /// Raw positional service time (no queueing, no fault adjustment).
+  /// Public so tests and the analytic policies can reason about it.
   sim::Tick service_time(std::uint64_t offset, std::uint64_t bytes) const;
 
   /// Performs one access: waits for the head (FIFO), then occupies it for
-  /// the service time.  Returns the service time actually charged.
+  /// the service time.  Returns the service time actually charged
+  /// (including any degraded/slow/stuck fault stretch).
   sim::Task<sim::Tick> access(std::uint64_t offset, std::uint64_t bytes, bool write);
 
+  // ---- fault injection (driven by fault::FaultClock) ----
+
+  /// Fails one spindle at the current tick: the array enters degraded mode
+  /// and a background rebuild reconstructs `rebuild_bytes` onto the spare in
+  /// `rebuild_chunk` bursts through the same FIFO queue.  Degraded mode
+  /// clears when the rebuild completes; `on_rebuilt` (optional) fires then.
+  void fail_spindle(std::uint64_t rebuild_bytes, std::function<void()> on_rebuilt = {});
+
+  /// Multiplies service times by `multiplier` for accesses issued with
+  /// engine time in [t0, t1) — a transient slow-disk fault.
+  void add_slow_window(sim::Tick t0, sim::Tick t1, double multiplier);
+
+  /// The next access issued at or after `at` hangs for an extra
+  /// `extra_service` before completing (a stuck/retried request).  Each
+  /// injected fault fires at most once, on at most one access.
+  void inject_stuck(sim::Tick at, sim::Tick extra_service);
+
+  bool degraded() const { return degraded_; }
+
+  // ---- statistics ----
   /// Cumulative busy time of the array (service only, no queueing).
   sim::Tick busy_time() const { return busy_time_; }
   std::uint64_t ops() const { return ops_; }
   std::uint64_t bytes_transferred() const { return bytes_transferred_; }
   std::size_t queue_depth() const { return queue_.queue_length(); }
+  /// Accesses served while the array was degraded.
+  std::uint64_t degraded_ops() const { return degraded_ops_; }
+  /// Stuck faults that have fired.
+  std::uint64_t stuck_ops() const { return stuck_ops_; }
+  /// Head time consumed by background rebuild bursts.
+  sim::Tick rebuild_busy_time() const { return rebuild_busy_; }
+  /// Extra service charged by faults (degraded/slow stretch + stuck hangs).
+  sim::Tick fault_delay_time() const { return fault_delay_; }
 
  private:
+  struct SlowWindow {
+    sim::Tick t0 = 0;
+    sim::Tick t1 = 0;
+    double multiplier = 1.0;
+  };
+  struct StuckFault {
+    sim::Tick at = 0;
+    sim::Tick extra = 0;
+    bool fired = false;
+  };
+
   sim::Engine& engine_;
   DiskConfig cfg_;
   sim::Mutex queue_;
@@ -77,6 +144,20 @@ class Raid3Disk {
   sim::Tick busy_time_ = 0;
   std::uint64_t ops_ = 0;
   std::uint64_t bytes_transferred_ = 0;
+
+  bool degraded_ = false;
+  std::vector<SlowWindow> slow_windows_;
+  std::vector<StuckFault> stuck_;
+  std::uint64_t degraded_ops_ = 0;
+  std::uint64_t stuck_ops_ = 0;
+  sim::Tick rebuild_busy_ = 0;
+  sim::Tick fault_delay_ = 0;
+
+  /// Applies degraded/slow/stuck adjustments to a base service time and
+  /// advances the fault counters.  Called with the queue held.
+  sim::Tick fault_adjusted(sim::Tick service);
+
+  sim::Task<void> rebuild(std::uint64_t bytes, std::function<void()> on_rebuilt);
 };
 
 }  // namespace sio::hw

@@ -1,5 +1,6 @@
 #include "machine/network.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace sio::hw {
@@ -48,6 +49,54 @@ sim::Task<void> Network::send(NodeId src, NodeId dst, std::uint64_t bytes) {
   bytes_moved_ += bytes;
   ++messages_;
   co_await engine_.delay(message_time(src, dst, bytes));
+}
+
+void Network::add_io_link_fault(const IoLinkFault& fault) {
+  SIO_ASSERT(fault.t0 <= fault.t1);
+  SIO_ASSERT(fault.drop_p >= 0.0 && fault.drop_p <= 1.0);
+  SIO_ASSERT(fault.extra_delay >= 0);
+  io_faults_.push_back(fault);
+}
+
+void Network::seed_faults(std::uint64_t seed) { fault_rng_.emplace(seed); }
+
+sim::Task<bool> Network::send_to_io(NodeId src, IoNodeId dst, std::uint64_t bytes) {
+  bytes_moved_ += bytes;
+  ++messages_;
+
+  // Snapshot the fault windows in force at issue time.
+  const sim::Tick now = engine_.now();
+  sim::Tick stall = 0;
+  sim::Tick extra = 0;
+  double drop_p = 0.0;
+  for (const auto& f : io_faults_) {
+    if (f.io_node != dst || now < f.t0 || now >= f.t1) continue;
+    if (f.down) stall = std::max(stall, f.t1 - now);
+    extra += f.extra_delay;
+    drop_p = std::max(drop_p, f.drop_p);
+  }
+
+  sim::Tick t = message_time_to_io(src, dst, bytes);
+  if (stall > 0) {
+    // Link fully down: the message parks at the NIC until the window closes,
+    // then transfers normally.
+    ++delayed_;
+    fault_stall_ += stall;
+    co_await engine_.delay(stall);
+  } else if (extra > 0) {
+    ++delayed_;
+    fault_stall_ += extra;
+    t += extra;
+  }
+
+  if (drop_p > 0.0 && fault_rng_ && fault_rng_->bernoulli(drop_p)) {
+    // Dropped in flight: the sender only learns from silence.
+    ++dropped_;
+    co_return false;
+  }
+
+  co_await engine_.delay(t);
+  co_return true;
 }
 
 }  // namespace sio::hw

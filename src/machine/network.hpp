@@ -12,13 +12,25 @@
 //
 // Collectives (broadcast / gather over a node group) are costed with
 // binomial trees, which is what NX's global operations used.
+//
+// Fault model: the links toward the I/O partition can be put into timed
+// fault windows — fully *down* (messages stall at the NIC until the window
+// closes, the retransmit-until-routed abstraction) or *degraded* (extra
+// latency, plus an optional per-message drop probability whose draws come
+// from a dedicated seeded `sim::Rng` stream).  `send_to_io` honors the
+// windows and reports whether the message arrived; the healthy
+// `message_time*` functions are untouched, so fault-free runs are
+// bit-identical with the model that predates the fault layer.
 
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "machine/topology.hpp"
 #include "sim/engine.hpp"
+#include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -62,9 +74,41 @@ class Network {
   /// message between compute nodes.
   sim::Task<void> send(NodeId src, NodeId dst, std::uint64_t bytes);
 
+  // ---- fault injection (driven by fault::FaultClock) ----
+
+  /// One fault window on the links toward an I/O node.
+  struct IoLinkFault {
+    IoNodeId io_node = 0;
+    sim::Tick t0 = 0;
+    sim::Tick t1 = 0;
+    /// Fully down: messages issued inside the window stall until it closes
+    /// (wormhole rerouting/retransmission), then transfer normally.
+    bool down = false;
+    /// Degraded: extra latency added to each message inside the window.
+    sim::Tick extra_delay = 0;
+    /// Degraded: per-message drop probability inside the window (drawn from
+    /// the seeded fault stream; a dropped message never arrives).
+    double drop_p = 0.0;
+  };
+
+  void add_io_link_fault(const IoLinkFault& fault);
+
+  /// Seeds the RNG stream used for drop draws.  Must be called before any
+  /// window with drop_p > 0 becomes active.
+  void seed_faults(std::uint64_t seed);
+
+  /// Sends one message between a compute node and an I/O node, honoring the
+  /// fault windows in force at issue time.  Returns false if the message was
+  /// dropped (it consumed the stall/degraded latency but never arrived).
+  sim::Task<bool> send_to_io(NodeId src, IoNodeId dst, std::uint64_t bytes);
+
   /// Total bytes moved through the model so far (for reports and tests).
   std::uint64_t bytes_moved() const { return bytes_moved_; }
   std::uint64_t messages_sent() const { return messages_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
+  std::uint64_t messages_delayed() const { return delayed_; }
+  /// Cumulative extra latency injected by fault windows (stalls + degraded).
+  sim::Tick fault_stall_time() const { return fault_stall_; }
 
  private:
   sim::Engine& engine_;
@@ -72,6 +116,12 @@ class Network {
   NetConfig cfg_;
   std::uint64_t bytes_moved_ = 0;
   std::uint64_t messages_ = 0;
+
+  std::vector<IoLinkFault> io_faults_;
+  std::optional<sim::Rng> fault_rng_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delayed_ = 0;
+  sim::Tick fault_stall_ = 0;
 
   sim::Tick payload_time(std::uint64_t bytes) const;
 };

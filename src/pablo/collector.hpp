@@ -45,6 +45,16 @@ class Collector {
     }
   }
 
+  /// Appends one fault/recovery occurrence.  Fault events are recorded at
+  /// the simulated time they happen, so the list is chronological by
+  /// construction (no lazy sort needed).
+  void record_fault(const FaultEvent& ev) {
+    if (enabled_) faults_.push_back(ev);
+  }
+
+  const std::vector<FaultEvent>& fault_events() const { return faults_; }
+  std::size_t fault_count() const { return faults_.size(); }
+
   /// Turns capture on/off (tests use this to scope the window of interest).
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
@@ -56,7 +66,11 @@ class Collector {
   std::size_t event_count() const { return events_.size(); }
 
   /// Removes all recorded events (keeps the file registry).
-  void clear() { events_.clear(); sorted_ = false; }
+  void clear() {
+    events_.clear();
+    faults_.clear();
+    sorted_ = false;
+  }
 
   sim::Engine& engine() { return engine_; }
 
@@ -64,6 +78,7 @@ class Collector {
   sim::Engine& engine_;
   std::vector<std::string> files_;
   mutable std::vector<TraceEvent> events_;
+  std::vector<FaultEvent> faults_;
   mutable bool sorted_ = false;
   bool enabled_ = true;
 };

@@ -42,6 +42,48 @@ constexpr std::string_view io_op_name(IoOp op) {
   return names[static_cast<std::size_t>(op)];
 }
 
+/// Fault and recovery occurrences recorded alongside the I/O trace.  The
+/// first group marks hardware/server state transitions injected by the fault
+/// subsystem; the kOp* group marks the client-visible consequences (an
+/// operation timing out, being retried, or failing for good).
+enum class FaultKind : std::uint8_t {
+  kDiskDegraded = 0,
+  kDiskRebuilt,
+  kDiskSlow,
+  kDiskStuck,
+  kServerCrash,
+  kServerRestart,
+  kServerDegraded,
+  kServerRecovered,
+  kLinkDown,
+  kLinkSlow,
+  kLinkUp,
+  kOpTimeout,
+  kOpRetry,
+  kOpFailed,
+};
+
+inline constexpr int kFaultKindCount = 14;
+
+/// Stable short name used in reports and the SDDF `#fault` records.
+constexpr std::string_view fault_kind_name(FaultKind k) {
+  constexpr std::array<std::string_view, kFaultKindCount> names = {
+      "disk-degraded", "disk-rebuilt",    "disk-slow",        "disk-stuck",
+      "server-crash",  "server-restart",  "server-degraded",  "server-recovered",
+      "link-down",     "link-slow",       "link-up",          "op-timeout",
+      "op-retry",      "op-failed"};
+  return names[static_cast<std::size_t>(k)];
+}
+
+/// One fault/recovery occurrence.
+struct FaultEvent {
+  sim::Tick at = 0;          ///< Simulated time of the occurrence.
+  FaultKind kind = FaultKind::kOpRetry;
+  std::int32_t node = -1;    ///< Compute node involved (-1 = none).
+  std::int32_t target = -1;  ///< I/O node / server involved (-1 = none).
+  std::uint64_t info = 0;    ///< Kind-specific detail (attempt #, bytes, ...).
+};
+
 /// One traced I/O operation.
 struct TraceEvent {
   sim::Tick start = 0;     ///< Simulated time the call was issued.

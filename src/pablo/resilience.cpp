@@ -1,0 +1,81 @@
+#include "pablo/resilience.hpp"
+
+#include <sstream>
+
+#include "pablo/report.hpp"
+
+namespace sio::pablo {
+
+ResilienceSummary summarize_resilience(const std::vector<FaultEvent>& faults,
+                                       const std::vector<PhaseWindow>& phases) {
+  ResilienceSummary s;
+  s.phases.reserve(phases.size());
+  for (const auto& p : phases) {
+    s.phases.push_back({p.name, 0, 0, 0});
+  }
+  PhaseResilience outside{"(outside phases)", 0, 0, 0};
+  bool any_outside = false;
+
+  for (const auto& f : faults) {
+    if (!is_client_fault(f.kind)) {
+      ++s.injected;
+      continue;
+    }
+    PhaseResilience* bucket = nullptr;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      if (f.at >= phases[i].t0 && f.at < phases[i].t1) {
+        bucket = &s.phases[i];
+        break;
+      }
+    }
+    if (bucket == nullptr) {
+      bucket = &outside;
+      any_outside = true;
+    }
+    switch (f.kind) {
+      case FaultKind::kOpTimeout:
+        ++s.timeouts;
+        ++bucket->timeouts;
+        break;
+      case FaultKind::kOpRetry:
+        ++s.retries;
+        ++bucket->retries;
+        break;
+      case FaultKind::kOpFailed:
+        ++s.failures;
+        ++bucket->failures;
+        break;
+      default:
+        break;
+    }
+  }
+  if (any_outside) s.phases.push_back(outside);
+  return s;
+}
+
+std::string render_resilience(const ResilienceSummary& s, sim::Tick io_time, sim::Tick exec_time,
+                              sim::Tick baseline_io_time, sim::Tick baseline_exec_time) {
+  std::ostringstream out;
+  out << "Resilience summary\n";
+  out << "  injected faults: " << s.injected << "   timeouts: " << s.timeouts
+      << "   retries: " << s.retries << "   failed ops: " << s.failures << "\n\n";
+
+  TextTable t({"phase", "timeouts", "retries", "failures"});
+  for (const auto& p : s.phases) {
+    t.add_row({p.name, std::to_string(p.timeouts), std::to_string(p.retries),
+               std::to_string(p.failures)});
+  }
+  out << t.render() << '\n';
+
+  const double io_s = sim::to_seconds(io_time);
+  const double base_io_s = sim::to_seconds(baseline_io_time);
+  const double exec_s = sim::to_seconds(exec_time);
+  const double base_exec_s = sim::to_seconds(baseline_exec_time);
+  out << "I/O time:  " << fmt_fixed(io_s) << " s (fault-free " << fmt_fixed(base_io_s) << " s, +"
+      << fmt_fixed(io_s - base_io_s) << " s)\n";
+  out << "Exec time: " << fmt_fixed(exec_s) << " s (fault-free " << fmt_fixed(base_exec_s)
+      << " s, +" << fmt_fixed(exec_s - base_exec_s) << " s)\n";
+  return out.str();
+}
+
+}  // namespace sio::pablo

@@ -1,0 +1,61 @@
+// Resilience analysis of a fault-injection run.
+//
+// Aggregates the fault records a run produced into (a) whole-run counts of
+// injected hardware faults and their client-visible consequences and (b) a
+// per-phase breakdown of timeouts/retries/failures, then renders them next
+// to the fault-free baseline so the added I/O time is visible at a glance —
+// the fault-run analogue of the paper's per-phase I/O tables.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pablo/event.hpp"
+#include "sim/time.hpp"
+
+namespace sio::pablo {
+
+/// A named application phase window (taken from the workload's phase spans).
+struct PhaseWindow {
+  std::string name;
+  sim::Tick t0 = 0;
+  sim::Tick t1 = 0;
+};
+
+/// Client-visible fault consequences inside one phase.
+struct PhaseResilience {
+  std::string name;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t failures = 0;
+};
+
+struct ResilienceSummary {
+  /// Hardware/server fault transitions injected (kDisk*/kServer*/kLink*).
+  std::uint64_t injected = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t failures = 0;
+  /// Per-phase breakdown; client events outside every window are collected
+  /// under a trailing "(outside phases)" row when any exist.
+  std::vector<PhaseResilience> phases;
+};
+
+/// True for the client-operation consequence kinds (timeout/retry/failed).
+constexpr bool is_client_fault(FaultKind k) {
+  return k == FaultKind::kOpTimeout || k == FaultKind::kOpRetry || k == FaultKind::kOpFailed;
+}
+
+/// Buckets the fault records of one run into the summary.
+ResilienceSummary summarize_resilience(const std::vector<FaultEvent>& faults,
+                                       const std::vector<PhaseWindow>& phases);
+
+/// Renders the resilience report: injected-fault counts, the per-phase
+/// table, and the I/O / execution time deltas against the fault-free
+/// baseline (pass the run's own times as baseline for a standalone report).
+std::string render_resilience(const ResilienceSummary& s, sim::Tick io_time, sim::Tick exec_time,
+                              sim::Tick baseline_io_time, sim::Tick baseline_exec_time);
+
+}  // namespace sio::pablo

@@ -10,6 +10,7 @@ namespace sio::pablo {
 namespace {
 constexpr const char* kMagic = "#SDDF-IO 1";
 constexpr const char* kFields = "#fields start_ns duration_ns node file op offset bytes";
+constexpr const char* kFaultFields = "#fault-fields at_ns kind node target info";
 }  // namespace
 
 IoOp parse_io_op(const std::string& name) {
@@ -20,11 +21,26 @@ IoOp parse_io_op(const std::string& name) {
   throw std::runtime_error("SDDF: unknown I/O operation '" + name + "'");
 }
 
+FaultKind parse_fault_kind(const std::string& name) {
+  for (int i = 0; i < kFaultKindCount; ++i) {
+    const auto k = static_cast<FaultKind>(i);
+    if (fault_kind_name(k) == name) return k;
+  }
+  throw std::runtime_error("SDDF: unknown fault kind '" + name + "'");
+}
+
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
-                const std::vector<TraceEvent>& events) {
+                const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults) {
   out << kMagic << '\n' << kFields << '\n';
   for (std::size_t i = 0; i < file_names.size(); ++i) {
     out << "#file " << i << ' ' << file_names[i] << '\n';
+  }
+  if (!faults.empty()) {
+    out << kFaultFields << '\n';
+    for (const auto& f : faults) {
+      out << "#fault " << f.at << ' ' << fault_kind_name(f.kind) << ' ' << f.node << ' '
+          << f.target << ' ' << f.info << '\n';
+    }
   }
   for (const auto& ev : events) {
     out << ev.start << ' ' << ev.duration << ' ' << ev.node << ' ';
@@ -37,13 +53,18 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
   }
 }
 
+void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
+                const std::vector<TraceEvent>& events) {
+  write_sddf(out, file_names, events, {});
+}
+
 void write_sddf(std::ostream& out, const Collector& collector) {
   std::vector<std::string> names;
   names.reserve(collector.file_count());
   for (std::size_t i = 0; i < collector.file_count(); ++i) {
     names.push_back(collector.file_name(static_cast<FileId>(i)));
   }
-  write_sddf(out, names, collector.events());
+  write_sddf(out, names, collector.events(), collector.fault_events());
 }
 
 TraceFile read_sddf(std::istream& in) {
@@ -68,6 +89,19 @@ TraceFile read_sddf(std::istream& in) {
         throw std::runtime_error("SDDF: file table ids must be dense and ordered");
       }
       tf.file_names.push_back(path);
+      continue;
+    }
+    // The trailing space keeps "#fault-fields" falling through to the
+    // generic comment skip below.
+    if (line.rfind("#fault ", 0) == 0) {
+      std::istringstream ls(line.substr(7));
+      FaultEvent f;
+      std::string kind_name;
+      if (!(ls >> f.at >> kind_name >> f.node >> f.target >> f.info)) {
+        throw std::runtime_error("SDDF: bad #fault line: " + line);
+      }
+      f.kind = parse_fault_kind(kind_name);
+      tf.faults.push_back(f);
       continue;
     }
     if (line[0] == '#') continue;  // future extension records

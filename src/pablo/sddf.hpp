@@ -12,7 +12,12 @@
 //   #SDDF-IO 1
 //   #fields start_ns duration_ns node file op offset bytes
 //   #file <id> <path>            (one per registered file)
+//   #fault-fields at_ns kind node target info        (when faults present)
+//   #fault <at> <kind-name> <node> <target> <info>   (one per fault event)
 //   <records: one event per line, space separated, op by name>
+//
+// `#fault` records extend the dialect for fault-injection runs; readers
+// predating them skip unknown `#` lines, so old tools still load new traces.
 
 #pragma once
 
@@ -25,18 +30,25 @@
 
 namespace sio::pablo {
 
-/// A deserialized trace: events plus the file-name table.
+/// A deserialized trace: events plus the file-name table and any fault
+/// records the run carried.
 struct TraceFile {
   std::vector<std::string> file_names;
   std::vector<TraceEvent> events;
+  std::vector<FaultEvent> faults;
 };
 
-/// Writes the collector's registered files and events to `out`.
+/// Writes the collector's registered files, events and fault records to
+/// `out`.
 void write_sddf(std::ostream& out, const Collector& collector);
 
 /// Writes a pre-extracted trace.
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<TraceEvent>& events);
+
+/// Writes a pre-extracted trace including fault records.
+void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
+                const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults);
 
 /// Parses a trace written by write_sddf.  Throws std::runtime_error on
 /// malformed input (bad magic, unknown op, truncated record).
@@ -48,5 +60,9 @@ TraceFile from_sddf_string(const std::string& text);
 
 /// Parses an operation name ("open", "gopen", ...); throws on unknown names.
 IoOp parse_io_op(const std::string& name);
+
+/// Parses a fault-kind name ("disk-degraded", "op-retry", ...); throws on
+/// unknown names.
+FaultKind parse_fault_kind(const std::string& name);
 
 }  // namespace sio::pablo

@@ -1,6 +1,9 @@
 #include "pfs/pfs.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "sim/timeout.hpp"
 
 namespace sio::pfs {
 
@@ -10,12 +13,14 @@ Pfs::Pfs(hw::Machine& machine, pablo::Collector& collector, PfsConfig cfg)
       cfg_(cfg),
       meta_(machine.engine(), machine.config().os),
       layout_(machine.config().stripe_unit, machine.config().io_nodes),
-      next_disk_offset_(static_cast<std::size_t>(machine.config().io_nodes), 0) {
+      next_disk_offset_(static_cast<std::size_t>(machine.config().io_nodes), 0),
+      retry_rng_(machine.config().seed ^ 0x5EEDFA017ULL) {
   servers_.reserve(static_cast<std::size_t>(machine.config().io_nodes));
   for (int i = 0; i < machine.config().io_nodes; ++i) {
     servers_.push_back(std::make_unique<IoServer>(machine.engine(), i, machine.config().disk,
                                                   machine.config().stripe_unit,
                                                   machine.config().io_nodes, cfg_.server));
+    if (cfg_.retry.enabled) servers_.back()->set_replay_tracking(true);
   }
 }
 
@@ -78,18 +83,27 @@ std::uint64_t Pfs::disk_offset_of(FileState& file, std::uint64_t unit_index) {
   return off;
 }
 
-sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSegment seg,
-                                      bool is_write, bool buffered, sim::WaitGroup* wg) {
+sim::Task<bool> Pfs::segment_attempt(hw::NodeId node, FileState* file, StripeSegment seg,
+                                     bool is_write, bool buffered, std::uint64_t op_id) {
   auto& engine = machine_.engine();
   auto& net = machine_.network();
   const std::uint64_t unit_off = disk_offset_of(*file, seg.unit_index);
   const UnitKey key{file->id, seg.unit_index};
   constexpr std::uint64_t kHeader = 64;  // request/ack control message size
 
-  co_await engine.delay(
-      net.message_time_to_io(node, seg.io_node, is_write ? seg.length + kHeader : kHeader));
+  // In robust mode the messages go through the fault-aware path (they can be
+  // delayed or dropped); otherwise the original analytic delay is used, so a
+  // fault-free run keeps the exact event stream of the pre-fault model.
+  const std::uint64_t req_bytes = is_write ? seg.length + kHeader : kHeader;
+  if (robust()) {
+    if (!co_await net.send_to_io(node, seg.io_node, req_bytes)) co_return false;
+  } else {
+    co_await engine.delay(net.message_time_to_io(node, seg.io_node, req_bytes));
+  }
+
   if (is_write) {
-    co_await server(seg.io_node).write(key, unit_off, seg.offset_in_unit, seg.length, buffered);
+    co_await server(seg.io_node)
+        .write(key, unit_off, seg.offset_in_unit, seg.length, buffered, op_id);
   } else {
     // How many further units of this file live on the same I/O node —
     // bounds server-side prefetch so it never runs past the file.
@@ -100,12 +114,72 @@ sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSe
       cap = static_cast<int>((file_units - 1 - seg.unit_index) /
                              static_cast<std::uint64_t>(layout_.io_nodes()));
     }
-    co_await server(seg.io_node).read(key, unit_off, seg.offset_in_unit, seg.length, buffered,
-                                      cap);
+    co_await server(seg.io_node)
+        .read(key, unit_off, seg.offset_in_unit, seg.length, buffered, cap, op_id);
   }
-  co_await engine.delay(
-      net.message_time_to_io(node, seg.io_node, is_write ? kHeader : seg.length + kHeader));
 
+  const std::uint64_t rsp_bytes = is_write ? kHeader : seg.length + kHeader;
+  if (robust()) {
+    if (!co_await net.send_to_io(node, seg.io_node, rsp_bytes)) co_return false;
+  } else {
+    co_await engine.delay(net.message_time_to_io(node, seg.io_node, rsp_bytes));
+  }
+  co_return true;
+}
+
+sim::Tick Pfs::backoff_for(int attempt) {
+  const RetryPolicy& rp = cfg_.retry;
+  // Iterative growth instead of pow(): bit-stable across libm versions.
+  sim::Tick b = rp.backoff_base;
+  for (int i = 0; i < attempt && b < rp.backoff_cap; ++i) {
+    b = std::min<sim::Tick>(
+        rp.backoff_cap,
+        static_cast<sim::Tick>(std::llround(static_cast<double>(b) * rp.backoff_factor)));
+  }
+  return retry_rng_.jitter(b, rp.backoff_jitter);
+}
+
+sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSegment seg,
+                                      bool is_write, bool buffered, sim::WaitGroup* wg) {
+  if (!robust()) {
+    // Direct await: symmetric transfer, no extra engine events, so the
+    // attempt split leaves fault-free timing untouched.
+    co_await segment_attempt(node, file, seg, is_write, buffered, /*op_id=*/0);
+    if (wg != nullptr) wg->done();
+    co_return;
+  }
+
+  auto& engine = machine_.engine();
+  const RetryPolicy& rp = cfg_.retry;
+  const std::uint64_t op_id = next_op_id_++;
+  for (int attempt = 0;; ++attempt) {
+    const sim::Tick t0 = engine.now();
+    auto res = co_await sim::with_timeout(
+        engine, segment_attempt(node, file, seg, is_write, buffered, op_id), rp.op_deadline,
+        "pfs-op");
+    if (res.status == sim::WaitStatus::kCompleted && res.value.value_or(false)) break;
+    if (res.status == sim::WaitStatus::kCompleted) {
+      // The request or reply was dropped in flight.  The client can't see
+      // that — it learns only from silence — so it waits out the remainder
+      // of the deadline before acting, exactly like a genuine timeout.
+      const sim::Tick elapsed = engine.now() - t0;
+      if (elapsed < rp.op_deadline) co_await engine.delay(rp.op_deadline - elapsed);
+    }
+    ++timeouts_;
+    collector_.record_fault({engine.now(), pablo::FaultKind::kOpTimeout, node, seg.io_node,
+                             static_cast<std::uint64_t>(attempt)});
+    if (attempt >= rp.max_retries) {
+      ++failed_ops_;
+      collector_.record_fault(
+          {engine.now(), pablo::FaultKind::kOpFailed, node, seg.io_node, op_id});
+      throw PfsError("segment transfer failed after retries (io node " +
+                     std::to_string(seg.io_node) + ")");
+    }
+    ++retries_;
+    collector_.record_fault({engine.now(), pablo::FaultKind::kOpRetry, node, seg.io_node,
+                             static_cast<std::uint64_t>(attempt + 1)});
+    co_await engine.delay(backoff_for(attempt));
+  }
   if (wg != nullptr) wg->done();
 }
 

@@ -35,12 +35,17 @@
 #include "pfs/server.hpp"
 #include "pfs/stripe.hpp"
 #include "pfs/types.hpp"
+#include "sim/random.hpp"
 
 namespace sio::pfs {
 
 struct PfsConfig {
   ServerConfig server{};
   ContentPolicy content = ContentPolicy::kExtentsOnly;
+  /// Client resilience: per-operation deadlines + bounded retry.  Disabled
+  /// by default; when disabled the data path is byte-identical with the
+  /// pre-fault-layer model.
+  RetryPolicy retry{};
 };
 
 class Pfs {
@@ -107,6 +112,14 @@ class Pfs {
   std::uint64_t bytes_written() const { return bytes_written_; }
   std::uint64_t data_ops() const { return data_ops_; }
 
+  // ---- resilience ----
+  /// Whether the retry/timeout machinery is active for this instance.
+  bool robust() const { return cfg_.retry.enabled; }
+  const RetryPolicy& retry_policy() const { return cfg_.retry; }
+  std::uint64_t op_retries() const { return retries_; }
+  std::uint64_t op_timeouts() const { return timeouts_; }
+  std::uint64_t failed_ops() const { return failed_ops_; }
+
  private:
   hw::Machine& machine_;
   pablo::Collector& collector_;
@@ -123,11 +136,26 @@ class Pfs {
   std::uint64_t bytes_written_ = 0;
   std::uint64_t data_ops_ = 0;
 
+  // Client retry stream: forked off the machine seed but independent of the
+  // machine's own Rng, so enabling faults never perturbs workload draws.
+  sim::Rng retry_rng_;
+  std::uint64_t next_op_id_ = 1;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t failed_ops_ = 0;
+
   friend class FileHandle;
 
   FileState& get_or_create(std::string_view path);
   sim::Task<void> transfer_segment(hw::NodeId node, FileState* file, StripeSegment seg,
                                    bool is_write, bool buffered, sim::WaitGroup* wg);
+  /// One attempt of a segment transfer; returns false if the request or
+  /// reply message was dropped.  `op_id` = 0 means untracked (non-robust).
+  sim::Task<bool> segment_attempt(hw::NodeId node, FileState* file, StripeSegment seg,
+                                  bool is_write, bool buffered, std::uint64_t op_id);
+  /// Deterministic exponential backoff (with seeded jitter) before retry
+  /// number `attempt` (0-based).
+  sim::Tick backoff_for(int attempt);
 };
 
 }  // namespace sio::pfs

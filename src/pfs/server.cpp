@@ -1,10 +1,85 @@
 #include "pfs/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/assert.hpp"
 
 namespace sio::pfs {
+
+sim::Tick IoServer::svc(sim::Tick t) const {
+  if (!degraded_) return t;
+  return static_cast<sim::Tick>(std::llround(static_cast<double>(t) * cfg_.degraded_multiplier));
+}
+
+sim::Task<void> IoServer::wait_if_crashed() {
+  // Loop: a server may crash again between our wake-up and our service.
+  while (crashed_) {
+    co_await restart_ev_->wait();
+  }
+}
+
+void IoServer::crash() {
+  crashed_ = true;
+  ++crashes_;
+  lost_dirty_ += dirty_.size();
+  cache_.clear();
+  lru_.clear();
+  dirty_.clear();
+  last_unit_.clear();
+  completed_.clear();
+  // Forget in-flight registrations: pre-crash attempts still hold their own
+  // event handles and will wake their joined duplicates when they finish;
+  // post-restart retries must re-execute, not join a doomed twin.
+  in_flight_.clear();
+  restart_ev_ = std::make_unique<sim::Event>(engine_, "IoServer::restart");
+}
+
+sim::Task<void> IoServer::begin_op(std::uint64_t op_id, bool* handled,
+                                   std::shared_ptr<sim::Event>* done) {
+  *handled = false;
+  if (op_id == 0 || !replay_tracking_) co_return;
+  // Replay: the original attempt completed but its reply was lost in a
+  // timeout/drop.  Acknowledge from the id set — for a write this avoids
+  // applying it twice; for a read the produced unit is (at worst) one cache
+  // probe away, so the front-end ack stands in for a hit.
+  if (completed_.contains(op_id)) {
+    ++replayed_;
+    co_await engine_.delay(svc(cfg_.hit_service));
+    *handled = true;
+    co_return;
+  }
+  // Coalesce: the original attempt is still queued or on the array.  Joining
+  // it (instead of enqueueing a duplicate access) is what stops a timed-out
+  // burst from re-feeding the very queue that made it time out.
+  if (auto it = in_flight_.find(op_id); it != in_flight_.end()) {
+    ++coalesced_;
+    const std::shared_ptr<sim::Event> twin = it->second;
+    co_await twin->wait();
+    co_await wait_if_crashed();
+    co_await engine_.delay(svc(cfg_.hit_service));
+    *handled = true;
+    co_return;
+  }
+  *done = std::make_shared<sim::Event>(engine_, "IoServer::op");
+  in_flight_.emplace(op_id, *done);
+}
+
+void IoServer::finish_op(std::uint64_t op_id, const std::shared_ptr<sim::Event>& done) {
+  if (done == nullptr) return;
+  completed_.insert(op_id);
+  // A crash may have wiped our registration — or a post-restart retry may
+  // have re-registered the id.  Only erase the entry if it is still ours.
+  auto it = in_flight_.find(op_id);
+  if (it != in_flight_.end() && it->second == done) in_flight_.erase(it);
+  done->set();
+}
+
+void IoServer::restart() {
+  SIO_ASSERT(crashed_);
+  crashed_ = false;
+  restart_ev_->set();
+}
 
 bool IoServer::lookup(const UnitKey& key) { return cache_.find(key) != cache_.end(); }
 
@@ -44,9 +119,11 @@ sim::Task<void> IoServer::evict_if_needed() {
       // Write the victim back before dropping it.
       const std::uint64_t off = it->second.disk_offset;
       dirty_.remove(victim);
+      it->second.dirty = false;
       co_await disk_.access(off, stripe_unit_, /*write=*/true);
-      it = cache_.find(victim);  // iterator may be stale only if erased; keys are stable
-      SIO_ASSERT(it != cache_.end());
+      // A crash during the write-back wipes the whole cache; nothing left
+      // for this pass to evict.
+      if (cache_.find(victim) == cache_.end()) continue;
     }
     lru_.pop_back();
     cache_.erase(victim);
@@ -65,16 +142,22 @@ sim::Task<void> IoServer::flush_oldest_dirty() {
 
 sim::Task<void> IoServer::read(UnitKey key, std::uint64_t unit_disk_offset,
                                std::uint64_t offset_in_unit, std::uint64_t len, bool buffered,
-                               int prefetch_cap) {
+                               int prefetch_cap, std::uint64_t op_id) {
+  co_await wait_if_crashed();
+  bool handled = false;
+  std::shared_ptr<sim::Event> done;
+  co_await begin_op(op_id, &handled, &done);
+  if (handled) co_return;
   auto guard = co_await cpu_.scoped();
   const std::uint64_t disk_offset = unit_disk_offset;
 
   if (!buffered) {
     ++unbuffered_;
-    co_await engine_.delay(cfg_.miss_setup);
+    co_await engine_.delay(svc(cfg_.miss_setup));
     // Unbuffered access bypasses the cache and pays a raw array access;
     // RAID-3 rounds the transfer up to its granule internally.
     co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/false);
+    finish_op(op_id, done);
     co_return;
   }
 
@@ -84,12 +167,13 @@ sim::Task<void> IoServer::read(UnitKey key, std::uint64_t unit_disk_offset,
     // Hits advance the sequential detector too, so a run that alternates
     // between prefetched hits and misses keeps prefetching.
     last_unit_[key.file] = key.unit;
-    co_await engine_.delay(cfg_.hit_service);
+    co_await engine_.delay(svc(cfg_.hit_service));
+    finish_op(op_id, done);
     co_return;
   }
 
   ++misses_;
-  co_await engine_.delay(cfg_.miss_setup);
+  co_await engine_.delay(svc(cfg_.miss_setup));
 
   // Sequential prefetch (policy extension): if this miss extends a
   // sequential run for the file, fetch extra units in the same array access.
@@ -114,33 +198,43 @@ sim::Task<void> IoServer::read(UnitKey key, std::uint64_t unit_disk_offset,
     ++prefetched_;
   }
   co_await evict_if_needed();
+  finish_op(op_id, done);
   (void)len;
 }
 
 sim::Task<void> IoServer::write(UnitKey key, std::uint64_t unit_disk_offset,
-                                std::uint64_t offset_in_unit, std::uint64_t len, bool buffered) {
+                                std::uint64_t offset_in_unit, std::uint64_t len, bool buffered,
+                                std::uint64_t op_id) {
+  co_await wait_if_crashed();
+  bool handled = false;
+  std::shared_ptr<sim::Event> done;
+  co_await begin_op(op_id, &handled, &done);
+  if (handled) co_return;
   auto guard = co_await cpu_.scoped();
   const std::uint64_t disk_offset = unit_disk_offset;
 
   if (!buffered) {
     ++unbuffered_;
-    co_await engine_.delay(cfg_.miss_setup);
+    co_await engine_.delay(svc(cfg_.miss_setup));
     co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/true);
+    finish_op(op_id, done);
     co_return;
   }
 
-  co_await engine_.delay(cfg_.write_absorb +
-                         static_cast<sim::Tick>(static_cast<double>(len) /
-                                                cfg_.absorb_bytes_per_tick));
+  co_await engine_.delay(svc(cfg_.write_absorb +
+                             static_cast<sim::Tick>(static_cast<double>(len) /
+                                                    cfg_.absorb_bytes_per_tick)));
   insert(key, disk_offset, /*dirty=*/true);
   if (dirty_.size() > cfg_.dirty_limit) {
     co_await flush_oldest_dirty();
   }
   co_await evict_if_needed();
+  finish_op(op_id, done);
   (void)len;
 }
 
 sim::Task<void> IoServer::flush_all() {
+  co_await wait_if_crashed();
   auto guard = co_await cpu_.scoped();
   while (!dirty_.empty()) {
     co_await flush_oldest_dirty();

@@ -11,11 +11,30 @@
 // An optional sequential-prefetch policy (one of the paper's §7 design
 // principles) widens cache-miss fetches when the per-file access stream
 // looks sequential; the ablation bench quantifies its effect.
+//
+// Fault/recovery model (driven by the fault-injection subsystem):
+//
+//   * crash/restart — a crashed server loses its volatile state (read cache
+//     and *unflushed write-back data*) and parks incoming operations until
+//     `restart()`; clients with retry enabled re-drive operations that timed
+//     out across the outage.
+//   * degraded mode — the server keeps serving but its CPU services are
+//     stretched by `degraded_multiplier` (thrashing daemon, failing NIC).
+//   * idempotent replay — when replay tracking is on, every client operation
+//     carries an id; a re-driven operation whose original attempt already
+//     completed is acknowledged from the completed-id set instead of being
+//     applied twice.
+//   * duplicate coalescing — a re-driven operation whose original attempt is
+//     *still executing* (the client timed out, the server did not) joins the
+//     in-flight twin instead of queueing a second disk access.  Without this
+//     a timed-out burst re-feeds its own queue and the array never drains —
+//     the classic retry-storm collapse.
 
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -32,7 +51,7 @@ struct ServerConfig {
   /// CPU service to absorb a buffered write into the cache: a fixed setup
   /// cost plus a copy cost proportional to the payload.
   sim::Tick write_absorb = sim::microseconds(50);
-  /// Copy-in bandwidth of the server cache (bytes per tick; 0.033 = 33 MB/s).
+  /// Copy-in bandwidth of the server cache (bytes per tick; 0.05 = 50 MB/s).
   double absorb_bytes_per_tick = 0.05;
   /// CPU service to set up any disk transfer.
   sim::Tick miss_setup = sim::microseconds(120);
@@ -44,6 +63,8 @@ struct ServerConfig {
   /// Sequential prefetch: number of *extra* units fetched on a miss that
   /// extends a sequential per-file run (0 = off, the PFS baseline).
   int prefetch_units = 0;
+  /// CPU-service multiplier while the server runs in degraded mode.
+  double degraded_multiplier = 4.0;
 };
 
 /// Cache key: (file id, global stripe-unit index).
@@ -56,7 +77,18 @@ struct UnitKey {
 
 struct UnitKeyHash {
   std::size_t operator()(const UnitKey& k) const {
-    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(k.file) << 40) ^ k.unit);
+    // Mix file and unit through a SplitMix64-style finalizer.  A plain
+    // `(file << 40) ^ unit` collides whenever two keys differ only in bits
+    // that the shift overlaps (e.g. {file a, unit u} vs {file a^1, unit
+    // u^(1<<40)}), and feeds poorly-dispersed values to the identity
+    // std::hash; the multiply/xor-shift cascade breaks both patterns up.
+    std::uint64_t x = (static_cast<std::uint64_t>(k.file) * 0x9E3779B97F4A7C15ull) ^ k.unit;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
   }
 };
 
@@ -85,16 +117,39 @@ class IoServer {
   /// access at the exact position.  `prefetch_cap` bounds how many units
   /// beyond this one may be prefetched (the client derives it from the
   /// file's remaining extent on this node, so prefetch never overshoots).
+  /// `op_id` (0 = untracked) identifies the operation for idempotent replay.
   sim::Task<void> read(UnitKey key, std::uint64_t unit_disk_offset, std::uint64_t offset_in_unit,
-                       std::uint64_t len, bool buffered, int prefetch_cap = 1 << 20);
+                       std::uint64_t len, bool buffered, int prefetch_cap = 1 << 20,
+                       std::uint64_t op_id = 0);
 
   /// Write into a stripe unit; buffered writes are absorbed into the
-  /// write-back cache, unbuffered writes go straight to the array.
+  /// write-back cache, unbuffered writes go straight to the array.  A tracked
+  /// replay of an already-completed write is acknowledged without being
+  /// applied twice.
   sim::Task<void> write(UnitKey key, std::uint64_t unit_disk_offset, std::uint64_t offset_in_unit,
-                        std::uint64_t len, bool buffered);
+                        std::uint64_t len, bool buffered, std::uint64_t op_id = 0);
 
   /// Drains every dirty unit to the array.
   sim::Task<void> flush_all();
+
+  // ---- fault injection (driven by fault::FaultClock) ----
+
+  /// Crashes the server now: volatile state (read cache, write-back buffer,
+  /// completed-op ids) is lost and incoming operations park until restart.
+  void crash();
+
+  /// Restarts a crashed server cold; parked operations resume in FIFO order.
+  void restart();
+
+  bool crashed() const { return crashed_; }
+
+  /// Enters/leaves degraded mode (CPU services stretched, still serving).
+  void set_degraded(bool on) { degraded_ = on; }
+  bool degraded_mode() const { return degraded_; }
+
+  /// Enables server-side tracking of client operation ids for idempotent
+  /// replay.  Off by default so fault-free runs carry no tracking state.
+  void set_replay_tracking(bool on) { replay_tracking_ = on; }
 
   // ---- statistics ----
   std::uint64_t cache_hits() const { return hits_; }
@@ -103,6 +158,13 @@ class IoServer {
   std::uint64_t prefetched_units() const { return prefetched_; }
   std::size_t dirty_units() const { return dirty_.size(); }
   std::size_t cached_units() const { return lru_.size(); }
+  /// Replayed (already-completed) operations acknowledged from the id set.
+  std::uint64_t replayed_ops() const { return replayed_; }
+  /// Re-driven operations that joined a still-executing twin.
+  std::uint64_t coalesced_ops() const { return coalesced_; }
+  std::uint64_t crash_count() const { return crashes_; }
+  /// Dirty write-back units lost across crashes (data clients must re-drive).
+  std::uint64_t lost_dirty_units() const { return lost_dirty_; }
 
  private:
   struct CacheEntry {
@@ -129,11 +191,44 @@ class IoServer {
   std::uint64_t unbuffered_ = 0;
   std::uint64_t prefetched_ = 0;
 
+  // ---- fault state ----
+  bool crashed_ = false;
+  bool degraded_ = false;
+  bool replay_tracking_ = false;
+  /// Signaled on restart; recreated at each crash so late waiters of an old
+  /// outage never confuse a new one.
+  std::unique_ptr<sim::Event> restart_ev_;
+  /// Completed operation ids (only populated when replay tracking is on;
+  /// never iterated, so its unordered layout can't leak into event order).
+  std::unordered_set<std::uint64_t> completed_;
+  /// Ops currently executing, keyed by id, with the event a duplicate joins
+  /// (never iterated; lookup/erase by key only).
+  std::unordered_map<std::uint64_t, std::shared_ptr<sim::Event>> in_flight_;
+  std::uint64_t replayed_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t lost_dirty_ = 0;
+
+  /// CPU service stretched by the degraded multiplier when in effect.
+  sim::Tick svc(sim::Tick t) const;
+  /// Parks the caller while the server is down.
+  sim::Task<void> wait_if_crashed();
+
   bool lookup(const UnitKey& key);
   void insert(const UnitKey& key, std::uint64_t disk_offset, bool dirty);
   void touch(const UnitKey& key);
   sim::Task<void> evict_if_needed();
   sim::Task<void> flush_oldest_dirty();
+
+  /// Front-end duplicate handling for a tracked op, run before the CPU
+  /// queue: acks an already-completed id (replay) or joins a still-executing
+  /// twin (coalesce).  Sets `handled` and returns; otherwise registers the
+  /// op as in flight and leaves `done` set for `finish_op`.
+  sim::Task<void> begin_op(std::uint64_t op_id, bool* handled,
+                           std::shared_ptr<sim::Event>* done);
+  /// Marks a tracked op completed: records the id, unregisters the
+  /// in-flight entry (if still ours) and wakes joined duplicates.
+  void finish_op(std::uint64_t op_id, const std::shared_ptr<sim::Event>& done);
 };
 
 }  // namespace sio::pfs

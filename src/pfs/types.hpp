@@ -22,6 +22,8 @@
 #include <string>
 #include <string_view>
 
+#include "sim/time.hpp"
+
 namespace sio::pfs {
 
 enum class IoMode : std::uint8_t {
@@ -77,5 +79,24 @@ struct OpenOptions {
 /// Whether files keep byte-accurate contents (for verification tests) or
 /// only extents (cheap, used by the big workload runs).
 enum class ContentPolicy : std::uint8_t { kExtentsOnly, kStoreBytes };
+
+/// Client-side resilience knobs: per-operation deadlines with bounded retry
+/// under deterministic exponential backoff.  Disabled by default — with
+/// `enabled == false` the client takes the exact code path (and produces the
+/// exact event stream) it did before the fault layer existed.
+struct RetryPolicy {
+  bool enabled = false;
+  /// Deadline for one server operation (message + service + reply).
+  sim::Tick op_deadline = sim::milliseconds(250);
+  /// Attempts beyond the first before the operation fails hard.
+  int max_retries = 8;
+  /// First backoff; grows by `backoff_factor` per retry up to `backoff_cap`.
+  sim::Tick backoff_base = sim::milliseconds(4);
+  double backoff_factor = 2.0;
+  sim::Tick backoff_cap = sim::seconds(2);
+  /// Fractional jitter applied to each backoff (drawn from the seeded
+  /// client retry stream, so runs stay reproducible).
+  double backoff_jitter = 0.25;
+};
 
 }  // namespace sio::pfs

@@ -1,0 +1,38 @@
+#include "sim/timeout.hpp"
+
+namespace sio::sim {
+
+Timeout::Timeout(Engine& engine, const char* name)
+    : st_(std::make_shared<State>(engine, name)) {}
+
+Timeout::~Timeout() {
+  // Disarm so a still-queued expiry event settles nothing.  Parked waiters
+  // must not outlive the timer; if any do, the deadlock sanitizer will name
+  // them when the queue drains.
+  if (st_->phase == Phase::kArmed || st_->phase == Phase::kIdle) {
+    st_->phase = Phase::kCancelled;
+  }
+}
+
+void Timeout::arm(Tick d) {
+  SIO_ASSERT(d >= 0);
+  SIO_ASSERT(st_->phase == Phase::kIdle);
+  st_->phase = Phase::kArmed;
+  st_->engine.schedule_in(d, [st = st_] { settle(st, Phase::kExpired); });
+}
+
+void Timeout::cancel() { settle(st_, Phase::kCancelled); }
+
+void Timeout::settle(const std::shared_ptr<State>& st, Phase to) {
+  const bool decidable =
+      st->phase == Phase::kArmed || (st->phase == Phase::kIdle && to == Phase::kCancelled);
+  if (!decidable) return;  // race already decided (or stale expiry event)
+  st->phase = to;
+  while (!st->waiters.empty()) {
+    auto h = st->waiters.front();
+    st->waiters.pop_front();
+    st->engine.post(h);
+  }
+}
+
+}  // namespace sio::sim

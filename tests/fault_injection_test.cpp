@@ -1,0 +1,184 @@
+// End-to-end fault-injection tests: degraded disks, server crash/restart
+// with idempotent replay, lossy links, per-run byte-identity under faults,
+// and the resilience report.  Workloads are scaled down so each faulted run
+// finishes in milliseconds; the sim-sanitizer (on by default) turns any
+// parked-forever client into a deadlock error, so a passing run doubles as
+// a no-deadlock check.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "fault/plan.hpp"
+#include "pablo/resilience.hpp"
+#include "pablo/sddf.hpp"
+
+namespace sio::core {
+namespace {
+
+apps::escat::Config tiny_escat() {
+  apps::escat::Workload w;
+  w.nodes = 16;
+  w.channels = 2;
+  w.init_small_reads = 8;
+  w.quad_cycles = 8;  // 8 * 16 nodes * 2 KiB = exactly one 16 KiB reload wave
+  w.reload_record = 16 * 1024;
+  w.phase1_setup_compute = sim::seconds(1);
+  w.phase2_cycle_compute = sim::seconds(1);
+  w.phase3_energy_compute = sim::seconds(1);
+  return apps::escat::make_config(apps::escat::Version::C, w);
+}
+
+apps::prism::Config tiny_prism() {
+  apps::prism::Workload w;
+  w.nodes = 8;
+  w.steps = 60;
+  w.checkpoint_every = 20;
+  w.step_compute = sim::milliseconds(400);
+  w.param_reads = 10;
+  w.conn_text_reads = 20;
+  w.conn_binary_reads = 5;
+  w.phase1_setup = {sim::seconds(1), sim::seconds(1), sim::seconds(1)};
+  return apps::prism::make_config(apps::prism::Version::C, w);
+}
+
+std::string fingerprint(const RunResult& r) {
+  std::ostringstream out;
+  out << "label=" << r.label << " exec_time=" << r.exec_time
+      << " events_processed=" << r.events_processed << "\n";
+  for (const auto& ev : r.events) {
+    out << ev.node << " " << static_cast<int>(ev.op) << " " << ev.file << " " << ev.start << "+"
+        << ev.duration << " " << ev.bytes << " " << ev.offset << "\n";
+  }
+  for (const auto& f : r.fault_events) {
+    out << "fault " << f.at << " " << pablo::fault_kind_name(f.kind) << " " << f.node << " "
+        << f.target << " " << f.info << "\n";
+  }
+  const auto& rc = r.resilience;
+  out << "retries=" << rc.retries << " timeouts=" << rc.timeouts << " failed=" << rc.failed_ops
+      << " replayed=" << rc.replayed_ops << " coalesced=" << rc.coalesced_ops
+      << " dropped=" << rc.dropped_messages
+      << " degraded=" << rc.degraded_disk_ops << " stuck=" << rc.stuck_disk_ops
+      << " crashes=" << rc.server_crashes << "\n";
+  return out.str();
+}
+
+TEST(FaultInjection, DiskDegradedEscatRetriesAndCostsIoTime) {
+  const auto baseline = run_escat(tiny_escat(), 11);
+  const auto faulted = run_escat(tiny_escat(), fault::FaultPlan::disk_degraded(11), 11);
+
+  // The run completed (sanitizer on: a parked client would have thrown).
+  EXPECT_GT(faulted.exec_time, 0);
+  // Stuck first accesses exceed the op deadline, so retries are guaranteed.
+  EXPECT_GT(faulted.resilience.timeouts, 0u);
+  EXPECT_GT(faulted.resilience.retries, 0u);
+  EXPECT_EQ(faulted.resilience.failed_ops, 0u);
+  EXPECT_GT(faulted.resilience.stuck_disk_ops, 0u);
+  EXPECT_GT(faulted.resilience.degraded_disk_ops, 0u);
+  // Parity reconstruction + stuck hangs make I/O strictly more expensive.
+  EXPECT_GT(faulted.io_time(), baseline.io_time());
+  // Injections were recorded for the trace.
+  EXPECT_FALSE(faulted.fault_events.empty());
+}
+
+TEST(FaultInjection, FaultedRunsAreByteIdentical) {
+  const auto plan = fault::FaultPlan::disk_degraded(5);
+  const auto r1 = run_escat(tiny_escat(), plan, 5);
+  const auto r2 = run_escat(tiny_escat(), plan, 5);
+  EXPECT_EQ(fingerprint(r1), fingerprint(r2));
+
+  const auto p1 = run_prism(tiny_prism(), fault::FaultPlan::io_node_crash(5), 5);
+  const auto p2 = run_prism(tiny_prism(), fault::FaultPlan::io_node_crash(5), 5);
+  EXPECT_EQ(fingerprint(p1), fingerprint(p2));
+}
+
+TEST(FaultInjection, ServerCrashRecoversAndReplaysWrites) {
+  const auto r = run_escat(tiny_escat(), fault::FaultPlan::io_node_crash(3), 3);
+  EXPECT_GT(r.exec_time, 0);
+  EXPECT_EQ(r.resilience.server_crashes, 1u);
+  // Clients rode out the outage on retries...
+  EXPECT_GT(r.resilience.retries, 0u);
+  EXPECT_EQ(r.resilience.failed_ops, 0u);
+  // ...and the server absorbed re-driven duplicates: acknowledged from the
+  // completed-id set (replay) or joined onto a still-executing abandoned
+  // twin (coalesce) instead of executing twice.
+  EXPECT_GT(r.resilience.replayed_ops + r.resilience.coalesced_ops, 0u);
+  // Crash and restart were both recorded.
+  bool crash_seen = false, restart_seen = false;
+  for (const auto& f : r.fault_events) {
+    crash_seen |= f.kind == pablo::FaultKind::kServerCrash;
+    restart_seen |= f.kind == pablo::FaultKind::kServerRestart;
+  }
+  EXPECT_TRUE(crash_seen);
+  EXPECT_TRUE(restart_seen);
+}
+
+TEST(FaultInjection, LossyLinkDropsMessagesAndClientsRetry) {
+  // Aggressive custom plan: every message toward io nodes 0-7 has a 30% drop
+  // chance for the whole run, so drops are statistically certain.
+  fault::FaultPlan plan;
+  plan.name = "lossy";
+  plan.seed = 99;
+  plan.retry = fault::FaultPlan::slow_link(0).retry;
+  for (int io = 0; io < 8; ++io) {
+    plan.link_faults.push_back({io, 0, sim::seconds(36000), /*down=*/false, 0, 0.3});
+  }
+  const auto r = run_escat(tiny_escat(), plan, 7);
+  EXPECT_GT(r.exec_time, 0);
+  EXPECT_GT(r.resilience.dropped_messages, 0u);
+  EXPECT_GT(r.resilience.retries, 0u);
+  EXPECT_EQ(r.resilience.failed_ops, 0u);
+}
+
+TEST(FaultInjection, FaultEventsRoundTripThroughSddf) {
+  const auto r = run_escat(tiny_escat(), fault::FaultPlan::disk_degraded(2), 2);
+  ASSERT_FALSE(r.fault_events.empty());
+
+  std::ostringstream out;
+  pablo::write_sddf(out, r.file_names, r.events, r.fault_events);
+  const auto tf = pablo::from_sddf_string(out.str());
+  ASSERT_EQ(tf.faults.size(), r.fault_events.size());
+  for (std::size_t i = 0; i < tf.faults.size(); ++i) {
+    EXPECT_EQ(tf.faults[i].at, r.fault_events[i].at);
+    EXPECT_EQ(tf.faults[i].kind, r.fault_events[i].kind);
+    EXPECT_EQ(tf.faults[i].node, r.fault_events[i].node);
+    EXPECT_EQ(tf.faults[i].target, r.fault_events[i].target);
+    EXPECT_EQ(tf.faults[i].info, r.fault_events[i].info);
+  }
+  EXPECT_EQ(tf.events.size(), r.events.size());
+}
+
+TEST(FaultInjection, ResilienceSummaryBucketsClientEventsByPhase) {
+  const auto baseline = run_escat(tiny_escat(), 13);
+  const auto r = run_escat(tiny_escat(), fault::FaultPlan::disk_degraded(13), 13);
+
+  std::vector<pablo::PhaseWindow> windows;
+  for (const auto& p : r.phases) windows.push_back({p.name, p.t0, p.t1});
+  const auto s = pablo::summarize_resilience(r.fault_events, windows);
+
+  EXPECT_EQ(s.injected, fault::FaultPlan::disk_degraded(13).injection_count() +
+                            /*rebuild-complete records*/ 2u);
+  EXPECT_EQ(s.retries, r.resilience.retries);
+  EXPECT_EQ(s.timeouts, r.resilience.timeouts);
+  std::uint64_t phase_retries = 0;
+  for (const auto& p : s.phases) phase_retries += p.retries;
+  EXPECT_EQ(phase_retries, s.retries);
+
+  const auto report = render_resilience_summary(r, baseline);
+  EXPECT_NE(report.find("Resilience"), std::string::npos);
+  EXPECT_NE(report.find("retries"), std::string::npos);
+}
+
+TEST(FaultInjection, FaultFreeRunMatchesNoPlanRun) {
+  // A fault-free plan must leave the run byte-identical with the plain API.
+  const auto a = run_escat(tiny_escat(), 17);
+  const auto b = run_escat(tiny_escat(), fault::FaultPlan::fault_free(), 17);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_TRUE(b.fault_events.empty());
+}
+
+}  // namespace
+}  // namespace sio::core

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "machine/disk.hpp"
@@ -119,6 +120,129 @@ TEST(Raid3Disk, SequentialStreamIsFasterThanRandom) {
   }
   e2.run();
   EXPECT_LT(t_seq, e2.now());
+}
+
+sim::Task<void> charged_access(Raid3Disk& d, std::uint64_t off, std::uint64_t bytes,
+                               sim::Tick* charged) {
+  *charged = co_await d.access(off, bytes, false);
+}
+
+TEST(Raid3Disk, FirstAccessAtOffsetZeroPaysNoSeek) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  sim::Tick charged = 0;
+  e.spawn(charged_access(d, 0, 16 * 1024, &charged));
+  e.run();
+  // The head parks at 0, so the very first access at 0 is sequential.
+  const auto xfer = static_cast<sim::Tick>(16384 / 0.008);
+  EXPECT_EQ(charged, sim::microseconds(500) + xfer);
+  EXPECT_EQ(e.now(), charged);
+}
+
+TEST(Raid3Disk, RequestEndingExactlyAtCapacityIsServed) {
+  sim::Engine e;
+  auto cfg = test_config();
+  Raid3Disk d(e, cfg);
+  const std::uint64_t off = cfg.capacity - cfg.granule;
+  sim::Tick first = 0, second = 0;
+  e.spawn(charged_access(d, off, cfg.granule, &first));
+  // The head now sits exactly at capacity; a follow-up "access" addressed
+  // there is sequential (degenerate but well-defined — no seek charged).
+  e.spawn(charged_access(d, cfg.capacity, 0, &second));
+  e.run();
+  EXPECT_GT(first, 0);
+  const auto one_granule = static_cast<sim::Tick>(16384 / 0.008);
+  EXPECT_EQ(second, sim::microseconds(500) + one_granule);
+  EXPECT_EQ(d.ops(), 2u);
+  EXPECT_EQ(d.bytes_transferred(), cfg.granule);
+}
+
+TEST(Raid3Disk, SequentialDetectionTracksLogicalBytesNotGranules) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  sim::Tick small = 0, next = 0;
+  // A 30-byte request moves a whole 16 KB granule, but the *logical* head
+  // position advances only 30 bytes: the next request of the stream starts
+  // at offset 30 and must be detected as sequential.
+  e.spawn(charged_access(d, 0, 30, &small));
+  e.spawn(charged_access(d, 30, 16 * 1024, &next));
+  e.run();
+  const auto xfer = static_cast<sim::Tick>(16384 / 0.008);
+  EXPECT_EQ(next, sim::microseconds(500) + xfer);  // no seek, no rotation
+}
+
+TEST(Raid3Disk, ZeroByteAccessAdvancesHeadOneGranule) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  sim::Tick zero = 0, follow = 0;
+  e.spawn(charged_access(d, 0, 0, &zero));
+  // A zero-byte access still spins a granule past the head; the stream
+  // resumes sequentially at the granule boundary.
+  e.spawn(charged_access(d, 16 * 1024, 16 * 1024, &follow));
+  e.run();
+  const auto xfer = static_cast<sim::Tick>(16384 / 0.008);
+  EXPECT_EQ(zero, sim::microseconds(500) + xfer);
+  EXPECT_EQ(follow, sim::microseconds(500) + xfer);
+  EXPECT_EQ(d.bytes_transferred(), 16u * 1024);  // only real bytes counted
+}
+
+// ---- fault hooks ----
+
+TEST(Raid3Disk, DegradedModeStretchesServiceUntilRebuildCompletes) {
+  sim::Engine e;
+  auto cfg = test_config();
+  cfg.rebuild_chunk = 16 * 1024;
+  cfg.rebuild_gap = sim::milliseconds(1);
+  Raid3Disk d(e, cfg);
+  bool rebuilt = false;
+  d.fail_spindle(32 * 1024, [&] { rebuilt = true; });
+  EXPECT_TRUE(d.degraded());
+  sim::Tick charged = 0;
+  e.spawn(charged_access(d, 0, 16 * 1024, &charged));
+  e.run();
+  const auto xfer = static_cast<sim::Tick>(16384 / 0.008);
+  const sim::Tick healthy = sim::microseconds(500) + xfer;
+  EXPECT_EQ(charged, static_cast<sim::Tick>(std::llround(healthy * 2.5)));
+  EXPECT_EQ(d.degraded_ops(), 1u);
+  EXPECT_EQ(d.fault_delay_time(), charged - healthy);
+  // Two 16 KB bursts drained through the queue; degraded mode then cleared.
+  EXPECT_TRUE(rebuilt);
+  EXPECT_FALSE(d.degraded());
+  EXPECT_EQ(d.rebuild_busy_time(), 2 * xfer);
+}
+
+TEST(Raid3Disk, SlowWindowOnlyAppliesInsideItsInterval) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  d.add_slow_window(0, sim::milliseconds(1), 3.0);
+  sim::Tick inside = 0, outside = 0;
+  e.spawn(charged_access(d, 0, 16 * 1024, &inside));
+  e.spawn([](sim::Engine& eng, Raid3Disk& disk, sim::Tick* out) -> sim::Task<void> {
+    co_await eng.delay(sim::milliseconds(50));
+    *out = co_await disk.access(16 * 1024, 16 * 1024, false);
+  }(e, d, &outside));
+  e.run();
+  const auto xfer = static_cast<sim::Tick>(16384 / 0.008);
+  const sim::Tick healthy = sim::microseconds(500) + xfer;
+  EXPECT_EQ(inside, static_cast<sim::Tick>(std::llround(healthy * 3.0)));
+  EXPECT_EQ(outside, healthy);  // window expired, and the stream stayed sequential
+}
+
+TEST(Raid3Disk, StuckFaultFiresOnExactlyOneAccess) {
+  sim::Engine e;
+  Raid3Disk d(e, test_config());
+  const sim::Tick extra = sim::milliseconds(200);
+  d.inject_stuck(0, extra);
+  sim::Tick first = 0, second = 0;
+  e.spawn(charged_access(d, 0, 16 * 1024, &first));
+  e.spawn(charged_access(d, 16 * 1024, 16 * 1024, &second));
+  e.run();
+  const auto xfer = static_cast<sim::Tick>(16384 / 0.008);
+  const sim::Tick healthy = sim::microseconds(500) + xfer;
+  EXPECT_EQ(first, healthy + extra);
+  EXPECT_EQ(second, healthy);
+  EXPECT_EQ(d.stuck_ops(), 1u);
+  EXPECT_EQ(d.fault_delay_time(), extra);
 }
 
 // Parameterized: service time is monotone in request size.

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+#include <vector>
+
 #include "machine/disk.hpp"
 #include "pfs/server.hpp"
 #include "sim/task.hpp"
@@ -167,6 +170,54 @@ TEST(IoServer, SeparateFilesDoNotConfusePrefetchDetector) {
   };
   f.run(reader(s));
   EXPECT_EQ(s.prefetched_units(), 0u);
+}
+
+TEST(UnitKeyHash, AdversarialKeyFamiliesDisperse) {
+  // Families chosen to defeat weak mixes:
+  //  * shift-overlap pairs — {file, unit} vs {file^1, unit^(1<<40)} collide
+  //    under the old `(file << 40) ^ unit`;
+  //  * stride-aligned units (consecutive stripe units of one file, and
+  //    power-of-two strides) — low-entropy low bits feed the identity
+  //    std::hash straight into the table's bucket mask;
+  //  * file-id sweeps at unit 0 — all entropy in the top bits.
+  UnitKeyHash h;
+  std::vector<UnitKey> keys;
+  for (std::uint32_t f = 0; f < 64; ++f) {
+    keys.push_back({f, 0});
+    keys.push_back({f ^ 1u, 1ull << 40});
+  }
+  for (std::uint64_t u = 0; u < 64; ++u) {
+    keys.push_back({7, u});            // sequential units
+    keys.push_back({7, u << 16});      // 64 KB-stride units
+    keys.push_back({8, u * 1048576});  // 1 MB-stride units
+  }
+
+  std::unordered_set<std::size_t> hashes;
+  std::unordered_set<std::size_t> distinct;  // families overlap at {7,0}/{8,0}
+  for (const auto& k : keys) {
+    hashes.insert(h(k));
+    distinct.insert((static_cast<std::size_t>(k.file) << 48) ^ k.unit);
+  }
+  // A good mix maps distinct keys to (almost) as many distinct hashes.
+  // Allow a tiny slack for honest 64-bit coincidences.
+  EXPECT_GE(hashes.size(), distinct.size() - 2);
+
+  // Bucket dispersion: project onto a small power-of-two table the way
+  // libstdc++ masks hashes, and require every family to spread out instead
+  // of piling onto a handful of buckets.
+  std::unordered_set<std::size_t> buckets;
+  for (const auto& k : keys) buckets.insert(h(k) % 128);
+  EXPECT_GE(buckets.size(), 96u);
+}
+
+TEST(UnitKeyHash, ShiftOverlapPairNoLongerCollides) {
+  // The specific collision family of the old hash: flipping file bit 0 and
+  // unit bit 40 cancelled out.  The mixed hash must tell them apart.
+  UnitKeyHash h;
+  const UnitKey a{3, 5};
+  const UnitKey b{3 ^ 1u, 5ull ^ (1ull << 40)};
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(h(a), h(b));
 }
 
 }  // namespace

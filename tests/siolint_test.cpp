@@ -224,6 +224,50 @@ TEST(SiolintOutput, FormatAndOrdering) {
   EXPECT_EQ(line.find("src/a.cpp:1: [wall-clock]"), 0u);
 }
 
+TEST(SiolintFaultSubsystem, OrderSensitiveScopeCoversSrcFault) {
+  // The fault scheduler's iteration order reaches the trace, so src/fault/
+  // is in the unordered-iter rule's scope alongside pablo and core.
+  const std::string code =
+      "std::unordered_map<int, long> pending_;\n"
+      "void arm() { for (const auto& kv : pending_) schedule(kv.first); }\n";
+  const auto diags = lint_one("src/fault/bad.cpp", code);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "unordered-iter");
+}
+
+TEST(SiolintFaultSubsystem, RepresentativeFaultCodePassesAllSevenRules) {
+  // A condensed fixture mirroring the idiom of src/fault/plan.cpp and
+  // clock.cpp: seeded sim::Rng draws, engine-time scheduling, vector-ordered
+  // fault iteration, and spawned record callbacks.  All seven rules must
+  // stay quiet — the fault subsystem introduces no nondeterminism.
+  const auto diags = siolint::lint({
+      SourceFile{"src/fault/fixture.hpp",
+                 "#include <vector>\n"
+                 "sim::Task<void> record_later(sim::Tick at, int kind);\n"
+                 "struct Plan { std::vector<DiskFault> disk_failures; std::uint64_t seed; };\n"},
+      SourceFile{"src/fault/fixture.cpp",
+                 "#include \"fault/fixture.hpp\"\n"
+                 "Plan random_plan(std::uint64_t seed, sim::Tick horizon) {\n"
+                 "  sim::Rng rng(seed ^ 0xFA01D5EEDull);\n"
+                 "  Plan p;\n"
+                 "  p.seed = seed;\n"
+                 "  const int n = rng.uniform_int(1, 3);\n"
+                 "  for (int i = 0; i < n; ++i) {\n"
+                 "    p.disk_failures.push_back({rng.uniform_int(0, 15), rng.jitter(horizon, 0.5)});\n"
+                 "  }\n"
+                 "  return p;\n"
+                 "}\n"
+                 "void arm(sim::Engine& engine, const Plan& plan) {\n"
+                 "  SIO_ASSERT(plan.disk_failures.size() > 0);\n"
+                 "  for (const auto& f : plan.disk_failures) {\n"
+                 "    engine.schedule_at(f.at, [] {});\n"
+                 "    engine.spawn(record_later(f.at, 0));\n"
+                 "  }\n"
+                 "}\n"},
+  });
+  EXPECT_TRUE(diags.empty());
+}
+
 TEST(SiolintRuleTable, ListsEveryRuleOnce) {
   std::set<std::string> ids;
   for (const auto& r : siolint::rule_table()) ids.insert(std::string(r.id));

@@ -9,13 +9,21 @@
 // would corrupt every regenerated table and figure.
 //
 // Registered as a CTest test; exit 0 = deterministic, 1 = divergence.
+//
+// `--fault-seed N` additionally runs both experiments under the seeded
+// random fault plan `fault::FaultPlan::random_plan(N, ...)`, extending the
+// fingerprint with every fault/recovery observable (injection records,
+// retry/timeout/replay counters).  A divergence there means the fault
+// schedule itself — not just the healthy data path — leaked nondeterminism.
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
+#include "fault/plan.hpp"
 
 namespace {
 
@@ -34,6 +42,16 @@ std::string fingerprint(const sio::core::RunResult& r) {
     out << ev.node << " " << static_cast<int>(ev.op) << " " << ev.file << " " << ev.start << "+"
         << ev.duration << " " << ev.bytes << " " << ev.offset << "\n";
   }
+  for (const auto& f : r.fault_events) {
+    out << "fault " << f.at << " " << sio::pablo::fault_kind_name(f.kind) << " " << f.node << " "
+        << f.target << " " << f.info << "\n";
+  }
+  const auto& rc = r.resilience;
+  out << "resilience retries=" << rc.retries << " timeouts=" << rc.timeouts
+      << " failed=" << rc.failed_ops << " replayed=" << rc.replayed_ops
+      << " coalesced=" << rc.coalesced_ops
+      << " dropped=" << rc.dropped_messages << " degraded=" << rc.degraded_disk_ops
+      << " stuck=" << rc.stuck_disk_ops << " crashes=" << rc.server_crashes << "\n";
   out << sio::core::render_io_share_table(r, "determinism-fingerprint");
   return out.str();
 }
@@ -63,8 +81,20 @@ bool check(const char* what, const std::string& a, const std::string& b, int& fa
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   int failures = 0;
+  bool with_faults = false;
+  std::uint64_t fault_seed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fault-seed" && i + 1 < argc) {
+      with_faults = true;
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::cout << "usage: sio_determinism_check [--fault-seed N]\n";
+      return 2;
+    }
+  }
 
   {
     auto cfg1 = sio::apps::escat::make_config(sio::apps::escat::Version::B);
@@ -79,6 +109,27 @@ int main() {
     const auto r1 = sio::core::run_prism(std::move(cfg1));
     const auto r2 = sio::core::run_prism(std::move(cfg2));
     check("prism version C (two runs, same seed)", fingerprint(r1), fingerprint(r2), failures);
+  }
+
+  if (with_faults) {
+    const auto plan =
+        sio::fault::FaultPlan::random_plan(fault_seed, sio::sim::seconds(30), /*io_nodes=*/16);
+    std::cout << "determinism-check: fault plan '" << plan.name << "' ("
+              << plan.injection_count() << " injection(s))\n";
+    {
+      const auto r1 =
+          sio::core::run_escat(sio::apps::escat::make_config(sio::apps::escat::Version::B), plan);
+      const auto r2 =
+          sio::core::run_escat(sio::apps::escat::make_config(sio::apps::escat::Version::B), plan);
+      check("escat version B (faulted, same plan)", fingerprint(r1), fingerprint(r2), failures);
+    }
+    {
+      const auto r1 =
+          sio::core::run_prism(sio::apps::prism::make_config(sio::apps::prism::Version::C), plan);
+      const auto r2 =
+          sio::core::run_prism(sio::apps::prism::make_config(sio::apps::prism::Version::C), plan);
+      check("prism version C (faulted, same plan)", fingerprint(r1), fingerprint(r2), failures);
+    }
   }
 
   if (failures != 0) {

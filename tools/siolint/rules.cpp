@@ -19,7 +19,8 @@ bool starts_with(std::string_view s, std::string_view prefix) {
 bool is_sim_source(std::string_view path) { return starts_with(path, "src/"); }
 
 bool is_order_sensitive_dir(std::string_view path) {
-  return starts_with(path, "src/pablo/") || starts_with(path, "src/core/");
+  return starts_with(path, "src/pablo/") || starts_with(path, "src/core/") ||
+         starts_with(path, "src/fault/");
 }
 
 bool is_random_impl(std::string_view path) {
@@ -215,8 +216,8 @@ const std::vector<RuleInfo>& rule_table() {
       {"discarded-task", "Task<T>-returning call as a bare statement (never awaited or spawned)"},
       {"assert-side-effect", "SIO_ASSERT condition contains ++/--/assignment"},
       {"unordered-iter",
-       "range-for over std::unordered_{map,set} in src/pablo/ or src/core/ (iteration "
-       "order can reach reports)"},
+       "range-for over std::unordered_{map,set} in src/pablo/, src/core/, or src/fault/ "
+       "(iteration order can reach reports or fault schedules)"},
   };
   return kTable;
 }

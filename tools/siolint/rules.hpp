@@ -16,8 +16,8 @@
 //                     (lost coroutine: never co_awaited, never spawned)
 //   assert-side-effect SIO_ASSERT whose condition contains ++/--/assignment
 //   unordered-iter    range-for over a std::unordered_{map,set} in
-//                     src/pablo/ or src/core/, where iteration order could
-//                     leak into a report
+//                     src/pablo/, src/core/, or src/fault/, where iteration
+//                     order could leak into a report or a fault schedule
 //
 // Suppression: `// siolint:allow(rule)` on the offending line, or on a
 // comment-only line immediately above it.  `siolint:allow(all)` silences
