@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -67,25 +68,41 @@ int main(int argc, char** argv) {
       {"slow-link", fault::FaultPlan::slow_link(kSeed)},
   };
 
+  // All eight cells (2 fault-free baselines + 2 apps x 3 plans) are
+  // independent seeded runs: fan them out, then render serially in the fixed
+  // cell order so stdout and the JSON are identical to the serial version.
+  std::vector<std::function<core::RunResult()>> jobs;
+  for (const char* app : {"escat", "prism"}) {
+    const bool is_escat = std::string(app) == "escat";
+    jobs.push_back([is_escat] {
+      return is_escat ? core::run_escat(apps::escat::make_config(apps::escat::Version::C), kSeed)
+                      : core::run_prism(apps::prism::make_config(apps::prism::Version::C), kSeed);
+    });
+    for (const auto& row : plans) {
+      jobs.push_back([is_escat, plan = row.plan] {
+        return is_escat
+                   ? core::run_escat(apps::escat::make_config(apps::escat::Version::C), plan,
+                                     kSeed)
+                   : core::run_prism(apps::prism::make_config(apps::prism::Version::C), plan,
+                                     kSeed);
+      });
+    }
+  }
+  const auto results = core::ParallelRunner().run<core::RunResult>(jobs);
+
   std::string json = "[\n";
   bool first = true;
 
   std::printf("Resilience: tuned ESCAT/PRISM (version C) under canned fault plans\n\n");
 
+  std::size_t idx = 0;
   for (const char* app : {"escat", "prism"}) {
-    const bool is_escat = std::string(app) == "escat";
-    const auto baseline =
-        is_escat ? core::run_escat(apps::escat::make_config(apps::escat::Version::C), kSeed)
-                 : core::run_prism(apps::prism::make_config(apps::prism::Version::C), kSeed);
+    const auto& baseline = results[idx++];
     for (const auto& row : plans) {
       Cell c;
       c.app = app;
       c.plan = row.name;
-      c.run = is_escat
-                  ? core::run_escat(apps::escat::make_config(apps::escat::Version::C), row.plan,
-                                    kSeed)
-                  : core::run_prism(apps::prism::make_config(apps::prism::Version::C), row.plan,
-                                    kSeed);
+      c.run = results[idx++];
       std::printf("==== %s / %s ====\n", c.app.c_str(), c.plan.c_str());
       std::fputs(core::render_resilience_summary(c.run, baseline).c_str(), stdout);
       std::printf("\n");

@@ -1,11 +1,16 @@
 #include "core/experiment.hpp"
 
+#include <functional>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "core/parallel.hpp"
 #include "fault/clock.hpp"
 #include "machine/machine.hpp"
 #include "pablo/collector.hpp"
+#include "pablo/sddf.hpp"
 #include "pfs/pfs.hpp"
 
 namespace sio::core {
@@ -27,6 +32,12 @@ sim::Tick RunResult::io_time() const {
   sim::Tick total = 0;
   for (const auto& ev : events) total += ev.duration;
   return total;
+}
+
+std::string RunResult::to_sddf() const {
+  std::ostringstream out;
+  pablo::write_sddf(out, file_names, events, fault_events);
+  return out.str();
 }
 
 namespace {
@@ -121,10 +132,18 @@ RunResult run_prism(apps::prism::Config cfg, const fault::FaultPlan& plan, std::
 
 EscatStudy run_escat_study(std::uint64_t seed) {
   using apps::escat::Version;
+  // The three versions are independent seeded runs; fan them out.  Results
+  // come back in input order, so the study is bit-identical to serial runs.
+  ParallelRunner pool;
+  auto runs = pool.run<RunResult>({
+      [seed] { return run_escat(apps::escat::make_config(Version::A), seed); },
+      [seed] { return run_escat(apps::escat::make_config(Version::B), seed); },
+      [seed] { return run_escat(apps::escat::make_config(Version::C), seed); },
+  });
   EscatStudy s;
-  s.a = run_escat(apps::escat::make_config(Version::A), seed);
-  s.b = run_escat(apps::escat::make_config(Version::B), seed);
-  s.c = run_escat(apps::escat::make_config(Version::C), seed);
+  s.a = std::move(runs[0]);
+  s.b = std::move(runs[1]);
+  s.c = std::move(runs[2]);
   return s;
 }
 
@@ -136,10 +155,16 @@ RunResult run_escat_carbon_monoxide(std::uint64_t seed) {
 
 PrismStudy run_prism_study(std::uint64_t seed) {
   using apps::prism::Version;
+  ParallelRunner pool;
+  auto runs = pool.run<RunResult>({
+      [seed] { return run_prism(apps::prism::make_config(Version::A), seed); },
+      [seed] { return run_prism(apps::prism::make_config(Version::B), seed); },
+      [seed] { return run_prism(apps::prism::make_config(Version::C), seed); },
+  });
   PrismStudy s;
-  s.a = run_prism(apps::prism::make_config(Version::A), seed);
-  s.b = run_prism(apps::prism::make_config(Version::B), seed);
-  s.c = run_prism(apps::prism::make_config(Version::C), seed);
+  s.a = std::move(runs[0]);
+  s.b = std::move(runs[1]);
+  s.c = std::move(runs[2]);
   return s;
 }
 

@@ -65,6 +65,12 @@ struct RunResult {
   /// Total wall-clock I/O time across all nodes (sum of event durations) —
   /// what the resilience report compares against the fault-free baseline.
   sim::Tick io_time() const;
+
+  /// Serializes the run's trace (files, events, fault records) to SDDF text
+  /// in a per-run buffer.  Parallel runs each emit into their own string, so
+  /// nothing contends on a shared stream; the serial-vs-parallel determinism
+  /// test compares these byte-for-byte.
+  std::string to_sddf() const;
 };
 
 /// Runs one ESCAT configuration on a fresh simulated machine.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <functional>
 #include <sstream>
 
+#include "core/parallel.hpp"
 #include "pablo/report.hpp"
 #include "pablo/resilience.hpp"
 
@@ -27,8 +29,15 @@ std::string render_fig1(std::uint64_t seed) {
   pablo::TextTable t({"run", "version", "exec_time_s", "bar"});
   double first = 0.0, last = 0.0;
   const auto runs = apps::escat::six_progressions();
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    RunResult r = run_escat(runs[i], seed);
+  // Six independent seeded runs; fan out, render in input order.
+  std::vector<std::function<RunResult()>> jobs;
+  jobs.reserve(runs.size());
+  for (const auto& cfg : runs) {
+    jobs.push_back([cfg, seed] { return run_escat(cfg, seed); });
+  }
+  const auto results = ParallelRunner().run<RunResult>(jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
     if (i == 0) first = r.exec_seconds();
     last = r.exec_seconds();
     const int bar = static_cast<int>(r.exec_seconds() / 100.0);

@@ -1,0 +1,10 @@
+#include "core/parallel.hpp"
+
+namespace sio::core {
+
+unsigned ParallelRunner::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n != 0 ? n : 1;
+}
+
+}  // namespace sio::core

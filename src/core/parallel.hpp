@@ -1,0 +1,86 @@
+// Parallel experiment runner.
+//
+// Every simulation in this repo is strictly single-threaded and seeded:
+// `run_app` builds a fresh Machine/Collector/Pfs per call and shares nothing
+// mutable.  Independent experiments (the A/B/C studies, the six Figure-1
+// progressions, the resilience matrix) are therefore embarrassingly parallel.
+// `ParallelRunner` fans a job list out over a small `std::thread` pool and
+// returns results **in input order**, so output — and the determinism
+// fingerprints computed from it — is identical to serial execution
+// regardless of thread interleaving (checked byte-for-byte by
+// core_parallel_test).  Exceptions are captured per job and the
+// lowest-indexed one is rethrown after the pool joins, again matching what a
+// serial loop would have thrown first.
+//
+// The banned-header exemptions below are deliberate and narrow: this is the
+// only place in src/ where threads exist, and no simulation state ever
+// crosses a thread boundary mid-run.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>  // siolint:allow(banned-header) -- pool of whole single-threaded sims
+#include <utility>
+#include <vector>
+
+namespace sio::core {
+
+class ParallelRunner {
+ public:
+  /// `threads == 0` means one per hardware thread.
+  explicit ParallelRunner(unsigned threads = 0)
+      : threads_(threads != 0 ? threads : hardware_threads()) {}
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs every job, each exactly once, and returns their results in input
+  /// order.  `R` must be default-constructible and movable.
+  template <class R>
+  std::vector<R> run(const std::vector<std::function<R()>>& jobs) const {
+    std::vector<R> results(jobs.size());
+    std::vector<std::exception_ptr> errors(jobs.size());
+    const std::size_t workers =
+        std::min<std::size_t>(threads_, jobs.size());
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        try {
+          results[i] = jobs[i]();
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    } else {
+      std::atomic<std::size_t> next{0};
+      auto worker = [&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= jobs.size()) return;
+          try {
+            results[i] = jobs[i]();
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+      for (auto& th : pool) th.join();
+    }
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return results;
+  }
+
+  /// Number of hardware threads (>= 1).
+  static unsigned hardware_threads();
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace sio::core

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "pablo/sddf.hpp"
+
 namespace sio::pablo {
+
+std::string Collector::sddf_text() const { return to_sddf_string(*this); }
 
 FileId Collector::register_file(std::string_view path) {
   for (std::size_t i = 0; i < files_.size(); ++i) {

@@ -65,6 +65,11 @@ class Collector {
 
   std::size_t event_count() const { return events_.size(); }
 
+  /// Serializes this run's trace into a per-run SDDF text buffer.  Each
+  /// collector belongs to exactly one run, so parallel experiments emit
+  /// without sharing a stream (used by the determinism harness and tests).
+  std::string sddf_text() const;
+
   /// Removes all recorded events (keeps the file registry).
   void clear() {
     events_.clear();

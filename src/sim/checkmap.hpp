@@ -1,0 +1,127 @@
+// Sanitizer bookkeeping table for SIO_SIM_CHECKS.
+//
+// The sim-sanitizer is on by default in every build, so its per-wakeup
+// bookkeeping sits directly on the engine hot path.  `CheckMap` merges the
+// old `unordered_set<void*>` (pending resumes) and `unordered_map<void*,
+// BlockSite>` (blocked waiters) into one open-addressed, linear-probe table
+// keyed by coroutine frame address: one Fibonacci hash and typically one
+// cache line per lookup, backward-shift deletion so probe chains never grow
+// tombstones.  Iteration order depends on addresses and is never allowed to
+// influence simulation results — callers aggregate into sorted containers
+// before printing (same rule the old unordered containers lived under).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sio::sim {
+
+class CheckMap {
+ public:
+  struct Entry {
+    void* key = nullptr;
+    const char* kind = nullptr;  // block-site primitive type ("Mutex", ...)
+    const char* name = nullptr;  // optional user label
+    bool pending = false;        // a resume for this handle is queued
+  };
+
+  /// Finds the entry for `key`, or nullptr.
+  Entry* find(void* key) noexcept {
+    if (count_ == 0) return nullptr;
+    std::size_t i = index_of(key);
+    while (slots_[i].key != nullptr) {
+      if (slots_[i].key == key) return &slots_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  /// Finds or inserts an entry for `key`.
+  Entry& upsert(void* key) {
+    if (slots_.empty()) grow();
+    std::size_t i = index_of(key);
+    while (slots_[i].key != nullptr) {
+      if (slots_[i].key == key) return slots_[i];
+      i = (i + 1) & mask_;
+    }
+    if (count_ >= grow_at_) {  // resize off the hit path, then re-probe
+      grow();
+      return upsert(key);
+    }
+    ++count_;
+    slots_[i].key = key;
+    return slots_[i];
+  }
+
+  /// Removes `key` if present (backward-shift, no tombstones).
+  void erase(void* key) noexcept {
+    if (Entry* e = find(key)) erase_entry(e);
+  }
+
+  /// Removes an entry returned by find() — skips the re-probe.
+  void erase_entry(Entry* e) noexcept {
+    --count_;
+    std::size_t i = static_cast<std::size_t>(e - slots_.data());
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (slots_[j].key == nullptr) break;
+      const std::size_t home = index_of(slots_[j].key);
+      // Entry j may slide into the hole at i only if its probe sequence
+      // started at or before i (cyclically): i is then still reachable.
+      if (((j - home) & mask_) >= ((j - i) & mask_)) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    slots_[i] = Entry{};
+  }
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  void clear() noexcept {
+    for (auto& s : slots_) s = Entry{};
+    count_ = 0;
+  }
+
+  /// Visits every live entry (address-dependent order — aggregate before use).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& s : slots_) {
+      if (s.key != nullptr) fn(s);
+    }
+  }
+
+ private:
+  std::size_t index_of(void* key) const noexcept {
+    // Fibonacci hashing; frame addresses share low alignment bits, shift
+    // them out before mixing.
+    const auto k = reinterpret_cast<std::uintptr_t>(key) >> 4;
+    return static_cast<std::size_t>(k * UINT64_C(0x9E3779B97F4A7C15) >> 32) & mask_;
+  }
+
+  void grow() {
+    std::vector<Entry> old = std::move(slots_);
+    const std::size_t cap = old.empty() ? 64 : old.size() * 2;
+    slots_.assign(cap, Entry{});
+    mask_ = cap - 1;
+    grow_at_ = cap * 3 / 4;
+    count_ = 0;
+    for (auto& s : old) {
+      if (s.key != nullptr) {
+        Entry& e = upsert(s.key);
+        e = s;
+      }
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::size_t mask_ = 0;
+  std::size_t count_ = 0;
+  std::size_t grow_at_ = 0;
+};
+
+}  // namespace sio::sim

@@ -1,43 +1,19 @@
 #include "sim/engine.hpp"
 
 #include <map>
+#include <string>
 #include <utility>
 
 #include "sim/task.hpp"
 
 namespace sio::sim {
 
-void Engine::schedule_at(Tick t, std::function<void()> fn) {
-#if SIO_SIM_CHECKS
-  if (t < now_) {
-    throw SchedulePastError("sim-check: schedule_at(t=" + std::to_string(t) +
-                            ") is in the past (now=" + std::to_string(now_) + ")");
-  }
-#else
-  SIO_ASSERT(t >= now_);
-#endif
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
-}
-
-void Engine::post(std::coroutine_handle<> h) {
-#if SIO_SIM_CHECKS
-  if (!pending_resumes_.insert(h.address()).second) {
-    throw DoubleResumeError("sim-check: coroutine handle posted for resumption twice "
-                            "(a primitive woke the same waiter again before it ran)");
-  }
-  schedule_at(now_, [this, h] {
-    pending_resumes_.erase(h.address());
-    blocked_.erase(h.address());
-    h.resume();
-  });
-#else
-  schedule_at(now_, [h] { h.resume(); });
-#endif
-}
-
 void Engine::note_blocked(std::coroutine_handle<> h, const char* kind, const char* name) {
 #if SIO_SIM_CHECKS
-  blocked_[h.address()] = BlockSite{kind, name};
+  CheckMap::Entry& e = checks_.upsert(h.address());
+  if (e.kind == nullptr) ++blocked_count_;
+  e.kind = kind;
+  e.name = name;
 #else
   (void)h;
   (void)kind;
@@ -50,27 +26,55 @@ void Engine::report_task_error(std::exception_ptr e) {
   stopped_ = true;
 }
 
-void Engine::dispatch_one() {
-  // Moving the function out before popping keeps the event alive while it
-  // runs even if the handler schedules new events (which reallocates the
-  // queue's underlying vector).
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  SIO_ASSERT(ev.at >= now_);
-  now_ = ev.at;
+void Engine::dispatch(EventNode* n) {
   ++events_processed_;
-  ev.fn();
+  if (n->cb.is_resume()) {
+    // Resume lane: copy the handle out, recycle the node, then clear the
+    // sanitizer entry before handing control to the coroutine (which may
+    // immediately park or get woken again).
+    const std::coroutine_handle<> h = n->cb.handle();
+    wheel_.release_resume(n);
+#if SIO_SIM_CHECKS
+    if (CheckMap::Entry* e = checks_.find(h.address())) {
+      if (e->kind != nullptr) --blocked_count_;
+      checks_.erase_entry(e);
+    }
+#endif
+    h.resume();
+  } else {
+    // The callable lives inside the node: invoke first, release after.  The
+    // guard keeps the node off the freelist while its callback runs (the
+    // callback may schedule new events) and recycles it even on throw.
+    struct Guard {
+      TimingWheel& wheel;
+      EventNode* node;
+      ~Guard() { wheel.release(node); }
+    } guard{wheel_, n};
+    n->cb.invoke();
+  }
+}
+
+void Engine::throw_schedule_past(Tick t) {
+  throw SchedulePastError("sim-check: schedule_at(t=" + std::to_string(t) +
+                          ") is in the past (now=" + std::to_string(now()) + ")");
+}
+
+void Engine::throw_double_resume() {
+  throw DoubleResumeError("sim-check: coroutine handle posted for resumption twice "
+                          "(a primitive woke the same waiter again before it ran)");
 }
 
 void Engine::throw_deadlock() {
+#if SIO_SIM_CHECKS
   // Aggregate waiter provenance into a sorted map so the message is
   // deterministic (frame addresses are not).
   std::map<std::string, int> sites;
-  for (const auto& [addr, site] : blocked_) {
-    std::string label = site.kind;
-    if (site.name != nullptr) label += std::string("(") + site.name + ")";
+  checks_.for_each([&sites](const CheckMap::Entry& e) {
+    if (e.kind == nullptr) return;
+    std::string label = e.kind;
+    if (e.name != nullptr) label += std::string("(") + e.name + ")";
     ++sites[label];
-  }
+  });
   std::string msg = "sim-check: deadlock: event queue drained with " +
                     std::to_string(live_tasks_) + " live task(s)";
   if (sites.empty()) {
@@ -81,34 +85,42 @@ void Engine::throw_deadlock() {
       msg += " " + std::to_string(count) + "x " + label;
     }
   }
-  blocked_.clear();
+  checks_.clear();
+  blocked_count_ = 0;
   throw DeadlockError(msg);
+#else
+  throw DeadlockError("sim-check: deadlock");
+#endif
 }
 
-void Engine::check_drained_queue() {
+void Engine::check_drained() {
 #if SIO_SIM_CHECKS
-  if (!stopped_ && queue_.empty() && live_tasks_ > 0) throw_deadlock();
+  if (!stopped_ && wheel_.empty() && live_tasks_ > 0) throw_deadlock();
 #endif
 }
 
 void Engine::run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    dispatch_one();
+  while (!stopped_) {
+    EventNode* n = wheel_.pop_next(kMaxTick);
+    if (n == nullptr) break;
+    dispatch(n);
   }
   if (task_error_) {
     auto err = std::exchange(task_error_, nullptr);
     std::rethrow_exception(err);
   }
-  check_drained_queue();
+  check_drained();
 }
 
 void Engine::run_until(Tick t) {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().at <= t) {
-    dispatch_one();
+  while (!stopped_) {
+    EventNode* n = wheel_.pop_next(t);
+    if (n == nullptr) break;
+    dispatch(n);
   }
-  if (now_ < t) now_ = t;
+  wheel_.advance_clock(t);
   if (task_error_) {
     auto err = std::exchange(task_error_, nullptr);
     std::rethrow_exception(err);

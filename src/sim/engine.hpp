@@ -1,29 +1,30 @@
 // Deterministic discrete-event simulation engine.
 //
-// The engine owns a priority queue of (time, sequence) ordered events.  Ties
-// in time are broken by insertion order, so two events scheduled for the same
-// tick always fire in FIFO order — this, plus integer time and a seeded RNG,
-// makes every simulation run bit-reproducible.
+// Events live in a hierarchical timing wheel (wheel.hpp): per-tick FIFO
+// buckets for the near future, an overflow heap beyond.  Ties in time are
+// broken by insertion order, so two events scheduled for the same tick always
+// fire in FIFO order — this, plus integer time and a seeded RNG, makes every
+// simulation run bit-reproducible.  The wheel replaces the original
+// `std::priority_queue<Event>` of boxed `std::function`s; the order contract
+// is unchanged and checked against a reference heap by the stress tests.
 //
 // Coroutine processes (`Task<void>`, see task.hpp) are driven through the
-// same queue: `spawn()` enqueues the initial resume, awaitables returned by
-// `delay()` and by the synchronization primitives enqueue resumes as plain
-// events.  The engine is strictly single-threaded.
+// same store: `spawn()` enqueues the initial resume, awaitables returned by
+// `delay()` and by the synchronization primitives enqueue resumes through a
+// dedicated lane that stores the raw `coroutine_handle` in the event node —
+// no closure, no allocation.  The engine is strictly single-threaded.
 
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <functional>
-#include <queue>
-#include <string>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
 #include "sim/assert.hpp"
+#include "sim/callback.hpp"
+#include "sim/checkmap.hpp"
 #include "sim/time.hpp"
+#include "sim/wheel.hpp"
 
 namespace sio::sim {
 
@@ -37,20 +38,46 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Current simulated time.
-  Tick now() const { return now_; }
+  Tick now() const { return wheel_.now(); }
 
-  /// Schedules `fn` to run at absolute time `t` (must be >= now()).
-  void schedule_at(Tick t, std::function<void()> fn);
+  /// Schedules `fn` to run at absolute time `t` (must be >= now()).  Any
+  /// `void()` callable works; captures up to three words stay allocation-free
+  /// (see InlineCallback).
+  template <class F>
+  void schedule_at(Tick t, F&& fn) {
+    check_not_past(t);
+    wheel_.emplace(t, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` to run `delay` ticks from now (delay must be >= 0).
-  void schedule_in(Tick delay, std::function<void()> fn) { schedule_at(now_ + delay, std::move(fn)); }
+  template <class F>
+  void schedule_in(Tick delay, F&& fn) {
+    schedule_at(now() + delay, std::forward<F>(fn));
+  }
 
   /// Enqueues a coroutine resume at the current time, behind any event
   /// already queued for this tick.  All primitive wake-ups funnel through
   /// here so resumption order is the FIFO order of the wake-up calls.
-  void post(std::coroutine_handle<> h);
+  void post(std::coroutine_handle<> h) {
+#if SIO_SIM_CHECKS
+    mark_pending(h);
+#endif
+    wheel_.emplace_resume(wheel_.now(), h);
+  }
 
-  /// Runs until the event queue drains or `stop()` is called.  Rethrows the
+  /// The delay() lane: enqueues a coroutine resume `d` ticks from now.  Like
+  /// post(), the wake-up is visible to the sim-sanitizer bookkeeping, so a
+  /// stale wake from a primitive while the task sleeps raises
+  /// DoubleResumeError instead of corrupting the frame.
+  void schedule_resume_in(Tick d, std::coroutine_handle<> h) {
+    SIO_ASSERT(d >= 0);
+#if SIO_SIM_CHECKS
+    mark_pending(h);
+#endif
+    wheel_.emplace_resume(wheel_.now() + d, h);
+  }
+
+  /// Runs until the event store drains or `stop()` is called.  Rethrows the
   /// first exception that escaped a detached task.
   void run();
 
@@ -89,61 +116,65 @@ class Engine {
   /// Records that `h` parked on a synchronization primitive, so a deadlock
   /// report can say *where* tasks are stuck.  `kind` is the primitive type
   /// ("Event", "Mutex", ...); `name` is an optional user label.  The entry is
-  /// cleared automatically when the handle is woken through post().
+  /// cleared automatically when the handle's resume is dispatched.
   void note_blocked(std::coroutine_handle<> h, const char* kind, const char* name);
 
   /// Number of handles currently parked on synchronization primitives.
-  std::size_t blocked_waiters() const { return blocked_.size(); }
+  std::size_t blocked_waiters() const {
+#if SIO_SIM_CHECKS
+    return blocked_count_;
+#else
+    return 0;
+#endif
+  }
 
  private:
-  struct Event {
-    Tick at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
-  struct BlockSite {
-    const char* kind;
-    const char* name;  // may be nullptr
-  };
-
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  Tick now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  TimingWheel wheel_;
   std::uint64_t events_processed_ = 0;
   std::uint64_t live_tasks_ = 0;
   bool stopped_ = false;
   std::exception_ptr task_error_;
 
+#if SIO_SIM_CHECKS
   // Sanitizer state, keyed by coroutine frame address.  Never iterated on a
   // path that affects simulation results: the deadlock report aggregates
   // into a sorted map before printing.
-  std::unordered_set<void*> pending_resumes_;
-  std::unordered_map<void*, BlockSite> blocked_;
+  CheckMap checks_;
+  std::size_t blocked_count_ = 0;
 
-  void dispatch_one();
-  void check_drained_queue();
+  void mark_pending(std::coroutine_handle<> h) {
+    CheckMap::Entry& e = checks_.upsert(h.address());
+    if (e.pending) throw_double_resume();
+    e.pending = true;
+  }
+#endif
+
+  void check_not_past(Tick t) {
+#if SIO_SIM_CHECKS
+    if (t < now()) throw_schedule_past(t);
+#else
+    SIO_ASSERT(t >= now());
+#endif
+  }
+
+  void dispatch(EventNode* n);
+  void check_drained();
   [[noreturn]] void throw_deadlock();
+  [[noreturn]] void throw_schedule_past(Tick t);
+  [[noreturn]] static void throw_double_resume();
 };
 
 namespace detail {
 
-/// Awaitable returned by Engine::delay().
+/// Awaitable returned by Engine::delay().  The wake-up travels through the
+/// engine's resume lane (raw handle in the event node), not a boxed lambda,
+/// so it is both allocation-free and visible to SIO_SIM_CHECKS.
 struct DelayAwaiter {
   Engine& engine;
   Tick dur;
 
   bool await_ready() const noexcept { return false; }
-  void await_suspend(std::coroutine_handle<> h) {
-    SIO_ASSERT(dur >= 0);
-    engine.schedule_in(dur, [h] { h.resume(); });
-  }
+  void await_suspend(std::coroutine_handle<> h) { engine.schedule_resume_in(dur, h); }
   void await_resume() const noexcept {}
 };
 

@@ -235,10 +235,10 @@ TEST(SiolintFaultSubsystem, OrderSensitiveScopeCoversSrcFault) {
   EXPECT_EQ(diags[0].rule, "unordered-iter");
 }
 
-TEST(SiolintFaultSubsystem, RepresentativeFaultCodePassesAllSevenRules) {
+TEST(SiolintFaultSubsystem, RepresentativeFaultCodePassesAllRules) {
   // A condensed fixture mirroring the idiom of src/fault/plan.cpp and
   // clock.cpp: seeded sim::Rng draws, engine-time scheduling, vector-ordered
-  // fault iteration, and spawned record callbacks.  All seven rules must
+  // fault iteration, and spawned record callbacks.  Every rule must
   // stay quiet — the fault subsystem introduces no nondeterminism.
   const auto diags = siolint::lint({
       SourceFile{"src/fault/fixture.hpp",
@@ -268,12 +268,54 @@ TEST(SiolintFaultSubsystem, RepresentativeFaultCodePassesAllSevenRules) {
   EXPECT_TRUE(diags.empty());
 }
 
+TEST(SiolintStdFunction, FiresOnlyInSrcSim) {
+  const std::string code =
+      "#include <functional>\n"
+      "void defer(std::function<void()> fn);\n"
+      "std::vector<std::function<int(int)>> hooks_;\n";
+  const auto in_sim = lint_one("src/sim/bad.hpp", code);
+  ASSERT_EQ(in_sim.size(), 2u);
+  EXPECT_EQ(in_sim[0].rule, "std-function");
+  EXPECT_EQ(in_sim[0].line, 2);
+  EXPECT_EQ(in_sim[1].line, 3);
+  // Outside the engine hot path std::function is fine (ParallelRunner jobs,
+  // bench drivers, tests).
+  EXPECT_TRUE(lint_one("src/core/ok.hpp", code).empty());
+  EXPECT_TRUE(lint_one("bench/ok.cpp", code).empty());
+}
+
+TEST(SiolintStdFunction, QuietOnInlineCallbackAndComments) {
+  const auto diags = lint_one("src/sim/ok.hpp",
+                              "// std::function<void()> would allocate here\n"
+                              "sim::InlineCallback cb;\n"
+                              "auto s = std::string(\"std::function<\");\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SiolintStdFunction, AllowMarkerSilences) {
+  const auto diags = lint_one("src/sim/ok.hpp",
+                              "// siolint:allow(std-function)\n"
+                              "void defer(std::function<void()> fn);\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SiolintUnorderedIter, ScopeCoversSrcSim) {
+  // Engine bookkeeping order reaches dispatch order, so src/sim/ is in the
+  // unordered-iter rule's scope too.
+  const std::string code =
+      "std::unordered_map<void*, int> waiters_;\n"
+      "void wake() { for (const auto& kv : waiters_) resume(kv.first); }\n";
+  const auto diags = lint_one("src/sim/bad.cpp", code);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "unordered-iter");
+}
+
 TEST(SiolintRuleTable, ListsEveryRuleOnce) {
   std::set<std::string> ids;
   for (const auto& r : siolint::rule_table()) ids.insert(std::string(r.id));
   EXPECT_EQ(ids, (std::set<std::string>{"wall-clock", "raw-random", "getenv", "banned-header",
                                         "discarded-task", "assert-side-effect",
-                                        "unordered-iter"}));
+                                        "unordered-iter", "std-function"}));
 }
 
 }  // namespace

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Gate google-benchmark results against a checked-in baseline.
+
+Usage: bench_gate.py CURRENT.json BASELINE.json
+
+Compares `items_per_second` for every benchmark present in both files.
+Benchmarks listed in GATED fail the build when they regress by more than
+MAX_DROP; everything else only warns.  Baselines are refreshed by rerunning
+`bench_micro_sim --benchmark_out=bench/BASELINE_micro_sim.json
+--benchmark_out_format=json` on a quiet machine and committing the file.
+"""
+
+import json
+import sys
+
+# Benchmarks whose regression fails CI (the engine hot path the overhaul
+# optimized).  Fractional drop allowed before failing / warning.
+GATED = {"BM_EngineScheduleDispatch"}
+MAX_DROP = 0.25
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips:
+            out[b["name"]] = ips
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    current = load(sys.argv[1])
+    baseline = load(sys.argv[2])
+
+    failures = []
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"bench-gate: WARN {name}: missing from current run")
+            continue
+        base, cur = baseline[name], current[name]
+        ratio = cur / base
+        status = "ok" if ratio >= 1.0 - MAX_DROP else "REGRESSED"
+        print(f"bench-gate: {name}: {cur/1e6:.2f}M/s vs baseline "
+              f"{base/1e6:.2f}M/s ({ratio:.2f}x) {status}")
+        if status == "REGRESSED":
+            if name in GATED:
+                failures.append(name)
+            else:
+                print(f"bench-gate: WARN {name}: regression in ungated benchmark")
+
+    if failures:
+        print(f"bench-gate: FAIL: {', '.join(failures)} dropped more than "
+              f"{MAX_DROP:.0%} below baseline items/sec")
+        return 1
+    print("bench-gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

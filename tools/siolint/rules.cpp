@@ -20,8 +20,10 @@ bool is_sim_source(std::string_view path) { return starts_with(path, "src/"); }
 
 bool is_order_sensitive_dir(std::string_view path) {
   return starts_with(path, "src/pablo/") || starts_with(path, "src/core/") ||
-         starts_with(path, "src/fault/");
+         starts_with(path, "src/fault/") || starts_with(path, "src/sim/");
 }
+
+bool is_engine_hot_path(std::string_view path) { return starts_with(path, "src/sim/"); }
 
 bool is_random_impl(std::string_view path) {
   return path == "src/sim/random.hpp" || path == "src/sim/random.cpp";
@@ -216,8 +218,11 @@ const std::vector<RuleInfo>& rule_table() {
       {"discarded-task", "Task<T>-returning call as a bare statement (never awaited or spawned)"},
       {"assert-side-effect", "SIO_ASSERT condition contains ++/--/assignment"},
       {"unordered-iter",
-       "range-for over std::unordered_{map,set} in src/pablo/, src/core/, or src/fault/ "
-       "(iteration order can reach reports or fault schedules)"},
+       "range-for over std::unordered_{map,set} in src/pablo/, src/core/, src/fault/, or "
+       "src/sim/ (iteration order can reach reports or fault schedules)"},
+      {"std-function",
+       "std::function in the engine hot path (src/sim/); use sim::InlineCallback, which "
+       "never heap-allocates for small callables"},
   };
   return kTable;
 }
@@ -340,6 +345,18 @@ std::vector<Diagnostic> lint(const std::vector<SourceFile>& files) {
                                                "use sio::sim::Rng)"
                                              : ""));
           }
+        }
+      }
+
+      // std-function: banned from the dispatch hot path.  Every scheduled
+      // std::function is a potential heap allocation per event; the engine's
+      // InlineCallback stores small callables in the event node itself.
+      if (is_engine_hot_path(file.path)) {
+        static const std::regex kStdFunction(R"(std::function\s*<)");
+        if (std::regex_search(line, kStdFunction)) {
+          report("std-function",
+                 "std::function allocates per callable on the engine hot path; use "
+                 "sim::InlineCallback (see sim/callback.hpp)");
         }
       }
 
