@@ -1,0 +1,100 @@
+// Overload bench: the three storm scenarios at 1x / 2x / 4x offered load,
+// protection on, plus the unprotected 4x point for comparison.
+//
+// For every cell the bench prints the goodput / shedding / latency summary
+// and appends a machine-readable record to `bench_overload.json` (path
+// overridable as argv[1]).  CI gates the protected cells' goodput against
+// the checked-in baseline via tools/bench_gate.py.
+//
+// Everything is seeded: rerunning this binary reproduces every number.
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sio.hpp"
+
+namespace {
+
+using namespace sio;
+
+void append_json(std::string& out, const core::OverloadConfig& cfg,
+                 const core::OverloadResult& r) {
+  out += "  {\"scenario\": \"" + std::string(core::overload_scenario_name(cfg.scenario)) + "\"";
+  out += ", \"offered_load\": " + pablo::fmt_fixed(cfg.offered_load, 1);
+  out += std::string(", \"qos\": ") + (cfg.qos ? "true" : "false");
+  out += ", \"offered_ops\": " + std::to_string(r.offered_ops);
+  out += ", \"completed_ops\": " + std::to_string(r.completed_ops);
+  out += ", \"failed_ops\": " + std::to_string(r.failed_ops);
+  out += ", \"goodput_ops_per_s\": " + pablo::fmt_fixed(r.goodput_ops_per_s, 3);
+  out += ", \"exec_time_s\": " + pablo::fmt_fixed(r.exec_seconds(), 6);
+  out += ", \"p50_latency_s\": " + pablo::fmt_fixed(sim::to_seconds(r.p50_latency), 6);
+  out += ", \"p99_latency_s\": " + pablo::fmt_fixed(sim::to_seconds(r.p99_latency), 6);
+  out += ", \"retries\": " + std::to_string(r.retries);
+  out += ", \"timeouts\": " + std::to_string(r.timeouts);
+  out += ", \"rejected\": " + std::to_string(r.rejected);
+  out += ", \"shed\": " + std::to_string(r.shed);
+  out += ", \"paced_meta\": " + std::to_string(r.paced_meta);
+  out += ", \"reroutes\": " + std::to_string(r.reroutes);
+  out += ", \"breaker_opens\": " + std::to_string(r.breaker_opens);
+  out += ", \"breaker_holds\": " + std::to_string(r.breaker_holds);
+  out += ", \"max_pending\": " + std::to_string(r.max_pending);
+  out += ", \"peak_cpu_queue\": " + std::to_string(r.peak_cpu_queue);
+  out += ", \"starved_windows\": " + std::to_string(r.starved_windows);
+  out += "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "bench_overload.json";
+
+  std::vector<core::OverloadConfig> cells;
+  for (auto scenario : {core::OverloadScenario::kOpenStampede, core::OverloadScenario::kHotStripe,
+                        core::OverloadScenario::kRetryStorm}) {
+    for (double load : {1.0, 2.0, 4.0}) {
+      core::OverloadConfig cfg;
+      cfg.scenario = scenario;
+      cfg.offered_load = load;
+      cells.push_back(cfg);
+    }
+    core::OverloadConfig raw;
+    raw.scenario = scenario;
+    raw.offered_load = 4.0;
+    raw.qos = false;
+    cells.push_back(raw);
+  }
+
+  // Independent seeded runs: fan out, render in fixed cell order.
+  std::vector<std::function<core::OverloadResult()>> jobs;
+  for (const auto& cfg : cells) {
+    jobs.push_back([cfg] { return core::run_overload(cfg); });
+  }
+  const auto results = core::ParallelRunner().run<core::OverloadResult>(jobs);
+
+  std::string json = "[\n";
+  std::printf("Overload storms: goodput under offered load, protection on/off\n\n");
+  std::printf("%-15s %5s %4s | %9s %9s %7s | %9s %8s %8s | %7s %7s\n", "scenario", "load", "qos",
+              "completed", "goodput/s", "failed", "p99(ms)", "rejected", "shed", "maxpend",
+              "starved");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& cfg = cells[i];
+    const auto& r = results[i];
+    std::printf("%-15s %4.1fx %4s | %9llu %9.1f %7llu | %9.2f %8llu %8llu | %7zu %7d\n",
+                core::overload_scenario_name(cfg.scenario), cfg.offered_load,
+                cfg.qos ? "on" : "off", static_cast<unsigned long long>(r.completed_ops),
+                r.goodput_ops_per_s, static_cast<unsigned long long>(r.failed_ops),
+                sim::to_seconds(r.p99_latency) * 1e3, static_cast<unsigned long long>(r.rejected),
+                static_cast<unsigned long long>(r.shed), r.max_pending, r.starved_windows);
+    if (i != 0) json += ",\n";
+    append_json(json, cfg, r);
+  }
+  json += "\n]\n";
+
+  std::ofstream f(json_path);
+  f << json;
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -31,9 +31,21 @@ struct Cell {
   core::RunResult run;
 };
 
+/// Served data operations per simulated second — the resilience analogue of
+/// the overload bench's goodput, gated by CI against the checked-in baseline.
+double goodput_ops_per_s(const core::RunResult& run) {
+  std::uint64_t served = 0;
+  for (const auto& ev : run.events) {
+    if (ev.op == pablo::IoOp::kRead || ev.op == pablo::IoOp::kWrite) ++served;
+  }
+  const double secs = sim::to_seconds(run.exec_time);
+  return secs > 0 ? static_cast<double>(served) / secs : 0.0;
+}
+
 void append_json(std::string& out, const Cell& c, const core::RunResult& baseline) {
   const auto& rc = c.run.resilience;
   out += "  {\"app\": \"" + c.app + "\", \"plan\": \"" + c.plan + "\"";
+  out += ", \"goodput_ops_per_s\": " + pablo::fmt_fixed(goodput_ops_per_s(c.run), 3);
   out += ", \"exec_time_s\": " + pablo::fmt_fixed(sim::to_seconds(c.run.exec_time), 6);
   out += ", \"io_time_s\": " + pablo::fmt_fixed(sim::to_seconds(c.run.io_time()), 6);
   out += ", \"baseline_exec_time_s\": " +

@@ -36,7 +36,7 @@ sim::Tick RunResult::io_time() const {
 
 std::string RunResult::to_sddf() const {
   std::ostringstream out;
-  pablo::write_sddf(out, file_names, events, fault_events);
+  pablo::write_sddf(out, file_names, events, fault_events, qos_events);
   return out.str();
 }
 
@@ -50,7 +50,10 @@ RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uin
   hw::Machine machine(mc);
   pablo::Collector collector(machine.engine());
   pfs::PfsConfig pcfg;
-  if (plan != nullptr) pcfg.retry = plan->retry;
+  if (plan != nullptr) {
+    pcfg.retry = plan->retry;
+    pcfg.qos = plan->qos;
+  }
   pfs::Pfs fs(machine, collector, pcfg);
   apps::PhaseLog log;
 
@@ -84,6 +87,7 @@ RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uin
   }
   r.phases = log.spans();
   r.fault_events = collector.fault_events();
+  r.qos_events = collector.qos_events();
 
   auto& rc = r.resilience;
   rc.retries = fs.op_retries();
@@ -97,6 +101,28 @@ RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uin
     rc.server_crashes += srv.crash_count();
     rc.degraded_disk_ops += srv.disk().degraded_ops();
     rc.stuck_disk_ops += srv.disk().stuck_ops();
+  }
+  if (fs.qos_enabled()) {
+    rc.qos_reroutes = fs.rerouted_reads();
+    rc.breaker_holds = fs.breaker_holds();
+    for (int i = 0; i < fs.server_count(); ++i) {
+      if (auto* q = fs.server_qos(i)) {
+        rc.qos_admitted += q->admitted();
+        rc.qos_rejected += q->rejected();
+        rc.qos_shed += q->shed();
+        rc.qos_credits += q->credits_issued();
+      }
+      if (auto* b = fs.breaker(i)) {
+        rc.breaker_opens += b->opens();
+        rc.breaker_closes += b->closes();
+      }
+    }
+    if (auto* q = fs.metadata_qos()) {
+      rc.qos_admitted += q->admitted();
+      rc.qos_rejected += q->rejected();
+      rc.qos_shed += q->shed();
+      rc.qos_credits += q->credits_issued();
+    }
   }
   return r;
 }
@@ -118,7 +144,7 @@ RunResult run_escat(apps::escat::Config cfg, const fault::FaultPlan& plan, std::
       [](hw::Machine& m, pfs::Pfs& fs, apps::escat::Config c, apps::PhaseLog* log) {
         return apps::escat::run(m, fs, std::move(c), log);
       },
-      std::move(cfg), os, nodes, seed, plan.empty() && !plan.retry.enabled ? nullptr : &plan);
+      std::move(cfg), os, nodes, seed, plan.empty() && !plan.retry.enabled && !plan.qos.enabled ? nullptr : &plan);
 }
 
 RunResult run_prism(apps::prism::Config cfg, const fault::FaultPlan& plan, std::uint64_t seed) {
@@ -127,7 +153,7 @@ RunResult run_prism(apps::prism::Config cfg, const fault::FaultPlan& plan, std::
       [](hw::Machine& m, pfs::Pfs& fs, apps::prism::Config c, apps::PhaseLog* log) {
         return apps::prism::run(m, fs, std::move(c), log);
       },
-      std::move(cfg), hw::osf_r13(), nodes, seed, plan.empty() && !plan.retry.enabled ? nullptr : &plan);
+      std::move(cfg), hw::osf_r13(), nodes, seed, plan.empty() && !plan.retry.enabled && !plan.qos.enabled ? nullptr : &plan);
 }
 
 EscatStudy run_escat_study(std::uint64_t seed) {

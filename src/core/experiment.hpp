@@ -35,6 +35,15 @@ struct ResilienceCounters {
   std::uint64_t degraded_disk_ops = 0;
   std::uint64_t stuck_disk_ops = 0;
   std::uint64_t server_crashes = 0;
+  // ---- overload protection (zero unless the run enabled QoS) ----
+  std::uint64_t qos_admitted = 0;
+  std::uint64_t qos_rejected = 0;
+  std::uint64_t qos_shed = 0;
+  std::uint64_t qos_credits = 0;
+  std::uint64_t qos_reroutes = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t breaker_holds = 0;
 };
 
 struct RunResult {
@@ -46,6 +55,8 @@ struct RunResult {
   std::vector<apps::PhaseSpan> phases;
   /// Fault/recovery records (empty for fault-free runs).
   std::vector<pablo::FaultEvent> fault_events;
+  /// Overload-protection records (empty unless the run enabled QoS).
+  std::vector<pablo::QosEvent> qos_events;
   ResilienceCounters resilience{};
 
   /// Per-operation breakdown (% of I/O time, % of execution time).

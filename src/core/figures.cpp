@@ -340,6 +340,10 @@ std::string render_resilience_summary(const RunResult& run, const RunResult& bas
   out << "Resilience report: " << run.label << " (baseline: " << baseline.label << ")\n\n";
   out << pablo::render_resilience(summary, run.io_time(), run.exec_time, baseline.io_time(),
                                   baseline.exec_time);
+  const auto qos = pablo::summarize_qos(run.qos_events);
+  if (!qos.empty()) {
+    out << '\n' << pablo::render_qos(qos);
+  }
   return out.str();
 }
 

@@ -1,0 +1,123 @@
+// Deterministic overload-storm harness.
+//
+// The paper's applications stress the PFS service path in three canonical
+// ways, and each has a storm-shaped failure mode this harness provokes on
+// purpose at a configurable offered load:
+//
+//   * open-stampede — every client open()s the *same* file at once, reads a
+//     little and closes, again and again: the metadata server's per-file
+//     control queue is the choke point (the paper's dominant open() cost,
+//     §4/§6, driven to collapse).
+//   * hot-stripe   — every client hammers unbuffered reads at the same
+//     stripe unit: one I/O node takes the whole offered load while fifteen
+//     idle.
+//   * retry-storm  — strided unbuffered reads while the fault layer takes
+//     the links to I/O node 0 down: every op aimed at it times out, and
+//     without protection the retries re-feed the queue that made them time
+//     out.
+//
+// Each scenario runs `clients` compute nodes in synchronized waves (`waves`
+// waves of `ops_per_wave × offered_load` concurrent ops per client, spaced
+// by `wave_gap`), with the QoS subsystem on or off, optionally under extra
+// seeded random faults.  The result carries the protection counters, the
+// bounded-queue / starvation / goodput invariants the tests assert, and the
+// run's full SDDF trace for byte-identical two-run determinism checks.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "sim/time.hpp"
+
+namespace sio::core {
+
+enum class OverloadScenario : std::uint8_t {
+  kOpenStampede = 0,
+  kHotStripe,
+  kRetryStorm,
+};
+
+constexpr const char* overload_scenario_name(OverloadScenario s) {
+  switch (s) {
+    case OverloadScenario::kOpenStampede: return "open-stampede";
+    case OverloadScenario::kHotStripe: return "hot-stripe";
+    case OverloadScenario::kRetryStorm: return "retry-storm";
+  }
+  return "?";
+}
+
+struct OverloadConfig {
+  OverloadScenario scenario = OverloadScenario::kOpenStampede;
+  int clients = 32;
+  int waves = 4;
+  /// Concurrent ops per client per wave at offered load 1×.
+  int ops_per_wave = 2;
+  /// Offered-load multiplier (4.0 = the harness's 4× storm point).
+  double offered_load = 1.0;
+  sim::Tick wave_gap = sim::milliseconds(50);
+  std::uint64_t seed = kDefaultSeed;
+  /// Overload protection on/off (off = the unprotected baseline).
+  bool qos = true;
+  /// When nonzero, a seeded random fault plan is layered on top of the
+  /// scenario's canned faults (the `--fault-seed` determinism axis).
+  std::uint64_t fault_seed = 0;
+};
+
+struct OverloadResult {
+  std::string label;
+  sim::Tick exec_time = 0;
+  std::uint64_t events_processed = 0;
+
+  std::uint64_t offered_ops = 0;
+  std::uint64_t completed_ops = 0;
+  std::uint64_t failed_ops = 0;
+
+  // ---- client resilience ----
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t backpressure_rejects = 0;
+
+  // ---- overload protection ----
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t credits = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t breaker_holds = 0;
+  std::uint64_t paced_meta = 0;
+
+  // ---- invariants ----
+  /// Peak (in service + waiting) over every protected queue — bounded by
+  /// `service_slots + queue_limit × active (class, node) pairs` whenever
+  /// QoS is on: a config-determined cap independent of offered load.
+  std::size_t max_pending = 0;
+  /// Peak server CPU-queue depth over all I/O servers.
+  std::size_t peak_cpu_queue = 0;
+  /// Self-scaling progress windows (≈ 4× the mean per-client completion
+  /// interval): a (client, window) pair is starved when the client had an op
+  /// pending across the whole window and completed nothing in it.  Residual
+  /// starved windows under an injected outage are outage-wait (the op is
+  /// pinned to the dead node until the breaker convicts it); the protection
+  /// claim is starved_windows(protected) ≤ starved_windows(raw).
+  int windows = 0;
+  int starved_windows = 0;
+
+  double goodput_ops_per_s = 0.0;
+  sim::Tick p50_latency = 0;
+  sim::Tick p99_latency = 0;
+
+  /// Full SDDF trace (events + #fault + #qos) for fingerprinting.
+  std::string sddf;
+
+  double exec_seconds() const { return sim::to_seconds(exec_time); }
+};
+
+/// Runs one overload scenario to completion.  Deterministic: identical
+/// configs produce byte-identical `sddf` and identical counters.
+OverloadResult run_overload(const OverloadConfig& cfg);
+
+}  // namespace sio::core

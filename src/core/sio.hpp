@@ -10,6 +10,7 @@
 #include "apps/prism.hpp"     // IWYU pragma: export
 #include "core/experiment.hpp"  // IWYU pragma: export
 #include "core/figures.hpp"   // IWYU pragma: export
+#include "core/overload.hpp"  // IWYU pragma: export
 #include "core/parallel.hpp"  // IWYU pragma: export
 #include "machine/machine.hpp"  // IWYU pragma: export
 #include "pablo/aggregate.hpp"  // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "fault/plan.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -150,8 +151,14 @@ FaultPlan FaultPlan::random_plan(std::uint64_t seed, sim::Tick horizon, int io_n
 
   const int n_fail = static_cast<int>(rng.uniform_int(0, 2));
   for (int i = 0; i < n_fail; ++i) {
-    p.disk_failures.push_back({node(), tick(0, horizon / 2),
-                               static_cast<std::uint64_t>(rng.uniform_int(8, 64)) * 1024 * 1024});
+    const DiskFault f{node(), tick(0, horizon / 2),
+                      static_cast<std::uint64_t>(rng.uniform_int(8, 64)) * 1024 * 1024};
+    // At most one spindle failure per array: a second failure of a RAID-3
+    // group is unrecoverable data loss, outside this model (and the disk
+    // asserts against entering degraded mode twice).
+    const bool dup = std::any_of(p.disk_failures.begin(), p.disk_failures.end(),
+                                 [&](const DiskFault& g) { return g.io_node == f.io_node; });
+    if (!dup) p.disk_failures.push_back(f);
   }
   const int n_slow = static_cast<int>(rng.uniform_int(0, 3));
   for (int i = 0; i < n_slow; ++i) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "pfs/types.hpp"
+#include "qos/qos.hpp"
 #include "sim/time.hpp"
 
 namespace sio::fault {
@@ -81,6 +82,10 @@ struct FaultPlan {
   /// Client-side resilience knobs for the run.  A plan with faults should
   /// enable retry; `validate` enforces it when any fault could stall ops.
   pfs::RetryPolicy retry{};
+  /// Overload-protection knobs for the run (bounded admission, deadline
+  /// shedding, fair queueing, circuit breakers); requires `retry.enabled`
+  /// when enabled.
+  qos::QosConfig qos{};
 
   std::vector<DiskFault> disk_failures;
   std::vector<DiskSlowFault> disk_slow;

@@ -45,6 +45,19 @@ sim::Tick Network::gather_time(int group_size, std::uint64_t bytes_per_node) con
   return overheads + payload_time(bytes_per_node * static_cast<std::uint64_t>(group_size - 1));
 }
 
+sim::Tick Network::io_gather_time(NodeId dst, int io_count, std::uint64_t bytes_per_node) const {
+  SIO_ASSERT(io_count > 0);
+  // Binomial gather rooted at the compute node, with the I/O partition's
+  // shares combining toward it; the serialized payload arriving at the root
+  // (io_count * bytes) is the bound, exactly as in gather_time.  The hop
+  // term uses the node's true distance to the I/O partition rather than the
+  // mesh-diameter average, since all sources sit on one edge of the mesh.
+  const int rounds = binomial_total_rounds(io_count + 1);
+  const int hops = mesh_.hops_to_io(dst, 0);
+  const sim::Tick overheads = rounds * (cfg_.sw_overhead + hops * cfg_.per_hop);
+  return overheads + payload_time(bytes_per_node * static_cast<std::uint64_t>(io_count));
+}
+
 sim::Task<void> Network::send(NodeId src, NodeId dst, std::uint64_t bytes) {
   bytes_moved_ += bytes;
   ++messages_;

@@ -70,6 +70,11 @@ class Network {
   /// from each of `group_size` nodes.
   sim::Tick gather_time(int group_size, std::uint64_t bytes_per_node) const;
 
+  /// Completion time at compute node `dst` of a binomial gather collecting
+  /// `bytes_per_node` from each of `io_count` I/O nodes (used by RAID-3
+  /// degraded reconstruction, which pulls a stripe's surviving shares).
+  sim::Tick io_gather_time(NodeId dst, int io_count, std::uint64_t bytes_per_node) const;
+
   /// Coroutine convenience: occupies simulated time for a point-to-point
   /// message between compute nodes.
   sim::Task<void> send(NodeId src, NodeId dst, std::uint64_t bytes);

@@ -55,6 +55,16 @@ class Collector {
   const std::vector<FaultEvent>& fault_events() const { return faults_; }
   std::size_t fault_count() const { return faults_.size(); }
 
+  /// Appends one overload-protection occurrence (admission verdicts, credits,
+  /// breaker transitions).  Recorded at the simulated time it happens, so the
+  /// list is chronological by construction.
+  void record_qos(const QosEvent& ev) {
+    if (enabled_) qos_.push_back(ev);
+  }
+
+  const std::vector<QosEvent>& qos_events() const { return qos_; }
+  std::size_t qos_count() const { return qos_.size(); }
+
   /// Turns capture on/off (tests use this to scope the window of interest).
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
@@ -74,6 +84,7 @@ class Collector {
   void clear() {
     events_.clear();
     faults_.clear();
+    qos_.clear();
     sorted_ = false;
   }
 
@@ -84,6 +95,7 @@ class Collector {
   std::vector<std::string> files_;
   mutable std::vector<TraceEvent> events_;
   std::vector<FaultEvent> faults_;
+  std::vector<QosEvent> qos_;
   mutable bool sorted_ = false;
   bool enabled_ = true;
 };

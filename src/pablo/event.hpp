@@ -84,6 +84,45 @@ struct FaultEvent {
   std::uint64_t info = 0;    ///< Kind-specific detail (attempt #, bytes, ...).
 };
 
+/// Overload-protection occurrences recorded alongside the I/O trace.  The
+/// admission group marks per-server admission decisions (an op admitted,
+/// rejected with a backpressure credit, or shed because its deadline budget
+/// cannot cover the estimated service); the breaker group marks per-I/O-node
+/// circuit-breaker transitions and the reads rerouted to degraded
+/// reconstruction while a breaker is open.
+enum class QosKind : std::uint8_t {
+  kAdmit = 0,        ///< op admitted into a server's bounded service queue
+  kReject,           ///< op rejected at admission (queue full); info = credit
+  kShed,             ///< op shed (deadline budget < estimated service)
+  kCredit,           ///< backpressure credit issued; info = retry-after ticks
+  kBreakerOpen,      ///< breaker tripped closed -> open
+  kBreakerHalfOpen,  ///< open window elapsed; probes allowed
+  kBreakerClose,     ///< probe succeeded; breaker closed
+  kBreakerProbe,     ///< one half-open probe dispatched to the real server
+  kBreakerHold,      ///< write held back while its target's breaker is open
+  kReroute,          ///< read served by RAID-3 degraded reconstruction
+};
+
+inline constexpr int kQosKindCount = 10;
+
+/// Stable short name used in reports and the SDDF `#qos` records.
+constexpr std::string_view qos_kind_name(QosKind k) {
+  constexpr std::array<std::string_view, kQosKindCount> names = {
+      "admit",         "reject",            "shed",          "credit",
+      "breaker-open",  "breaker-half-open", "breaker-close", "breaker-probe",
+      "breaker-hold",  "reroute"};
+  return names[static_cast<std::size_t>(k)];
+}
+
+/// One overload-protection occurrence.
+struct QosEvent {
+  sim::Tick at = 0;          ///< Simulated time of the occurrence.
+  QosKind kind = QosKind::kAdmit;
+  std::int32_t node = -1;    ///< Compute node involved (-1 = none).
+  std::int32_t target = -1;  ///< Server involved (I/O node id, -1 = metadata).
+  std::uint64_t info = 0;    ///< Kind-specific detail (credit ticks, bytes, ...).
+};
+
 /// One traced I/O operation.
 struct TraceEvent {
   sim::Tick start = 0;     ///< Simulated time the call was issued.

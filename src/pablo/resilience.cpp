@@ -53,6 +53,37 @@ ResilienceSummary summarize_resilience(const std::vector<FaultEvent>& faults,
   return s;
 }
 
+QosSummary summarize_qos(const std::vector<QosEvent>& qos) {
+  QosSummary s;
+  for (const auto& q : qos) {
+    switch (q.kind) {
+      case QosKind::kAdmit: ++s.admitted; break;
+      case QosKind::kReject: ++s.rejected; break;
+      case QosKind::kShed: ++s.shed; break;
+      case QosKind::kCredit: ++s.credits; break;
+      case QosKind::kBreakerOpen: ++s.breaker_opens; break;
+      case QosKind::kBreakerHalfOpen: ++s.breaker_half_opens; break;
+      case QosKind::kBreakerClose: ++s.breaker_closes; break;
+      case QosKind::kBreakerProbe: ++s.breaker_probes; break;
+      case QosKind::kBreakerHold: ++s.breaker_holds; break;
+      case QosKind::kReroute: ++s.reroutes; break;
+    }
+  }
+  return s;
+}
+
+std::string render_qos(const QosSummary& s) {
+  if (s.empty()) return {};
+  std::ostringstream out;
+  out << "Overload protection\n";
+  out << "  admitted: " << s.admitted << "   rejected: " << s.rejected << "   shed: " << s.shed
+      << "   credits: " << s.credits << "\n";
+  out << "  breaker: open " << s.breaker_opens << " / half-open " << s.breaker_half_opens
+      << " / close " << s.breaker_closes << " / probe " << s.breaker_probes << " / hold "
+      << s.breaker_holds << "   rerouted reads: " << s.reroutes << "\n";
+  return out.str();
+}
+
 std::string render_resilience(const ResilienceSummary& s, sim::Tick io_time, sim::Tick exec_time,
                               sim::Tick baseline_io_time, sim::Tick baseline_exec_time) {
   std::ostringstream out;

@@ -52,6 +52,35 @@ constexpr bool is_client_fault(FaultKind k) {
 ResilienceSummary summarize_resilience(const std::vector<FaultEvent>& faults,
                                        const std::vector<PhaseWindow>& phases);
 
+/// Whole-run counts of the overload-protection machinery: admission verdicts,
+/// backpressure credits, and circuit-breaker activity (from the `#qos`
+/// records a QoS-enabled run emits).
+struct QosSummary {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t credits = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_half_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t breaker_holds = 0;
+  std::uint64_t reroutes = 0;
+
+  bool empty() const {
+    return admitted == 0 && rejected == 0 && shed == 0 && credits == 0 && breaker_opens == 0 &&
+           breaker_half_opens == 0 && breaker_closes == 0 && breaker_probes == 0 &&
+           breaker_holds == 0 && reroutes == 0;
+  }
+};
+
+/// Buckets the QoS records of one run into the summary.
+QosSummary summarize_qos(const std::vector<QosEvent>& qos);
+
+/// Renders the overload-protection report (one compact block; empty string
+/// for a run without QoS records).
+std::string render_qos(const QosSummary& s);
+
 /// Renders the resilience report: injected-fault counts, the per-phase
 /// table, and the I/O / execution time deltas against the fault-free
 /// baseline (pass the run's own times as baseline for a standalone report).

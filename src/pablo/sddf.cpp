@@ -11,6 +11,7 @@ namespace {
 constexpr const char* kMagic = "#SDDF-IO 1";
 constexpr const char* kFields = "#fields start_ns duration_ns node file op offset bytes";
 constexpr const char* kFaultFields = "#fault-fields at_ns kind node target info";
+constexpr const char* kQosFields = "#qos-fields at_ns kind node target info";
 }  // namespace
 
 IoOp parse_io_op(const std::string& name) {
@@ -29,8 +30,17 @@ FaultKind parse_fault_kind(const std::string& name) {
   throw std::runtime_error("SDDF: unknown fault kind '" + name + "'");
 }
 
+QosKind parse_qos_kind(const std::string& name) {
+  for (int i = 0; i < kQosKindCount; ++i) {
+    const auto k = static_cast<QosKind>(i);
+    if (qos_kind_name(k) == name) return k;
+  }
+  throw std::runtime_error("SDDF: unknown qos kind '" + name + "'");
+}
+
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
-                const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults) {
+                const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
+                const std::vector<QosEvent>& qos) {
   out << kMagic << '\n' << kFields << '\n';
   for (std::size_t i = 0; i < file_names.size(); ++i) {
     out << "#file " << i << ' ' << file_names[i] << '\n';
@@ -40,6 +50,13 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
     for (const auto& f : faults) {
       out << "#fault " << f.at << ' ' << fault_kind_name(f.kind) << ' ' << f.node << ' '
           << f.target << ' ' << f.info << '\n';
+    }
+  }
+  if (!qos.empty()) {
+    out << kQosFields << '\n';
+    for (const auto& q : qos) {
+      out << "#qos " << q.at << ' ' << qos_kind_name(q.kind) << ' ' << q.node << ' ' << q.target
+          << ' ' << q.info << '\n';
     }
   }
   for (const auto& ev : events) {
@@ -54,8 +71,13 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
 }
 
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
+                const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults) {
+  write_sddf(out, file_names, events, faults, {});
+}
+
+void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<TraceEvent>& events) {
-  write_sddf(out, file_names, events, {});
+  write_sddf(out, file_names, events, {}, {});
 }
 
 void write_sddf(std::ostream& out, const Collector& collector) {
@@ -64,7 +86,7 @@ void write_sddf(std::ostream& out, const Collector& collector) {
   for (std::size_t i = 0; i < collector.file_count(); ++i) {
     names.push_back(collector.file_name(static_cast<FileId>(i)));
   }
-  write_sddf(out, names, collector.events(), collector.fault_events());
+  write_sddf(out, names, collector.events(), collector.fault_events(), collector.qos_events());
 }
 
 TraceFile read_sddf(std::istream& in) {
@@ -102,6 +124,17 @@ TraceFile read_sddf(std::istream& in) {
       }
       f.kind = parse_fault_kind(kind_name);
       tf.faults.push_back(f);
+      continue;
+    }
+    if (line.rfind("#qos ", 0) == 0) {
+      std::istringstream ls(line.substr(5));
+      QosEvent q;
+      std::string kind_name;
+      if (!(ls >> q.at >> kind_name >> q.node >> q.target >> q.info)) {
+        throw std::runtime_error("SDDF: bad #qos line: " + line);
+      }
+      q.kind = parse_qos_kind(kind_name);
+      tf.qos.push_back(q);
       continue;
     }
     if (line[0] == '#') continue;  // future extension records

@@ -14,10 +14,13 @@
 //   #file <id> <path>            (one per registered file)
 //   #fault-fields at_ns kind node target info        (when faults present)
 //   #fault <at> <kind-name> <node> <target> <info>   (one per fault event)
+//   #qos-fields at_ns kind node target info          (when QoS records present)
+//   #qos <at> <kind-name> <node> <target> <info>     (one per QoS event)
 //   <records: one event per line, space separated, op by name>
 //
-// `#fault` records extend the dialect for fault-injection runs; readers
-// predating them skip unknown `#` lines, so old tools still load new traces.
+// `#fault` records extend the dialect for fault-injection runs and `#qos`
+// records for overload-protection runs; readers predating either skip
+// unknown `#` lines, so old tools still load new traces.
 
 #pragma once
 
@@ -36,6 +39,7 @@ struct TraceFile {
   std::vector<std::string> file_names;
   std::vector<TraceEvent> events;
   std::vector<FaultEvent> faults;
+  std::vector<QosEvent> qos;
 };
 
 /// Writes the collector's registered files, events and fault records to
@@ -49,6 +53,11 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
 /// Writes a pre-extracted trace including fault records.
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults);
+
+/// Writes a pre-extracted trace including fault and QoS records.
+void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
+                const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
+                const std::vector<QosEvent>& qos);
 
 /// Parses a trace written by write_sddf.  Throws std::runtime_error on
 /// malformed input (bad magic, unknown op, truncated record).
@@ -64,5 +73,9 @@ IoOp parse_io_op(const std::string& name);
 /// Parses a fault-kind name ("disk-degraded", "op-retry", ...); throws on
 /// unknown names.
 FaultKind parse_fault_kind(const std::string& name);
+
+/// Parses a QoS-kind name ("admit", "breaker-open", ...); throws on unknown
+/// names.
+QosKind parse_qos_kind(const std::string& name);
 
 }  // namespace sio::pablo

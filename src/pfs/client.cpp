@@ -150,7 +150,7 @@ sim::Task<std::uint64_t> FileHandle::read_unix_or_async(std::uint64_t bytes) {
       // metadata/token server, and the consistency validation cost grows
       // with the number of concurrent openers; no client caching.
       co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
-      co_await fs_->metadata().token_op(file_->id, /*is_write=*/false);
+      co_await fs_->metadata().token_op(file_->id, /*is_write=*/false, node_);
       co_await fs_->machine().engine().delay(os.shared_read_per_opener *
                                              static_cast<sim::Tick>(file_->open_count));
       co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_);
@@ -247,7 +247,7 @@ sim::Task<std::uint64_t> FileHandle::read_sync(std::uint64_t bytes) {
 sim::Task<std::uint64_t> FileHandle::read_log(std::uint64_t bytes) {
   const auto& os = fs_->os();
   co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
-  co_await fs_->metadata().token_op(file_->id, /*is_write=*/false);
+  co_await fs_->metadata().token_op(file_->id, /*is_write=*/false, node_);
   const std::uint64_t offset = file_->shared_offset;
   const std::uint64_t n = clamp_read(*file_, offset, bytes);
   file_->shared_offset = offset + n;
@@ -298,7 +298,7 @@ sim::Task<std::uint64_t> FileHandle::write_unix_or_async(std::uint64_t bytes) {
   if (bytes > 0) {
     if (file_->mode == IoMode::kUnix && file_->shared()) {
       co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
-      co_await fs_->metadata().token_op(file_->id, /*is_write=*/true);
+      co_await fs_->metadata().token_op(file_->id, /*is_write=*/true, node_);
       co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_);
     } else {
       co_await buffered_write(offset, bytes);
@@ -385,7 +385,7 @@ sim::Task<std::uint64_t> FileHandle::write_sync(std::uint64_t bytes) {
 sim::Task<std::uint64_t> FileHandle::write_log(std::uint64_t bytes) {
   const auto& os = fs_->os();
   co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
-  co_await fs_->metadata().token_op(file_->id, /*is_write=*/true);
+  co_await fs_->metadata().token_op(file_->id, /*is_write=*/true, node_);
   const std::uint64_t offset = file_->shared_offset;
   file_->shared_offset = offset + bytes;
   file_->size = std::max(file_->size, offset + bytes);
@@ -410,7 +410,7 @@ sim::Task<void> FileHandle::seek(std::uint64_t offset) {
     // Seeking a shared M_UNIX file registers the pointer move with the
     // metadata server — the cost that dominated ESCAT version B.
     co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
-    co_await fs_->metadata().seek_op(file_->id);
+    co_await fs_->metadata().seek_op(file_->id, node_);
   } else {
     co_await fs_->machine().engine().delay(os.local_seek);
   }
@@ -443,14 +443,14 @@ sim::Task<void> FileHandle::set_iomode(IoMode m, std::uint64_t record_size) {
     co_await group_->arrive();
     if (rank_ == 0) {
       co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
-      co_await fs_->metadata().iomode_op(file_->id);
+      co_await fs_->metadata().iomode_op(file_->id, node_);
       apply();
     }
     co_await group_->arrive();
     co_await fs_->machine().engine().delay(os.iomode_client);
   } else {
     co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
-    co_await fs_->metadata().iomode_op(file_->id);
+    co_await fs_->metadata().iomode_op(file_->id, node_);
     apply();
   }
   cached_unit_ = -1;
@@ -473,7 +473,7 @@ sim::Task<void> FileHandle::close() {
   co_await flush_write_buffer();
   const auto& os = fs_->os();
   co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
-  co_await fs_->metadata().close_op(file_->id);
+  co_await fs_->metadata().close_op(file_->id, node_);
   --file_->open_count;
   SIO_ASSERT(file_->open_count >= 0);
   open_ = false;

@@ -1,5 +1,7 @@
 #include "pfs/metadata.hpp"
 
+#include <algorithm>
+
 namespace sio::pfs {
 
 sim::Mutex& MetadataServer::queue_for(pablo::FileId file, MetaClass cls) {
@@ -11,11 +13,49 @@ sim::Mutex& MetadataServer::queue_for(pablo::FileId file, MetaClass cls) {
   return *it->second;
 }
 
-sim::Task<void> MetadataServer::request(pablo::FileId file, MetaClass cls, sim::Tick service) {
-  auto guard = co_await queue_for(file, cls).scoped();
-  ++served_;
-  busy_ += service;
-  co_await engine_.delay(service);
+namespace {
+// Control/close stampedes are the lower class; seek/token grants gate
+// in-flight data operations and must not starve behind them.
+qos::OpClass class_of(MetaClass cls) {
+  switch (cls) {
+    case MetaClass::kControl:
+    case MetaClass::kClose:
+      return qos::OpClass::kMeta;
+    case MetaClass::kSeek:
+    case MetaClass::kTokenRead:
+    case MetaClass::kTokenWrite:
+      return qos::OpClass::kData;
+  }
+  return qos::OpClass::kMeta;
+}
+}  // namespace
+
+sim::Task<void> MetadataServer::request(pablo::FileId file, MetaClass cls, sim::Tick service,
+                                        std::int32_t node) {
+  sim::Tick granted_at = 0;
+  if (qos_ != nullptr) {
+    // Metadata ops cannot be refused outright (the client API has no
+    // metadata failure path), so rejected/shed arrivals wait out their
+    // backpressure credit and re-try: the storm is paced, not dropped, and
+    // the bounded queue + staggered credits guarantee eventual admission.
+    for (;;) {
+      const qos::Admission adm =
+          co_await qos_->admit(node, class_of(cls), service, /*deadline_left=*/0);
+      if (adm.verdict == qos::Verdict::kAdmitted) {
+        granted_at = adm.granted_at;
+        break;
+      }
+      ++paced_;
+      co_await engine_.delay(std::max<sim::Tick>(adm.retry_after, 1));
+    }
+  }
+  {
+    auto guard = co_await queue_for(file, cls).scoped();
+    ++served_;
+    busy_ += service;
+    co_await engine_.delay(service);
+  }
+  if (qos_ != nullptr) qos_->release(service, granted_at);
 }
 
 }  // namespace sio::pfs

@@ -19,6 +19,7 @@
 
 #include "machine/os_profile.hpp"
 #include "pablo/event.hpp"
+#include "qos/qos.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -41,28 +42,42 @@ class MetadataServer {
   MetadataServer(sim::Engine& engine, const hw::OsProfile& os) : engine_(engine), os_(os) {}
 
   /// FIFO-queued metadata operation on (file, class) with the given service.
-  sim::Task<void> request(pablo::FileId file, MetaClass cls, sim::Tick service);
+  /// `node` is the requesting compute node (-1 = unknown), used by the QoS
+  /// fair queue when a front door is attached.
+  sim::Task<void> request(pablo::FileId file, MetaClass cls, sim::Tick service,
+                          std::int32_t node = -1);
 
-  sim::Task<void> open_op(pablo::FileId f) { return request(f, MetaClass::kControl, os_.open_service); }
-  sim::Task<void> gopen_op(pablo::FileId f) {
-    return request(f, MetaClass::kControl, os_.gopen_service);
+  sim::Task<void> open_op(pablo::FileId f, std::int32_t node = -1) {
+    return request(f, MetaClass::kControl, os_.open_service, node);
   }
-  sim::Task<void> iomode_op(pablo::FileId f) {
-    return request(f, MetaClass::kControl, os_.iomode_service);
+  sim::Task<void> gopen_op(pablo::FileId f, std::int32_t node = -1) {
+    return request(f, MetaClass::kControl, os_.gopen_service, node);
   }
-  sim::Task<void> close_op(pablo::FileId f) {
-    return request(f, MetaClass::kClose, os_.close_service);
+  sim::Task<void> iomode_op(pablo::FileId f, std::int32_t node = -1) {
+    return request(f, MetaClass::kControl, os_.iomode_service, node);
   }
-  sim::Task<void> token_op(pablo::FileId f, bool is_write) {
-    return is_write ? request(f, MetaClass::kTokenWrite, os_.token_write_service)
-                    : request(f, MetaClass::kTokenRead, os_.token_read_service);
+  sim::Task<void> close_op(pablo::FileId f, std::int32_t node = -1) {
+    return request(f, MetaClass::kClose, os_.close_service, node);
   }
-  sim::Task<void> seek_op(pablo::FileId f) {
-    return request(f, MetaClass::kSeek, os_.shared_seek_service);
+  sim::Task<void> token_op(pablo::FileId f, bool is_write, std::int32_t node = -1) {
+    return is_write ? request(f, MetaClass::kTokenWrite, os_.token_write_service, node)
+                    : request(f, MetaClass::kTokenRead, os_.token_read_service, node);
   }
+  sim::Task<void> seek_op(pablo::FileId f, std::int32_t node = -1) {
+    return request(f, MetaClass::kSeek, os_.shared_seek_service, node);
+  }
+
+  /// Attaches the bounded admission queue fronting the metadata service
+  /// (owned by the Pfs instance; nullptr = unprotected).  Control/close
+  /// traffic is admitted as the kMeta class while seek/token grants — which
+  /// gate in-flight data operations — are kData, so an open() stampede
+  /// cannot starve the grants running reads are waiting on.
+  void set_qos(qos::ServerQos* q) { qos_ = q; }
 
   std::uint64_t requests_served() const { return served_; }
   sim::Tick busy_time() const { return busy_; }
+  /// Requests the QoS front door made wait for a later slot (paced arrivals).
+  std::uint64_t paced_requests() const { return paced_; }
 
  private:
   struct Key {
@@ -79,8 +94,10 @@ class MetadataServer {
 
   sim::Engine& engine_;
   const hw::OsProfile& os_;
+  qos::ServerQos* qos_ = nullptr;
   std::unordered_map<Key, std::unique_ptr<sim::Mutex>, KeyHash> queues_;
   std::uint64_t served_ = 0;
+  std::uint64_t paced_ = 0;
   sim::Tick busy_ = 0;
 
   sim::Mutex& queue_for(pablo::FileId file, MetaClass cls);

@@ -7,6 +7,15 @@
 
 namespace sio::pfs {
 
+namespace {
+/// One survivor's raw share read during RAID-3 degraded reconstruction.
+sim::Task<void> read_share(hw::Raid3Disk& disk, std::uint64_t offset, std::uint64_t bytes,
+                           sim::WaitGroup* wg) {
+  co_await disk.access(offset, bytes, /*write=*/false);
+  wg->done();
+}
+}  // namespace
+
 Pfs::Pfs(hw::Machine& machine, pablo::Collector& collector, PfsConfig cfg)
     : machine_(machine),
       collector_(collector),
@@ -21,6 +30,31 @@ Pfs::Pfs(hw::Machine& machine, pablo::Collector& collector, PfsConfig cfg)
                                                   machine.config().stripe_unit,
                                                   machine.config().io_nodes, cfg_.server));
     if (cfg_.retry.enabled) servers_.back()->set_replay_tracking(true);
+  }
+  if (cfg_.qos.enabled) {
+    // Rejections and shed verdicts surface to the application through the
+    // client retry loop; without it a turned-away op would have nowhere to
+    // go.
+    if (!cfg_.retry.enabled) {
+      throw PfsError("overload protection (qos.enabled) requires retry.enabled");
+    }
+    qos_servers_.reserve(servers_.size());
+    breakers_.reserve(servers_.size());
+    for (int i = 0; i < machine.config().io_nodes; ++i) {
+      qos_servers_.push_back(
+          std::make_unique<qos::ServerQos>(machine.engine(), i, cfg_.qos, &collector_));
+      breakers_.push_back(
+          std::make_unique<qos::CircuitBreaker>(machine.engine(), i, cfg_.qos, &collector_));
+      servers_[static_cast<std::size_t>(i)]->set_qos(qos_servers_.back().get());
+    }
+    meta_qos_ = std::make_unique<qos::ServerQos>(machine.engine(), /*server_id=*/-1, cfg_.qos,
+                                                 &collector_);
+    meta_.set_qos(meta_qos_.get());
+    rebuild_slots_.reserve(servers_.size());
+    for (int i = 0; i < machine.config().io_nodes; ++i) {
+      rebuild_slots_.push_back(std::make_unique<sim::Semaphore>(
+          machine.engine(), static_cast<std::int64_t>(cfg_.qos.service_slots), "pfs-rebuild"));
+    }
   }
 }
 
@@ -83,8 +117,9 @@ std::uint64_t Pfs::disk_offset_of(FileState& file, std::uint64_t unit_index) {
   return off;
 }
 
-sim::Task<bool> Pfs::segment_attempt(hw::NodeId node, FileState* file, StripeSegment seg,
-                                     bool is_write, bool buffered, std::uint64_t op_id) {
+sim::Task<Pfs::Attempt> Pfs::segment_attempt(hw::NodeId node, FileState* file, StripeSegment seg,
+                                             bool is_write, bool buffered, std::uint64_t op_id,
+                                             sim::Tick deadline_left) {
   auto& engine = machine_.engine();
   auto& net = machine_.network();
   const std::uint64_t unit_off = disk_offset_of(*file, seg.unit_index);
@@ -96,14 +131,16 @@ sim::Task<bool> Pfs::segment_attempt(hw::NodeId node, FileState* file, StripeSeg
   // fault-free run keeps the exact event stream of the pre-fault model.
   const std::uint64_t req_bytes = is_write ? seg.length + kHeader : kHeader;
   if (robust()) {
-    if (!co_await net.send_to_io(node, seg.io_node, req_bytes)) co_return false;
+    if (!co_await net.send_to_io(node, seg.io_node, req_bytes)) co_return Attempt{};
   } else {
     co_await engine.delay(net.message_time_to_io(node, seg.io_node, req_bytes));
   }
 
+  const OpCtx ctx{node, op_id, deadline_left};
+  qos::Admission adm;
   if (is_write) {
-    co_await server(seg.io_node)
-        .write(key, unit_off, seg.offset_in_unit, seg.length, buffered, op_id);
+    adm = co_await server(seg.io_node)
+              .write(key, unit_off, seg.offset_in_unit, seg.length, buffered, ctx);
   } else {
     // How many further units of this file live on the same I/O node —
     // bounds server-side prefetch so it never runs past the file.
@@ -114,17 +151,25 @@ sim::Task<bool> Pfs::segment_attempt(hw::NodeId node, FileState* file, StripeSeg
       cap = static_cast<int>((file_units - 1 - seg.unit_index) /
                              static_cast<std::uint64_t>(layout_.io_nodes()));
     }
-    co_await server(seg.io_node)
-        .read(key, unit_off, seg.offset_in_unit, seg.length, buffered, cap, op_id);
+    adm = co_await server(seg.io_node)
+              .read(key, unit_off, seg.offset_in_unit, seg.length, buffered, cap, ctx);
+  }
+
+  if (adm.verdict != qos::Verdict::kAdmitted) {
+    // Turned away at the server's front door: a small nack carries the
+    // verdict and the retry-after credit back.  A dropped nack collapses to
+    // silence — the client times out as if the server never answered.
+    if (!co_await net.send_to_io(node, seg.io_node, kHeader)) co_return Attempt{};
+    co_return Attempt{false, true, adm.retry_after};
   }
 
   const std::uint64_t rsp_bytes = is_write ? kHeader : seg.length + kHeader;
   if (robust()) {
-    if (!co_await net.send_to_io(node, seg.io_node, rsp_bytes)) co_return false;
+    if (!co_await net.send_to_io(node, seg.io_node, rsp_bytes)) co_return Attempt{};
   } else {
     co_await engine.delay(net.message_time_to_io(node, seg.io_node, rsp_bytes));
   }
-  co_return true;
+  co_return Attempt{true, false, 0};
 }
 
 sim::Tick Pfs::backoff_for(int attempt) {
@@ -139,12 +184,42 @@ sim::Tick Pfs::backoff_for(int attempt) {
   return retry_rng_.jitter(b, rp.backoff_jitter);
 }
 
+sim::Task<void> Pfs::reconstruct_segment(hw::NodeId node, FileState* file, StripeSegment seg) {
+  // RAID-3 degraded read: the sick I/O node's share is recomputed from the
+  // surviving nodes' data + parity.  Model: a control fanout to the
+  // survivors, a parallel raw-array read of each survivor's share (the
+  // recovery path reads shares below the server CPU queues — it must make
+  // progress precisely when those queues are the problem), a binomial gather
+  // of the shares to the client, and a client-side XOR pass.
+  auto& engine = machine_.engine();
+  auto& net = machine_.network();
+  const int n = server_count();
+  SIO_ASSERT(n >= 2);
+  const std::uint64_t unit_off = disk_offset_of(*file, seg.unit_index);
+  constexpr std::uint64_t kHeader = 64;
+  const auto survivors = static_cast<std::uint64_t>(n - 1);
+  const std::uint64_t share = (seg.length + survivors - 1) / survivors;
+
+  co_await engine.delay(net.broadcast_time(n - 1, kHeader));
+  sim::WaitGroup reads(engine);
+  for (int i = 0; i < n; ++i) {
+    if (i == seg.io_node) continue;
+    reads.add();
+    engine.spawn(read_share(server(i).disk(), unit_off + seg.offset_in_unit, share, &reads));
+  }
+  co_await reads.wait();
+  co_await engine.delay(net.io_gather_time(node, n - 1, share + kHeader));
+  co_await engine.delay(static_cast<sim::Tick>(static_cast<double>(seg.length) /
+                                               cfg_.qos.xor_bytes_per_tick));
+}
+
 sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSegment seg,
                                       bool is_write, bool buffered, sim::WaitGroup* wg) {
   if (!robust()) {
     // Direct await: symmetric transfer, no extra engine events, so the
     // attempt split leaves fault-free timing untouched.
-    co_await segment_attempt(node, file, seg, is_write, buffered, /*op_id=*/0);
+    co_await segment_attempt(node, file, seg, is_write, buffered, /*op_id=*/0,
+                             /*deadline_left=*/0);
     if (wg != nullptr) wg->done();
     co_return;
   }
@@ -152,12 +227,86 @@ sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSe
   auto& engine = machine_.engine();
   const RetryPolicy& rp = cfg_.retry;
   const std::uint64_t op_id = next_op_id_++;
+  qos::CircuitBreaker* br =
+      cfg_.qos.enabled ? breakers_[static_cast<std::size_t>(seg.io_node)].get() : nullptr;
+  // Satellite fix: cumulative backoff across the whole retry sequence is
+  // capped at one op deadline, so the backoff schedule can never push an
+  // op's completion further out than a full extra deadline of waiting.
+  sim::Tick backoff_spent = 0;
+  const auto backoff = [&](sim::Tick want) {
+    const sim::Tick budget = rp.op_deadline > backoff_spent ? rp.op_deadline - backoff_spent : 0;
+    const sim::Tick b = std::min(want, budget);
+    backoff_spent += b;
+    return b;
+  };
   for (int attempt = 0;; ++attempt) {
+    if (br != nullptr && !br->allow_attempt(node)) {
+      // The node's breaker is open: don't feed the sick node more attempts.
+      if (!is_write && server_count() >= 2) {
+        // Reads don't need it — serve from the surviving shares + parity.
+        ++reroutes_;
+        collector_.record_qos(
+            {engine.now(), pablo::QosKind::kReroute, node, seg.io_node, op_id});
+        auto& slot = *rebuild_slots_[static_cast<std::size_t>(seg.io_node)];
+        co_await slot.acquire();
+        co_await reconstruct_segment(node, file, seg);
+        slot.release();
+        break;
+      }
+      // Writes (and single-node layouts) must land on that node; hold them
+      // back until the breaker is willing to probe again.
+      ++breaker_holds_;
+      collector_.record_qos(
+          {engine.now(), pablo::QosKind::kBreakerHold, node, seg.io_node, op_id});
+      if (attempt >= rp.max_retries) {
+        ++failed_ops_;
+        collector_.record_fault(
+            {engine.now(), pablo::FaultKind::kOpFailed, node, seg.io_node, op_id});
+        throw PfsError("segment transfer failed after retries (io node " +
+                       std::to_string(seg.io_node) + ")");
+      }
+      co_await engine.delay(std::max<sim::Tick>(br->wait_hint(), 1));
+      continue;
+    }
+
     const sim::Tick t0 = engine.now();
+    // The deadline the server sheds against is the op's total remaining
+    // patience — deadline × attempts left — not one attempt's budget: an
+    // attempt abandoned by timeout keeps working server-side and the retry
+    // coalesces onto it, so serving is wasted only if the queue cannot get
+    // to the op before the whole retry sequence gives up.
+    const sim::Tick patience =
+        static_cast<sim::Tick>(rp.max_retries - attempt + 1) * rp.op_deadline;
     auto res = co_await sim::with_timeout(
-        engine, segment_attempt(node, file, seg, is_write, buffered, op_id), rp.op_deadline,
-        "pfs-op");
-    if (res.status == sim::WaitStatus::kCompleted && res.value.value_or(false)) break;
+        engine,
+        segment_attempt(node, file, seg, is_write, buffered, op_id, patience),
+        rp.op_deadline, "pfs-op");
+    if (res.status == sim::WaitStatus::kCompleted && res.value && res.value->ok) {
+      if (br != nullptr) br->on_success(node);
+      break;
+    }
+    if (res.status == sim::WaitStatus::kCompleted && res.value && res.value->turned_away) {
+      // Explicit backpressure, not a failure: the server answered, so the
+      // breaker is not fed, and the backoff honors the server's retry-after
+      // credit (satellite fix) instead of blindly re-arriving early.
+      ++backpressure_rejects_;
+      if (attempt >= rp.max_retries) {
+        ++failed_ops_;
+        collector_.record_fault(
+            {engine.now(), pablo::FaultKind::kOpFailed, node, seg.io_node, op_id});
+        throw PfsError("segment transfer rejected after retries (io node " +
+                       std::to_string(seg.io_node) + ")");
+      }
+      ++retries_;
+      collector_.record_fault({engine.now(), pablo::FaultKind::kOpRetry, node, seg.io_node,
+                               static_cast<std::uint64_t>(attempt + 1)});
+      // The credit is honored in full — it names the tick a slot is actually
+      // expected to free, so arriving earlier only buys another rejection.
+      // The cumulative cap applies to the client's own exponential schedule.
+      const sim::Tick b = std::max(backoff(backoff_for(attempt)), res.value->retry_after);
+      if (b > 0) co_await engine.delay(b);
+      continue;
+    }
     if (res.status == sim::WaitStatus::kCompleted) {
       // The request or reply was dropped in flight.  The client can't see
       // that — it learns only from silence — so it waits out the remainder
@@ -166,6 +315,10 @@ sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSe
       if (elapsed < rp.op_deadline) co_await engine.delay(rp.op_deadline - elapsed);
     }
     ++timeouts_;
+    // Early timeouts are ambiguous (congestion resolves them via the
+    // retry/replay coalescing within an attempt or two); only a persistent
+    // per-op timeout streak is evidence the node is unreachable.
+    if (br != nullptr && attempt >= cfg_.qos.breaker_attempt_threshold) br->on_failure(node);
     collector_.record_fault({engine.now(), pablo::FaultKind::kOpTimeout, node, seg.io_node,
                              static_cast<std::uint64_t>(attempt)});
     if (attempt >= rp.max_retries) {
@@ -178,7 +331,8 @@ sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSe
     ++retries_;
     collector_.record_fault({engine.now(), pablo::FaultKind::kOpRetry, node, seg.io_node,
                              static_cast<std::uint64_t>(attempt + 1)});
-    co_await engine.delay(backoff_for(attempt));
+    const sim::Tick b = backoff(backoff_for(attempt));
+    if (b > 0) co_await engine.delay(b);
   }
   if (wg != nullptr) wg->done();
 }
@@ -234,7 +388,7 @@ sim::Task<FileHandle> Pfs::open(hw::NodeId node, std::string_view path, OpenOpti
 
   pablo::OpTimer timer(collector_, node, f.id, pablo::IoOp::kOpen);
   co_await machine_.engine().delay(os().syscall_overhead + meta_round_trip(node));
-  co_await meta_.open_op(f.id);
+  co_await meta_.open_op(f.id, node);
   if (opts.truncate && f.open_count == 0) f.truncate();
   ++f.open_count;
 
@@ -265,7 +419,7 @@ sim::Task<FileHandle> Pfs::gopen(hw::NodeId node, std::string_view path, Group& 
   co_await group.arrive();  // all members enter the collective
   if (rank == 0) {
     co_await machine_.engine().delay(meta_round_trip(node));
-    co_await meta_.gopen_op(f.id);
+    co_await meta_.gopen_op(f.id, node);
     if (opts.truncate && f.open_count == 0) f.truncate();
     f.mode = opts.mode;
     if (opts.record_size != 0) f.record_size = opts.record_size;

@@ -35,6 +35,8 @@
 #include "pfs/server.hpp"
 #include "pfs/stripe.hpp"
 #include "pfs/types.hpp"
+#include "qos/breaker.hpp"
+#include "qos/qos.hpp"
 #include "sim/random.hpp"
 
 namespace sio::pfs {
@@ -46,6 +48,11 @@ struct PfsConfig {
   /// by default; when disabled the data path is byte-identical with the
   /// pre-fault-layer model.
   RetryPolicy retry{};
+  /// Overload protection: bounded admission, deadline shedding, DRR fair
+  /// queueing and per-I/O-node circuit breakers.  Disabled by default;
+  /// requires `retry.enabled` (rejections travel back through the retry
+  /// loop).
+  qos::QosConfig qos{};
 };
 
 class Pfs {
@@ -120,6 +127,28 @@ class Pfs {
   std::uint64_t op_timeouts() const { return timeouts_; }
   std::uint64_t failed_ops() const { return failed_ops_; }
 
+  // ---- overload protection ----
+  bool qos_enabled() const { return cfg_.qos.enabled; }
+  const qos::QosConfig& qos_config() const { return cfg_.qos; }
+  /// The admission queue fronting I/O server `i` (nullptr when QoS is off).
+  qos::ServerQos* server_qos(int i) {
+    return cfg_.qos.enabled ? qos_servers_[static_cast<std::size_t>(i)].get() : nullptr;
+  }
+  /// The admission queue fronting the metadata server (nullptr when off).
+  qos::ServerQos* metadata_qos() { return meta_qos_.get(); }
+  /// The circuit breaker watching I/O node `i` (nullptr when QoS is off).
+  qos::CircuitBreaker* breaker(int i) {
+    return cfg_.qos.enabled ? breakers_[static_cast<std::size_t>(i)].get() : nullptr;
+  }
+  /// Attempts turned away at admission (rejected or shed) seen by clients.
+  std::uint64_t backpressure_rejects() const { return backpressure_rejects_; }
+  std::uint64_t shed_ops() const { return shed_ops_; }
+  /// Writes held back while an I/O node's breaker was open.
+  std::uint64_t breaker_holds() const { return breaker_holds_; }
+  /// Reads served via RAID-3 degraded reconstruction while a breaker was
+  /// open.
+  std::uint64_t rerouted_reads() const { return reroutes_; }
+
  private:
   hw::Machine& machine_;
   pablo::Collector& collector_;
@@ -144,15 +173,47 @@ class Pfs {
   std::uint64_t timeouts_ = 0;
   std::uint64_t failed_ops_ = 0;
 
+  // ---- overload protection (populated only when cfg_.qos.enabled) ----
+  std::vector<std::unique_ptr<qos::ServerQos>> qos_servers_;
+  std::unique_ptr<qos::ServerQos> meta_qos_;
+  std::vector<std::unique_ptr<qos::CircuitBreaker>> breakers_;
+  /// Per-sick-node bound on concurrent degraded reconstructions.  A rerouted
+  /// read fans share-reads onto *every* surviving array, so unbounded
+  /// rerouting under load turns one sick node into fleet-wide disk
+  /// contention, times out healthy reads, and opens every breaker — the
+  /// amplification spiral this semaphore (sized like a server's service
+  /// slots) breaks.
+  std::vector<std::unique_ptr<sim::Semaphore>> rebuild_slots_;
+  std::uint64_t backpressure_rejects_ = 0;
+  std::uint64_t shed_ops_ = 0;
+  std::uint64_t breaker_holds_ = 0;
+  std::uint64_t reroutes_ = 0;
+
   friend class FileHandle;
+
+  /// Outcome of one segment attempt.  `ok` = reply arrived and the op was
+  /// served; `turned_away` = the server answered with a rejection/shed nack
+  /// whose `retry_after` credit the backoff must honor; neither = silence
+  /// (message dropped), indistinguishable from a timeout for the client.
+  struct Attempt {
+    bool ok = false;
+    bool turned_away = false;
+    sim::Tick retry_after = 0;
+  };
 
   FileState& get_or_create(std::string_view path);
   sim::Task<void> transfer_segment(hw::NodeId node, FileState* file, StripeSegment seg,
                                    bool is_write, bool buffered, sim::WaitGroup* wg);
-  /// One attempt of a segment transfer; returns false if the request or
-  /// reply message was dropped.  `op_id` = 0 means untracked (non-robust).
-  sim::Task<bool> segment_attempt(hw::NodeId node, FileState* file, StripeSegment seg,
-                                  bool is_write, bool buffered, std::uint64_t op_id);
+  /// One attempt of a segment transfer.  `op_id` = 0 means untracked
+  /// (non-robust); `deadline_left` rides to the server for deadline-aware
+  /// shedding.
+  sim::Task<Attempt> segment_attempt(hw::NodeId node, FileState* file, StripeSegment seg,
+                                     bool is_write, bool buffered, std::uint64_t op_id,
+                                     sim::Tick deadline_left);
+  /// Serves a read segment by RAID-3 degraded reconstruction: the stripe's
+  /// surviving shares are pulled from the other I/O nodes' arrays and the
+  /// missing share is recomputed from parity client-side.
+  sim::Task<void> reconstruct_segment(hw::NodeId node, FileState* file, StripeSegment seg);
   /// Deterministic exponential backoff (with seeded jitter) before retry
   /// number `attempt` (0-based).
   sim::Tick backoff_for(int attempt);

@@ -39,27 +39,34 @@ sim::Task<void> IoServer::begin_op(std::uint64_t op_id, bool* handled,
                                    std::shared_ptr<sim::Event>* done) {
   *handled = false;
   if (op_id == 0 || !replay_tracking_) co_return;
-  // Replay: the original attempt completed but its reply was lost in a
-  // timeout/drop.  Acknowledge from the id set — for a write this avoids
-  // applying it twice; for a read the produced unit is (at worst) one cache
-  // probe away, so the front-end ack stands in for a hit.
-  if (completed_.contains(op_id)) {
-    ++replayed_;
-    co_await engine_.delay(svc(cfg_.hit_service));
-    *handled = true;
-    co_return;
-  }
-  // Coalesce: the original attempt is still queued or on the array.  Joining
-  // it (instead of enqueueing a duplicate access) is what stops a timed-out
-  // burst from re-feeding the very queue that made it time out.
-  if (auto it = in_flight_.find(op_id); it != in_flight_.end()) {
-    ++coalesced_;
+  bool joined = false;
+  for (;;) {
+    // Replay: the original attempt completed but its reply was lost in a
+    // timeout/drop.  Acknowledge from the id set — for a write this avoids
+    // applying it twice; for a read the produced unit is (at worst) one
+    // cache probe away, so the front-end ack stands in for a hit.
+    if (completed_.contains(op_id)) {
+      if (!joined) ++replayed_;
+      co_await engine_.delay(svc(cfg_.hit_service));
+      *handled = true;
+      co_return;
+    }
+    // Coalesce: the original attempt is still queued or on the array.
+    // Joining it (instead of enqueueing a duplicate access) is what stops a
+    // timed-out burst from re-feeding the very queue that made it time out.
+    // After the twin wakes us we loop and re-check: a twin that *finished*
+    // left the id in the completed set and we ack above, but a twin turned
+    // away at QoS admission never completed — the work is still undone and
+    // this attempt must register and drive it itself.
+    auto it = in_flight_.find(op_id);
+    if (it == in_flight_.end()) break;
+    if (!joined) {
+      joined = true;
+      ++coalesced_;
+    }
     const std::shared_ptr<sim::Event> twin = it->second;
     co_await twin->wait();
     co_await wait_if_crashed();
-    co_await engine_.delay(svc(cfg_.hit_service));
-    *handled = true;
-    co_return;
   }
   *done = std::make_shared<sim::Event>(engine_, "IoServer::op");
   in_flight_.emplace(op_id, *done);
@@ -73,6 +80,38 @@ void IoServer::finish_op(std::uint64_t op_id, const std::shared_ptr<sim::Event>&
   auto it = in_flight_.find(op_id);
   if (it != in_flight_.end() && it->second == done) in_flight_.erase(it);
   done->set();
+}
+
+void IoServer::abort_op(std::uint64_t op_id, const std::shared_ptr<sim::Event>& done) {
+  if (done == nullptr) return;
+  // No completed_ insertion: the op was never applied, so a joined duplicate
+  // waking here must re-drive it rather than treat the id as acknowledged.
+  auto it = in_flight_.find(op_id);
+  if (it != in_flight_.end() && it->second == done) in_flight_.erase(it);
+  done->set();
+}
+
+sim::Tick IoServer::estimate_read(const UnitKey& key, std::uint64_t unit_disk_offset,
+                                  std::uint64_t offset_in_unit, std::uint64_t len,
+                                  bool buffered) const {
+  if (!buffered) {
+    return svc(cfg_.miss_setup) + disk_.service_time(unit_disk_offset + offset_in_unit, len);
+  }
+  if (cache_.find(key) != cache_.end()) return svc(cfg_.hit_service);
+  return svc(cfg_.miss_setup) + disk_.service_time(unit_disk_offset, stripe_unit_);
+}
+
+sim::Tick IoServer::estimate_write(std::uint64_t unit_disk_offset, std::uint64_t offset_in_unit,
+                                   std::uint64_t len, bool buffered) const {
+  if (!buffered) {
+    return svc(cfg_.miss_setup) + disk_.service_time(unit_disk_offset + offset_in_unit, len);
+  }
+  return svc(cfg_.write_absorb +
+             static_cast<sim::Tick>(static_cast<double>(len) / cfg_.absorb_bytes_per_tick));
+}
+
+void IoServer::note_cpu_queue() {
+  peak_cpu_queue_ = std::max(peak_cpu_queue_, cpu_.queue_length() + 1);
 }
 
 void IoServer::restart() {
@@ -140,97 +179,127 @@ sim::Task<void> IoServer::flush_oldest_dirty() {
   co_await disk_.access(it->second.disk_offset, stripe_unit_, /*write=*/true);
 }
 
-sim::Task<void> IoServer::read(UnitKey key, std::uint64_t unit_disk_offset,
-                               std::uint64_t offset_in_unit, std::uint64_t len, bool buffered,
-                               int prefetch_cap, std::uint64_t op_id) {
+sim::Task<qos::Admission> IoServer::read(UnitKey key, std::uint64_t unit_disk_offset,
+                                         std::uint64_t offset_in_unit, std::uint64_t len,
+                                         bool buffered, int prefetch_cap, OpCtx ctx) {
   co_await wait_if_crashed();
   bool handled = false;
   std::shared_ptr<sim::Event> done;
-  co_await begin_op(op_id, &handled, &done);
-  if (handled) co_return;
-  auto guard = co_await cpu_.scoped();
-  const std::uint64_t disk_offset = unit_disk_offset;
+  co_await begin_op(ctx.op_id, &handled, &done);
+  if (handled) co_return qos::Admission{};
 
-  if (!buffered) {
-    ++unbuffered_;
-    co_await engine_.delay(svc(cfg_.miss_setup));
-    // Unbuffered access bypasses the cache and pays a raw array access;
-    // RAID-3 rounds the transfer up to its granule internally.
-    co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/false);
-    finish_op(op_id, done);
-    co_return;
-  }
-
-  if (lookup(key)) {
-    ++hits_;
-    touch(key);
-    // Hits advance the sequential detector too, so a run that alternates
-    // between prefetched hits and misses keeps prefetching.
-    last_unit_[key.file] = key.unit;
-    co_await engine_.delay(svc(cfg_.hit_service));
-    finish_op(op_id, done);
-    co_return;
-  }
-
-  ++misses_;
-  co_await engine_.delay(svc(cfg_.miss_setup));
-
-  // Sequential prefetch (policy extension): if this miss extends a
-  // sequential run for the file, fetch extra units in the same array access.
-  // On this server, consecutive units of one file differ by the stripe
-  // factor in global index but are contiguous on the local array.
-  int extra = 0;
-  if (cfg_.prefetch_units > 0) {
-    auto it = last_unit_.find(key.file);
-    if (it != last_unit_.end() && key.unit == it->second + stripe_factor_) {
-      extra = std::min(cfg_.prefetch_units, prefetch_cap);
+  // Bounded admission (when a QoS front door is attached).  An op turned
+  // away holds no server resources: its in-flight registration is withdrawn
+  // and the verdict travels back to the client with the retry-after credit.
+  sim::Tick est = 0;
+  sim::Tick granted_at = 0;
+  if (qos_ != nullptr) {
+    est = estimate_read(key, unit_disk_offset, offset_in_unit, len, buffered);
+    const qos::Admission adm =
+        co_await qos_->admit(ctx.node, qos::OpClass::kData, est, ctx.deadline_left);
+    if (adm.verdict != qos::Verdict::kAdmitted) {
+      abort_op(ctx.op_id, done);
+      co_return adm;
     }
+    granted_at = adm.granted_at;
   }
-  last_unit_[key.file] = key.unit;
+  note_cpu_queue();
+  {
+    auto guard = co_await cpu_.scoped();
+    const std::uint64_t disk_offset = unit_disk_offset;
 
-  const std::uint64_t fetch_bytes = stripe_unit_ * static_cast<std::uint64_t>(1 + extra);
-  co_await disk_.access(disk_offset, fetch_bytes, /*write=*/false);
-  insert(key, disk_offset, /*dirty=*/false);
-  for (int i = 1; i <= extra; ++i) {
-    const auto step = static_cast<std::uint64_t>(i);
-    insert(UnitKey{key.file, key.unit + step * stripe_factor_}, disk_offset + step * stripe_unit_,
-           /*dirty=*/false);
-    ++prefetched_;
+    if (!buffered) {
+      ++unbuffered_;
+      co_await engine_.delay(svc(cfg_.miss_setup));
+      // Unbuffered access bypasses the cache and pays a raw array access;
+      // RAID-3 rounds the transfer up to its granule internally.
+      co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/false);
+    } else if (lookup(key)) {
+      ++hits_;
+      touch(key);
+      // Hits advance the sequential detector too, so a run that alternates
+      // between prefetched hits and misses keeps prefetching.
+      last_unit_[key.file] = key.unit;
+      co_await engine_.delay(svc(cfg_.hit_service));
+    } else {
+      ++misses_;
+      co_await engine_.delay(svc(cfg_.miss_setup));
+
+      // Sequential prefetch (policy extension): if this miss extends a
+      // sequential run for the file, fetch extra units in the same array
+      // access.  On this server, consecutive units of one file differ by the
+      // stripe factor in global index but are contiguous on the local array.
+      int extra = 0;
+      if (cfg_.prefetch_units > 0) {
+        auto it = last_unit_.find(key.file);
+        if (it != last_unit_.end() && key.unit == it->second + stripe_factor_) {
+          extra = std::min(cfg_.prefetch_units, prefetch_cap);
+        }
+      }
+      last_unit_[key.file] = key.unit;
+
+      const std::uint64_t fetch_bytes = stripe_unit_ * static_cast<std::uint64_t>(1 + extra);
+      co_await disk_.access(disk_offset, fetch_bytes, /*write=*/false);
+      insert(key, disk_offset, /*dirty=*/false);
+      for (int i = 1; i <= extra; ++i) {
+        const auto step = static_cast<std::uint64_t>(i);
+        insert(UnitKey{key.file, key.unit + step * stripe_factor_},
+               disk_offset + step * stripe_unit_,
+               /*dirty=*/false);
+        ++prefetched_;
+      }
+      co_await evict_if_needed();
+    }
+    finish_op(ctx.op_id, done);
   }
-  co_await evict_if_needed();
-  finish_op(op_id, done);
-  (void)len;
+  if (qos_ != nullptr) qos_->release(est, granted_at);
+  co_return qos::Admission{};
 }
 
-sim::Task<void> IoServer::write(UnitKey key, std::uint64_t unit_disk_offset,
-                                std::uint64_t offset_in_unit, std::uint64_t len, bool buffered,
-                                std::uint64_t op_id) {
+sim::Task<qos::Admission> IoServer::write(UnitKey key, std::uint64_t unit_disk_offset,
+                                          std::uint64_t offset_in_unit, std::uint64_t len,
+                                          bool buffered, OpCtx ctx) {
   co_await wait_if_crashed();
   bool handled = false;
   std::shared_ptr<sim::Event> done;
-  co_await begin_op(op_id, &handled, &done);
-  if (handled) co_return;
-  auto guard = co_await cpu_.scoped();
-  const std::uint64_t disk_offset = unit_disk_offset;
+  co_await begin_op(ctx.op_id, &handled, &done);
+  if (handled) co_return qos::Admission{};
 
-  if (!buffered) {
-    ++unbuffered_;
-    co_await engine_.delay(svc(cfg_.miss_setup));
-    co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/true);
-    finish_op(op_id, done);
-    co_return;
+  sim::Tick est = 0;
+  sim::Tick granted_at = 0;
+  if (qos_ != nullptr) {
+    est = estimate_write(unit_disk_offset, offset_in_unit, len, buffered);
+    const qos::Admission adm =
+        co_await qos_->admit(ctx.node, qos::OpClass::kData, est, ctx.deadline_left);
+    if (adm.verdict != qos::Verdict::kAdmitted) {
+      abort_op(ctx.op_id, done);
+      co_return adm;
+    }
+    granted_at = adm.granted_at;
   }
+  note_cpu_queue();
+  {
+    auto guard = co_await cpu_.scoped();
+    const std::uint64_t disk_offset = unit_disk_offset;
 
-  co_await engine_.delay(svc(cfg_.write_absorb +
-                             static_cast<sim::Tick>(static_cast<double>(len) /
-                                                    cfg_.absorb_bytes_per_tick)));
-  insert(key, disk_offset, /*dirty=*/true);
-  if (dirty_.size() > cfg_.dirty_limit) {
-    co_await flush_oldest_dirty();
+    if (!buffered) {
+      ++unbuffered_;
+      co_await engine_.delay(svc(cfg_.miss_setup));
+      co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/true);
+    } else {
+      co_await engine_.delay(svc(cfg_.write_absorb +
+                                 static_cast<sim::Tick>(static_cast<double>(len) /
+                                                        cfg_.absorb_bytes_per_tick)));
+      insert(key, disk_offset, /*dirty=*/true);
+      if (dirty_.size() > cfg_.dirty_limit) {
+        co_await flush_oldest_dirty();
+      }
+      co_await evict_if_needed();
+    }
+    finish_op(ctx.op_id, done);
   }
-  co_await evict_if_needed();
-  finish_op(op_id, done);
-  (void)len;
+  if (qos_ != nullptr) qos_->release(est, granted_at);
+  co_return qos::Admission{};
 }
 
 sim::Task<void> IoServer::flush_all() {

@@ -39,11 +39,21 @@
 #include <unordered_set>
 
 #include "machine/disk.hpp"
+#include "qos/qos.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
 namespace sio::pfs {
+
+/// Per-operation client context threaded to the server: originating compute
+/// node (for fair queueing), replay id (0 = untracked) and remaining
+/// deadline budget (0 = none; enables deadline-aware shedding).
+struct OpCtx {
+  std::int32_t node = -1;
+  std::uint64_t op_id = 0;
+  sim::Tick deadline_left = 0;
+};
 
 struct ServerConfig {
   /// CPU service for an operation satisfied from cache.
@@ -117,17 +127,21 @@ class IoServer {
   /// access at the exact position.  `prefetch_cap` bounds how many units
   /// beyond this one may be prefetched (the client derives it from the
   /// file's remaining extent on this node, so prefetch never overshoots).
-  /// `op_id` (0 = untracked) identifies the operation for idempotent replay.
-  sim::Task<void> read(UnitKey key, std::uint64_t unit_disk_offset, std::uint64_t offset_in_unit,
-                       std::uint64_t len, bool buffered, int prefetch_cap = 1 << 20,
-                       std::uint64_t op_id = 0);
+  /// `ctx` carries the client's node/op-id/deadline; with QoS attached the
+  /// returned Admission reports whether the op was served or turned away
+  /// (rejected/shed) with a retry-after credit.  Without QoS every op is
+  /// served and the returned Admission is the default (admitted).
+  sim::Task<qos::Admission> read(UnitKey key, std::uint64_t unit_disk_offset,
+                                 std::uint64_t offset_in_unit, std::uint64_t len, bool buffered,
+                                 int prefetch_cap = 1 << 20, OpCtx ctx = {});
 
   /// Write into a stripe unit; buffered writes are absorbed into the
   /// write-back cache, unbuffered writes go straight to the array.  A tracked
   /// replay of an already-completed write is acknowledged without being
   /// applied twice.
-  sim::Task<void> write(UnitKey key, std::uint64_t unit_disk_offset, std::uint64_t offset_in_unit,
-                        std::uint64_t len, bool buffered, std::uint64_t op_id = 0);
+  sim::Task<qos::Admission> write(UnitKey key, std::uint64_t unit_disk_offset,
+                                  std::uint64_t offset_in_unit, std::uint64_t len, bool buffered,
+                                  OpCtx ctx = {});
 
   /// Drains every dirty unit to the array.
   sim::Task<void> flush_all();
@@ -151,6 +165,13 @@ class IoServer {
   /// replay.  Off by default so fault-free runs carry no tracking state.
   void set_replay_tracking(bool on) { replay_tracking_ = on; }
 
+  // ---- overload protection ----
+
+  /// Attaches the bounded admission queue fronting this server (owned by the
+  /// Pfs instance; nullptr = unprotected, the pre-QoS behavior).
+  void set_qos(qos::ServerQos* q) { qos_ = q; }
+  qos::ServerQos* qos_queue() const { return qos_; }
+
   // ---- statistics ----
   std::uint64_t cache_hits() const { return hits_; }
   std::uint64_t cache_misses() const { return misses_; }
@@ -165,6 +186,9 @@ class IoServer {
   std::uint64_t crash_count() const { return crashes_; }
   /// Dirty write-back units lost across crashes (data clients must re-drive).
   std::uint64_t lost_dirty_units() const { return lost_dirty_; }
+  /// Peak depth of the CPU service queue (holder + waiters) — with QoS
+  /// attached this is bounded by the admission `service_slots`.
+  std::size_t peak_cpu_queue() const { return peak_cpu_queue_; }
 
  private:
   struct CacheEntry {
@@ -180,6 +204,8 @@ class IoServer {
   std::uint64_t stripe_factor_;
   hw::Raid3Disk disk_;
   sim::Mutex cpu_;
+  qos::ServerQos* qos_ = nullptr;
+  std::size_t peak_cpu_queue_ = 0;
 
   std::list<UnitKey> lru_;  // front = most recent
   std::unordered_map<UnitKey, CacheEntry, UnitKeyHash> cache_;
@@ -229,6 +255,18 @@ class IoServer {
   /// Marks a tracked op completed: records the id, unregisters the
   /// in-flight entry (if still ours) and wakes joined duplicates.
   void finish_op(std::uint64_t op_id, const std::shared_ptr<sim::Event>& done);
+  /// Unregisters a tracked op turned away at admission *without* marking it
+  /// completed, and wakes joined duplicates so they re-drive it themselves.
+  void abort_op(std::uint64_t op_id, const std::shared_ptr<sim::Event>& done);
+
+  /// Deterministic service-time estimates for admission decisions (current
+  /// cache state + analytic array service; never touches the cache).
+  sim::Tick estimate_read(const UnitKey& key, std::uint64_t unit_disk_offset,
+                          std::uint64_t offset_in_unit, std::uint64_t len, bool buffered) const;
+  sim::Tick estimate_write(std::uint64_t unit_disk_offset, std::uint64_t offset_in_unit,
+                           std::uint64_t len, bool buffered) const;
+  /// Records the CPU queue depth this op is about to join.
+  void note_cpu_queue();
 };
 
 }  // namespace sio::pfs

@@ -1,0 +1,111 @@
+// Per-I/O-node circuit breaker.
+//
+// The PR 2 fault layer makes individual I/O nodes time out (crashed,
+// degraded, stuck-disk intervals).  Without a breaker every client keeps
+// hammering the sick node — each attempt burns a full op deadline before the
+// retry, which is exactly the retry storm the overload harness provokes.
+// The breaker watches the per-node outcome stream the retry loop feeds it
+// and cuts the node off when the recent failure rate crosses the trip
+// threshold:
+//
+//   closed ──(failure rate ≥ trip ratio)──▶ open
+//   open ──(after `breaker_open_for`)──▶ half-open
+//   half-open ──(probe succeeds)──▶ closed
+//   half-open ──(probe fails)──▶ open again
+//
+// While the breaker is open, the PFS client routes *reads* to RAID-3
+// degraded reconstruction from the surviving nodes' data + parity (the
+// stripe's XOR redundancy makes the sick node's unit recomputable) and holds
+// *writes* back with the breaker's wait hint.
+//
+// Determinism: there are no timers — state advances lazily from
+// `engine.now()` whenever the breaker is consulted, so two identical runs
+// consult it at identical ticks and see identical transitions.  Every
+// transition is emitted as a `#qos` record.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string_view>
+
+#include "pablo/collector.hpp"
+#include "qos/qos.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace sio::qos {
+
+enum class BreakerState : std::uint8_t {
+  kClosed = 0,
+  kOpen,
+  kHalfOpen,
+};
+
+constexpr std::string_view breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+class CircuitBreaker {
+ public:
+  /// `io_node` lands in the `target` field of emitted records; `collector`
+  /// may be null.
+  CircuitBreaker(sim::Engine& engine, int io_node, const QosConfig& cfg,
+                 pablo::Collector* collector)
+      : engine_(engine), id_(io_node), cfg_(cfg), collector_(collector) {}
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// True when the caller may send an attempt to this node now.  In
+  /// half-open state a `true` return claims one of the probe slots; callers
+  /// that get `false` must reroute (reads) or wait `wait_hint()` (writes).
+  /// `node` identifies the asking compute node for the trace record.
+  bool allow_attempt(int node);
+
+  /// Feed the outcome of an attempt that was allowed through.
+  void on_success(int node);
+  void on_failure(int node);
+
+  /// How long a held-back caller should wait before consulting the breaker
+  /// again (time until the open interval ends; a minimal beat otherwise).
+  sim::Tick wait_hint() const;
+
+  BreakerState state() const { return state_; }
+  int io_node() const { return id_; }
+
+  std::uint64_t opens() const { return opens_; }
+  std::uint64_t closes() const { return closes_; }
+  std::uint64_t probes() const { return probes_; }
+
+ private:
+  sim::Engine& engine_;
+  int id_;
+  QosConfig cfg_;
+  pablo::Collector* collector_;
+
+  BreakerState state_ = BreakerState::kClosed;
+  /// Sliding outcome window (true = failure), bounded at cfg_.breaker_window.
+  std::deque<bool> window_;
+  int window_failures_ = 0;
+  sim::Tick open_until_ = 0;
+  int probes_left_ = 0;
+
+  std::uint64_t opens_ = 0;
+  std::uint64_t closes_ = 0;
+  std::uint64_t probes_ = 0;
+
+  void record(pablo::QosKind kind, int node, std::uint64_t info);
+  void push_outcome(bool failure);
+  bool should_trip() const;
+  void trip(int node);
+  /// Lazy open → half-open advance once the open interval has elapsed.
+  void advance(int node);
+};
+
+}  // namespace sio::qos

@@ -1,0 +1,263 @@
+// Unit tests for the bounded/fair/shedding admission queue (`qos::ServerQos`):
+// slot bounds, per-(class, node) rejection with monotone credits,
+// deadline-aware shedding, DRR two-class fairness, release-driven pumping,
+// the max_pending invariant, and the learned service-time ratio.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "qos/qos.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace sio::qos {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+using sim::Tick;
+
+QosConfig small_cfg() {
+  QosConfig cfg;
+  cfg.enabled = true;
+  cfg.service_slots = 2;
+  cfg.queue_limit = 2;
+  cfg.drr_quantum = sim::milliseconds(1);
+  return cfg;
+}
+
+/// Admits one op, appends its admission order on grant, holds the slot for
+/// `hold` ticks, then releases.
+Task<void> one_op(Engine& e, ServerQos& q, int node, OpClass cls, Tick cost, Tick deadline_left,
+                  Tick hold, std::vector<int>* order, int tag, std::vector<Admission>* verdicts) {
+  const Admission adm = co_await q.admit(node, cls, cost, deadline_left);
+  if (verdicts != nullptr) verdicts->push_back(adm);
+  if (adm.verdict != Verdict::kAdmitted) co_return;
+  if (order != nullptr) order->push_back(tag);
+  co_await e.delay(hold);
+  q.release(cost, adm.granted_at);
+}
+
+TEST(QosAdmission, FastPathAdmitsUpToServiceSlots) {
+  Engine e;
+  ServerQos q(e, 0, small_cfg(), nullptr);
+  std::vector<int> order;
+  std::vector<Admission> verdicts;
+  for (int i = 0; i < 2; ++i) {
+    e.spawn(one_op(e, q, /*node=*/i, OpClass::kData, sim::microseconds(10), 0,
+                   sim::milliseconds(1), &order, i, &verdicts));
+  }
+  e.run();
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0].verdict, Verdict::kAdmitted);
+  EXPECT_EQ(verdicts[1].verdict, Verdict::kAdmitted);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(q.occupancy(), 0u);
+  EXPECT_EQ(q.admitted(), 2u);
+  EXPECT_EQ(q.rejected(), 0u);
+}
+
+TEST(QosAdmission, OccupancyNeverExceedsServiceSlots) {
+  Engine e;
+  auto cfg = small_cfg();
+  cfg.queue_limit = 8;
+  ServerQos q(e, 0, cfg, nullptr);
+  std::size_t peak = 0;
+  for (int i = 0; i < 6; ++i) {
+    e.spawn([](Engine& eng, ServerQos& qq, int node, std::size_t* pk) -> Task<void> {
+      const Admission adm =
+          co_await qq.admit(node, OpClass::kData, sim::microseconds(10), /*deadline_left=*/0);
+      EXPECT_EQ(adm.verdict, Verdict::kAdmitted);
+      *pk = std::max(*pk, qq.occupancy());
+      co_await eng.delay(sim::milliseconds(1));
+      qq.release(sim::microseconds(10), adm.granted_at);
+    }(e, q, i, &peak));
+  }
+  e.run();
+  EXPECT_EQ(peak, 2u);
+  EXPECT_EQ(q.admitted(), 6u);
+  EXPECT_EQ(q.waiting(), 0u);
+}
+
+TEST(QosAdmission, RejectsBeyondPerKeyQueueLimitWithMonotoneCredits) {
+  Engine e;
+  ServerQos q(e, 0, small_cfg(), nullptr);  // 2 slots, 2 waiters per key
+  std::vector<Admission> verdicts;
+  // Seven ops from the SAME (class, node): 2 admitted, 2 parked, 3 rejected.
+  for (int i = 0; i < 7; ++i) {
+    e.spawn(one_op(e, q, /*node=*/5, OpClass::kData, sim::microseconds(100), 0,
+                   sim::milliseconds(2), nullptr, i, &verdicts));
+  }
+  e.run();
+  ASSERT_EQ(verdicts.size(), 7u);
+  int admitted = 0;
+  int rejected = 0;
+  std::vector<Tick> credits;
+  for (const auto& v : verdicts) {
+    if (v.verdict == Verdict::kAdmitted) ++admitted;
+    if (v.verdict == Verdict::kRejected) {
+      ++rejected;
+      credits.push_back(v.retry_after);
+    }
+  }
+  EXPECT_EQ(admitted, 4);  // 2 slots + 2 parked eventually served
+  EXPECT_EQ(rejected, 3);
+  EXPECT_EQ(q.rejected(), 3u);
+  EXPECT_EQ(q.credits_issued(), 3u);
+  // Credits are staggered by the virtual slot clock: strictly increasing, so
+  // the storm's re-arrivals come back paced rather than on one tick.
+  ASSERT_EQ(credits.size(), 3u);
+  EXPECT_GT(credits[0], 0);
+  EXPECT_LT(credits[0], credits[1]);
+  EXPECT_LT(credits[1], credits[2]);
+}
+
+TEST(QosAdmission, QueueLimitIsPerClassNodeKey) {
+  Engine e;
+  ServerQos q(e, 0, small_cfg(), nullptr);  // 2 slots, 2 waiters per key
+  std::vector<Admission> verdicts;
+  // Node 1 fills the slots and its own waiter quota...
+  for (int i = 0; i < 4; ++i) {
+    e.spawn(one_op(e, q, /*node=*/1, OpClass::kData, sim::microseconds(100), 0,
+                   sim::milliseconds(2), nullptr, i, &verdicts));
+  }
+  // ...but node 2's arrivals have their own queue and still park.
+  for (int i = 0; i < 2; ++i) {
+    e.spawn(one_op(e, q, /*node=*/2, OpClass::kData, sim::microseconds(100), 0,
+                   sim::milliseconds(2), nullptr, 10 + i, &verdicts));
+  }
+  e.run();
+  ASSERT_EQ(verdicts.size(), 6u);
+  for (const auto& v : verdicts) EXPECT_EQ(v.verdict, Verdict::kAdmitted);
+  EXPECT_EQ(q.rejected(), 0u);
+}
+
+TEST(QosAdmission, ShedsWhenDeadlineCannotCoverEstimatedWait) {
+  Engine e;
+  ServerQos q(e, 0, small_cfg(), nullptr);
+  std::vector<Admission> verdicts;
+  // Two long ops occupy the slots; a third with a tiny remaining deadline is
+  // shed at admission (its wait estimate alone exceeds the budget), while a
+  // fourth with a generous deadline parks.
+  const Tick cost = sim::milliseconds(10);
+  e.spawn(one_op(e, q, 1, OpClass::kData, cost, 0, sim::milliseconds(30), nullptr, 0, &verdicts));
+  e.spawn(one_op(e, q, 2, OpClass::kData, cost, 0, sim::milliseconds(30), nullptr, 1, &verdicts));
+  e.spawn(one_op(e, q, 3, OpClass::kData, cost, /*deadline_left=*/sim::milliseconds(1),
+                 sim::milliseconds(1), nullptr, 2, &verdicts));
+  e.spawn(one_op(e, q, 4, OpClass::kData, cost, /*deadline_left=*/sim::seconds(10),
+                 sim::milliseconds(1), nullptr, 3, &verdicts));
+  e.run();
+  ASSERT_EQ(verdicts.size(), 4u);
+  EXPECT_EQ(verdicts[0].verdict, Verdict::kAdmitted);
+  EXPECT_EQ(verdicts[1].verdict, Verdict::kAdmitted);
+  EXPECT_EQ(verdicts[2].verdict, Verdict::kShed);
+  EXPECT_GT(verdicts[2].retry_after, 0);
+  EXPECT_EQ(verdicts[3].verdict, Verdict::kAdmitted);
+  EXPECT_EQ(q.shed(), 1u);
+}
+
+TEST(QosAdmission, NoDeadlineMeansNoShedding) {
+  Engine e;
+  ServerQos q(e, 0, small_cfg(), nullptr);
+  std::vector<Admission> verdicts;
+  const Tick cost = sim::milliseconds(10);
+  for (int i = 0; i < 4; ++i) {
+    e.spawn(one_op(e, q, i, OpClass::kData, cost, /*deadline_left=*/0, sim::milliseconds(30),
+                   nullptr, i, &verdicts));
+  }
+  e.run();
+  for (const auto& v : verdicts) EXPECT_EQ(v.verdict, Verdict::kAdmitted);
+  EXPECT_EQ(q.shed(), 0u);
+}
+
+TEST(QosAdmission, DrrAlternatesAcrossKeysInsteadOfDrainingOne) {
+  Engine e;
+  QosConfig cfg = small_cfg();
+  cfg.service_slots = 1;
+  cfg.queue_limit = 4;
+  // Quantum covers exactly one op per visit, so grants must rotate.
+  cfg.drr_quantum = sim::microseconds(100);
+  ServerQos q(e, 0, cfg, nullptr);
+  std::vector<int> order;
+  // Tag = node * 10 + index.  Node 1 parks three ops before node 2's three
+  // arrive; strict FIFO would serve 11,12,13,21,22,23 — DRR must interleave.
+  e.spawn(one_op(e, q, 9, OpClass::kData, sim::microseconds(100), 0, sim::milliseconds(1), &order,
+                 90, nullptr));
+  for (int i = 1; i <= 3; ++i) {
+    e.spawn(one_op(e, q, 1, OpClass::kData, sim::microseconds(100), 0, sim::milliseconds(1),
+                   &order, 10 + i, nullptr));
+  }
+  for (int i = 1; i <= 3; ++i) {
+    e.spawn(one_op(e, q, 2, OpClass::kData, sim::microseconds(100), 0, sim::milliseconds(1),
+                   &order, 20 + i, nullptr));
+  }
+  e.run();
+  ASSERT_EQ(order.size(), 7u);
+  EXPECT_EQ(order[0], 90);  // fast path
+  // Each (class, node) queue gets one grant per rotation: 11,21,12,22,13,23.
+  EXPECT_EQ((std::vector<int>{order.begin() + 1, order.end()}),
+            (std::vector<int>{11, 21, 12, 22, 13, 23}));
+}
+
+TEST(QosAdmission, MetaAndDataClassesQueueSeparately) {
+  Engine e;
+  QosConfig cfg = small_cfg();
+  cfg.service_slots = 1;
+  cfg.queue_limit = 2;  // per (class, node): 2 meta AND 2 data may park
+  cfg.drr_quantum = sim::microseconds(100);
+  ServerQos q(e, 0, cfg, nullptr);
+  std::vector<int> order;
+  std::vector<Admission> verdicts;
+  e.spawn(one_op(e, q, 7, OpClass::kData, sim::microseconds(100), 0, sim::milliseconds(1), &order,
+                 0, &verdicts));
+  for (int i = 1; i <= 2; ++i) {
+    e.spawn(one_op(e, q, 7, OpClass::kData, sim::microseconds(100), 0, sim::milliseconds(1),
+                   &order, 10 + i, &verdicts));
+    e.spawn(one_op(e, q, 7, OpClass::kMeta, sim::microseconds(100), 0, sim::milliseconds(1),
+                   &order, 20 + i, &verdicts));
+  }
+  e.run();
+  for (const auto& v : verdicts) EXPECT_EQ(v.verdict, Verdict::kAdmitted);
+  EXPECT_EQ(q.rejected(), 0u);
+  ASSERT_EQ(order.size(), 5u);
+  // The two classes rotate even though every op names the same node.
+  EXPECT_EQ((std::vector<int>{order.begin() + 1, order.end()}),
+            (std::vector<int>{11, 21, 12, 22}));
+}
+
+TEST(QosAdmission, MaxPendingStaysWithinConfiguredBound) {
+  Engine e;
+  QosConfig cfg = small_cfg();  // 2 slots, 2 waiters per key
+  ServerQos q(e, 0, cfg, nullptr);
+  // A storm from 3 distinct nodes: the pending population can never exceed
+  // service_slots + queue_limit * keys, no matter how many ops are offered.
+  for (int node = 0; node < 3; ++node) {
+    for (int i = 0; i < 10; ++i) {
+      e.spawn(one_op(e, q, node, OpClass::kData, sim::microseconds(50), 0, sim::milliseconds(1),
+                     nullptr, node * 100 + i, nullptr));
+    }
+  }
+  e.run();
+  EXPECT_LE(q.max_pending(), cfg.service_slots + cfg.queue_limit * 3);
+  EXPECT_GT(q.rejected(), 0u);
+}
+
+TEST(QosAdmission, LearnsServiceRatioFromGrantToReleaseSpread) {
+  Engine e;
+  ServerQos q(e, 0, small_cfg(), nullptr);
+  // Every op's actual in-service time is 8x its estimate; the EWMA must move
+  // toward the real regime (and stay clamped).
+  for (int i = 0; i < 32; ++i) {
+    e.spawn(one_op(e, q, i % 3, OpClass::kData, sim::microseconds(100), 0,
+                   sim::microseconds(800), nullptr, i, nullptr));
+  }
+  e.run();
+  EXPECT_GT(q.service_ratio(), 3.0);
+  EXPECT_LE(q.service_ratio(), 16.0);
+}
+
+}  // namespace
+}  // namespace sio::qos

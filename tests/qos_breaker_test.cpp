@@ -1,0 +1,151 @@
+// Unit tests for the per-I/O-node circuit breaker: trip threshold over the
+// outcome window, congestion tolerance below the ratio, min-samples gating,
+// the lazy open → half-open advance, probe claiming, close-on-success and
+// reopen-on-probe-failure.
+
+#include <gtest/gtest.h>
+
+#include "qos/breaker.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace sio::qos {
+namespace {
+
+using sim::Engine;
+
+QosConfig breaker_cfg() {
+  QosConfig cfg;
+  cfg.enabled = true;
+  cfg.breaker_window = 4;
+  cfg.breaker_min_samples = 4;
+  cfg.breaker_trip_ratio = 0.75;
+  cfg.breaker_open_for = sim::milliseconds(100);
+  cfg.breaker_halfopen_probes = 1;
+  return cfg;
+}
+
+TEST(QosBreaker, TripsWhenWindowFailureRateReachesRatio) {
+  Engine e;
+  CircuitBreaker br(e, 0, breaker_cfg(), nullptr);
+  br.on_failure(1);
+  br.on_failure(1);
+  br.on_success(1);
+  EXPECT_EQ(br.state(), BreakerState::kClosed);  // 2/3 but below min samples
+  br.on_failure(1);  // window = F F S F -> 3/4 = 0.75 >= ratio
+  EXPECT_EQ(br.state(), BreakerState::kOpen);
+  EXPECT_EQ(br.opens(), 1u);
+  EXPECT_FALSE(br.allow_attempt(1));
+}
+
+TEST(QosBreaker, ToleratesAlternatingCongestionPattern) {
+  Engine e;
+  CircuitBreaker br(e, 0, breaker_cfg(), nullptr);
+  // A congested-but-healthy node shows timeout/recovered alternation: the
+  // 50% rate never reaches the 0.75 trip ratio.
+  for (int i = 0; i < 20; ++i) {
+    br.on_failure(1);
+    br.on_success(1);
+  }
+  EXPECT_EQ(br.state(), BreakerState::kClosed);
+  EXPECT_EQ(br.opens(), 0u);
+  EXPECT_TRUE(br.allow_attempt(1));
+}
+
+TEST(QosBreaker, NeedsMinSamplesBeforeTripping) {
+  Engine e;
+  auto cfg = breaker_cfg();
+  cfg.breaker_window = 8;
+  cfg.breaker_min_samples = 6;
+  CircuitBreaker br(e, 0, cfg, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    br.on_failure(1);
+    EXPECT_EQ(br.state(), BreakerState::kClosed) << "tripped on sample " << i + 1;
+  }
+  br.on_failure(1);  // sixth pure failure meets min samples
+  EXPECT_EQ(br.state(), BreakerState::kOpen);
+}
+
+TEST(QosBreaker, SlidingWindowForgetsOldFailures) {
+  Engine e;
+  CircuitBreaker br(e, 0, breaker_cfg(), nullptr);  // window 4
+  br.on_failure(1);
+  br.on_failure(1);
+  // Four successes push both failures out of the window; a single new
+  // failure is then 1/4 and must not trip.
+  for (int i = 0; i < 4; ++i) br.on_success(1);
+  br.on_failure(1);
+  EXPECT_EQ(br.state(), BreakerState::kClosed);
+}
+
+TEST(QosBreaker, OpenHoldsUntilIntervalThenGrantsOneProbe) {
+  Engine e;
+  CircuitBreaker br(e, 0, breaker_cfg(), nullptr);
+  for (int i = 0; i < 4; ++i) br.on_failure(1);
+  ASSERT_EQ(br.state(), BreakerState::kOpen);
+
+  bool blocked_while_open = true;
+  bool probe_granted = false;
+  bool second_probe_blocked = true;
+  e.schedule_at(sim::milliseconds(50), [&] { blocked_while_open = !br.allow_attempt(1); });
+  e.schedule_at(sim::milliseconds(101), [&] {
+    probe_granted = br.allow_attempt(1);          // lazy advance to half-open
+    second_probe_blocked = !br.allow_attempt(1);  // only one probe slot
+  });
+  e.run();
+  EXPECT_TRUE(blocked_while_open);
+  EXPECT_TRUE(probe_granted);
+  EXPECT_TRUE(second_probe_blocked);
+  EXPECT_EQ(br.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(br.probes(), 1u);
+}
+
+TEST(QosBreaker, WaitHintCountsDownTheOpenInterval) {
+  Engine e;
+  CircuitBreaker br(e, 0, breaker_cfg(), nullptr);
+  for (int i = 0; i < 4; ++i) br.on_failure(1);
+  ASSERT_EQ(br.state(), BreakerState::kOpen);
+  sim::Tick hint_at_40 = 0;
+  e.schedule_at(sim::milliseconds(40), [&] { hint_at_40 = br.wait_hint(); });
+  e.run();
+  EXPECT_EQ(hint_at_40, sim::milliseconds(60));
+}
+
+TEST(QosBreaker, ProbeSuccessClosesAndResetsTheWindow) {
+  Engine e;
+  CircuitBreaker br(e, 0, breaker_cfg(), nullptr);
+  for (int i = 0; i < 4; ++i) br.on_failure(1);
+  e.schedule_at(sim::milliseconds(101), [&] {
+    ASSERT_TRUE(br.allow_attempt(1));
+    br.on_success(1);
+    EXPECT_EQ(br.state(), BreakerState::kClosed);
+    // The stale pre-open failures must not re-trip the fresh window.
+    br.on_failure(1);
+    EXPECT_EQ(br.state(), BreakerState::kClosed);
+  });
+  e.run();
+  EXPECT_EQ(br.closes(), 1u);
+  EXPECT_TRUE(br.allow_attempt(1));
+}
+
+TEST(QosBreaker, ProbeFailureReopensForAnotherInterval) {
+  Engine e;
+  CircuitBreaker br(e, 0, breaker_cfg(), nullptr);
+  for (int i = 0; i < 4; ++i) br.on_failure(1);
+  bool reopened_blocks = false;
+  e.schedule_at(sim::milliseconds(101), [&] {
+    ASSERT_TRUE(br.allow_attempt(1));
+    br.on_failure(1);
+    EXPECT_EQ(br.state(), BreakerState::kOpen);
+  });
+  // 150 ms is inside the SECOND open interval (101 + 100), so attempts stay
+  // blocked even though the first interval has long elapsed.
+  e.schedule_at(sim::milliseconds(150), [&] { reopened_blocks = !br.allow_attempt(1); });
+  e.run();
+  EXPECT_TRUE(reopened_blocks);
+  EXPECT_EQ(br.opens(), 2u);
+  EXPECT_EQ(br.closes(), 0u);
+}
+
+}  // namespace
+}  // namespace sio::qos

@@ -1,0 +1,133 @@
+// Harness-level invariants of the overload-storm scenarios: accounting
+// closure, bounded pending population, bounded server CPU queues, goodput
+// retention at 4x offered load, starvation no worse than the unprotected
+// baseline, and byte-identical two-run determinism (including under extra
+// seeded faults).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/overload.hpp"
+#include "qos/qos.hpp"
+
+namespace sio::core {
+namespace {
+
+OverloadConfig storm(OverloadScenario s, double load, bool qos) {
+  OverloadConfig cfg;
+  cfg.scenario = s;
+  cfg.offered_load = load;
+  cfg.qos = qos;
+  return cfg;
+}
+
+/// The config-determined pending bound: every offered op is either in a
+/// service slot, parked in a (class, node) DRR queue, or was turned away —
+/// so the population can never exceed slots + queue_limit per possible key.
+std::size_t pending_bound(const OverloadConfig& cfg) {
+  const qos::QosConfig q{};  // harness runs the defaults
+  const std::size_t keys = 2u * static_cast<std::size_t>(cfg.clients);
+  return q.service_slots + q.queue_limit * keys;
+}
+
+void check_common(const OverloadResult& r, const OverloadConfig& cfg) {
+  EXPECT_EQ(r.completed_ops + r.failed_ops, r.offered_ops) << r.label;
+  EXPECT_EQ(r.failed_ops, 0u) << r.label;
+  EXPECT_LE(r.max_pending, pending_bound(cfg)) << r.label;
+  // The bounded front door keeps the server's own CPU queue shallow: no
+  // deeper than the service slots plus the op being dispatched.
+  const qos::QosConfig q{};
+  EXPECT_LE(r.peak_cpu_queue, q.service_slots + 1) << r.label;
+}
+
+class OverloadScenarios : public ::testing::TestWithParam<OverloadScenario> {};
+
+TEST_P(OverloadScenarios, GoodputHoldsAtFourTimesOfferedLoad) {
+  const OverloadScenario s = GetParam();
+  const OverloadResult base = run_overload(storm(s, 1.0, true));
+  const OverloadResult at4 = run_overload(storm(s, 4.0, true));
+  check_common(base, storm(s, 1.0, true));
+  check_common(at4, storm(s, 4.0, true));
+
+  // Goodput at 4x offered load must hold at >= 50% of the protected peak —
+  // overload degrades throughput, it must not collapse it.
+  const double peak = std::max(base.goodput_ops_per_s, at4.goodput_ops_per_s);
+  EXPECT_GE(at4.goodput_ops_per_s, 0.5 * peak) << at4.label;
+  // Every op offered at 4x still completes: the protection sheds *time*
+  // (retries paced by credits), never the op itself.
+  EXPECT_EQ(at4.completed_ops, at4.offered_ops);
+}
+
+TEST_P(OverloadScenarios, NoWorseStarvationThanUnprotectedBaseline) {
+  const OverloadScenario s = GetParam();
+  const OverloadResult on = run_overload(storm(s, 4.0, true));
+  const OverloadResult off = run_overload(storm(s, 4.0, false));
+  EXPECT_LE(on.starved_windows, off.starved_windows) << on.label;
+  // The raw baseline has no admission bound: its server queues grow with
+  // offered load while the protected run's stay at the configured depth.
+  EXPECT_LE(on.peak_cpu_queue, off.peak_cpu_queue) << on.label;
+}
+
+TEST_P(OverloadScenarios, TwoRunsAreByteIdentical) {
+  const OverloadScenario s = GetParam();
+  const OverloadResult a = run_overload(storm(s, 4.0, true));
+  const OverloadResult b = run_overload(storm(s, 4.0, true));
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.completed_ops, b.completed_ops);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.reroutes, b.reroutes);
+  EXPECT_EQ(a.breaker_opens, b.breaker_opens);
+  ASSERT_EQ(a.sddf.size(), b.sddf.size());
+  EXPECT_TRUE(a.sddf == b.sddf) << "SDDF traces diverge for " << a.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStorms, OverloadScenarios,
+                         ::testing::Values(OverloadScenario::kOpenStampede,
+                                           OverloadScenario::kHotStripe,
+                                           OverloadScenario::kRetryStorm),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case OverloadScenario::kOpenStampede: return "OpenStampede";
+                             case OverloadScenario::kHotStripe: return "HotStripe";
+                             case OverloadScenario::kRetryStorm: return "RetryStorm";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(Overload, RetryStormBreakerConvictsOnlyTheSickNode) {
+  const OverloadResult r = run_overload(storm(OverloadScenario::kRetryStorm, 4.0, true));
+  // The injected outage takes down exactly one node; the breaker must
+  // convict it (reads reroute to degraded reconstruction) without the
+  // congestion on the fifteen healthy nodes tripping theirs.
+  EXPECT_GE(r.breaker_opens, 1u);
+  EXPECT_LE(r.breaker_opens, 2u) << "healthy-node breakers tripped";
+  EXPECT_GT(r.reroutes, 0u);
+}
+
+TEST(Overload, ProtectionIsInvisibleWhenIdle) {
+  // At 1x open-stampede nothing is rejected or shed and no breaker moves:
+  // the front door only acts under pressure.
+  const OverloadResult r = run_overload(storm(OverloadScenario::kOpenStampede, 1.0, true));
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_EQ(r.breaker_opens, 0u);
+  EXPECT_EQ(r.failed_ops, 0u);
+}
+
+TEST(Overload, SeededFaultAxisStaysDeterministic) {
+  OverloadConfig cfg = storm(OverloadScenario::kRetryStorm, 4.0, true);
+  cfg.fault_seed = 77;
+  const OverloadResult a = run_overload(cfg);
+  const OverloadResult b = run_overload(cfg);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.completed_ops + a.failed_ops, a.offered_ops);
+  EXPECT_TRUE(a.sddf == b.sddf) << "fault-seeded SDDF traces diverge";
+}
+
+}  // namespace
+}  // namespace sio::core

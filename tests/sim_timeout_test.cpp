@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -202,6 +205,82 @@ TEST(WithTimeout, TwoRacesInterleaveDeterministically) {
   // Both races decide at t=2ms; race 2's expiry event was queued before race
   // 1's delay resume, so its waiter is posted (and resumes) first.
   EXPECT_EQ(done, (std::vector<int>{2, 1}));
+}
+
+TEST(Timeout, ZeroLengthDeadlineArmedMidRunExpiresOnTheArmingTick) {
+  Engine e;
+  Timeout t(e, "zero-mid-run");
+  Tick woke_at = -1;
+  WaitStatus status = WaitStatus::kCompleted;
+  e.schedule_at(milliseconds(3), [&] {
+    t.arm(0);
+    e.spawn([](Engine& eng, Timeout& tm, Tick* at, WaitStatus* s) -> Task<void> {
+      *s = co_await tm.wait();
+      *at = eng.now();
+    }(e, t, &woke_at, &status));
+  });
+  e.run();
+  EXPECT_EQ(status, WaitStatus::kTimedOut);
+  EXPECT_EQ(woke_at, milliseconds(3));  // same tick, no time passes
+  EXPECT_TRUE(t.expired());
+}
+
+TEST(WithTimeout, SameTickExpiryBeatsSameTickCompletion) {
+  // The inner task finishes on exactly the deadline tick.  The expiry event
+  // was scheduled when the race was set up — before the inner task's delay
+  // resume — so the timeout wins, every run, by event-queue order alone.
+  Engine e;
+  WaitStatus status = WaitStatus::kCompleted;
+  e.spawn([](Engine& eng, WaitStatus* s) -> Task<void> {
+    *s = co_await with_timeout(eng, sleep_for(eng, milliseconds(4)), milliseconds(4), "photo");
+  }(e, &status));
+  e.run();
+  EXPECT_EQ(status, WaitStatus::kTimedOut);
+  EXPECT_EQ(e.now(), milliseconds(4));
+  EXPECT_EQ(e.live_tasks(), 0u);
+}
+
+TEST(WithTimeout, SameTickValueIsDiscardedWithTheRace) {
+  Engine e;
+  e.spawn([](Engine& eng) -> Task<void> {
+    const auto r =
+        co_await with_timeout(eng, produce_after(eng, milliseconds(4), 9), milliseconds(4));
+    EXPECT_TRUE(r.timed_out());
+    EXPECT_FALSE(r.value.has_value());  // value landed on the losing tick
+  }(e));
+  e.run();
+}
+
+TEST(WithTimeout, PooledRunsMatchSerialRunsByteForByte) {
+  // The experiment layer fans timeout-heavy runs across a thread pool; each
+  // job owns a private engine, so the pool may only change wall-clock time.
+  // Fingerprint every run (statuses + final tick + event count) and compare.
+  auto one_run = [](int salt) -> std::string {
+    Engine e;
+    std::string fp;
+    for (int i = 0; i < 6; ++i) {
+      // Alternate winners: even races complete, odd races time out.
+      const Tick task_d = milliseconds(1 + ((i + salt) % 3));
+      const Tick deadline = (i % 2 == 0) ? task_d + milliseconds(1) : task_d - microseconds(500);
+      e.spawn([](Engine& eng, Tick td, Tick dl, std::string* out) -> Task<void> {
+        const WaitStatus s = co_await with_timeout(eng, sleep_for(eng, td), dl, "pooled");
+        *out += (s == WaitStatus::kCompleted ? 'c' : 't');
+      }(e, task_d, deadline, &fp));
+    }
+    e.run();
+    fp += ':' + std::to_string(e.now()) + ':' + std::to_string(e.events_processed());
+    return fp;
+  };
+  std::vector<std::function<std::string()>> jobs;
+  for (int salt = 0; salt < 12; ++salt) {
+    jobs.push_back([one_run, salt] { return one_run(salt); });
+  }
+  const auto serial = core::ParallelRunner(1).run<std::string>(jobs);
+  const auto pooled = core::ParallelRunner(8).run<std::string>(jobs);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], pooled[i]) << "job " << i << " diverged under the pool";
+  }
 }
 
 }  // namespace

@@ -268,6 +268,45 @@ TEST(SiolintFaultSubsystem, RepresentativeFaultCodePassesAllRules) {
   EXPECT_TRUE(diags.empty());
 }
 
+TEST(SiolintQosSubsystem, OrderSensitiveScopeCoversSrcQos) {
+  // Admission-queue and breaker decisions land in the SDDF trace, so any
+  // hash-ordered iteration in src/qos/ would leak nondeterminism straight
+  // into the two-run fingerprints; the scope covers it like pablo and core.
+  const std::string code =
+      "std::unordered_map<int, long> classes_;\n"
+      "void pump() { for (const auto& kv : classes_) grant(kv.first); }\n";
+  const auto diags = lint_one("src/qos/bad.cpp", code);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "unordered-iter");
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(SiolintQosSubsystem, RepresentativeQosCodePassesAllRules) {
+  // A condensed fixture mirroring src/qos/qos.cpp idiom: std::map-keyed DRR
+  // queues, a FIFO deque of active keys, and engine-posted grants.  Every
+  // rule must stay quiet.
+  const auto diags = siolint::lint({
+      SourceFile{"src/qos/fixture.hpp",
+                 "#include <deque>\n"
+                 "#include <map>\n"
+                 "using ClassKey = std::pair<int, int>;\n"
+                 "struct ClassQueue { std::deque<int> q; long deficit = 0; };\n"},
+      SourceFile{"src/qos/fixture.cpp",
+                 "#include \"qos/fixture.hpp\"\n"
+                 "std::map<ClassKey, ClassQueue> classes_;\n"
+                 "std::deque<ClassKey> active_;\n"
+                 "void pump(sim::Engine& engine) {\n"
+                 "  while (!active_.empty()) {\n"
+                 "    const ClassKey key = active_.front();\n"
+                 "    active_.pop_front();\n"
+                 "    for (const auto& kv : classes_) schedule(kv.first);\n"
+                 "    engine.post(classes_[key].q.front());\n"
+                 "  }\n"
+                 "}\n"},
+  });
+  EXPECT_TRUE(diags.empty());
+}
+
 TEST(SiolintStdFunction, FiresOnlyInSrcSim) {
   const std::string code =
       "#include <functional>\n"

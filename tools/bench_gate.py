@@ -1,13 +1,24 @@
 #!/usr/bin/env python3
-"""Gate google-benchmark results against a checked-in baseline.
+"""Gate benchmark results against a checked-in baseline.
 
 Usage: bench_gate.py CURRENT.json BASELINE.json
 
-Compares `items_per_second` for every benchmark present in both files.
-Benchmarks listed in GATED fail the build when they regress by more than
-MAX_DROP; everything else only warns.  Baselines are refreshed by rerunning
-`bench_micro_sim --benchmark_out=bench/BASELINE_micro_sim.json
---benchmark_out_format=json` on a quiet machine and committing the file.
+Two input formats are auto-detected:
+
+* google-benchmark output (a dict with a "benchmarks" array): compares
+  `items_per_second` per benchmark name.  Benchmarks listed in GATED fail
+  the build when they regress by more than MAX_DROP; everything else only
+  warns.  Refresh with `bench_micro_sim
+  --benchmark_out=bench/BASELINE_micro_sim.json
+  --benchmark_out_format=json` on a quiet machine.
+
+* scenario records (a JSON array of objects, as written by bench_resilience
+  and bench_overload): joins current to baseline on the identifying keys
+  (app+plan, or scenario+offered_load+qos) and compares
+  `goodput_ops_per_s`.  Every record is gated: any goodput drop beyond
+  MAX_DROP fails.  Refresh by rerunning the bench binary and committing its
+  JSON (the runs are deterministic, so a goodput change is a behavior
+  change, not noise).
 """
 
 import json
@@ -18,46 +29,78 @@ import sys
 GATED = {"BM_EngineScheduleDispatch"}
 MAX_DROP = 0.25
 
+# Keys that identify a scenario record (first full match wins).
+RECORD_KEYS = [("app", "plan"), ("scenario", "offered_load", "qos")]
+RECORD_METRIC = "goodput_ops_per_s"
+
 
 def load(path):
     with open(path) as f:
-        data = json.load(f)
+        return json.load(f)
+
+
+def record_name(rec):
+    for keys in RECORD_KEYS:
+        if all(k in rec for k in keys):
+            return "/".join(str(rec[k]) for k in keys)
+    return None
+
+
+def index_records(data):
+    out = {}
+    for rec in data:
+        name = record_name(rec)
+        if name is not None and RECORD_METRIC in rec:
+            out[name] = (float(rec[RECORD_METRIC]), True)
+    return out
+
+
+def index_google_benchmark(data):
     out = {}
     for b in data.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
         ips = b.get("items_per_second")
         if ips:
-            out[b["name"]] = ips
+            out[b["name"]] = (ips, b["name"] in GATED)
     return out
+
+
+def index(data):
+    if isinstance(data, list):
+        return index_records(data)
+    return index_google_benchmark(data)
 
 
 def main():
     if len(sys.argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    current = load(sys.argv[1])
-    baseline = load(sys.argv[2])
+    current = index(load(sys.argv[1]))
+    baseline = index(load(sys.argv[2]))
 
     failures = []
     for name in sorted(baseline):
         if name not in current:
             print(f"bench-gate: WARN {name}: missing from current run")
             continue
-        base, cur = baseline[name], current[name]
+        (base, gated), (cur, _) = baseline[name], current[name]
+        if base <= 0:
+            print(f"bench-gate: WARN {name}: non-positive baseline, skipped")
+            continue
         ratio = cur / base
         status = "ok" if ratio >= 1.0 - MAX_DROP else "REGRESSED"
-        print(f"bench-gate: {name}: {cur/1e6:.2f}M/s vs baseline "
-              f"{base/1e6:.2f}M/s ({ratio:.2f}x) {status}")
+        print(f"bench-gate: {name}: {cur:.3g}/s vs baseline "
+              f"{base:.3g}/s ({ratio:.2f}x) {status}")
         if status == "REGRESSED":
-            if name in GATED:
+            if gated:
                 failures.append(name)
             else:
                 print(f"bench-gate: WARN {name}: regression in ungated benchmark")
 
     if failures:
         print(f"bench-gate: FAIL: {', '.join(failures)} dropped more than "
-              f"{MAX_DROP:.0%} below baseline items/sec")
+              f"{MAX_DROP:.0%} below baseline")
         return 1
     print("bench-gate: PASS")
     return 0

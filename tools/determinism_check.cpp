@@ -15,6 +15,14 @@
 // fingerprint with every fault/recovery observable (injection records,
 // retry/timeout/replay counters).  A divergence there means the fault
 // schedule itself — not just the healthy data path — leaked nondeterminism.
+//
+// `--overload-scenario` additionally runs every overload-storm scenario at
+// the 4x storm point twice and compares the harness counters plus the full
+// SDDF trace byte-for-byte.  The storms exercise the QoS subsystem end to
+// end (admission rejection, shedding, DRR grants, breaker transitions,
+// degraded reconstruction), so this axis catches nondeterminism in the
+// protection machinery specifically.  Combinable with --fault-seed: the
+// storms then also run with the extra seeded faults layered on top.
 
 #include <cstdlib>
 #include <iostream>
@@ -23,6 +31,7 @@
 
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
+#include "core/overload.hpp"
 #include "fault/plan.hpp"
 
 namespace {
@@ -56,6 +65,28 @@ std::string fingerprint(const sio::core::RunResult& r) {
   return out.str();
 }
 
+/// Serializes every observable of an overload-storm run into one blob: the
+/// protection counters plus the complete SDDF trace (events, #fault, #qos).
+std::string overload_fingerprint(const sio::core::OverloadResult& r) {
+  std::ostringstream out;
+  out << "label=" << r.label << "\n"
+      << "exec_time=" << r.exec_time << "\n"
+      << "events_processed=" << r.events_processed << "\n"
+      << "offered=" << r.offered_ops << " completed=" << r.completed_ops
+      << " failed=" << r.failed_ops << "\n"
+      << "retries=" << r.retries << " timeouts=" << r.timeouts
+      << " rejects=" << r.backpressure_rejects << "\n"
+      << "admitted=" << r.admitted << " rejected=" << r.rejected << " shed=" << r.shed
+      << " credits=" << r.credits << "\n"
+      << "reroutes=" << r.reroutes << " opens=" << r.breaker_opens
+      << " closes=" << r.breaker_closes << " holds=" << r.breaker_holds
+      << " paced=" << r.paced_meta << "\n"
+      << "max_pending=" << r.max_pending << " peak_cpu_queue=" << r.peak_cpu_queue << "\n"
+      << "p50=" << r.p50_latency << " p99=" << r.p99_latency << "\n";
+  out << r.sddf;
+  return out.str();
+}
+
 bool check(const char* what, const std::string& a, const std::string& b, int& failures) {
   if (a == b) {
     std::cout << "determinism-check: " << what << ": OK (" << a.size() << " fingerprint bytes)\n";
@@ -84,14 +115,17 @@ bool check(const char* what, const std::string& a, const std::string& b, int& fa
 int main(int argc, char** argv) {
   int failures = 0;
   bool with_faults = false;
+  bool with_overload = false;
   std::uint64_t fault_seed = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fault-seed" && i + 1 < argc) {
       with_faults = true;
       fault_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--overload-scenario") {
+      with_overload = true;
     } else {
-      std::cout << "usage: sio_determinism_check [--fault-seed N]\n";
+      std::cout << "usage: sio_determinism_check [--fault-seed N] [--overload-scenario]\n";
       return 2;
     }
   }
@@ -129,6 +163,25 @@ int main(int argc, char** argv) {
       const auto r2 =
           sio::core::run_prism(sio::apps::prism::make_config(sio::apps::prism::Version::C), plan);
       check("prism version C (faulted, same plan)", fingerprint(r1), fingerprint(r2), failures);
+    }
+  }
+
+  if (with_overload) {
+    using sio::core::OverloadScenario;
+    for (const auto scenario : {OverloadScenario::kOpenStampede, OverloadScenario::kHotStripe,
+                                OverloadScenario::kRetryStorm}) {
+      sio::core::OverloadConfig cfg;
+      cfg.scenario = scenario;
+      cfg.offered_load = 4.0;
+      cfg.qos = true;
+      cfg.fault_seed = with_faults ? fault_seed : 0;
+      const auto r1 = sio::core::run_overload(cfg);
+      const auto r2 = sio::core::run_overload(cfg);
+      const std::string what = std::string("overload ") +
+                               sio::core::overload_scenario_name(scenario) +
+                               " 4x (two runs, same seed" +
+                               (with_faults ? ", extra seeded faults)" : ")");
+      check(what.c_str(), overload_fingerprint(r1), overload_fingerprint(r2), failures);
     }
   }
 

@@ -20,7 +20,8 @@ bool is_sim_source(std::string_view path) { return starts_with(path, "src/"); }
 
 bool is_order_sensitive_dir(std::string_view path) {
   return starts_with(path, "src/pablo/") || starts_with(path, "src/core/") ||
-         starts_with(path, "src/fault/") || starts_with(path, "src/sim/");
+         starts_with(path, "src/fault/") || starts_with(path, "src/sim/") ||
+         starts_with(path, "src/qos/");
 }
 
 bool is_engine_hot_path(std::string_view path) { return starts_with(path, "src/sim/"); }
