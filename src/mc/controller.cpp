@@ -1,0 +1,71 @@
+#include "mc/controller.hpp"
+
+#include <string>
+
+#include "sim/assert.hpp"
+
+namespace sio::mc {
+
+Controller::Controller(sim::Engine& engine, Options opt)
+    : engine_(engine), opt_(std::move(opt)), rng_(opt_.seed) {
+  engine_.set_scheduler_hook(this);
+}
+
+Controller::~Controller() {
+  if (engine_.scheduler_hook() == this) engine_.set_scheduler_hook(nullptr);
+}
+
+std::uint32_t Controller::decide(std::uint32_t arity, char kind, sim::Tick at) {
+  SIO_ASSERT(arity >= 1);
+  if (++decisions_ > opt_.max_decisions) {
+    throw DecisionBudgetError("mc: run exceeded " + std::to_string(opt_.max_decisions) +
+                              " decision points; scenario does not terminate?");
+  }
+  if (arity == 1) return 0;
+  const std::size_t d = trace_.size();
+  std::uint32_t chosen;
+  if (d < opt_.prefix.choices.size()) {
+    chosen = opt_.prefix.choices[d];
+    if (chosen >= arity) {
+      throw ScheduleDivergedError("mc: schedule diverged at branch " + std::to_string(d) +
+                                  ": forced choice " + std::to_string(chosen) +
+                                  " but only " + std::to_string(arity) + " alternatives");
+    }
+  } else {
+    if (should_prune && should_prune(d)) throw PrunedRun{};
+    chosen = opt_.random_tail
+                 ? static_cast<std::uint32_t>(
+                       rng_.uniform_int(0, static_cast<std::int64_t>(arity) - 1))
+                 : 0;
+  }
+  trace_.push_back(Decision{at, arity, chosen, kind});
+  return chosen;
+}
+
+std::size_t Controller::pick(sim::Tick now, std::size_t arity) {
+  return decide(static_cast<std::uint32_t>(arity), 's', now);
+}
+
+void Controller::after_dispatch() {
+  if (on_step) on_step();
+}
+
+std::uint32_t Controller::choose(std::uint32_t arity) {
+  return decide(arity, 'c', engine_.now());
+}
+
+Schedule Controller::schedule() const {
+  Schedule s;
+  s.choices.reserve(trace_.size());
+  for (const Decision& d : trace_) s.choices.push_back(d.chosen);
+  return s;
+}
+
+std::vector<std::uint32_t> Controller::arities() const {
+  std::vector<std::uint32_t> a;
+  a.reserve(trace_.size());
+  for (const Decision& d : trace_) a.push_back(d.arity);
+  return a;
+}
+
+}  // namespace sio::mc

@@ -1,0 +1,111 @@
+// Controlled scheduler for one model-checking run.
+//
+// A Controller drives a fresh engine through one interleaving: it replays a
+// forced prefix of choices (the schedule under exploration), then follows a
+// tail policy — first-alternative (DFS default) or seeded random (sampling)
+// — while recording every branch point it encounters.  It implements the
+// engine's SchedulerHook, so same-tick ready sets become decision points,
+// and additionally exposes choose(), which scenarios call to surface fault
+// and timeout *placement* (service durations, outcome of an attempt, when a
+// fault arms) as explicit decision points in the same schedule.  Both kinds
+// of decisions land in one trace, so a schedule string pins the run
+// completely.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "mc/schedule.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+namespace sio::mc {
+
+/// A replayed schedule no longer matches the program: a forced choice index
+/// was out of range for the branch point it reached.  Seen when a schedule
+/// from a different scenario build (or a mutated candidate during
+/// minimization) is replayed.
+class ScheduleDivergedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A run exceeded its decision budget (runaway scenario loop).
+class DecisionBudgetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Control-flow signal: the explorer's should_prune callback asked the run
+/// to stop because it converged into an already-explored state.  Not an
+/// error; caught by the harness.
+struct PrunedRun {};
+
+/// One recorded branch point.
+struct Decision {
+  sim::Tick at = 0;        ///< simulated tick of the decision
+  std::uint32_t arity = 0; ///< number of alternatives (>= 2)
+  std::uint32_t chosen = 0;
+  char kind = 's';         ///< 's' = engine ready set, 'c' = scenario choose()
+};
+
+class Controller final : public sim::SchedulerHook {
+ public:
+  struct Options {
+    Schedule prefix;                       ///< forced choices, in branch order
+    bool random_tail = false;              ///< past the prefix: random vs first
+    std::uint64_t seed = 0;                ///< tail RNG seed (random_tail only)
+    std::uint64_t max_decisions = 1u << 20;
+  };
+
+  /// Installs itself as `engine`'s scheduler hook; uninstalls on
+  /// destruction.  The engine must outlive the controller's runs.
+  Controller(sim::Engine& engine, Options opt);
+  ~Controller() override;
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  // SchedulerHook
+  std::size_t pick(sim::Tick now, std::size_t arity) override;
+  void after_dispatch() override;
+
+  /// Explicit decision point for scenarios: returns a choice in [0, arity).
+  /// arity == 1 returns 0 without recording a branch.
+  std::uint32_t choose(std::uint32_t arity);
+
+  /// Invariant callback; run after every dispatched event when set.  Throw
+  /// from it to abort the run with a violation.
+  std::function<void()> on_step;
+
+  /// Convergence-pruning callback, consulted at each branch point *past the
+  /// forced prefix* with the branch index; return true to abandon the run
+  /// (the controller throws PrunedRun).
+  std::function<bool(std::size_t branch_index)> should_prune;
+
+  /// Branch points encountered so far, in order.
+  const std::vector<Decision>& trace() const { return trace_; }
+
+  /// The schedule actually taken (chosen value at each branch point).
+  Schedule schedule() const;
+
+  /// Arity at each branch point (the DFS backtracker's frontier).
+  std::vector<std::uint32_t> arities() const;
+
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  sim::Engine& engine_;
+  Options opt_;
+  sim::Rng rng_;
+  std::vector<Decision> trace_;
+  std::uint64_t decisions_ = 0;  // all decision points, including arity-1
+
+  std::uint32_t decide(std::uint32_t arity, char kind, sim::Tick at);
+};
+
+}  // namespace sio::mc

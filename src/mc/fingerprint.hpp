@@ -1,0 +1,40 @@
+// State-fingerprint accumulator for convergence pruning.
+//
+// Scenarios fold their observable protocol state (per-task progress
+// counters, token holders, breaker state, queue depths, ...) into a
+// Fingerprint at every branch point.  Two interleavings of independent
+// events lead to the *same* state; the explorer detects the convergence by
+// fingerprint equality and explores the shared continuation only once —
+// the state-hash analogue of a sleep-set/partial-order reduction.
+//
+// The mix is FNV-1a over 64-bit words: cheap, order-sensitive, and
+// platform-stable (no pointers, no floats unless the caller quantizes).
+
+#pragma once
+
+#include <cstdint>
+
+namespace sio::mc {
+
+class Fingerprint {
+ public:
+  void mix(std::uint64_t word) {
+    // 64-bit FNV-1a, one byte at a time over the word.
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (word >> (8 * i)) & 0xFF;
+      h_ *= 0x100000001B3ull;
+    }
+  }
+
+  void mix_signed(std::int64_t word) { mix(static_cast<std::uint64_t>(word)); }
+
+  std::uint64_t value() const {
+    // Reserve 0 as the "no fingerprint / pruning opted out" sentinel.
+    return h_ == 0 ? 1 : h_;
+  }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ull;  // FNV offset basis
+};
+
+}  // namespace sio::mc

@@ -1,0 +1,58 @@
+// Scenario interface: a small, self-contained protocol configuration the
+// model checker can rebuild from scratch for every explored interleaving.
+//
+// A scenario owns everything about one run — the protocol objects under
+// test and the tasks that drive them — and exposes the three things the
+// explorer needs: invariants to check on every step, end-of-run invariants,
+// and an observable-state fingerprint for convergence pruning.  Scenarios
+// must be deterministic given the controller's decisions: no wall clock, no
+// unseeded randomness, no iteration over address-keyed containers.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "mc/controller.hpp"
+#include "sim/engine.hpp"
+
+namespace sio::mc {
+
+/// A protocol invariant failed on some interleaving.  The message should
+/// say which invariant and in what state; the schedule that provoked it is
+/// attached by the explorer.
+class InvariantViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  /// Spawns the scenario's tasks on a fresh engine.  `ctl` outlives the run;
+  /// tasks may capture it and call ctl.choose() to surface fault/timeout
+  /// placement as decision points.
+  virtual void start(sim::Engine& engine, Controller& ctl) = 0;
+
+  /// Step invariants, evaluated after every dispatched event.  Throw
+  /// InvariantViolation on failure.
+  virtual void check() {}
+
+  /// End-of-run invariants (all tasks finished, effects exactly once, ...).
+  /// Runs only when the engine drained without a violation.
+  virtual void finish() {}
+
+  /// Hash of the observable protocol state, used for convergence pruning:
+  /// interleavings reaching the same fingerprint share their continuation
+  /// and are explored once.  Must cover everything that influences future
+  /// behavior (per-task progress, queue contents, protocol state) or
+  /// pruning may hide states; return 0 to opt out.
+  virtual std::uint64_t fingerprint() const { return 0; }
+};
+
+using ScenarioFactory = std::function<std::unique_ptr<Scenario>()>;
+
+}  // namespace sio::mc

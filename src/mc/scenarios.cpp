@@ -1,0 +1,627 @@
+#include "mc/scenarios.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/os_profile.hpp"
+#include "mc/fingerprint.hpp"
+#include "pfs/metadata.hpp"
+#include "qos/breaker.hpp"
+#include "qos/qos.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "sim/timeout.hpp"
+
+namespace sio::mc {
+namespace {
+
+// --------------------------------------------------------------- token -----
+// Distilled M_UNIX token: one FIFO mutex, `tasks` workers re-entering a
+// same-tick melee every round.  The hold duration (0 or 1 ticks) is a
+// choose() point, so release-vs-acquire races on the same tick become
+// explicit branches.
+class TokenScenario final : public Scenario {
+ public:
+  TokenScenario(int tasks, int rounds) : tasks_(tasks), rounds_(rounds) {}
+
+  void start(sim::Engine& engine, Controller& ctl) override {
+    engine_ = &engine;
+    ctl_ = &ctl;
+    token_ = std::make_unique<sim::Mutex>(engine, "mc.token");
+    progress_.assign(static_cast<std::size_t>(tasks_), 0);
+    phase_.assign(static_cast<std::size_t>(tasks_), 0);
+    for (int i = 0; i < tasks_; ++i) engine.spawn(worker(i));
+  }
+
+  void check() override {
+    if (holders_ > 1) {
+      throw InvariantViolation("token: " + std::to_string(holders_) +
+                               " simultaneous holders of one token");
+    }
+  }
+
+  void finish() override {
+    if (holders_ != 0) throw InvariantViolation("token: holder survived the run");
+    for (int i = 0; i < tasks_; ++i) {
+      if (progress_[static_cast<std::size_t>(i)] != rounds_) {
+        throw InvariantViolation("token: worker " + std::to_string(i) +
+                                 " finished only " +
+                                 std::to_string(progress_[static_cast<std::size_t>(i)]) + "/" +
+                                 std::to_string(rounds_) + " rounds");
+      }
+    }
+  }
+
+  std::uint64_t fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(0x746f6b656eULL);  // "token"
+    fp.mix(static_cast<std::uint64_t>(holders_));
+    fp.mix(static_cast<std::uint64_t>(token_->locked()));
+    fp.mix(token_->queue_length());
+    for (int i = 0; i < tasks_; ++i) {
+      fp.mix(static_cast<std::uint64_t>(progress_[static_cast<std::size_t>(i)]));
+      fp.mix(static_cast<std::uint64_t>(phase_[static_cast<std::size_t>(i)]));
+    }
+    return fp.value();
+  }
+
+ private:
+  sim::Task<void> worker(int id) {
+    const auto slot = static_cast<std::size_t>(id);
+    for (int r = 0; r < rounds_; ++r) {
+      co_await engine_->delay(0);  // rejoin the same-tick melee each round
+      phase_[slot] = 1;            // contending
+      auto guard = co_await token_->scoped();
+      phase_[slot] = 2;  // holding
+      ++holders_;
+      co_await engine_->delay(static_cast<sim::Tick>(ctl_->choose(2)));
+      --holders_;
+      phase_[slot] = 0;
+      ++progress_[slot];
+    }
+  }
+
+  int tasks_;
+  int rounds_;
+  sim::Engine* engine_ = nullptr;
+  Controller* ctl_ = nullptr;
+  std::unique_ptr<sim::Mutex> token_;
+  int holders_ = 0;
+  std::vector<int> progress_;
+  std::vector<int> phase_;
+};
+
+// ---------------------------------------------------------- token.meta -----
+// The real metadata/token server under concurrent grant traffic on one
+// shared file.  The MetaServiceProbe observes every grant-held window; the
+// invariant is the paper's M_UNIX serialization contract: at most one holder
+// per (file, service class) at any instant, on every interleaving.
+class TokenMetaScenario final : public Scenario, public pfs::MetaServiceProbe {
+ public:
+  TokenMetaScenario(int clients, int ops) : clients_(clients), ops_(ops) {}
+
+  void start(sim::Engine& engine, Controller& ctl) override {
+    engine_ = &engine;
+    ctl_ = &ctl;
+    os_ = hw::osf_r12();
+    meta_ = std::make_unique<pfs::MetadataServer>(engine, os_);
+    meta_->set_probe(this);
+    progress_.assign(static_cast<std::size_t>(clients_), 0);
+    phase_.assign(static_cast<std::size_t>(clients_), 0);
+    for (int i = 0; i < clients_; ++i) engine.spawn(worker(i));
+  }
+
+  void on_service_begin(pablo::FileId file, pfs::MetaClass cls) override {
+    int& n = in_service_[{file, static_cast<int>(cls)}];
+    if (++n > 1) {
+      throw InvariantViolation("token.meta: " + std::to_string(n) +
+                               " simultaneous grant holders on file " + std::to_string(file) +
+                               " class " + std::to_string(static_cast<int>(cls)));
+    }
+  }
+
+  void on_service_end(pablo::FileId file, pfs::MetaClass cls) override {
+    --in_service_[{file, static_cast<int>(cls)}];
+  }
+
+  void finish() override {
+    for (const auto& [key, n] : in_service_) {
+      if (n != 0) {
+        throw InvariantViolation("token.meta: grant still held on file " +
+                                 std::to_string(key.first) + " at end of run");
+      }
+    }
+    for (int i = 0; i < clients_; ++i) {
+      if (progress_[static_cast<std::size_t>(i)] != ops_) {
+        throw InvariantViolation("token.meta: client " + std::to_string(i) + " incomplete");
+      }
+    }
+  }
+
+  std::uint64_t fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(0x6d657461ULL);  // "meta"
+    fp.mix(meta_->requests_served());
+    for (const auto& [key, n] : in_service_) {  // std::map: deterministic order
+      fp.mix(static_cast<std::uint64_t>(key.first));
+      fp.mix(static_cast<std::uint64_t>(key.second));
+      fp.mix(static_cast<std::uint64_t>(n));
+    }
+    for (int i = 0; i < clients_; ++i) {
+      fp.mix(static_cast<std::uint64_t>(progress_[static_cast<std::size_t>(i)]));
+      fp.mix(static_cast<std::uint64_t>(phase_[static_cast<std::size_t>(i)]));
+    }
+    return fp.value();
+  }
+
+ private:
+  sim::Task<void> worker(int id) {
+    const auto slot = static_cast<std::size_t>(id);
+    constexpr pablo::FileId kSharedFile = 1;
+    for (int op = 0; op < ops_; ++op) {
+      co_await engine_->delay(0);
+      const std::uint32_t which = ctl_->choose(3);
+      phase_[slot] = 1 + static_cast<int>(which);
+      switch (which) {
+        case 0: co_await meta_->token_op(kSharedFile, /*is_write=*/false, id); break;
+        case 1: co_await meta_->token_op(kSharedFile, /*is_write=*/true, id); break;
+        default: co_await meta_->seek_op(kSharedFile, id); break;
+      }
+      phase_[slot] = 0;
+      ++progress_[slot];
+    }
+  }
+
+  int clients_;
+  int ops_;
+  sim::Engine* engine_ = nullptr;
+  Controller* ctl_ = nullptr;
+  hw::OsProfile os_;
+  std::unique_ptr<pfs::MetadataServer> meta_;
+  std::map<std::pair<pablo::FileId, int>, int> in_service_;
+  std::vector<int> progress_;
+  std::vector<int> phase_;
+};
+
+// --------------------------------------------------------------- retry -----
+// Distilled deadline/retry RPC over with_timeout's abandon semantics: a
+// timed-out attempt keeps running detached and its effect still lands, so
+// without server-side replay dedup the retry double-applies.  The service
+// duration is a choose() point calibrated so completion and deadline expiry
+// collide on the same tick — whichever the scheduler dispatches first
+// decides the race.
+class RetryScenario final : public Scenario {
+ public:
+  static constexpr sim::Tick kDeadline = 2;
+  static constexpr int kMaxAttempts = 3;
+
+  RetryScenario(int ops, bool cache) : ops_(ops), cache_(cache) {}
+
+  void start(sim::Engine& engine, Controller& ctl) override {
+    engine_ = &engine;
+    ctl_ = &ctl;
+    ch_ = std::make_unique<sim::Channel<Request>>(engine, "mc.rpc");
+    effects_.assign(static_cast<std::size_t>(ops_), 0);
+    attempts_.assign(static_cast<std::size_t>(ops_), 0);
+    acked_.assign(static_cast<std::size_t>(ops_), 0);
+    cached_.assign(static_cast<std::size_t>(ops_), 0);
+    engine.spawn(server());
+    for (int op = 0; op < ops_; ++op) engine.spawn(client(op));
+  }
+
+  void check() override {
+    for (int op = 0; op < ops_; ++op) {
+      const int n = effects_[static_cast<std::size_t>(op)];
+      if (n > 1) {
+        throw InvariantViolation("retry: op " + std::to_string(op) + " effect applied " +
+                                 std::to_string(n) + " times (exactly-once violated)");
+      }
+    }
+  }
+
+  void finish() override {
+    for (int op = 0; op < ops_; ++op) {
+      if (acked_[static_cast<std::size_t>(op)] == 0) {
+        throw InvariantViolation("retry: op " + std::to_string(op) + " never acknowledged");
+      }
+      if (effects_[static_cast<std::size_t>(op)] != 1) {
+        throw InvariantViolation("retry: op " + std::to_string(op) + " effect applied " +
+                                 std::to_string(effects_[static_cast<std::size_t>(op)]) +
+                                 " times (exactly-once violated)");
+      }
+    }
+  }
+
+  std::uint64_t fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(0x7265747279ULL);  // "retry"
+    fp.mix(static_cast<std::uint64_t>(fins_));
+    fp.mix(static_cast<std::uint64_t>(server_phase_));
+    fp.mix(ch_->size());
+    for (int op = 0; op < ops_; ++op) {
+      const auto slot = static_cast<std::size_t>(op);
+      fp.mix(static_cast<std::uint64_t>(effects_[slot]));
+      fp.mix(static_cast<std::uint64_t>(attempts_[slot]));
+      fp.mix(static_cast<std::uint64_t>(acked_[slot]));
+      fp.mix(static_cast<std::uint64_t>(cached_[slot]));
+    }
+    return fp.value();
+  }
+
+ private:
+  struct Request {
+    int op = -1;  // -1 = client-finished sentinel
+    std::shared_ptr<sim::Event> done;
+  };
+
+  sim::Task<void> server() {
+    while (fins_ < ops_) {
+      Request r = co_await ch_->pop();
+      if (r.op < 0) {
+        ++fins_;
+        continue;
+      }
+      const auto slot = static_cast<std::size_t>(r.op);
+      if (cache_ && cached_[slot] != 0) {
+        // Replay cache hit: the op already executed (possibly for an attempt
+        // the client abandoned) — acknowledge without re-applying.
+        r.done->set();
+        continue;
+      }
+      server_phase_ = 1;
+      co_await engine_->delay(1 + static_cast<sim::Tick>(ctl_->choose(2)));
+      server_phase_ = 0;
+      ++effects_[slot];
+      if (cache_) cached_[slot] = 1;
+      r.done->set();
+    }
+  }
+
+  static sim::Task<void> await_event(std::shared_ptr<sim::Event> ev) { co_await ev->wait(); }
+
+  sim::Task<void> client(int op) {
+    const auto slot = static_cast<std::size_t>(op);
+    co_await engine_->delay(0);
+    for (int a = 0; a < kMaxAttempts; ++a) {
+      ++attempts_[slot];
+      auto done = std::make_shared<sim::Event>(*engine_, "mc.rpc.reply");
+      ch_->push(Request{op, done});
+      if (a + 1 == kMaxAttempts) {
+        // Final attempt blocks without a deadline, so every run terminates.
+        co_await done->wait();
+        break;
+      }
+      const sim::WaitStatus st =
+          co_await sim::with_timeout(*engine_, await_event(done), kDeadline, "mc.rpc.deadline");
+      if (st == sim::WaitStatus::kCompleted) break;
+    }
+    acked_[slot] = 1;
+    ch_->push(Request{});
+  }
+
+  int ops_;
+  bool cache_;
+  sim::Engine* engine_ = nullptr;
+  Controller* ctl_ = nullptr;
+  std::unique_ptr<sim::Channel<Request>> ch_;
+  std::vector<int> effects_;
+  std::vector<int> attempts_;
+  std::vector<int> acked_;
+  std::vector<int> cached_;
+  int fins_ = 0;
+  int server_phase_ = 0;
+};
+
+// ------------------------------------------------------------- breaker -----
+// The real per-I/O-node circuit breaker with a window of 2 outcomes, fed by
+// two interleaved drivers whose attempt outcomes are choose() points.  The
+// checker snapshots the observable state after every dispatched event and
+// verifies the state machine only moved along legal paths: closed can reach
+// half-open only through an open, a close needs a half-open probe, counters
+// never run backwards, and the outcome window stays bounded.
+class BreakerScenario final : public Scenario {
+ public:
+  explicit BreakerScenario(int rounds) : rounds_(rounds) {}
+
+  void start(sim::Engine& engine, Controller& ctl) override {
+    engine_ = &engine;
+    ctl_ = &ctl;
+    cfg_.enabled = true;
+    cfg_.breaker_window = 2;
+    cfg_.breaker_min_samples = 2;
+    cfg_.breaker_trip_ratio = 0.5;
+    cfg_.breaker_open_for = 2;
+    cfg_.breaker_halfopen_probes = 1;
+    br_ = std::make_unique<qos::CircuitBreaker>(engine, /*io_node=*/0, cfg_, nullptr);
+    last_ = snapshot();
+    progress_.assign(2, 0);
+    for (int i = 0; i < 2; ++i) engine.spawn(driver(i));
+  }
+
+  void check() override {
+    const Snap cur = snapshot();
+    const Snap p = last_;
+    last_ = cur;
+    if (cur.opens < p.opens || cur.closes < p.closes || cur.probes < p.probes) {
+      fail("transition counter ran backwards");
+    }
+    if (cur.closes > cur.opens) fail("more closes than opens");
+    if (cur.closes > cur.probes) fail("close without a half-open probe");
+    if (cur.win > static_cast<std::size_t>(cfg_.breaker_window)) fail("outcome window overflow");
+    if (cur.winf < 0 || static_cast<std::size_t>(cur.winf) > cur.win) {
+      fail("window failure count out of range");
+    }
+    if (cur.probes_left < 0 || cur.probes_left > cfg_.breaker_halfopen_probes) {
+      fail("half-open probe budget out of range");
+    }
+    if (cur.state == qos::BreakerState::kOpen && cur.opens == 0) {
+      fail("open state with no recorded open");
+    }
+    if (cur.state != p.state) {
+      using S = qos::BreakerState;
+      const std::uint64_t d_open = cur.opens - p.opens;
+      const std::uint64_t d_close = cur.closes - p.closes;
+      // Several transitions can fire inside one dispatched event (the lazy
+      // open -> half-open advance composes with the consultation's own
+      // transition), so legality is judged from the counter deltas.
+      if (p.state == S::kClosed && cur.state == S::kHalfOpen && d_open == 0) {
+        fail("closed -> half-open without passing through open");
+      }
+      if (p.state == S::kClosed && cur.state == S::kOpen && d_open == 0) {
+        fail("closed -> open without counting the open");
+      }
+      if (cur.state == S::kClosed && p.state != S::kClosed && d_close == 0) {
+        fail("re-closed without counting the close");
+      }
+      if (p.state == S::kHalfOpen && cur.state == S::kOpen && d_open == 0) {
+        fail("half-open -> open without counting the open");
+      }
+    }
+  }
+
+  void finish() override {
+    for (int i = 0; i < 2; ++i) {
+      if (progress_[static_cast<std::size_t>(i)] != rounds_) {
+        throw InvariantViolation("breaker: driver " + std::to_string(i) + " incomplete");
+      }
+    }
+  }
+
+  std::uint64_t fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(0x62726b72ULL);  // "brkr"
+    fp.mix(static_cast<std::uint64_t>(br_->state()));
+    fp.mix(br_->opens());
+    fp.mix(br_->closes());
+    fp.mix(br_->probes());
+    fp.mix(br_->window_size());
+    fp.mix(static_cast<std::uint64_t>(br_->window_failures()));
+    fp.mix(static_cast<std::uint64_t>(br_->probes_left()));
+    fp.mix_signed(std::max<sim::Tick>(br_->open_until() - engine_->now(), 0));
+    for (int i = 0; i < 2; ++i) {
+      fp.mix(static_cast<std::uint64_t>(progress_[static_cast<std::size_t>(i)]));
+    }
+    return fp.value();
+  }
+
+ private:
+  struct Snap {
+    qos::BreakerState state = qos::BreakerState::kClosed;
+    std::uint64_t opens = 0;
+    std::uint64_t closes = 0;
+    std::uint64_t probes = 0;
+    std::size_t win = 0;
+    int winf = 0;
+    int probes_left = 0;
+  };
+
+  Snap snapshot() const {
+    return Snap{br_->state(), br_->opens(),           br_->closes(),    br_->probes(),
+                br_->window_size(), br_->window_failures(), br_->probes_left()};
+  }
+
+  [[noreturn]] static void fail(const std::string& what) {
+    throw InvariantViolation("breaker: " + what);
+  }
+
+  sim::Task<void> driver(int id) {
+    const auto slot = static_cast<std::size_t>(id);
+    for (int r = 0; r < rounds_; ++r) {
+      co_await engine_->delay(0);
+      if (br_->allow_attempt(id)) {
+        co_await engine_->delay(1);  // the attempt itself takes a tick
+        if (ctl_->choose(2) == 1) {
+          br_->on_failure(id);
+        } else {
+          br_->on_success(id);
+        }
+      } else {
+        // Held back: wait either one tick (re-consult early) or past the
+        // open interval — the wait length is itself a decision point.
+        co_await engine_->delay(1 + static_cast<sim::Tick>(ctl_->choose(2)));
+      }
+      ++progress_[slot];
+    }
+  }
+
+  int rounds_;
+  sim::Engine* engine_ = nullptr;
+  Controller* ctl_ = nullptr;
+  qos::QosConfig cfg_;
+  std::unique_ptr<qos::CircuitBreaker> br_;
+  Snap last_;
+  std::vector<int> progress_;
+};
+
+// ----------------------------------------------------------------- qos -----
+// The real bounded admission queue at its tightest configuration: one
+// service slot, one waiter per (class, node) queue.  Invariants are the
+// design bounds themselves — occupancy <= slots, waiting <= limit x queues,
+// peak pending <= slots + limit x queues — plus starvation-freedom for the
+// credit-paced retry loop.
+class QosScenario final : public Scenario {
+ public:
+  QosScenario(int nodes, int ops) : nodes_(nodes), ops_(ops) {}
+
+  void start(sim::Engine& engine, Controller& ctl) override {
+    engine_ = &engine;
+    ctl_ = &ctl;
+    cfg_.enabled = true;
+    cfg_.service_slots = 1;
+    cfg_.queue_limit = 1;
+    cfg_.shed_enabled = false;
+    cfg_.drr_quantum = 4;
+    qos_ = std::make_unique<qos::ServerQos>(engine, /*server_id=*/-1, cfg_, nullptr);
+    progress_.assign(static_cast<std::size_t>(nodes_), 0);
+    phase_.assign(static_cast<std::size_t>(nodes_), 0);
+    for (int n = 0; n < nodes_; ++n) engine.spawn(worker(n));
+  }
+
+  void check() override {
+    const std::size_t wait_bound = cfg_.queue_limit * static_cast<std::size_t>(nodes_);
+    if (qos_->occupancy() > cfg_.service_slots) {
+      throw InvariantViolation("qos: occupancy " + std::to_string(qos_->occupancy()) +
+                               " exceeds " + std::to_string(cfg_.service_slots) +
+                               " service slots");
+    }
+    if (qos_->waiting() > wait_bound) {
+      throw InvariantViolation("qos: " + std::to_string(qos_->waiting()) +
+                               " waiting ops exceed the bound " + std::to_string(wait_bound));
+    }
+    if (qos_->max_pending() > cfg_.service_slots + wait_bound) {
+      throw InvariantViolation("qos: peak pending " + std::to_string(qos_->max_pending()) +
+                               " exceeds slots + queue bound " +
+                               std::to_string(cfg_.service_slots + wait_bound));
+    }
+  }
+
+  void finish() override {
+    if (qos_->occupancy() != 0 || qos_->waiting() != 0) {
+      throw InvariantViolation("qos: queue not drained at end of run");
+    }
+    for (int n = 0; n < nodes_; ++n) {
+      if (progress_[static_cast<std::size_t>(n)] != ops_) {
+        throw InvariantViolation("qos: node " + std::to_string(n) + " incomplete");
+      }
+    }
+  }
+
+  std::uint64_t fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(0x716f73ULL);  // "qos"
+    fp.mix(qos_->occupancy());
+    fp.mix(qos_->waiting());
+    fp.mix(qos_->admitted());
+    fp.mix(qos_->rejected());
+    fp.mix(qos_->credits_issued());
+    fp.mix(qos_->max_pending());
+    for (int n = 0; n < nodes_; ++n) {
+      fp.mix(static_cast<std::uint64_t>(progress_[static_cast<std::size_t>(n)]));
+      fp.mix(static_cast<std::uint64_t>(phase_[static_cast<std::size_t>(n)]));
+    }
+    return fp.value();
+  }
+
+ private:
+  sim::Task<void> worker(int node) {
+    const auto slot = static_cast<std::size_t>(node);
+    constexpr sim::Tick kCost = 2;
+    for (int op = 0; op < ops_; ++op) {
+      co_await engine_->delay(0);
+      phase_[slot] = 1;  // seeking admission
+      int tries = 0;
+      for (;;) {
+        const qos::Admission adm =
+            co_await qos_->admit(node, qos::OpClass::kData, kCost, /*deadline_left=*/0);
+        if (adm.verdict == qos::Verdict::kAdmitted) {
+          phase_[slot] = 2;  // in service
+          co_await engine_->delay(1 + static_cast<sim::Tick>(ctl_->choose(2)));
+          qos_->release(kCost, adm.granted_at);
+          break;
+        }
+        if (++tries > 32) {
+          throw InvariantViolation("qos: node " + std::to_string(node) +
+                                   " starved after 32 rejected admissions");
+        }
+        co_await engine_->delay(std::max<sim::Tick>(adm.retry_after, 1));
+      }
+      phase_[slot] = 0;
+      ++progress_[slot];
+    }
+  }
+
+  int nodes_;
+  int ops_;
+  sim::Engine* engine_ = nullptr;
+  Controller* ctl_ = nullptr;
+  qos::QosConfig cfg_;
+  std::unique_ptr<qos::ServerQos> qos_;
+  std::vector<int> progress_;
+  std::vector<int> phase_;
+};
+
+}  // namespace
+
+ScenarioFactory make_token_scenario(int tasks, int rounds) {
+  return [tasks, rounds]() -> std::unique_ptr<Scenario> {
+    return std::make_unique<TokenScenario>(tasks, rounds);
+  };
+}
+
+ScenarioFactory make_token_meta_scenario(int clients, int ops_per_client) {
+  return [clients, ops_per_client]() -> std::unique_ptr<Scenario> {
+    return std::make_unique<TokenMetaScenario>(clients, ops_per_client);
+  };
+}
+
+ScenarioFactory make_retry_scenario(int ops, bool replay_cache) {
+  return [ops, replay_cache]() -> std::unique_ptr<Scenario> {
+    return std::make_unique<RetryScenario>(ops, replay_cache);
+  };
+}
+
+ScenarioFactory make_breaker_scenario(int rounds) {
+  return [rounds]() -> std::unique_ptr<Scenario> {
+    return std::make_unique<BreakerScenario>(rounds);
+  };
+}
+
+ScenarioFactory make_qos_scenario(int nodes, int ops_per_node) {
+  return [nodes, ops_per_node]() -> std::unique_ptr<Scenario> {
+    return std::make_unique<QosScenario>(nodes, ops_per_node);
+  };
+}
+
+const std::vector<NamedScenario>& scenario_registry() {
+  static const std::vector<NamedScenario> kScenarios = {
+      {"token", "3 workers x 2 rounds over one FIFO token mutex (uniqueness proof)", true,
+       make_token_scenario(3, 2)},
+      {"token.meta",
+       "2 clients x 2 grant ops against the real MetadataServer (grant-held uniqueness)", true,
+       make_token_meta_scenario(2, 2)},
+      {"retry.safe", "deadline/retry RPC with the server replay cache (exactly-once proof)", true,
+       make_retry_scenario(1, true)},
+      {"retry.unsafe", "deadline/retry RPC without the replay cache (duplicate-effect bug)",
+       false, make_retry_scenario(1, false)},
+      {"breaker", "2 outcome streams against a window-2 circuit breaker (FSM legality)", true,
+       make_breaker_scenario(2)},
+      {"qos", "2 nodes x 2 ops through a 1-slot bounded admission queue (queue bounds)", true,
+       make_qos_scenario(2, 2)},
+  };
+  return kScenarios;
+}
+
+const NamedScenario* find_scenario(const std::string& name) {
+  for (const NamedScenario& s : scenario_registry()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace sio::mc

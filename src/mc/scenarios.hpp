@@ -1,0 +1,63 @@
+// Bundled model-checking scenarios: small, closed configurations of the
+// repo's protocol machinery (token serialization, timeout/retry replay, the
+// circuit breaker, the bounded QoS front door), each with the invariants the
+// explorer checks on every dispatched event of every interleaving.
+//
+// Two kinds of configuration live in the registry: "proof" configs, where
+// every interleaving is expected to pass (exhausting the choice tree is a
+// bounded proof of the invariant), and "bug" configs that deliberately
+// disable a defense — retry.unsafe drops the server's replay cache — so the
+// explorer can find, minimize, and byte-identically replay a counterexample.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/scenario.hpp"
+
+namespace sio::mc {
+
+/// `tasks` workers x `rounds` rounds competing for one FIFO token mutex;
+/// invariant: never more than one simultaneous holder.
+ScenarioFactory make_token_scenario(int tasks, int rounds);
+
+/// Real pfs::MetadataServer driven by `clients` workers issuing grant
+/// operations on one shared file; the MetaServiceProbe observes every
+/// grant-held window and checks at most one holder per (file, class).
+ScenarioFactory make_token_meta_scenario(int clients, int ops_per_client);
+
+/// Distilled RPC client/server with deadline + retry over sim::with_timeout
+/// (timed-out attempts keep running detached, as in the PFS client).  With
+/// `replay_cache` the server dedupes attempts by op id (exactly-once proof);
+/// without it, an abandoned attempt's late effect plus the retry's effect
+/// double-applies — the counterexample configuration.
+ScenarioFactory make_retry_scenario(int ops, bool replay_cache);
+
+/// Real qos::CircuitBreaker fed by two interleaved outcome streams, with the
+/// open interval and a tiny trip window exercised; invariant: the observed
+/// state machine only takes legal transitions and its counters stay
+/// consistent (closes need probes, opens are counted, window is bounded).
+ScenarioFactory make_breaker_scenario(int rounds);
+
+/// Real qos::ServerQos front door with one service slot and a depth-1 bound
+/// per (class, node) queue; invariants: occupancy and waiting never exceed
+/// their configured bounds and every paced client is eventually admitted.
+ScenarioFactory make_qos_scenario(int nodes, int ops_per_node);
+
+struct NamedScenario {
+  std::string name;
+  std::string description;
+  /// True when every interleaving is expected to pass (a proof config);
+  /// false when exploration is expected to find a violation.
+  bool expect_clean = true;
+  ScenarioFactory factory;
+};
+
+/// The tiny configurations tools/simmc and the mc ctest target enumerate.
+const std::vector<NamedScenario>& scenario_registry();
+
+/// Registry lookup by name; nullptr when not registered.
+const NamedScenario* find_scenario(const std::string& name);
+
+}  // namespace sio::mc

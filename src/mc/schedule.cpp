@@ -1,0 +1,38 @@
+#include "mc/schedule.hpp"
+
+namespace sio::mc {
+
+std::string Schedule::to_string() const {
+  if (choices.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(choices[i]);
+  }
+  return out;
+}
+
+std::optional<Schedule> Schedule::parse(std::string_view text) {
+  Schedule s;
+  if (text == "-" || text.empty()) return s;
+  std::uint64_t value = 0;
+  bool have_digit = false;
+  for (const char c : text) {
+    if (c == '.') {
+      if (!have_digit) return std::nullopt;
+      s.choices.push_back(static_cast<std::uint32_t>(value));
+      value = 0;
+      have_digit = false;
+      continue;
+    }
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > 0xFFFFFFFFull) return std::nullopt;
+    have_digit = true;
+  }
+  if (!have_digit) return std::nullopt;
+  s.choices.push_back(static_cast<std::uint32_t>(value));
+  return s;
+}
+
+}  // namespace sio::mc

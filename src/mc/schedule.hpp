@@ -1,0 +1,41 @@
+// Replayable schedule strings for the model checker.
+//
+// A schedule is the sequence of choices taken at *branch points* — decision
+// points where two or more alternatives existed (same-tick engine ready sets
+// of size >= 2, and explicit Controller::choose() calls) — in encounter
+// order.  Decision points with a single alternative are not recorded: they
+// carry no information, and leaving them out keeps schedules short and
+// stable under minimization.
+//
+// Because the engine is deterministic, a schedule string is a complete,
+// byte-stable name for one interleaving: replaying it drives the simulation
+// through exactly the same sequence of states.  The textual form is
+// dot-separated decimal choice indices ("0.2.1"); the empty schedule — the
+// engine's own FIFO order — prints as "-".
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sio::mc {
+
+struct Schedule {
+  std::vector<std::uint32_t> choices;
+
+  bool empty() const { return choices.empty(); }
+  std::size_t size() const { return choices.size(); }
+
+  /// "0.2.1" for {0,2,1}; "-" for the empty schedule.
+  std::string to_string() const;
+
+  /// Inverse of to_string().  Returns nullopt on malformed input.
+  static std::optional<Schedule> parse(std::string_view text);
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+};
+
+}  // namespace sio::mc

@@ -51,9 +51,11 @@ sim::Task<void> MetadataServer::request(pablo::FileId file, MetaClass cls, sim::
   }
   {
     auto guard = co_await queue_for(file, cls).scoped();
+    if (probe_ != nullptr) probe_->on_service_begin(file, cls);
     ++served_;
     busy_ += service;
     co_await engine_.delay(service);
+    if (probe_ != nullptr) probe_->on_service_end(file, cls);
   }
   if (qos_ != nullptr) qos_->release(service, granted_at);
 }

@@ -37,6 +37,19 @@ enum class MetaClass : std::uint8_t {
 
 inline constexpr int kMetaClassCount = 5;
 
+/// Invariant-extraction hook for the model checker (src/mc): observes the
+/// exact window in which a (file, class) grant is *held* — between the
+/// serialization mutex being acquired and released.  The M_UNIX token
+/// uniqueness invariant ("at most one holder per (file, class) at any
+/// instant, across every interleaving") is checked from here without
+/// touching the service path's behavior.
+class MetaServiceProbe {
+ public:
+  virtual ~MetaServiceProbe() = default;
+  virtual void on_service_begin(pablo::FileId file, MetaClass cls) = 0;
+  virtual void on_service_end(pablo::FileId file, MetaClass cls) = 0;
+};
+
 class MetadataServer {
  public:
   MetadataServer(sim::Engine& engine, const hw::OsProfile& os) : engine_(engine), os_(os) {}
@@ -79,6 +92,9 @@ class MetadataServer {
   /// Requests the QoS front door made wait for a later slot (paced arrivals).
   std::uint64_t paced_requests() const { return paced_; }
 
+  /// Attaches the model checker's service observer (nullptr = none).
+  void set_probe(MetaServiceProbe* probe) { probe_ = probe; }
+
  private:
   struct Key {
     pablo::FileId file;
@@ -95,6 +111,7 @@ class MetadataServer {
   sim::Engine& engine_;
   const hw::OsProfile& os_;
   qos::ServerQos* qos_ = nullptr;
+  MetaServiceProbe* probe_ = nullptr;
   std::unordered_map<Key, std::unique_ptr<sim::Mutex>, KeyHash> queues_;
   std::uint64_t served_ = 0;
   std::uint64_t paced_ = 0;

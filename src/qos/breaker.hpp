@@ -83,6 +83,14 @@ class CircuitBreaker {
   std::uint64_t closes() const { return closes_; }
   std::uint64_t probes() const { return probes_; }
 
+  /// Observable internals for invariant checking (src/mc): window occupancy
+  /// and failure count, remaining half-open probe slots, and the tick the
+  /// current open interval ends at (0 when never opened).
+  std::size_t window_size() const { return window_.size(); }
+  int window_failures() const { return window_failures_; }
+  int probes_left() const { return probes_left_; }
+  sim::Tick open_until() const { return open_until_; }
+
  private:
   sim::Engine& engine_;
   int id_;

@@ -6,9 +6,13 @@
 // BlockSite>` (blocked waiters) into one open-addressed, linear-probe table
 // keyed by coroutine frame address: one Fibonacci hash and typically one
 // cache line per lookup, backward-shift deletion so probe chains never grow
-// tombstones.  Iteration order depends on addresses and is never allowed to
-// influence simulation results — callers aggregate into sorted containers
-// before printing (same rule the old unordered containers lived under).
+// tombstones.  Capacity tracks churn in both directions: the table doubles
+// at 3/4 load and halves again once deletions drop occupancy to 1/8 — a
+// burst of short-lived tasks must not leave a ballooned slot array pinned
+// for the rest of the run.  Iteration order depends on addresses and is
+// never allowed to influence simulation results — callers aggregate into
+// sorted containers before printing (same rule the old unordered containers
+// lived under).
 
 #pragma once
 
@@ -56,12 +60,12 @@ class CheckMap {
   }
 
   /// Removes `key` if present (backward-shift, no tombstones).
-  void erase(void* key) noexcept {
+  void erase(void* key) {
     if (Entry* e = find(key)) erase_entry(e);
   }
 
   /// Removes an entry returned by find() — skips the re-probe.
-  void erase_entry(Entry* e) noexcept {
+  void erase_entry(Entry* e) {
     --count_;
     std::size_t i = static_cast<std::size_t>(e - slots_.data());
     std::size_t j = i;
@@ -77,13 +81,23 @@ class CheckMap {
       }
     }
     slots_[i] = Entry{};
+    maybe_shrink();
   }
 
   std::size_t size() const noexcept { return count_; }
   bool empty() const noexcept { return count_ == 0; }
+  /// Current slot-array size (the churn regression test asserts on it).
+  std::size_t capacity() const noexcept { return slots_.size(); }
 
-  void clear() noexcept {
-    for (auto& s : slots_) s = Entry{};
+  void clear() {
+    if (slots_.size() > kMinCapacity) {
+      // Release a ballooned table instead of zeroing it slot by slot.
+      slots_.assign(kMinCapacity, Entry{});
+      mask_ = kMinCapacity - 1;
+      grow_at_ = kMinCapacity * 3 / 4;
+    } else {
+      for (auto& s : slots_) s = Entry{};
+    }
     count_ = 0;
   }
 
@@ -103,9 +117,10 @@ class CheckMap {
     return static_cast<std::size_t>(k * UINT64_C(0x9E3779B97F4A7C15) >> 32) & mask_;
   }
 
-  void grow() {
+  static constexpr std::size_t kMinCapacity = 64;
+
+  void rehash(std::size_t cap) {
     std::vector<Entry> old = std::move(slots_);
-    const std::size_t cap = old.empty() ? 64 : old.size() * 2;
     slots_.assign(cap, Entry{});
     mask_ = cap - 1;
     grow_at_ = cap * 3 / 4;
@@ -115,6 +130,17 @@ class CheckMap {
         Entry& e = upsert(s.key);
         e = s;
       }
+    }
+  }
+
+  void grow() { rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2); }
+
+  /// Halves the table once deletions drop occupancy to 1/8.  The 1/8-down /
+  /// 3/4-up spread leaves a shrunken table at 1/4 load, so an insert/erase
+  /// flutter around either threshold cannot thrash rehashes.
+  void maybe_shrink() {
+    if (slots_.size() > kMinCapacity && count_ <= slots_.size() / 8) {
+      rehash(slots_.size() / 2);
     }
   }
 

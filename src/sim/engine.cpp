@@ -95,17 +95,47 @@ void Engine::throw_deadlock() {
 
 void Engine::check_drained() {
 #if SIO_SIM_CHECKS
-  if (!stopped_ && wheel_.empty() && live_tasks_ > 0) throw_deadlock();
+  if (!stopped_ && wheel_.empty() && ready_.empty() && live_tasks_ > 0) throw_deadlock();
 #endif
 }
 
-void Engine::run() {
+void Engine::run_loop(Tick limit) {
   stopped_ = false;
-  while (!stopped_) {
-    EventNode* n = wheel_.pop_next(kMaxTick);
-    if (n == nullptr) break;
-    dispatch(n);
+  if (hook_ == nullptr) {
+    while (!stopped_) {
+      EventNode* n = wheel_.pop_next(limit);
+      if (n == nullptr) break;
+      dispatch(n);
+    }
+    return;
   }
+  // Controlled dispatch: batch every event ready at the current tick into
+  // `ready_` (the wheel yields them in insertion-seq order) and let the hook
+  // pick.  Events a dispatch schedules at the *same* tick join the ready set
+  // on the next iteration, so they are alternatives too — a real concurrent
+  // system orders them freely.  The clock only advances once the tick's
+  // ready set is drained.
+  while (!stopped_) {
+    if (ready_.empty()) {
+      EventNode* n = wheel_.pop_next(limit);
+      if (n == nullptr) break;
+      ready_.push_back(n);
+    }
+    while (EventNode* m = wheel_.pop_next(now())) ready_.push_back(m);
+    std::size_t k = 0;
+    if (ready_.size() > 1) {
+      k = hook_->pick(now(), ready_.size());
+      SIO_ASSERT(k < ready_.size());
+    }
+    EventNode* n = ready_[k];
+    ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(k));
+    dispatch(n);
+    hook_->after_dispatch();
+  }
+}
+
+void Engine::run() {
+  run_loop(kMaxTick);
   if (task_error_) {
     auto err = std::exchange(task_error_, nullptr);
     std::rethrow_exception(err);
@@ -114,12 +144,7 @@ void Engine::run() {
 }
 
 void Engine::run_until(Tick t) {
-  stopped_ = false;
-  while (!stopped_) {
-    EventNode* n = wheel_.pop_next(t);
-    if (n == nullptr) break;
-    dispatch(n);
-  }
+  run_loop(t);
   wheel_.advance_clock(t);
   if (task_error_) {
     auto err = std::exchange(task_error_, nullptr);

@@ -17,8 +17,10 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <vector>
 
 #include "sim/assert.hpp"
 #include "sim/callback.hpp"
@@ -30,6 +32,28 @@ namespace sio::sim {
 
 template <class T>
 class Task;
+
+/// Decision-point hook for schedule exploration (src/mc).  When installed
+/// via Engine::set_scheduler_hook(), the engine stops committing to the
+/// (time, insertion-seq) FIFO order within a tick: every event ready at the
+/// current tick is batched into an explicit ready set and the hook picks
+/// which one dispatches next.  Alternatives are presented in insertion-seq
+/// order, so choice 0 at every decision point reproduces the uncontrolled
+/// engine order exactly — an all-zeros schedule is the default run.
+class SchedulerHook {
+ public:
+  virtual ~SchedulerHook() = default;
+
+  /// Picks the next event to dispatch among `arity` (>= 2) same-tick
+  /// alternatives ordered by insertion seq.  Must return a value < arity.
+  /// May throw to abandon the run (the exception escapes Engine::run()).
+  virtual std::size_t pick(Tick now, std::size_t arity) = 0;
+
+  /// Called after every dispatched event while the hook is installed, so a
+  /// checker can evaluate invariants on each step of the interleaving.  May
+  /// throw to abort the run.
+  virtual void after_dispatch() {}
+};
 
 class Engine {
  public:
@@ -102,6 +126,12 @@ class Engine {
   /// Number of spawned tasks that have not yet finished.
   std::uint64_t live_tasks() const { return live_tasks_; }
 
+  /// Installs (or clears, with nullptr) the schedule-exploration hook.  The
+  /// hook must outlive every run it controls.  Install before run(); the
+  /// hookless dispatch path is untouched when none is set.
+  void set_scheduler_hook(SchedulerHook* hook) { hook_ = hook; }
+  SchedulerHook* scheduler_hook() const { return hook_; }
+
   /// Records an exception escaping a detached task; stops the run.
   void report_task_error(std::exception_ptr e);
 
@@ -134,6 +164,11 @@ class Engine {
   std::uint64_t live_tasks_ = 0;
   bool stopped_ = false;
   std::exception_ptr task_error_;
+  SchedulerHook* hook_ = nullptr;
+  /// Same-tick ready set while a SchedulerHook is installed: events popped
+  /// from the wheel but not yet dispatched, in insertion-seq order.  Always
+  /// drained before the clock may advance.  Unused on the hookless path.
+  std::vector<EventNode*> ready_;
 
 #if SIO_SIM_CHECKS
   // Sanitizer state, keyed by coroutine frame address.  Never iterated on a
@@ -158,6 +193,7 @@ class Engine {
   }
 
   void dispatch(EventNode* n);
+  void run_loop(Tick limit);
   void check_drained();
   [[noreturn]] void throw_deadlock();
   [[noreturn]] void throw_schedule_past(Tick t);

@@ -1,0 +1,221 @@
+// Unit tests for the schedule-exploration core (src/mc): controller branch
+// recording, exhaustive DFS, replay determinism, divergence handling,
+// convergence pruning, random sampling, and ddmin minimization.  The tests
+// use tiny synthetic scenarios with exactly known choice trees, plus one
+// registry scenario as an integration cross-check; the full acceptance
+// sweep over every bundled configuration lives in tools/simmc (`simmc
+// ctest`).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mc/explorer.hpp"
+#include "mc/scenarios.hpp"
+#include "sim/task.hpp"
+
+namespace sio::mc {
+namespace {
+
+// Two tasks appending their id; the only branch point is which start-resume
+// dispatches first (one same-tick ready pair -> choice tree of exactly two
+// schedules: "-" and "1").  The "bug" flavor declares B-before-A illegal.
+class OrderScenario : public Scenario {
+ public:
+  explicit OrderScenario(bool b_first_is_bug) : bug_(b_first_is_bug) {}
+
+  void start(sim::Engine& engine, Controller&) override {
+    engine.spawn(runner(0));
+    engine.spawn(runner(1));
+  }
+
+  void check() override {
+    if (bug_ && !log_.empty() && log_.front() == 1) {
+      throw InvariantViolation("task 1 overtook task 0");
+    }
+  }
+
+  void finish() override {
+    if (log_.size() != 2) throw InvariantViolation("a task never ran");
+  }
+
+ private:
+  sim::Task<void> runner(int id) {
+    log_.push_back(id);
+    co_return;
+  }
+
+  bool bug_;
+  std::vector<int> log_;
+};
+
+// One task, one explicit choose(3) decision; choice 2 trips the invariant.
+// Exercises scenario-surfaced decision points without any scheduler branch.
+class ChooseScenario : public Scenario {
+ public:
+  void start(sim::Engine& engine, Controller& ctl) override {
+    engine.spawn(runner(engine, ctl));
+  }
+
+  void check() override {
+    if (bad_) throw InvariantViolation("forbidden choice reached");
+  }
+
+ private:
+  sim::Task<void> runner(sim::Engine& engine, Controller& ctl) {
+    co_await engine.delay(1);
+    if (ctl.choose(3) == 2) bad_ = true;
+    co_await engine.delay(1);
+  }
+
+  bool bad_ = false;
+};
+
+ScenarioFactory order_factory(bool bug) {
+  return [bug] { return std::make_unique<OrderScenario>(bug); };
+}
+
+ScenarioFactory choose_factory() {
+  return [] { return std::make_unique<ChooseScenario>(); };
+}
+
+TEST(Schedule, ToStringParseRoundTrip) {
+  Schedule s;
+  s.choices = {0, 2, 1};
+  EXPECT_EQ(s.to_string(), "0.2.1");
+  EXPECT_EQ(Schedule::parse("0.2.1"), s);
+  EXPECT_EQ(Schedule{}.to_string(), "-");
+  EXPECT_EQ(Schedule::parse("-"), Schedule{});
+  EXPECT_FALSE(Schedule::parse("0..1").has_value());
+  EXPECT_FALSE(Schedule::parse("x").has_value());
+}
+
+TEST(Explorer, ExhaustsTheTwoScheduleOrderTree) {
+  Explorer ex(order_factory(/*b_first_is_bug=*/false));
+  const ExploreResult res = ex.explore();
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_EQ(res.runs, 2u);
+  EXPECT_EQ(res.distinct, 2u);
+  EXPECT_EQ(res.violations, 0u);
+  EXPECT_EQ(res.max_branch_depth, 1u);
+}
+
+TEST(Explorer, FindsTheOrderBugOnTheSiblingSchedule) {
+  Explorer ex(order_factory(/*b_first_is_bug=*/true));
+  const ExploreResult res = ex.explore();
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_EQ(res.violations, 1u);
+  ASSERT_EQ(res.failures.size(), 1u);
+  EXPECT_EQ(res.failures.front().schedule.to_string(), "1");
+  EXPECT_NE(res.failures.front().message.find("overtook"), std::string::npos);
+}
+
+TEST(Explorer, ChooseBranchesEnumerateEveryAlternative) {
+  Explorer ex(choose_factory());
+  const ExploreResult res = ex.explore();
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_EQ(res.runs, 3u);  // choose(3): tails "-", "1", "2"
+  EXPECT_EQ(res.violations, 1u);
+  ASSERT_EQ(res.failures.size(), 1u);
+  EXPECT_EQ(res.failures.front().schedule.to_string(), "2");
+}
+
+TEST(Explorer, ReplayIsByteIdentical) {
+  Explorer ex(choose_factory());
+  Schedule bad;
+  bad.choices = {2};
+  RunRecord rec;
+  ASSERT_TRUE(ex.replays_identically(bad, &rec));
+  EXPECT_TRUE(rec.violation);
+  EXPECT_EQ(rec.schedule, bad);
+  const RunRecord again = ex.replay(bad);
+  EXPECT_EQ(again.trace_hash, rec.trace_hash);
+}
+
+TEST(Explorer, OutOfRangeForcedChoiceDiverges) {
+  Explorer ex(choose_factory());
+  Schedule wild;
+  wild.choices = {7};  // arity is 3
+  const RunRecord rec = ex.replay(wild);
+  EXPECT_TRUE(rec.diverged);
+  EXPECT_FALSE(rec.violation);
+  EXPECT_FALSE(rec.message.empty());
+}
+
+TEST(Explorer, MinimizeDropsIrrelevantChoicesAndReproduces) {
+  // In the choose scenario only the value 2 matters; a padded schedule with
+  // trailing defaults must shrink to exactly "2".
+  Explorer ex(choose_factory());
+  Schedule padded;
+  padded.choices = {2, 0, 0};
+  const Schedule min = ex.minimize(padded);
+  EXPECT_EQ(min.to_string(), "2");
+  RunRecord rec;
+  EXPECT_TRUE(ex.replays_identically(min, &rec));
+  EXPECT_TRUE(rec.violation);
+}
+
+TEST(Explorer, MinimizeReturnsInputWhenNothingReproduces) {
+  Explorer ex(choose_factory());
+  Schedule clean;
+  clean.choices = {1};
+  EXPECT_EQ(ex.minimize(clean), clean);
+}
+
+TEST(Explorer, SamplingIsSeedDeterministic) {
+  ExploreOptions opt;
+  Explorer a(order_factory(true), opt);
+  Explorer b(order_factory(true), opt);
+  const ExploreResult ra = a.sample(32, /*seed=*/7);
+  const ExploreResult rb = b.sample(32, /*seed=*/7);
+  EXPECT_EQ(ra.runs, 32u);
+  EXPECT_EQ(ra.distinct, rb.distinct);
+  EXPECT_EQ(ra.violations, rb.violations);
+  EXPECT_LE(ra.distinct, 2u);  // the whole tree has two schedules
+  EXPECT_GE(ra.violations, 1u);  // 32 coin flips: both orders show up
+}
+
+TEST(Explorer, PruningPreservesExhaustionAndVerdictOnTokenScenario) {
+  // Registry cross-check: the token proof config must exhaust cleanly with
+  // pruning both off and on, and pruning must never *add* runs.
+  ExploreOptions full;
+  full.prune = false;
+  Explorer unpruned(make_token_scenario(2, 1), full);
+  const ExploreResult r_full = unpruned.explore();
+  EXPECT_TRUE(r_full.exhausted);
+  EXPECT_EQ(r_full.violations, 0u);
+
+  ExploreOptions pruned_opt;
+  pruned_opt.prune = true;
+  Explorer pruned(make_token_scenario(2, 1), pruned_opt);
+  const ExploreResult r_pruned = pruned.explore();
+  EXPECT_TRUE(r_pruned.exhausted);
+  EXPECT_EQ(r_pruned.violations, 0u);
+  EXPECT_LE(r_pruned.runs, r_full.runs);
+  EXPECT_GT(r_pruned.runs, 1u);
+}
+
+TEST(Explorer, StopAtFirstViolationHaltsEarly) {
+  ExploreOptions opt;
+  opt.stop_at_first_violation = true;
+  Explorer ex(choose_factory(), opt);
+  const ExploreResult res = ex.explore();
+  EXPECT_EQ(res.violations, 1u);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(res.runs, 3u);  // "-", "1", then the violating "2"
+}
+
+TEST(Registry, BundledScenariosResolveByName) {
+  EXPECT_GE(scenario_registry().size(), 6u);
+  const NamedScenario* token = find_scenario("token");
+  ASSERT_NE(token, nullptr);
+  EXPECT_TRUE(token->expect_clean);
+  const NamedScenario* unsafe = find_scenario("retry.unsafe");
+  ASSERT_NE(unsafe, nullptr);
+  EXPECT_FALSE(unsafe->expect_clean);
+  EXPECT_EQ(find_scenario("no-such-config"), nullptr);
+}
+
+}  // namespace
+}  // namespace sio::mc

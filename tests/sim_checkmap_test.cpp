@@ -1,0 +1,137 @@
+// Churn regression tests for sim::CheckMap.
+//
+// The sanitizer table doubles at 3/4 load; before the shrink path was added,
+// a burst of short-lived coroutines left the ballooned slot array pinned for
+// the rest of the run.  These tests pin the contract: capacity follows
+// occupancy down (1/8 threshold, halving to the 64-slot floor), survivors
+// keep their payload across every rehash, and steady small churn never
+// resizes at all.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/checkmap.hpp"
+
+namespace sio::sim {
+namespace {
+
+// index_of() shifts frame addresses right by 4 before hashing, so synthetic
+// keys must differ above bit 4 to be distinct to the table.
+void* key_at(std::size_t i) {
+  return reinterpret_cast<void*>(static_cast<std::uintptr_t>((i + 1) * 16));
+}
+
+TEST(CheckMapChurn, BalloonThenDrainReleasesCapacity) {
+  CheckMap m;
+  constexpr std::size_t kBurst = 10000;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    CheckMap::Entry& e = m.upsert(key_at(i));
+    e.kind = "Mutex";
+    e.pending = (i % 2) == 0;
+  }
+  ASSERT_EQ(m.size(), kBurst);
+  const std::size_t ballooned = m.capacity();
+  EXPECT_GE(ballooned, 16384u);  // 10000 entries past 3/4 of 8192
+
+  // Drain all but a handful, as a wave of task completions would.
+  constexpr std::size_t kSurvivors = 4;
+  for (std::size_t i = kSurvivors; i < kBurst; ++i) m.erase(key_at(i));
+  ASSERT_EQ(m.size(), kSurvivors);
+  EXPECT_EQ(m.capacity(), 64u) << "ballooned table was not released";
+
+  // Survivors kept their payload through every halving rehash.
+  for (std::size_t i = 0; i < kSurvivors; ++i) {
+    CheckMap::Entry* e = m.find(key_at(i));
+    ASSERT_NE(e, nullptr);
+    EXPECT_STREQ(e->kind, "Mutex");
+    EXPECT_EQ(e->pending, (i % 2) == 0);
+  }
+}
+
+TEST(CheckMapChurn, RepeatedBurstsDoNotAccumulateCapacity) {
+  CheckMap m;
+  for (int burst = 0; burst < 5; ++burst) {
+    for (std::size_t i = 0; i < 2000; ++i) m.upsert(key_at(i));
+    for (std::size_t i = 0; i < 2000; ++i) m.erase(key_at(i));
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.capacity(), 64u) << "burst " << burst << " left slots pinned";
+  }
+}
+
+TEST(CheckMapChurn, SteadySmallChurnNeverResizes) {
+  CheckMap m;
+  for (std::size_t i = 0; i < 16; ++i) m.upsert(key_at(i));
+  const std::size_t cap = m.capacity();
+  EXPECT_EQ(cap, 64u);
+  // 16 live entries with one-in-one-out churn sits between the shrink
+  // threshold (8) and the grow threshold (48): no rehash may ever fire.
+  for (std::size_t i = 16; i < 5000; ++i) {
+    m.upsert(key_at(i));
+    m.erase(key_at(i - 16));
+    ASSERT_EQ(m.capacity(), cap) << "resize thrash at step " << i;
+  }
+  EXPECT_EQ(m.size(), 16u);
+}
+
+TEST(CheckMapChurn, ShrinkGrowHysteresisNoThrash) {
+  CheckMap m;
+  // Grow once to 128 (past 48 = 3/4 of 64).
+  for (std::size_t i = 0; i < 49; ++i) m.upsert(key_at(i));
+  ASSERT_EQ(m.capacity(), 128u);
+  // Hover exactly around the 1/8 shrink threshold of the 128-slot table:
+  // dropping to 16 shrinks to 64 (landing at 1/4 load), after which the
+  // same 16 entries are far from 64's grow threshold — one resize total.
+  for (std::size_t i = 16; i < 49; ++i) m.erase(key_at(i));
+  ASSERT_EQ(m.size(), 16u);
+  EXPECT_EQ(m.capacity(), 64u);
+  for (int round = 0; round < 100; ++round) {
+    m.upsert(key_at(100000 + static_cast<std::size_t>(round)));
+    m.erase(key_at(100000 + static_cast<std::size_t>(round)));
+    ASSERT_EQ(m.capacity(), 64u);
+  }
+}
+
+TEST(CheckMapChurn, ClearReleasesBalloonedTable) {
+  CheckMap m;
+  for (std::size_t i = 0; i < 3000; ++i) m.upsert(key_at(i));
+  ASSERT_GT(m.capacity(), 64u);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.capacity(), 64u);
+  // Table is fully usable after the release.
+  CheckMap::Entry& e = m.upsert(key_at(7));
+  e.name = "after-clear";
+  ASSERT_NE(m.find(key_at(7)), nullptr);
+  EXPECT_STREQ(m.find(key_at(7))->name, "after-clear");
+}
+
+TEST(CheckMapChurn, BackwardShiftDeletionSurvivesShrinkMidChain) {
+  // Force clustered probe chains (keys colliding into nearby home slots via
+  // dense sequential addresses), then delete through the cluster while the
+  // shrink path fires underneath.
+  CheckMap m;
+  std::vector<void*> keys;
+  for (std::size_t i = 0; i < 1000; ++i) keys.push_back(key_at(i));
+  for (void* k : keys) {
+    CheckMap::Entry& e = m.upsert(k);
+    e.name = "probe";
+  }
+  // Delete evens, verify odds after every wave of 100.
+  for (std::size_t start = 0; start < 1000; start += 200) {
+    for (std::size_t i = start; i < start + 200 && i < 1000; i += 2) {
+      m.erase(keys[i]);
+    }
+    for (std::size_t i = 1; i < 1000; i += 2) {
+      CheckMap::Entry* e = m.find(keys[i]);
+      ASSERT_NE(e, nullptr) << "odd key " << i << " lost after wave " << start;
+      EXPECT_STREQ(e->name, "probe");
+    }
+  }
+  EXPECT_EQ(m.size(), 500u);
+}
+
+}  // namespace
+}  // namespace sio::sim

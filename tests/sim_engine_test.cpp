@@ -49,6 +49,42 @@ TEST(Engine, SameTickIsFifo) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+TEST(Engine, TieBreakIsGlobalInsertionSeqNotScheduleTime) {
+  // The ordering contract is (time, insertion-seq): two events landing on
+  // the same tick fire in the order their schedule_* calls executed, even
+  // when one of them was inserted much later in wall-clock terms (from a
+  // handler running at an intermediate tick).
+  Engine e;
+  std::vector<char> order;
+  e.schedule_at(100, [&] { order.push_back('a'); });  // seq 0
+  e.schedule_at(50, [&] {                             // seq 1, fires first
+    e.schedule_at(100, [&] { order.push_back('b'); });  // seq 3: after a, c
+  });
+  e.schedule_at(100, [&] { order.push_back('c'); });  // seq 2
+  e.run();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'c', 'b'}));
+}
+
+TEST(Engine, TieBreakCoversCoroutineResumesAndCallbacks) {
+  // Coroutine wakeups ride the same event queue as plain callbacks, so a
+  // delay() resume landing on a tick shared with callbacks is ordered by
+  // the seq of its insertion (the moment the task parked), not specially.
+  // spawn() posts the first resume, so the task body runs at tick 0 and
+  // its delay(100) resume is inserted *after* both tick-100 callbacks.
+  Engine e;
+  std::vector<char> order;
+  e.schedule_at(100, [&] { order.push_back('a'); });  // seq 0
+  auto t = [](Engine& eng, std::vector<char>* ord) -> Task<void> {
+    co_await eng.delay(100);
+    ord->push_back('t');
+  }(e, &order);
+  e.spawn(std::move(t));  // start resume at tick 0: seq 1
+  e.schedule_at(100, [&] { order.push_back('c'); });  // seq 2
+  e.run();
+  // The park happens at tick 0 (seq 3), so at tick 100: a, c, t.
+  EXPECT_EQ(order, (std::vector<char>{'a', 'c', 't'}));
+}
+
 TEST(Engine, HandlersCanScheduleMoreEvents) {
   Engine e;
   int fired = 0;

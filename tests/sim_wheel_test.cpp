@@ -224,6 +224,58 @@ TEST(TimingWheel, ChildScheduledAtNowFiresAfterSameTickSiblings) {
   EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 99}));
 }
 
+TEST(TimingWheel, Level0Slot2047IsTheLastDirectSlot) {
+  // diff 0..2047 lands in level 0; diff 2048 is the first level-1 residency.
+  // The boundary pair must still fire in time order, and a tie at the
+  // boundary tick in insertion order.
+  WheelSched s;
+  s.schedule(2048, 0);  // level 1
+  s.schedule(2047, 1);  // last level-0 slot
+  s.schedule(2047, 2);  // same slot, later seq
+  s.schedule(2046, 3);
+  std::vector<std::uint64_t> fired;
+  std::uint64_t id;
+  while (s.pop(kMaxTick, id)) fired.push_back(id);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{3, 1, 2, 0}));
+}
+
+TEST(TimingWheel, OverflowHeapThresholdIsExactlyTwoPow33) {
+  // The wheel's three 2048-slot levels span diffs up to 2^33 - 1; a diff of
+  // exactly 2^33 must take the overflow heap.  Both sides of the threshold,
+  // scheduled heap-side first, still fire in (time, seq) order.
+  const Tick edge = Tick{1} << 33;
+  WheelSched s;
+  s.schedule(edge, 0);      // heap (diff >> 33 == 1)
+  s.schedule(edge - 1, 1);  // wheel resident (last level-2 reach)
+  s.schedule(edge, 2);      // heap, same tick as id 0: seq order
+  std::vector<std::uint64_t> fired;
+  std::uint64_t id;
+  while (s.pop(kMaxTick, id)) fired.push_back(id);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{1, 0, 2}));
+  EXPECT_EQ(s.now(), edge);
+}
+
+TEST(TimingWheel, HeapDrainsIntoWheelAsTheClockCatchesUp) {
+  // An overflow-heap event whose diff shrinks below 2^33 after the clock
+  // advances must demote into the wheel and interleave correctly with
+  // events scheduled wheel-side at nearby ticks.
+  const Tick far = (Tick{1} << 33) + 100;
+  WheelSched s;
+  s.schedule(far, 0);  // heap at schedule time
+  s.schedule(10, 1);
+  std::uint64_t id;
+  ASSERT_TRUE(s.pop(kMaxTick, id));
+  EXPECT_EQ(id, 1);
+  // now == 10: `far` is within wheel reach.  Newer same-tick and
+  // earlier-tick events must order against the drained one by (time, seq).
+  s.schedule(far, 2);      // same tick, later seq than the heap resident
+  s.schedule(far - 1, 3);  // earlier tick, scheduled last
+  std::vector<std::uint64_t> fired;
+  while (s.pop(kMaxTick, id)) fired.push_back(id);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{3, 0, 2}));
+  EXPECT_EQ(s.now(), far);
+}
+
 TEST(TimingWheel, NodesAreRecycledThroughTheFreelist) {
   // Steady-state schedule/dispatch churn must not grow the arena: after the
   // first dispatch returns a node, subsequent single-event cycles reuse it.

@@ -349,12 +349,59 @@ TEST(SiolintUnorderedIter, ScopeCoversSrcSim) {
   EXPECT_EQ(diags[0].rule, "unordered-iter");
 }
 
+TEST(SiolintUnorderedIter, ScopeCoversSrcMc) {
+  // Exploration results feed schedule strings and counterexamples; a
+  // hash-ordered iteration in src/mc/ would make replays non-reproducible.
+  const std::string code =
+      "std::unordered_set<std::uint64_t> visited_;\n"
+      "void dump() { for (const auto& v : visited_) print(v); }\n";
+  const auto diags = lint_one("src/mc/bad.cpp", code);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "unordered-iter");
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(SiolintDetachedCoroutine, FiresOnRawResumeAndDestroyOutsideSrcSim) {
+  const std::string code =
+      "void kick(std::coroutine_handle<> h) {\n"
+      "  h.resume();\n"
+      "  h.destroy();\n"
+      "}\n";
+  const auto diags = lint_one("src/mc/bad.cpp", code);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "detached-coroutine");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[1].line, 3);
+  // src/sim/ owns the dispatch path: raw resumes are its job.
+  EXPECT_TRUE(lint_one("src/sim/ok.cpp", code).empty());
+  // Outside src/ the rule does not apply (tests drive handles directly).
+  EXPECT_TRUE(lint_one("tests/ok_test.cpp", code).empty());
+}
+
+TEST(SiolintDetachedCoroutine, QuietOnEnginePostAndNonHandleCalls) {
+  const auto diags = lint_one("src/mc/ok.cpp",
+                              "void wake(sim::Engine& e, std::coroutine_handle<> h) {\n"
+                              "  e.post(h);\n"
+                              "  resume(h);\n"
+                              "  job.resume(from_checkpoint);\n"
+                              "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SiolintDetachedCoroutine, AllowMarkerSilences) {
+  const auto diags = lint_one("src/mc/ok.cpp",
+                              "// siolint:allow(detached-coroutine)\n"
+                              "h.resume();\n");
+  EXPECT_TRUE(diags.empty());
+}
+
 TEST(SiolintRuleTable, ListsEveryRuleOnce) {
   std::set<std::string> ids;
   for (const auto& r : siolint::rule_table()) ids.insert(std::string(r.id));
   EXPECT_EQ(ids, (std::set<std::string>{"wall-clock", "raw-random", "getenv", "banned-header",
                                         "discarded-task", "assert-side-effect",
-                                        "unordered-iter", "std-function"}));
+                                        "unordered-iter", "std-function",
+                                        "detached-coroutine"}));
 }
 
 }  // namespace

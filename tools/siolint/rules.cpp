@@ -21,7 +21,7 @@ bool is_sim_source(std::string_view path) { return starts_with(path, "src/"); }
 bool is_order_sensitive_dir(std::string_view path) {
   return starts_with(path, "src/pablo/") || starts_with(path, "src/core/") ||
          starts_with(path, "src/fault/") || starts_with(path, "src/sim/") ||
-         starts_with(path, "src/qos/");
+         starts_with(path, "src/qos/") || starts_with(path, "src/mc/");
 }
 
 bool is_engine_hot_path(std::string_view path) { return starts_with(path, "src/sim/"); }
@@ -219,11 +219,16 @@ const std::vector<RuleInfo>& rule_table() {
       {"discarded-task", "Task<T>-returning call as a bare statement (never awaited or spawned)"},
       {"assert-side-effect", "SIO_ASSERT condition contains ++/--/assignment"},
       {"unordered-iter",
-       "range-for over std::unordered_{map,set} in src/pablo/, src/core/, src/fault/, or "
-       "src/sim/ (iteration order can reach reports or fault schedules)"},
+       "range-for over std::unordered_{map,set} in src/pablo/, src/core/, src/fault/, "
+       "src/sim/, src/qos/, or src/mc/ (iteration order can reach reports, fault "
+       "schedules, or explored interleavings)"},
       {"std-function",
        "std::function in the engine hot path (src/sim/); use sim::InlineCallback, which "
        "never heap-allocates for small callables"},
+      {"detached-coroutine",
+       "raw coroutine_handle .resume()/.destroy() in src/ outside src/sim/ (bypasses the "
+       "engine's post() lane, so the sim-sanitizer and the mc scheduler hook never see the "
+       "step; wake tasks through Engine::post() or a primitive)"},
   };
   return kTable;
 }
@@ -358,6 +363,22 @@ std::vector<Diagnostic> lint(const std::vector<SourceFile>& files) {
           report("std-function",
                  "std::function allocates per callable on the engine hot path; use "
                  "sim::InlineCallback (see sim/callback.hpp)");
+        }
+      }
+
+      // detached-coroutine: resuming (or destroying) a coroutine handle by
+      // hand anywhere outside the engine's own dispatch path.  A raw
+      // .resume() sidesteps the post() lane, so the resume neither lands in
+      // the deterministic FIFO order nor passes the sim-sanitizer's
+      // double-resume bookkeeping, and the mc scheduler hook cannot turn it
+      // into a decision point.
+      if (is_sim_source(file.path) && !is_engine_hot_path(file.path)) {
+        static const std::regex kRawResume(R"((\.|->)\s*(resume|destroy)\s*\(\s*\))");
+        std::smatch m;
+        if (std::regex_search(line, m, kRawResume)) {
+          report("detached-coroutine",
+                 "raw ." + m[2].str() + "() on a coroutine handle bypasses Engine::post(); "
+                 "the resume is invisible to the sanitizer and the mc scheduler");
         }
       }
 
