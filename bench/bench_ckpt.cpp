@@ -1,0 +1,134 @@
+// Checkpoint/restart bench: the ckpt workload family (naive 1 KB strided
+// writes vs aggregated 64 KB slabs) through the write-ahead-journaling
+// ablation matrix.
+//
+//   fault-free            no injections, journaling off (the baseline)
+//   fault-free-journal    no injections, journal=full (pure logging overhead)
+//   crash-torn-off        double torn io-node crash, journaling off
+//   crash-torn-meta       same crashes, journal=meta (detect-only)
+//   crash-torn-full       same crashes, journal=full (redo recovery)
+//
+// For every cell the bench prints the resilience report (which embeds the
+// post-run scrub: acked-but-lost bytes, torn units, journal redo counts) and
+// appends a machine-readable record to `bench_ckpt.json` (path overridable
+// as argv[1]) for CI archival and gating.
+//
+// Everything is seeded: rerunning this binary reproduces every number.
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sio.hpp"
+
+namespace {
+
+using namespace sio;
+
+struct Cell {
+  std::string app;
+  std::string plan;
+  core::RunResult run;
+};
+
+/// Served data operations per simulated second — the same goodput metric the
+/// resilience bench gates on, here across the journaling ablation arms.
+double goodput_ops_per_s(const core::RunResult& run) {
+  std::uint64_t served = 0;
+  for (const auto& ev : run.events) {
+    if (ev.op == pablo::IoOp::kRead || ev.op == pablo::IoOp::kWrite) ++served;
+  }
+  const double secs = sim::to_seconds(run.exec_time);
+  return secs > 0 ? static_cast<double>(served) / secs : 0.0;
+}
+
+void append_json(std::string& out, const Cell& c, const core::RunResult& baseline) {
+  const auto& sc = c.run.scrub;
+  out += "  {\"app\": \"" + c.app + "\", \"plan\": \"" + c.plan + "\"";
+  out += ", \"goodput_ops_per_s\": " + pablo::fmt_fixed(goodput_ops_per_s(c.run), 3);
+  out += ", \"exec_time_s\": " + pablo::fmt_fixed(sim::to_seconds(c.run.exec_time), 6);
+  out += ", \"io_time_s\": " + pablo::fmt_fixed(sim::to_seconds(c.run.io_time()), 6);
+  out += ", \"baseline_exec_time_s\": " +
+         pablo::fmt_fixed(sim::to_seconds(baseline.exec_time), 6);
+  out += ", \"journal\": \"" + sc.journal_mode + "\"";
+  out += ", \"server_crashes\": " + std::to_string(c.run.resilience.server_crashes);
+  out += ", \"loss_events\": " + std::to_string(c.run.loss_events.size());
+  out += ", \"acked_bytes_lost\": " + std::to_string(sc.acked_bytes_lost);
+  out += ", \"lost_units\": " + std::to_string(sc.lost_units);
+  out += ", \"torn_units\": " + std::to_string(sc.torn_units);
+  out += ", \"journal_appends\": " + std::to_string(sc.journal_appends);
+  out += ", \"journal_redone\": " + std::to_string(sc.journal_redone);
+  out += ", \"journal_detected_lost\": " + std::to_string(sc.journal_detected_lost);
+  out += ", \"recoveries\": " + std::to_string(sc.recoveries);
+  out += "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "bench_ckpt.json";
+  constexpr std::uint64_t kSeed = 510;
+
+  struct PlanRow {
+    const char* name;
+    bool faults;
+    pfs::JournalMode journal;
+  };
+  const std::vector<PlanRow> plans = {
+      {"fault-free", false, pfs::JournalMode::kOff},
+      {"fault-free-journal", false, pfs::JournalMode::kFull},
+      {"crash-torn-off", true, pfs::JournalMode::kOff},
+      {"crash-torn-meta", true, pfs::JournalMode::kMeta},
+      {"crash-torn-full", true, pfs::JournalMode::kFull},
+  };
+  const auto make_plan = [&](const PlanRow& row) {
+    fault::FaultPlan plan =
+        row.faults ? fault::FaultPlan::io_node_crash_torn(kSeed) : fault::FaultPlan::fault_free();
+    plan.journal = row.journal;
+    return plan;
+  };
+
+  // All ten cells (2 variants x 5 plans) are independent seeded runs: fan
+  // them out, then render serially in the fixed cell order so stdout and the
+  // JSON are identical to the serial version.
+  std::vector<std::function<core::RunResult()>> jobs;
+  for (const auto variant : {apps::ckpt::Variant::kNaive, apps::ckpt::Variant::kAggregated}) {
+    for (const auto& row : plans) {
+      jobs.push_back([variant, plan = make_plan(row)] {
+        return core::run_ckpt(apps::ckpt::make_config(variant), plan, kSeed);
+      });
+    }
+  }
+  const auto results = core::ParallelRunner().run<core::RunResult>(jobs);
+
+  std::string json = "[\n";
+  bool first = true;
+
+  std::printf("Checkpoint/restart: naive vs aggregated through the journaling ablation\n\n");
+
+  std::size_t idx = 0;
+  for (const auto variant : {apps::ckpt::Variant::kNaive, apps::ckpt::Variant::kAggregated}) {
+    const std::string app = "ckpt-" + std::string(apps::ckpt::variant_name(variant));
+    const auto& baseline = results[idx];  // fault-free journaling-off cell
+    for (const auto& row : plans) {
+      Cell c;
+      c.app = app;
+      c.plan = row.name;
+      c.run = results[idx++];
+      std::printf("==== %s / %s ====\n", c.app.c_str(), c.plan.c_str());
+      std::fputs(core::render_resilience_summary(c.run, baseline).c_str(), stdout);
+      std::printf("\n");
+      if (!first) json += ",\n";
+      first = false;
+      append_json(json, c, baseline);
+    }
+  }
+  json += "\n]\n";
+
+  std::ofstream f(json_path);
+  f << json;
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
 
   std::vector<core::OverloadConfig> cells;
   for (auto scenario : {core::OverloadScenario::kOpenStampede, core::OverloadScenario::kHotStripe,
-                        core::OverloadScenario::kRetryStorm}) {
+                        core::OverloadScenario::kRetryStorm, core::OverloadScenario::kCkptBurst}) {
     for (double load : {1.0, 2.0, 4.0}) {
       core::OverloadConfig cfg;
       cfg.scenario = scenario;

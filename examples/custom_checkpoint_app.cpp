@@ -6,6 +6,10 @@
 // without the §7 file-system policies.  The Pablo layer then reports the
 // burst structure and cost of each variant.
 //
+// The library version of this workload lives in `src/apps/ckpt.*` (per-epoch
+// files, restart read-storm, journal-ablation hooks — see `bench_ckpt`);
+// this example stays self-contained to show the raw API.
+//
 //   ./build/examples/custom_checkpoint_app
 
 #include <cstdio>

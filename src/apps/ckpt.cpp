@@ -1,0 +1,99 @@
+#include "apps/ckpt.hpp"
+
+#include <utility>
+
+namespace sio::apps::ckpt {
+
+Config make_config(Variant v, Workload w) {
+  Config cfg;
+  cfg.variant = v;
+  cfg.workload = std::move(w);
+  cfg.label = "ckpt-" + std::string(variant_name(v));
+  return cfg;
+}
+
+pfs::ServerConfig tuned_server() {
+  pfs::ServerConfig s;
+  // A 32-node burst dirties only ~8 units per server; the default dirty
+  // window (96) would absorb an entire epoch and leave nothing in flight
+  // for a mid-burst crash to interrupt.  Four units force inline
+  // write-backs from mid-burst on, so the write-behind daemon is busy for
+  // the burst's second half — which is what gives torn-write injection an
+  // in-flight transfer to clip.
+  s.dirty_limit = 4;
+  return s;
+}
+
+namespace {
+
+std::string epoch_path(int epoch) { return "ckpt/epoch-" + std::to_string(epoch); }
+
+sim::Task<void> checkpoint_node(pfs::Pfs& fs, pfs::Group& group, const Config& cfg, int node,
+                                int epoch) {
+  const Workload& w = cfg.workload;
+  pfs::OpenOptions opts;
+  opts.truncate = true;
+  if (cfg.variant == Variant::kAggregated) opts.mode = pfs::IoMode::kAsync;
+  auto fh = co_await fs.gopen(node, epoch_path(epoch), group, opts);
+  const int rank = group.rank_of(node);
+  const std::uint64_t chunk =
+      cfg.variant == Variant::kAggregated ? w.aggregated_write : w.naive_write;
+  co_await fh.seek(static_cast<std::uint64_t>(rank) * w.state_per_node);
+  for (std::uint64_t off = 0; off < w.state_per_node; off += chunk) {
+    co_await fh.write(chunk);
+  }
+  co_await fh.close();
+}
+
+sim::Task<void> restart_node(pfs::Pfs& fs, pfs::Group& group, const Config& cfg, int node,
+                             int epoch) {
+  const Workload& w = cfg.workload;
+  pfs::OpenOptions opts;
+  if (cfg.variant == Variant::kAggregated) opts.mode = pfs::IoMode::kAsync;
+  auto fh = co_await fs.gopen(node, epoch_path(epoch), group, opts);
+  const int rank = group.rank_of(node);
+  co_await fh.seek(static_cast<std::uint64_t>(rank) * w.state_per_node);
+  for (std::uint64_t off = 0; off < w.state_per_node; off += w.aggregated_write) {
+    co_await fh.read(w.aggregated_write);
+  }
+  co_await fh.close();
+}
+
+}  // namespace
+
+sim::Task<void> run(hw::Machine& machine, pfs::Pfs& fs, Config cfg, PhaseLog* log) {
+  const Workload& w = cfg.workload;
+  SIO_ASSERT(w.nodes > 0 && w.checkpoint_every > 0 && w.steps >= w.checkpoint_every);
+  SIO_ASSERT(w.state_per_node % w.naive_write == 0);
+  SIO_ASSERT(w.state_per_node % w.aggregated_write == 0);
+
+  auto& engine = machine.engine();
+  auto group = pfs::Group::contiguous(engine, w.nodes);
+  ComputeModel compute(engine, machine.config().seed ^ 0xc4997ULL, w.nodes);
+
+  auto phase = [&](std::string name,
+                   std::function<sim::Task<void>(int)> body) -> sim::Task<void> {
+    if (log != nullptr) log->begin(std::move(name), engine.now());
+    co_await parallel_section(engine, w.nodes, std::move(body));
+    if (log != nullptr) log->end(engine.now());
+  };
+
+  const int epochs = w.epochs();
+  for (int e = 1; e <= epochs; ++e) {
+    co_await phase("compute-" + std::to_string(e), [&](int node) -> sim::Task<void> {
+      for (int s = 0; s < w.checkpoint_every; ++s) {
+        co_await compute.run(node, w.step_compute, w.jitter);
+      }
+    });
+    co_await phase("checkpoint-" + std::to_string(e), [&](int node) {
+      return checkpoint_node(fs, *group, cfg, node, e);
+    });
+  }
+
+  if (w.restart_readback && epochs > 0) {
+    co_await phase("restart",
+                   [&](int node) { return restart_node(fs, *group, cfg, node, epochs); });
+  }
+}
+
+}  // namespace sio::apps::ckpt

@@ -1,0 +1,84 @@
+// CKPT — checkpoint/restart workload family (the paper's third I/O class,
+// alongside compulsory and data-staging I/O).
+//
+// Every node computes; every `checkpoint_every` steps the application dumps
+// its state slab into a *fresh per-epoch file* — either naively (many small
+// M_UNIX writes, the "natural" version both paper teams started from) or
+// aggregated (stripe-sized M_ASYNC writes, the hand-tuning the paper argues
+// the file system should do for you).  After the last epoch a restart
+// read-storm re-reads the newest checkpoint sequentially on every node.
+//
+// The per-epoch files matter for the crash-consistency experiments: a
+// checkpoint that overwrote one shared file in place would mask a lost
+// write-behind unit with the next epoch's bytes, whereas epoch files keep
+// every acknowledged-but-lost unit visible to the post-run scrub.  The
+// workload is the anchor of the journal ablation (off/meta/full) in the
+// resilience bench: its bursty dirty-unit backlog is exactly what a torn
+// crash bites.
+
+#pragma once
+
+#include <string>
+
+#include "apps/common.hpp"
+#include "machine/machine.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/task.hpp"
+
+namespace sio::apps::ckpt {
+
+enum class Variant {
+  kNaive,       ///< 1 KB M_UNIX writes — the untuned original
+  kAggregated,  ///< stripe-sized M_ASYNC writes — the hand-aggregated port
+};
+
+constexpr std::string_view variant_name(Variant v) {
+  switch (v) {
+    case Variant::kNaive: return "naive";
+    case Variant::kAggregated: return "aggregated";
+  }
+  return "?";
+}
+
+/// Workload knobs.  Defaults mirror the checkpointing stencil example: 32
+/// nodes, 40 steps, a checkpoint every 10, 256 KB of state per node.
+struct Workload {
+  std::string name = "stencil";
+  int nodes = 32;
+  int steps = 40;
+  int checkpoint_every = 10;
+  std::uint64_t state_per_node = 256 * 1024;
+  std::uint64_t naive_write = 1024;
+  std::uint64_t aggregated_write = 64 * 1024;
+  sim::Tick step_compute = sim::milliseconds(800);
+  double jitter = 0.05;
+  /// Re-read the newest checkpoint after the last epoch (the restart storm).
+  bool restart_readback = true;
+
+  int epochs() const { return steps / checkpoint_every; }
+  std::uint64_t checkpoint_bytes() const {
+    return static_cast<std::uint64_t>(nodes) * state_per_node;
+  }
+};
+
+struct Config {
+  Variant variant = Variant::kAggregated;
+  Workload workload{};
+  std::string label = "ckpt-aggregated";
+};
+
+/// Convenience: a fully-populated Config for a variant/workload.
+Config make_config(Variant v, Workload w = Workload{});
+
+/// Server tuning for the checkpoint experiments: a small dirty window so
+/// write-backs start *inside* each burst instead of piling up for the
+/// end-of-epoch flush.  This keeps a write-back in flight through most of a
+/// burst — which is what gives torn-write injection something to tear — and
+/// mirrors how a real write-behind daemon paces a checkpoint storm.
+pfs::ServerConfig tuned_server();
+
+/// The application root task; phase names are `compute-<k>`,
+/// `checkpoint-<k>` (1-based epochs) and `restart`.
+sim::Task<void> run(hw::Machine& machine, pfs::Pfs& fs, Config cfg, PhaseLog* log = nullptr);
+
+}  // namespace sio::apps::ckpt

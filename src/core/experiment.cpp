@@ -36,23 +36,33 @@ sim::Tick RunResult::io_time() const {
 
 std::string RunResult::to_sddf() const {
   std::ostringstream out;
-  pablo::write_sddf(out, file_names, events, fault_events, qos_events);
+  pablo::write_sddf(out, file_names, events, fault_events, qos_events, loss_events);
   return out.str();
 }
 
 namespace {
 
+/// A plan is a no-op (and the run can take the byte-identical fault-free
+/// path) only when it schedules nothing, enables no client machinery, and
+/// leaves journaling off.
+bool plan_active(const fault::FaultPlan& plan) {
+  return !plan.empty() || plan.retry.enabled || plan.qos.enabled ||
+         plan.journal != pfs::JournalMode::kOff;
+}
+
 template <class App, class Cfg>
 RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uint64_t seed,
-                  const fault::FaultPlan* plan) {
+                  const fault::FaultPlan* plan, const pfs::ServerConfig* server = nullptr) {
   auto mc = hw::Machine::caltech_paragon(nodes, os);
   mc.seed = seed;
   hw::Machine machine(mc);
   pablo::Collector collector(machine.engine());
   pfs::PfsConfig pcfg;
+  if (server != nullptr) pcfg.server = *server;
   if (plan != nullptr) {
     pcfg.retry = plan->retry;
     pcfg.qos = plan->qos;
+    pcfg.server.journal = plan->journal;
   }
   pfs::Pfs fs(machine, collector, pcfg);
   apps::PhaseLog log;
@@ -88,6 +98,8 @@ RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uin
   r.phases = log.spans();
   r.fault_events = collector.fault_events();
   r.qos_events = collector.qos_events();
+  r.loss_events = collector.loss_events();
+  r.scrub = fs.scrub();
 
   auto& rc = r.resilience;
   rc.retries = fs.op_retries();
@@ -144,7 +156,7 @@ RunResult run_escat(apps::escat::Config cfg, const fault::FaultPlan& plan, std::
       [](hw::Machine& m, pfs::Pfs& fs, apps::escat::Config c, apps::PhaseLog* log) {
         return apps::escat::run(m, fs, std::move(c), log);
       },
-      std::move(cfg), os, nodes, seed, plan.empty() && !plan.retry.enabled && !plan.qos.enabled ? nullptr : &plan);
+      std::move(cfg), os, nodes, seed, plan_active(plan) ? &plan : nullptr);
 }
 
 RunResult run_prism(apps::prism::Config cfg, const fault::FaultPlan& plan, std::uint64_t seed) {
@@ -153,7 +165,22 @@ RunResult run_prism(apps::prism::Config cfg, const fault::FaultPlan& plan, std::
       [](hw::Machine& m, pfs::Pfs& fs, apps::prism::Config c, apps::PhaseLog* log) {
         return apps::prism::run(m, fs, std::move(c), log);
       },
-      std::move(cfg), hw::osf_r13(), nodes, seed, plan.empty() && !plan.retry.enabled && !plan.qos.enabled ? nullptr : &plan);
+      std::move(cfg), hw::osf_r13(), nodes, seed, plan_active(plan) ? &plan : nullptr);
+}
+
+RunResult run_ckpt(apps::ckpt::Config cfg, std::uint64_t seed) {
+  return run_ckpt(std::move(cfg), fault::FaultPlan::fault_free(), seed);
+}
+
+RunResult run_ckpt(apps::ckpt::Config cfg, const fault::FaultPlan& plan, std::uint64_t seed) {
+  const int nodes = cfg.workload.nodes;
+  // M_ASYNC (the aggregated variant) needs OSF/1 R1.3.
+  const pfs::ServerConfig server = apps::ckpt::tuned_server();
+  return run_app(
+      [](hw::Machine& m, pfs::Pfs& fs, apps::ckpt::Config c, apps::PhaseLog* log) {
+        return apps::ckpt::run(m, fs, std::move(c), log);
+      },
+      std::move(cfg), hw::osf_r13(), nodes, seed, plan_active(plan) ? &plan : nullptr, &server);
 }
 
 EscatStudy run_escat_study(std::uint64_t seed) {

@@ -12,12 +12,14 @@
 #include <string_view>
 #include <vector>
 
+#include "apps/ckpt.hpp"
 #include "apps/common.hpp"
 #include "apps/escat.hpp"
 #include "apps/prism.hpp"
 #include "fault/plan.hpp"
 #include "pablo/aggregate.hpp"
 #include "pablo/cdf.hpp"
+#include "pablo/resilience.hpp"
 #include "pablo/timeline.hpp"
 
 namespace sio::core {
@@ -57,6 +59,12 @@ struct RunResult {
   std::vector<pablo::FaultEvent> fault_events;
   /// Overload-protection records (empty unless the run enabled QoS).
   std::vector<pablo::QosEvent> qos_events;
+  /// Acked-data-loss records emitted at server crashes (one per dropped or
+  /// torn write-behind unit; empty for crash-free runs).
+  std::vector<pablo::LossEvent> loss_events;
+  /// Post-run integrity scrub: acked-vs-durable accounting per stripe unit
+  /// plus the journal counters.
+  pablo::ScrubReport scrub{};
   ResilienceCounters resilience{};
 
   /// Per-operation breakdown (% of I/O time, % of execution time).
@@ -98,6 +106,15 @@ RunResult run_escat(apps::escat::Config cfg, const fault::FaultPlan& plan,
 /// Runs one PRISM configuration under a fault plan.
 RunResult run_prism(apps::prism::Config cfg, const fault::FaultPlan& plan,
                     std::uint64_t seed = kDefaultSeed);
+
+/// Runs one checkpoint/restart configuration (ckpt-tuned server: a small
+/// dirty window keeps write-backs in flight through each burst).
+RunResult run_ckpt(apps::ckpt::Config cfg, std::uint64_t seed = kDefaultSeed);
+
+/// Runs one checkpoint/restart configuration under a fault plan; the plan's
+/// `journal` mode selects the write-ahead-journaling ablation arm.
+RunResult run_ckpt(apps::ckpt::Config cfg, const fault::FaultPlan& plan,
+                   std::uint64_t seed = kDefaultSeed);
 
 /// The ethylene A/B/C study behind Tables 1-3 and Figures 2-5.
 struct EscatStudy {

@@ -344,6 +344,14 @@ std::string render_resilience_summary(const RunResult& run, const RunResult& bas
   if (!qos.empty()) {
     out << '\n' << pablo::render_qos(qos);
   }
+  // The scrub section appears only when the run has a durability story to
+  // tell (losses, tears, stale overwrites, or an active journal) — fault-free
+  // unjournaled runs keep the pre-scrub report byte-identical.
+  const auto& sc = run.scrub;
+  if (sc.acked_bytes_lost > 0 || sc.lost_units > 0 || sc.torn_units > 0 ||
+      sc.checksum_mismatches > 0 || sc.journal_appends > 0 || sc.recoveries > 0) {
+    out << '\n' << pablo::render_scrub(sc);
+  }
   return out.str();
 }
 

@@ -115,6 +115,18 @@ sim::Task<void> one_op(sim::Engine& eng, pfs::Pfs& fs, const OverloadConfig& cfg
                              /*buffered=*/false);
         break;
       }
+      case OverloadScenario::kCkptBurst: {
+        // Every client dumps a stripe-unit checkpoint slab into its own
+        // region of a shared epoch file through write-behind — the whole
+        // population acks into the dirty caches at once, and the storm is
+        // the write-back backlog, not the reads.
+        const std::uint64_t unit = fs.layout().unit();
+        const std::uint64_t index =
+            static_cast<std::uint64_t>(client) * stride_ops + static_cast<std::uint64_t>(op_index);
+        co_await fs.transfer(client, *file, index * unit, unit, /*is_write=*/true,
+                             /*buffered=*/true);
+        break;
+      }
     }
     s.ok = true;
   } catch (const pfs::PfsError&) {
@@ -197,6 +209,12 @@ OverloadResult run_overload(const OverloadConfig& cfg) {
       break;
     case OverloadScenario::kRetryStorm:
       file = &fs.stage_file("/pfs/storm", 16ull * 1024 * 1024);  // 256 units
+      break;
+    case OverloadScenario::kCkptBurst:
+      // One slab-sized unit per (client, op): disjoint regions, so every
+      // write dirties a fresh stripe unit.
+      file = &fs.stage_file("/pfs/ckpt-epoch",
+                            static_cast<std::uint64_t>(cfg.clients) * ops_per_client * unit);
       break;
   }
 

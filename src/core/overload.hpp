@@ -15,6 +15,10 @@
 //     the links to I/O node 0 down: every op aimed at it times out, and
 //     without protection the retries re-feed the queue that made them time
 //     out.
+//   * ckpt-burst   — every client dumps checkpoint slabs at once through
+//     buffered write-behind: the synchronized write burst the checkpoint
+//     workload family creates, hammering the absorb path and the dirty
+//     backlog instead of the read path.
 //
 // Each scenario runs `clients` compute nodes in synchronized waves (`waves`
 // waves of `ops_per_wave × offered_load` concurrent ops per client, spaced
@@ -37,6 +41,7 @@ enum class OverloadScenario : std::uint8_t {
   kOpenStampede = 0,
   kHotStripe,
   kRetryStorm,
+  kCkptBurst,
 };
 
 constexpr const char* overload_scenario_name(OverloadScenario s) {
@@ -44,6 +49,7 @@ constexpr const char* overload_scenario_name(OverloadScenario s) {
     case OverloadScenario::kOpenStampede: return "open-stampede";
     case OverloadScenario::kHotStripe: return "hot-stripe";
     case OverloadScenario::kRetryStorm: return "retry-storm";
+    case OverloadScenario::kCkptBurst: return "ckpt-burst";
   }
   return "?";
 }

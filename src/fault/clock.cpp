@@ -58,7 +58,7 @@ void FaultClock::arm() {
     engine.schedule_at(f.at, [this, f] {
       record(pablo::FaultKind::kServerCrash, f.io_node,
              static_cast<std::uint64_t>(f.restart_at - f.at));
-      fs_.server(f.io_node).crash();
+      fs_.server(f.io_node).crash(f.torn);
     });
     engine.schedule_at(f.restart_at, [this, f] {
       fs_.server(f.io_node).restart();

@@ -65,6 +65,26 @@ void FaultPlan::validate(int io_nodes) const {
     require(f.restart_at > f.at, "server crash without a later restart tick");
     require(retry.enabled, "server crash planned but client retry is disabled");
   }
+  // Crash/restart windows on one server must not overlap (or even touch):
+  // a crash inside another crash's outage would fire crash() on an
+  // already-down server with a restart still pending, and a restart tick
+  // shared with the next crash leaves the injection order ambiguous.
+  // (A crash *after* a restart is fine — with journaling on it may land
+  // mid recovery, which is exactly the double fault the recovery path is
+  // built to survive.)
+  {
+    std::vector<ServerCrashFault> sorted = server_crashes;
+    std::sort(sorted.begin(), sorted.end(), [](const ServerCrashFault& a,
+                                               const ServerCrashFault& b) {
+      return a.io_node != b.io_node ? a.io_node < b.io_node : a.at < b.at;
+    });
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i].io_node != sorted[i - 1].io_node) continue;
+      require(sorted[i].at > sorted[i - 1].restart_at,
+              "overlapping crash/restart windows on io node " +
+                  std::to_string(sorted[i].io_node));
+    }
+  }
   for (const auto& f : server_degraded) {
     check_node(f.io_node, io_nodes, "server degraded window");
     require(f.t0 >= 0 && f.t1 > f.t0, "server degraded window is inverted or empty");
@@ -115,6 +135,29 @@ FaultPlan FaultPlan::io_node_crash(std::uint64_t seed) {
   p.server_crashes.push_back({0, sim::milliseconds(500), sim::milliseconds(6500)});
   // The restarted server comes back degraded while its caches re-warm.
   p.server_degraded.push_back({0, sim::milliseconds(6500), sim::milliseconds(10500)});
+  return p;
+}
+
+FaultPlan FaultPlan::io_node_crash_torn(std::uint64_t seed) {
+  FaultPlan p;
+  p.name = "io-node-crash-torn";
+  p.seed = seed;
+  p.retry = generous_retry();
+  // First torn crash a few milliseconds into the checkpoint workload's first
+  // write burst (epoch 1 opens at ~8.14 s for both ckpt variants), when the
+  // node's write-behind backlog is full and a write-back is in flight.  The
+  // tear clips that write-back to half a stripe unit; the 2.35 s outage
+  // out-waits the 2 s op deadline, guaranteeing visible timeouts/retries.
+  p.server_crashes.push_back(
+      {0, sim::milliseconds(8170), sim::milliseconds(10500), /*torn=*/true});
+  // Second torn crash 2 ms after the restart: with journaling on, the redo
+  // pass spawned by the first restart is still replaying records, so this
+  // is a crash *during recovery*; with journaling off it is simply a second
+  // outage.  Windows do not overlap, so the plan validates either way.
+  p.server_crashes.push_back(
+      {0, sim::milliseconds(10502), sim::milliseconds(13000), /*torn=*/true});
+  // The twice-restarted server comes back degraded while caches re-warm.
+  p.server_degraded.push_back({0, sim::milliseconds(13000), sim::milliseconds(15000)});
   return p;
 }
 
@@ -176,7 +219,16 @@ FaultPlan FaultPlan::random_plan(std::uint64_t seed, sim::Tick horizon, int io_n
   for (int i = 0; i < n_crash; ++i) {
     const sim::Tick at = tick(0, horizon - sim::seconds(6));
     // Outages capped at 5 s, under the generous policy's patience.
-    p.server_crashes.push_back({node(), at, at + tick(sim::seconds(1), sim::seconds(5))});
+    const ServerCrashFault f{node(), at, at + tick(sim::seconds(1), sim::seconds(5))};
+    // Crash windows on one server must not overlap (validate rejects such
+    // plans); keep the draw but drop the colliding crash.
+    const bool overlap =
+        std::any_of(p.server_crashes.begin(), p.server_crashes.end(),
+                    [&](const ServerCrashFault& g) {
+                      return g.io_node == f.io_node && f.at <= g.restart_at &&
+                             g.at <= f.restart_at;
+                    });
+    if (!overlap) p.server_crashes.push_back(f);
   }
   const int n_deg = static_cast<int>(rng.uniform_int(0, 2));
   for (int i = 0; i < n_deg; ++i) {

@@ -50,11 +50,14 @@ struct DiskStuckFault {
 };
 
 /// Server crash at `at`, cold restart at `restart_at` (> at, mandatory —
-/// a crashed server that never restarts would park clients forever).
+/// a crashed server that never restarts would park clients forever).  With
+/// `torn` set the crash tears an in-flight write-back: the array keeps only
+/// a deterministic prefix of the unit (partial-stripe write).
 struct ServerCrashFault {
   int io_node = 0;
   sim::Tick at = 0;
   sim::Tick restart_at = 0;
+  bool torn = false;
 };
 
 /// Server degraded window: CPU services stretched in [t0, t1).
@@ -86,6 +89,9 @@ struct FaultPlan {
   /// shedding, fair queueing, circuit breakers); requires `retry.enabled`
   /// when enabled.
   qos::QosConfig qos{};
+  /// Per-I/O-node write-ahead journaling for the run (off = the pre-journal
+  /// durability model: crashes silently drop dirty write-behind units).
+  pfs::JournalMode journal = pfs::JournalMode::kOff;
 
   std::vector<DiskFault> disk_failures;
   std::vector<DiskSlowFault> disk_slow;
@@ -118,6 +124,11 @@ struct FaultPlan {
   /// One I/O server crashes and restarts; clients ride out the outage on
   /// retries and the server replays re-driven writes idempotently.
   static FaultPlan io_node_crash(std::uint64_t seed);
+  /// The adversarial variant: two consecutive *torn* crashes on node 0, the
+  /// second placed right after the first restart so that with journaling on
+  /// it lands mid recovery (a crash-during-recovery double fault).  Set
+  /// `journal` on the returned plan to pick the ablation arm.
+  static FaultPlan io_node_crash_torn(std::uint64_t seed);
   /// Slow/lossy links toward the first few I/O nodes plus one short total
   /// outage window.
   static FaultPlan slow_link(std::uint64_t seed);

@@ -566,6 +566,232 @@ class QosScenario final : public Scenario {
   std::vector<int> phase_;
 };
 
+// ----------------------------------------------------------------- wal -----
+// Distilled write-behind node with a write-ahead journal, modeling the
+// IoServer recovery protocol: each writer journals an intent record (one
+// tick) and then acks a buffered write; a flusher picks dirty units and
+// writes them back, trimming the record only when the transfer completes; a
+// crash controller drops the cache at a choose()-placed tick and, with the
+// journal on, runs a redo pass over open records that a second
+// choose()-gated fault can interrupt mid-flight (the pass restarts under a
+// new epoch, exactly like IoServer::recover).  Step invariants: a record is
+// redone at most once (only epoch-checked completions retire it), and an
+// acknowledged write is always durable, cached, or journaled — never
+// unrecoverable.  Without the journal the explorer finds the interleaving
+// where the crash lands between ack and write-back.
+class WalScenario final : public Scenario {
+ public:
+  WalScenario(int writes, bool journal) : writes_(writes), journal_(journal) {}
+
+  void start(sim::Engine& engine, Controller& ctl) override {
+    engine_ = &engine;
+    ctl_ = &ctl;
+    acked_.assign(static_cast<std::size_t>(writes_), 0);
+    dirty_.assign(static_cast<std::size_t>(writes_), 0);
+    durable_.assign(static_cast<std::size_t>(writes_), 0);
+    jopen_.assign(static_cast<std::size_t>(writes_), 0);
+    redone_.assign(static_cast<std::size_t>(writes_), 0);
+    wphase_.assign(static_cast<std::size_t>(writes_), 0);
+    engine.spawn(flusher());
+    engine.spawn(crasher());
+    engine.spawn(double_fault());
+    for (int u = 0; u < writes_; ++u) engine.spawn(writer(u));
+  }
+
+  void check() override {
+    for (int u = 0; u < writes_; ++u) {
+      const auto slot = static_cast<std::size_t>(u);
+      if (redone_[slot] > 1) {
+        throw InvariantViolation("wal: unit " + std::to_string(u) + " redone " +
+                                 std::to_string(redone_[slot]) +
+                                 " times (recovery redo exactly-once violated)");
+      }
+      if (acked_[slot] != 0 && durable_[slot] == 0 && dirty_[slot] == 0 && jopen_[slot] == 0) {
+        throw InvariantViolation("wal: acknowledged write to unit " + std::to_string(u) +
+                                 " is unrecoverable (not durable, not cached, not journaled)");
+      }
+    }
+  }
+
+  void finish() override {
+    if (crashed_ || recovering_) {
+      throw InvariantViolation("wal: node still down when the run drained");
+    }
+    for (int u = 0; u < writes_; ++u) {
+      const auto slot = static_cast<std::size_t>(u);
+      if (acked_[slot] == 0) {
+        throw InvariantViolation("wal: unit " + std::to_string(u) + " never acknowledged");
+      }
+      if (durable_[slot] == 0) {
+        throw InvariantViolation("wal: acknowledged write to unit " + std::to_string(u) +
+                                 " lost (never reached the array)");
+      }
+    }
+  }
+
+  std::uint64_t fingerprint() const override {
+    // Pending timers are protocol state here: the crash placement and the
+    // double-fault arm/delay picks are drawn long before they fire, so the
+    // fingerprint must cover the drawn values, the current tick, and every
+    // task's phase — or pruning would merge a run with an armed mid-recovery
+    // fault into one without and never explore the double-fault paths.
+    Fingerprint fp;
+    fp.mix(0x77616cULL);  // "wal"
+    fp.mix(journal_ ? 1u : 0u);
+    fp.mix(static_cast<std::uint64_t>(engine_->now()));
+    fp.mix(epoch_);
+    fp.mix(static_cast<std::uint64_t>((crashed_ ? 1 : 0) | (recovering_ ? 2 : 0)));
+    fp.mix(static_cast<std::uint64_t>(wb_unit_ + 1));
+    fp.mix(static_cast<std::uint64_t>(fl_phase_));
+    fp.mix(static_cast<std::uint64_t>(writers_done_));
+    fp.mix(static_cast<std::uint64_t>(crash_pick_));
+    fp.mix(static_cast<std::uint64_t>(crasher_done_));
+    fp.mix(static_cast<std::uint64_t>(dbl_arm_ | (dbl_delay_ << 2) | (dbl_fired_ << 5)));
+    for (int u = 0; u < writes_; ++u) {
+      const auto slot = static_cast<std::size_t>(u);
+      fp.mix(static_cast<std::uint64_t>(acked_[slot] | (dirty_[slot] << 1) |
+                                        (durable_[slot] << 2) | (jopen_[slot] << 3)));
+      fp.mix(static_cast<std::uint64_t>(wphase_[slot]));
+      fp.mix(static_cast<std::uint64_t>(redone_[slot]));
+    }
+    return fp.value();
+  }
+
+ private:
+  /// The node dies: the write-behind cache is gone and any in-flight
+  /// write-back or redo is invalidated (epoch bump).
+  void crash() {
+    ++epoch_;
+    crashed_ = true;
+    for (auto& d : dirty_) d = 0;
+  }
+
+  bool any_dirty() const {
+    for (const int d : dirty_) {
+      if (d != 0) return true;
+    }
+    return false;
+  }
+
+  int first_dirty() const {
+    for (int u = 0; u < writes_; ++u) {
+      if (dirty_[static_cast<std::size_t>(u)] != 0) return u;
+    }
+    return -1;
+  }
+
+  sim::Task<void> writer(int u) {
+    const auto slot = static_cast<std::size_t>(u);
+    co_await engine_->delay(static_cast<sim::Tick>(ctl_->choose(2)));
+    wphase_[slot] = 1;
+    while (crashed_) co_await engine_->delay(1);
+    if (journal_) {
+      // Force the intent record before acknowledging, as the server does.
+      wphase_[slot] = 2;
+      co_await engine_->delay(1);
+      while (crashed_) co_await engine_->delay(1);
+      jopen_[slot] = 1;
+    }
+    acked_[slot] = 1;
+    dirty_[slot] = 1;
+    wphase_[slot] = 3;
+    ++writers_done_;
+  }
+
+  sim::Task<void> flusher() {
+    while (writers_done_ < writes_ || any_dirty()) {
+      if (crashed_ || first_dirty() < 0) {
+        co_await engine_->delay(1);
+        continue;
+      }
+      // Write-behind pause before picking up the oldest dirty unit.
+      fl_phase_ = 1;
+      co_await engine_->delay(1 + static_cast<sim::Tick>(ctl_->choose(2)));
+      fl_phase_ = 0;
+      if (crashed_) continue;
+      const int u = first_dirty();
+      if (u < 0) continue;
+      const std::uint64_t e = epoch_;
+      wb_unit_ = u;
+      co_await engine_->delay(1 + static_cast<sim::Tick>(ctl_->choose(2)));
+      wb_unit_ = -1;
+      if (epoch_ != e) continue;  // the crash invalidated the in-flight transfer
+      const auto slot = static_cast<std::size_t>(u);
+      durable_[slot] = 1;
+      dirty_[slot] = 0;
+      jopen_[slot] = 0;  // a *completed* write-back trims the record
+    }
+  }
+
+  sim::Task<void> crasher() {
+    crash_pick_ = 1 + static_cast<int>(ctl_->choose(4));
+    co_await engine_->delay(static_cast<sim::Tick>(crash_pick_ - 1));
+    crash();
+    if (journal_) {
+      recovering_ = true;
+      std::uint64_t e = epoch_;
+      int u = 0;
+      while (u < writes_) {
+        if (jopen_[static_cast<std::size_t>(u)] == 0) {
+          ++u;
+          continue;
+        }
+        co_await engine_->delay(1 + static_cast<sim::Tick>(ctl_->choose(2)));
+        if (epoch_ != e) {
+          // A second fault aborted the pass; redo again from the head.
+          // Records already retired stay retired, so nothing replays twice.
+          e = epoch_;
+          u = 0;
+          continue;
+        }
+        const auto slot = static_cast<std::size_t>(u);
+        durable_[slot] = 1;
+        ++redone_[slot];
+        jopen_[slot] = 0;
+        ++u;
+      }
+      recovering_ = false;
+    }
+    crashed_ = false;  // restart: parked writers resume, the flusher drains
+    crasher_done_ = 1;
+  }
+
+  sim::Task<void> double_fault() {
+    co_await engine_->delay(0);
+    if (ctl_->choose(2) == 0) {
+      dbl_arm_ = 1;  // this interleaving has no second fault
+      co_return;
+    }
+    dbl_arm_ = 2;
+    dbl_delay_ = 1 + static_cast<int>(ctl_->choose(3));
+    co_await engine_->delay(static_cast<sim::Tick>(dbl_delay_));
+    if (recovering_) crash();
+    dbl_fired_ = 1;
+  }
+
+  int writes_;
+  bool journal_;
+  sim::Engine* engine_ = nullptr;
+  Controller* ctl_ = nullptr;
+  std::vector<int> acked_;
+  std::vector<int> dirty_;
+  std::vector<int> durable_;
+  std::vector<int> jopen_;
+  std::vector<int> redone_;
+  std::vector<int> wphase_;
+  std::uint64_t epoch_ = 0;
+  bool crashed_ = false;
+  bool recovering_ = false;
+  int wb_unit_ = -1;
+  int fl_phase_ = 0;
+  int writers_done_ = 0;
+  int crash_pick_ = 0;
+  int crasher_done_ = 0;
+  int dbl_arm_ = 0;
+  int dbl_delay_ = 0;
+  int dbl_fired_ = 0;
+};
+
 }  // namespace
 
 ScenarioFactory make_token_scenario(int tasks, int rounds) {
@@ -598,6 +824,12 @@ ScenarioFactory make_qos_scenario(int nodes, int ops_per_node) {
   };
 }
 
+ScenarioFactory make_wal_scenario(int writes, bool journal) {
+  return [writes, journal]() -> std::unique_ptr<Scenario> {
+    return std::make_unique<WalScenario>(writes, journal);
+  };
+}
+
 const std::vector<NamedScenario>& scenario_registry() {
   static const std::vector<NamedScenario> kScenarios = {
       {"token", "3 workers x 2 rounds over one FIFO token mutex (uniqueness proof)", true,
@@ -613,6 +845,12 @@ const std::vector<NamedScenario>& scenario_registry() {
        make_breaker_scenario(2)},
       {"qos", "2 nodes x 2 ops through a 1-slot bounded admission queue (queue bounds)", true,
        make_qos_scenario(2, 2)},
+      {"wal.full",
+       "2 buffered writes vs crash + mid-recovery fault with a write-ahead journal "
+       "(no acked write lost; redo exactly-once)",
+       true, make_wal_scenario(2, true)},
+      {"wal.off", "the same crash schedule without the journal (write-behind loss bug)", false,
+       make_wal_scenario(2, false)},
   };
   return kScenarios;
 }

@@ -45,6 +45,17 @@ ScenarioFactory make_breaker_scenario(int rounds);
 /// their configured bounds and every paced client is eventually admitted.
 ScenarioFactory make_qos_scenario(int nodes, int ops_per_node);
 
+/// Distilled write-behind I/O node with a write-ahead journal: `writes`
+/// writers journal an intent record and ack a buffered write, a flusher
+/// writes dirty units back, and a crash controller drops the cache at a
+/// choose()-placed tick — with a second choose()-gated fault that can land
+/// mid recovery and abort the redo pass.  With `journal` the invariants are
+/// the journaling contract: no acknowledged write is ever unrecoverable
+/// (durable, cached, or journaled at every step) and every record is redone
+/// at most once.  Without it the explorer finds the write-behind loss
+/// counterexample — a crash between ack and write-back.
+ScenarioFactory make_wal_scenario(int writes, bool journal);
+
 struct NamedScenario {
   std::string name;
   std::string description;

@@ -65,6 +65,16 @@ class Collector {
   const std::vector<QosEvent>& qos_events() const { return qos_; }
   std::size_t qos_count() const { return qos_.size(); }
 
+  /// Appends one acknowledged-data-loss occurrence (a crash dropping a dirty
+  /// write-behind unit).  Recorded at the simulated time of the crash, so the
+  /// list is chronological by construction.
+  void record_loss(const LossEvent& ev) {
+    if (enabled_) losses_.push_back(ev);
+  }
+
+  const std::vector<LossEvent>& loss_events() const { return losses_; }
+  std::size_t loss_count() const { return losses_.size(); }
+
   /// Turns capture on/off (tests use this to scope the window of interest).
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
@@ -85,6 +95,7 @@ class Collector {
     events_.clear();
     faults_.clear();
     qos_.clear();
+    losses_.clear();
     sorted_ = false;
   }
 
@@ -96,6 +107,7 @@ class Collector {
   mutable std::vector<TraceEvent> events_;
   std::vector<FaultEvent> faults_;
   std::vector<QosEvent> qos_;
+  std::vector<LossEvent> losses_;
   mutable bool sorted_ = false;
   bool enabled_ = true;
 };

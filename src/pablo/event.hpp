@@ -61,9 +61,11 @@ enum class FaultKind : std::uint8_t {
   kOpTimeout,
   kOpRetry,
   kOpFailed,
+  kJournalRecovery,  ///< journal redo pass finished; info = records redone
+  kJournalAbort,     ///< recovery interrupted by a second crash; info = redone so far
 };
 
-inline constexpr int kFaultKindCount = 14;
+inline constexpr int kFaultKindCount = 16;
 
 /// Stable short name used in reports and the SDDF `#fault` records.
 constexpr std::string_view fault_kind_name(FaultKind k) {
@@ -71,7 +73,7 @@ constexpr std::string_view fault_kind_name(FaultKind k) {
       "disk-degraded", "disk-rebuilt",    "disk-slow",        "disk-stuck",
       "server-crash",  "server-restart",  "server-degraded",  "server-recovered",
       "link-down",     "link-slow",       "link-up",          "op-timeout",
-      "op-retry",      "op-failed"};
+      "op-retry",      "op-failed",       "journal-recovery", "journal-abort"};
   return names[static_cast<std::size_t>(k)];
 }
 
@@ -121,6 +123,19 @@ struct QosEvent {
   std::int32_t node = -1;    ///< Compute node involved (-1 = none).
   std::int32_t target = -1;  ///< Server involved (I/O node id, -1 = metadata).
   std::uint64_t info = 0;    ///< Kind-specific detail (credit ticks, bytes, ...).
+};
+
+/// One acknowledged-data-loss occurrence: a server crash dropped (or tore) a
+/// dirty write-behind stripe unit whose writes had already been acknowledged
+/// to clients.  Emitted per dropped unit so post-hoc analysis can attribute
+/// losses to files and offsets even with the journal off.
+struct LossEvent {
+  sim::Tick at = 0;          ///< Simulated time of the crash that dropped it.
+  std::int32_t target = -1;  ///< I/O node that lost the unit.
+  FileId file = kNoFile;     ///< File the unit belongs to.
+  std::uint64_t offset = 0;  ///< Byte offset of the stripe unit within the file.
+  std::uint64_t bytes = 0;   ///< Acknowledged bytes in the unit not yet durable.
+  std::uint64_t torn = 0;    ///< 1 if a torn write applied only a prefix.
 };
 
 /// One traced I/O operation.

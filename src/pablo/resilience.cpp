@@ -84,6 +84,26 @@ std::string render_qos(const QosSummary& s) {
   return out.str();
 }
 
+std::string render_scrub(const ScrubReport& s) {
+  if (s.empty()) return {};
+  std::ostringstream out;
+  out << "Integrity scrub (journal=" << (s.journal_mode.empty() ? "off" : s.journal_mode)
+      << ")\n";
+  out << "  units: " << s.units_checked << "   acked bytes: " << s.acked_bytes
+      << "   durable bytes: " << s.durable_bytes << "   pending units: " << s.pending_units
+      << "\n";
+  out << "  ACKED BYTES LOST: " << s.acked_bytes_lost << " in " << s.lost_units
+      << " unit(s)   torn units: " << s.torn_units
+      << "   checksum mismatches: " << s.checksum_mismatches << "\n";
+  if (s.journal_appends > 0 || s.recoveries > 0) {
+    out << "  journal: " << s.journal_appends << " appends / " << s.journal_bytes
+        << " bytes logged / " << s.journal_trimmed << " trimmed   recovery: " << s.recoveries
+        << " pass(es), " << s.journal_redone << " redone, " << s.journal_detected_lost
+        << " detected-lost\n";
+  }
+  return out.str();
+}
+
 std::string render_resilience(const ResilienceSummary& s, sim::Tick io_time, sim::Tick exec_time,
                               sim::Tick baseline_io_time, sim::Tick baseline_exec_time) {
   std::ostringstream out;

@@ -87,4 +87,34 @@ std::string render_qos(const QosSummary& s);
 std::string render_resilience(const ResilienceSummary& s, sim::Tick io_time, sim::Tick exec_time,
                               sim::Tick baseline_io_time, sim::Tick baseline_exec_time);
 
+/// Post-run integrity scrub: the durability side of a crash run.  Filled by
+/// the file system's per-unit ledger and journal counters after the run
+/// finishes; `pablo` only defines the record and its rendering so the report
+/// sits next to the resilience summary without pablo depending on pfs.
+struct ScrubReport {
+  std::string journal_mode;                ///< "off" / "meta" / "full"
+  std::uint64_t units_checked = 0;         ///< stripe units the ledger tracked
+  std::uint64_t acked_bytes = 0;           ///< bytes acknowledged to clients
+  std::uint64_t durable_bytes = 0;         ///< bytes verified on the arrays
+  std::uint64_t acked_bytes_lost = 0;      ///< acknowledged but not durable
+  std::uint64_t lost_units = 0;            ///< units with acked bytes missing
+  std::uint64_t torn_units = 0;            ///< units left torn by a crash
+  std::uint64_t pending_units = 0;         ///< still dirty in a cache (not lost)
+  std::uint64_t checksum_mismatches = 0;   ///< durable bytes match, content stale
+  std::uint64_t journal_appends = 0;       ///< acks forced to a journal log
+  std::uint64_t journal_bytes = 0;         ///< bytes written to journal logs
+  std::uint64_t journal_redone = 0;        ///< records redone during recovery
+  std::uint64_t journal_trimmed = 0;       ///< records retired by write-backs
+  std::uint64_t journal_detected_lost = 0; ///< meta-mode detected-only losses
+  std::uint64_t recoveries = 0;            ///< completed recovery passes
+
+  bool empty() const {
+    return units_checked == 0 && journal_appends == 0 && recoveries == 0;
+  }
+};
+
+/// Renders the scrub report (one compact block; empty string when the run
+/// tracked nothing — e.g. a read-only run with the journal off).
+std::string render_scrub(const ScrubReport& s);
+
 }  // namespace sio::pablo

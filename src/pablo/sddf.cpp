@@ -12,6 +12,7 @@ constexpr const char* kMagic = "#SDDF-IO 1";
 constexpr const char* kFields = "#fields start_ns duration_ns node file op offset bytes";
 constexpr const char* kFaultFields = "#fault-fields at_ns kind node target info";
 constexpr const char* kQosFields = "#qos-fields at_ns kind node target info";
+constexpr const char* kLossFields = "#loss-fields at_ns target file offset bytes torn";
 }  // namespace
 
 IoOp parse_io_op(const std::string& name) {
@@ -40,7 +41,7 @@ QosKind parse_qos_kind(const std::string& name) {
 
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
-                const std::vector<QosEvent>& qos) {
+                const std::vector<QosEvent>& qos, const std::vector<LossEvent>& losses) {
   out << kMagic << '\n' << kFields << '\n';
   for (std::size_t i = 0; i < file_names.size(); ++i) {
     out << "#file " << i << ' ' << file_names[i] << '\n';
@@ -59,6 +60,18 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
           << ' ' << q.info << '\n';
     }
   }
+  if (!losses.empty()) {
+    out << kLossFields << '\n';
+    for (const auto& l : losses) {
+      out << "#loss " << l.at << ' ' << l.target << ' ';
+      if (l.file == kNoFile) {
+        out << "- ";
+      } else {
+        out << l.file << ' ';
+      }
+      out << l.offset << ' ' << l.bytes << ' ' << l.torn << '\n';
+    }
+  }
   for (const auto& ev : events) {
     out << ev.start << ' ' << ev.duration << ' ' << ev.node << ' ';
     if (ev.file == kNoFile) {
@@ -71,13 +84,19 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
 }
 
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
+                const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
+                const std::vector<QosEvent>& qos) {
+  write_sddf(out, file_names, events, faults, qos, {});
+}
+
+void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults) {
-  write_sddf(out, file_names, events, faults, {});
+  write_sddf(out, file_names, events, faults, {}, {});
 }
 
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<TraceEvent>& events) {
-  write_sddf(out, file_names, events, {}, {});
+  write_sddf(out, file_names, events, {}, {}, {});
 }
 
 void write_sddf(std::ostream& out, const Collector& collector) {
@@ -86,7 +105,8 @@ void write_sddf(std::ostream& out, const Collector& collector) {
   for (std::size_t i = 0; i < collector.file_count(); ++i) {
     names.push_back(collector.file_name(static_cast<FileId>(i)));
   }
-  write_sddf(out, names, collector.events(), collector.fault_events(), collector.qos_events());
+  write_sddf(out, names, collector.events(), collector.fault_events(), collector.qos_events(),
+             collector.loss_events());
 }
 
 TraceFile read_sddf(std::istream& in) {
@@ -135,6 +155,20 @@ TraceFile read_sddf(std::istream& in) {
       }
       q.kind = parse_qos_kind(kind_name);
       tf.qos.push_back(q);
+      continue;
+    }
+    if (line.rfind("#loss ", 0) == 0) {
+      std::istringstream ls(line.substr(6));
+      LossEvent l;
+      std::string file_field;
+      if (!(ls >> l.at >> l.target >> file_field >> l.offset >> l.bytes >> l.torn)) {
+        throw std::runtime_error("SDDF: bad #loss line: " + line);
+      }
+      l.file = file_field == "-" ? kNoFile : static_cast<FileId>(std::stoul(file_field));
+      if (l.file != kNoFile && l.file >= tf.file_names.size()) {
+        throw std::runtime_error("SDDF: #loss references unknown file id");
+      }
+      tf.losses.push_back(l);
       continue;
     }
     if (line[0] == '#') continue;  // future extension records

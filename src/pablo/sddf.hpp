@@ -16,11 +16,14 @@
 //   #fault <at> <kind-name> <node> <target> <info>   (one per fault event)
 //   #qos-fields at_ns kind node target info          (when QoS records present)
 //   #qos <at> <kind-name> <node> <target> <info>     (one per QoS event)
+//   #loss-fields at_ns target file offset bytes torn (when losses present)
+//   #loss <at> <target> <file> <offset> <bytes> <torn>  (one per dropped unit)
 //   <records: one event per line, space separated, op by name>
 //
-// `#fault` records extend the dialect for fault-injection runs and `#qos`
-// records for overload-protection runs; readers predating either skip
-// unknown `#` lines, so old tools still load new traces.
+// `#fault` records extend the dialect for fault-injection runs, `#qos`
+// records for overload-protection runs and `#loss` records for crash-induced
+// acknowledged-data losses; readers predating any of them skip unknown `#`
+// lines, so old tools still load new traces.
 
 #pragma once
 
@@ -40,6 +43,7 @@ struct TraceFile {
   std::vector<TraceEvent> events;
   std::vector<FaultEvent> faults;
   std::vector<QosEvent> qos;
+  std::vector<LossEvent> losses;
 };
 
 /// Writes the collector's registered files, events and fault records to
@@ -58,6 +62,11 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
                 const std::vector<QosEvent>& qos);
+
+/// Writes a pre-extracted trace including fault, QoS and loss records.
+void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
+                const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
+                const std::vector<QosEvent>& qos, const std::vector<LossEvent>& losses);
 
 /// Parses a trace written by write_sddf.  Throws std::runtime_error on
 /// malformed input (bad magic, unknown op, truncated record).

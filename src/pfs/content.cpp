@@ -22,6 +22,128 @@ void SparseContent::write(std::uint64_t offset, std::span<const std::byte> data)
   high_water_ = std::max(high_water_, offset + data.size());
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+void UnitLedger::ack(std::uint32_t file, std::uint64_t unit, std::uint64_t offset,
+                     std::uint64_t len, std::uint64_t op_id) {
+  if (len == 0) return;
+  Unit& u = units_[{file, unit}];
+  insert_span(u.acked, offset, offset + len, op_id);
+  insert_span(u.resident, offset, offset + len, op_id);
+}
+
+void UnitLedger::durable(std::uint32_t file, std::uint64_t unit) {
+  const auto it = units_.find({file, unit});
+  if (it == units_.end()) return;
+  merge_spans(it->second.on_disk, it->second.resident, ~std::uint64_t{0});
+  it->second.torn = false;
+}
+
+void UnitLedger::torn(std::uint32_t file, std::uint64_t unit, std::uint64_t prefix) {
+  const auto it = units_.find({file, unit});
+  if (it == units_.end()) return;
+  merge_spans(it->second.on_disk, it->second.resident, prefix);
+  it->second.torn = true;
+}
+
+void UnitLedger::redone(std::uint32_t file, std::uint64_t unit) {
+  const auto it = units_.find({file, unit});
+  if (it == units_.end()) return;
+  merge_spans(it->second.on_disk, it->second.acked, ~std::uint64_t{0});
+  it->second.torn = false;
+}
+
+void UnitLedger::drop_residency() {
+  for (auto& [key, unit] : units_) unit.resident.clear();
+}
+
+std::uint64_t UnitLedger::acked_undurable_bytes(std::uint32_t file, std::uint64_t unit) const {
+  const auto it = units_.find({file, unit});
+  if (it == units_.end()) return 0;
+  const std::uint64_t acked = clipped(it->second.acked, ~std::uint64_t{0}).first;
+  const std::uint64_t disk = clipped(it->second.on_disk, ~std::uint64_t{0}).first;
+  return acked > disk ? acked - disk : 0;
+}
+
+UnitLedger::UnitStatus UnitLedger::status(std::uint32_t file, std::uint64_t unit) const {
+  const auto it = units_.find({file, unit});
+  if (it == units_.end()) return {};
+  return status_of(it->second);
+}
+
+void UnitLedger::insert_span(SpanMap& spans, std::uint64_t begin, std::uint64_t end,
+                             std::uint64_t op) {
+  // Trim a predecessor span that overlaps [begin, end).
+  auto it = spans.lower_bound(begin);
+  if (it != spans.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > begin) {
+      if (prev->second.end > end) spans[end] = Span{prev->second.end, prev->second.op};
+      prev->second.end = begin;
+    }
+  }
+  // Remove or trim spans starting inside [begin, end).
+  it = spans.lower_bound(begin);
+  while (it != spans.end() && it->first < end) {
+    if (it->second.end <= end) {
+      it = spans.erase(it);
+    } else {
+      const Span tail = it->second;
+      spans.erase(it);
+      spans[end] = tail;
+      break;
+    }
+  }
+  spans[begin] = Span{end, op};
+}
+
+void UnitLedger::merge_spans(SpanMap& dst, const SpanMap& src, std::uint64_t limit) {
+  for (const auto& [begin, span] : src) {
+    if (begin >= limit) break;
+    insert_span(dst, begin, std::min(span.end, limit), span.op);
+  }
+}
+
+std::pair<std::uint64_t, std::uint64_t> UnitLedger::clipped(const SpanMap& spans,
+                                                            std::uint64_t limit) {
+  std::uint64_t bytes = 0;
+  std::uint64_t csum = kFnvBasis;
+  for (const auto& [begin, span] : spans) {
+    if (begin >= limit) break;
+    const std::uint64_t end = std::min(span.end, limit);
+    bytes += end - begin;
+    csum = fnv_mix(csum, begin);
+    csum = fnv_mix(csum, end);
+    csum = fnv_mix(csum, span.op);
+  }
+  return {bytes, csum};
+}
+
+UnitLedger::UnitStatus UnitLedger::status_of(const Unit& u) {
+  UnitStatus s;
+  const auto [abytes, acsum] = clipped(u.acked, ~std::uint64_t{0});
+  s.acked_bytes = abytes;
+  s.acked_csum = acsum;
+  const auto [dbytes, dcsum] = clipped(u.on_disk, ~std::uint64_t{0});
+  s.durable_bytes = dbytes;
+  s.durable_csum = dcsum;
+  s.torn = u.torn;
+  return s;
+}
+
 void SparseContent::read(std::uint64_t offset, std::span<std::byte> out) const {
   std::uint64_t pos = offset;
   std::size_t done = 0;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace sio::pfs {
@@ -40,6 +41,97 @@ class SparseContent {
  private:
   std::map<std::uint64_t, std::vector<std::byte>> chunks_;  // chunk index -> bytes
   std::uint64_t high_water_ = 0;
+};
+
+/// Per-stripe-unit integrity ledger: what the server *acknowledged* versus
+/// what actually reached the RAID array.  Pure bookkeeping — it costs no
+/// simulated time and survives crashes (it models the scrubber's omniscient
+/// view, not any on-node state), so enabling it never perturbs a run.
+///
+/// Every acknowledged buffered write is recorded as an interval tagged with
+/// its op id, in two places: the cumulative *acked* set (the clients' view,
+/// never shrinks) and the *resident* set (what the server cache currently
+/// holds for the unit).  A completed write-back merges the resident spans
+/// into the *on-disk* set — a crash that dropped the cache first (clearing
+/// residency) therefore leaves the pre-crash spans permanently undurable,
+/// which is exactly the write-behind loss the scrub reports.  A torn
+/// write-back merges only a prefix; a full-journal redo merges the whole
+/// acked set (the log holds the payload).  The post-run scrub compares the
+/// acked and on-disk sides per unit.
+class UnitLedger {
+ public:
+  /// (file id, stripe-unit index) — the same key space as the server cache.
+  using Key = std::pair<std::uint32_t, std::uint64_t>;
+
+  struct UnitStatus {
+    std::uint64_t acked_bytes = 0;    ///< bytes ever acknowledged (coverage)
+    std::uint64_t durable_bytes = 0;  ///< bytes covered by the durable snapshot
+    std::uint64_t acked_csum = 0;     ///< FNV-1a over the acked interval set
+    std::uint64_t durable_csum = 0;   ///< checksum snapshotted at last write-back
+    bool torn = false;                ///< last write-back applied only a prefix
+  };
+
+  /// Records an acknowledged buffered write of [offset, offset+len) within
+  /// the unit.  Idempotent: a crash-replayed duplicate with the same op id
+  /// and range leaves the ledger byte-identical.
+  void ack(std::uint32_t file, std::uint64_t unit, std::uint64_t offset, std::uint64_t len,
+           std::uint64_t op_id);
+
+  /// A write-back of the unit completed: its resident spans are on the array.
+  void durable(std::uint32_t file, std::uint64_t unit);
+
+  /// A crash interrupted the unit's write-back after `prefix` bytes: only
+  /// resident spans inside [0, prefix) reached the array; the unit is torn.
+  void torn(std::uint32_t file, std::uint64_t unit, std::uint64_t prefix);
+
+  /// A full-journal redo rewrote the unit from the logged payload: the whole
+  /// acked set is on the array (and a torn tail, if any, is repaired).
+  void redone(std::uint32_t file, std::uint64_t unit);
+
+  /// The server crashed: every unit's cache copy is gone.  Spans not yet on
+  /// the array become permanently undurable unless a redo restores them.
+  void drop_residency();
+
+  /// Acknowledged bytes not covered by the durable snapshot (what a crash
+  /// would lose if the unit's dirty cache copy were dropped right now).
+  std::uint64_t acked_undurable_bytes(std::uint32_t file, std::uint64_t unit) const;
+
+  UnitStatus status(std::uint32_t file, std::uint64_t unit) const;
+
+  /// Deterministic (key-ordered) iteration for the post-run scrub.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, unit] : units_) fn(key.first, key.second, status_of(unit));
+  }
+
+  std::size_t tracked_units() const { return units_.size(); }
+
+  void clear() { units_.clear(); }
+
+ private:
+  struct Span {
+    std::uint64_t end = 0;
+    std::uint64_t op = 0;
+  };
+  using SpanMap = std::map<std::uint64_t, Span>;  // begin -> (end, op); disjoint
+  struct Unit {
+    SpanMap acked;     ///< cumulative client view — never shrinks
+    SpanMap resident;  ///< what the server cache holds — cleared by a crash
+    SpanMap on_disk;   ///< what actually reached the array
+    bool torn = false;
+  };
+
+  static void insert_span(SpanMap& spans, std::uint64_t begin, std::uint64_t end,
+                          std::uint64_t op);
+  /// Merges `src` spans below `limit` into `dst` (an idealized sector-
+  /// granular write: untouched `dst` ranges survive).
+  static void merge_spans(SpanMap& dst, const SpanMap& src, std::uint64_t limit);
+  /// Coverage + checksum of a span set clipped to [0, limit).
+  static std::pair<std::uint64_t, std::uint64_t> clipped(const SpanMap& spans,
+                                                         std::uint64_t limit);
+  static UnitStatus status_of(const Unit& u);
+
+  std::map<Key, Unit> units_;
 };
 
 }  // namespace sio::pfs

@@ -1,0 +1,56 @@
+#include "pfs/journal.hpp"
+
+#include <algorithm>
+
+namespace sio::pfs {
+
+std::uint64_t Journal::append(std::uint64_t op_id, std::uint32_t file, std::uint64_t unit,
+                              std::uint64_t disk_offset, std::uint64_t len) {
+  (void)op_id;
+  if (!enabled()) return 0;
+  auto& rec = open_[{file, unit}];
+  if (rec.lsn == 0) {
+    rec.lsn = next_lsn_++;
+    rec.file = file;
+    rec.unit = unit;
+    rec.disk_offset = disk_offset;
+  }
+  rec.bytes += len;
+  ++rec.ops;
+  const std::uint64_t logged =
+      mode_ == JournalMode::kFull ? kIntentBytes + len : kIntentBytes;
+  ++counters_.appends;
+  counters_.bytes_logged += logged;
+  return logged;
+}
+
+void Journal::mark_applied(std::uint32_t file, std::uint64_t unit) {
+  if (!enabled()) return;
+  const auto it = open_.find({file, unit});
+  if (it == open_.end()) return;
+  ++counters_.trimmed;
+  open_.erase(it);
+}
+
+std::vector<Journal::Record> Journal::unapplied() const {
+  std::vector<Record> out;
+  out.reserve(open_.size());
+  for (const auto& [key, rec] : open_) out.push_back(rec);
+  std::sort(out.begin(), out.end(),
+            [](const Record& a, const Record& b) { return a.lsn < b.lsn; });
+  return out;
+}
+
+void Journal::note_redone(std::uint32_t file, std::uint64_t unit) {
+  ++counters_.redone;
+  const auto it = open_.find({file, unit});
+  if (it != open_.end()) open_.erase(it);
+}
+
+void Journal::note_detected_lost(std::uint32_t file, std::uint64_t unit) {
+  ++counters_.detected_lost;
+  const auto it = open_.find({file, unit});
+  if (it != open_.end()) open_.erase(it);
+}
+
+}  // namespace sio::pfs

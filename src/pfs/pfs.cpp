@@ -29,6 +29,7 @@ Pfs::Pfs(hw::Machine& machine, pablo::Collector& collector, PfsConfig cfg)
     servers_.push_back(std::make_unique<IoServer>(machine.engine(), i, machine.config().disk,
                                                   machine.config().stripe_unit,
                                                   machine.config().io_nodes, cfg_.server));
+    servers_.back()->set_collector(&collector_);
     if (cfg_.retry.enabled) servers_.back()->set_replay_tracking(true);
   }
   if (cfg_.qos.enabled) {
@@ -56,6 +57,44 @@ Pfs::Pfs(hw::Machine& machine, pablo::Collector& collector, PfsConfig cfg)
           machine.engine(), static_cast<std::int64_t>(cfg_.qos.service_slots), "pfs-rebuild"));
     }
   }
+}
+
+pablo::ScrubReport Pfs::scrub() const {
+  pablo::ScrubReport rep;
+  rep.journal_mode = std::string(journal_mode_name(cfg_.server.journal));
+  for (const auto& srv : servers_) {
+    srv->ledger().for_each([&](std::uint32_t file, std::uint64_t unit,
+                               const UnitLedger::UnitStatus& s) {
+      ++rep.units_checked;
+      rep.acked_bytes += s.acked_bytes;
+      rep.durable_bytes += s.durable_bytes;
+      const bool covered = s.durable_bytes == s.acked_bytes;
+      if (covered && s.durable_csum == s.acked_csum) return;  // fully durable
+      if (srv->unit_dirty(file, unit)) {
+        // The unit's latest bytes still sit dirty in a live cache: an
+        // end-of-run flush would make it durable, so it is pending, not lost.
+        ++rep.pending_units;
+        return;
+      }
+      if (covered) {
+        // Same coverage, different interval/op history — a stale overwrite
+        // survived on the array.
+        ++rep.checksum_mismatches;
+        return;
+      }
+      rep.acked_bytes_lost += s.acked_bytes - s.durable_bytes;
+      ++rep.lost_units;
+      if (s.torn) ++rep.torn_units;
+    });
+    const Journal::Counters& jc = srv->journal().counters();
+    rep.journal_appends += jc.appends;
+    rep.journal_bytes += jc.bytes_logged;
+    rep.journal_redone += jc.redone;
+    rep.journal_trimmed += jc.trimmed;
+    rep.journal_detected_lost += jc.detected_lost;
+    rep.recoveries += jc.recoveries;
+  }
+  return rep;
 }
 
 FileState& Pfs::get_or_create(std::string_view path) {

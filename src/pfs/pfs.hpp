@@ -28,6 +28,7 @@
 
 #include "machine/machine.hpp"
 #include "pablo/collector.hpp"
+#include "pablo/resilience.hpp"
 #include "pfs/client.hpp"
 #include "pfs/file.hpp"
 #include "pfs/group.hpp"
@@ -126,6 +127,13 @@ class Pfs {
   std::uint64_t op_retries() const { return retries_; }
   std::uint64_t op_timeouts() const { return timeouts_; }
   std::uint64_t failed_ops() const { return failed_ops_; }
+
+  // ---- crash consistency ----
+  /// End-of-run integrity scrub: walks every server's unit ledger and
+  /// classifies each acknowledged stripe unit as durable, still pending in
+  /// a live cache, torn, or lost, then folds in the journal counters.  Pure
+  /// bookkeeping — costs no simulated time and never perturbs the run.
+  pablo::ScrubReport scrub() const;
 
   // ---- overload protection ----
   bool qos_enabled() const { return cfg_.qos.enabled; }

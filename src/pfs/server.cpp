@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "pablo/collector.hpp"
 #include "sim/assert.hpp"
 
 namespace sio::pfs {
@@ -19,20 +20,69 @@ sim::Task<void> IoServer::wait_if_crashed() {
   }
 }
 
-void IoServer::crash() {
+void IoServer::emit_loss(std::uint32_t file, std::uint64_t unit, bool torn) {
+  if (collector_ == nullptr) return;
+  pablo::LossEvent ev;
+  ev.at = engine_.now();
+  ev.target = id_;
+  ev.file = file;
+  ev.offset = unit * stripe_unit_;
+  ev.bytes = ledger_.acked_undurable_bytes(file, unit);
+  ev.torn = torn ? 1 : 0;
+  collector_->record_loss(ev);
+}
+
+void IoServer::crash(bool torn) {
+  const bool was_crashed = crashed_;
   crashed_ = true;
   ++crashes_;
+  // Torn write: the crash caught an in-flight write-back and the array
+  // applied only a deterministic prefix of the unit (half the stripe unit,
+  // rounded down to the RAID-3 granule).  The write-back coroutine sees
+  // `wb_.torn` when its access returns and skips the durability marking.
+  if (torn && wb_.active && !wb_.torn) {
+    const std::uint64_t granule = disk_.config().granule;
+    const std::uint64_t half = stripe_unit_ / 2;
+    const std::uint64_t prefix = granule > 0 ? half / granule * granule : half;
+    ledger_.torn(wb_.file, wb_.unit, prefix);
+    ++torn_units_;
+    wb_.torn = true;
+    emit_loss(wb_.file, wb_.unit, /*torn=*/true);
+  }
   lost_dirty_ += dirty_.size();
+  // One #loss record per dropped dirty unit, in FIFO (oldest-dirty) order.
+  for (const auto& key : dirty_) emit_loss(key.file, key.unit, /*torn=*/false);
+  // A crash while a recovery pass is redoing records aborts the pass; the
+  // next restart resumes from whatever is still unapplied.
+  if (was_crashed && recovering_) {
+    recovering_ = false;
+    if (collector_ != nullptr) {
+      pablo::FaultEvent f;
+      f.at = engine_.now();
+      f.kind = pablo::FaultKind::kJournalAbort;
+      f.target = id_;
+      f.info = journal_.unapplied().size();
+      collector_->record_fault(f);
+    }
+  }
   cache_.clear();
   lru_.clear();
   dirty_.clear();
   last_unit_.clear();
   completed_.clear();
+  // The cache copies are gone: spans not yet on the array stay undurable
+  // unless a full-journal redo restores them.
+  ledger_.drop_residency();
   // Forget in-flight registrations: pre-crash attempts still hold their own
   // event handles and will wake their joined duplicates when they finish;
   // post-restart retries must re-execute, not join a doomed twin.
   in_flight_.clear();
-  restart_ev_ = std::make_unique<sim::Event>(engine_, "IoServer::restart");
+  // Only a *fresh* crash re-arms the restart event.  A double fault during
+  // recovery keeps the parked clients waiting on the same event — swapping
+  // it here would orphan them forever (nothing would ever set the old one).
+  if (!was_crashed) {
+    restart_ev_ = std::make_unique<sim::Event>(engine_, "IoServer::restart");
+  }
 }
 
 sim::Task<void> IoServer::begin_op(std::uint64_t op_id, bool* handled,
@@ -116,6 +166,58 @@ void IoServer::note_cpu_queue() {
 
 void IoServer::restart() {
   SIO_ASSERT(crashed_);
+  if (!journal_.enabled() || !journal_.has_unapplied()) {
+    // Pre-journal path (and the journal-on path with nothing to redo):
+    // byte-identical with the original cold restart.
+    crashed_ = false;
+    restart_ev_->set();
+    return;
+  }
+  recovering_ = true;
+  engine_.spawn(recover(crashes_));
+}
+
+sim::Task<void> IoServer::recover(std::uint64_t epoch) {
+  // Serialize behind any pre-crash operation still holding the CPU; new
+  // arrivals stay parked (crashed_ is still true) until recovery finishes.
+  auto guard = co_await cpu_.scoped();
+  if (crashes_ != epoch) co_return;  // a second crash superseded this pass
+  std::uint64_t redone = 0;
+  std::uint64_t detected = 0;
+  for (const auto& rec : journal_.unapplied()) {
+    co_await engine_.delay(svc(cfg_.journal_replay_setup));
+    if (crashes_ != epoch) co_return;
+    if (journal_.mode() == JournalMode::kFull) {
+      // Redo the whole unit from the logged payload.  Only a *completed*
+      // redo retires the record, so an interrupted pass re-redoes it —
+      // exactly once per record across however many attempts it takes.
+      const bool applied = co_await write_back(rec.file, rec.unit, rec.disk_offset);
+      if (applied) {
+        // The log holds the payload of every acked write folded into the
+        // record, so the redo restores the unit's entire acked set — not
+        // just whatever happens to be resident (the crash dropped that).
+        ledger_.redone(rec.file, rec.unit);
+        journal_.note_redone(rec.file, rec.unit);
+        ++redone;
+      }
+      if (crashes_ != epoch) co_return;
+    } else {
+      // Meta mode logged only the intent: the payload is gone.  Flag the
+      // loss so the scrub can attribute it, but there is nothing to redo.
+      journal_.note_detected_lost(rec.file, rec.unit);
+      ++detected;
+    }
+  }
+  journal_.note_recovery_done();
+  recovering_ = false;
+  if (collector_ != nullptr) {
+    pablo::FaultEvent f;
+    f.at = engine_.now();
+    f.kind = pablo::FaultKind::kJournalRecovery;
+    f.target = id_;
+    f.info = journal_.mode() == JournalMode::kFull ? redone : detected;
+    collector_->record_fault(f);
+  }
   crashed_ = false;
   restart_ev_->set();
 }
@@ -149,6 +251,26 @@ void IoServer::insert(const UnitKey& key, std::uint64_t disk_offset, bool dirty)
   if (dirty) dirty_.push_back(key);
 }
 
+sim::Task<bool> IoServer::write_back(std::uint32_t file, std::uint64_t unit,
+                                     std::uint64_t disk_offset) {
+  // All write-backs run under the CPU mutex and complete their array access
+  // before releasing it, so the single slot can never be overwritten while
+  // a transfer is in flight.
+  wb_.file = file;
+  wb_.unit = unit;
+  wb_.active = true;
+  wb_.torn = false;
+  co_await disk_.access(disk_offset, stripe_unit_, /*write=*/true);
+  // Unless a torn crash clipped the transfer, the DMA completed and the
+  // unit's acked contents are on the array — even if a plain crash wiped
+  // the cache meanwhile.
+  const bool applied = !wb_.torn;
+  if (applied) ledger_.durable(file, unit);
+  wb_.active = false;
+  wb_.torn = false;
+  co_return applied;
+}
+
 sim::Task<void> IoServer::evict_if_needed() {
   while (lru_.size() > cfg_.cache_units) {
     const UnitKey victim = lru_.back();
@@ -159,7 +281,8 @@ sim::Task<void> IoServer::evict_if_needed() {
       const std::uint64_t off = it->second.disk_offset;
       dirty_.remove(victim);
       it->second.dirty = false;
-      co_await disk_.access(off, stripe_unit_, /*write=*/true);
+      const bool applied = co_await write_back(victim.file, victim.unit, off);
+      if (applied) journal_.mark_applied(victim.file, victim.unit);
       // A crash during the write-back wipes the whole cache; nothing left
       // for this pass to evict.
       if (cache_.find(victim) == cache_.end()) continue;
@@ -176,7 +299,9 @@ sim::Task<void> IoServer::flush_oldest_dirty() {
   auto it = cache_.find(key);
   if (it == cache_.end()) co_return;
   it->second.dirty = false;
-  co_await disk_.access(it->second.disk_offset, stripe_unit_, /*write=*/true);
+  const std::uint64_t off = it->second.disk_offset;
+  const bool applied = co_await write_back(key.file, key.unit, off);
+  if (applied) journal_.mark_applied(key.file, key.unit);
 }
 
 sim::Task<qos::Admission> IoServer::read(UnitKey key, std::uint64_t unit_disk_offset,
@@ -290,7 +415,20 @@ sim::Task<qos::Admission> IoServer::write(UnitKey key, std::uint64_t unit_disk_o
       co_await engine_.delay(svc(cfg_.write_absorb +
                                  static_cast<sim::Tick>(static_cast<double>(len) /
                                                         cfg_.absorb_bytes_per_tick)));
+      // Write-ahead ordering: the journal record is forced to the log
+      // region before the write is applied to the cache (and long before
+      // the ack below).  With the journal off this adds neither state nor
+      // time and the path is byte-identical with the pre-journal model.
+      if (journal_.enabled()) {
+        const std::uint64_t logged =
+            journal_.append(ctx.op_id, key.file, key.unit, disk_offset, len);
+        co_await engine_.delay(
+            svc(cfg_.journal_append_setup +
+                static_cast<sim::Tick>(static_cast<double>(logged) /
+                                       cfg_.journal_bytes_per_tick)));
+      }
       insert(key, disk_offset, /*dirty=*/true);
+      ledger_.ack(key.file, key.unit, offset_in_unit, len, ctx.op_id);
       if (dirty_.size() > cfg_.dirty_limit) {
         co_await flush_oldest_dirty();
       }

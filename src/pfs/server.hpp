@@ -29,6 +29,18 @@
 //     in-flight twin instead of queueing a second disk access.  Without this
 //     a timed-out burst re-feeds its own queue and the array never drains —
 //     the classic retry-storm collapse.
+//   * write-ahead journaling (ServerConfig::journal) — with the journal on,
+//     every buffered write is forced to a sequential-log region on the
+//     node's array *before* its ack; `restart()` then runs a recovery phase
+//     that redoes unapplied journal records (full mode) or flags them as
+//     detected losses (meta mode) before unparking clients.  A crash during
+//     recovery aborts the redo pass; the next restart resumes it — each
+//     record is redone exactly once because only a *completed* redo retires
+//     it.
+//   * torn writes — `crash(torn=true)` models the array applying only a
+//     deterministic prefix of an in-flight write-back (half the stripe unit,
+//     rounded down to the RAID-3 granule); the unit ledger records the torn
+//     unit for the post-run scrub.
 
 #pragma once
 
@@ -39,10 +51,17 @@
 #include <unordered_set>
 
 #include "machine/disk.hpp"
+#include "pfs/content.hpp"
+#include "pfs/journal.hpp"
+#include "pfs/types.hpp"
 #include "qos/qos.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+
+namespace sio::pablo {
+class Collector;
+}
 
 namespace sio::pfs {
 
@@ -75,6 +94,16 @@ struct ServerConfig {
   int prefetch_units = 0;
   /// CPU-service multiplier while the server runs in degraded mode.
   double degraded_multiplier = 4.0;
+  /// Write-ahead journaling policy (off = the pre-journal durability model:
+  /// a crash silently drops dirty write-behind units).
+  JournalMode journal = JournalMode::kOff;
+  /// Setup cost of one journal append (charged before the write's ack).
+  sim::Tick journal_append_setup = sim::microseconds(25);
+  /// Sequential-log bandwidth of the journal region (bytes per tick;
+  /// 0.2 = 200 MB/s — streaming appends beat the array's random writes).
+  double journal_bytes_per_tick = 0.2;
+  /// Per-record scan/validate cost during the recovery redo pass.
+  sim::Tick journal_replay_setup = sim::microseconds(40);
 };
 
 /// Cache key: (file id, global stripe-unit index).
@@ -115,7 +144,8 @@ class IoServer {
         stripe_unit_(stripe_unit),
         stripe_factor_(static_cast<std::uint64_t>(stripe_factor)),
         disk_(engine, disk_cfg),
-        cpu_(engine) {}
+        cpu_(engine),
+        journal_(cfg.journal) {}
 
   int id() const { return id_; }
   hw::Raid3Disk& disk() { return disk_; }
@@ -150,12 +180,23 @@ class IoServer {
 
   /// Crashes the server now: volatile state (read cache, write-back buffer,
   /// completed-op ids) is lost and incoming operations park until restart.
-  void crash();
+  /// With `torn` set, an in-flight write-back applies only a deterministic
+  /// prefix of its unit (a partial-stripe "torn write").  One #loss record
+  /// is emitted per dropped dirty unit when a collector is attached.
+  /// Crashing an already-crashed (recovering) server aborts the recovery
+  /// pass in flight; parked clients keep waiting on the same restart event.
+  void crash(bool torn = false);
 
-  /// Restarts a crashed server cold; parked operations resume in FIFO order.
+  /// Restarts a crashed server cold.  With the journal off (or nothing to
+  /// redo) parked operations resume immediately in FIFO order; otherwise a
+  /// recovery phase redoes unapplied journal records first and clients
+  /// unpark when it completes.
   void restart();
 
   bool crashed() const { return crashed_; }
+
+  /// True while a restart's journal-recovery pass is redoing records.
+  bool recovering() const { return recovering_; }
 
   /// Enters/leaves degraded mode (CPU services stretched, still serving).
   void set_degraded(bool on) { degraded_ = on; }
@@ -172,6 +213,25 @@ class IoServer {
   void set_qos(qos::ServerQos* q) { qos_ = q; }
   qos::ServerQos* qos_queue() const { return qos_; }
 
+  // ---- crash consistency ----
+
+  /// Attaches the run's collector so crashes can emit #loss records and
+  /// recovery passes #fault records (nullptr = silent, for unit tests).
+  void set_collector(pablo::Collector* c) { collector_ = c; }
+
+  /// The acked-vs-durable unit ledger (scrubbed post-run by Pfs::scrub()).
+  const UnitLedger& ledger() const { return ledger_; }
+
+  /// The write-ahead journal (off-mode instance when journaling is off).
+  const Journal& journal() const { return journal_; }
+
+  /// Whether the unit is currently dirty in the write-back cache (a scrub
+  /// classifies such units as pending, not lost).
+  bool unit_dirty(std::uint32_t file, std::uint64_t unit) const {
+    const auto it = cache_.find(UnitKey{file, unit});
+    return it != cache_.end() && it->second.dirty;
+  }
+
   // ---- statistics ----
   std::uint64_t cache_hits() const { return hits_; }
   std::uint64_t cache_misses() const { return misses_; }
@@ -186,6 +246,11 @@ class IoServer {
   std::uint64_t crash_count() const { return crashes_; }
   /// Dirty write-back units lost across crashes (data clients must re-drive).
   std::uint64_t lost_dirty_units() const { return lost_dirty_; }
+  /// Units left torn by a crash mid write-back.
+  std::uint64_t torn_unit_count() const { return torn_units_; }
+  /// Whether a unit write-back is in flight to the array right now — the
+  /// window a torn crash can clip.
+  bool write_back_in_flight() const { return wb_.active; }
   /// Peak depth of the CPU service queue (holder + waiters) — with QoS
   /// attached this is bounded by the admission `service_slots`.
   std::size_t peak_cpu_queue() const { return peak_cpu_queue_; }
@@ -234,6 +299,29 @@ class IoServer {
   std::uint64_t coalesced_ = 0;
   std::uint64_t crashes_ = 0;
   std::uint64_t lost_dirty_ = 0;
+  std::uint64_t torn_units_ = 0;
+
+  // ---- crash consistency ----
+  pablo::Collector* collector_ = nullptr;
+  /// Acked-vs-durable bookkeeping.  Survives crashes by design: it models
+  /// the scrubber's omniscient view, costs no simulated time, and is never
+  /// iterated during a run (only by the post-run scrub, in key order).
+  UnitLedger ledger_;
+  /// The write-ahead journal: a sequential-log region on this node's array,
+  /// so its state also survives crashes.
+  Journal journal_;
+  bool recovering_ = false;
+  /// The single in-flight write-back (all write-backs serialize under the
+  /// CPU mutex, so one slot suffices).  `crash(torn=true)` consumes it to
+  /// tear the unit; the write-back coroutine checks `torn` after its array
+  /// access to decide whether the unit became durable.
+  struct WriteBack {
+    std::uint32_t file = 0;
+    std::uint64_t unit = 0;
+    bool active = false;
+    bool torn = false;
+  };
+  WriteBack wb_;
 
   /// CPU service stretched by the degraded multiplier when in effect.
   sim::Tick svc(sim::Tick t) const;
@@ -245,6 +333,17 @@ class IoServer {
   void touch(const UnitKey& key);
   sim::Task<void> evict_if_needed();
   sim::Task<void> flush_oldest_dirty();
+  /// One unit write-back to the array, tracked in `wb_` so a torn crash can
+  /// clip it.  Returns whether the unit became durable (false when a torn
+  /// crash consumed the transfer); on success snapshots the ledger.
+  sim::Task<bool> write_back(std::uint32_t file, std::uint64_t unit, std::uint64_t disk_offset);
+  /// Journal-recovery pass spawned by restart(): redoes unapplied records in
+  /// log order under the CPU mutex, then unparks clients.  `epoch` is the
+  /// crash count at restart; a second crash changes it and aborts the pass.
+  sim::Task<void> recover(std::uint64_t epoch);
+  /// Emits one #loss record for a dropped dirty unit (no-op without a
+  /// collector).
+  void emit_loss(std::uint32_t file, std::uint64_t unit, bool torn);
 
   /// Front-end duplicate handling for a tracked op, run before the CPU
   /// queue: acks an already-completed id (replay) or joins a still-executing

@@ -80,6 +80,25 @@ struct OpenOptions {
 /// only extents (cheap, used by the big workload runs).
 enum class ContentPolicy : std::uint8_t { kExtentsOnly, kStoreBytes };
 
+/// Per-I/O-node write-ahead journaling policy.
+///
+///   kOff   no journal; a crash silently drops dirty write-behind units
+///          (the pre-journal behavior, and the paper's implicit model).
+///   kMeta  intent records only (file, unit, disk offset): recovery can
+///          *detect* acknowledged-but-lost units but not repair them.
+///   kFull  payload is logged before the ack: recovery redoes unapplied
+///          units against the RAID array, so no acknowledged write is lost.
+enum class JournalMode : std::uint8_t { kOff = 0, kMeta, kFull };
+
+constexpr std::string_view journal_mode_name(JournalMode m) {
+  switch (m) {
+    case JournalMode::kOff: return "off";
+    case JournalMode::kMeta: return "meta";
+    case JournalMode::kFull: return "full";
+  }
+  return "?";
+}
+
 /// Client-side resilience knobs: per-operation deadlines with bounded retry
 /// under deterministic exponential backoff.  Disabled by default — with
 /// `enabled == false` the client takes the exact code path (and produces the

@@ -20,7 +20,7 @@ TEST(FaultPlan, FaultFreeIsEmptyAndValid) {
 
 TEST(FaultPlan, ScenariosValidateOnTheCaltechMachine) {
   for (const auto& p : {FaultPlan::disk_degraded(1), FaultPlan::io_node_crash(2),
-                        FaultPlan::slow_link(3)}) {
+                        FaultPlan::slow_link(3), FaultPlan::io_node_crash_torn(4)}) {
     EXPECT_FALSE(p.empty()) << p.name;
     EXPECT_TRUE(p.retry.enabled) << p.name;
     EXPECT_NO_THROW(p.validate(16)) << p.name;
@@ -43,6 +43,27 @@ TEST(FaultPlan, ValidateRejectsCrashWithRetryDisabled) {
   FaultPlan p;
   p.server_crashes.push_back({0, sim::seconds(1), sim::seconds(2)});
   EXPECT_THROW(p.validate(16), std::invalid_argument);
+}
+
+TEST(FaultPlan, ValidateRejectsOverlappingCrashWindowsOnOneServer) {
+  FaultPlan p;
+  p.retry.enabled = true;
+  // Second crash fires while the first outage is still open: rejected.
+  p.server_crashes.push_back({0, sim::seconds(1), sim::seconds(4)});
+  p.server_crashes.push_back({0, sim::seconds(2), sim::seconds(6)});
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+
+  // Even touching is ambiguous: a crash exactly at the earlier restart tick.
+  p.server_crashes.back() = {0, sim::seconds(4), sim::seconds(6)};
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+
+  // Strictly after the restart is fine (that is the crash-during-recovery
+  // shape io_node_crash_torn uses), and so is the same window on another
+  // server.
+  p.server_crashes.back() = {0, sim::seconds(4) + 1, sim::seconds(6)};
+  EXPECT_NO_THROW(p.validate(16));
+  p.server_crashes.push_back({1, sim::seconds(2), sim::seconds(6)});
+  EXPECT_NO_THROW(p.validate(16));
 }
 
 TEST(FaultPlan, ValidateRejectsInvertedWindowsAndBadDropP) {

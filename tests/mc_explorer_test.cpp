@@ -207,14 +207,43 @@ TEST(Explorer, StopAtFirstViolationHaltsEarly) {
 }
 
 TEST(Registry, BundledScenariosResolveByName) {
-  EXPECT_GE(scenario_registry().size(), 6u);
+  EXPECT_GE(scenario_registry().size(), 8u);
   const NamedScenario* token = find_scenario("token");
   ASSERT_NE(token, nullptr);
   EXPECT_TRUE(token->expect_clean);
   const NamedScenario* unsafe = find_scenario("retry.unsafe");
   ASSERT_NE(unsafe, nullptr);
   EXPECT_FALSE(unsafe->expect_clean);
+  const NamedScenario* wal_full = find_scenario("wal.full");
+  ASSERT_NE(wal_full, nullptr);
+  EXPECT_TRUE(wal_full->expect_clean);
+  const NamedScenario* wal_off = find_scenario("wal.off");
+  ASSERT_NE(wal_off, nullptr);
+  EXPECT_FALSE(wal_off->expect_clean);
   EXPECT_EQ(find_scenario("no-such-config"), nullptr);
+}
+
+TEST(Registry, WalJournalProofExhaustsAndUnjournaledLoses) {
+  // The journaling contract as a bounded proof: with the write-ahead journal
+  // every interleaving — including crash placement mid write-back and a
+  // second fault mid recovery — keeps acknowledged writes recoverable and
+  // redoes each record at most once.  The same protocol without the journal
+  // must yield a write-behind loss counterexample that minimizes and
+  // replays byte-identically.
+  Explorer full(make_wal_scenario(2, /*journal=*/true));
+  const ExploreResult r_full = full.explore();
+  EXPECT_TRUE(r_full.exhausted);
+  EXPECT_EQ(r_full.violations, 0u);
+
+  Explorer off(make_wal_scenario(2, /*journal=*/false));
+  const ExploreResult r_off = off.explore();
+  EXPECT_TRUE(r_off.exhausted);
+  ASSERT_GT(r_off.violations, 0u);
+  const Schedule min = off.minimize(r_off.failures.front().schedule);
+  RunRecord rec;
+  EXPECT_TRUE(off.replays_identically(min, &rec));
+  EXPECT_TRUE(rec.violation);
+  EXPECT_NE(rec.message.find("unrecoverable"), std::string::npos);
 }
 
 }  // namespace

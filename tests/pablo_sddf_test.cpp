@@ -51,6 +51,53 @@ TEST(Sddf, RoundTripsEventsAndFileTable) {
   EXPECT_EQ(tf.events[2].bytes, 155584u);
 }
 
+TEST(Sddf, RoundTripsLossRecords) {
+  sim::Engine engine;
+  Collector col(engine);
+  const FileId f = col.register_file("ckpt/frame0");
+  col.record(ev(1, 1, 0, f, IoOp::kWrite, 0, 4096));
+  LossEvent dropped;
+  dropped.at = sim::milliseconds(8170);
+  dropped.target = 3;
+  dropped.file = f;
+  dropped.offset = 128 * 1024;
+  dropped.bytes = 65536;
+  dropped.torn = 0;
+  col.record_loss(dropped);
+  LossEvent torn = dropped;
+  torn.file = kNoFile;  // serialized as "-" and parsed back to kNoFile
+  torn.offset = 0;
+  torn.bytes = 32768;
+  torn.torn = 1;
+  col.record_loss(torn);
+
+  const auto tf = from_sddf_string(to_sddf_string(col));
+  ASSERT_EQ(tf.losses.size(), 2u);
+  EXPECT_EQ(tf.losses[0].at, sim::milliseconds(8170));
+  EXPECT_EQ(tf.losses[0].target, 3);
+  EXPECT_EQ(tf.losses[0].file, f);
+  EXPECT_EQ(tf.losses[0].offset, 128u * 1024);
+  EXPECT_EQ(tf.losses[0].bytes, 65536u);
+  EXPECT_EQ(tf.losses[0].torn, 0u);
+  EXPECT_EQ(tf.losses[1].file, kNoFile);
+  EXPECT_EQ(tf.losses[1].bytes, 32768u);
+  EXPECT_EQ(tf.losses[1].torn, 1u);
+}
+
+TEST(Sddf, RejectsTruncatedLossRecord) {
+  const std::string text =
+      "#SDDF-IO 1\n#fields start_ns duration_ns node file op offset bytes\n"
+      "#loss 5 0 - 0\n";
+  EXPECT_THROW(from_sddf_string(text), std::runtime_error);
+}
+
+TEST(Sddf, RejectsLossWithUnknownFileReference) {
+  const std::string text =
+      "#SDDF-IO 1\n#fields start_ns duration_ns node file op offset bytes\n"
+      "#loss 5 0 4 0 1024 0\n";
+  EXPECT_THROW(from_sddf_string(text), std::runtime_error);
+}
+
 TEST(Sddf, HandlesEventsWithoutFile) {
   std::vector<TraceEvent> events{ev(5, 1, 2, kNoFile, IoOp::kSeek, 0, 0)};
   std::ostringstream out;

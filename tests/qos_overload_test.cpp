@@ -89,12 +89,14 @@ TEST_P(OverloadScenarios, TwoRunsAreByteIdentical) {
 INSTANTIATE_TEST_SUITE_P(AllStorms, OverloadScenarios,
                          ::testing::Values(OverloadScenario::kOpenStampede,
                                            OverloadScenario::kHotStripe,
-                                           OverloadScenario::kRetryStorm),
+                                           OverloadScenario::kRetryStorm,
+                                           OverloadScenario::kCkptBurst),
                          [](const auto& info) {
                            switch (info.param) {
                              case OverloadScenario::kOpenStampede: return "OpenStampede";
                              case OverloadScenario::kHotStripe: return "HotStripe";
                              case OverloadScenario::kRetryStorm: return "RetryStorm";
+                             case OverloadScenario::kCkptBurst: return "CkptBurst";
                            }
                            return "Unknown";
                          });

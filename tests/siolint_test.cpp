@@ -169,8 +169,16 @@ TEST(SiolintUnorderedIter, FiresInOrderSensitiveDirsOnly) {
   EXPECT_EQ(in_pablo[0].rule, "unordered-iter");
   EXPECT_EQ(in_pablo[0].line, 3);
   // The same pattern in src/pfs/ is out of the rule's scope (the server
-  // cache is iterated only through its deterministic LRU list).
+  // cache is iterated only through its deterministic LRU list)...
   EXPECT_TRUE(lint_one("src/pfs/ok.cpp", code).empty());
+  // ...except the journal, whose replay order is observable in recovery and
+  // in the scrub report, and the checkpoint workload that drives it.
+  const auto in_journal = lint_one("src/pfs/journal.cpp", code);
+  ASSERT_EQ(in_journal.size(), 1u);
+  EXPECT_EQ(in_journal[0].rule, "unordered-iter");
+  const auto in_ckpt = lint_one("src/apps/ckpt.cpp", code);
+  ASSERT_EQ(in_ckpt.size(), 1u);
+  EXPECT_EQ(in_ckpt[0].rule, "unordered-iter");
 }
 
 TEST(SiolintUnorderedIter, SeesMembersDeclaredInHeaders) {

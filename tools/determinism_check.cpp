@@ -169,7 +169,7 @@ int main(int argc, char** argv) {
   if (with_overload) {
     using sio::core::OverloadScenario;
     for (const auto scenario : {OverloadScenario::kOpenStampede, OverloadScenario::kHotStripe,
-                                OverloadScenario::kRetryStorm}) {
+                                OverloadScenario::kRetryStorm, OverloadScenario::kCkptBurst}) {
       sio::core::OverloadConfig cfg;
       cfg.scenario = scenario;
       cfg.offered_load = 4.0;

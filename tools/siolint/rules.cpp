@@ -21,7 +21,10 @@ bool is_sim_source(std::string_view path) { return starts_with(path, "src/"); }
 bool is_order_sensitive_dir(std::string_view path) {
   return starts_with(path, "src/pablo/") || starts_with(path, "src/core/") ||
          starts_with(path, "src/fault/") || starts_with(path, "src/sim/") ||
-         starts_with(path, "src/qos/") || starts_with(path, "src/mc/");
+         starts_with(path, "src/qos/") || starts_with(path, "src/mc/") ||
+         // Crash-consistency code replays logs and emits loss records whose
+         // order is observable (SDDF traces, recovery redo order).
+         starts_with(path, "src/pfs/journal") || starts_with(path, "src/apps/ckpt");
 }
 
 bool is_engine_hot_path(std::string_view path) { return starts_with(path, "src/sim/"); }
