@@ -1,0 +1,126 @@
+// Microbenchmarks (google-benchmark) for the trace pipeline: text vs binary
+// SDDF emission, decode, and the streaming-analytics fold.  These bound the
+// event rates the capture path sustains — the acceptance gate requires
+// binary emission to beat text by >= 3x while producing >= 5x smaller
+// output, and the streaming fold to keep up with capture.
+//
+// CI runs this with `--benchmark_out=BENCH_trace.json
+// --benchmark_out_format=json` and gates BM_TraceEmitBinary and
+// BM_TraceStreamingFold against bench/BASELINE_trace.json via
+// tools/bench_gate.py.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <vector>
+
+#include "pablo/binsddf.hpp"
+#include "pablo/sddf.hpp"
+#include "pablo/streaming.hpp"
+
+namespace {
+
+using namespace sio;
+
+/// A synthetic but realistic event mix: interleaved nodes, mostly sequential
+/// reads/writes with periodic seeks, a few files, deterministic sizes and
+/// timings (modeled on the PRISM access pattern, the least compressible of
+/// the paper traces).
+std::vector<pablo::TraceEvent> make_events(std::size_t count, int nodes) {
+  std::vector<pablo::TraceEvent> evs;
+  evs.reserve(count);
+  std::vector<std::uint64_t> node_off(static_cast<std::size_t>(nodes), 0);
+  sim::Tick now = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const int node = static_cast<int>(i % static_cast<std::size_t>(nodes));
+    pablo::TraceEvent ev;
+    ev.start = now;
+    ev.node = node;
+    const std::size_t phase = i % 16;
+    if (phase == 0) {
+      ev.op = pablo::IoOp::kSeek;
+      ev.file = 1;
+      ev.offset = node_off[static_cast<std::size_t>(node)];
+      ev.duration = 2'000 + (i % 7) * 350;
+    } else if (phase < 12) {
+      ev.op = pablo::IoOp::kRead;
+      ev.file = 1;
+      ev.bytes = (phase % 3 == 0) ? 65536 : 4096;
+      ev.offset = node_off[static_cast<std::size_t>(node)];
+      node_off[static_cast<std::size_t>(node)] += ev.bytes;
+      ev.duration = 40'000 + static_cast<sim::Tick>(ev.bytes / 16) + (i % 5) * 1'700;
+    } else {
+      ev.op = pablo::IoOp::kWrite;
+      ev.file = 2;
+      ev.bytes = 8192;
+      ev.offset = node_off[static_cast<std::size_t>(node)] * 2;
+      ev.duration = 55'000 + (i % 11) * 900;
+    }
+    now += 1'000 + (i % 13) * 260;
+    evs.push_back(ev);
+  }
+  return evs;
+}
+
+const std::vector<std::string> kFiles = {"bench/meta", "bench/data", "bench/out"};
+constexpr std::size_t kEvents = 16384;
+constexpr int kNodes = 64;
+
+void BM_TraceEmitText(benchmark::State& state) {
+  const auto evs = make_events(kEvents, kNodes);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    pablo::write_sddf(out, kFiles, evs);
+    const std::string s = out.str();
+    bytes = s.size();
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kEvents));
+  state.counters["bytes_per_event"] =
+      static_cast<double>(bytes) / static_cast<double>(kEvents);
+}
+BENCHMARK(BM_TraceEmitText);
+
+void BM_TraceEmitBinary(benchmark::State& state) {
+  const auto evs = make_events(kEvents, kNodes);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    pablo::BinarySddfWriter w;
+    for (const auto& name : kFiles) w.add_file(name);
+    for (const auto& ev : evs) w.add_event(ev);
+    const std::string s = w.finish();
+    bytes = s.size();
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kEvents));
+  state.counters["bytes_per_event"] =
+      static_cast<double>(bytes) / static_cast<double>(kEvents);
+}
+BENCHMARK(BM_TraceEmitBinary);
+
+void BM_TraceDecodeBinary(benchmark::State& state) {
+  const auto evs = make_events(kEvents, kNodes);
+  const std::string bin = pablo::to_binary_sddf(kFiles, evs);
+  for (auto _ : state) {
+    pablo::TraceFile tf = pablo::from_binary_sddf(bin);
+    benchmark::DoNotOptimize(tf.events.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kEvents));
+}
+BENCHMARK(BM_TraceDecodeBinary);
+
+void BM_TraceStreamingFold(benchmark::State& state) {
+  const auto evs = make_events(kEvents, kNodes);
+  for (auto _ : state) {
+    pablo::StreamingAnalytics sa;
+    for (const auto& ev : evs) sa.on_event(ev);
+    benchmark::DoNotOptimize(sa.fingerprint());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kEvents));
+}
+BENCHMARK(BM_TraceStreamingFold);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -40,6 +40,10 @@ std::string RunResult::to_sddf() const {
   return out.str();
 }
 
+std::string RunResult::to_binary_sddf() const {
+  return pablo::to_binary_sddf(file_names, events, fault_events, qos_events, loss_events);
+}
+
 namespace {
 
 /// A plan is a no-op (and the run can take the byte-identical fault-free
@@ -52,11 +56,21 @@ bool plan_active(const fault::FaultPlan& plan) {
 
 template <class App, class Cfg>
 RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uint64_t seed,
-                  const fault::FaultPlan* plan, const pfs::ServerConfig* server = nullptr) {
+                  const fault::FaultPlan* plan, const pfs::ServerConfig* server = nullptr,
+                  const TraceOptions* trace = nullptr) {
   auto mc = hw::Machine::caltech_paragon(nodes, os);
   mc.seed = seed;
   hw::Machine machine(mc);
   pablo::Collector collector(machine.engine());
+  if (trace != nullptr) {
+    if (trace->binary_trace) collector.enable_binary_trace();
+    if (trace->streaming) {
+      pablo::StreamingConfig scfg;
+      scfg.sketch_precision = trace->sketch_precision;
+      collector.enable_streaming(scfg);
+    }
+    collector.set_retain_events(trace->retain_events);
+  }
   pfs::PfsConfig pcfg;
   if (server != nullptr) pcfg.server = *server;
   if (plan != nullptr) {
@@ -99,6 +113,9 @@ RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uin
   r.fault_events = collector.fault_events();
   r.qos_events = collector.qos_events();
   r.loss_events = collector.loss_events();
+  if (const auto* s = collector.streaming()) r.streaming = *s;
+  if (collector.binary_writer() != nullptr) r.binary_trace = collector.finish_binary_trace();
+  r.trace_memory = collector.memory_stats();
   r.scrub = fs.scrub();
 
   auto& rc = r.resilience;
@@ -150,22 +167,33 @@ RunResult run_prism(apps::prism::Config cfg, std::uint64_t seed) {
 }
 
 RunResult run_escat(apps::escat::Config cfg, const fault::FaultPlan& plan, std::uint64_t seed) {
+  return run_escat(std::move(cfg), plan, TraceOptions{}, seed);
+}
+
+RunResult run_prism(apps::prism::Config cfg, const fault::FaultPlan& plan, std::uint64_t seed) {
+  return run_prism(std::move(cfg), plan, TraceOptions{}, seed);
+}
+
+RunResult run_escat(apps::escat::Config cfg, const fault::FaultPlan& plan,
+                    const TraceOptions& trace, std::uint64_t seed) {
   const auto os = apps::escat::os_for(cfg.version);
   const int nodes = cfg.workload.nodes;
   return run_app(
       [](hw::Machine& m, pfs::Pfs& fs, apps::escat::Config c, apps::PhaseLog* log) {
         return apps::escat::run(m, fs, std::move(c), log);
       },
-      std::move(cfg), os, nodes, seed, plan_active(plan) ? &plan : nullptr);
+      std::move(cfg), os, nodes, seed, plan_active(plan) ? &plan : nullptr, nullptr, &trace);
 }
 
-RunResult run_prism(apps::prism::Config cfg, const fault::FaultPlan& plan, std::uint64_t seed) {
+RunResult run_prism(apps::prism::Config cfg, const fault::FaultPlan& plan,
+                    const TraceOptions& trace, std::uint64_t seed) {
   const int nodes = cfg.workload.nodes;
   return run_app(
       [](hw::Machine& m, pfs::Pfs& fs, apps::prism::Config c, apps::PhaseLog* log) {
         return apps::prism::run(m, fs, std::move(c), log);
       },
-      std::move(cfg), hw::osf_r13(), nodes, seed, plan_active(plan) ? &plan : nullptr);
+      std::move(cfg), hw::osf_r13(), nodes, seed, plan_active(plan) ? &plan : nullptr, nullptr,
+      &trace);
 }
 
 RunResult run_ckpt(apps::ckpt::Config cfg, std::uint64_t seed) {
@@ -173,6 +201,11 @@ RunResult run_ckpt(apps::ckpt::Config cfg, std::uint64_t seed) {
 }
 
 RunResult run_ckpt(apps::ckpt::Config cfg, const fault::FaultPlan& plan, std::uint64_t seed) {
+  return run_ckpt(std::move(cfg), plan, TraceOptions{}, seed);
+}
+
+RunResult run_ckpt(apps::ckpt::Config cfg, const fault::FaultPlan& plan,
+                   const TraceOptions& trace, std::uint64_t seed) {
   const int nodes = cfg.workload.nodes;
   // M_ASYNC (the aggregated variant) needs OSF/1 R1.3.
   const pfs::ServerConfig server = apps::ckpt::tuned_server();
@@ -180,7 +213,8 @@ RunResult run_ckpt(apps::ckpt::Config cfg, const fault::FaultPlan& plan, std::ui
       [](hw::Machine& m, pfs::Pfs& fs, apps::ckpt::Config c, apps::PhaseLog* log) {
         return apps::ckpt::run(m, fs, std::move(c), log);
       },
-      std::move(cfg), hw::osf_r13(), nodes, seed, plan_active(plan) ? &plan : nullptr, &server);
+      std::move(cfg), hw::osf_r13(), nodes, seed, plan_active(plan) ? &plan : nullptr, &server,
+      &trace);
 }
 
 EscatStudy run_escat_study(std::uint64_t seed) {

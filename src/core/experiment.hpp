@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,12 +20,30 @@
 #include "fault/plan.hpp"
 #include "pablo/aggregate.hpp"
 #include "pablo/cdf.hpp"
+#include "pablo/collector.hpp"
 #include "pablo/resilience.hpp"
+#include "pablo/streaming.hpp"
 #include "pablo/timeline.hpp"
 
 namespace sio::core {
 
 inline constexpr std::uint64_t kDefaultSeed = 0x510b5eedULL;
+
+/// How a run captures its trace.  The default reproduces the classic
+/// retained-vector pipeline; production event rates flip to streaming
+/// aggregates and/or live binary-SDDF capture.
+struct TraceOptions {
+  /// Folds every event into bounded streaming aggregates (RunResult.streaming).
+  bool streaming = false;
+  /// Keeps the per-event vectors.  Turning this off empties RunResult.events
+  /// (and fault/qos/loss lists) — only the streaming aggregates and binary
+  /// trace observe the run — making peak analytics memory O(sketch).
+  bool retain_events = true;
+  /// Captures the compact binary-SDDF encoding live (RunResult.binary_trace).
+  bool binary_trace = false;
+  /// Sketch resolution for streaming mode; quantile relative error 2^-p.
+  std::uint8_t sketch_precision = 7;
+};
 
 /// Recovery-machinery counters gathered after a (possibly faulted) run.
 struct ResilienceCounters {
@@ -66,6 +85,12 @@ struct RunResult {
   /// plus the journal counters.
   pablo::ScrubReport scrub{};
   ResilienceCounters resilience{};
+  /// Bounded streaming aggregates (engaged when TraceOptions.streaming).
+  std::optional<pablo::StreamingAnalytics> streaming;
+  /// Live-captured binary-SDDF trace (empty unless TraceOptions.binary_trace).
+  std::string binary_trace;
+  /// Trace-memory accounting for the run's collector.
+  pablo::TraceMemoryStats trace_memory{};
 
   /// Per-operation breakdown (% of I/O time, % of execution time).
   pablo::AggregateBreakdown breakdown() const;
@@ -90,6 +115,11 @@ struct RunResult {
   /// nothing contends on a shared stream; the serial-vs-parallel determinism
   /// test compares these byte-for-byte.
   std::string to_sddf() const;
+
+  /// Serializes the same trace in the compact binary-SDDF dialect (batch
+  /// encode of the retained vectors; for live capture use
+  /// TraceOptions.binary_trace instead).
+  std::string to_binary_sddf() const;
 };
 
 /// Runs one ESCAT configuration on a fresh simulated machine.
@@ -115,6 +145,15 @@ RunResult run_ckpt(apps::ckpt::Config cfg, std::uint64_t seed = kDefaultSeed);
 /// `journal` mode selects the write-ahead-journaling ablation arm.
 RunResult run_ckpt(apps::ckpt::Config cfg, const fault::FaultPlan& plan,
                    std::uint64_t seed = kDefaultSeed);
+
+/// Trace-mode variants: identical runs with the capture pipeline configured
+/// per `trace` (streaming aggregates, retained vectors, live binary trace).
+RunResult run_escat(apps::escat::Config cfg, const fault::FaultPlan& plan,
+                    const TraceOptions& trace, std::uint64_t seed = kDefaultSeed);
+RunResult run_prism(apps::prism::Config cfg, const fault::FaultPlan& plan,
+                    const TraceOptions& trace, std::uint64_t seed = kDefaultSeed);
+RunResult run_ckpt(apps::ckpt::Config cfg, const fault::FaultPlan& plan,
+                   const TraceOptions& trace, std::uint64_t seed = kDefaultSeed);
 
 /// The ethylene A/B/C study behind Tables 1-3 and Figures 2-5.
 struct EscatStudy {

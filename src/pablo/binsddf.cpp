@@ -1,0 +1,352 @@
+#include "pablo/binsddf.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <stdexcept>
+
+#include "pablo/blockcomp.hpp"
+#include "pablo/collector.hpp"
+#include "pablo/sddf.hpp"
+#include "pablo/varint.hpp"
+
+namespace sio::pablo {
+
+namespace {
+
+constexpr std::uint8_t kTagEnd = 0x00;
+constexpr std::uint8_t kTagFile = 0x01;
+constexpr std::uint8_t kTagFault = 0x02;
+constexpr std::uint8_t kTagQos = 0x03;
+constexpr std::uint8_t kTagLoss = 0x04;
+constexpr std::uint8_t kEventBit = 0x80;
+
+// Event presence flags (tag bits 0..3).
+constexpr std::uint8_t kFlagDur = 0x01;
+constexpr std::uint8_t kFlagFile = 0x02;
+constexpr std::uint8_t kFlagOff = 0x04;
+constexpr std::uint8_t kFlagBytes = 0x08;
+
+constexpr std::int64_t file_as_signed(FileId f) {
+  return f == kNoFile ? -1 : static_cast<std::int64_t>(f);
+}
+
+FileId file_from_signed(std::int64_t v, std::size_t table_size) {
+  if (v == -1) return kNoFile;
+  if (v < 0 || static_cast<std::uint64_t>(v) >= table_size) {
+    throw std::runtime_error("binary SDDF: record references unknown file id");
+  }
+  return static_cast<FileId>(v);
+}
+
+/// Wraparound-safe unsigned delta, encoded via zigzag of the two's-complement
+/// difference so both directions stay short.
+void put_u64_delta(std::string& out, std::uint64_t value, std::uint64_t prev) {
+  varint::put_signed(out, static_cast<std::int64_t>(value - prev));
+}
+
+std::uint64_t get_u64_delta(const std::string& data, std::size_t& pos, std::uint64_t prev) {
+  return prev + static_cast<std::uint64_t>(varint::get_signed(data, pos));
+}
+
+/// Key of the per-(node, op) offset predictor table.
+constexpr std::uint64_t node_op_key(std::int32_t node, std::size_t opi) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 3) | opi;
+}
+
+}  // namespace
+
+bool is_binary_sddf(std::string_view data) {
+  return data.substr(0, kBinarySddfMagic.size()) == kBinarySddfMagic;
+}
+
+BinarySddfWriter::BinarySddfWriter(Sink sink, std::size_t flush_threshold)
+    : sink_(std::move(sink)), flush_threshold_(flush_threshold) {
+  raw_.reserve(flush_threshold + 64);
+  buf_.append(kBinarySddfMagic);
+  container_bytes_ = buf_.size();
+}
+
+void BinarySddfWriter::close_frame() {
+  if (raw_.empty()) return;
+  std::string packed;
+  blockcomp::compress(raw_, packed);
+  const std::size_t before = buf_.size();
+  varint::put(buf_, raw_.size());
+  if (packed.size() < raw_.size()) {
+    varint::put(buf_, packed.size());
+    buf_.append(packed);
+  } else {
+    varint::put(buf_, 0);  // stored frame: compression would not have paid
+    buf_.append(raw_);
+  }
+  container_bytes_ += buf_.size() - before;
+  raw_.clear();
+}
+
+void BinarySddfWriter::maybe_flush() {
+  if (raw_.size() < flush_threshold_) return;
+  close_frame();
+  if (sink_) {
+    sink_(buf_);
+    buf_.clear();
+  }
+}
+
+void BinarySddfWriter::add_file(std::string_view name) {
+  const std::size_t before = raw_.size();
+  raw_.push_back(static_cast<char>(kTagFile));
+  varint::put(raw_, name.size());
+  raw_.append(name);
+  bytes_encoded_ += raw_.size() - before;
+  ++files_written_;
+  maybe_flush();
+}
+
+void BinarySddfWriter::add_event(const TraceEvent& ev) {
+  const auto opi = static_cast<std::size_t>(ev.op);
+  std::uint8_t tag = kEventBit | static_cast<std::uint8_t>(opi << 4);
+  const std::int64_t file = file_as_signed(ev.file);
+  auto& no_off = prev_no_off_[node_op_key(ev.node, opi)];
+  const std::uint64_t predicted_off = no_off.first + no_off.second;
+  if (ev.duration != prev_dur_[opi]) tag |= kFlagDur;
+  if (file != prev_file_) tag |= kFlagFile;
+  if (ev.offset != predicted_off) tag |= kFlagOff;
+  if (ev.bytes != prev_bytes_[opi]) tag |= kFlagBytes;
+
+  const std::size_t before = raw_.size();
+  raw_.push_back(static_cast<char>(tag));
+  varint::put_signed(raw_, ev.start - prev_start_);
+  varint::put_signed(raw_, static_cast<std::int64_t>(ev.node) - prev_node_);
+  if (tag & kFlagDur) varint::put_signed(raw_, ev.duration - prev_dur_[opi]);
+  if (tag & kFlagFile) varint::put_signed(raw_, file - prev_file_);
+  if (tag & kFlagOff) put_u64_delta(raw_, ev.offset, predicted_off);
+  if (tag & kFlagBytes) put_u64_delta(raw_, ev.bytes, prev_bytes_[opi]);
+  bytes_encoded_ += raw_.size() - before;
+
+  prev_start_ = ev.start;
+  prev_node_ = ev.node;
+  prev_file_ = file;
+  prev_dur_[opi] = ev.duration;
+  no_off = {ev.offset, ev.bytes};
+  prev_bytes_[opi] = ev.bytes;
+  ++events_written_;
+  maybe_flush();
+}
+
+void BinarySddfWriter::add_fault(const FaultEvent& ev) {
+  const std::size_t before = raw_.size();
+  raw_.push_back(static_cast<char>(kTagFault));
+  varint::put_signed(raw_, ev.at - prev_fault_.at);
+  raw_.push_back(static_cast<char>(ev.kind));
+  varint::put_signed(raw_, static_cast<std::int64_t>(ev.node) - prev_fault_.node);
+  varint::put_signed(raw_, static_cast<std::int64_t>(ev.target) - prev_fault_.target);
+  put_u64_delta(raw_, ev.info, prev_fault_.info);
+  bytes_encoded_ += raw_.size() - before;
+  prev_fault_ = ev;
+  maybe_flush();
+}
+
+void BinarySddfWriter::add_qos(const QosEvent& ev) {
+  const std::size_t before = raw_.size();
+  raw_.push_back(static_cast<char>(kTagQos));
+  varint::put_signed(raw_, ev.at - prev_qos_.at);
+  raw_.push_back(static_cast<char>(ev.kind));
+  varint::put_signed(raw_, static_cast<std::int64_t>(ev.node) - prev_qos_.node);
+  varint::put_signed(raw_, static_cast<std::int64_t>(ev.target) - prev_qos_.target);
+  put_u64_delta(raw_, ev.info, prev_qos_.info);
+  bytes_encoded_ += raw_.size() - before;
+  prev_qos_ = ev;
+  maybe_flush();
+}
+
+void BinarySddfWriter::add_loss(const LossEvent& ev) {
+  const std::size_t before = raw_.size();
+  raw_.push_back(static_cast<char>(kTagLoss));
+  varint::put_signed(raw_, ev.at - prev_loss_.at);
+  varint::put_signed(raw_, static_cast<std::int64_t>(ev.target) - prev_loss_.target);
+  varint::put_signed(raw_, file_as_signed(ev.file) - file_as_signed(prev_loss_.file));
+  put_u64_delta(raw_, ev.offset, prev_loss_.offset);
+  put_u64_delta(raw_, ev.bytes, prev_loss_.bytes);
+  varint::put(raw_, ev.torn);
+  bytes_encoded_ += raw_.size() - before;
+  prev_loss_ = ev;
+  maybe_flush();
+}
+
+std::string BinarySddfWriter::finish() {
+  raw_.push_back(static_cast<char>(kTagEnd));
+  ++bytes_encoded_;
+  close_frame();
+  finished_ = true;
+  if (sink_) {
+    if (!buf_.empty()) sink_(buf_);
+    buf_.clear();
+    return {};
+  }
+  return std::move(buf_);
+}
+
+std::string to_binary_sddf(const std::vector<std::string>& file_names,
+                           const std::vector<TraceEvent>& events,
+                           const std::vector<FaultEvent>& faults,
+                           const std::vector<QosEvent>& qos,
+                           const std::vector<LossEvent>& losses) {
+  BinarySddfWriter w;
+  for (const auto& name : file_names) w.add_file(name);
+  for (const auto& f : faults) w.add_fault(f);
+  for (const auto& q : qos) w.add_qos(q);
+  for (const auto& l : losses) w.add_loss(l);
+  for (const auto& ev : events) w.add_event(ev);
+  return w.finish();
+}
+
+std::string to_binary_sddf(const Collector& collector) {
+  std::vector<std::string> names;
+  names.reserve(collector.file_count());
+  for (std::size_t i = 0; i < collector.file_count(); ++i) {
+    names.push_back(collector.file_name(static_cast<FileId>(i)));
+  }
+  return to_binary_sddf(names, collector.events(), collector.fault_events(),
+                        collector.qos_events(), collector.loss_events());
+}
+
+TraceFile from_binary_sddf(const std::string& container) {
+  if (!is_binary_sddf(container)) throw std::runtime_error("binary SDDF: bad magic");
+
+  // Unwrap the frame layer into the flat record stream.
+  std::string data;
+  {
+    std::size_t fpos = kBinarySddfMagic.size();
+    while (fpos < container.size()) {
+      const std::uint64_t raw_len = varint::get(container, fpos);
+      const std::uint64_t enc_len = varint::get(container, fpos);
+      if (enc_len == 0) {
+        if (fpos + raw_len > container.size()) {
+          throw std::runtime_error("binary SDDF: truncated stored frame");
+        }
+        data.append(container, fpos, raw_len);
+        fpos += raw_len;
+      } else {
+        if (fpos + enc_len > container.size()) {
+          throw std::runtime_error("binary SDDF: truncated compressed frame");
+        }
+        blockcomp::decompress(std::string_view(container).substr(fpos, enc_len), raw_len, data);
+        fpos += enc_len;
+      }
+    }
+  }
+
+  TraceFile tf;
+  std::size_t pos = 0;
+
+  sim::Tick prev_start = 0;
+  std::int64_t prev_node = 0;
+  std::int64_t prev_file = -1;
+  std::array<sim::Tick, kIoOpCount> prev_dur{};
+  std::array<std::uint64_t, kIoOpCount> prev_bytes{};
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> prev_no_off;
+  FaultEvent prev_fault{};
+  QosEvent prev_qos{};
+  LossEvent prev_loss{};
+
+  while (true) {
+    if (pos >= data.size()) throw std::runtime_error("binary SDDF: missing end marker");
+    const auto tag = static_cast<std::uint8_t>(data[pos++]);
+    if (tag == kTagEnd) break;
+
+    if (tag & kEventBit) {
+      const auto opi = static_cast<std::size_t>((tag >> 4) & 0x07);
+      TraceEvent ev;
+      ev.op = static_cast<IoOp>(opi);
+      ev.start = prev_start + varint::get_signed(data, pos);
+      ev.node = static_cast<std::int32_t>(prev_node + varint::get_signed(data, pos));
+      ev.duration =
+          (tag & kFlagDur) ? prev_dur[opi] + varint::get_signed(data, pos) : prev_dur[opi];
+      const std::int64_t file =
+          (tag & kFlagFile) ? prev_file + varint::get_signed(data, pos) : prev_file;
+      ev.file = file_from_signed(file, tf.file_names.size());
+      auto& no_off = prev_no_off[node_op_key(ev.node, opi)];
+      const std::uint64_t predicted_off = no_off.first + no_off.second;
+      ev.offset = (tag & kFlagOff) ? get_u64_delta(data, pos, predicted_off) : predicted_off;
+      ev.bytes = (tag & kFlagBytes) ? get_u64_delta(data, pos, prev_bytes[opi]) : prev_bytes[opi];
+
+      prev_start = ev.start;
+      prev_node = ev.node;
+      prev_file = file;
+      prev_dur[opi] = ev.duration;
+      no_off = {ev.offset, ev.bytes};
+      prev_bytes[opi] = ev.bytes;
+      // Decode buffer, bounded by the input trace.  siolint:allow(trace-vector-growth)
+      tf.events.push_back(ev);
+      continue;
+    }
+
+    switch (tag) {
+      case kTagFile: {
+        const std::uint64_t len = varint::get(data, pos);
+        if (pos + len > data.size()) throw std::runtime_error("binary SDDF: truncated file name");
+        tf.file_names.emplace_back(data.substr(pos, len));
+        pos += len;
+        break;
+      }
+      case kTagFault: {
+        FaultEvent f;
+        f.at = prev_fault.at + varint::get_signed(data, pos);
+        if (pos >= data.size()) throw std::runtime_error("binary SDDF: truncated fault record");
+        const auto kind = static_cast<std::uint8_t>(data[pos++]);
+        if (kind >= kFaultKindCount) throw std::runtime_error("binary SDDF: unknown fault kind");
+        f.kind = static_cast<FaultKind>(kind);
+        f.node = static_cast<std::int32_t>(prev_fault.node + varint::get_signed(data, pos));
+        f.target = static_cast<std::int32_t>(prev_fault.target + varint::get_signed(data, pos));
+        f.info = get_u64_delta(data, pos, prev_fault.info);
+        prev_fault = f;
+        // siolint:allow(trace-vector-growth)
+        tf.faults.push_back(f);
+        break;
+      }
+      case kTagQos: {
+        QosEvent q;
+        q.at = prev_qos.at + varint::get_signed(data, pos);
+        if (pos >= data.size()) throw std::runtime_error("binary SDDF: truncated qos record");
+        const auto kind = static_cast<std::uint8_t>(data[pos++]);
+        if (kind >= kQosKindCount) throw std::runtime_error("binary SDDF: unknown qos kind");
+        q.kind = static_cast<QosKind>(kind);
+        q.node = static_cast<std::int32_t>(prev_qos.node + varint::get_signed(data, pos));
+        q.target = static_cast<std::int32_t>(prev_qos.target + varint::get_signed(data, pos));
+        q.info = get_u64_delta(data, pos, prev_qos.info);
+        prev_qos = q;
+        // siolint:allow(trace-vector-growth)
+        tf.qos.push_back(q);
+        break;
+      }
+      case kTagLoss: {
+        LossEvent l;
+        l.at = prev_loss.at + varint::get_signed(data, pos);
+        l.target = static_cast<std::int32_t>(prev_loss.target + varint::get_signed(data, pos));
+        l.file = file_from_signed(file_as_signed(prev_loss.file) + varint::get_signed(data, pos),
+                                  tf.file_names.size());
+        l.offset = get_u64_delta(data, pos, prev_loss.offset);
+        l.bytes = get_u64_delta(data, pos, prev_loss.bytes);
+        l.torn = varint::get(data, pos);
+        prev_loss = l;
+        // siolint:allow(trace-vector-growth)
+        tf.losses.push_back(l);
+        break;
+      }
+      default:
+        throw std::runtime_error("binary SDDF: unknown record tag " + std::to_string(tag));
+    }
+  }
+  return tf;
+}
+
+TraceFile read_binary_sddf(std::istream& in) {
+  std::string data(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>{});
+  return from_binary_sddf(data);
+}
+
+void sort_trace_events(std::vector<TraceEvent>& events) {
+  std::stable_sort(events.begin(), events.end(), trace_event_before);
+}
+
+}  // namespace sio::pablo

@@ -1,0 +1,102 @@
+#include "pablo/blockcomp.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "pablo/varint.hpp"
+
+namespace sio::pablo::blockcomp {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr int kHashBits = 13;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t load32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::size_t hash4(std::uint32_t v) {
+  // Multiplicative hash; the constant is the 32-bit golden-ratio prime.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_sequence(std::string& out, std::string_view raw, std::size_t lit_begin,
+                  std::size_t lit_len, std::size_t distance, std::size_t match_len) {
+  const std::size_t lit_nib = lit_len < 15 ? lit_len : 15;
+  const std::size_t match_extra = match_len == 0 ? 0 : match_len - kMinMatch;
+  const std::size_t match_nib = match_extra < 15 ? match_extra : 15;
+  out.push_back(static_cast<char>((lit_nib << 4) | match_nib));
+  if (lit_nib == 15) varint::put(out, lit_len - 15);
+  out.append(raw.substr(lit_begin, lit_len));
+  varint::put(out, distance);  // 0 = no match (final literal flush)
+  if (distance != 0 && match_nib == 15) varint::put(out, match_extra - 15);
+}
+
+}  // namespace
+
+void compress(std::string_view raw, std::string& out) {
+  std::vector<std::int32_t> table(kHashSize, -1);
+  const char* base = raw.data();
+  const std::size_t n = raw.size();
+  std::size_t pos = 0;
+  std::size_t lit_begin = 0;
+  // Matches never start within the last kMinMatch bytes (nothing to hash).
+  while (n >= kMinMatch && pos + kMinMatch <= n) {
+    const std::size_t h = hash4(load32(base + pos));
+    const std::int32_t cand = table[h];
+    table[h] = static_cast<std::int32_t>(pos);
+    if (cand >= 0 && load32(base + cand) == load32(base + pos)) {
+      std::size_t len = kMinMatch;
+      while (pos + len < n && base[cand + len] == base[pos + len]) ++len;
+      put_sequence(out, raw, lit_begin, pos - lit_begin,
+                   pos - static_cast<std::size_t>(cand), len);
+      // Seed the table through the match so repeats right after it hit too.
+      const std::size_t end = pos + len;
+      for (std::size_t s = pos + 1; s < end && s + kMinMatch <= n; ++s) {
+        table[hash4(load32(base + s))] = static_cast<std::int32_t>(s);
+      }
+      pos = end;
+      lit_begin = end;
+      continue;
+    }
+    ++pos;
+  }
+  put_sequence(out, raw, lit_begin, n - lit_begin, 0, 0);
+}
+
+void decompress(std::string_view enc, std::size_t raw_len, std::string& out) {
+  const std::string data(enc);  // varint::get works on std::string
+  std::size_t pos = 0;
+  const std::size_t out_base = out.size();
+  out.reserve(out_base + raw_len);
+  while (true) {
+    if (pos >= data.size()) throw std::runtime_error("blockcomp: truncated frame");
+    const auto token = static_cast<std::uint8_t>(data[pos++]);
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15) lit_len += varint::get(data, pos);
+    if (pos + lit_len > data.size()) throw std::runtime_error("blockcomp: truncated literals");
+    out.append(data, pos, lit_len);
+    pos += lit_len;
+    const std::uint64_t distance = varint::get(data, pos);
+    if (distance == 0) break;  // final sequence
+    std::size_t match_len = (token & 0x0f);
+    if (match_len == 15) match_len += varint::get(data, pos);
+    match_len += kMinMatch;
+    const std::size_t produced = out.size() - out_base;
+    if (distance > produced) throw std::runtime_error("blockcomp: match distance out of range");
+    // Byte-by-byte on purpose: overlapping matches (distance < length)
+    // replicate the just-written bytes, RLE-style.
+    std::size_t from = out.size() - static_cast<std::size_t>(distance);
+    for (std::size_t i = 0; i < match_len; ++i) out.push_back(out[from + i]);
+  }
+  if (out.size() - out_base != raw_len || pos != data.size()) {
+    throw std::runtime_error("blockcomp: frame length mismatch");
+  }
+}
+
+}  // namespace sio::pablo::blockcomp

@@ -13,19 +13,35 @@ FileId Collector::register_file(std::string_view path) {
     if (files_[i] == path) return static_cast<FileId>(i);
   }
   files_.emplace_back(path);
-  return static_cast<FileId>(files_.size() - 1);
+  const auto id = static_cast<FileId>(files_.size() - 1);
+  if (streaming_) streaming_->ensure_file(id);
+  if (bin_writer_) bin_writer_->add_file(files_.back());
+  return id;
 }
 
 const std::vector<TraceEvent>& Collector::events() const {
   if (!sorted_) {
-    std::stable_sort(events_.begin(), events_.end(), [](const TraceEvent& a, const TraceEvent& b) {
-      if (a.start != b.start) return a.start < b.start;
-      if (a.node != b.node) return a.node < b.node;
-      return static_cast<int>(a.op) < static_cast<int>(b.op);
-    });
+    std::stable_sort(events_.begin(), events_.end(), trace_event_before);
     sorted_ = true;
   }
   return events_;
+}
+
+std::size_t Collector::bytes_retained() const {
+  std::size_t total = sizeof(*this);
+  total += files_.capacity() * sizeof(std::string);
+  for (const std::string& f : files_) total += f.capacity();
+  total += events_.capacity() * sizeof(TraceEvent);
+  total += faults_.capacity() * sizeof(FaultEvent);
+  total += qos_.capacity() * sizeof(QosEvent);
+  total += losses_.capacity() * sizeof(LossEvent);
+  if (streaming_) total += streaming_->bytes_retained();
+  if (bin_writer_) total += bin_writer_->buffered_capacity();
+  return total;
+}
+
+void Collector::note_peak() const {
+  peak_bytes_retained_ = std::max(peak_bytes_retained_, bytes_retained());
 }
 
 }  // namespace sio::pablo

@@ -4,24 +4,54 @@
 // collector also owns the file-name registry and, once a run finishes, hands
 // out the trace sorted by start time for analysis.  An RAII `OpTimer` makes
 // the instrumentation in the client a one-liner per operation.
+//
+// Two capture modes coexist:
+//   * retained (default) — every event lands in a vector, and the full
+//     replay-based analysis suite (summary.hpp, cdf.hpp, aggregate.hpp)
+//     works unchanged.  Memory is O(events).
+//   * streaming — enable_streaming() folds each event into bounded
+//     aggregates (streaming.hpp) the moment it is recorded, and
+//     set_retain_events(false) drops the vectors entirely.  Memory is
+//     O(sketch + files + windows), flat in run length.
+// Independently, enable_binary_trace() tees every record into a compact
+// binary-SDDF encoder (binsddf.hpp), optionally draining through a sink so
+// live capture never holds more than the flush threshold.
 
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "pablo/binsddf.hpp"
 #include "pablo/event.hpp"
+#include "pablo/streaming.hpp"
 #include "sim/assert.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 
 namespace sio::pablo {
 
+/// Memory-accounting view of one collector (satellite of the trace-pipeline
+/// work: proves the streaming path's bytes-retained stays flat).
+struct TraceMemoryStats {
+  std::size_t bytes_retained = 0;       ///< Current bytes held by trace state.
+  std::size_t peak_bytes_retained = 0;  ///< High-water mark (sampled).
+  std::uint64_t events_recorded = 0;    ///< Total events seen, retained or not.
+};
+
 class Collector {
  public:
-  explicit Collector(sim::Engine& engine) : engine_(engine) {}
+  explicit Collector(sim::Engine& engine) : engine_(engine) {
+    // Typical paper-scale runs record a few thousand events; reserving up
+    // front keeps the hot record() path free of early regrowth.
+    events_.reserve(4096);
+    faults_.reserve(256);
+    qos_.reserve(1024);
+    losses_.reserve(64);
+  }
 
   Collector(const Collector&) = delete;
   Collector& operator=(const Collector&) = delete;
@@ -39,17 +69,26 @@ class Collector {
 
   /// Appends one finished operation to the trace.
   void record(const TraceEvent& ev) {
-    if (enabled_) {
-      events_.push_back(ev);
+    if (!enabled_) return;
+    if (streaming_) streaming_->on_event(ev);
+    if (bin_writer_) bin_writer_->add_event(ev);
+    if (retain_events_) {
+      events_.push_back(ev);  // siolint:allow(trace-vector-growth) gated by set_retain_events
       sorted_ = false;
     }
+    ++events_recorded_;
+    if ((events_recorded_ & 0x3ff) == 0) note_peak();
   }
 
   /// Appends one fault/recovery occurrence.  Fault events are recorded at
   /// the simulated time they happen, so the list is chronological by
   /// construction (no lazy sort needed).
   void record_fault(const FaultEvent& ev) {
-    if (enabled_) faults_.push_back(ev);
+    if (!enabled_) return;
+    if (bin_writer_) bin_writer_->add_fault(ev);
+    if (retain_events_) {
+      faults_.push_back(ev);  // siolint:allow(trace-vector-growth) gated by set_retain_events
+    }
   }
 
   const std::vector<FaultEvent>& fault_events() const { return faults_; }
@@ -59,7 +98,11 @@ class Collector {
   /// breaker transitions).  Recorded at the simulated time it happens, so the
   /// list is chronological by construction.
   void record_qos(const QosEvent& ev) {
-    if (enabled_) qos_.push_back(ev);
+    if (!enabled_) return;
+    if (bin_writer_) bin_writer_->add_qos(ev);
+    if (retain_events_) {
+      qos_.push_back(ev);  // siolint:allow(trace-vector-growth) gated by set_retain_events
+    }
   }
 
   const std::vector<QosEvent>& qos_events() const { return qos_; }
@@ -69,7 +112,11 @@ class Collector {
   /// write-behind unit).  Recorded at the simulated time of the crash, so the
   /// list is chronological by construction.
   void record_loss(const LossEvent& ev) {
-    if (enabled_) losses_.push_back(ev);
+    if (!enabled_) return;
+    if (bin_writer_) bin_writer_->add_loss(ev);
+    if (retain_events_) {
+      losses_.push_back(ev);  // siolint:allow(trace-vector-growth) gated by set_retain_events
+    }
   }
 
   const std::vector<LossEvent>& loss_events() const { return losses_; }
@@ -79,16 +126,74 @@ class Collector {
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Starts folding every recorded event into bounded streaming aggregates.
+  /// Call before the run records events of interest (aggregates start empty).
+  void enable_streaming(StreamingConfig cfg = {}) {
+    SIO_ASSERT(!streaming_);
+    streaming_.emplace(cfg);
+    for (std::size_t i = 0; i < files_.size(); ++i) {
+      streaming_->ensure_file(static_cast<FileId>(i));
+    }
+  }
+
+  StreamingAnalytics* streaming() { return streaming_ ? &*streaming_ : nullptr; }
+  const StreamingAnalytics* streaming() const { return streaming_ ? &*streaming_ : nullptr; }
+
+  /// When off, record() stops appending to the event/fault/qos/loss vectors —
+  /// the replay-based analyses see an empty trace, and only the streaming
+  /// aggregates / binary writer observe the run.  Default on.
+  void set_retain_events(bool on) { retain_events_ = on; }
+  bool retain_events() const { return retain_events_; }
+
+  /// Tees every subsequently recorded record into a binary-SDDF encoder.
+  /// Files registered so far enter the stream immediately; call before
+  /// recording events so every referenced file precedes its use.  With a
+  /// sink, encoded bytes drain at `flush_threshold`; without one they
+  /// accumulate until finish_binary_trace().
+  void enable_binary_trace(BinarySddfWriter::Sink sink = {},
+                           std::size_t flush_threshold = 64 * 1024) {
+    SIO_ASSERT(!bin_writer_);
+    SIO_ASSERT(events_.empty() && faults_.empty() && qos_.empty() && losses_.empty() &&
+               events_recorded_ == 0);
+    bin_writer_.emplace(std::move(sink), flush_threshold);
+    for (const std::string& name : files_) bin_writer_->add_file(name);
+  }
+
+  BinarySddfWriter* binary_writer() { return bin_writer_ ? &*bin_writer_ : nullptr; }
+  const BinarySddfWriter* binary_writer() const { return bin_writer_ ? &*bin_writer_ : nullptr; }
+
+  /// Terminates the live binary stream and returns the buffered encoding
+  /// (empty when a sink drained it).  Requires enable_binary_trace() first.
+  std::string finish_binary_trace() {
+    SIO_ASSERT(bin_writer_ && !bin_writer_->finished());
+    return bin_writer_->finish();
+  }
+
   /// All events, sorted by (start, node, op).  Sorting happens lazily and is
   /// cached; recording new events invalidates the cache.
   const std::vector<TraceEvent>& events() const;
 
   std::size_t event_count() const { return events_.size(); }
 
+  /// Total events recorded, whether or not they were retained.
+  std::uint64_t events_recorded() const { return events_recorded_; }
+
   /// Serializes this run's trace into a per-run SDDF text buffer.  Each
   /// collector belongs to exactly one run, so parallel experiments emit
   /// without sharing a stream (used by the determinism harness and tests).
   std::string sddf_text() const;
+
+  /// Bytes currently held by trace state (vector capacities, file names,
+  /// streaming aggregates, binary buffer).
+  std::size_t bytes_retained() const;
+
+  /// Current + peak memory accounting.  Peak is sampled every 1024 recorded
+  /// events and on every explicit call, so it tracks the high-water mark
+  /// without a per-event cost.
+  TraceMemoryStats memory_stats() const {
+    note_peak();
+    return TraceMemoryStats{bytes_retained(), peak_bytes_retained_, events_recorded_};
+  }
 
   /// Removes all recorded events (keeps the file registry).
   void clear() {
@@ -102,14 +207,21 @@ class Collector {
   sim::Engine& engine() { return engine_; }
 
  private:
+  void note_peak() const;
+
   sim::Engine& engine_;
   std::vector<std::string> files_;
   mutable std::vector<TraceEvent> events_;
   std::vector<FaultEvent> faults_;
   std::vector<QosEvent> qos_;
   std::vector<LossEvent> losses_;
+  std::optional<StreamingAnalytics> streaming_;
+  std::optional<BinarySddfWriter> bin_writer_;
+  std::uint64_t events_recorded_ = 0;
+  mutable std::size_t peak_bytes_retained_ = 0;
   mutable bool sorted_ = false;
   bool enabled_ = true;
+  bool retain_events_ = true;
 };
 
 /// RAII timing helper: captures the start time at construction and records

@@ -84,6 +84,8 @@ struct FaultEvent {
   std::int32_t node = -1;    ///< Compute node involved (-1 = none).
   std::int32_t target = -1;  ///< I/O node / server involved (-1 = none).
   std::uint64_t info = 0;    ///< Kind-specific detail (attempt #, bytes, ...).
+
+  bool operator==(const FaultEvent&) const = default;
 };
 
 /// Overload-protection occurrences recorded alongside the I/O trace.  The
@@ -123,6 +125,8 @@ struct QosEvent {
   std::int32_t node = -1;    ///< Compute node involved (-1 = none).
   std::int32_t target = -1;  ///< Server involved (I/O node id, -1 = metadata).
   std::uint64_t info = 0;    ///< Kind-specific detail (credit ticks, bytes, ...).
+
+  bool operator==(const QosEvent&) const = default;
 };
 
 /// One acknowledged-data-loss occurrence: a server crash dropped (or tore) a
@@ -136,6 +140,8 @@ struct LossEvent {
   std::uint64_t offset = 0;  ///< Byte offset of the stripe unit within the file.
   std::uint64_t bytes = 0;   ///< Acknowledged bytes in the unit not yet durable.
   std::uint64_t torn = 0;    ///< 1 if a torn write applied only a prefix.
+
+  bool operator==(const LossEvent&) const = default;
 };
 
 /// One traced I/O operation.
@@ -149,6 +155,18 @@ struct TraceEvent {
   std::uint64_t bytes = 0;   ///< Payload size (reads/writes), else 0.
 
   sim::Tick end() const { return start + duration; }
+
+  bool operator==(const TraceEvent&) const = default;
 };
+
+/// Canonical trace ordering: (start, node, op), with record order breaking
+/// remaining ties (callers must use a stable sort).  The collector exports in
+/// this order and the binary->text converter re-sorts loaded traces with the
+/// same comparator, so both paths serialize byte-identical SDDF text.
+constexpr bool trace_event_before(const TraceEvent& a, const TraceEvent& b) {
+  if (a.start != b.start) return a.start < b.start;
+  if (a.node != b.node) return a.node < b.node;
+  return static_cast<int>(a.op) < static_cast<int>(b.op);
+}
 
 }  // namespace sio::pablo

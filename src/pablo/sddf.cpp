@@ -143,7 +143,7 @@ TraceFile read_sddf(std::istream& in) {
         throw std::runtime_error("SDDF: bad #fault line: " + line);
       }
       f.kind = parse_fault_kind(kind_name);
-      tf.faults.push_back(f);
+      tf.faults.push_back(f);  // siolint:allow(trace-vector-growth) batch decode materializes
       continue;
     }
     if (line.rfind("#qos ", 0) == 0) {
@@ -154,7 +154,7 @@ TraceFile read_sddf(std::istream& in) {
         throw std::runtime_error("SDDF: bad #qos line: " + line);
       }
       q.kind = parse_qos_kind(kind_name);
-      tf.qos.push_back(q);
+      tf.qos.push_back(q);  // siolint:allow(trace-vector-growth) batch decode materializes
       continue;
     }
     if (line.rfind("#loss ", 0) == 0) {
@@ -168,7 +168,7 @@ TraceFile read_sddf(std::istream& in) {
       if (l.file != kNoFile && l.file >= tf.file_names.size()) {
         throw std::runtime_error("SDDF: #loss references unknown file id");
       }
-      tf.losses.push_back(l);
+      tf.losses.push_back(l);  // siolint:allow(trace-vector-growth) batch decode materializes
       continue;
     }
     if (line[0] == '#') continue;  // future extension records
@@ -187,7 +187,7 @@ TraceFile read_sddf(std::istream& in) {
       throw std::runtime_error("SDDF: record references unknown file id");
     }
     ev.op = parse_io_op(op_name);
-    tf.events.push_back(ev);
+    tf.events.push_back(ev);  // siolint:allow(trace-vector-growth) batch decode materializes
   }
   return tf;
 }

@@ -1,0 +1,147 @@
+#include "pablo/sketch.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/assert.hpp"
+
+namespace sio::pablo {
+
+QuantileSketch::QuantileSketch(std::uint8_t precision_bits) : p_(precision_bits) {
+  SIO_ASSERT(p_ >= 1 && p_ <= 16);
+}
+
+std::size_t QuantileSketch::bucket_index(std::uint64_t v) const {
+  if (v < (1ull << p_)) return static_cast<std::size_t>(v);
+  const int k = 63 - std::countl_zero(v);  // 2^k <= v < 2^(k+1), k >= p
+  const std::uint64_t sub = (v >> (k - p_)) - (1ull << p_);
+  return (static_cast<std::size_t>(k - p_ + 1) << p_) + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t QuantileSketch::bucket_lo(std::size_t idx) const {
+  if (idx < (1ull << p_)) return idx;
+  const std::size_t octave = idx >> p_;  // = k - p + 1 >= 1
+  const int k = static_cast<int>(octave) + p_ - 1;
+  const std::uint64_t sub = idx & ((1ull << p_) - 1);
+  return ((1ull << p_) + sub) << (k - p_);
+}
+
+std::uint64_t QuantileSketch::bucket_width(std::size_t idx) const {
+  if (idx < (1ull << p_)) return 1;
+  const std::size_t octave = idx >> p_;
+  return 1ull << (static_cast<int>(octave) - 1);
+}
+
+void QuantileSketch::add_weighted(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  const std::size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1);
+  buckets_[idx].count += count;
+  buckets_[idx].sum += value * count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += value * count;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  SIO_ASSERT(p_ == other.p_);
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size());
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i].count += other.buckets_[i].count;
+    buckets_[i].sum += other.buckets_[i].sum;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t QuantileSketch::quantile(double q) const {
+  SIO_ASSERT(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0;
+  const double total = static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].count == 0) continue;
+    cum += buckets_[i].count;
+    if (static_cast<double>(cum) / total >= q) {
+      // Representative: the bucket's top value, clamped into the exact
+      // [min, max] envelope.  The true quantile lies in this bucket, so the
+      // representative is within one bucket width (<= value * 2^-p) of it.
+      const std::uint64_t hi = bucket_lo(i) + bucket_width(i) - 1;
+      return std::clamp(hi, min_, max_);
+    }
+  }
+  return max_;
+}
+
+double QuantileSketch::fraction_le(std::uint64_t v) const {
+  if (count_ == 0) return 0.0;
+  const std::size_t vidx = bucket_index(v);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size() && i <= vidx; ++i) cum += buckets_[i].count;
+  return static_cast<double>(cum) / static_cast<double>(count_);
+}
+
+double QuantileSketch::sum_fraction_le(std::uint64_t v) const {
+  if (count_ == 0) return 0.0;
+  if (sum_ == 0) return 1.0;  // all-zero values: everything is <= v
+  const std::size_t vidx = bucket_index(v);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size() && i <= vidx; ++i) cum += buckets_[i].sum;
+  return static_cast<double>(cum) / static_cast<double>(sum_);
+}
+
+std::size_t QuantileSketch::bytes_retained() const {
+  return sizeof(*this) + buckets_.capacity() * sizeof(Bucket);
+}
+
+std::uint64_t QuantileSketch::fingerprint() const {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(p_);
+  mix(count_);
+  mix(sum_);
+  mix(min());
+  mix(max());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].count == 0 && buckets_[i].sum == 0) continue;
+    mix(i);
+    mix(buckets_[i].count);
+    mix(buckets_[i].sum);
+  }
+  return h;
+}
+
+bool QuantileSketch::operator==(const QuantileSketch& other) const {
+  if (p_ != other.p_ || count_ != other.count_ || sum_ != other.sum_ || min() != other.min() ||
+      max() != other.max()) {
+    return false;
+  }
+  // Trailing all-zero buckets are state-equivalent (merge can over-size).
+  const std::size_t n = std::max(buckets_.size(), other.buckets_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Bucket a = i < buckets_.size() ? buckets_[i] : Bucket{};
+    const Bucket b = i < other.buckets_.size() ? other.buckets_[i] : Bucket{};
+    if (!(a == b)) return false;
+  }
+  return true;
+}
+
+}  // namespace sio::pablo

@@ -1,0 +1,216 @@
+#include "pablo/streaming.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace sio::pablo {
+
+namespace {
+
+void merge_core(SummaryCore& into, const SummaryCore& from) {
+  for (std::size_t i = 0; i < kIoOpCount; ++i) {
+    into.per_op[i].count += from.per_op[i].count;
+    into.per_op[i].total_duration += from.per_op[i].total_duration;
+    into.per_op[i].bytes += from.per_op[i].bytes;
+  }
+}
+
+class Fnv {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (i * 8)) & 0xff;
+      h_ *= 1099511628211ull;
+    }
+  }
+  void mix_core(const SummaryCore& core) {
+    for (const OpStats& s : core.per_op) {
+      mix(s.count);
+      mix(static_cast<std::uint64_t>(s.total_duration));
+      mix(s.bytes);
+    }
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;
+};
+
+}  // namespace
+
+StreamingAnalytics::StreamingAnalytics(StreamingConfig cfg) : cfg_(cfg) {
+  SIO_ASSERT(cfg_.windows >= 0);
+  SIO_ASSERT(cfg_.window_t1 >= cfg_.window_t0);
+  for (std::size_t i = 0; i < kIoOpCount; ++i) {
+    size_sketches_[i] = QuantileSketch(cfg_.sketch_precision);
+    duration_sketches_[i] = QuantileSketch(cfg_.sketch_precision);
+  }
+  if (cfg_.windows > 0) {
+    // Same boundary arithmetic as time_window_series(): lo_i = t0 + span*i/n.
+    windows_.reserve(static_cast<std::size_t>(cfg_.windows));
+    const sim::Tick span = cfg_.window_t1 - cfg_.window_t0;
+    for (int i = 0; i < cfg_.windows; ++i) {
+      TimeWindowSummary w;
+      w.t0 = cfg_.window_t0 + span * i / cfg_.windows;
+      w.t1 = i + 1 == cfg_.windows ? cfg_.window_t1
+                                   : cfg_.window_t0 + span * (i + 1) / cfg_.windows;
+      windows_.push_back(w);
+    }
+  }
+}
+
+void StreamingAnalytics::add_region_probe(FileId file, std::uint64_t lo, std::uint64_t hi) {
+  SIO_ASSERT(lo <= hi);
+  FileRegionSummary r;
+  r.file = file;
+  r.lo = lo;
+  r.hi = hi;
+  regions_.push_back(r);
+}
+
+void StreamingAnalytics::ensure_file(FileId id) {
+  if (id == kNoFile) return;
+  if (id < files_.size()) return;
+  const std::size_t old = files_.size();
+  files_.resize(static_cast<std::size_t>(id) + 1);
+  for (std::size_t i = old; i < files_.size(); ++i) {
+    files_[i].file = static_cast<FileId>(i);
+    files_[i].first_open = -1;
+  }
+}
+
+int StreamingAnalytics::window_index(sim::Tick at) const {
+  if (windows_.empty()) return -1;
+  if (at < cfg_.window_t0 || at >= cfg_.window_t1) return -1;
+  const sim::Tick span = cfg_.window_t1 - cfg_.window_t0;
+  // Double division seeds the search; the exact integer boundaries stored in
+  // windows_ settle it, so rounding can never misplace an event.
+  int i = static_cast<int>(static_cast<double>(at - cfg_.window_t0) *
+                           static_cast<double>(cfg_.windows) / static_cast<double>(span));
+  i = std::clamp(i, 0, cfg_.windows - 1);
+  while (i > 0 && at < windows_[static_cast<std::size_t>(i)].t0) --i;
+  while (i + 1 < cfg_.windows && at >= windows_[static_cast<std::size_t>(i)].t1) ++i;
+  return i;
+}
+
+void StreamingAnalytics::on_event(const TraceEvent& ev) {
+  ++events_folded_;
+  totals_.add(ev);
+
+  const auto op_idx = static_cast<std::size_t>(ev.op);
+  duration_sketches_[op_idx].add(static_cast<std::uint64_t>(ev.duration));
+  const bool data_op = ev.op == IoOp::kRead || ev.op == IoOp::kWrite;
+  if (data_op) size_sketches_[op_idx].add(ev.bytes);
+
+  if (ev.file != kNoFile) {
+    ensure_file(ev.file);
+    auto& s = files_[ev.file];
+    s.core.add(ev);
+    if ((ev.op == IoOp::kOpen || ev.op == IoOp::kGopen) &&
+        (s.first_open < 0 || ev.start < s.first_open)) {
+      s.first_open = ev.start;
+    }
+    if (ev.op == IoOp::kClose) s.last_close = std::max(s.last_close, ev.end());
+  }
+
+  if (const int w = window_index(ev.start); w >= 0) {
+    windows_[static_cast<std::size_t>(w)].core.add(ev);
+  }
+
+  if (data_op && ev.file != kNoFile) {
+    const std::uint64_t ev_lo = ev.offset;
+    const std::uint64_t ev_hi = ev.offset + ev.bytes;
+    for (FileRegionSummary& r : regions_) {
+      if (r.file == ev.file && ev_lo < r.hi && ev_hi > r.lo) r.core.add(ev);
+    }
+  }
+}
+
+std::vector<FileLifetimeSummary> StreamingAnalytics::file_summaries() const {
+  std::vector<FileLifetimeSummary> out = files_;
+  for (auto& s : out) {
+    if (s.first_open < 0) s.first_open = 0;
+  }
+  return out;
+}
+
+void StreamingAnalytics::merge(const StreamingAnalytics& other) {
+  SIO_ASSERT(cfg_ == other.cfg_);
+  SIO_ASSERT(regions_.size() == other.regions_.size());
+  events_folded_ += other.events_folded_;
+  merge_core(totals_, other.totals_);
+  for (std::size_t i = 0; i < kIoOpCount; ++i) {
+    size_sketches_[i].merge(other.size_sketches_[i]);
+    duration_sketches_[i].merge(other.duration_sketches_[i]);
+  }
+  if (other.files_.size() > files_.size()) {
+    ensure_file(static_cast<FileId>(other.files_.size() - 1));
+  }
+  for (std::size_t i = 0; i < other.files_.size(); ++i) {
+    const FileLifetimeSummary& from = other.files_[i];
+    FileLifetimeSummary& into = files_[i];
+    merge_core(into.core, from.core);
+    if (from.first_open >= 0 && (into.first_open < 0 || from.first_open < into.first_open)) {
+      into.first_open = from.first_open;
+    }
+    into.last_close = std::max(into.last_close, from.last_close);
+  }
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    merge_core(windows_[i].core, other.windows_[i].core);
+  }
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    SIO_ASSERT(regions_[i].file == other.regions_[i].file &&
+               regions_[i].lo == other.regions_[i].lo && regions_[i].hi == other.regions_[i].hi);
+    merge_core(regions_[i].core, other.regions_[i].core);
+  }
+}
+
+std::size_t StreamingAnalytics::bytes_retained() const {
+  std::size_t total = sizeof(*this);
+  for (std::size_t i = 0; i < kIoOpCount; ++i) {
+    total += size_sketches_[i].bytes_retained() - sizeof(QuantileSketch);
+    total += duration_sketches_[i].bytes_retained() - sizeof(QuantileSketch);
+  }
+  total += files_.capacity() * sizeof(FileLifetimeSummary);
+  total += windows_.capacity() * sizeof(TimeWindowSummary);
+  total += regions_.capacity() * sizeof(FileRegionSummary);
+  return total;
+}
+
+std::uint64_t StreamingAnalytics::fingerprint() const {
+  Fnv f;
+  f.mix(cfg_.sketch_precision);
+  f.mix(static_cast<std::uint64_t>(cfg_.windows));
+  f.mix(static_cast<std::uint64_t>(cfg_.window_t0));
+  f.mix(static_cast<std::uint64_t>(cfg_.window_t1));
+  f.mix(events_folded_);
+  f.mix_core(totals_);
+  for (std::size_t i = 0; i < kIoOpCount; ++i) {
+    f.mix(size_sketches_[i].fingerprint());
+    f.mix(duration_sketches_[i].fingerprint());
+  }
+  f.mix(files_.size());
+  for (const FileLifetimeSummary& s : files_) {
+    f.mix(s.file);
+    f.mix(static_cast<std::uint64_t>(s.first_open));
+    f.mix(static_cast<std::uint64_t>(s.last_close));
+    f.mix_core(s.core);
+  }
+  f.mix(windows_.size());
+  for (const TimeWindowSummary& w : windows_) {
+    f.mix(static_cast<std::uint64_t>(w.t0));
+    f.mix(static_cast<std::uint64_t>(w.t1));
+    f.mix_core(w.core);
+  }
+  f.mix(regions_.size());
+  for (const FileRegionSummary& r : regions_) {
+    f.mix(r.file);
+    f.mix(r.lo);
+    f.mix(r.hi);
+    f.mix_core(r.core);
+  }
+  return f.value();
+}
+
+}  // namespace sio::pablo

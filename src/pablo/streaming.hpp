@@ -1,0 +1,116 @@
+// Bounded-memory streaming analytics over the I/O trace.
+//
+// The classic pablo path stores every TraceEvent and replays the vector per
+// question (summary.hpp, cdf.hpp).  That is O(run length) memory — fine for
+// the paper's traces, fatal for billion-event storm runs.  This module is
+// the online alternative: the collector folds each event into running
+// aggregates the moment it is recorded, and no event is ever retained.
+//
+//   * whole-run totals            exact   (SummaryCore: per-op count/time/bytes)
+//   * per-file lifetime summaries exact   (O(files), the §3.1 form)
+//   * time-window series          exact   (fixed windows declared up front,
+//                                          boundaries identical to
+//                                          time_window_series)
+//   * file-region summaries       exact   (probes declared up front)
+//   * request-size CDFs           approx  (QuantileSketch per read/write,
+//                                          relative error 2^-p)
+//   * per-op duration sketches    approx  (same bound; Fig 5-style questions)
+//
+// Everything here is plain commutative arithmetic, so folding order cannot
+// change the result, and merge() is associativity-safe: sharded runs
+// (core::ParallelRunner fan-out) can fold independently and merge in any
+// grouping with bit-identical final state — fingerprint() is the proof
+// handle the determinism harness compares.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "pablo/event.hpp"
+#include "pablo/sketch.hpp"
+#include "pablo/summary.hpp"
+
+namespace sio::pablo {
+
+struct StreamingConfig {
+  /// Sketch sub-bucket bits p; quantile relative error is 2^-p.
+  std::uint8_t sketch_precision = 7;
+  /// Number of equal time windows over [window_t0, window_t1); 0 disables
+  /// the window series.  Boundaries match time_window_series() exactly.
+  int windows = 0;
+  sim::Tick window_t0 = 0;
+  sim::Tick window_t1 = 0;
+
+  bool operator==(const StreamingConfig&) const = default;
+};
+
+class StreamingAnalytics {
+ public:
+  explicit StreamingAnalytics(StreamingConfig cfg = {});
+
+  /// Declares a region probe (must precede folding the events of interest;
+  /// mirrors file_region_summary's [lo, hi) intersection rule).
+  void add_region_probe(FileId file, std::uint64_t lo, std::uint64_t hi);
+
+  /// Grows the per-file table to cover `id` (the collector calls this from
+  /// register_file, so lifetime rows exist even for never-accessed files).
+  void ensure_file(FileId id);
+
+  /// Folds one finished operation into every aggregate.  O(1) plus the
+  /// number of region probes on the event's file.
+  void on_event(const TraceEvent& ev);
+
+  bool empty() const { return events_folded_ == 0; }
+  std::uint64_t events_folded() const { return events_folded_; }
+  const StreamingConfig& config() const { return cfg_; }
+
+  /// Whole-run totals (exact).
+  const SummaryCore& totals() const { return totals_; }
+
+  /// Request-size sketch of one operation (meaningful for kRead/kWrite).
+  const QuantileSketch& size_sketch(IoOp op) const {
+    return size_sketches_[static_cast<std::size_t>(op)];
+  }
+
+  /// Duration sketch of one operation (e.g. kSeek for Fig 5 questions).
+  const QuantileSketch& duration_sketch(IoOp op) const {
+    return duration_sketches_[static_cast<std::size_t>(op)];
+  }
+
+  /// Per-file lifetime summaries, indexed by FileId, with the same
+  /// never-opened normalization as file_lifetime_summaries() (exact).
+  std::vector<FileLifetimeSummary> file_summaries() const;
+
+  /// The fixed-window series (empty when cfg.windows == 0; exact).
+  const std::vector<TimeWindowSummary>& windows() const { return windows_; }
+
+  /// Declared region probes with their folded totals (exact).
+  const std::vector<FileRegionSummary>& regions() const { return regions_; }
+
+  /// Accumulates another analytics instance (same config and probe list).
+  /// Exactly associative and commutative.
+  void merge(const StreamingAnalytics& other);
+
+  /// Bytes retained across all aggregates — the number that must stay flat
+  /// as the run gets longer.
+  std::size_t bytes_retained() const;
+
+  /// FNV-1a over the complete state (platform-independent).
+  std::uint64_t fingerprint() const;
+
+ private:
+  int window_index(sim::Tick at) const;
+
+  StreamingConfig cfg_;
+  std::uint64_t events_folded_ = 0;
+  SummaryCore totals_{};
+  std::array<QuantileSketch, kIoOpCount> size_sketches_;
+  std::array<QuantileSketch, kIoOpCount> duration_sketches_;
+  std::vector<FileLifetimeSummary> files_;  // first_open = -1 sentinel until fixed up
+  std::vector<TimeWindowSummary> windows_;
+  std::vector<FileRegionSummary> regions_;
+};
+
+}  // namespace sio::pablo

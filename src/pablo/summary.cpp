@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "pablo/collector.hpp"
+
 namespace sio::pablo {
 
 sim::Tick SummaryCore::total_io_time() const {

@@ -14,10 +14,11 @@
 #include <cstdint>
 #include <vector>
 
-#include "pablo/collector.hpp"
 #include "pablo/event.hpp"
 
 namespace sio::pablo {
+
+class Collector;
 
 /// Per-operation counters shared by all three summary forms.
 struct OpStats {

@@ -1,0 +1,245 @@
+// Tests for the compact binary-SDDF encoding: round trips across all record
+// kinds, the sink/flush path, predictor edge cases, malformed-input
+// rejection, the size advantage over text, and byte-identity of the
+// binary -> text conversion against the direct text path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pablo/binsddf.hpp"
+#include "pablo/collector.hpp"
+#include "pablo/sddf.hpp"
+#include "sim/engine.hpp"
+
+namespace sio::pablo {
+namespace {
+
+TraceEvent ev(sim::Tick start, sim::Tick dur, int node, FileId file, IoOp op,
+              std::uint64_t off, std::uint64_t bytes) {
+  TraceEvent e;
+  e.start = start;
+  e.duration = dur;
+  e.node = node;
+  e.file = file;
+  e.op = op;
+  e.offset = off;
+  e.bytes = bytes;
+  return e;
+}
+
+TEST(BinSddf, SniffsMagic) {
+  EXPECT_TRUE(is_binary_sddf(to_binary_sddf({}, {})));
+  EXPECT_FALSE(is_binary_sddf("#SDDF-IO 1\n"));
+  EXPECT_FALSE(is_binary_sddf(""));
+  EXPECT_FALSE(is_binary_sddf("SDDFB"));  // truncated magic
+}
+
+TEST(BinSddf, EmptyTraceRoundTrips) {
+  const auto tf = from_binary_sddf(to_binary_sddf({}, {}));
+  EXPECT_TRUE(tf.file_names.empty());
+  EXPECT_TRUE(tf.events.empty());
+  EXPECT_TRUE(tf.faults.empty());
+  EXPECT_TRUE(tf.qos.empty());
+  EXPECT_TRUE(tf.losses.empty());
+}
+
+TEST(BinSddf, RoundTripsEventsInStoredOrder) {
+  const std::vector<std::string> names = {"escat/input0", "escat/quad1"};
+  // Deliberately unsorted: the decoder must preserve stored order.
+  const std::vector<TraceEvent> events = {
+      ev(sim::seconds(2), sim::microseconds(40), 0, 1, IoOp::kWrite, 0, 155584),
+      ev(sim::seconds(1), sim::milliseconds(3), 5, 0, IoOp::kRead, 1234, 2048),
+      ev(0, 1, 7, 1, IoOp::kGopen, 0, 0),
+      ev(5, 1, 2, kNoFile, IoOp::kSeek, 0, 0),
+  };
+  const auto tf = from_binary_sddf(to_binary_sddf(names, events));
+  EXPECT_EQ(tf.file_names, names);
+  EXPECT_EQ(tf.events, events);
+}
+
+TEST(BinSddf, RoundTripsAllRecordKindsInterleaved) {
+  BinarySddfWriter w;
+  w.add_file("ckpt/frame0");
+  w.add_event(ev(10, 2, 0, 0, IoOp::kWrite, 0, 4096));
+  FaultEvent f;
+  f.at = sim::milliseconds(5);
+  f.kind = FaultKind::kServerCrash;
+  f.node = -1;
+  f.target = 3;
+  f.info = 2;
+  w.add_fault(f);
+  QosEvent q;
+  q.at = sim::milliseconds(6);
+  q.kind = QosKind::kReject;
+  q.node = 4;
+  q.target = 1;
+  q.info = 777;
+  w.add_qos(q);
+  LossEvent l;
+  l.at = sim::milliseconds(7);
+  l.target = 3;
+  l.file = 0;
+  l.offset = 128 * 1024;
+  l.bytes = 65536;
+  l.torn = 1;
+  w.add_loss(l);
+  w.add_event(ev(20, 2, 1, 0, IoOp::kRead, 4096, 4096));
+  LossEvent l2 = l;
+  l2.file = kNoFile;  // losses without a file attribution survive too
+  l2.torn = 0;
+  w.add_loss(l2);
+
+  const auto tf = from_binary_sddf(w.finish());
+  ASSERT_EQ(tf.events.size(), 2u);
+  ASSERT_EQ(tf.faults.size(), 1u);
+  ASSERT_EQ(tf.qos.size(), 1u);
+  ASSERT_EQ(tf.losses.size(), 2u);
+  EXPECT_EQ(tf.faults[0], f);
+  EXPECT_EQ(tf.qos[0], q);
+  EXPECT_EQ(tf.losses[0], l);
+  EXPECT_EQ(tf.losses[1], l2);
+}
+
+TEST(BinSddf, PredictorHandlesRegressionsAndExtremes) {
+  // Starts go backwards, offsets jump to the top of the u64 range, nodes
+  // move in both directions: every delta path must take the signed route.
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max() - 7;
+  const std::vector<TraceEvent> events = {
+      ev(1'000'000, 5, 63, 0, IoOp::kRead, big, 17),
+      ev(999'000, 4, 0, 0, IoOp::kRead, 0, big),
+      ev(999'500, 4, 31, kNoFile, IoOp::kSeek, big, 0),
+      ev(999'500, 4, 31, 0, IoOp::kWrite, 3, 3),
+  };
+  const auto tf = from_binary_sddf(to_binary_sddf({"a"}, events));
+  EXPECT_EQ(tf.events, events);
+}
+
+TEST(BinSddf, SequentialTraceBeatsTextByFivefold) {
+  // A PRISM-like sequential mix across nodes: the per-(node, op) offset
+  // predictor and the frame compressor must hold the acceptance floor.
+  std::vector<TraceEvent> events;
+  std::vector<std::uint64_t> off(8, 0);
+  sim::Tick now = 0;
+  for (int i = 0; i < 4096; ++i) {
+    const int node = i % 8;
+    events.push_back(ev(now, 40'000, node, 0, IoOp::kRead, off[node], 4096));
+    off[node] += 4096;
+    now += 1'000;
+  }
+  std::ostringstream text;
+  write_sddf(text, {"prism/grid"}, events);
+  const std::string bin = to_binary_sddf({"prism/grid"}, events);
+  EXPECT_GE(static_cast<double>(text.str().size()) / static_cast<double>(bin.size()), 5.0);
+  EXPECT_EQ(from_binary_sddf(bin).events, events);
+}
+
+TEST(BinSddf, IdenticalInputsEncodeIdenticalBytes) {
+  const std::vector<TraceEvent> events = {
+      ev(1, 2, 3, 0, IoOp::kRead, 0, 512),
+      ev(2, 2, 4, 0, IoOp::kWrite, 512, 512),
+  };
+  EXPECT_EQ(to_binary_sddf({"f"}, events), to_binary_sddf({"f"}, events));
+}
+
+TEST(BinSddf, SinkDrainsAtThresholdAndMatchesBufferedEncode) {
+  std::string sunk;
+  int chunks = 0;
+  constexpr std::size_t kThreshold = 512;
+  BinarySddfWriter w(
+      [&](std::string_view chunk) {
+        sunk.append(chunk);
+        ++chunks;
+      },
+      kThreshold);
+  w.add_file("f");
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 2000; ++i) {
+    // Uncompressible-ish varying fields so frames actually fill.
+    events.push_back(ev(i * 977, 13 + (i % 7) * 131, i % 5, 0, IoOp::kRead,
+                        static_cast<std::uint64_t>(i) * 40961, 1 + (i * 2654435761u) % 65536));
+  }
+  std::size_t max_buffered = 0;
+  for (const auto& e : events) {
+    w.add_event(e);
+    max_buffered = std::max(max_buffered, w.buffered_bytes());
+  }
+  EXPECT_EQ(w.finish(), "");  // sinked writers return nothing from finish()
+  EXPECT_GT(chunks, 1);
+  // Live capture never holds more than about one open frame + one closed
+  // frame before the drain kicks in.
+  EXPECT_LE(max_buffered, 2 * kThreshold + 256);
+  EXPECT_EQ(from_binary_sddf(sunk).events, events);
+}
+
+TEST(BinSddf, ConverterTextIsByteIdenticalToDirectText) {
+  sim::Engine engine;
+  Collector col(engine);
+  const FileId fa = col.register_file("escat/input0");
+  const FileId fb = col.register_file("escat/quad1");
+  // Recorded out of order: both paths sort with the same canonical comparator.
+  col.record(ev(sim::seconds(2), 7, 1, fb, IoOp::kWrite, 64, 1024));
+  col.record(ev(sim::seconds(1), 3, 5, fa, IoOp::kRead, 0, 2048));
+  col.record(ev(sim::seconds(1), 3, 5, fa, IoOp::kSeek, 2048, 0));
+  col.record(ev(0, 1, 7, fb, IoOp::kGopen, 0, 0));
+
+  TraceFile tf = from_binary_sddf(to_binary_sddf(col));
+  sort_trace_events(tf.events);
+  std::ostringstream out;
+  write_sddf(out, tf.file_names, tf.events, tf.faults, tf.qos, tf.losses);
+  EXPECT_EQ(out.str(), col.sddf_text());
+}
+
+TEST(BinSddf, RejectsBadMagic) {
+  std::string bad = to_binary_sddf({"f"}, {ev(1, 1, 0, 0, IoOp::kRead, 0, 1)});
+  bad[0] = 'X';
+  EXPECT_THROW(from_binary_sddf(bad), std::runtime_error);
+  EXPECT_THROW(from_binary_sddf(""), std::runtime_error);
+}
+
+TEST(BinSddf, RejectsTruncation) {
+  const std::string good = to_binary_sddf({"f"}, {ev(1, 1, 0, 0, IoOp::kRead, 0, 1),
+                                                  ev(2, 1, 1, 0, IoOp::kWrite, 0, 9)});
+  for (const std::size_t cut : {std::size_t{1}, std::size_t{4}, good.size() - 6}) {
+    EXPECT_THROW(from_binary_sddf(good.substr(0, good.size() - cut)), std::runtime_error)
+        << "cut " << cut;
+  }
+  // Magic alone is a truncated trace: the end marker is mandatory.
+  EXPECT_THROW(from_binary_sddf(std::string(kBinarySddfMagic)), std::runtime_error);
+}
+
+TEST(BinSddf, RejectsUnknownTag) {
+  // Hand-built container: magic + one stored frame (raw_len=1, enc_len=0)
+  // holding the reserved tag 0x05.
+  std::string data(kBinarySddfMagic);
+  data += '\x01';
+  data += '\x00';
+  data += '\x05';
+  EXPECT_THROW(from_binary_sddf(data), std::runtime_error);
+}
+
+TEST(BinSddf, RejectsEventReferencingUnknownFile) {
+  // File id 0 is referenced but no file-table entry precedes it.
+  const std::string bin = to_binary_sddf({}, {ev(1, 1, 0, 0, IoOp::kRead, 0, 1)});
+  EXPECT_THROW(from_binary_sddf(bin), std::runtime_error);
+}
+
+TEST(BinSddf, WriterAccountsBytesAndCounts) {
+  BinarySddfWriter w;
+  w.add_file("f");
+  for (int i = 0; i < 100; ++i) w.add_event(ev(i, 1, 0, 0, IoOp::kRead, i * 512, 512));
+  EXPECT_EQ(w.files_written(), 1u);
+  EXPECT_EQ(w.events_written(), 100u);
+  EXPECT_GT(w.bytes_encoded(), 0u);
+  EXPECT_FALSE(w.finished());
+  const std::string out = w.finish();
+  EXPECT_TRUE(w.finished());
+  EXPECT_EQ(out.size(), w.container_bytes());
+}
+
+}  // namespace
+}  // namespace sio::pablo

@@ -1,0 +1,432 @@
+// Tests for the bounded-memory streaming analytics path.
+//
+// The contract under test: every exact aggregate (totals, per-file
+// lifetimes, time windows, region probes) matches the retained-vector
+// pipeline bit-for-bit on the paper's own workloads; the approximate
+// sketches stay within their advertised relative-error bound; merge is
+// associativity-safe for sharded fold; and memory stays flat as runs grow.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "pablo/binsddf.hpp"
+#include "pablo/cdf.hpp"
+#include "pablo/collector.hpp"
+#include "pablo/sddf.hpp"
+#include "pablo/sketch.hpp"
+#include "pablo/streaming.hpp"
+#include "pablo/summary.hpp"
+#include "sim/engine.hpp"
+
+namespace sio {
+namespace {
+
+using pablo::Collector;
+using pablo::FileId;
+using pablo::IoOp;
+using pablo::QuantileSketch;
+using pablo::StreamingAnalytics;
+using pablo::StreamingConfig;
+using pablo::SummaryCore;
+using pablo::TraceEvent;
+
+TraceEvent ev(sim::Tick start, sim::Tick dur, int node, FileId file, IoOp op,
+              std::uint64_t off, std::uint64_t bytes) {
+  TraceEvent e;
+  e.start = start;
+  e.duration = dur;
+  e.node = node;
+  e.file = file;
+  e.op = op;
+  e.offset = off;
+  e.bytes = bytes;
+  return e;
+}
+
+void expect_core_eq(const SummaryCore& a, const SummaryCore& b) {
+  for (int i = 0; i < pablo::kIoOpCount; ++i) {
+    const auto op = static_cast<IoOp>(i);
+    EXPECT_EQ(a.stats(op).count, b.stats(op).count) << pablo::io_op_name(op);
+    EXPECT_EQ(a.stats(op).total_duration, b.stats(op).total_duration) << pablo::io_op_name(op);
+    EXPECT_EQ(a.stats(op).bytes, b.stats(op).bytes) << pablo::io_op_name(op);
+  }
+}
+
+/// Smallest value whose cumulative count reaches rank q*n (the empirical
+/// quantile the sketch approximates).
+std::uint64_t exact_quantile(std::vector<std::uint64_t> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  std::size_t k = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  if (k == 0) k = 1;
+  if (k > values.size()) k = values.size();
+  return values[k - 1];
+}
+
+void expect_quantiles_within_bound(const QuantileSketch& sketch,
+                                   const std::vector<std::uint64_t>& values) {
+  ASSERT_EQ(sketch.count(), values.size());
+  std::uint64_t sum = 0;
+  for (const auto v : values) sum += v;
+  EXPECT_EQ(sketch.sum(), sum);
+  const double err = sketch.relative_error();
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const std::uint64_t exact = exact_quantile(values, q);
+    const std::uint64_t approx = sketch.quantile(q);
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(approx),
+              static_cast<double>(exact) * (1.0 + err) + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, StaysWithinRelativeErrorBound) {
+  QuantileSketch sketch;  // p = 7: relative error <= 0.79%
+  std::vector<std::uint64_t> values;
+  // Spread over many octaves, including the exact unit-bucket range.
+  for (std::uint64_t i = 1; i <= 5000; ++i) {
+    const std::uint64_t v = (i * i) % 97 + ((i % 13) << (i % 40));
+    values.push_back(v);
+    sketch.add(v);
+  }
+  EXPECT_EQ(sketch.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(sketch.max(), *std::max_element(values.begin(), values.end()));
+  expect_quantiles_within_bound(sketch, values);
+}
+
+TEST(QuantileSketchTest, MergeIsAssociativeAndMatchesSequential) {
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 3000; ++i) values.push_back((i * 2654435761u) % 1'000'000);
+
+  QuantileSketch sequential;
+  QuantileSketch shard[3];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    sequential.add(values[i]);
+    shard[i % 3].add(values[i]);
+  }
+  // ((a + b) + c)
+  QuantileSketch left = shard[0];
+  left.merge(shard[1]);
+  left.merge(shard[2]);
+  // (a + (b + c))
+  QuantileSketch right = shard[1];
+  right.merge(shard[2]);
+  right.merge(shard[0]);
+
+  EXPECT_EQ(left.fingerprint(), sequential.fingerprint());
+  EXPECT_EQ(right.fingerprint(), sequential.fingerprint());
+  EXPECT_EQ(left, sequential);
+}
+
+/// A small synthetic trace exercising every aggregate: two files, opens and
+/// closes, reads/writes/seeks, events exactly on window boundaries.
+std::vector<TraceEvent> synthetic_trace() {
+  std::vector<TraceEvent> evs;
+  evs.push_back(ev(1'000, 10, 0, 0, IoOp::kOpen, 0, 0));
+  evs.push_back(ev(1'050, 10, 1, 1, IoOp::kGopen, 0, 0));
+  sim::Tick now = 1'100;
+  for (int i = 0; i < 300; ++i) {
+    const int node = i % 4;
+    if (i % 10 == 9) {
+      evs.push_back(ev(now, 2'000, node, 0, IoOp::kSeek, i * 512, 0));
+    } else if (i % 3 == 0) {
+      evs.push_back(ev(now, 30'000 + (i % 7) * 100, node, 0, IoOp::kRead, i * 512, 512));
+    } else {
+      evs.push_back(ev(now, 45'000 + (i % 5) * 100, node, 1, IoOp::kWrite, i * 4096, 4096));
+    }
+    now += 900 + (i % 11) * 37;
+  }
+  evs.push_back(ev(now, 10, 0, 0, IoOp::kClose, 0, 0));
+  evs.push_back(ev(now + 50, 10, 1, 1, IoOp::kClose, 0, 0));
+  return evs;
+}
+
+TEST(StreamingTest, ExactAggregatesMatchVectorPathOnSyntheticTrace) {
+  const auto evs = synthetic_trace();
+  const sim::Tick t0 = 1'000;
+  const sim::Tick t1 = evs.back().end() + 1;
+  const int n_windows = 7;  // span not divisible: stresses boundary arithmetic
+
+  sim::Engine engine;
+  Collector col(engine);
+  const FileId fa = col.register_file("synthetic/a");
+  const FileId fb = col.register_file("synthetic/b");
+  ASSERT_EQ(fa, 0u);
+  ASSERT_EQ(fb, 1u);
+
+  StreamingConfig cfg;
+  cfg.windows = n_windows;
+  cfg.window_t0 = t0;
+  cfg.window_t1 = t1;
+  StreamingAnalytics sa(cfg);
+  sa.ensure_file(fa);
+  sa.ensure_file(fb);
+  sa.add_region_probe(fb, 0, 64 * 1024);
+  sa.add_region_probe(fa, 10'000, 20'000);
+
+  for (const auto& e : evs) {
+    col.record(e);
+    sa.on_event(e);
+  }
+
+  // Whole-run totals.
+  SummaryCore expected_totals;
+  for (const auto& e : evs) expected_totals.add(e);
+  expect_core_eq(sa.totals(), expected_totals);
+
+  // Per-file lifetimes (including open spans).
+  const auto vec_files = pablo::file_lifetime_summaries(col);
+  const auto str_files = sa.file_summaries();
+  ASSERT_EQ(str_files.size(), vec_files.size());
+  for (std::size_t i = 0; i < vec_files.size(); ++i) {
+    EXPECT_EQ(str_files[i].file, vec_files[i].file);
+    EXPECT_EQ(str_files[i].first_open, vec_files[i].first_open);
+    EXPECT_EQ(str_files[i].last_close, vec_files[i].last_close);
+    EXPECT_EQ(str_files[i].open_span(), vec_files[i].open_span());
+    expect_core_eq(str_files[i].core, vec_files[i].core);
+  }
+
+  // Time-window series: identical boundaries, identical contents.
+  const auto vec_windows = pablo::time_window_series(col, t0, t1, n_windows);
+  const auto& str_windows = sa.windows();
+  ASSERT_EQ(str_windows.size(), vec_windows.size());
+  for (std::size_t i = 0; i < vec_windows.size(); ++i) {
+    EXPECT_EQ(str_windows[i].t0, vec_windows[i].t0) << "window " << i;
+    EXPECT_EQ(str_windows[i].t1, vec_windows[i].t1) << "window " << i;
+    expect_core_eq(str_windows[i].core, vec_windows[i].core);
+  }
+
+  // Region probes.
+  ASSERT_EQ(sa.regions().size(), 2u);
+  const auto vec_r0 = pablo::file_region_summary(col, fb, 0, 64 * 1024);
+  const auto vec_r1 = pablo::file_region_summary(col, fa, 10'000, 20'000);
+  expect_core_eq(sa.regions()[0].core, vec_r0.core);
+  expect_core_eq(sa.regions()[1].core, vec_r1.core);
+  EXPECT_GT(vec_r0.core.total_ops(), 0u);  // the probe actually caught events
+
+  // Size sketches vs the exact CDF inputs.
+  std::vector<std::uint64_t> read_sizes;
+  std::vector<std::uint64_t> write_sizes;
+  for (const auto& e : evs) {
+    if (e.op == IoOp::kRead) read_sizes.push_back(e.bytes);
+    if (e.op == IoOp::kWrite) write_sizes.push_back(e.bytes);
+  }
+  expect_quantiles_within_bound(sa.size_sketch(IoOp::kRead), read_sizes);
+  expect_quantiles_within_bound(sa.size_sketch(IoOp::kWrite), write_sizes);
+}
+
+TEST(StreamingTest, EventsExactlyOnWindowBoundariesMatchVectorPath) {
+  const sim::Tick t0 = 1'000;
+  const sim::Tick t1 = 10'000;
+  const int n = 7;
+  // One event exactly at every window boundary (where double arithmetic in a
+  // naive index computation would misplace them), plus the last tick.
+  std::vector<TraceEvent> evs;
+  const sim::Tick span = t1 - t0;
+  for (int i = 0; i < n; ++i) {
+    const sim::Tick boundary = t0 + span * i / n;
+    evs.push_back(ev(boundary, 10, 0, 0, IoOp::kRead, 0, 64));
+    if (boundary > t0) evs.push_back(ev(boundary - 1, 10, 1, 0, IoOp::kWrite, 0, 32));
+  }
+  evs.push_back(ev(t1 - 1, 10, 2, 0, IoOp::kRead, 0, 16));
+
+  sim::Engine engine;
+  Collector col(engine);
+  col.register_file("f");
+  StreamingConfig cfg;
+  cfg.windows = n;
+  cfg.window_t0 = t0;
+  cfg.window_t1 = t1;
+  StreamingAnalytics sa(cfg);
+  sa.ensure_file(0);
+  for (const auto& e : evs) {
+    col.record(e);
+    sa.on_event(e);
+  }
+
+  const auto vec_windows = pablo::time_window_series(col, t0, t1, n);
+  ASSERT_EQ(sa.windows().size(), vec_windows.size());
+  for (std::size_t i = 0; i < vec_windows.size(); ++i) {
+    expect_core_eq(sa.windows()[i].core, vec_windows[i].core);
+  }
+}
+
+TEST(StreamingTest, ShardedMergeMatchesSequentialFoldInAnyGrouping) {
+  const auto evs = synthetic_trace();
+  StreamingConfig cfg;
+  cfg.windows = 5;
+  cfg.window_t0 = 0;
+  cfg.window_t1 = evs.back().end() + 1;
+
+  auto fresh = [&] {
+    StreamingAnalytics sa(cfg);
+    sa.ensure_file(0);
+    sa.ensure_file(1);
+    sa.add_region_probe(1, 0, 64 * 1024);
+    return sa;
+  };
+
+  StreamingAnalytics sequential = fresh();
+  StreamingAnalytics shard[3] = {fresh(), fresh(), fresh()};
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    sequential.on_event(evs[i]);
+    shard[i % 3].on_event(evs[i]);
+  }
+
+  StreamingAnalytics left = fresh();   // ((a + b) + c) against an empty base
+  left.merge(shard[0]);
+  left.merge(shard[1]);
+  left.merge(shard[2]);
+  StreamingAnalytics right = fresh();  // ((c + b) + a): commutativity too
+  right.merge(shard[2]);
+  right.merge(shard[1]);
+  right.merge(shard[0]);
+
+  EXPECT_EQ(left.fingerprint(), sequential.fingerprint());
+  EXPECT_EQ(right.fingerprint(), sequential.fingerprint());
+  EXPECT_EQ(left.events_folded(), evs.size());
+}
+
+// ---- the paper's own workloads (Figures 1-9, Tables 1-5 inputs) ----------
+
+void expect_streaming_matches_run(const core::RunResult& r) {
+  ASSERT_TRUE(r.streaming.has_value()) << r.label;
+  const StreamingAnalytics& sa = *r.streaming;
+  EXPECT_EQ(sa.events_folded(), r.events.size()) << r.label;
+
+  // Totals: exact.
+  SummaryCore expected;
+  for (const auto& e : r.events) expected.add(e);
+  expect_core_eq(sa.totals(), expected);
+
+  // Per-file lifetimes: exact, against the replay pipeline over the same
+  // events re-recorded through a fresh collector.
+  sim::Engine engine;
+  Collector col(engine);
+  for (const auto& name : r.file_names) col.register_file(name);
+  for (const auto& e : r.events) col.record(e);
+  const auto vec_files = pablo::file_lifetime_summaries(col);
+  const auto str_files = sa.file_summaries();
+  ASSERT_EQ(str_files.size(), vec_files.size()) << r.label;
+  for (std::size_t i = 0; i < vec_files.size(); ++i) {
+    EXPECT_EQ(str_files[i].first_open, vec_files[i].first_open) << r.label << " file " << i;
+    EXPECT_EQ(str_files[i].last_close, vec_files[i].last_close) << r.label << " file " << i;
+    expect_core_eq(str_files[i].core, vec_files[i].core);
+  }
+
+  // Request-size quantiles: within the sketch's advertised bound of the
+  // exact CDF; counts and sums exact.
+  for (const IoOp op : {IoOp::kRead, IoOp::kWrite}) {
+    std::vector<std::uint64_t> sizes;
+    for (const auto& e : r.events) {
+      if (e.op == op) sizes.push_back(e.bytes);
+    }
+    expect_quantiles_within_bound(sa.size_sketch(op), sizes);
+  }
+}
+
+TEST(StreamingTest, MatchesVectorPathOnEscatStudy) {
+  const auto plan = fault::FaultPlan::fault_free();
+  core::TraceOptions topt;
+  topt.streaming = true;
+  for (const auto version :
+       {apps::escat::Version::A, apps::escat::Version::B, apps::escat::Version::C}) {
+    expect_streaming_matches_run(
+        core::run_escat(apps::escat::make_config(version), plan, topt));
+  }
+}
+
+TEST(StreamingTest, MatchesVectorPathOnPrismStudy) {
+  const auto plan = fault::FaultPlan::fault_free();
+  core::TraceOptions topt;
+  topt.streaming = true;
+  for (const auto version :
+       {apps::prism::Version::A, apps::prism::Version::B, apps::prism::Version::C}) {
+    expect_streaming_matches_run(
+        core::run_prism(apps::prism::make_config(version), plan, topt));
+  }
+}
+
+TEST(StreamingTest, MatchesVectorPathOnCkpt) {
+  const auto plan = fault::FaultPlan::fault_free();
+  core::TraceOptions topt;
+  topt.streaming = true;
+  expect_streaming_matches_run(core::run_ckpt(apps::ckpt::Config{}, plan, topt));
+}
+
+TEST(StreamingTest, RetainOffDropsVectorsButKeepsAggregatesAndBinary) {
+  const auto plan = fault::FaultPlan::fault_free();
+
+  core::TraceOptions retained;
+  retained.streaming = true;
+  const auto base = core::run_escat(apps::escat::make_config(apps::escat::Version::C),
+                                    plan, retained);
+
+  core::TraceOptions slim;
+  slim.streaming = true;
+  slim.retain_events = false;
+  slim.binary_trace = true;
+  const auto r = core::run_escat(apps::escat::make_config(apps::escat::Version::C),
+                                 plan, slim);
+
+  // The vectors are gone but nothing else changed.
+  EXPECT_TRUE(r.events.empty());
+  ASSERT_TRUE(r.streaming.has_value());
+  ASSERT_TRUE(base.streaming.has_value());
+  EXPECT_EQ(r.streaming->fingerprint(), base.streaming->fingerprint());
+  EXPECT_EQ(r.trace_memory.events_recorded, base.events.size());
+
+  // The live binary trace still carries the full event stream.
+  ASSERT_FALSE(r.binary_trace.empty());
+  auto tf = pablo::from_binary_sddf(r.binary_trace);
+  pablo::sort_trace_events(tf.events);
+  EXPECT_EQ(tf.events, base.events);
+}
+
+TEST(StreamingTest, MemoryStaysFlatAcrossTenfoldLongerRun) {
+  const auto plan = fault::FaultPlan::fault_free();
+  core::TraceOptions topt;
+  topt.streaming = true;
+  topt.retain_events = false;
+
+  auto run_steps = [&](int steps) {
+    apps::ckpt::Config cfg;
+    cfg.workload.steps = steps;
+    return core::run_ckpt(cfg, plan, topt);
+  };
+
+  const auto small = run_steps(40);
+  const auto large = run_steps(400);
+
+  // The longer run records ~10x the events...
+  EXPECT_GE(large.trace_memory.events_recorded, 5 * small.trace_memory.events_recorded);
+  // ...but peak analytics memory is O(sketch + files), not O(events).  The
+  // longer run opens more per-epoch checkpoint files, so allow the small
+  // per-file rows; anything near linear growth fails hard.
+  EXPECT_LE(large.trace_memory.peak_bytes_retained,
+            small.trace_memory.peak_bytes_retained +
+                small.trace_memory.peak_bytes_retained / 2 + 64 * 1024);
+}
+
+TEST(StreamingTest, TwoRunsAreBitIdentical) {
+  const auto plan = fault::FaultPlan::fault_free();
+  core::TraceOptions topt;
+  topt.streaming = true;
+  topt.binary_trace = true;
+  const auto cfg = apps::prism::make_config(apps::prism::Version::C);
+  const auto a = core::run_prism(cfg, plan, topt);
+  const auto b = core::run_prism(cfg, plan, topt);
+  ASSERT_TRUE(a.streaming.has_value() && b.streaming.has_value());
+  EXPECT_EQ(a.streaming->fingerprint(), b.streaming->fingerprint());
+  EXPECT_EQ(a.binary_trace, b.binary_trace);
+  EXPECT_FALSE(a.binary_trace.empty());
+}
+
+}  // namespace
+}  // namespace sio

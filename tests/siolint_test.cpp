@@ -369,6 +369,60 @@ TEST(SiolintUnorderedIter, ScopeCoversSrcMc) {
   EXPECT_EQ(diags[0].line, 2);
 }
 
+TEST(SiolintTraceVectorGrowth, FiresOnEventVectorAppendsInPablo) {
+  const std::string code =
+      "std::vector<TraceEvent> events_;\n"
+      "std::vector<FaultEvent> faults_;\n"
+      "void record(const TraceEvent& ev, const FaultEvent& f) {\n"
+      "  events_.push_back(ev);\n"
+      "  faults_.emplace_back(f);\n"
+      "}\n";
+  const auto diags = lint_one("src/pablo/bad.cpp", code);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "trace-vector-growth");
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_EQ(diags[1].line, 5);
+  // Outside src/pablo/ the rule does not apply (tests and benches
+  // materialize traces on purpose).
+  EXPECT_TRUE(lint_one("src/core/ok.cpp", code).empty());
+  EXPECT_TRUE(lint_one("bench/ok.cpp", code).empty());
+}
+
+TEST(SiolintTraceVectorGrowth, SeesMembersDeclaredInHeaders) {
+  // Qualified element types and dotted receivers must still match.
+  const auto diags = siolint::lint({
+      SourceFile{"src/pablo/decl.hpp", "struct TraceFile { std::vector<pablo::QosEvent> qos; };\n"},
+      SourceFile{"src/pablo/bad.cpp", "void f(TraceFile& tf, QosEvent q) { tf.qos.push_back(q); }\n"},
+  });
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "trace-vector-growth");
+  EXPECT_EQ(diags[0].file, "src/pablo/bad.cpp");
+}
+
+TEST(SiolintTraceVectorGrowth, QuietOnBoundedVectorsAndParameters) {
+  const auto diags = lint_one(
+      "src/pablo/ok.cpp",
+      "std::vector<TimeWindowSummary> windows_;\n"
+      "void note(const TimeWindowSummary& w) { windows_.push_back(w); }\n"
+      // A reference parameter is not an owning declaration; the local
+      // summary vector is not an event container.
+      "void scan(const std::vector<TraceEvent>& events) {\n"
+      "  std::vector<std::uint64_t> sizes;\n"
+      "  for (const auto& ev : events) sizes.push_back(ev.bytes);\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(SiolintTraceVectorGrowth, AllowMarkerSilences) {
+  const auto diags = lint_one(
+      "src/pablo/ok.cpp",
+      "std::vector<LossEvent> losses_;\n"
+      "void record(const LossEvent& l) {\n"
+      "  losses_.push_back(l);  // siolint:allow(trace-vector-growth) gated\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
 TEST(SiolintDetachedCoroutine, FiresOnRawResumeAndDestroyOutsideSrcSim) {
   const std::string code =
       "void kick(std::coroutine_handle<> h) {\n"
@@ -409,7 +463,7 @@ TEST(SiolintRuleTable, ListsEveryRuleOnce) {
   EXPECT_EQ(ids, (std::set<std::string>{"wall-clock", "raw-random", "getenv", "banned-header",
                                         "discarded-task", "assert-side-effect",
                                         "unordered-iter", "std-function",
-                                        "detached-coroutine"}));
+                                        "detached-coroutine", "trace-vector-growth"}));
 }
 
 }  // namespace

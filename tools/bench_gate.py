@@ -25,8 +25,11 @@ import json
 import sys
 
 # Benchmarks whose regression fails CI (the engine hot path the overhaul
-# optimized).  Fractional drop allowed before failing / warning.
-GATED = {"BM_EngineScheduleDispatch"}
+# optimized, plus the binary-trace emission and streaming-fold hot paths;
+# refresh bench/BASELINE_trace.json with `bench_trace
+# --benchmark_out=bench/BASELINE_trace.json --benchmark_out_format=json`).
+# Fractional drop allowed before failing / warning.
+GATED = {"BM_EngineScheduleDispatch", "BM_TraceEmitBinary", "BM_TraceStreamingFold"}
 MAX_DROP = 0.25
 
 # Keys that identify a scenario record (first full match wins).

@@ -16,6 +16,13 @@
 // retry/timeout/replay counters).  A divergence there means the fault
 // schedule itself — not just the healthy data path — leaked nondeterminism.
 //
+// The default pass also covers the trace-capture pipeline: the same
+// experiments re-run with streaming aggregates plus live binary-SDDF capture
+// on, comparing the streaming fingerprint and the binary container
+// byte-for-byte across runs — and across capture modes (retained vectors on
+// vs off), since dropping the vectors must not change what the aggregates or
+// the encoder observe.
+//
 // `--overload-scenario` additionally runs every overload-storm scenario at
 // the 4x storm point twice and compares the harness counters plus the full
 // SDDF trace byte-for-byte.  The storms exercise the QoS subsystem end to
@@ -110,6 +117,18 @@ bool check(const char* what, const std::string& a, const std::string& b, int& fa
   return false;
 }
 
+/// The streaming-capture observables: aggregate fingerprint plus the raw
+/// binary-SDDF container bytes.
+std::string streaming_fingerprint(const sio::core::RunResult& r) {
+  std::ostringstream out;
+  out << "label=" << r.label << "\n"
+      << "streaming_fp=" << (r.streaming ? r.streaming->fingerprint() : 0) << "\n"
+      << "streaming_events=" << (r.streaming ? r.streaming->events_folded() : 0) << "\n"
+      << "binary_bytes=" << r.binary_trace.size() << "\n";
+  out.write(r.binary_trace.data(), static_cast<std::streamsize>(r.binary_trace.size()));
+  return out.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,6 +162,25 @@ int main(int argc, char** argv) {
     const auto r1 = sio::core::run_prism(std::move(cfg1));
     const auto r2 = sio::core::run_prism(std::move(cfg2));
     check("prism version C (two runs, same seed)", fingerprint(r1), fingerprint(r2), failures);
+  }
+
+  {
+    // Trace-pipeline axis: streaming aggregates + live binary capture must be
+    // bit-reproducible across runs and invariant to the retain-vectors mode.
+    const auto plan = sio::fault::FaultPlan::fault_free();
+    sio::core::TraceOptions topt;
+    topt.streaming = true;
+    topt.binary_trace = true;
+    const auto cfg = sio::apps::prism::make_config(sio::apps::prism::Version::C);
+    const auto r1 = sio::core::run_prism(cfg, plan, topt);
+    const auto r2 = sio::core::run_prism(cfg, plan, topt);
+    check("prism version C (streaming + binary capture, two runs)", streaming_fingerprint(r1),
+          streaming_fingerprint(r2), failures);
+    sio::core::TraceOptions slim = topt;
+    slim.retain_events = false;
+    const auto r3 = sio::core::run_prism(cfg, plan, slim);
+    check("prism version C (retained vs streaming-only capture)", streaming_fingerprint(r1),
+          streaming_fingerprint(r3), failures);
   }
 
   if (with_faults) {

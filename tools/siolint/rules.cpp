@@ -179,6 +179,46 @@ void collect_unordered_members(const std::string& stripped, std::set<std::string
   }
 }
 
+/// Finds `std::vector<TraceEvent|FaultEvent|QosEvent|LossEvent> name`
+/// member/variable declarations — the record containers whose size is
+/// proportional to trace length.  Reference/pointer declarations (function
+/// parameters, accessors) are skipped: only owning declarations terminated
+/// by `;`, `=`, `{`, or end-of-line are collected.
+void collect_trace_vector_members(const std::string& stripped, std::set<std::string>& names) {
+  const std::string needle = "std::vector<";
+  std::size_t pos = 0;
+  while ((pos = stripped.find(needle, pos)) != std::string::npos) {
+    std::size_t i = pos + needle.size() - 1;  // at '<'
+    int depth = 0;
+    while (i < stripped.size()) {
+      if (stripped[i] == '<') ++depth;
+      if (stripped[i] == '>' && --depth == 0) break;
+      ++i;
+    }
+    if (i >= stripped.size()) return;  // unbalanced on this line; give up
+    std::string arg = stripped.substr(pos + needle.size(), i - pos - needle.size());
+    arg.erase(std::remove_if(arg.begin(), arg.end(),
+                             [](unsigned char c) { return std::isspace(c) != 0; }),
+              arg.end());
+    const std::size_t quals = arg.rfind("::");
+    if (quals != std::string::npos) arg = arg.substr(quals + 2);
+    const bool event_vec =
+        arg == "TraceEvent" || arg == "FaultEvent" || arg == "QosEvent" || arg == "LossEvent";
+    ++i;
+    while (i < stripped.size() && std::isspace(static_cast<unsigned char>(stripped[i]))) ++i;
+    std::size_t name_begin = i;
+    while (i < stripped.size() && is_ident_char(stripped[i])) ++i;
+    std::size_t name_end = i;
+    while (i < stripped.size() && std::isspace(static_cast<unsigned char>(stripped[i]))) ++i;
+    if (event_vec && name_end > name_begin &&
+        (i >= stripped.size() || stripped[i] == ';' || stripped[i] == '=' ||
+         stripped[i] == '{')) {
+      names.insert(stripped.substr(name_begin, name_end - name_begin));
+    }
+    pos = i;
+  }
+}
+
 // ---- per-rule helpers ----------------------------------------------------
 
 /// True if `expr` (the text of an assert condition) contains a side effect:
@@ -228,6 +268,10 @@ const std::vector<RuleInfo>& rule_table() {
       {"std-function",
        "std::function in the engine hot path (src/sim/); use sim::InlineCallback, which "
        "never heap-allocates for small callables"},
+      {"trace-vector-growth",
+       "push_back/emplace_back on a std::vector<TraceEvent/FaultEvent/QosEvent/LossEvent> "
+       "in src/pablo/ (grows without bound with trace length; gate on "
+       "Collector::retain_events() or fold into pablo::StreamingAnalytics)"},
       {"detached-coroutine",
        "raw coroutine_handle .resume()/.destroy() in src/ outside src/sim/ (bypasses the "
        "engine's post() lane, so the sim-sanitizer and the mc scheduler hook never see the "
@@ -243,6 +287,7 @@ std::vector<Diagnostic> lint(const std::vector<SourceFile>& files) {
   std::set<std::string> task_fns;
   std::set<std::string> plain_fns;
   std::set<std::string> unordered_members;
+  std::set<std::string> trace_vec_members;
   std::vector<std::vector<std::string>> stripped_files;
   stripped_files.reserve(files.size());
   for (const auto& f : files) {
@@ -256,6 +301,7 @@ std::vector<Diagnostic> lint(const std::vector<SourceFile>& files) {
       collect_task_functions(s, task_fns);
       collect_plain_functions(s, plain_fns);
       collect_unordered_members(s, unordered_members);
+      collect_trace_vector_members(s, trace_vec_members);
       stripped.push_back(std::move(s));
     }
     stripped_files.push_back(std::move(stripped));
@@ -440,6 +486,27 @@ std::vector<Diagnostic> lint(const std::vector<SourceFile>& files) {
                    "range-for over unordered container '" + target +
                        "': iteration order is hash-dependent and can leak into reports; sort "
                        "first or use std::map");
+          }
+        }
+      }
+
+      // trace-vector-growth: appending to an event-record vector inside the
+      // analytics library.  These vectors grow linearly with trace length,
+      // so an unconditional push defeats the bounded-memory streaming path.
+      // Legitimate sites — Collector appends gated on retain_events(), and
+      // the explicit batch decoders — carry a siolint:allow marker.
+      if (starts_with(file.path, "src/pablo/")) {
+        static const std::regex kVecGrow(
+            R"(([A-Za-z_]\w*)\s*\.\s*(?:push_back|emplace_back)\s*\()");
+        for (auto it = std::sregex_iterator(line.begin(), line.end(), kVecGrow);
+             it != std::sregex_iterator(); ++it) {
+          const std::string target = (*it)[1].str();
+          if (trace_vec_members.count(target) > 0) {
+            report("trace-vector-growth",
+                   "append to event vector '" + target +
+                       "' grows memory without bound as the trace grows; gate it on "
+                       "Collector::retain_events() or fold the event into "
+                       "pablo::StreamingAnalytics");
           }
         }
       }
