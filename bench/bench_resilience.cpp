@@ -6,10 +6,16 @@
 //   io-node-crash  server crash/restart with write-back cache loss
 //   slow-link      lossy/slow compute->io links plus one short outage
 //
+// plus the silent-corruption ablation: the seeded bit-rot plan against all
+// three verification modes (off / verify / repair), showing what each layer
+// of the integrity machinery buys.
+//
 // For every (app, plan) cell the bench prints the resilience report
 // (injections, per-phase timeout/retry/failure counts, added I/O and
 // execution time) and appends a machine-readable record to
 // `bench_resilience.json` (path overridable as argv[1]) for CI archival.
+// Corruption cells additionally append detected/repaired/lost byte counts
+// to `bench_integrity.json` (argv[2]) for the integrity artifact.
 //
 // Everything is seeded: rerunning this binary reproduces every number.
 
@@ -64,10 +70,30 @@ void append_json(std::string& out, const Cell& c, const core::RunResult& baselin
   out += "}";
 }
 
+/// Integrity artifact record: only the corruption cells have one.
+void append_integrity_json(std::string& out, const Cell& c) {
+  const auto& g = c.run.integrity;
+  out += "  {\"app\": \"" + c.app + "\", \"plan\": \"" + c.plan + "\"";
+  out += ", \"mode\": \"" + g.mode + "\"";
+  out += ", \"rotted_units\": " + std::to_string(g.rotted_units);
+  out += ", \"rotted_bytes\": " + std::to_string(g.rotted_bytes);
+  out += ", \"detected_verify_fails\": " + std::to_string(g.verify_fails);
+  out += ", \"detected_scrub\": " + std::to_string(g.scrub_detects);
+  out += ", \"read_repairs\": " + std::to_string(g.read_repairs);
+  out += ", \"scrub_repairs\": " + std::to_string(g.scrub_repairs);
+  out += ", \"repairs_lost\": " + std::to_string(g.repairs_lost);
+  out += ", \"scrub_units_checked\": " + std::to_string(g.scrub_units_checked);
+  out += ", \"corrupt_bytes_acked\": " + std::to_string(g.corrupt_bytes_acked);
+  out += ", \"residual_corrupt_units\": " + std::to_string(g.residual_corrupt_units);
+  out += ", \"residual_corrupt_bytes\": " + std::to_string(g.residual_corrupt_bytes);
+  out += "}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json_path = argc > 1 ? argv[1] : "bench_resilience.json";
+  const std::string integrity_path = argc > 2 ? argv[2] : "bench_integrity.json";
   constexpr std::uint64_t kSeed = 510;
 
   struct PlanRow {
@@ -78,6 +104,11 @@ int main(int argc, char** argv) {
       {"disk-degraded", fault::FaultPlan::disk_degraded(kSeed)},
       {"io-node-crash", fault::FaultPlan::io_node_crash(kSeed)},
       {"slow-link", fault::FaultPlan::slow_link(kSeed)},
+      // The corruption ablation: one seeded bit-rot schedule, three
+      // verification modes.
+      {"bit-rot-off", fault::FaultPlan::bit_rot_plan(kSeed, pfs::IntegrityMode::kOff)},
+      {"bit-rot-verify", fault::FaultPlan::bit_rot_plan(kSeed, pfs::IntegrityMode::kVerify)},
+      {"bit-rot-repair", fault::FaultPlan::bit_rot_plan(kSeed, pfs::IntegrityMode::kRepair)},
   };
 
   // All eight cells (2 fault-free baselines + 2 apps x 3 plans) are
@@ -103,7 +134,9 @@ int main(int argc, char** argv) {
   const auto results = core::ParallelRunner().run<core::RunResult>(jobs);
 
   std::string json = "[\n";
+  std::string integrity_json = "[\n";
   bool first = true;
+  bool integrity_first = true;
 
   std::printf("Resilience: tuned ESCAT/PRISM (version C) under canned fault plans\n\n");
 
@@ -121,12 +154,21 @@ int main(int argc, char** argv) {
       if (!first) json += ",\n";
       first = false;
       append_json(json, c, baseline);
+      if (!c.run.integrity.empty()) {
+        if (!integrity_first) integrity_json += ",\n";
+        integrity_first = false;
+        append_integrity_json(integrity_json, c);
+      }
     }
   }
   json += "\n]\n";
+  integrity_json += "\n]\n";
 
   std::ofstream f(json_path);
   f << json;
   std::printf("wrote %s\n", json_path.c_str());
+  std::ofstream fi(integrity_path);
+  fi << integrity_json;
+  std::printf("wrote %s\n", integrity_path.c_str());
   return 0;
 }

@@ -36,12 +36,14 @@ sim::Tick RunResult::io_time() const {
 
 std::string RunResult::to_sddf() const {
   std::ostringstream out;
-  pablo::write_sddf(out, file_names, events, fault_events, qos_events, loss_events);
+  pablo::write_sddf(out, file_names, events, fault_events, qos_events, loss_events,
+                    integrity_events);
   return out.str();
 }
 
 std::string RunResult::to_binary_sddf() const {
-  return pablo::to_binary_sddf(file_names, events, fault_events, qos_events, loss_events);
+  return pablo::to_binary_sddf(file_names, events, fault_events, qos_events, loss_events,
+                               integrity_events);
 }
 
 namespace {
@@ -51,7 +53,7 @@ namespace {
 /// leaves journaling off.
 bool plan_active(const fault::FaultPlan& plan) {
   return !plan.empty() || plan.retry.enabled || plan.qos.enabled ||
-         plan.journal != pfs::JournalMode::kOff;
+         plan.journal != pfs::JournalMode::kOff || plan.integrity.enabled();
 }
 
 template <class App, class Cfg>
@@ -77,6 +79,7 @@ RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uin
     pcfg.retry = plan->retry;
     pcfg.qos = plan->qos;
     pcfg.server.journal = plan->journal;
+    pcfg.server.integrity = plan->integrity;
   }
   pfs::Pfs fs(machine, collector, pcfg);
   apps::PhaseLog log;
@@ -117,6 +120,8 @@ RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uin
   if (collector.binary_writer() != nullptr) r.binary_trace = collector.finish_binary_trace();
   r.trace_memory = collector.memory_stats();
   r.scrub = fs.scrub();
+  r.integrity_events = collector.integrity_events();
+  r.integrity = fs.integrity_report();
 
   auto& rc = r.resilience;
   rc.retries = fs.op_retries();

@@ -84,6 +84,11 @@ struct RunResult {
   /// Post-run integrity scrub: acked-vs-durable accounting per stripe unit
   /// plus the journal counters.
   pablo::ScrubReport scrub{};
+  /// End-to-end data-integrity records (empty unless the plan injected
+  /// corruption or enabled verify/repair).
+  std::vector<pablo::IntegrityEvent> integrity_events;
+  /// Whole-run integrity posture (Pfs::integrity_report()).
+  pablo::IntegrityReport integrity{};
   ResilienceCounters resilience{};
   /// Bounded streaming aggregates (engaged when TraceOptions.streaming).
   std::optional<pablo::StreamingAnalytics> streaming;

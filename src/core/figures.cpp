@@ -352,6 +352,11 @@ std::string render_resilience_summary(const RunResult& run, const RunResult& bas
       sc.checksum_mismatches > 0 || sc.journal_appends > 0 || sc.recoveries > 0) {
     out << '\n' << pablo::render_scrub(sc);
   }
+  // Likewise the integrity section: only runs that injected corruption or
+  // exercised the verify/repair path have anything to report.
+  if (!run.integrity.empty()) {
+    out << '\n' << pablo::render_integrity(run.integrity);
+  }
   return out.str();
 }
 

@@ -66,6 +66,38 @@ void FaultClock::arm() {
     });
   }
 
+  // Corruption plans need the omniscient bookkeeping even when the run's
+  // verification mode is off — that is the silent-corruption arm's whole
+  // point: only the ledger knows.
+  if (!plan_.bit_rot.empty() || !plan_.write_back_corrupt.empty() ||
+      !plan_.link_corrupt.empty() || plan_.integrity.enabled()) {
+    fs_.enable_integrity_tracking();
+  }
+
+  for (const auto& f : plan_.bit_rot) {
+    engine.schedule_at(f.at, [this, f] {
+      record(pablo::FaultKind::kBitRot, f.io_node, static_cast<std::uint64_t>(f.units));
+      fs_.server(f.io_node).inject_bit_rot(f.seed ^ plan_.seed, f.units, f.journal);
+    });
+  }
+
+  for (const auto& f : plan_.write_back_corrupt) {
+    // Passive window, registered now; the record marks its opening edge.
+    fs_.server(f.io_node).add_write_back_corrupt_window(f.t0, f.t1, f.phantom);
+    engine.schedule_at(f.t0, [this, f] {
+      record(pablo::FaultKind::kWriteBackCorrupt, f.io_node,
+             static_cast<std::uint64_t>(f.t1 - f.t0));
+    });
+  }
+
+  for (const auto& f : plan_.link_corrupt) {
+    fs_.add_link_corrupt_window(f.io_node, f.t0, f.t1, f.every_n);
+    engine.schedule_at(f.t0, [this, f] {
+      record(pablo::FaultKind::kLinkCorrupt, f.io_node,
+             static_cast<std::uint64_t>(f.t1 - f.t0));
+    });
+  }
+
   for (const auto& f : plan_.server_degraded) {
     engine.schedule_at(f.t0, [this, f] {
       record(pablo::FaultKind::kServerDegraded, f.io_node,

@@ -57,6 +57,24 @@ void FaultPlan::validate(int io_nodes) const {
     check_node(f.io_node, io_nodes, "stuck request");
     require(f.at >= 0 && f.extra >= 0, "stuck request with negative time");
   }
+  // Contradictory same-spindle schedules.  A second failure of one RAID-3
+  // group is unrecoverable data loss outside the model (and the disk asserts
+  // against entering degraded mode twice), and a stuck request landing at
+  // the exact tick its array enters degraded mode leaves the injection
+  // order — hang first or degrade first — ambiguous.
+  for (std::size_t i = 0; i < disk_failures.size(); ++i) {
+    for (std::size_t j = i + 1; j < disk_failures.size(); ++j) {
+      require(disk_failures[i].io_node != disk_failures[j].io_node,
+              "two spindle failures on io node " + std::to_string(disk_failures[i].io_node));
+    }
+  }
+  for (const auto& s : disk_stuck) {
+    for (const auto& f : disk_failures) {
+      require(!(s.io_node == f.io_node && s.at == f.at),
+              "stuck request and spindle failure collide at one tick on io node " +
+                  std::to_string(s.io_node));
+    }
+  }
   for (const auto& f : server_crashes) {
     check_node(f.io_node, io_nodes, "server crash");
     require(f.at >= 0, "server crash scheduled before t=0");
@@ -97,6 +115,62 @@ void FaultPlan::validate(int io_nodes) const {
     // Without client retry the non-robust data path never consults the link
     // fault windows, so the plan would silently do nothing.
     require(retry.enabled, "link fault planned but client retry is disabled");
+  }
+  // ---- end-to-end integrity faults ----
+  for (const auto& f : bit_rot) {
+    check_node(f.io_node, io_nodes, "bit-rot burst");
+    require(f.at >= 0, "bit-rot burst scheduled before t=0");
+    require(f.units > 0, "bit-rot burst with no target units");
+    // Rotting a spindle while its server's crash window is open is a
+    // contradictory schedule: the burst would race the restart's recovery
+    // pass over the very units it is flipping.
+    for (const auto& c : server_crashes) {
+      require(!(c.io_node == f.io_node && f.at >= c.at && f.at < c.restart_at),
+              "bit-rot burst on io node " + std::to_string(f.io_node) +
+                  " inside its server's crash outage");
+    }
+  }
+  for (const auto& f : write_back_corrupt) {
+    check_node(f.io_node, io_nodes, "write-back corrupt window");
+    require(f.t0 >= 0 && f.t1 > f.t0, "write-back corrupt window is inverted or empty");
+    // No write-backs happen while the server is down, and the restart path
+    // replays them cleanly — a corrupt window overlapping the outage claims
+    // both at once.
+    for (const auto& c : server_crashes) {
+      require(!(c.io_node == f.io_node && f.t0 < c.restart_at && c.at < f.t1),
+              "write-back corrupt window on io node " + std::to_string(f.io_node) +
+                  " overlaps its server's crash outage");
+    }
+  }
+  // Overlapping corrupt-write-back windows on one node would leave a single
+  // write-back claimed by two contradictory behaviours (phantom vs
+  // misdirected).
+  {
+    std::vector<WriteBackCorruptFault> sorted = write_back_corrupt;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const WriteBackCorruptFault& a, const WriteBackCorruptFault& b) {
+                return a.io_node != b.io_node ? a.io_node < b.io_node : a.t0 < b.t0;
+              });
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i].io_node != sorted[i - 1].io_node) continue;
+      require(sorted[i].t0 >= sorted[i - 1].t1,
+              "overlapping write-back corrupt windows on io node " +
+                  std::to_string(sorted[i].io_node));
+    }
+  }
+  for (const auto& f : link_corrupt) {
+    check_node(f.io_node, io_nodes, "link corrupt window");
+    require(f.t0 >= 0 && f.t1 > f.t0, "link corrupt window is inverted or empty");
+    require(f.every_n >= 1, "link corrupt window with every_n < 1");
+    // Detected wire corruption is survivable only because the client
+    // re-drives the damaged transfer.
+    require(retry.enabled, "link corruption planned but client retry is disabled");
+  }
+  require(integrity.scrub_interval >= 0, "negative scrub interval");
+  require(integrity.scrub_sweeps >= 0, "negative scrub sweep budget");
+  if (integrity.scrubbing()) {
+    require(integrity.scrub_units_per_sweep > 0, "scrubbing enabled with empty sweeps");
+    require(integrity.enabled(), "scrubbing enabled but integrity mode is off");
   }
 }
 
@@ -173,6 +247,60 @@ FaultPlan FaultPlan::slow_link(std::uint64_t seed) {
   // One short total outage on the first link.
   p.link_faults.push_back(
       {0, sim::seconds(5), sim::milliseconds(5500), /*down=*/true, 0, 0.0});
+  return p;
+}
+
+FaultPlan FaultPlan::bit_rot_plan(std::uint64_t seed, pfs::IntegrityMode mode) {
+  FaultPlan p;
+  p.name = std::string("bit-rot-") + std::string(pfs::integrity_mode_name(mode));
+  p.seed = seed;
+  p.retry = generous_retry();
+  p.integrity.mode = mode;
+  if (mode == pfs::IntegrityMode::kRepair) {
+    // Aggressive scrub cadence so latent errors drain within the bench
+    // horizon: a sweep every 40 ms, 48 units per sweep, bounded at 300
+    // sweeps (~12 s of coverage) so the engine still drains.
+    p.integrity.scrub_interval = sim::milliseconds(40);
+    p.integrity.scrub_sweeps = 300;
+    p.integrity.scrub_units_per_sweep = 48;
+  }
+  // Bursts staggered after each workload's first write activity (startup
+  // bursts land by ~1 s, checkpoint epochs by ~9 s) so the seeded draw has
+  // durable units to rot.  The last burst also hits open journal payloads —
+  // meaningful in journal-ablation arms, a no-op with the journal off.
+  // Per-burst seeds are multiplicatively mixed (not XORed) so the plan seed
+  // the injector folds in later cannot cancel the scenario seed back out.
+  const std::uint64_t m = seed * 0x9E3779B97F4A7C15ULL;
+  p.bit_rot.push_back({0, sim::seconds(2), 6, m + 0x51, /*journal=*/false});
+  p.bit_rot.push_back({1, sim::seconds(4), 6, m + 0x52, /*journal=*/false});
+  p.bit_rot.push_back({2, sim::seconds(6), 4, m + 0x53, /*journal=*/false});
+  p.bit_rot.push_back({0, sim::seconds(9), 4, m + 0x54, /*journal=*/true});
+  return p;
+}
+
+FaultPlan FaultPlan::write_back_corrupt_plan(std::uint64_t seed, pfs::IntegrityMode mode) {
+  FaultPlan p;
+  p.name = std::string("wb-corrupt-") + std::string(pfs::integrity_mode_name(mode));
+  p.seed = seed;
+  p.retry = generous_retry();
+  p.integrity.mode = mode;
+  // Windows over the write bursts: phantoms on node 0 early, misdirected
+  // write-backs on node 1, and a second misdirected window on node 0 late
+  // enough to catch checkpoint-epoch write-backs.
+  p.write_back_corrupt.push_back({0, sim::seconds(1), sim::seconds(3), /*phantom=*/true});
+  p.write_back_corrupt.push_back({1, sim::seconds(2), sim::seconds(4), /*phantom=*/false});
+  p.write_back_corrupt.push_back({0, sim::seconds(8), sim::seconds(10), /*phantom=*/false});
+  return p;
+}
+
+FaultPlan FaultPlan::link_corrupt_plan(std::uint64_t seed, pfs::IntegrityMode mode) {
+  FaultPlan p;
+  p.name = std::string("link-corrupt-") + std::string(pfs::integrity_mode_name(mode));
+  p.seed = seed;
+  p.retry = generous_retry();
+  p.integrity.mode = mode;
+  p.link_corrupt.push_back({0, sim::seconds(1), sim::seconds(20), /*every_n=*/3});
+  p.link_corrupt.push_back({1, sim::seconds(2), sim::seconds(15), /*every_n=*/5});
   return p;
 }
 

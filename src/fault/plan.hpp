@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "pfs/integrity.hpp"
 #include "pfs/types.hpp"
 #include "qos/qos.hpp"
 #include "sim/time.hpp"
@@ -77,6 +78,41 @@ struct LinkFault {
   double drop_p = 0.0;
 };
 
+/// Silent disk bit-rot: at tick `at`, a seeded draw over the durable stripe
+/// units of `io_node`'s array flips bytes on up to `units` of them.  With
+/// `journal` set the burst additionally corrupts open full-mode journal
+/// payloads (caught by the recovery pass's checksum when integrity is on).
+struct BitRotFault {
+  int io_node = 0;
+  sim::Tick at = 0;
+  int units = 4;
+  std::uint64_t seed = 0;
+  bool journal = false;
+};
+
+/// Write-back corruption window: every write-back completing in [t0, t1)
+/// misbehaves — phantom (acked and trimmed, but the array never saw the
+/// bytes) or misdirected (the bytes land on the previously written-back
+/// unit).  Either way the checksum no longer matches the array *and* parity
+/// agrees with the wrong bytes, so verify detects but cannot regenerate.
+struct WriteBackCorruptFault {
+  int io_node = 0;
+  sim::Tick t0 = 0;
+  sim::Tick t1 = 0;
+  bool phantom = false;
+};
+
+/// Link payload corruption window: every `every_n`-th read response from
+/// `io_node` in [t0, t1) is damaged on the wire.  The end-to-end transfer
+/// checksum (integrity on) detects it and the client re-drives; integrity
+/// off silently accepts the damaged payload.
+struct LinkCorruptFault {
+  int io_node = 0;
+  sim::Tick t0 = 0;
+  sim::Tick t1 = 0;
+  int every_n = 3;
+};
+
 struct FaultPlan {
   std::string name = "fault-free";
   /// Seeds the network drop stream (and documents the draw for random
@@ -92,6 +128,9 @@ struct FaultPlan {
   /// Per-I/O-node write-ahead journaling for the run (off = the pre-journal
   /// durability model: crashes silently drop dirty write-behind units).
   pfs::JournalMode journal = pfs::JournalMode::kOff;
+  /// End-to-end integrity policy for the run (off = silent corruption is
+  /// served and only the omniscient ledger knows).
+  pfs::IntegrityConfig integrity{};
 
   std::vector<DiskFault> disk_failures;
   std::vector<DiskSlowFault> disk_slow;
@@ -99,16 +138,21 @@ struct FaultPlan {
   std::vector<ServerCrashFault> server_crashes;
   std::vector<ServerDegradedFault> server_degraded;
   std::vector<LinkFault> link_faults;
+  std::vector<BitRotFault> bit_rot;
+  std::vector<WriteBackCorruptFault> write_back_corrupt;
+  std::vector<LinkCorruptFault> link_corrupt;
 
   bool empty() const {
     return disk_failures.empty() && disk_slow.empty() && disk_stuck.empty() &&
-           server_crashes.empty() && server_degraded.empty() && link_faults.empty();
+           server_crashes.empty() && server_degraded.empty() && link_faults.empty() &&
+           bit_rot.empty() && write_back_corrupt.empty() && link_corrupt.empty();
   }
 
   /// Number of planned hardware/server fault injections.
   std::size_t injection_count() const {
     return disk_failures.size() + disk_slow.size() + disk_stuck.size() + server_crashes.size() +
-           server_degraded.size() + link_faults.size();
+           server_degraded.size() + link_faults.size() + bit_rot.size() +
+           write_back_corrupt.size() + link_corrupt.size();
   }
 
   /// Sanity-checks the plan against a machine with `io_nodes` I/O nodes.
@@ -135,6 +179,21 @@ struct FaultPlan {
   /// Seeded draw over all fault types within [0, horizon); every knob kept
   /// inside limits the generous default retry budget can ride out.
   static FaultPlan random_plan(std::uint64_t seed, sim::Tick horizon, int io_nodes);
+
+  // ---- end-to-end integrity scenarios ----
+  /// Seeded bit-rot bursts on several arrays spread across the run, one of
+  /// them also corrupting open journal payloads.  `mode` selects the arm:
+  /// kOff serves the rot silently (only the ledger knows), kVerify detects
+  /// and regenerates on the fly, kRepair additionally rewrites the units and
+  /// runs the background scrubber so latent errors drain to zero.
+  static FaultPlan bit_rot_plan(std::uint64_t seed, pfs::IntegrityMode mode);
+  /// Phantom and misdirected write-back windows during the write bursts:
+  /// corruption that parity agrees with, so verify detects (stale units) but
+  /// can never regenerate — the detect-only failure class.
+  static FaultPlan write_back_corrupt_plan(std::uint64_t seed, pfs::IntegrityMode mode);
+  /// Wire-damage windows on two I/O links; with integrity on the transfer
+  /// checksum catches each damaged payload and the client re-drives it.
+  static FaultPlan link_corrupt_plan(std::uint64_t seed, pfs::IntegrityMode mode);
 };
 
 }  // namespace sio::fault

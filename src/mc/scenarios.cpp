@@ -792,6 +792,197 @@ class WalScenario final : public Scenario {
   int dbl_fired_ = 0;
 };
 
+// ----------------------------------------------------------- integrity -----
+// Distilled verify-on-read + read-repair + background scrubber against one
+// bit-rot burst and an optional rebuild window.  The claim protocol is the
+// part under proof: the read path and the scrubber can both detect the same
+// latent error, with a detection-to-claim gap surfaced as a choose() point,
+// and only the party whose claim wins may regenerate — the loser waits for
+// the unit to come back clean.  Repair initiation additionally excludes the
+// array-rebuild window (the shared rebuild slots have no parity slack while
+// a spindle is reconstructing).
+class IntegrityScenario final : public Scenario {
+ public:
+  IntegrityScenario(int units, bool verify) : units_(units), verify_(verify) {}
+
+  void start(sim::Engine& engine, Controller& ctl) override {
+    engine_ = &engine;
+    ctl_ = &ctl;
+    const auto n = static_cast<std::size_t>(units_);
+    corrupt_.assign(n, 0);
+    claimed_.assign(n, 0);
+    repaired_.assign(n, 0);
+    rphase_.assign(n, 0);
+    engine.spawn(rotter());
+    engine.spawn(rebuild_window());
+    for (int u = 0; u < units_; ++u) engine.spawn(reader(u));
+    if (verify_) engine.spawn(scrubber());
+  }
+
+  void check() override {
+    if (acked_corrupt_ > 0) {
+      throw InvariantViolation("integrity: " + std::to_string(acked_corrupt_) +
+                               " corrupt byte-range(s) acknowledged to a client");
+    }
+    for (int u = 0; u < units_; ++u) {
+      if (repaired_[static_cast<std::size_t>(u)] > 1) {
+        throw InvariantViolation("integrity: unit " + std::to_string(u) + " repaired " +
+                                 std::to_string(repaired_[static_cast<std::size_t>(u)]) +
+                                 " times (regenerate exactly-once violated)");
+      }
+    }
+    if (claim_during_rebuild_ > 0) {
+      throw InvariantViolation(
+          "integrity: a repair was initiated while the array was rebuilding");
+    }
+  }
+
+  void finish() override {
+    if (readers_done_ != units_) {
+      throw InvariantViolation("integrity: a reader never finished");
+    }
+    if (rot_done_ == 0) throw InvariantViolation("integrity: the rot burst never fired");
+    if (verify_) {
+      for (int u = 0; u < units_; ++u) {
+        if (corrupt_[static_cast<std::size_t>(u)] != 0) {
+          throw InvariantViolation("integrity: latent corruption on unit " + std::to_string(u) +
+                                   " survived the run (scrubber missed it)");
+        }
+      }
+    }
+  }
+
+  std::uint64_t fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(0x696e746567ULL);  // "integ"
+    fp.mix(verify_ ? 1u : 0u);
+    fp.mix(static_cast<std::uint64_t>(engine_->now()));
+    fp.mix(static_cast<std::uint64_t>(victim_ + 1));
+    fp.mix(static_cast<std::uint64_t>(rot_done_));
+    fp.mix(static_cast<std::uint64_t>(readers_done_));
+    fp.mix(static_cast<std::uint64_t>(acked_corrupt_));
+    fp.mix(static_cast<std::uint64_t>((rebuilding_ ? 1 : 0) | (rb_phase_ << 1)));
+    fp.mix(static_cast<std::uint64_t>(deferred_));
+    fp.mix(static_cast<std::uint64_t>(claim_during_rebuild_));
+    fp.mix(static_cast<std::uint64_t>(scrub_phase_));
+    for (int u = 0; u < units_; ++u) {
+      const auto slot = static_cast<std::size_t>(u);
+      fp.mix(static_cast<std::uint64_t>(corrupt_[slot] | (claimed_[slot] << 1) |
+                                        (repaired_[slot] << 2)));
+      fp.mix(static_cast<std::uint64_t>(rphase_[slot]));
+    }
+    return fp.value();
+  }
+
+ private:
+  /// Regenerate `u` from parity, or wait out a regeneration someone else
+  /// already claimed.  Callers check `corrupt_[u]` first.
+  sim::Task<void> repair(int u) {
+    const auto slot = static_cast<std::size_t>(u);
+    // Detection-to-claim gap: another detector can slip in here.
+    co_await engine_->delay(static_cast<sim::Tick>(ctl_->choose(2)));
+    while (true) {
+      if (claimed_[slot] != 0) {
+        // Lost the claim race: the winner's regeneration cleans the unit.
+        while (corrupt_[slot] != 0) co_await engine_->delay(1);
+        co_return;
+      }
+      if (!rebuilding_) break;
+      co_await engine_->delay(1);  // the rebuild holds the repair slots
+    }
+    // Re-verify after the gap: a racing repair may have already cleaned the
+    // unit, and regenerating a clean unit would double-repair it.
+    if (corrupt_[slot] == 0) co_return;
+    if (rebuilding_) ++claim_during_rebuild_;  // the invariant check() rejects
+    claimed_[slot] = 1;
+    co_await engine_->delay(1);  // parity read + XOR scan + unit rewrite
+    corrupt_[slot] = 0;
+    ++repaired_[slot];
+    claimed_[slot] = 0;
+  }
+
+  sim::Task<void> rotter() {
+    victim_ = static_cast<int>(ctl_->choose(static_cast<std::size_t>(units_)));
+    co_await engine_->delay(static_cast<sim::Tick>(ctl_->choose(3)));
+    corrupt_[static_cast<std::size_t>(victim_)] = 1;
+    rot_done_ = 1;
+  }
+
+  sim::Task<void> reader(int u) {
+    const auto slot = static_cast<std::size_t>(u);
+    co_await engine_->delay(static_cast<sim::Tick>(ctl_->choose(3)));
+    rphase_[slot] = 1;
+    if (verify_) {
+      // Verify-on-read: never acknowledge until the unit checks clean (the
+      // rebuild-slot wait lives inside repair(), as it does in the server).
+      while (corrupt_[slot] != 0) co_await repair(u);
+    } else if (corrupt_[slot] != 0) {
+      ++acked_corrupt_;  // served straight from the array, no checksum
+    }
+    rphase_[slot] = 2;
+    ++readers_done_;
+  }
+
+  sim::Task<void> scrubber() {
+    while (rot_done_ == 0 || readers_done_ < units_ || any_corrupt()) {
+      scrub_phase_ = 1;
+      for (int u = 0; u < units_; ++u) {
+        const auto slot = static_cast<std::size_t>(u);
+        if (corrupt_[slot] == 0) continue;
+        if (rebuilding_) {
+          // Scrub/rebuild exclusion: no parity slack — defer to a later
+          // sweep instead of fighting the reconstruction.
+          ++deferred_;
+          continue;
+        }
+        if (claimed_[slot] != 0) continue;  // a read-repair is in flight
+        co_await repair(u);
+      }
+      scrub_phase_ = 0;
+      co_await engine_->delay(1);
+    }
+  }
+
+  sim::Task<void> rebuild_window() {
+    if (ctl_->choose(2) == 0) {
+      rb_phase_ = 3;  // this interleaving keeps the array healthy
+      co_return;
+    }
+    rb_phase_ = 1;
+    co_await engine_->delay(static_cast<sim::Tick>(ctl_->choose(2)));
+    rebuilding_ = true;
+    rb_phase_ = 2;
+    co_await engine_->delay(2);
+    rebuilding_ = false;
+    rb_phase_ = 3;
+  }
+
+  bool any_corrupt() const {
+    for (const int c : corrupt_) {
+      if (c != 0) return true;
+    }
+    return false;
+  }
+
+  int units_;
+  bool verify_;
+  sim::Engine* engine_ = nullptr;
+  Controller* ctl_ = nullptr;
+  std::vector<int> corrupt_;
+  std::vector<int> claimed_;
+  std::vector<int> repaired_;
+  std::vector<int> rphase_;
+  int victim_ = -1;
+  int rot_done_ = 0;
+  int readers_done_ = 0;
+  int acked_corrupt_ = 0;
+  bool rebuilding_ = false;
+  int rb_phase_ = 0;
+  int deferred_ = 0;
+  int claim_during_rebuild_ = 0;
+  int scrub_phase_ = 0;
+};
+
 }  // namespace
 
 ScenarioFactory make_token_scenario(int tasks, int rounds) {
@@ -830,6 +1021,12 @@ ScenarioFactory make_wal_scenario(int writes, bool journal) {
   };
 }
 
+ScenarioFactory make_integrity_scenario(int units, bool verify) {
+  return [units, verify]() -> std::unique_ptr<Scenario> {
+    return std::make_unique<IntegrityScenario>(units, verify);
+  };
+}
+
 const std::vector<NamedScenario>& scenario_registry() {
   static const std::vector<NamedScenario> kScenarios = {
       {"token", "3 workers x 2 rounds over one FIFO token mutex (uniqueness proof)", true,
@@ -851,6 +1048,12 @@ const std::vector<NamedScenario>& scenario_registry() {
        true, make_wal_scenario(2, true)},
       {"wal.off", "the same crash schedule without the journal (write-behind loss bug)", false,
        make_wal_scenario(2, false)},
+      {"integrity.repair",
+       "2 units x bit-rot vs verify-on-read + scrubber + rebuild window "
+       "(no corrupt ack; regenerate exactly-once; rebuild exclusion)",
+       true, make_integrity_scenario(2, true)},
+      {"integrity.off", "the same rot schedule with verification off (silent corrupt-ack bug)",
+       false, make_integrity_scenario(2, false)},
   };
   return kScenarios;
 }

@@ -56,6 +56,17 @@ ScenarioFactory make_qos_scenario(int nodes, int ops_per_node);
 /// counterexample — a crash between ack and write-back.
 ScenarioFactory make_wal_scenario(int writes, bool journal);
 
+/// Distilled end-to-end integrity read path: one seeded bit-rot burst
+/// against `units` durable stripe units, readers with verify-on-read and
+/// claim-based read-repair, a background scrubber, and a choose()-placed
+/// array-rebuild window that repairs must not race.  With `verify` the
+/// invariants are the integrity contract: no corrupt byte is ever
+/// acknowledged, each unit is repaired at most once (the read path and the
+/// scrubber must not double-regenerate), no repair is initiated while the
+/// array is rebuilding, and no latent corruption survives the run.  Without
+/// it the explorer finds the silent corrupt-acknowledge counterexample.
+ScenarioFactory make_integrity_scenario(int units, bool verify);
+
 struct NamedScenario {
   std::string name;
   std::string description;

@@ -18,6 +18,7 @@ constexpr std::uint8_t kTagFile = 0x01;
 constexpr std::uint8_t kTagFault = 0x02;
 constexpr std::uint8_t kTagQos = 0x03;
 constexpr std::uint8_t kTagLoss = 0x04;
+constexpr std::uint8_t kTagIntegrity = 0x05;
 constexpr std::uint8_t kEventBit = 0x80;
 
 // Event presence flags (tag bits 0..3).
@@ -173,6 +174,21 @@ void BinarySddfWriter::add_loss(const LossEvent& ev) {
   maybe_flush();
 }
 
+void BinarySddfWriter::add_integrity(const IntegrityEvent& ev) {
+  const std::size_t before = raw_.size();
+  raw_.push_back(static_cast<char>(kTagIntegrity));
+  varint::put_signed(raw_, ev.at - prev_integrity_.at);
+  raw_.push_back(static_cast<char>(ev.kind));
+  varint::put_signed(raw_, static_cast<std::int64_t>(ev.target) - prev_integrity_.target);
+  varint::put_signed(raw_,
+                     file_as_signed(ev.file) - file_as_signed(prev_integrity_.file));
+  put_u64_delta(raw_, ev.unit, prev_integrity_.unit);
+  put_u64_delta(raw_, ev.bytes, prev_integrity_.bytes);
+  bytes_encoded_ += raw_.size() - before;
+  prev_integrity_ = ev;
+  maybe_flush();
+}
+
 std::string BinarySddfWriter::finish() {
   raw_.push_back(static_cast<char>(kTagEnd));
   ++bytes_encoded_;
@@ -190,12 +206,14 @@ std::string to_binary_sddf(const std::vector<std::string>& file_names,
                            const std::vector<TraceEvent>& events,
                            const std::vector<FaultEvent>& faults,
                            const std::vector<QosEvent>& qos,
-                           const std::vector<LossEvent>& losses) {
+                           const std::vector<LossEvent>& losses,
+                           const std::vector<IntegrityEvent>& integrity) {
   BinarySddfWriter w;
   for (const auto& name : file_names) w.add_file(name);
   for (const auto& f : faults) w.add_fault(f);
   for (const auto& q : qos) w.add_qos(q);
   for (const auto& l : losses) w.add_loss(l);
+  for (const auto& g : integrity) w.add_integrity(g);
   for (const auto& ev : events) w.add_event(ev);
   return w.finish();
 }
@@ -207,7 +225,8 @@ std::string to_binary_sddf(const Collector& collector) {
     names.push_back(collector.file_name(static_cast<FileId>(i)));
   }
   return to_binary_sddf(names, collector.events(), collector.fault_events(),
-                        collector.qos_events(), collector.loss_events());
+                        collector.qos_events(), collector.loss_events(),
+                        collector.integrity_events());
 }
 
 TraceFile from_binary_sddf(const std::string& container) {
@@ -248,6 +267,7 @@ TraceFile from_binary_sddf(const std::string& container) {
   FaultEvent prev_fault{};
   QosEvent prev_qos{};
   LossEvent prev_loss{};
+  IntegrityEvent prev_integrity{};
 
   while (true) {
     if (pos >= data.size()) throw std::runtime_error("binary SDDF: missing end marker");
@@ -331,6 +351,28 @@ TraceFile from_binary_sddf(const std::string& container) {
         prev_loss = l;
         // siolint:allow(trace-vector-growth)
         tf.losses.push_back(l);
+        break;
+      }
+      case kTagIntegrity: {
+        IntegrityEvent g;
+        g.at = prev_integrity.at + varint::get_signed(data, pos);
+        if (pos >= data.size()) {
+          throw std::runtime_error("binary SDDF: truncated integrity record");
+        }
+        const auto kind = static_cast<std::uint8_t>(data[pos++]);
+        if (kind >= kIntegrityKindCount) {
+          throw std::runtime_error("binary SDDF: unknown integrity kind");
+        }
+        g.kind = static_cast<IntegrityKind>(kind);
+        g.target = static_cast<std::int32_t>(prev_integrity.target + varint::get_signed(data, pos));
+        g.file = file_from_signed(
+            file_as_signed(prev_integrity.file) + varint::get_signed(data, pos),
+            tf.file_names.size());
+        g.unit = get_u64_delta(data, pos, prev_integrity.unit);
+        g.bytes = get_u64_delta(data, pos, prev_integrity.bytes);
+        prev_integrity = g;
+        // siolint:allow(trace-vector-growth)
+        tf.integrity.push_back(g);
         break;
       }
       default:

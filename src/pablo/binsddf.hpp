@@ -17,6 +17,7 @@
 //   tag 0x02          fault record
 //   tag 0x03          qos record
 //   tag 0x04          loss record
+//   tag 0x05          integrity record
 //   tag 0x80|op<<4|F  I/O event; op in bits 4..6, presence flags F in 0..3.
 //
 // Every integer field is a base-128 varint; signed values and deltas ride
@@ -37,6 +38,8 @@
 //   fault/qos: d(at), kind byte, d(node), d(target), d(info), each vs the
 //          previous record of that kind
 //   loss:  d(at), d(target), d(file), d(offset), d(bytes), torn
+//   integrity: d(at), kind byte, d(target), d(file), d(unit), d(bytes), each
+//          vs the previous integrity record
 //
 // The upshot: a sequential fixed-size read in a sorted trace costs ~4 bytes
 // against ~35-40 for its text line before the frame compressor even runs.
@@ -88,6 +91,7 @@ class BinarySddfWriter {
   void add_fault(const FaultEvent& ev);
   void add_qos(const QosEvent& ev);
   void add_loss(const LossEvent& ev);
+  void add_integrity(const IntegrityEvent& ev);
 
   /// Writes the end marker, closes the last frame and flushes.  Returns the
   /// buffered container when no sink is installed (sinked writers return an
@@ -138,15 +142,17 @@ class BinarySddfWriter {
   FaultEvent prev_fault_{};
   QosEvent prev_qos_{};
   LossEvent prev_loss_{};
+  IntegrityEvent prev_integrity_{};
 };
 
 /// Serializes a pre-extracted trace in batch order (files, faults, qos,
-/// losses, events) — the binary analog of write_sddf().
+/// losses, integrity, events) — the binary analog of write_sddf().
 std::string to_binary_sddf(const std::vector<std::string>& file_names,
                            const std::vector<TraceEvent>& events,
                            const std::vector<FaultEvent>& faults = {},
                            const std::vector<QosEvent>& qos = {},
-                           const std::vector<LossEvent>& losses = {});
+                           const std::vector<LossEvent>& losses = {},
+                           const std::vector<IntegrityEvent>& integrity = {});
 
 /// Serializes a collector's trace (events in canonical sorted order, exactly
 /// as the text path exports them).

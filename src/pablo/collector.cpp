@@ -35,6 +35,7 @@ std::size_t Collector::bytes_retained() const {
   total += faults_.capacity() * sizeof(FaultEvent);
   total += qos_.capacity() * sizeof(QosEvent);
   total += losses_.capacity() * sizeof(LossEvent);
+  total += integrity_.capacity() * sizeof(IntegrityEvent);
   if (streaming_) total += streaming_->bytes_retained();
   if (bin_writer_) total += bin_writer_->buffered_capacity();
   return total;

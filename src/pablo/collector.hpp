@@ -51,6 +51,7 @@ class Collector {
     faults_.reserve(256);
     qos_.reserve(1024);
     losses_.reserve(64);
+    integrity_.reserve(128);
   }
 
   Collector(const Collector&) = delete;
@@ -122,6 +123,21 @@ class Collector {
   const std::vector<LossEvent>& loss_events() const { return losses_; }
   std::size_t loss_count() const { return losses_.size(); }
 
+  /// Appends one end-to-end integrity occurrence (corruption injected,
+  /// detected, repaired, or silently served).  Recorded at the simulated time
+  /// it happens, so the list is chronological by construction.
+  void record_integrity(const IntegrityEvent& ev) {
+    if (!enabled_) return;
+    if (streaming_) streaming_->on_integrity(ev);
+    if (bin_writer_) bin_writer_->add_integrity(ev);
+    if (retain_events_) {
+      integrity_.push_back(ev);  // siolint:allow(trace-vector-growth) gated by set_retain_events
+    }
+  }
+
+  const std::vector<IntegrityEvent>& integrity_events() const { return integrity_; }
+  std::size_t integrity_count() const { return integrity_.size(); }
+
   /// Turns capture on/off (tests use this to scope the window of interest).
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
@@ -154,7 +170,7 @@ class Collector {
                            std::size_t flush_threshold = 64 * 1024) {
     SIO_ASSERT(!bin_writer_);
     SIO_ASSERT(events_.empty() && faults_.empty() && qos_.empty() && losses_.empty() &&
-               events_recorded_ == 0);
+               integrity_.empty() && events_recorded_ == 0);
     bin_writer_.emplace(std::move(sink), flush_threshold);
     for (const std::string& name : files_) bin_writer_->add_file(name);
   }
@@ -201,6 +217,7 @@ class Collector {
     faults_.clear();
     qos_.clear();
     losses_.clear();
+    integrity_.clear();
     sorted_ = false;
   }
 
@@ -215,6 +232,7 @@ class Collector {
   std::vector<FaultEvent> faults_;
   std::vector<QosEvent> qos_;
   std::vector<LossEvent> losses_;
+  std::vector<IntegrityEvent> integrity_;
   std::optional<StreamingAnalytics> streaming_;
   std::optional<BinarySddfWriter> bin_writer_;
   std::uint64_t events_recorded_ = 0;

@@ -63,9 +63,12 @@ enum class FaultKind : std::uint8_t {
   kOpFailed,
   kJournalRecovery,  ///< journal redo pass finished; info = records redone
   kJournalAbort,     ///< recovery interrupted by a second crash; info = redone so far
+  kBitRot,           ///< silent bit-rot injected on durable units; info = units hit
+  kWriteBackCorrupt, ///< phantom/misdirected write-back window opened
+  kLinkCorrupt,      ///< link payload-corruption window opened; info = every-nth
 };
 
-inline constexpr int kFaultKindCount = 16;
+inline constexpr int kFaultKindCount = 19;
 
 /// Stable short name used in reports and the SDDF `#fault` records.
 constexpr std::string_view fault_kind_name(FaultKind k) {
@@ -73,7 +76,8 @@ constexpr std::string_view fault_kind_name(FaultKind k) {
       "disk-degraded", "disk-rebuilt",    "disk-slow",        "disk-stuck",
       "server-crash",  "server-restart",  "server-degraded",  "server-recovered",
       "link-down",     "link-slow",       "link-up",          "op-timeout",
-      "op-retry",      "op-failed",       "journal-recovery", "journal-abort"};
+      "op-retry",      "op-failed",       "journal-recovery", "journal-abort",
+      "bit-rot",       "wb-corrupt",      "link-corrupt"};
   return names[static_cast<std::size_t>(k)];
 }
 
@@ -142,6 +146,53 @@ struct LossEvent {
   std::uint64_t torn = 0;    ///< 1 if a torn write applied only a prefix.
 
   bool operator==(const LossEvent&) const = default;
+};
+
+/// Data-integrity occurrences recorded alongside the I/O trace: silent
+/// corruption landing on durable state (injection group), its detection and
+/// repair by the verify-on-read / read-repair / scrubber machinery, and the
+/// silent failures that slip through when the policy is off.  The byte counts
+/// come from the omniscient `pfs::UnitLedger`, which tracks corruption even
+/// when the simulated system itself cannot see it.
+enum class IntegrityKind : std::uint8_t {
+  kBitRot = 0,       ///< durable bytes flipped on a unit (bytes = rotted)
+  kJournalRot,       ///< open journal record payload rotted
+  kPhantomWrite,     ///< write-back acked but never reached the array
+  kMisdirectedWrite, ///< write-back landed on the wrong unit (bytes = victim bytes)
+  kLinkCorrupt,      ///< read payload corrupted in transit, caught by client csum
+  kCorruptAck,       ///< corrupt bytes served to a client undetected (policy off)
+  kVerifyFail,       ///< server checksum caught a corrupt unit on the read path
+  kReadRepair,       ///< bad unit regenerated from RAID-3 parity and rewritten
+  kRepairLost,       ///< repair impossible: array degraded (double fault)
+  kStaleServed,      ///< detected stale/misdirected unit served (not repairable)
+  kJournalCsumFail,  ///< recovery skipped a redo on a bad payload checksum
+  kScrubSweep,       ///< scrubber finished one sweep (bytes = units checked)
+  kScrubDetect,      ///< scrubber found a latent corrupt unit
+  kScrubRepair,      ///< scrubber repaired a latent corrupt unit
+};
+
+inline constexpr int kIntegrityKindCount = 14;
+
+/// Stable short name used in reports and the SDDF `#integrity` records.
+constexpr std::string_view integrity_kind_name(IntegrityKind k) {
+  constexpr std::array<std::string_view, kIntegrityKindCount> names = {
+      "bit-rot",      "journal-rot",  "phantom-write", "misdirected-write",
+      "link-corrupt", "corrupt-ack",  "verify-fail",   "read-repair",
+      "repair-lost",  "stale-served", "journal-csum-fail",
+      "scrub-sweep",  "scrub-detect", "scrub-repair"};
+  return names[static_cast<std::size_t>(k)];
+}
+
+/// One data-integrity occurrence.
+struct IntegrityEvent {
+  sim::Tick at = 0;          ///< Simulated time of the occurrence.
+  IntegrityKind kind = IntegrityKind::kBitRot;
+  std::int32_t target = -1;  ///< I/O node involved (-1 = none).
+  FileId file = kNoFile;     ///< File the unit belongs to (kNoFile for sweeps).
+  std::uint64_t unit = 0;    ///< Stripe-unit index within the file.
+  std::uint64_t bytes = 0;   ///< Kind-specific byte (or unit) count.
+
+  bool operator==(const IntegrityEvent&) const = default;
 };
 
 /// One traced I/O operation.

@@ -104,6 +104,31 @@ std::string render_scrub(const ScrubReport& s) {
   return out.str();
 }
 
+std::string render_integrity(const IntegrityReport& s) {
+  if (s.empty()) return {};
+  std::ostringstream out;
+  out << "End-to-end integrity (mode=" << (s.mode.empty() ? "off" : s.mode) << ")\n";
+  out << "  injected: " << s.rotted_units << " rotted unit(s) / " << s.rotted_bytes
+      << " bytes   journal payloads: " << s.journal_rotted << "   phantom wb: "
+      << s.phantom_write_backs << "   misdirected wb: " << s.misdirected_write_backs << "\n";
+  out << "  detected: verify-fail " << s.verify_fails << " / stale-served " << s.stale_served
+      << " / journal-csum " << s.journal_csum_fails << " / link " << s.link_corrupt_detected
+      << "\n";
+  out << "  repaired: read-repair " << s.read_repairs << " / scrub-repair " << s.scrub_repairs
+      << "   lost (double fault): " << s.repairs_lost << "   deferred: " << s.repairs_deferred
+      << "\n";
+  if (s.scrub_sweeps > 0) {
+    out << "  scrubber: " << s.scrub_sweeps << " sweep(s), " << s.scrub_units_checked
+        << " unit(s) checked, " << s.scrub_detects << " latent error(s) found\n";
+  }
+  out << "  SILENTLY ACKED: " << s.corrupt_bytes_acked << " corrupt bytes in "
+      << s.corrupt_reads_acked << " read(s)   link: " << s.link_corrupt_bytes_acked
+      << " bytes in " << s.link_corrupt_acks << " read(s)\n";
+  out << "  residual on arrays: " << s.residual_corrupt_units << " corrupt unit(s) / "
+      << s.residual_corrupt_bytes << " bytes   stale unit(s): " << s.stale_units << "\n";
+  return out.str();
+}
+
 std::string render_resilience(const ResilienceSummary& s, sim::Tick io_time, sim::Tick exec_time,
                               sim::Tick baseline_io_time, sim::Tick baseline_exec_time) {
   std::ostringstream out;

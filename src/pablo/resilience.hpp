@@ -117,4 +117,59 @@ struct ScrubReport {
 /// tracked nothing — e.g. a read-only run with the journal off).
 std::string render_scrub(const ScrubReport& s);
 
+/// End-to-end data-integrity posture of a run: what corruption was injected,
+/// what the checksum path detected/repaired, what was silently served, and
+/// what is still sitting corrupt on the arrays.  Filled by the file system
+/// (Pfs::integrity_report()) after the run; `pablo` defines only the record
+/// and rendering, mirroring ScrubReport.
+struct IntegrityReport {
+  std::string mode;  ///< "off" / "verify" / "repair"
+
+  // ---- injected ----
+  std::uint64_t rotted_units = 0;             ///< units hit by bit-rot bursts
+  std::uint64_t rotted_bytes = 0;             ///< durable bytes flipped
+  std::uint64_t journal_rotted = 0;           ///< journal payloads corrupted
+  std::uint64_t phantom_write_backs = 0;      ///< write-backs the array never saw
+  std::uint64_t misdirected_write_backs = 0;  ///< write-backs landing on a victim
+
+  // ---- detected / repaired ----
+  std::uint64_t verify_fails = 0;        ///< verify-on-read checksum mismatches
+  std::uint64_t read_repairs = 0;        ///< units rewritten by read-repair
+  std::uint64_t repairs_lost = 0;        ///< unrepairable (degraded-array double fault)
+  std::uint64_t repairs_deferred = 0;    ///< scrub repairs deferred to a later sweep
+  std::uint64_t stale_served = 0;        ///< detected-but-unregenerable units served
+  std::uint64_t journal_csum_fails = 0;  ///< recovery redos rejected by checksum
+  std::uint64_t scrub_sweeps = 0;
+  std::uint64_t scrub_units_checked = 0;
+  std::uint64_t scrub_detects = 0;
+  std::uint64_t scrub_repairs = 0;
+  std::uint64_t link_corrupt_detected = 0;  ///< wire corruption the checksum caught
+
+  // ---- silently served (integrity off) ----
+  std::uint64_t corrupt_reads_acked = 0;
+  std::uint64_t corrupt_bytes_acked = 0;
+  std::uint64_t link_corrupt_acks = 0;
+  std::uint64_t link_corrupt_bytes_acked = 0;
+
+  // ---- residual (the omniscient ledger's end-of-run view) ----
+  std::uint64_t residual_corrupt_units = 0;
+  std::uint64_t residual_corrupt_bytes = 0;
+  std::uint64_t stale_units = 0;
+
+  bool empty() const {
+    return rotted_units == 0 && rotted_bytes == 0 && journal_rotted == 0 &&
+           phantom_write_backs == 0 && misdirected_write_backs == 0 && verify_fails == 0 &&
+           read_repairs == 0 && repairs_lost == 0 && repairs_deferred == 0 && stale_served == 0 &&
+           journal_csum_fails == 0 && scrub_sweeps == 0 && scrub_units_checked == 0 &&
+           scrub_detects == 0 && scrub_repairs == 0 && link_corrupt_detected == 0 &&
+           corrupt_reads_acked == 0 && corrupt_bytes_acked == 0 && link_corrupt_acks == 0 &&
+           link_corrupt_bytes_acked == 0 && residual_corrupt_units == 0 &&
+           residual_corrupt_bytes == 0 && stale_units == 0;
+  }
+};
+
+/// Renders the integrity report (one compact block; empty string when the
+/// run saw no integrity activity at all).
+std::string render_integrity(const IntegrityReport& s);
+
 }  // namespace sio::pablo

@@ -13,6 +13,7 @@ constexpr const char* kFields = "#fields start_ns duration_ns node file op offse
 constexpr const char* kFaultFields = "#fault-fields at_ns kind node target info";
 constexpr const char* kQosFields = "#qos-fields at_ns kind node target info";
 constexpr const char* kLossFields = "#loss-fields at_ns target file offset bytes torn";
+constexpr const char* kIntegrityFields = "#integrity-fields at_ns kind target file unit bytes";
 }  // namespace
 
 IoOp parse_io_op(const std::string& name) {
@@ -39,9 +40,18 @@ QosKind parse_qos_kind(const std::string& name) {
   throw std::runtime_error("SDDF: unknown qos kind '" + name + "'");
 }
 
+IntegrityKind parse_integrity_kind(const std::string& name) {
+  for (int i = 0; i < kIntegrityKindCount; ++i) {
+    const auto k = static_cast<IntegrityKind>(i);
+    if (integrity_kind_name(k) == name) return k;
+  }
+  throw std::runtime_error("SDDF: unknown integrity kind '" + name + "'");
+}
+
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
-                const std::vector<QosEvent>& qos, const std::vector<LossEvent>& losses) {
+                const std::vector<QosEvent>& qos, const std::vector<LossEvent>& losses,
+                const std::vector<IntegrityEvent>& integrity) {
   out << kMagic << '\n' << kFields << '\n';
   for (std::size_t i = 0; i < file_names.size(); ++i) {
     out << "#file " << i << ' ' << file_names[i] << '\n';
@@ -72,6 +82,19 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
       out << l.offset << ' ' << l.bytes << ' ' << l.torn << '\n';
     }
   }
+  if (!integrity.empty()) {
+    out << kIntegrityFields << '\n';
+    for (const auto& g : integrity) {
+      out << "#integrity " << g.at << ' ' << integrity_kind_name(g.kind) << ' ' << g.target
+          << ' ';
+      if (g.file == kNoFile) {
+        out << "- ";
+      } else {
+        out << g.file << ' ';
+      }
+      out << g.unit << ' ' << g.bytes << '\n';
+    }
+  }
   for (const auto& ev : events) {
     out << ev.start << ' ' << ev.duration << ' ' << ev.node << ' ';
     if (ev.file == kNoFile) {
@@ -85,8 +108,14 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
 
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
+                const std::vector<QosEvent>& qos, const std::vector<LossEvent>& losses) {
+  write_sddf(out, file_names, events, faults, qos, losses, {});
+}
+
+void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
+                const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
                 const std::vector<QosEvent>& qos) {
-  write_sddf(out, file_names, events, faults, qos, {});
+  write_sddf(out, file_names, events, faults, qos, {}, {});
 }
 
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
@@ -106,7 +135,7 @@ void write_sddf(std::ostream& out, const Collector& collector) {
     names.push_back(collector.file_name(static_cast<FileId>(i)));
   }
   write_sddf(out, names, collector.events(), collector.fault_events(), collector.qos_events(),
-             collector.loss_events());
+             collector.loss_events(), collector.integrity_events());
 }
 
 TraceFile read_sddf(std::istream& in) {
@@ -155,6 +184,22 @@ TraceFile read_sddf(std::istream& in) {
       }
       q.kind = parse_qos_kind(kind_name);
       tf.qos.push_back(q);  // siolint:allow(trace-vector-growth) batch decode materializes
+      continue;
+    }
+    if (line.rfind("#integrity ", 0) == 0) {
+      std::istringstream ls(line.substr(11));
+      IntegrityEvent g;
+      std::string kind_name;
+      std::string file_field;
+      if (!(ls >> g.at >> kind_name >> g.target >> file_field >> g.unit >> g.bytes)) {
+        throw std::runtime_error("SDDF: bad #integrity line: " + line);
+      }
+      g.kind = parse_integrity_kind(kind_name);
+      g.file = file_field == "-" ? kNoFile : static_cast<FileId>(std::stoul(file_field));
+      if (g.file != kNoFile && g.file >= tf.file_names.size()) {
+        throw std::runtime_error("SDDF: #integrity references unknown file id");
+      }
+      tf.integrity.push_back(g);  // siolint:allow(trace-vector-growth) batch decode materializes
       continue;
     }
     if (line.rfind("#loss ", 0) == 0) {

@@ -18,12 +18,15 @@
 //   #qos <at> <kind-name> <node> <target> <info>     (one per QoS event)
 //   #loss-fields at_ns target file offset bytes torn (when losses present)
 //   #loss <at> <target> <file> <offset> <bytes> <torn>  (one per dropped unit)
+//   #integrity-fields at_ns kind target file unit bytes (when present)
+//   #integrity <at> <kind-name> <target> <file> <unit> <bytes>
 //   <records: one event per line, space separated, op by name>
 //
 // `#fault` records extend the dialect for fault-injection runs, `#qos`
-// records for overload-protection runs and `#loss` records for crash-induced
-// acknowledged-data losses; readers predating any of them skip unknown `#`
-// lines, so old tools still load new traces.
+// records for overload-protection runs, `#loss` records for crash-induced
+// acknowledged-data losses and `#integrity` records for end-to-end
+// data-integrity runs; readers predating any of them skip unknown `#` lines,
+// so old tools still load new traces.
 
 #pragma once
 
@@ -44,6 +47,7 @@ struct TraceFile {
   std::vector<FaultEvent> faults;
   std::vector<QosEvent> qos;
   std::vector<LossEvent> losses;
+  std::vector<IntegrityEvent> integrity;
 };
 
 /// Writes the collector's registered files, events and fault records to
@@ -68,6 +72,13 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
                 const std::vector<QosEvent>& qos, const std::vector<LossEvent>& losses);
 
+/// Writes a pre-extracted trace including fault, QoS, loss and integrity
+/// records.
+void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
+                const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
+                const std::vector<QosEvent>& qos, const std::vector<LossEvent>& losses,
+                const std::vector<IntegrityEvent>& integrity);
+
 /// Parses a trace written by write_sddf.  Throws std::runtime_error on
 /// malformed input (bad magic, unknown op, truncated record).
 TraceFile read_sddf(std::istream& in);
@@ -86,5 +97,9 @@ FaultKind parse_fault_kind(const std::string& name);
 /// Parses a QoS-kind name ("admit", "breaker-open", ...); throws on unknown
 /// names.
 QosKind parse_qos_kind(const std::string& name);
+
+/// Parses an integrity-kind name ("bit-rot", "read-repair", ...); throws on
+/// unknown names.
+IntegrityKind parse_integrity_kind(const std::string& name);
 
 }  // namespace sio::pablo

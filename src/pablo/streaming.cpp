@@ -127,6 +127,13 @@ void StreamingAnalytics::on_event(const TraceEvent& ev) {
   }
 }
 
+void StreamingAnalytics::on_integrity(const IntegrityEvent& ev) {
+  ++integrity_folded_;
+  const auto k = static_cast<std::size_t>(ev.kind);
+  ++integrity_counts_[k];
+  integrity_bytes_[k] += ev.bytes;
+}
+
 std::vector<FileLifetimeSummary> StreamingAnalytics::file_summaries() const {
   std::vector<FileLifetimeSummary> out = files_;
   for (auto& s : out) {
@@ -163,6 +170,11 @@ void StreamingAnalytics::merge(const StreamingAnalytics& other) {
     SIO_ASSERT(regions_[i].file == other.regions_[i].file &&
                regions_[i].lo == other.regions_[i].lo && regions_[i].hi == other.regions_[i].hi);
     merge_core(regions_[i].core, other.regions_[i].core);
+  }
+  integrity_folded_ += other.integrity_folded_;
+  for (std::size_t i = 0; i < kIntegrityKindCount; ++i) {
+    integrity_counts_[i] += other.integrity_counts_[i];
+    integrity_bytes_[i] += other.integrity_bytes_[i];
   }
 }
 
@@ -209,6 +221,15 @@ std::uint64_t StreamingAnalytics::fingerprint() const {
     f.mix(r.lo);
     f.mix(r.hi);
     f.mix_core(r.core);
+  }
+  // Mixed only when a run actually folded integrity events, so the
+  // fingerprints of pre-integrity traces are unchanged.
+  if (integrity_folded_ != 0) {
+    f.mix(integrity_folded_);
+    for (std::size_t i = 0; i < kIntegrityKindCount; ++i) {
+      f.mix(integrity_counts_[i]);
+      f.mix(integrity_bytes_[i]);
+    }
   }
   return f.value();
 }

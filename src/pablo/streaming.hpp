@@ -62,6 +62,18 @@ class StreamingAnalytics {
   /// number of region probes on the event's file.
   void on_event(const TraceEvent& ev);
 
+  /// Folds one integrity occurrence into the per-kind count/byte totals.
+  /// O(1); the record itself is never retained.
+  void on_integrity(const IntegrityEvent& ev);
+
+  std::uint64_t integrity_folded() const { return integrity_folded_; }
+  std::uint64_t integrity_count(IntegrityKind k) const {
+    return integrity_counts_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t integrity_bytes(IntegrityKind k) const {
+    return integrity_bytes_[static_cast<std::size_t>(k)];
+  }
+
   bool empty() const { return events_folded_ == 0; }
   std::uint64_t events_folded() const { return events_folded_; }
   const StreamingConfig& config() const { return cfg_; }
@@ -111,6 +123,12 @@ class StreamingAnalytics {
   std::vector<FileLifetimeSummary> files_;  // first_open = -1 sentinel until fixed up
   std::vector<TimeWindowSummary> windows_;
   std::vector<FileRegionSummary> regions_;
+  /// Per-kind integrity totals (exact, O(kinds)).  Folded only when a run
+  /// records integrity events, so integrity-free runs keep the pre-integrity
+  /// fingerprint bit-for-bit.
+  std::uint64_t integrity_folded_ = 0;
+  std::array<std::uint64_t, kIntegrityKindCount> integrity_counts_{};
+  std::array<std::uint64_t, kIntegrityKindCount> integrity_bytes_{};
 };
 
 }  // namespace sio::pablo

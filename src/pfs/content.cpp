@@ -49,6 +49,7 @@ void UnitLedger::durable(std::uint32_t file, std::uint64_t unit) {
   const auto it = units_.find({file, unit});
   if (it == units_.end()) return;
   merge_spans(it->second.on_disk, it->second.resident, ~std::uint64_t{0});
+  heal_overlaps(it->second, it->second.resident, ~std::uint64_t{0});
   it->second.torn = false;
 }
 
@@ -56,6 +57,7 @@ void UnitLedger::torn(std::uint32_t file, std::uint64_t unit, std::uint64_t pref
   const auto it = units_.find({file, unit});
   if (it == units_.end()) return;
   merge_spans(it->second.on_disk, it->second.resident, prefix);
+  heal_overlaps(it->second, it->second.resident, prefix);
   it->second.torn = true;
 }
 
@@ -63,7 +65,102 @@ void UnitLedger::redone(std::uint32_t file, std::uint64_t unit) {
   const auto it = units_.find({file, unit});
   if (it == units_.end()) return;
   merge_spans(it->second.on_disk, it->second.acked, ~std::uint64_t{0});
+  heal_overlaps(it->second, it->second.acked, ~std::uint64_t{0});
   it->second.torn = false;
+}
+
+void UnitLedger::observe_durable(std::uint32_t file, std::uint64_t unit, std::uint64_t offset,
+                                 std::uint64_t len) {
+  if (len == 0) return;
+  Unit& u = units_[{file, unit}];  // created on first observation
+  // Only never-written units: for acked data, durability is decided by
+  // write-backs alone — a fetch of a unit whose dirty spans a crash dropped
+  // must not launder the loss into "durable".
+  if (!u.acked.empty()) return;
+  insert_span(u.on_disk, offset, offset + len, /*op=*/0);
+}
+
+std::uint64_t UnitLedger::rot(std::uint32_t file, std::uint64_t unit, std::uint64_t offset,
+                              std::uint64_t len) {
+  const auto it = units_.find({file, unit});
+  if (it == units_.end() || len == 0) return 0;
+  Unit& u = it->second;
+  const std::uint64_t lo = offset;
+  const std::uint64_t hi = offset + len;
+  std::uint64_t fresh = 0;
+  // Clip the rot window to what is actually durable, span by span, and count
+  // only bytes that were not already corrupt.
+  for (const auto& [begin, span] : u.on_disk) {
+    const std::uint64_t b = std::max(begin, lo);
+    const std::uint64_t e = std::min(span.end, hi);
+    if (b >= e) continue;
+    fresh += (e - b) - overlap_bytes(u.corrupt, b, e);
+    insert_span(u.corrupt, b, e, /*op=*/0);
+  }
+  return fresh;
+}
+
+std::uint64_t UnitLedger::mark_stale(std::uint32_t file, std::uint64_t unit) {
+  const auto it = units_.find({file, unit});
+  if (it == units_.end()) return 0;
+  Unit& u = it->second;
+  std::uint64_t fresh = 0;
+  for (const auto& [begin, span] : u.on_disk) {
+    fresh += (span.end - begin) - overlap_bytes(u.corrupt, begin, span.end);
+    insert_span(u.corrupt, begin, span.end, /*op=*/0);
+  }
+  if (!u.corrupt.empty()) u.stale = true;
+  return fresh;
+}
+
+std::uint64_t UnitLedger::repair(std::uint32_t file, std::uint64_t unit) {
+  const auto it = units_.find({file, unit});
+  if (it == units_.end()) return 0;
+  Unit& u = it->second;
+  if (u.stale) return 0;  // parity matches the wrong bytes; nothing to regenerate from
+  const std::uint64_t cleared = clipped(u.corrupt, ~std::uint64_t{0}).first;
+  u.corrupt.clear();
+  return cleared;
+}
+
+std::uint64_t UnitLedger::corrupt_overlap(std::uint32_t file, std::uint64_t unit,
+                                          std::uint64_t offset, std::uint64_t len) const {
+  const auto it = units_.find({file, unit});
+  if (it == units_.end() || len == 0) return 0;
+  return overlap_bytes(it->second.corrupt, offset, offset + len);
+}
+
+std::uint64_t UnitLedger::unit_corrupt_bytes(std::uint32_t file, std::uint64_t unit) const {
+  const auto it = units_.find({file, unit});
+  if (it == units_.end()) return 0;
+  return clipped(it->second.corrupt, ~std::uint64_t{0}).first;
+}
+
+bool UnitLedger::unit_stale(std::uint32_t file, std::uint64_t unit) const {
+  const auto it = units_.find({file, unit});
+  return it != units_.end() && it->second.stale;
+}
+
+std::uint64_t UnitLedger::total_corrupt_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, unit] : units_) total += clipped(unit.corrupt, ~std::uint64_t{0}).first;
+  return total;
+}
+
+std::uint64_t UnitLedger::corrupt_unit_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, unit] : units_) {
+    if (!unit.corrupt.empty()) ++n;
+  }
+  return n;
+}
+
+std::uint64_t UnitLedger::stale_unit_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, unit] : units_) {
+    if (unit.stale) ++n;
+  }
+  return n;
 }
 
 void UnitLedger::drop_residency() {
@@ -117,6 +214,37 @@ void UnitLedger::merge_spans(SpanMap& dst, const SpanMap& src, std::uint64_t lim
   }
 }
 
+std::uint64_t UnitLedger::remove_span(SpanMap& spans, std::uint64_t begin, std::uint64_t end) {
+  if (begin >= end) return 0;
+  const std::uint64_t removed = overlap_bytes(spans, begin, end);
+  if (removed == 0) return 0;
+  // Carving out a range is inserting it then erasing the inserted span.
+  insert_span(spans, begin, end, /*op=*/0);
+  spans.erase(begin);
+  return removed;
+}
+
+std::uint64_t UnitLedger::overlap_bytes(const SpanMap& spans, std::uint64_t begin,
+                                        std::uint64_t end) {
+  std::uint64_t bytes = 0;
+  for (const auto& [b, span] : spans) {
+    if (b >= end) break;
+    const std::uint64_t lo = std::max(b, begin);
+    const std::uint64_t hi = std::min(span.end, end);
+    if (lo < hi) bytes += hi - lo;
+  }
+  return bytes;
+}
+
+void UnitLedger::heal_overlaps(Unit& u, const SpanMap& written, std::uint64_t limit) {
+  if (u.corrupt.empty()) return;
+  for (const auto& [begin, span] : written) {
+    if (begin >= limit) break;
+    remove_span(u.corrupt, begin, std::min(span.end, limit));
+  }
+  if (u.corrupt.empty()) u.stale = false;
+}
+
 std::pair<std::uint64_t, std::uint64_t> UnitLedger::clipped(const SpanMap& spans,
                                                             std::uint64_t limit) {
   std::uint64_t bytes = 0;
@@ -141,6 +269,15 @@ UnitLedger::UnitStatus UnitLedger::status_of(const Unit& u) {
   s.durable_bytes = dbytes;
   s.durable_csum = dcsum;
   s.torn = u.torn;
+  if (!u.corrupt.empty()) {
+    // Fold the corrupt spans into the durable checksum so an omniscient scrub
+    // sees the wrong content, while corruption-free units keep the exact
+    // checksums they had before the integrity subsystem existed.
+    const auto [cbytes, ccsum] = clipped(u.corrupt, ~std::uint64_t{0});
+    s.corrupt_bytes = cbytes;
+    s.durable_csum = fnv_mix(s.durable_csum, ccsum);
+  }
+  s.stale = u.stale;
   return s;
 }
 

@@ -69,6 +69,8 @@ class UnitLedger {
     std::uint64_t acked_csum = 0;     ///< FNV-1a over the acked interval set
     std::uint64_t durable_csum = 0;   ///< checksum snapshotted at last write-back
     bool torn = false;                ///< last write-back applied only a prefix
+    std::uint64_t corrupt_bytes = 0;  ///< durable bytes holding wrong content
+    bool stale = false;               ///< wrong-but-parity-consistent content
   };
 
   /// Records an acknowledged buffered write of [offset, offset+len) within
@@ -88,6 +90,14 @@ class UnitLedger {
   /// acked set is on the array (and a torn tail, if any, is repaired).
   void redone(std::uint32_t file, std::uint64_t unit);
 
+  /// A read fetched [offset, offset+len) of the unit from the array: those
+  /// bytes demonstrably exist durable (pre-existing input data the workload
+  /// never wrote).  Creates the unit if needed and merges the span into the
+  /// on-disk set without touching the acked/resident sides — this is how
+  /// read-mostly workloads give bit-rot a durable population to target.
+  void observe_durable(std::uint32_t file, std::uint64_t unit, std::uint64_t offset,
+                       std::uint64_t len);
+
   /// The server crashed: every unit's cache copy is gone.  Spans not yet on
   /// the array become permanently undurable unless a redo restores them.
   void drop_residency();
@@ -95,6 +105,39 @@ class UnitLedger {
   /// Acknowledged bytes not covered by the durable snapshot (what a crash
   /// would lose if the unit's dirty cache copy were dropped right now).
   std::uint64_t acked_undurable_bytes(std::uint32_t file, std::uint64_t unit) const;
+
+  // --- silent-corruption bookkeeping (the integrity subsystem's substrate) ---
+
+  /// Bit-rot flipped durable bytes: marks [offset, offset+len) of the unit's
+  /// on-disk spans corrupt.  Returns the newly-corrupt byte count (0 if the
+  /// range holds nothing durable or was already corrupt).  RAID-3 parity still
+  /// covers the *original* bytes, so rot is parity-repairable.
+  std::uint64_t rot(std::uint32_t file, std::uint64_t unit, std::uint64_t offset,
+                    std::uint64_t len);
+
+  /// The unit's whole durable copy holds wrong content (a phantom or
+  /// misdirected write-back, or a redo from a rotted journal payload): every
+  /// on-disk span becomes corrupt and the unit is *stale* — parity was
+  /// computed over the wrong bytes, so it is NOT parity-repairable.  Returns
+  /// the newly-corrupt byte count.
+  std::uint64_t mark_stale(std::uint32_t file, std::uint64_t unit);
+
+  /// A parity regeneration rewrote the unit: clears its corruption.  Stale
+  /// units cannot be repaired this way (returns 0 and leaves them corrupt).
+  std::uint64_t repair(std::uint32_t file, std::uint64_t unit);
+
+  /// Corrupt bytes inside [offset, offset+len) of the unit's durable copy.
+  std::uint64_t corrupt_overlap(std::uint32_t file, std::uint64_t unit, std::uint64_t offset,
+                                std::uint64_t len) const;
+
+  std::uint64_t unit_corrupt_bytes(std::uint32_t file, std::uint64_t unit) const;
+  bool unit_stale(std::uint32_t file, std::uint64_t unit) const;
+
+  /// Residual corruption across all tracked units (the acceptance metric:
+  /// integrity=repair must end every run with both at zero).
+  std::uint64_t total_corrupt_bytes() const;
+  std::uint64_t corrupt_unit_count() const;
+  std::uint64_t stale_unit_count() const;
 
   UnitStatus status(std::uint32_t file, std::uint64_t unit) const;
 
@@ -119,10 +162,20 @@ class UnitLedger {
     SpanMap resident;  ///< what the server cache holds — cleared by a crash
     SpanMap on_disk;   ///< what actually reached the array
     bool torn = false;
+    SpanMap corrupt;   ///< durable spans holding wrong content
+    bool stale = false;  ///< corruption is parity-consistent (unrepairable)
   };
 
   static void insert_span(SpanMap& spans, std::uint64_t begin, std::uint64_t end,
                           std::uint64_t op);
+  /// Removes [begin, end) from `spans`; returns the byte count removed.
+  static std::uint64_t remove_span(SpanMap& spans, std::uint64_t begin, std::uint64_t end);
+  /// Bytes of `spans` falling inside [begin, end).
+  static std::uint64_t overlap_bytes(const SpanMap& spans, std::uint64_t begin,
+                                     std::uint64_t end);
+  /// A fresh write-back replaced `written` ranges on the array: any corrupt
+  /// span they cover is healed (and `stale` cleared once nothing is left).
+  static void heal_overlaps(Unit& u, const SpanMap& written, std::uint64_t limit);
   /// Merges `src` spans below `limit` into `dst` (an idealized sector-
   /// granular write: untouched `dst` ranges survive).
   static void merge_spans(SpanMap& dst, const SpanMap& src, std::uint64_t limit);

@@ -53,4 +53,36 @@ void Journal::note_detected_lost(std::uint32_t file, std::uint64_t unit) {
   if (it != open_.end()) open_.erase(it);
 }
 
+namespace {
+
+// splitmix64 step — a self-contained seeded draw so the journal never touches
+// the simulation's shared RNG streams.
+std::uint64_t mix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+int Journal::corrupt_open_payloads(std::uint64_t seed, int max_records) {
+  if (mode_ != JournalMode::kFull || max_records <= 0 || open_.empty()) return 0;
+  // Walk the LSN-ordered open list and pick victims by seeded draw until the
+  // budget is spent; clean records before the budget runs out stay clean.
+  auto victims = unapplied();
+  std::uint64_t state = seed;
+  int marked = 0;
+  for (const auto& rec : victims) {
+    if (marked >= max_records) break;
+    if ((mix64(state) & 1) != 0) continue;  // 50/50 per record, deterministic
+    auto it = open_.find({rec.file, rec.unit});
+    if (it == open_.end() || it->second.payload_corrupt) continue;
+    it->second.payload_corrupt = true;
+    ++marked;
+  }
+  return marked;
+}
+
 }  // namespace sio::pfs

@@ -42,6 +42,7 @@ class Journal {
     std::uint64_t disk_offset = 0;  ///< where the unit lives on the array
     std::uint64_t bytes = 0;        ///< acked payload folded into the record
     std::uint64_t ops = 0;          ///< acked ops folded into the record
+    bool payload_corrupt = false;   ///< bit-rot hit the logged payload
   };
 
   struct Counters {
@@ -76,6 +77,14 @@ class Journal {
   void note_redone(std::uint32_t file, std::uint64_t unit);
   void note_detected_lost(std::uint32_t file, std::uint64_t unit);
   void note_recovery_done() { ++counters_.recoveries; }
+
+  /// Bit-rot hit the log region: marks up to `max_records` open full-mode
+  /// records (chosen by a seeded draw over the LSN-ordered list) as having a
+  /// corrupt payload.  Returns the number of records newly marked.  Recovery
+  /// consults `payload_corrupt`: with integrity on, the payload checksum
+  /// catches it and the redo is skipped as a *detected* loss; with integrity
+  /// off, the redo faithfully writes the wrong bytes back to the array.
+  int corrupt_open_payloads(std::uint64_t seed, int max_records);
 
   const Counters& counters() const { return counters_; }
 

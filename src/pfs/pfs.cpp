@@ -51,12 +51,64 @@ Pfs::Pfs(hw::Machine& machine, pablo::Collector& collector, PfsConfig cfg)
     meta_qos_ = std::make_unique<qos::ServerQos>(machine.engine(), /*server_id=*/-1, cfg_.qos,
                                                  &collector_);
     meta_.set_qos(meta_qos_.get());
+  }
+  if (cfg_.qos.enabled || cfg_.server.integrity.enabled()) {
+    // Reconstruction/repair slots: rerouted degraded reads and integrity
+    // read-repairs draw from the same per-node bound, so a latent-error storm
+    // and a breaker-reroute storm cannot jointly over-commit an array.
     rebuild_slots_.reserve(servers_.size());
     for (int i = 0; i < machine.config().io_nodes; ++i) {
       rebuild_slots_.push_back(std::make_unique<sim::Semaphore>(
           machine.engine(), static_cast<std::int64_t>(cfg_.qos.service_slots), "pfs-rebuild"));
+      servers_[static_cast<std::size_t>(i)]->set_rebuild_slot(rebuild_slots_.back().get());
     }
   }
+  if (cfg_.server.integrity.scrubbing()) {
+    for (auto& srv : servers_) {
+      machine.engine().spawn(srv->scrubber());
+    }
+  }
+}
+
+pablo::IntegrityReport Pfs::integrity_report() const {
+  pablo::IntegrityReport rep;
+  rep.mode = std::string(integrity_mode_name(cfg_.server.integrity.mode));
+  for (const auto& srv : servers_) {
+    const IntegrityStats& s = srv->integrity_stats();
+    rep.rotted_units += s.rotted_units;
+    rep.rotted_bytes += s.rotted_bytes;
+    rep.journal_rotted += s.journal_rotted;
+    rep.phantom_write_backs += s.phantom_write_backs;
+    rep.misdirected_write_backs += s.misdirected_write_backs;
+    rep.verify_fails += s.verify_fails;
+    rep.read_repairs += s.read_repairs;
+    rep.repairs_lost += s.repairs_lost;
+    rep.repairs_deferred += s.repairs_deferred;
+    rep.stale_served += s.stale_served;
+    rep.journal_csum_fails += s.journal_csum_fails;
+    rep.scrub_sweeps += s.scrub_sweeps;
+    rep.scrub_units_checked += s.scrub_units_checked;
+    rep.scrub_detects += s.scrub_detects;
+    rep.scrub_repairs += s.scrub_repairs;
+    rep.corrupt_reads_acked += s.corrupt_reads_acked;
+    rep.corrupt_bytes_acked += s.corrupt_bytes_acked;
+    const UnitLedger& led = srv->ledger();
+    rep.residual_corrupt_bytes += led.total_corrupt_bytes();
+    rep.residual_corrupt_units += led.corrupt_unit_count();
+    rep.stale_units += led.stale_unit_count();
+  }
+  rep.link_corrupt_detected = link_corrupt_detected_;
+  rep.link_corrupt_acks = link_corrupt_acks_;
+  rep.link_corrupt_bytes_acked = link_corrupt_bytes_acked_;
+  return rep;
+}
+
+void Pfs::add_link_corrupt_window(int io_node, sim::Tick t0, sim::Tick t1, int every_n) {
+  link_corrupt_.push_back(LinkCorrupt{io_node, t0, t1, std::max(every_n, 1), 0});
+}
+
+void Pfs::enable_integrity_tracking() {
+  for (auto& srv : servers_) srv->set_integrity_tracking(true);
 }
 
 pablo::ScrubReport Pfs::scrub() const {
@@ -80,6 +132,12 @@ pablo::ScrubReport Pfs::scrub() const {
         // Same coverage, different interval/op history — a stale overwrite
         // survived on the array.
         ++rep.checksum_mismatches;
+        return;
+      }
+      if (s.durable_bytes > s.acked_bytes) {
+        // Integrity tracking registers read-fetched input data as durable
+        // without any matching ack, so the on-disk set can exceed the acked
+        // set; nothing acknowledged is missing from such a unit.
         return;
       }
       rep.acked_bytes_lost += s.acked_bytes - s.durable_bytes;
@@ -208,6 +266,31 @@ sim::Task<Pfs::Attempt> Pfs::segment_attempt(hw::NodeId node, FileState* file, S
   } else {
     co_await engine.delay(net.message_time_to_io(node, seg.io_node, rsp_bytes));
   }
+
+  // Link corruption: the payload arrived, but its bytes were damaged on the
+  // wire.  The end-to-end transfer checksum (integrity on) catches it and
+  // the attempt reports `corrupt` so the client re-drives immediately; with
+  // integrity off the damaged payload is delivered as if nothing happened.
+  if (!is_write && !link_corrupt_.empty()) {
+    const sim::Tick now = engine.now();
+    for (auto& w : link_corrupt_) {
+      if (w.io_node != seg.io_node || now < w.t0 || now >= w.t1) continue;
+      ++w.seen;
+      if (w.seen % static_cast<std::uint64_t>(w.every_n) == 0) {
+        if (cfg_.server.integrity.enabled()) {
+          ++link_corrupt_detected_;
+          collector_.record_integrity({now, pablo::IntegrityKind::kLinkCorrupt, seg.io_node,
+                                       file->id, seg.unit_index, seg.length});
+          co_return Attempt{false, false, 0, true};
+        }
+        ++link_corrupt_acks_;
+        link_corrupt_bytes_acked_ += seg.length;
+        collector_.record_integrity({now, pablo::IntegrityKind::kCorruptAck, seg.io_node,
+                                     file->id, seg.unit_index, seg.length});
+      }
+      break;
+    }
+  }
   co_return Attempt{true, false, 0};
 }
 
@@ -323,6 +406,24 @@ sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSe
     if (res.status == sim::WaitStatus::kCompleted && res.value && res.value->ok) {
       if (br != nullptr) br->on_success(node);
       break;
+    }
+    if (res.status == sim::WaitStatus::kCompleted && res.value && res.value->corrupt) {
+      // The payload arrived but failed the transfer checksum.  The node is
+      // alive (it answered), so the breaker sees a success; the client
+      // re-drives immediately — no deadline wait, no backoff — because the
+      // failure was detected the instant the payload landed.
+      if (br != nullptr) br->on_success(node);
+      if (attempt >= rp.max_retries) {
+        ++failed_ops_;
+        collector_.record_fault(
+            {engine.now(), pablo::FaultKind::kOpFailed, node, seg.io_node, op_id});
+        throw PfsError("segment transfer corrupt after retries (io node " +
+                       std::to_string(seg.io_node) + ")");
+      }
+      ++retries_;
+      collector_.record_fault({engine.now(), pablo::FaultKind::kOpRetry, node, seg.io_node,
+                               static_cast<std::uint64_t>(attempt + 1)});
+      continue;
     }
     if (res.status == sim::WaitStatus::kCompleted && res.value && res.value->turned_away) {
       // Explicit backpressure, not a failure: the server answered, so the

@@ -157,6 +157,28 @@ class Pfs {
   /// open.
   std::uint64_t rerouted_reads() const { return reroutes_; }
 
+  // ---- end-to-end integrity ----
+  /// While [t0, t1) is open, every `every_n`-th read response from I/O node
+  /// `io_node` arrives with a corrupt payload.  With integrity on, the
+  /// client-side transfer checksum detects it and the segment is re-driven
+  /// (requires retry); with integrity off the corrupt payload is accepted.
+  void add_link_corrupt_window(int io_node, sim::Tick t0, sim::Tick t1, int every_n);
+
+  /// Turns on read-unit integrity bookkeeping on every server (see
+  /// IoServer::set_integrity_tracking); armed by the fault clock for plans
+  /// that inject corruption with verification off.
+  void enable_integrity_tracking();
+
+  /// Aggregated integrity posture of the instance: per-server detection and
+  /// repair counters, link-corruption counters, and the residual corruption
+  /// still sitting on the arrays per the omniscient ledger.
+  pablo::IntegrityReport integrity_report() const;
+
+  /// Read payloads whose link corruption the transfer checksum caught.
+  std::uint64_t link_corrupt_detected() const { return link_corrupt_detected_; }
+  /// Corrupt read payloads accepted because no checksum covered the link.
+  std::uint64_t link_corrupt_acks() const { return link_corrupt_acks_; }
+
  private:
   hw::Machine& machine_;
   pablo::Collector& collector_;
@@ -197,6 +219,21 @@ class Pfs {
   std::uint64_t breaker_holds_ = 0;
   std::uint64_t reroutes_ = 0;
 
+  // ---- end-to-end integrity ----
+  /// One armed link-corruption window; `seen` counts matching responses so
+  /// every `every_n`-th one is corrupted deterministically.
+  struct LinkCorrupt {
+    int io_node = -1;
+    sim::Tick t0 = 0;
+    sim::Tick t1 = 0;
+    int every_n = 1;
+    std::uint64_t seen = 0;
+  };
+  std::vector<LinkCorrupt> link_corrupt_;
+  std::uint64_t link_corrupt_detected_ = 0;
+  std::uint64_t link_corrupt_acks_ = 0;
+  std::uint64_t link_corrupt_bytes_acked_ = 0;
+
   friend class FileHandle;
 
   /// Outcome of one segment attempt.  `ok` = reply arrived and the op was
@@ -207,6 +244,9 @@ class Pfs {
     bool ok = false;
     bool turned_away = false;
     sim::Tick retry_after = 0;
+    /// The read payload arrived but its transfer checksum failed (link
+    /// corruption caught end-to-end): re-drive immediately, no deadline wait.
+    bool corrupt = false;
   };
 
   FileState& get_or_create(std::string_view path);

@@ -188,6 +188,16 @@ sim::Task<void> IoServer::recover(std::uint64_t epoch) {
     co_await engine_.delay(svc(cfg_.journal_replay_setup));
     if (crashes_ != epoch) co_return;
     if (journal_.mode() == JournalMode::kFull) {
+      if (rec.payload_corrupt && cfg_.integrity.enabled()) {
+        // The logged payload's checksum does not verify: redoing it would
+        // write garbage over good data.  Skip the redo as a *detected* loss
+        // (the clients must re-drive; the scrub attributes the bytes).
+        journal_.note_detected_lost(rec.file, rec.unit);
+        ++integ_.journal_csum_fails;
+        emit_integrity(pablo::IntegrityKind::kJournalCsumFail, rec.file, rec.unit, rec.bytes);
+        ++detected;
+        continue;
+      }
       // Redo the whole unit from the logged payload.  Only a *completed*
       // redo retires the record, so an interrupted pass re-redoes it —
       // exactly once per record across however many attempts it takes.
@@ -197,6 +207,12 @@ sim::Task<void> IoServer::recover(std::uint64_t epoch) {
         // record, so the redo restores the unit's entire acked set — not
         // just whatever happens to be resident (the crash dropped that).
         ledger_.redone(rec.file, rec.unit);
+        if (rec.payload_corrupt) {
+          // Integrity off: the rotted payload was faithfully written back.
+          // The unit now holds wrong-but-parity-consistent bytes — silent
+          // corruption only the omniscient ledger can see.
+          ledger_.mark_stale(rec.file, rec.unit);
+        }
         journal_.note_redone(rec.file, rec.unit);
         ++redone;
       }
@@ -265,7 +281,34 @@ sim::Task<bool> IoServer::write_back(std::uint32_t file, std::uint64_t unit,
   // unit's acked contents are on the array — even if a plain crash wiped
   // the cache meanwhile.
   const bool applied = !wb_.torn;
-  if (applied) ledger_.durable(file, unit);
+  if (applied) {
+    const WbCorruptWindow* w = wb_corrupt_active();
+    if (w == nullptr) {
+      ledger_.durable(file, unit);
+      last_wb_ = UnitKey{file, unit};
+      has_last_wb_ = true;
+    } else if (w->phantom || !has_last_wb_ ||
+               (last_wb_.file == file && last_wb_.unit == unit)) {
+      // Phantom write-back: the server believes the DMA completed (it will
+      // trim the journal record below), but the array never saw the bytes.
+      // Old durable content is now wrong against the acked set — and the
+      // stored checksum was updated to the *new* content, so verify-on-read
+      // detects the mismatch, but parity matches the old bytes: stale.
+      const std::uint64_t stale = ledger_.mark_stale(file, unit);
+      ++integ_.phantom_write_backs;
+      emit_integrity(pablo::IntegrityKind::kPhantomWrite, file, unit,
+                     stale != 0 ? stale : ledger_.acked_undurable_bytes(file, unit));
+    } else {
+      // Misdirected write-back: the bytes land on the previously written
+      // unit's location, clobbering it, while the target keeps its old
+      // content.  Both are wrong-but-parity-consistent.
+      const std::uint64_t victim = ledger_.mark_stale(last_wb_.file, last_wb_.unit);
+      ledger_.mark_stale(file, unit);
+      ++integ_.misdirected_write_backs;
+      emit_integrity(pablo::IntegrityKind::kMisdirectedWrite, last_wb_.file, last_wb_.unit,
+                     victim);
+    }
+  }
   wb_.active = false;
   wb_.torn = false;
   co_return applied;
@@ -339,6 +382,12 @@ sim::Task<qos::Admission> IoServer::read(UnitKey key, std::uint64_t unit_disk_of
       // Unbuffered access bypasses the cache and pays a raw array access;
       // RAID-3 rounds the transfer up to its granule internally.
       co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/false);
+      observe_fetched(key, unit_disk_offset, offset_in_unit, len);
+      if (cfg_.integrity.enabled()) {
+        co_await verify_range(key, unit_disk_offset, offset_in_unit, len);
+      } else {
+        note_corrupt_served(key, offset_in_unit, len);
+      }
     } else if (lookup(key)) {
       ++hits_;
       touch(key);
@@ -346,6 +395,18 @@ sim::Task<qos::Admission> IoServer::read(UnitKey key, std::uint64_t unit_disk_of
       // between prefetched hits and misses keeps prefetching.
       last_unit_[key.file] = key.unit;
       co_await engine_.delay(svc(cfg_.hit_service));
+      // A tainted entry serves the corrupt bytes its fetch copied in: with a
+      // checksum it is a *detected* stale serve, without one a silent ack.
+      const auto hit = cache_.find(key);
+      if (hit != cache_.end() && hit->second.tainted) {
+        if (cfg_.integrity.enabled()) {
+          const std::uint64_t bad = ledger_.corrupt_overlap(key.file, key.unit, 0, stripe_unit_);
+          ++integ_.stale_served;
+          emit_integrity(pablo::IntegrityKind::kStaleServed, key.file, key.unit, bad);
+        } else {
+          note_corrupt_served(key, offset_in_unit, len);
+        }
+      }
     } else {
       ++misses_;
       co_await engine_.delay(svc(cfg_.miss_setup));
@@ -373,6 +434,20 @@ sim::Task<qos::Admission> IoServer::read(UnitKey key, std::uint64_t unit_disk_of
                /*dirty=*/false);
         ++prefetched_;
       }
+      // Every unit the fetch brought in is checksummed (or, with integrity
+      // off, silently copies whatever the array held — including rot).
+      for (int i = 0; i <= extra; ++i) {
+        const auto step = static_cast<std::uint64_t>(i);
+        const UnitKey fkey{key.file, key.unit + step * stripe_factor_};
+        observe_fetched(fkey, disk_offset + step * stripe_unit_, 0, stripe_unit_);
+        if (cfg_.integrity.enabled()) {
+          co_await verify_fetched(fkey, disk_offset + step * stripe_unit_);
+        } else if (ledger_.unit_corrupt_bytes(fkey.file, fkey.unit) > 0) {
+          const auto ent = cache_.find(fkey);
+          if (ent != cache_.end()) ent->second.tainted = true;
+        }
+      }
+      if (!cfg_.integrity.enabled()) note_corrupt_served(key, offset_in_unit, len);
       co_await evict_if_needed();
     }
     finish_op(ctx.op_id, done);
@@ -429,6 +504,10 @@ sim::Task<qos::Admission> IoServer::write(UnitKey key, std::uint64_t unit_disk_o
       }
       insert(key, disk_offset, /*dirty=*/true);
       ledger_.ack(key.file, key.unit, offset_in_unit, len, ctx.op_id);
+      // A client write refreshes the cache copy: whatever taint the entry
+      // carried is superseded for serving purposes once this unit flushes,
+      // and the scrubber/injector learn the unit's physical location here.
+      unit_locations_[{key.file, key.unit}] = disk_offset;
       if (dirty_.size() > cfg_.dirty_limit) {
         co_await flush_oldest_dirty();
       }

@@ -50,8 +50,14 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "machine/disk.hpp"
+#include "pablo/event.hpp"
 #include "pfs/content.hpp"
+#include "pfs/integrity.hpp"
 #include "pfs/journal.hpp"
 #include "pfs/types.hpp"
 #include "qos/qos.hpp"
@@ -104,6 +110,9 @@ struct ServerConfig {
   double journal_bytes_per_tick = 0.2;
   /// Per-record scan/validate cost during the recovery redo pass.
   sim::Tick journal_replay_setup = sim::microseconds(40);
+  /// End-to-end integrity policy (off = the pre-integrity model: silent
+  /// corruption is served to clients and only the omniscient ledger knows).
+  IntegrityConfig integrity{};
 };
 
 /// Cache key: (file id, global stripe-unit index).
@@ -232,6 +241,38 @@ class IoServer {
     return it != cache_.end() && it->second.dirty;
   }
 
+  // ---- end-to-end integrity (implemented in integrity.cpp) ----
+
+  /// Silent bit-rot lands now: a seeded draw over this node's durable units
+  /// flips bytes on up to `units` of them (clipped to what exists).  With
+  /// `journal` set, the rot additionally hits open full-mode journal
+  /// payloads.  Pure state mutation — costs no simulated time.
+  void inject_bit_rot(std::uint64_t seed, int units, bool journal);
+
+  /// While [t0, t1) is open, every completed write-back misbehaves: phantom
+  /// (acked + trimmed but the array never saw it) or misdirected (the bytes
+  /// land on the previously written-back unit instead).
+  void add_write_back_corrupt_window(sim::Tick t0, sim::Tick t1, bool phantom);
+
+  /// The online background scrubber: `scrub_sweeps` bounded sweeps on a
+  /// `scrub_interval` cadence, each verifying a batch of units under the QoS
+  /// background class and repairing latent errors (mode=repair) before a
+  /// spindle failure would make them unrecoverable.  Spawned by Pfs when
+  /// `cfg.integrity.scrubbing()`.
+  sim::Task<void> scrubber();
+
+  /// Bounds concurrent parity repairs (shared with degraded reconstruction).
+  void set_rebuild_slot(sim::Semaphore* s) { rebuild_slot_ = s; }
+
+  /// Makes reads register fetched input units with the ledger (and the
+  /// scrubber/injector location map) even when verification is off — how an
+  /// integrity=off corruption run keeps its omniscient bookkeeping.  Armed
+  /// by the fault clock for plans that inject corruption; always on when
+  /// `cfg.integrity.enabled()`.  Pure bookkeeping, costs no simulated time.
+  void set_integrity_tracking(bool on) { track_read_units_ = on; }
+
+  const IntegrityStats& integrity_stats() const { return integ_; }
+
   // ---- statistics ----
   std::uint64_t cache_hits() const { return hits_; }
   std::uint64_t cache_misses() const { return misses_; }
@@ -260,6 +301,9 @@ class IoServer {
     std::list<UnitKey>::iterator lru_pos;
     std::uint64_t disk_offset = 0;
     bool dirty = false;
+    /// Integrity=off only: the fetch that filled this entry copied corrupt
+    /// durable bytes into the cache, so hits serve them silently too.
+    bool tainted = false;
   };
 
   sim::Engine& engine_;
@@ -322,6 +366,55 @@ class IoServer {
     bool torn = false;
   };
   WriteBack wb_;
+
+  // ---- end-to-end integrity ----
+  IntegrityStats integ_;
+  sim::Semaphore* rebuild_slot_ = nullptr;
+  struct WbCorruptWindow {
+    sim::Tick t0 = 0;
+    sim::Tick t1 = 0;
+    bool phantom = false;
+  };
+  std::vector<WbCorruptWindow> wb_corrupt_;
+  /// The last unit that completed a clean write-back — the victim a
+  /// misdirected write-back overwrites.
+  UnitKey last_wb_{};
+  bool has_last_wb_ = false;
+  /// Physical location of every unit this server ever placed, in key order —
+  /// the scrubber's sweep list and the bit-rot injector's target population.
+  /// Layout facts, not volatile state: survives crashes.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> unit_locations_;
+  /// Scrub sweep cursor (resumes after the last visited key, wrapping).
+  std::pair<std::uint32_t, std::uint64_t> scrub_cursor_{~std::uint32_t{0}, ~std::uint64_t{0}};
+  /// Reads register fetched input units with the ledger/location map (see
+  /// set_integrity_tracking).
+  bool track_read_units_ = false;
+
+  /// Whether fetched units should be registered for integrity bookkeeping.
+  bool integrity_tracking() const { return track_read_units_ || cfg_.integrity.enabled(); }
+  /// Registers a fetched unit: its bytes exist durable on the array.
+  void observe_fetched(UnitKey key, std::uint64_t disk_offset, std::uint64_t offset_in_unit,
+                       std::uint64_t len);
+
+  /// Checksum verification cost for `bytes` (setup + scan bandwidth).
+  sim::Tick verify_cost(std::uint64_t bytes) const;
+  /// The write-back corruption window covering `now`, if any.
+  const WbCorruptWindow* wb_corrupt_active() const;
+  void emit_integrity(pablo::IntegrityKind kind, std::uint32_t file, std::uint64_t unit,
+                      std::uint64_t bytes);
+  /// Verify-on-read of one just-fetched cache unit (buffered path; the whole
+  /// unit was read).  Handles detection, on-the-fly regeneration, read-repair
+  /// and the silent-taint bookkeeping per the configured mode.
+  sim::Task<void> verify_fetched(UnitKey key, std::uint64_t disk_offset);
+  /// Verify-on-read of an unbuffered range access.
+  sim::Task<void> verify_range(UnitKey key, std::uint64_t disk_offset,
+                               std::uint64_t offset_in_unit, std::uint64_t len);
+  /// Accounts corrupt bytes served to a client with no checksum to catch
+  /// them (integrity=off): the silent failure mode.
+  void note_corrupt_served(UnitKey key, std::uint64_t offset_in_unit, std::uint64_t len);
+  /// Regenerates a corrupt unit from RAID-3 parity and rewrites it, bounded
+  /// by the rebuild semaphore.  `scrub` selects the counter/event flavor.
+  sim::Task<void> repair_unit(UnitKey key, std::uint64_t disk_offset, bool scrub);
 
   /// CPU service stretched by the degraded multiplier when in effect.
   sim::Tick svc(sim::Tick t) const;

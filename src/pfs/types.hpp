@@ -99,6 +99,28 @@ constexpr std::string_view journal_mode_name(JournalMode m) {
   return "?";
 }
 
+/// Per-stripe-unit end-to-end integrity policy.
+///
+///   kOff     no server-side checksums; silently-corrupted durable bytes are
+///            served to clients and only the omniscient `UnitLedger` can tell
+///            (the pre-integrity behavior, and the paper's implicit model).
+///   kVerify  verify-on-read: a checksum mismatch is detected and the served
+///            bytes are regenerated on the fly from RAID-3 parity, but the
+///            durable copy stays bad (a latent error remains on disk).
+///   kRepair  verify + read-repair: a bad unit is rewritten from the parity
+///            reconstruction (bounded by the rebuild semaphore), and the
+///            background scrubber repairs latent errors it finds.
+enum class IntegrityMode : std::uint8_t { kOff = 0, kVerify, kRepair };
+
+constexpr std::string_view integrity_mode_name(IntegrityMode m) {
+  switch (m) {
+    case IntegrityMode::kOff: return "off";
+    case IntegrityMode::kVerify: return "verify";
+    case IntegrityMode::kRepair: return "repair";
+  }
+  return "?";
+}
+
 /// Client-side resilience knobs: per-operation deadlines with bounded retry
 /// under deterministic exponential backoff.  Disabled by default — with
 /// `enabled == false` the client takes the exact code path (and produces the

@@ -45,10 +45,13 @@ namespace sio::qos {
 /// Priority classes of the DRR fair queue.  At the metadata server, control
 /// traffic (open/gopen/close stampedes) is kMeta while token/seek grants —
 /// which gate *in-flight data operations* — are kData; at an I/O-node server
-/// everything data-path is kData.
+/// everything data-path is kData.  kScrub is the background class used by the
+/// integrity scrubber: DRR gives it its round-robin turn, so it makes
+/// progress without starving foreground traffic under load.
 enum class OpClass : std::uint8_t {
   kMeta = 0,
   kData = 1,
+  kScrub = 2,
 };
 
 /// Admission verdicts.

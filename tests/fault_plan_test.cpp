@@ -124,6 +124,108 @@ TEST(FaultPlan, RandomPlansDifferAcrossSeeds) {
   EXPECT_TRUE(any_differs);
 }
 
+// ---------------------------------------------------------------------------
+// Contradictory-window rejection for the corruption fault types.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, IntegrityScenariosValidateOnTheCaltechMachine) {
+  for (const auto mode :
+       {pfs::IntegrityMode::kOff, pfs::IntegrityMode::kVerify, pfs::IntegrityMode::kRepair}) {
+    for (const auto& p :
+         {FaultPlan::bit_rot_plan(42, mode), FaultPlan::write_back_corrupt_plan(42, mode),
+          FaultPlan::link_corrupt_plan(42, mode)}) {
+      EXPECT_FALSE(p.empty()) << p.name;
+      EXPECT_GT(p.injection_count(), 0u) << p.name;
+      EXPECT_TRUE(p.retry.enabled) << p.name;
+      EXPECT_NO_THROW(p.validate(16)) << p.name;
+    }
+  }
+}
+
+TEST(FaultPlan, ValidateRejectsTwoSpindleFailuresOnOneNode) {
+  // RAID-3 survives exactly one spindle: a second failure on the same node is
+  // a contradictory plan, not a scenario.
+  FaultPlan p;
+  p.retry.enabled = true;
+  p.disk_failures.push_back({0, sim::seconds(1), 1 << 20});
+  p.disk_failures.push_back({0, sim::seconds(5), 1 << 20});
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+  p.disk_failures.back().io_node = 1;  // different node is fine
+  EXPECT_NO_THROW(p.validate(16));
+}
+
+TEST(FaultPlan, ValidateRejectsStuckRequestAtSpindleFailureTick) {
+  FaultPlan p;
+  p.retry.enabled = true;
+  p.disk_failures.push_back({2, sim::seconds(3), 1 << 20});
+  p.disk_stuck.push_back({2, sim::seconds(3), sim::seconds(1)});
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+  p.disk_stuck.back().at = sim::seconds(3) + 1;
+  EXPECT_NO_THROW(p.validate(16));
+}
+
+TEST(FaultPlan, ValidateRejectsBitRotDuringCrashOutage) {
+  FaultPlan p;
+  p.retry.enabled = true;
+  p.server_crashes.push_back({0, sim::seconds(2), sim::seconds(4)});
+  p.bit_rot.push_back({0, sim::seconds(3), 2, 99, false});  // inside the outage
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+  p.bit_rot.back().at = sim::seconds(4);  // at restart is fine
+  EXPECT_NO_THROW(p.validate(16));
+  p.bit_rot.back() = {1, sim::seconds(3), 2, 99, false};  // other node is fine
+  EXPECT_NO_THROW(p.validate(16));
+}
+
+TEST(FaultPlan, ValidateRejectsWriteBackCorruptOverlappingCrash) {
+  FaultPlan p;
+  p.retry.enabled = true;
+  p.server_crashes.push_back({1, sim::seconds(2), sim::seconds(4)});
+  p.write_back_corrupt.push_back({1, sim::seconds(3), sim::seconds(6), false});
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+  p.write_back_corrupt.back() = {1, sim::seconds(4), sim::seconds(6), false};
+  EXPECT_NO_THROW(p.validate(16));
+}
+
+TEST(FaultPlan, ValidateRejectsOverlappingWriteBackCorruptWindows) {
+  FaultPlan p;
+  p.retry.enabled = true;
+  p.write_back_corrupt.push_back({0, sim::seconds(1), sim::seconds(4), false});
+  p.write_back_corrupt.push_back({0, sim::seconds(3), sim::seconds(6), true});
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+  p.write_back_corrupt.back().t0 = sim::seconds(4);  // abutting is fine
+  EXPECT_NO_THROW(p.validate(16));
+  p.write_back_corrupt.back() = {1, sim::seconds(3), sim::seconds(6), true};
+  EXPECT_NO_THROW(p.validate(16));
+}
+
+TEST(FaultPlan, ValidateRejectsBadLinkCorruptWindows) {
+  FaultPlan p;
+  p.retry.enabled = true;
+  p.link_corrupt.push_back({0, sim::seconds(2), sim::seconds(1), 3});  // inverted
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+  p.link_corrupt.back() = {0, sim::seconds(1), sim::seconds(2), 0};  // every_n < 1
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+  p.link_corrupt.back() = {17, sim::seconds(1), sim::seconds(2), 3};  // bad node
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+  p.link_corrupt.back() = {0, sim::seconds(1), sim::seconds(2), 3};
+  EXPECT_NO_THROW(p.validate(16));
+  p.retry.enabled = false;  // corruption retries require the retry policy
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+}
+
+TEST(FaultPlan, ValidateRejectsNegativeScrubConfig) {
+  FaultPlan p;
+  p.retry.enabled = true;
+  p.integrity.mode = pfs::IntegrityMode::kRepair;
+  p.integrity.scrub_interval = -1;
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+  p.integrity.scrub_interval = sim::milliseconds(50);
+  p.integrity.scrub_sweeps = -2;
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+  p.integrity.scrub_sweeps = 10;
+  EXPECT_NO_THROW(p.validate(16));
+}
+
 TEST(FaultPlan, RandomPlanStaysValidOnShortHorizons) {
   // Short horizons must suppress the fault types that need room (crashes,
   // link windows) instead of drawing inverted ranges.

@@ -246,5 +246,29 @@ TEST(Registry, WalJournalProofExhaustsAndUnjournaledLoses) {
   EXPECT_NE(rec.message.find("unrecoverable"), std::string::npos);
 }
 
+TEST(Registry, IntegrityProofExhaustsAndUnverifiedAcksCorrupt) {
+  // The end-to-end integrity contract as a bounded proof: with verify-on-read
+  // and the scrubber, every interleaving of rot placement, read timing, the
+  // detection-to-claim gap, and the rebuild window ends with no corrupt byte
+  // acknowledged, each unit regenerated at most once, and no latent error
+  // surviving.  The same schedule with verification off must yield a silent
+  // corrupt-acknowledge counterexample that minimizes and replays
+  // byte-identically.
+  Explorer proof(make_integrity_scenario(2, /*verify=*/true));
+  const ExploreResult r_proof = proof.explore();
+  EXPECT_TRUE(r_proof.exhausted);
+  EXPECT_EQ(r_proof.violations, 0u);
+
+  Explorer off(make_integrity_scenario(2, /*verify=*/false));
+  const ExploreResult r_off = off.explore();
+  EXPECT_TRUE(r_off.exhausted);
+  ASSERT_GT(r_off.violations, 0u);
+  const Schedule min = off.minimize(r_off.failures.front().schedule);
+  RunRecord rec;
+  EXPECT_TRUE(off.replays_identically(min, &rec));
+  EXPECT_TRUE(rec.violation);
+  EXPECT_NE(rec.message.find("acknowledged"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sio::mc

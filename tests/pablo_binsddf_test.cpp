@@ -194,6 +194,39 @@ TEST(BinSddf, ConverterTextIsByteIdenticalToDirectText) {
   EXPECT_EQ(out.str(), col.sddf_text());
 }
 
+TEST(BinSddf, RoundTripsIntegrityRecords) {
+  sim::Engine engine;
+  Collector col(engine);
+  const FileId f = col.register_file("ckpt/frame0");
+  col.record(ev(1, 1, 0, f, IoOp::kWrite, 0, 4096));
+  std::vector<IntegrityEvent> recorded;
+  for (int i = 0; i < 6; ++i) {
+    IntegrityEvent g;
+    g.at = sim::milliseconds(100 * (i + 1));
+    g.kind = static_cast<IntegrityKind>(i % kIntegrityKindCount);
+    g.target = i % 3;
+    g.file = (i % 2 == 0) ? f : kNoFile;  // exercises the file delta across "-"
+    g.unit = static_cast<std::uint64_t>(i) * 37;
+    g.bytes = static_cast<std::uint64_t>(i) * 1000 + 1;
+    col.record_integrity(g);
+    recorded.push_back(g);
+  }
+
+  const auto tf = from_binary_sddf(to_binary_sddf(col));
+  ASSERT_EQ(tf.integrity.size(), recorded.size());
+  for (std::size_t i = 0; i < recorded.size(); ++i) {
+    EXPECT_EQ(tf.integrity[i].at, recorded[i].at) << i;
+    EXPECT_EQ(tf.integrity[i].kind, recorded[i].kind) << i;
+    EXPECT_EQ(tf.integrity[i].target, recorded[i].target) << i;
+    EXPECT_EQ(tf.integrity[i].file, recorded[i].file) << i;
+    EXPECT_EQ(tf.integrity[i].unit, recorded[i].unit) << i;
+    EXPECT_EQ(tf.integrity[i].bytes, recorded[i].bytes) << i;
+  }
+  // The binary and text dialects agree on the integrity stream.
+  const auto text = from_sddf_string(to_sddf_string(col));
+  ASSERT_EQ(text.integrity.size(), recorded.size());
+}
+
 TEST(BinSddf, RejectsBadMagic) {
   std::string bad = to_binary_sddf({"f"}, {ev(1, 1, 0, 0, IoOp::kRead, 0, 1)});
   bad[0] = 'X';

@@ -84,6 +84,62 @@ TEST(Sddf, RoundTripsLossRecords) {
   EXPECT_EQ(tf.losses[1].torn, 1u);
 }
 
+TEST(Sddf, RoundTripsIntegrityRecords) {
+  sim::Engine engine;
+  Collector col(engine);
+  const FileId f = col.register_file("ckpt/frame0");
+  col.record(ev(1, 1, 0, f, IoOp::kWrite, 0, 4096));
+  IntegrityEvent rot;
+  rot.at = sim::seconds(2);
+  rot.kind = IntegrityKind::kBitRot;
+  rot.target = 5;
+  rot.file = f;
+  rot.unit = 17;
+  rot.bytes = 32768;
+  col.record_integrity(rot);
+  IntegrityEvent sweep;  // scrubber heartbeat: no file attached
+  sweep.at = sim::seconds(3);
+  sweep.kind = IntegrityKind::kScrubSweep;
+  sweep.target = 5;
+  sweep.file = kNoFile;
+  sweep.unit = 0;
+  sweep.bytes = 48;
+  col.record_integrity(sweep);
+
+  const auto tf = from_sddf_string(to_sddf_string(col));
+  ASSERT_EQ(tf.integrity.size(), 2u);
+  EXPECT_EQ(tf.integrity[0].at, sim::seconds(2));
+  EXPECT_EQ(tf.integrity[0].kind, IntegrityKind::kBitRot);
+  EXPECT_EQ(tf.integrity[0].target, 5);
+  EXPECT_EQ(tf.integrity[0].file, f);
+  EXPECT_EQ(tf.integrity[0].unit, 17u);
+  EXPECT_EQ(tf.integrity[0].bytes, 32768u);
+  EXPECT_EQ(tf.integrity[1].kind, IntegrityKind::kScrubSweep);
+  EXPECT_EQ(tf.integrity[1].file, kNoFile);
+}
+
+TEST(Sddf, ParseIntegrityKindCoversAllNames) {
+  for (int i = 0; i < kIntegrityKindCount; ++i) {
+    const auto k = static_cast<IntegrityKind>(i);
+    EXPECT_EQ(parse_integrity_kind(std::string(integrity_kind_name(k))), k);
+  }
+  EXPECT_THROW(parse_integrity_kind("cosmic-ray"), std::runtime_error);
+}
+
+TEST(Sddf, RejectsTruncatedIntegrityRecord) {
+  const std::string text =
+      "#SDDF-IO 1\n#fields start_ns duration_ns node file op offset bytes\n"
+      "#integrity 5 bit-rot 0 -\n";
+  EXPECT_THROW(from_sddf_string(text), std::runtime_error);
+}
+
+TEST(Sddf, RejectsIntegrityWithUnknownFileReference) {
+  const std::string text =
+      "#SDDF-IO 1\n#fields start_ns duration_ns node file op offset bytes\n"
+      "#integrity 5 bit-rot 0 4 0 1024\n";
+  EXPECT_THROW(from_sddf_string(text), std::runtime_error);
+}
+
 TEST(Sddf, RejectsTruncatedLossRecord) {
   const std::string text =
       "#SDDF-IO 1\n#fields start_ns duration_ns node file op offset bytes\n"

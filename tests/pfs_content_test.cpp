@@ -110,5 +110,146 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ContentRoundTrip,
                                            std::pair{1ull << 30, std::size_t{10000}},
                                            std::pair{123456789ull, std::size_t{65536}}));
 
+// ---------------------------------------------------------------------------
+// SparseContent / UnitLedger edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(SparseContent, ZeroLengthWriteAllocatesNothing) {
+  SparseContent c;
+  c.write(4096, std::span<const std::byte>{});
+  EXPECT_EQ(c.resident_bytes(), 0u);
+  std::vector<std::byte> out(8, std::byte{0xff});
+  c.read(4090, out);  // still a hole: reads back zero
+  for (const auto b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(UnitLedger, ZeroLengthAckLeavesUnitEmpty) {
+  UnitLedger l;
+  l.ack(1, 0, 64, 0, /*op=*/7);
+  const auto st = l.status(1, 0);
+  EXPECT_EQ(st.acked_bytes, 0u);
+  EXPECT_EQ(st.durable_bytes, 0u);
+  EXPECT_EQ(l.acked_undurable_bytes(1, 0), 0u);
+}
+
+TEST(UnitLedger, ChecksumIsStableAcrossOverlappingRewrites) {
+  // Two ledgers fed the identical overlapping-rewrite history agree on every
+  // checksum; replaying the final op (the crash-recovery duplicate) changes
+  // nothing.
+  UnitLedger a, b;
+  for (UnitLedger* l : {&a, &b}) {
+    l->ack(3, 5, 0, 100, /*op=*/1);
+    l->ack(3, 5, 50, 100, /*op=*/2);  // overlaps the tail of op 1
+    l->ack(3, 5, 25, 10, /*op=*/3);   // overlaps the middle of both
+  }
+  b.ack(3, 5, 25, 10, /*op=*/3);  // idempotent replay
+  const auto sa = a.status(3, 5);
+  const auto sb = b.status(3, 5);
+  EXPECT_EQ(sa.acked_bytes, 150u);
+  EXPECT_EQ(sa.acked_bytes, sb.acked_bytes);
+  EXPECT_EQ(sa.acked_csum, sb.acked_csum);
+
+  // A different overlap (different op owning the middle) must change the
+  // checksum even though coverage is identical.
+  UnitLedger c;
+  c.ack(3, 5, 0, 100, /*op=*/1);
+  c.ack(3, 5, 50, 100, /*op=*/2);
+  c.ack(3, 5, 25, 10, /*op=*/4);
+  EXPECT_EQ(c.status(3, 5).acked_bytes, sa.acked_bytes);
+  EXPECT_NE(c.status(3, 5).acked_csum, sa.acked_csum);
+}
+
+TEST(UnitLedger, RotClipsToUnitsSpanningHoles) {
+  UnitLedger l;
+  // Two durable islands with a hole between them.
+  l.ack(1, 0, 0, 10, /*op=*/1);
+  l.ack(1, 0, 100, 10, /*op=*/2);
+  l.durable(1, 0);
+  EXPECT_EQ(l.status(1, 0).durable_bytes, 20u);
+  // Rot aimed at the hole lands on nothing.
+  EXPECT_EQ(l.rot(1, 0, 20, 40), 0u);
+  EXPECT_EQ(l.unit_corrupt_bytes(1, 0), 0u);
+  // Rot spanning both islands corrupts only the durable overlap.
+  EXPECT_EQ(l.rot(1, 0, 5, 100), 10u);  // [5,10) + [100,105)
+  EXPECT_EQ(l.unit_corrupt_bytes(1, 0), 10u);
+  // Re-rotting the same range is not fresh damage.
+  EXPECT_EQ(l.rot(1, 0, 5, 100), 0u);
+  EXPECT_EQ(l.corrupt_overlap(1, 0, 0, 7), 2u);  // [5,7)
+}
+
+TEST(UnitLedger, TornPrefixUnitsReportUndurableTail) {
+  UnitLedger l;
+  l.ack(2, 1, 0, 100, /*op=*/1);
+  l.torn(2, 1, /*prefix=*/60);
+  auto st = l.status(2, 1);
+  EXPECT_TRUE(st.torn);
+  EXPECT_EQ(st.durable_bytes, 60u);
+  EXPECT_EQ(l.acked_undurable_bytes(2, 1), 40u);
+  // Rot beyond the torn prefix hits nothing durable.
+  EXPECT_EQ(l.rot(2, 1, 60, 40), 0u);
+  EXPECT_EQ(l.rot(2, 1, 0, 60), 60u);
+  // A journal redo restores the full acked set and heals the damage the
+  // redo's rewrite covered.
+  l.redone(2, 1);
+  st = l.status(2, 1);
+  EXPECT_FALSE(st.torn);
+  EXPECT_EQ(st.durable_bytes, 100u);
+  EXPECT_EQ(l.unit_corrupt_bytes(2, 1), 0u);
+}
+
+TEST(UnitLedger, ObserveDurableRegistersReadOnlyInputData) {
+  UnitLedger l;
+  l.observe_durable(9, 3, 0, 4096);
+  const auto st = l.status(9, 3);
+  EXPECT_EQ(st.acked_bytes, 0u);  // never written by the workload
+  EXPECT_EQ(st.durable_bytes, 4096u);
+  // ...which is exactly the population bit-rot targets in read-mostly runs.
+  EXPECT_EQ(l.rot(9, 3, 0, 100), 100u);
+}
+
+TEST(UnitLedger, ObserveDurableNeverLaundersCrashLosses) {
+  UnitLedger l;
+  l.ack(4, 2, 0, 100, /*op=*/1);
+  l.drop_residency();  // crash before any write-back: the bytes are lost
+  EXPECT_EQ(l.acked_undurable_bytes(4, 2), 100u);
+  // A later read fetching the unit must not retroactively declare the lost
+  // write durable: written units' durability is decided by write-backs alone.
+  l.observe_durable(4, 2, 0, 100);
+  EXPECT_EQ(l.acked_undurable_bytes(4, 2), 100u);
+  EXPECT_EQ(l.status(4, 2).durable_bytes, 0u);
+}
+
+TEST(UnitLedger, StaleUnitsResistRepairButHealOnRewrite) {
+  UnitLedger l;
+  l.ack(5, 0, 0, 100, /*op=*/1);
+  l.durable(5, 0);
+  EXPECT_GT(l.mark_stale(5, 0), 0u);
+  EXPECT_TRUE(l.unit_stale(5, 0));
+  EXPECT_EQ(l.repair(5, 0), 0u);  // parity agrees with the wrong bytes
+  EXPECT_GT(l.unit_corrupt_bytes(5, 0), 0u);
+  // A fresh write-back over the whole unit replaces the bytes for real.
+  l.ack(5, 0, 0, 100, /*op=*/2);
+  l.durable(5, 0);
+  EXPECT_EQ(l.unit_corrupt_bytes(5, 0), 0u);
+  EXPECT_FALSE(l.unit_stale(5, 0));
+  EXPECT_EQ(l.stale_unit_count(), 0u);
+}
+
+TEST(UnitLedger, RepairClearsRotAndResidualCountsTrack) {
+  UnitLedger l;
+  l.observe_durable(1, 1, 0, 4096);
+  l.observe_durable(1, 2, 0, 4096);
+  EXPECT_EQ(l.rot(1, 1, 0, 50), 50u);
+  EXPECT_EQ(l.rot(1, 2, 10, 20), 20u);
+  EXPECT_EQ(l.total_corrupt_bytes(), 70u);
+  EXPECT_EQ(l.corrupt_unit_count(), 2u);
+  EXPECT_EQ(l.repair(1, 1), 50u);
+  EXPECT_EQ(l.total_corrupt_bytes(), 20u);
+  EXPECT_EQ(l.corrupt_unit_count(), 1u);
+  EXPECT_EQ(l.repair(1, 2), 20u);
+  EXPECT_EQ(l.total_corrupt_bytes(), 0u);
+  EXPECT_EQ(l.corrupt_unit_count(), 0u);
+}
+
 }  // namespace
 }  // namespace sio::pfs

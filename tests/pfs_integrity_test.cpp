@@ -1,0 +1,219 @@
+// End-to-end data-integrity acceptance tests: seeded silent-corruption
+// injection (disk bit-rot, phantom/misdirected write-backs, wire corruption)
+// against the three verification modes.  The omniscient UnitLedger is the
+// oracle: with integrity=off the corruption is invisible to every protocol
+// counter and only the ledger's residual view knows; with integrity=repair
+// the verify-on-read path plus the background scrubber must end the run with
+// zero corrupt bytes acknowledged AND zero residual corrupt durable units.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "fault/plan.hpp"
+#include "pablo/resilience.hpp"
+
+namespace sio::core {
+namespace {
+
+apps::escat::Config tiny_escat() {
+  apps::escat::Workload w;
+  w.nodes = 16;
+  w.channels = 2;
+  w.init_small_reads = 8;
+  w.quad_cycles = 8;
+  w.reload_record = 16 * 1024;
+  w.phase1_setup_compute = sim::seconds(1);
+  w.phase2_cycle_compute = sim::seconds(1);
+  w.phase3_energy_compute = sim::seconds(1);
+  return apps::escat::make_config(apps::escat::Version::C, w);
+}
+
+apps::prism::Config tiny_prism() {
+  apps::prism::Workload w;
+  w.nodes = 8;
+  w.steps = 60;
+  w.checkpoint_every = 20;
+  w.step_compute = sim::milliseconds(400);
+  w.param_reads = 10;
+  w.conn_text_reads = 20;
+  w.conn_binary_reads = 5;
+  w.phase1_setup = {sim::seconds(1), sim::seconds(1), sim::seconds(1)};
+  return apps::prism::make_config(apps::prism::Version::C, w);
+}
+
+// Large enough that each checkpoint dirties more units per I/O node than the
+// tuned dirty limit, so write-backs actually reach the arrays (the only path
+// phantom/misdirected write-back corruption can take).
+apps::ckpt::Config big_ckpt() {
+  apps::ckpt::Workload w;
+  w.nodes = 8;
+  w.steps = 20;
+  w.checkpoint_every = 5;
+  w.state_per_node = 1024 * 1024;
+  w.step_compute = sim::milliseconds(250);
+  return apps::ckpt::make_config(apps::ckpt::Variant::kAggregated, w);
+}
+
+RunResult run_mode(const std::string& app, const fault::FaultPlan& plan, std::uint64_t seed) {
+  if (app == "escat") return run_escat(tiny_escat(), plan, seed);
+  if (app == "prism") return run_prism(tiny_prism(), plan, seed);
+  return run_ckpt(big_ckpt(), plan, seed);
+}
+
+std::string integrity_fingerprint(const RunResult& r) {
+  std::ostringstream out;
+  out << r.exec_time << " " << r.events_processed << " " << r.integrity_events.size() << "\n";
+  for (const auto& ev : r.integrity_events) {
+    out << ev.at << " " << pablo::integrity_kind_name(ev.kind) << " " << ev.target << " "
+        << ev.file << " " << ev.unit << " " << ev.bytes << "\n";
+  }
+  out << pablo::render_integrity(r.integrity);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Bit-rot: the headline acceptance matrix across all three applications.
+// ---------------------------------------------------------------------------
+
+TEST(PfsIntegrity, BitRotRepairEndsCleanOnAllApps) {
+  for (const std::string app : {"escat", "prism", "ckpt"}) {
+    const auto plan = fault::FaultPlan::bit_rot_plan(42, pfs::IntegrityMode::kRepair);
+    const auto r = run_mode(app, plan, 42);
+    const auto& g = r.integrity;
+    EXPECT_GT(g.rotted_units, 0u) << app;      // the bursts landed
+    EXPECT_GT(g.scrub_sweeps, 0u) << app;      // the scrubber ran
+    EXPECT_GT(g.scrub_repairs + g.read_repairs, 0u) << app;
+    // The two halves of the acceptance bar: nothing corrupt was ever
+    // acknowledged to a client, and nothing corrupt is left on the arrays.
+    EXPECT_EQ(g.corrupt_bytes_acked, 0u) << app;
+    EXPECT_EQ(g.corrupt_reads_acked, 0u) << app;
+    EXPECT_EQ(g.residual_corrupt_units, 0u) << app;
+    EXPECT_EQ(g.residual_corrupt_bytes, 0u) << app;
+    EXPECT_EQ(g.stale_units, 0u) << app;  // bit-rot is always parity-regenerable
+  }
+}
+
+TEST(PfsIntegrity, BitRotOffIsSilentExceptToTheLedger) {
+  for (const std::string app : {"escat", "prism", "ckpt"}) {
+    const auto plan = fault::FaultPlan::bit_rot_plan(42, pfs::IntegrityMode::kOff);
+    const auto r = run_mode(app, plan, 42);
+    const auto& g = r.integrity;
+    EXPECT_GT(g.rotted_units, 0u) << app;
+    // No protocol-visible detection of any kind...
+    EXPECT_EQ(g.verify_fails, 0u) << app;
+    EXPECT_EQ(g.scrub_detects, 0u) << app;
+    EXPECT_EQ(g.scrub_sweeps, 0u) << app;
+    EXPECT_EQ(g.read_repairs + g.scrub_repairs, 0u) << app;
+    // ...yet the omniscient ledger sees the durable damage.
+    EXPECT_GT(g.residual_corrupt_bytes, 0u) << app;
+    EXPECT_GT(g.residual_corrupt_units, 0u) << app;
+  }
+}
+
+TEST(PfsIntegrity, VerifyModeNeverAcksCorruptButLeavesDurableDamage) {
+  const auto plan = fault::FaultPlan::bit_rot_plan(42, pfs::IntegrityMode::kVerify);
+  const auto r = run_escat(tiny_escat(), plan, 42);
+  const auto& g = r.integrity;
+  EXPECT_GT(g.rotted_units, 0u);
+  EXPECT_EQ(g.corrupt_bytes_acked, 0u);
+  // verify (without repair) runs no scrubber and persists no repairs: the
+  // latent errors stay on the arrays for a future spindle failure to find.
+  EXPECT_EQ(g.scrub_sweeps, 0u);
+  EXPECT_EQ(g.read_repairs + g.scrub_repairs, 0u);
+  EXPECT_GT(g.residual_corrupt_bytes, 0u);
+}
+
+TEST(PfsIntegrity, BitRotRunsAreDeterministic) {
+  const auto plan = fault::FaultPlan::bit_rot_plan(7, pfs::IntegrityMode::kRepair);
+  const auto a = run_escat(tiny_escat(), plan, 7);
+  const auto b = run_escat(tiny_escat(), plan, 7);
+  EXPECT_EQ(integrity_fingerprint(a), integrity_fingerprint(b));
+  EXPECT_FALSE(a.integrity_events.empty());
+}
+
+TEST(PfsIntegrity, DifferentCorruptionSeedsDiverge) {
+  const auto a =
+      run_escat(tiny_escat(), fault::FaultPlan::bit_rot_plan(7, pfs::IntegrityMode::kRepair), 7);
+  const auto b =
+      run_escat(tiny_escat(), fault::FaultPlan::bit_rot_plan(8, pfs::IntegrityMode::kRepair), 7);
+  EXPECT_NE(integrity_fingerprint(a), integrity_fingerprint(b));
+}
+
+// ---------------------------------------------------------------------------
+// Write-back corruption: phantom and misdirected flushes.
+// ---------------------------------------------------------------------------
+
+TEST(PfsIntegrity, WriteBackCorruptionHitsFlushedCheckpoints) {
+  const auto plan = fault::FaultPlan::write_back_corrupt_plan(42, pfs::IntegrityMode::kOff);
+  const auto r = run_ckpt(big_ckpt(), plan, 42);
+  const auto& g = r.integrity;
+  EXPECT_GT(g.phantom_write_backs, 0u);
+  EXPECT_GT(g.misdirected_write_backs, 0u);
+  // Phantom/misdirected damage is parity-consistent: the ledger tracks it as
+  // stale (checksum-detectable, not parity-regenerable).
+  EXPECT_GT(g.residual_corrupt_units + g.stale_units, 0u);
+  EXPECT_EQ(g.verify_fails + g.stale_served, 0u);  // off: nobody checked
+}
+
+TEST(PfsIntegrity, WriteBackCorruptionIsDetectedUnderRepair) {
+  const auto plan = fault::FaultPlan::write_back_corrupt_plan(42, pfs::IntegrityMode::kRepair);
+  const auto r = run_ckpt(big_ckpt(), plan, 42);
+  const auto& g = r.integrity;
+  EXPECT_GT(g.phantom_write_backs + g.misdirected_write_backs, 0u);
+  // Whatever the clients re-read was never served corrupt.
+  EXPECT_EQ(g.corrupt_bytes_acked, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire corruption: checksum coverage of the client<->server transfer.
+// ---------------------------------------------------------------------------
+
+TEST(PfsIntegrity, LinkCorruptionIsSilentlyAckedWithIntegrityOff) {
+  const auto plan = fault::FaultPlan::link_corrupt_plan(42, pfs::IntegrityMode::kOff);
+  const auto r = run_escat(tiny_escat(), plan, 42);
+  const auto& g = r.integrity;
+  EXPECT_GT(g.link_corrupt_acks, 0u);
+  EXPECT_GT(g.link_corrupt_bytes_acked, 0u);
+  EXPECT_EQ(g.link_corrupt_detected, 0u);
+  // Wire damage never touches the durable copies.
+  EXPECT_EQ(g.residual_corrupt_bytes, 0u);
+}
+
+TEST(PfsIntegrity, LinkCorruptionIsCaughtAndRedrivenUnderRepair) {
+  const auto plan = fault::FaultPlan::link_corrupt_plan(42, pfs::IntegrityMode::kRepair);
+  const auto r = run_escat(tiny_escat(), plan, 42);
+  const auto& g = r.integrity;
+  EXPECT_GT(g.link_corrupt_detected, 0u);
+  EXPECT_EQ(g.link_corrupt_acks, 0u);
+  EXPECT_EQ(g.link_corrupt_bytes_acked, 0u);
+  EXPECT_EQ(g.corrupt_bytes_acked, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Reporting plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(PfsIntegrity, ReportRendersAndEventsAreOrdered) {
+  const auto plan = fault::FaultPlan::bit_rot_plan(42, pfs::IntegrityMode::kRepair);
+  const auto r = run_escat(tiny_escat(), plan, 42);
+  const auto text = pablo::render_integrity(r.integrity);
+  EXPECT_NE(text.find("mode=repair"), std::string::npos);
+  EXPECT_NE(text.find("residual"), std::string::npos);
+  ASSERT_FALSE(r.integrity_events.empty());
+  for (std::size_t i = 1; i < r.integrity_events.size(); ++i) {
+    EXPECT_LE(r.integrity_events[i - 1].at, r.integrity_events[i].at);
+  }
+}
+
+TEST(PfsIntegrity, FaultFreeRunHasEmptyIntegrityReport) {
+  const auto r = run_escat(tiny_escat(), 42);
+  EXPECT_TRUE(r.integrity.empty());
+  EXPECT_TRUE(r.integrity_events.empty());
+  EXPECT_EQ(pablo::render_integrity(r.integrity), "");
+}
+
+}  // namespace
+}  // namespace sio::core

@@ -179,6 +179,14 @@ TEST(SiolintUnorderedIter, FiresInOrderSensitiveDirsOnly) {
   const auto in_ckpt = lint_one("src/apps/ckpt.cpp", code);
   ASSERT_EQ(in_ckpt.size(), 1u);
   EXPECT_EQ(in_ckpt[0].rule, "unordered-iter");
+  // ...and the integrity subsystem, whose scrub order and #integrity records
+  // are observable in traces.
+  const auto in_integrity = lint_one("src/pfs/integrity.cpp", code);
+  ASSERT_EQ(in_integrity.size(), 1u);
+  EXPECT_EQ(in_integrity[0].rule, "unordered-iter");
+  const auto in_integrity_hdr = lint_one("src/pfs/integrity.hpp", code);
+  ASSERT_EQ(in_integrity_hdr.size(), 1u);
+  EXPECT_EQ(in_integrity_hdr[0].rule, "unordered-iter");
 }
 
 TEST(SiolintUnorderedIter, SeesMembersDeclaredInHeaders) {
@@ -397,6 +405,17 @@ TEST(SiolintTraceVectorGrowth, SeesMembersDeclaredInHeaders) {
   ASSERT_EQ(diags.size(), 1u);
   EXPECT_EQ(diags[0].rule, "trace-vector-growth");
   EXPECT_EQ(diags[0].file, "src/pablo/bad.cpp");
+}
+
+TEST(SiolintTraceVectorGrowth, FiresOnIntegrityEventVectors) {
+  const auto diags = lint_one("src/pablo/bad.cpp",
+                              "std::vector<IntegrityEvent> integrity_;\n"
+                              "void record(const IntegrityEvent& g) {\n"
+                              "  integrity_.push_back(g);\n"
+                              "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "trace-vector-growth");
+  EXPECT_EQ(diags[0].line, 3);
 }
 
 TEST(SiolintTraceVectorGrowth, QuietOnBoundedVectorsAndParameters) {

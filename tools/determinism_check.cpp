@@ -30,6 +30,14 @@
 // degraded reconstruction), so this axis catches nondeterminism in the
 // protection machinery specifically.  Combinable with --fault-seed: the
 // storms then also run with the extra seeded faults layered on top.
+//
+// `--corruption-seed N` additionally runs both experiments twice under the
+// seeded silent-corruption plan `fault::FaultPlan::bit_rot_plan(N, repair)`,
+// extending the fingerprint with every integrity observable: the ordered
+// #integrity event stream (rot placement, verify fails, read-repairs, scrub
+// sweeps) and the whole-run IntegrityReport counters.  A divergence here
+// means the corruption injector, the verify-on-read path, or the background
+// scrubber leaked nondeterminism into the schedule.
 
 #include <cstdlib>
 #include <iostream>
@@ -68,6 +76,17 @@ std::string fingerprint(const sio::core::RunResult& r) {
       << " coalesced=" << rc.coalesced_ops
       << " dropped=" << rc.dropped_messages << " degraded=" << rc.degraded_disk_ops
       << " stuck=" << rc.stuck_disk_ops << " crashes=" << rc.server_crashes << "\n";
+  for (const auto& ie : r.integrity_events) {
+    out << "integrity " << ie.at << " " << sio::pablo::integrity_kind_name(ie.kind) << " "
+        << ie.target << " " << ie.file << " " << ie.unit << " " << ie.bytes << "\n";
+  }
+  const auto& ig = r.integrity;
+  out << "integrity-report mode=" << ig.mode << " rotted=" << ig.rotted_units << "/"
+      << ig.rotted_bytes << " vfail=" << ig.verify_fails << " rrep=" << ig.read_repairs
+      << " srep=" << ig.scrub_repairs << " sweeps=" << ig.scrub_sweeps
+      << " checked=" << ig.scrub_units_checked << " lost=" << ig.repairs_lost
+      << " acked=" << ig.corrupt_bytes_acked << " residual=" << ig.residual_corrupt_units << "/"
+      << ig.residual_corrupt_bytes << " stale=" << ig.stale_units << "\n";
   out << sio::core::render_io_share_table(r, "determinism-fingerprint");
   return out.str();
 }
@@ -135,7 +154,9 @@ int main(int argc, char** argv) {
   int failures = 0;
   bool with_faults = false;
   bool with_overload = false;
+  bool with_corruption = false;
   std::uint64_t fault_seed = 0;
+  std::uint64_t corruption_seed = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fault-seed" && i + 1 < argc) {
@@ -143,8 +164,12 @@ int main(int argc, char** argv) {
       fault_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--overload-scenario") {
       with_overload = true;
+    } else if (arg == "--corruption-seed" && i + 1 < argc) {
+      with_corruption = true;
+      corruption_seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
-      std::cout << "usage: sio_determinism_check [--fault-seed N] [--overload-scenario]\n";
+      std::cout << "usage: sio_determinism_check [--fault-seed N] [--overload-scenario]"
+                   " [--corruption-seed N]\n";
       return 2;
     }
   }
@@ -201,6 +226,29 @@ int main(int argc, char** argv) {
       const auto r2 =
           sio::core::run_prism(sio::apps::prism::make_config(sio::apps::prism::Version::C), plan);
       check("prism version C (faulted, same plan)", fingerprint(r1), fingerprint(r2), failures);
+    }
+  }
+
+  if (with_corruption) {
+    const auto plan = sio::fault::FaultPlan::bit_rot_plan(corruption_seed,
+                                                          sio::pfs::IntegrityMode::kRepair);
+    std::cout << "determinism-check: corruption plan '" << plan.name << "' ("
+              << plan.bit_rot.size() << " rot burst(s), mode=repair)\n";
+    {
+      const auto r1 =
+          sio::core::run_escat(sio::apps::escat::make_config(sio::apps::escat::Version::B), plan);
+      const auto r2 =
+          sio::core::run_escat(sio::apps::escat::make_config(sio::apps::escat::Version::B), plan);
+      check("escat version B (bit-rot + scrub, same plan)", fingerprint(r1), fingerprint(r2),
+            failures);
+    }
+    {
+      const auto r1 =
+          sio::core::run_prism(sio::apps::prism::make_config(sio::apps::prism::Version::C), plan);
+      const auto r2 =
+          sio::core::run_prism(sio::apps::prism::make_config(sio::apps::prism::Version::C), plan);
+      check("prism version C (bit-rot + scrub, same plan)", fingerprint(r1), fingerprint(r2),
+            failures);
     }
   }
 

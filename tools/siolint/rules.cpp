@@ -24,7 +24,10 @@ bool is_order_sensitive_dir(std::string_view path) {
          starts_with(path, "src/qos/") || starts_with(path, "src/mc/") ||
          // Crash-consistency code replays logs and emits loss records whose
          // order is observable (SDDF traces, recovery redo order).
-         starts_with(path, "src/pfs/journal") || starts_with(path, "src/apps/ckpt");
+         starts_with(path, "src/pfs/journal") || starts_with(path, "src/apps/ckpt") ||
+         // The integrity subsystem scrubs in key order and emits #integrity
+         // records whose order is observable in SDDF traces.
+         starts_with(path, "src/pfs/integrity");
 }
 
 bool is_engine_hot_path(std::string_view path) { return starts_with(path, "src/sim/"); }
@@ -179,7 +182,7 @@ void collect_unordered_members(const std::string& stripped, std::set<std::string
   }
 }
 
-/// Finds `std::vector<TraceEvent|FaultEvent|QosEvent|LossEvent> name`
+/// Finds `std::vector<TraceEvent|FaultEvent|QosEvent|LossEvent|IntegrityEvent> name`
 /// member/variable declarations — the record containers whose size is
 /// proportional to trace length.  Reference/pointer declarations (function
 /// parameters, accessors) are skipped: only owning declarations terminated
@@ -203,7 +206,8 @@ void collect_trace_vector_members(const std::string& stripped, std::set<std::str
     const std::size_t quals = arg.rfind("::");
     if (quals != std::string::npos) arg = arg.substr(quals + 2);
     const bool event_vec =
-        arg == "TraceEvent" || arg == "FaultEvent" || arg == "QosEvent" || arg == "LossEvent";
+        arg == "TraceEvent" || arg == "FaultEvent" || arg == "QosEvent" ||
+        arg == "LossEvent" || arg == "IntegrityEvent";
     ++i;
     while (i < stripped.size() && std::isspace(static_cast<unsigned char>(stripped[i]))) ++i;
     std::size_t name_begin = i;
@@ -269,7 +273,8 @@ const std::vector<RuleInfo>& rule_table() {
        "std::function in the engine hot path (src/sim/); use sim::InlineCallback, which "
        "never heap-allocates for small callables"},
       {"trace-vector-growth",
-       "push_back/emplace_back on a std::vector<TraceEvent/FaultEvent/QosEvent/LossEvent> "
+       "push_back/emplace_back on a std::vector<TraceEvent/FaultEvent/QosEvent/LossEvent/"
+                   "IntegrityEvent> "
        "in src/pablo/ (grows without bound with trace length; gate on "
        "Collector::retain_events() or fold into pablo::StreamingAnalytics)"},
       {"detached-coroutine",
