@@ -1,0 +1,189 @@
+// Critical-path latency attribution matrix: where each operation's latency
+// goes, mechanism by mechanism.  Extends the paper's Tables 2/3/5 ("% of
+// execution time in I/O") one level down: with causal tracing on, every tick
+// of every op is attributed to exactly one pipeline stage (network request,
+// QoS admission, server service queue, disk, journal, ...), so the tables
+// here say not just *how much* time I/O took but *which mechanism* owned it.
+//
+// Two sweeps, both healthy (fault-free) runs:
+//   1. the paper applications — ESCAT A/C, PRISM A/C, and the checkpoint
+//      workload in both variants — traced end to end;
+//   2. a mode_explorer-style fixed write workload across all six PFS access
+//      modes, isolating what each mode's coordination costs on the path.
+//
+//   ./build/bench/bench_attribution
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/ckpt.hpp"
+#include "core/sio.hpp"
+#include "obs/critical_path.hpp"
+
+namespace {
+
+using namespace sio;
+
+// Per-stage critical-path ticks with all op classes collapsed together.
+struct Attribution {
+  std::string label;
+  std::uint64_t ops = 0;
+  sim::Tick total = 0;
+  std::array<sim::Tick, obs::kStageKindCount> excl{};
+};
+
+Attribution collapse(std::string label, const obs::CriticalPathReport& r) {
+  Attribution a;
+  a.label = std::move(label);
+  for (const auto& row : r.rows) {
+    a.ops += row.ops;
+    a.total += row.total_latency;
+    for (int s = 0; s < obs::kStageKindCount; ++s) a.excl[s] += row.exclusive[s];
+  }
+  return a;
+}
+
+// Renders rows as "% of summed op latency per stage", keeping only stages
+// that appear somewhere in the set so healthy runs stay narrow.
+std::string render_matrix(const std::vector<Attribution>& rows) {
+  std::vector<int> stages;
+  for (int s = 0; s < obs::kStageKindCount; ++s) {
+    for (const auto& a : rows) {
+      if (a.excl[s] > 0) {
+        stages.push_back(s);
+        break;
+      }
+    }
+  }
+  std::vector<std::string> headers{"workload", "ops", "avg-op"};
+  for (const int s : stages) {
+    headers.push_back(std::string(obs::stage_name(static_cast<obs::StageKind>(s))));
+  }
+  pablo::TextTable t(std::move(headers));
+  for (const auto& a : rows) {
+    std::vector<std::string> row{a.label, std::to_string(a.ops)};
+    const double avg_ms =
+        a.ops == 0 ? 0.0 : sim::to_seconds(a.total) * 1e3 / static_cast<double>(a.ops);
+    row.push_back(pablo::fmt_fixed(avg_ms, 2) + "ms");
+    for (const int s : stages) {
+      const double pct =
+          a.total == 0 ? 0.0
+                       : 100.0 * static_cast<double>(a.excl[s]) / static_cast<double>(a.total);
+      row.push_back(pablo::fmt_fixed(pct, 1));
+    }
+    t.add_row(std::move(row));
+  }
+  return t.render();
+}
+
+core::TraceOptions spans_on() {
+  core::TraceOptions t;
+  t.spans = true;
+  t.streaming = true;
+  t.retain_events = false;  // the streaming fold carries the attribution
+  return t;
+}
+
+// One node-parallel write pass in the given access mode, traced: 16 nodes
+// write 256 KB each in 8 KB requests (the ESCAT staging shape).
+Attribution sweep_mode(pfs::IoMode mode) {
+  constexpr int kNodes = 16;
+  constexpr std::uint64_t kBytesPerNode = 256 * 1024;
+  constexpr std::uint64_t kRequest = 8 * 1024;
+
+  hw::Machine machine(hw::Machine::caltech_paragon(kNodes));
+  pablo::Collector collector(machine.engine());
+  collector.enable_spans();
+  pfs::Pfs fs(machine, collector);
+  auto group = pfs::Group::contiguous(machine.engine(), kNodes);
+
+  machine.engine().spawn(apps::parallel_section(
+      machine.engine(), kNodes, [&](int node) -> sim::Task<void> {
+        pfs::OpenOptions opts;
+        opts.mode = mode;
+        opts.truncate = true;
+        if (mode == pfs::IoMode::kRecord) opts.record_size = kRequest;
+        auto fh = co_await fs.gopen(node, "x/attr", *group, opts);
+
+        const int requests = static_cast<int>(kBytesPerNode / kRequest);
+        const int rank = group->rank_of(node);
+        for (int i = 0; i < requests; ++i) {
+          switch (mode) {
+            case pfs::IoMode::kUnix:
+            case pfs::IoMode::kAsync: {
+              const std::uint64_t off =
+                  (static_cast<std::uint64_t>(i) * kNodes + static_cast<std::uint64_t>(rank)) *
+                  kRequest;
+              co_await fh.seek(off);
+              co_await fh.write(kRequest);
+              break;
+            }
+            default:
+              co_await fh.write(kRequest);
+              break;
+          }
+        }
+        co_await fh.close();
+      }));
+  machine.engine().run();
+  collector.finish_spans();
+
+  return collapse(std::string(pfs::io_mode_name(mode)),
+                  obs::critical_path(collector.span_events()));
+}
+
+}  // namespace
+
+int main() {
+  const auto plan = fault::FaultPlan::fault_free();
+  const auto topt = spans_on();
+
+  std::printf(
+      "Critical-path latency attribution (spans on, fault-free runs).\n"
+      "Cells: %% of summed per-op latency owned by each stage; every op tick\n"
+      "is attributed to exactly one stage, so rows sum to 100.\n\n");
+
+  std::printf("Paper applications, end to end:\n");
+  std::vector<Attribution> apps_rows;
+  apps_rows.push_back(collapse(
+      "escat A", core::run_escat(apps::escat::make_config(apps::escat::Version::A), plan, topt)
+                     .critical_path));
+  apps_rows.push_back(collapse(
+      "escat C", core::run_escat(apps::escat::make_config(apps::escat::Version::C), plan, topt)
+                     .critical_path));
+  apps_rows.push_back(collapse(
+      "prism A", core::run_prism(apps::prism::make_config(apps::prism::Version::A), plan, topt)
+                     .critical_path));
+  apps_rows.push_back(collapse(
+      "prism C", core::run_prism(apps::prism::make_config(apps::prism::Version::C), plan, topt)
+                     .critical_path));
+  apps_rows.push_back(collapse(
+      "ckpt naive",
+      core::run_ckpt(apps::ckpt::make_config(apps::ckpt::Variant::kNaive), plan, topt)
+          .critical_path));
+  apps_rows.push_back(collapse(
+      "ckpt aggregated",
+      core::run_ckpt(apps::ckpt::make_config(apps::ckpt::Variant::kAggregated), plan, topt)
+          .critical_path));
+  std::fputs(render_matrix(apps_rows).c_str(), stdout);
+
+  std::printf(
+      "\nSix PFS access modes, fixed workload (16 nodes x 256 KB, 8 KB"
+      " requests):\n");
+  std::vector<Attribution> mode_rows;
+  for (const auto mode :
+       {pfs::IoMode::kUnix, pfs::IoMode::kRecord, pfs::IoMode::kAsync, pfs::IoMode::kGlobal,
+        pfs::IoMode::kSync, pfs::IoMode::kLog}) {
+    mode_rows.push_back(sweep_mode(mode));
+  }
+  std::fputs(render_matrix(mode_rows).c_str(), stdout);
+
+  std::printf(
+      "\nReadings: the tuned runs (escat C, prism C, aggregated ckpt) spend\n"
+      "the path in server service — the array itself; naive ckpt's 1 KB\n"
+      "writes drown in that same queue; M_UNIX and M_LOG pay their shared\n"
+      "pointer in metadata token traffic, and the collective modes swap it\n"
+      "for barrier sync on the path.\n");
+  return 0;
+}

@@ -114,6 +114,13 @@ int main(int argc, char** argv) {
   // All eight cells (2 fault-free baselines + 2 apps x 3 plans) are
   // independent seeded runs: fan them out, then render serially in the fixed
   // cell order so stdout and the JSON are identical to the serial version.
+  // Faulted cells run with causal tracing on so each scenario's summary can
+  // append the critical-path attribution (where retries, backoff, reroutes
+  // and journal time landed).  Spans never touch engine timing, so the
+  // resilience counters are identical to an untraced run.
+  core::TraceOptions traced;
+  traced.spans = true;
+  traced.streaming = true;
   std::vector<std::function<core::RunResult()>> jobs;
   for (const char* app : {"escat", "prism"}) {
     const bool is_escat = std::string(app) == "escat";
@@ -122,12 +129,12 @@ int main(int argc, char** argv) {
                       : core::run_prism(apps::prism::make_config(apps::prism::Version::C), kSeed);
     });
     for (const auto& row : plans) {
-      jobs.push_back([is_escat, plan = row.plan] {
+      jobs.push_back([is_escat, traced, plan = row.plan] {
         return is_escat
                    ? core::run_escat(apps::escat::make_config(apps::escat::Version::C), plan,
-                                     kSeed)
+                                     traced, kSeed)
                    : core::run_prism(apps::prism::make_config(apps::prism::Version::C), plan,
-                                     kSeed);
+                                     traced, kSeed);
       });
     }
   }

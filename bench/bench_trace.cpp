@@ -5,18 +5,20 @@
 // output, and the streaming fold to keep up with capture.
 //
 // CI runs this with `--benchmark_out=BENCH_trace.json
-// --benchmark_out_format=json` and gates BM_TraceEmitBinary and
-// BM_TraceStreamingFold against bench/BASELINE_trace.json via
-// tools/bench_gate.py.
+// --benchmark_out_format=json` and gates BM_TraceEmitBinary,
+// BM_TraceStreamingFold and BM_SpanEmit against bench/BASELINE_trace.json
+// via tools/bench_gate.py.
 
 #include <benchmark/benchmark.h>
 
 #include <sstream>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "pablo/binsddf.hpp"
 #include "pablo/sddf.hpp"
 #include "pablo/streaming.hpp"
+#include "sim/engine.hpp"
 
 namespace {
 
@@ -120,6 +122,70 @@ void BM_TraceStreamingFold(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kEvents));
 }
 BENCHMARK(BM_TraceStreamingFold);
+
+// ---- causal tracing: span emission on vs off ------------------------------
+
+/// Spans per synthetic op tree: root + segment + attempt + the five stages a
+/// buffered read passes through (net-req, admit, service, disk, net-resp).
+constexpr std::int64_t kSpansPerOp = 8;
+constexpr std::int64_t kOpsPerIter = 2048;
+
+/// One op's worth of span traffic through `parent` (null tracer = off path).
+void drive_op(const obs::SpanContext& parent, std::uint64_t i) {
+  obs::SpanScope op(parent, obs::StageKind::kOp, static_cast<std::int32_t>(i % 64), -1, 4096, 2);
+  obs::SpanScope seg(op.ctx(), obs::StageKind::kSegment, 0, 1, 4096);
+  seg.set_op_id(i + 1);
+  obs::SpanScope att(seg.ctx(), obs::StageKind::kAttempt, 0, 1, 4096, 1);
+  { obs::SpanScope net(att.ctx(), obs::StageKind::kNetReq, 0, 1, 4096); }
+  { obs::SpanScope adm(att.ctx(), obs::StageKind::kAdmit, 0, 1); }
+  {
+    obs::SpanScope svc(att.ctx(), obs::StageKind::kService, 0, 1, 4096);
+    obs::SpanScope disk(svc.ctx(), obs::StageKind::kDisk, 0, 1, 4096);
+  }
+  { obs::SpanScope rsp(att.ctx(), obs::StageKind::kNetResp, 0, 1, 64); }
+}
+
+/// Tracing on: every scope allocates an id, registers, and emits a binary
+/// `#span` record on close.  bytes_per_event = encoded bytes per span.
+void BM_SpanEmit(benchmark::State& state) {
+  struct BinSink : obs::SpanSink {
+    pablo::BinarySddfWriter w;
+    void on_span(const obs::SpanEvent& ev) override { w.add_span(ev); }
+  };
+  std::size_t bytes = 0;
+  std::uint64_t spans = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    BinSink sink;
+    obs::Tracer tracer(engine, sink);
+    const obs::SpanContext origin{&tracer, 0, 0};
+    for (std::int64_t i = 0; i < kOpsPerIter; ++i) {
+      drive_op(origin, static_cast<std::uint64_t>(i));
+    }
+    spans = tracer.spans_emitted();
+    bytes = sink.w.bytes_encoded();
+    benchmark::DoNotOptimize(spans);
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter * kSpansPerOp);
+  state.counters["bytes_per_event"] =
+      spans == 0 ? 0.0 : static_cast<double>(bytes) / static_cast<double>(spans);
+}
+BENCHMARK(BM_SpanEmit);
+
+/// Tracing off: the same instrumentation points ride a null-tracer context.
+/// Every scope must cost one predictable branch — no allocation, no id, no
+/// record — so this measures the tax every untraced run pays.
+void BM_SpanDisabled(benchmark::State& state) {
+  const obs::SpanContext off{};
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < kOpsPerIter; ++i) {
+      drive_op(off, static_cast<std::uint64_t>(i));
+      benchmark::DoNotOptimize(i);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter * kSpansPerOp);
+}
+BENCHMARK(BM_SpanDisabled);
 
 }  // namespace
 

@@ -37,13 +37,24 @@ sim::Tick RunResult::io_time() const {
 std::string RunResult::to_sddf() const {
   std::ostringstream out;
   pablo::write_sddf(out, file_names, events, fault_events, qos_events, loss_events,
-                    integrity_events);
+                    integrity_events, span_events);
   return out.str();
 }
 
 std::string RunResult::to_binary_sddf() const {
   return pablo::to_binary_sddf(file_names, events, fault_events, qos_events, loss_events,
-                               integrity_events);
+                               integrity_events, span_events);
+}
+
+namespace {
+std::string_view op_class_name(int c) {
+  return pablo::io_op_name(static_cast<pablo::IoOp>(c));
+}
+}  // namespace
+
+std::string RunResult::critical_path_table() const {
+  if (critical_path.empty()) return {};
+  return obs::render_critical_path(critical_path, &op_class_name);
 }
 
 namespace {
@@ -71,6 +82,7 @@ RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uin
       scfg.sketch_precision = trace->sketch_precision;
       collector.enable_streaming(scfg);
     }
+    if (trace->spans) collector.enable_spans();
     collector.set_retain_events(trace->retain_events);
   }
   pfs::PfsConfig pcfg;
@@ -104,6 +116,9 @@ RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uin
   machine.engine().spawn(
       wrap(machine.engine(), app(machine, fs, std::move(cfg), &log), &app_done));
   machine.engine().run();
+  // Force-close any span still open (work abandoned at run end) before the
+  // binary trace finishes, so every emitted tree is complete.
+  collector.finish_spans();
 
   r.exec_time = app_done;
   r.events_processed = machine.engine().events_processed();
@@ -116,7 +131,18 @@ RunResult run_app(App app, Cfg cfg, const hw::OsProfile& os, int nodes, std::uin
   r.fault_events = collector.fault_events();
   r.qos_events = collector.qos_events();
   r.loss_events = collector.loss_events();
-  if (const auto* s = collector.streaming()) r.streaming = *s;
+  r.span_events = collector.span_events();
+  if (const auto* s = collector.streaming()) {
+    r.streaming = *s;
+    r.critical_path = s->critical_path();
+    // The bounded streaming fold and the batch attribution over the retained
+    // vector must agree exactly — both tile every root to the tick.
+    if (collector.retain_events() && collector.tracer() != nullptr) {
+      SIO_ASSERT(obs::critical_path(r.span_events) == r.critical_path);
+    }
+  } else {
+    r.critical_path = obs::critical_path(r.span_events);
+  }
   if (collector.binary_writer() != nullptr) r.binary_trace = collector.finish_binary_trace();
   r.trace_memory = collector.memory_stats();
   r.scrub = fs.scrub();

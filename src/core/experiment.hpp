@@ -18,6 +18,7 @@
 #include "apps/escat.hpp"
 #include "apps/prism.hpp"
 #include "fault/plan.hpp"
+#include "obs/critical_path.hpp"
 #include "pablo/aggregate.hpp"
 #include "pablo/cdf.hpp"
 #include "pablo/collector.hpp"
@@ -41,6 +42,10 @@ struct TraceOptions {
   bool retain_events = true;
   /// Captures the compact binary-SDDF encoding live (RunResult.binary_trace).
   bool binary_trace = false;
+  /// Opens a causal span tree per client op (RunResult.span_events /
+  /// critical_path).  Off by default: the disabled path costs one predictable
+  /// branch per instrumentation point and the trace stays byte-identical.
+  bool spans = false;
   /// Sketch resolution for streaming mode; quantile relative error 2^-p.
   std::uint8_t sketch_precision = 7;
 };
@@ -87,6 +92,13 @@ struct RunResult {
   /// End-to-end data-integrity records (empty unless the plan injected
   /// corruption or enabled verify/repair).
   std::vector<pablo::IntegrityEvent> integrity_events;
+  /// Closed causal-tracing spans in end-time order, children before parents
+  /// (empty unless TraceOptions.spans and retain_events).
+  std::vector<pablo::SpanEvent> span_events;
+  /// Per-(op class, stage) critical-path latency attribution over the span
+  /// trees.  Exact: per op class the stage sums equal the summed root
+  /// latency to the tick.  Empty unless TraceOptions.spans.
+  obs::CriticalPathReport critical_path{};
   /// Whole-run integrity posture (Pfs::integrity_report()).
   pablo::IntegrityReport integrity{};
   ResilienceCounters resilience{};
@@ -125,6 +137,10 @@ struct RunResult {
   /// encode of the retained vectors; for live capture use
   /// TraceOptions.binary_trace instead).
   std::string to_binary_sddf() const;
+
+  /// Renders the critical-path attribution as an aligned text table (rows =
+  /// op classes, columns = stages); empty string when no spans were traced.
+  std::string critical_path_table() const;
 };
 
 /// Runs one ESCAT configuration on a fresh simulated machine.

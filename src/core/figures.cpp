@@ -357,6 +357,12 @@ std::string render_resilience_summary(const RunResult& run, const RunResult& bas
   if (!run.integrity.empty()) {
     out << '\n' << pablo::render_integrity(run.integrity);
   }
+  // Causal-tracing section: where the op latency went, mechanism by
+  // mechanism.  Only runs traced with spans on carry the attribution.
+  const std::string attribution = run.critical_path_table();
+  if (!attribution.empty()) {
+    out << '\n' << attribution;
+  }
   return out.str();
 }
 

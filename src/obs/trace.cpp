@@ -1,0 +1,99 @@
+#include "obs/trace.hpp"
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace sio::obs {
+
+std::uint32_t Tracer::open(std::uint32_t parent, StageKind stage,
+                           std::uint64_t op_id, std::int32_t node,
+                           std::int32_t target, std::uint64_t bytes,
+                           std::uint64_t info) {
+  if (parent != 0 && !open_.contains(parent)) return 0;
+  std::uint32_t id = next_id_++;
+  open_.emplace(id, OpenSpan{.start = engine_.now(),
+                             .op_id = op_id,
+                             .parent = parent,
+                             .stage = stage,
+                             .node = node,
+                             .target = target,
+                             .bytes = bytes,
+                             .info = info});
+  return id;
+}
+
+void Tracer::close(std::uint32_t id) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  emit(id, it->second, 0);
+  open_.erase(it);
+}
+
+bool Tracer::has_ancestor(std::uint32_t id, std::uint32_t ancestor) const {
+  while (id != 0) {
+    auto it = open_.find(id);
+    if (it == open_.end()) return false;
+    if (it->second.parent == ancestor) return true;
+    id = it->second.parent;
+  }
+  return false;
+}
+
+void Tracer::abandon(std::uint32_t id) {
+  if (!open_.contains(id)) return;
+  // Descendants always have larger ids than their ancestor; collect them
+  // before erasing anything so parent chains stay walkable.
+  std::vector<std::uint32_t> doomed{id};
+  for (auto it = open_.upper_bound(id); it != open_.end(); ++it) {
+    if (it->first == id || has_ancestor(it->first, id)) doomed.push_back(it->first);
+  }
+  // Deepest-first: larger ids are deeper, so children emit before parents
+  // just like a normal unwind.
+  for (auto rit = doomed.rbegin(); rit != doomed.rend(); ++rit) {
+    auto it = open_.find(*rit);
+    emit(*rit, it->second, kSpanAbandoned);
+    open_.erase(it);
+  }
+}
+
+void Tracer::finish() {
+  while (!open_.empty()) {
+    auto it = std::prev(open_.end());
+    emit(it->first, it->second, kSpanAbandoned);
+    open_.erase(it);
+  }
+}
+
+void Tracer::emit(std::uint32_t id, const OpenSpan& s, std::uint64_t flags) {
+  sim::Tick now = engine_.now();
+  sink_.on_span(SpanEvent{.start = s.start,
+                          .duration = now > s.start ? now - s.start : 0,
+                          .op_id = s.op_id,
+                          .span = id,
+                          .parent = s.parent,
+                          .stage = s.stage,
+                          .node = s.node,
+                          .target = s.target,
+                          .bytes = s.bytes,
+                          .flags = flags,
+                          .info = s.info});
+  ++emitted_;
+}
+
+void Tracer::set_bytes(std::uint32_t id, std::uint64_t bytes) {
+  auto it = open_.find(id);
+  if (it != open_.end()) it->second.bytes = bytes;
+}
+
+void Tracer::set_op_id(std::uint32_t id, std::uint64_t op_id) {
+  auto it = open_.find(id);
+  if (it != open_.end()) it->second.op_id = op_id;
+}
+
+void Tracer::set_info(std::uint32_t id, std::uint64_t info) {
+  auto it = open_.find(id);
+  if (it != open_.end()) it->second.info = info;
+}
+
+}  // namespace sio::obs

@@ -19,6 +19,7 @@ constexpr std::uint8_t kTagFault = 0x02;
 constexpr std::uint8_t kTagQos = 0x03;
 constexpr std::uint8_t kTagLoss = 0x04;
 constexpr std::uint8_t kTagIntegrity = 0x05;
+constexpr std::uint8_t kTagSpan = 0x06;
 constexpr std::uint8_t kEventBit = 0x80;
 
 // Event presence flags (tag bits 0..3).
@@ -138,6 +139,7 @@ void BinarySddfWriter::add_fault(const FaultEvent& ev) {
   const std::size_t before = raw_.size();
   raw_.push_back(static_cast<char>(kTagFault));
   varint::put_signed(raw_, ev.at - prev_fault_.at);
+  put_u64_delta(raw_, ev.op_id, prev_fault_.op_id);
   raw_.push_back(static_cast<char>(ev.kind));
   varint::put_signed(raw_, static_cast<std::int64_t>(ev.node) - prev_fault_.node);
   varint::put_signed(raw_, static_cast<std::int64_t>(ev.target) - prev_fault_.target);
@@ -151,6 +153,7 @@ void BinarySddfWriter::add_qos(const QosEvent& ev) {
   const std::size_t before = raw_.size();
   raw_.push_back(static_cast<char>(kTagQos));
   varint::put_signed(raw_, ev.at - prev_qos_.at);
+  put_u64_delta(raw_, ev.op_id, prev_qos_.op_id);
   raw_.push_back(static_cast<char>(ev.kind));
   varint::put_signed(raw_, static_cast<std::int64_t>(ev.node) - prev_qos_.node);
   varint::put_signed(raw_, static_cast<std::int64_t>(ev.target) - prev_qos_.target);
@@ -164,6 +167,7 @@ void BinarySddfWriter::add_loss(const LossEvent& ev) {
   const std::size_t before = raw_.size();
   raw_.push_back(static_cast<char>(kTagLoss));
   varint::put_signed(raw_, ev.at - prev_loss_.at);
+  put_u64_delta(raw_, ev.op_id, prev_loss_.op_id);
   varint::put_signed(raw_, static_cast<std::int64_t>(ev.target) - prev_loss_.target);
   varint::put_signed(raw_, file_as_signed(ev.file) - file_as_signed(prev_loss_.file));
   put_u64_delta(raw_, ev.offset, prev_loss_.offset);
@@ -189,6 +193,26 @@ void BinarySddfWriter::add_integrity(const IntegrityEvent& ev) {
   maybe_flush();
 }
 
+void BinarySddfWriter::add_span(const SpanEvent& ev) {
+  const std::size_t before = raw_.size();
+  raw_.push_back(static_cast<char>(kTagSpan));
+  varint::put_signed(raw_, ev.end() - prev_span_.end());
+  varint::put_signed(raw_, ev.duration - prev_span_.duration);
+  put_u64_delta(raw_, ev.op_id, prev_span_.op_id);
+  varint::put_signed(raw_, static_cast<std::int64_t>(ev.span) -
+                               static_cast<std::int64_t>(prev_span_.span));
+  varint::put(raw_, ev.parent == 0 ? 0 : ev.span - ev.parent);
+  raw_.push_back(static_cast<char>(ev.stage));
+  varint::put_signed(raw_, static_cast<std::int64_t>(ev.node) - prev_span_.node);
+  varint::put_signed(raw_, static_cast<std::int64_t>(ev.target) - prev_span_.target);
+  put_u64_delta(raw_, ev.bytes, prev_span_.bytes);
+  varint::put(raw_, ev.flags);
+  put_u64_delta(raw_, ev.info, prev_span_.info);
+  bytes_encoded_ += raw_.size() - before;
+  prev_span_ = ev;
+  maybe_flush();
+}
+
 std::string BinarySddfWriter::finish() {
   raw_.push_back(static_cast<char>(kTagEnd));
   ++bytes_encoded_;
@@ -207,13 +231,15 @@ std::string to_binary_sddf(const std::vector<std::string>& file_names,
                            const std::vector<FaultEvent>& faults,
                            const std::vector<QosEvent>& qos,
                            const std::vector<LossEvent>& losses,
-                           const std::vector<IntegrityEvent>& integrity) {
+                           const std::vector<IntegrityEvent>& integrity,
+                           const std::vector<SpanEvent>& spans) {
   BinarySddfWriter w;
   for (const auto& name : file_names) w.add_file(name);
   for (const auto& f : faults) w.add_fault(f);
   for (const auto& q : qos) w.add_qos(q);
   for (const auto& l : losses) w.add_loss(l);
   for (const auto& g : integrity) w.add_integrity(g);
+  for (const auto& s : spans) w.add_span(s);
   for (const auto& ev : events) w.add_event(ev);
   return w.finish();
 }
@@ -226,7 +252,7 @@ std::string to_binary_sddf(const Collector& collector) {
   }
   return to_binary_sddf(names, collector.events(), collector.fault_events(),
                         collector.qos_events(), collector.loss_events(),
-                        collector.integrity_events());
+                        collector.integrity_events(), collector.span_events());
 }
 
 TraceFile from_binary_sddf(const std::string& container) {
@@ -268,6 +294,7 @@ TraceFile from_binary_sddf(const std::string& container) {
   QosEvent prev_qos{};
   LossEvent prev_loss{};
   IntegrityEvent prev_integrity{};
+  SpanEvent prev_span{};
 
   while (true) {
     if (pos >= data.size()) throw std::runtime_error("binary SDDF: missing end marker");
@@ -312,6 +339,7 @@ TraceFile from_binary_sddf(const std::string& container) {
       case kTagFault: {
         FaultEvent f;
         f.at = prev_fault.at + varint::get_signed(data, pos);
+        f.op_id = get_u64_delta(data, pos, prev_fault.op_id);
         if (pos >= data.size()) throw std::runtime_error("binary SDDF: truncated fault record");
         const auto kind = static_cast<std::uint8_t>(data[pos++]);
         if (kind >= kFaultKindCount) throw std::runtime_error("binary SDDF: unknown fault kind");
@@ -327,6 +355,7 @@ TraceFile from_binary_sddf(const std::string& container) {
       case kTagQos: {
         QosEvent q;
         q.at = prev_qos.at + varint::get_signed(data, pos);
+        q.op_id = get_u64_delta(data, pos, prev_qos.op_id);
         if (pos >= data.size()) throw std::runtime_error("binary SDDF: truncated qos record");
         const auto kind = static_cast<std::uint8_t>(data[pos++]);
         if (kind >= kQosKindCount) throw std::runtime_error("binary SDDF: unknown qos kind");
@@ -342,6 +371,7 @@ TraceFile from_binary_sddf(const std::string& container) {
       case kTagLoss: {
         LossEvent l;
         l.at = prev_loss.at + varint::get_signed(data, pos);
+        l.op_id = get_u64_delta(data, pos, prev_loss.op_id);
         l.target = static_cast<std::int32_t>(prev_loss.target + varint::get_signed(data, pos));
         l.file = file_from_signed(file_as_signed(prev_loss.file) + varint::get_signed(data, pos),
                                   tf.file_names.size());
@@ -373,6 +403,35 @@ TraceFile from_binary_sddf(const std::string& container) {
         prev_integrity = g;
         // siolint:allow(trace-vector-growth)
         tf.integrity.push_back(g);
+        break;
+      }
+      case kTagSpan: {
+        SpanEvent s;
+        const sim::Tick end = prev_span.end() + varint::get_signed(data, pos);
+        s.duration = prev_span.duration + varint::get_signed(data, pos);
+        s.start = end - s.duration;
+        s.op_id = get_u64_delta(data, pos, prev_span.op_id);
+        s.span = static_cast<std::uint32_t>(static_cast<std::int64_t>(prev_span.span) +
+                                            varint::get_signed(data, pos));
+        const std::uint64_t parent_dist = varint::get(data, pos);
+        if (parent_dist >= s.span && parent_dist != 0) {
+          throw std::runtime_error("binary SDDF: span parent out of range");
+        }
+        s.parent = parent_dist == 0 ? 0 : s.span - static_cast<std::uint32_t>(parent_dist);
+        if (pos >= data.size()) throw std::runtime_error("binary SDDF: truncated span record");
+        const auto stage = static_cast<std::uint8_t>(data[pos++]);
+        if (stage >= obs::kStageKindCount) {
+          throw std::runtime_error("binary SDDF: unknown span stage");
+        }
+        s.stage = static_cast<obs::StageKind>(stage);
+        s.node = static_cast<std::int32_t>(prev_span.node + varint::get_signed(data, pos));
+        s.target = static_cast<std::int32_t>(prev_span.target + varint::get_signed(data, pos));
+        s.bytes = get_u64_delta(data, pos, prev_span.bytes);
+        s.flags = varint::get(data, pos);
+        s.info = get_u64_delta(data, pos, prev_span.info);
+        prev_span = s;
+        // siolint:allow(trace-vector-growth)
+        tf.spans.push_back(s);
         break;
       }
       default:

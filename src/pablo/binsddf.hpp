@@ -1,7 +1,8 @@
 // Compact binary SDDF trace encoding.
 //
 // The text dialect in sddf.hpp is the compatibility format; this is the
-// production one.  A trace is a 6-byte magic ("SDDFB" + version 0x01)
+// production one.  A trace is a 6-byte magic ("SDDFB" + version 0x02; 0x02
+// added the op_id column to fault/qos/loss records and the span record)
 // followed by a sequence of independently-decodable frames, each
 //
 //   varint raw_len, varint enc_len, then enc_len bytes of blockcomp-
@@ -18,6 +19,7 @@
 //   tag 0x03          qos record
 //   tag 0x04          loss record
 //   tag 0x05          integrity record
+//   tag 0x06          span record (causal tracing)
 //   tag 0x80|op<<4|F  I/O event; op in bits 4..6, presence flags F in 0..3.
 //
 // Every integer field is a base-128 varint; signed values and deltas ride
@@ -35,11 +37,17 @@
 //                  independently, so interleaved sequential and strided
 //                  patterns both predict for free
 //            BYTES bytes != previous bytes of the same op
-//   fault/qos: d(at), kind byte, d(node), d(target), d(info), each vs the
-//          previous record of that kind
-//   loss:  d(at), d(target), d(file), d(offset), d(bytes), torn
+//   fault/qos: d(at), d(op_id), kind byte, d(node), d(target), d(info), each
+//          vs the previous record of that kind
+//   loss:  d(at), d(op_id), d(target), d(file), d(offset), d(bytes), torn
 //   integrity: d(at), kind byte, d(target), d(file), d(unit), d(bytes), each
 //          vs the previous integrity record
+//   span:  d(end), d(duration), d(op_id), d(span id), span-parent distance
+//          (0 = root), stage byte, d(node), d(target), d(bytes), flags,
+//          d(info), each vs the previous span record.  Spans close in end
+//          order, so d(end) is small and non-negative; parent is encoded as
+//          its distance below the span's own id, which is tiny for the
+//          shallow PFS trees.
 //
 // The upshot: a sequential fixed-size read in a sorted trace costs ~4 bytes
 // against ~35-40 for its text line before the frame compressor even runs.
@@ -66,7 +74,7 @@ namespace sio::pablo {
 class Collector;
 struct TraceFile;
 
-inline constexpr std::string_view kBinarySddfMagic{"SDDFB\x01", 6};
+inline constexpr std::string_view kBinarySddfMagic{"SDDFB\x02", 6};
 
 /// True if `data` starts with the binary-SDDF magic (format sniffing for
 /// tools that accept either dialect).
@@ -92,6 +100,7 @@ class BinarySddfWriter {
   void add_qos(const QosEvent& ev);
   void add_loss(const LossEvent& ev);
   void add_integrity(const IntegrityEvent& ev);
+  void add_span(const SpanEvent& ev);
 
   /// Writes the end marker, closes the last frame and flushes.  Returns the
   /// buffered container when no sink is installed (sinked writers return an
@@ -143,16 +152,18 @@ class BinarySddfWriter {
   QosEvent prev_qos_{};
   LossEvent prev_loss_{};
   IntegrityEvent prev_integrity_{};
+  SpanEvent prev_span_{};
 };
 
 /// Serializes a pre-extracted trace in batch order (files, faults, qos,
-/// losses, integrity, events) — the binary analog of write_sddf().
+/// losses, integrity, spans, events) — the binary analog of write_sddf().
 std::string to_binary_sddf(const std::vector<std::string>& file_names,
                            const std::vector<TraceEvent>& events,
                            const std::vector<FaultEvent>& faults = {},
                            const std::vector<QosEvent>& qos = {},
                            const std::vector<LossEvent>& losses = {},
-                           const std::vector<IntegrityEvent>& integrity = {});
+                           const std::vector<IntegrityEvent>& integrity = {},
+                           const std::vector<SpanEvent>& spans = {});
 
 /// Serializes a collector's trace (events in canonical sorted order, exactly
 /// as the text path exports them).

@@ -36,6 +36,8 @@ std::size_t Collector::bytes_retained() const {
   total += qos_.capacity() * sizeof(QosEvent);
   total += losses_.capacity() * sizeof(LossEvent);
   total += integrity_.capacity() * sizeof(IntegrityEvent);
+  total += spans_.capacity() * sizeof(SpanEvent);
+  if (tracer_) total += tracer_->open_count() * (sizeof(SpanEvent) + 4 * sizeof(void*));
   if (streaming_) total += streaming_->bytes_retained();
   if (bin_writer_) total += bin_writer_->buffered_capacity();
   return total;

@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "pablo/binsddf.hpp"
 #include "pablo/event.hpp"
 #include "pablo/streaming.hpp"
@@ -42,7 +43,7 @@ struct TraceMemoryStats {
   std::uint64_t events_recorded = 0;    ///< Total events seen, retained or not.
 };
 
-class Collector {
+class Collector : public obs::SpanSink {
  public:
   explicit Collector(sim::Engine& engine) : engine_(engine) {
     // Typical paper-scale runs record a few thousand events; reserving up
@@ -138,6 +139,43 @@ class Collector {
   const std::vector<IntegrityEvent>& integrity_events() const { return integrity_; }
   std::size_t integrity_count() const { return integrity_.size(); }
 
+  /// Receives each closed causal-tracing span from the tracer (SpanSink).
+  /// Spans close in end-time order, so the list is chronological by
+  /// construction, children before their parent.
+  void on_span(const SpanEvent& ev) override {
+    if (!enabled_) return;
+    if (streaming_) streaming_->on_span(ev);
+    if (bin_writer_) bin_writer_->add_span(ev);
+    if (retain_events_) {
+      spans_.push_back(ev);  // siolint:allow(trace-vector-growth) gated by set_retain_events
+    }
+  }
+
+  const std::vector<SpanEvent>& span_events() const { return spans_; }
+  std::size_t span_count() const { return spans_.size(); }
+
+  /// Turns causal tracing on: every client op opens a span tree through the
+  /// layers, emitted into this collector on close.  Call before the run.
+  void enable_spans() {
+    SIO_ASSERT(!tracer_);
+    tracer_.emplace(engine_, *this);
+  }
+
+  /// Null when tracing is off — the zero-cost disabled path rides a null
+  /// `obs::SpanContext::tracer` everywhere downstream.
+  obs::Tracer* tracer() { return tracer_ ? &*tracer_ : nullptr; }
+  const obs::Tracer* tracer() const { return tracer_ ? &*tracer_ : nullptr; }
+
+  /// Parent context for opening a root span (disabled when tracing is off).
+  obs::SpanContext span_origin() { return obs::SpanContext{tracer(), 0, 0}; }
+
+  /// Force-closes spans still open at end of run (ops parked on crashed
+  /// servers, abandoned work) so every emitted tree is complete.  Call after
+  /// the engine drains, before finishing the binary trace.
+  void finish_spans() {
+    if (tracer_) tracer_->finish();
+  }
+
   /// Turns capture on/off (tests use this to scope the window of interest).
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
@@ -170,7 +208,7 @@ class Collector {
                            std::size_t flush_threshold = 64 * 1024) {
     SIO_ASSERT(!bin_writer_);
     SIO_ASSERT(events_.empty() && faults_.empty() && qos_.empty() && losses_.empty() &&
-               integrity_.empty() && events_recorded_ == 0);
+               integrity_.empty() && spans_.empty() && events_recorded_ == 0);
     bin_writer_.emplace(std::move(sink), flush_threshold);
     for (const std::string& name : files_) bin_writer_->add_file(name);
   }
@@ -218,6 +256,7 @@ class Collector {
     qos_.clear();
     losses_.clear();
     integrity_.clear();
+    spans_.clear();
     sorted_ = false;
   }
 
@@ -233,8 +272,10 @@ class Collector {
   std::vector<QosEvent> qos_;
   std::vector<LossEvent> losses_;
   std::vector<IntegrityEvent> integrity_;
+  std::vector<SpanEvent> spans_;
   std::optional<StreamingAnalytics> streaming_;
   std::optional<BinarySddfWriter> bin_writer_;
+  std::optional<obs::Tracer> tracer_;
   std::uint64_t events_recorded_ = 0;
   mutable std::size_t peak_bytes_retained_ = 0;
   mutable bool sorted_ = false;

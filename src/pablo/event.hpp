@@ -12,9 +12,14 @@
 #include <cstdint>
 #include <string_view>
 
+#include "obs/span.hpp"
 #include "sim/time.hpp"
 
 namespace sio::pablo {
+
+/// Causal-tracing span record (see obs/span.hpp).  Spans share the trace
+/// dialects with the records below and join them on `op_id`.
+using SpanEvent = obs::SpanEvent;
 
 /// Identifier of a traced file, assigned by the collector at registration.
 using FileId = std::uint32_t;
@@ -84,6 +89,7 @@ constexpr std::string_view fault_kind_name(FaultKind k) {
 /// One fault/recovery occurrence.
 struct FaultEvent {
   sim::Tick at = 0;          ///< Simulated time of the occurrence.
+  std::uint64_t op_id = 0;   ///< PFS op involved (0 = none); joins #span/#qos.
   FaultKind kind = FaultKind::kOpRetry;
   std::int32_t node = -1;    ///< Compute node involved (-1 = none).
   std::int32_t target = -1;  ///< I/O node / server involved (-1 = none).
@@ -125,6 +131,7 @@ constexpr std::string_view qos_kind_name(QosKind k) {
 /// One overload-protection occurrence.
 struct QosEvent {
   sim::Tick at = 0;          ///< Simulated time of the occurrence.
+  std::uint64_t op_id = 0;   ///< PFS op involved (0 = none); joins #span/#fault.
   QosKind kind = QosKind::kAdmit;
   std::int32_t node = -1;    ///< Compute node involved (-1 = none).
   std::int32_t target = -1;  ///< Server involved (I/O node id, -1 = metadata).
@@ -139,6 +146,7 @@ struct QosEvent {
 /// losses to files and offsets even with the journal off.
 struct LossEvent {
   sim::Tick at = 0;          ///< Simulated time of the crash that dropped it.
+  std::uint64_t op_id = 0;   ///< Last op that dirtied the unit (0 = unknown).
   std::int32_t target = -1;  ///< I/O node that lost the unit.
   FileId file = kNoFile;     ///< File the unit belongs to.
   std::uint64_t offset = 0;  ///< Byte offset of the stripe unit within the file.

@@ -10,10 +10,12 @@ namespace sio::pablo {
 namespace {
 constexpr const char* kMagic = "#SDDF-IO 1";
 constexpr const char* kFields = "#fields start_ns duration_ns node file op offset bytes";
-constexpr const char* kFaultFields = "#fault-fields at_ns kind node target info";
-constexpr const char* kQosFields = "#qos-fields at_ns kind node target info";
-constexpr const char* kLossFields = "#loss-fields at_ns target file offset bytes torn";
+constexpr const char* kFaultFields = "#fault-fields at_ns op_id kind node target info";
+constexpr const char* kQosFields = "#qos-fields at_ns op_id kind node target info";
+constexpr const char* kLossFields = "#loss-fields at_ns op_id target file offset bytes torn";
 constexpr const char* kIntegrityFields = "#integrity-fields at_ns kind target file unit bytes";
+constexpr const char* kSpanFields =
+    "#span-fields start_ns duration_ns op_id span parent stage node target bytes flags info";
 }  // namespace
 
 IoOp parse_io_op(const std::string& name) {
@@ -48,10 +50,19 @@ IntegrityKind parse_integrity_kind(const std::string& name) {
   throw std::runtime_error("SDDF: unknown integrity kind '" + name + "'");
 }
 
+obs::StageKind parse_stage_kind(const std::string& name) {
+  for (int i = 0; i < obs::kStageKindCount; ++i) {
+    const auto k = static_cast<obs::StageKind>(i);
+    if (obs::stage_name(k) == name) return k;
+  }
+  throw std::runtime_error("SDDF: unknown span stage '" + name + "'");
+}
+
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
                 const std::vector<QosEvent>& qos, const std::vector<LossEvent>& losses,
-                const std::vector<IntegrityEvent>& integrity) {
+                const std::vector<IntegrityEvent>& integrity,
+                const std::vector<SpanEvent>& spans) {
   out << kMagic << '\n' << kFields << '\n';
   for (std::size_t i = 0; i < file_names.size(); ++i) {
     out << "#file " << i << ' ' << file_names[i] << '\n';
@@ -59,21 +70,21 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
   if (!faults.empty()) {
     out << kFaultFields << '\n';
     for (const auto& f : faults) {
-      out << "#fault " << f.at << ' ' << fault_kind_name(f.kind) << ' ' << f.node << ' '
-          << f.target << ' ' << f.info << '\n';
+      out << "#fault " << f.at << ' ' << f.op_id << ' ' << fault_kind_name(f.kind) << ' '
+          << f.node << ' ' << f.target << ' ' << f.info << '\n';
     }
   }
   if (!qos.empty()) {
     out << kQosFields << '\n';
     for (const auto& q : qos) {
-      out << "#qos " << q.at << ' ' << qos_kind_name(q.kind) << ' ' << q.node << ' ' << q.target
-          << ' ' << q.info << '\n';
+      out << "#qos " << q.at << ' ' << q.op_id << ' ' << qos_kind_name(q.kind) << ' ' << q.node
+          << ' ' << q.target << ' ' << q.info << '\n';
     }
   }
   if (!losses.empty()) {
     out << kLossFields << '\n';
     for (const auto& l : losses) {
-      out << "#loss " << l.at << ' ' << l.target << ' ';
+      out << "#loss " << l.at << ' ' << l.op_id << ' ' << l.target << ' ';
       if (l.file == kNoFile) {
         out << "- ";
       } else {
@@ -95,6 +106,14 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
       out << g.unit << ' ' << g.bytes << '\n';
     }
   }
+  if (!spans.empty()) {
+    out << kSpanFields << '\n';
+    for (const auto& s : spans) {
+      out << "#span " << s.start << ' ' << s.duration << ' ' << s.op_id << ' ' << s.span << ' '
+          << s.parent << ' ' << obs::stage_name(s.stage) << ' ' << s.node << ' ' << s.target
+          << ' ' << s.bytes << ' ' << s.flags << ' ' << s.info << '\n';
+    }
+  }
   for (const auto& ev : events) {
     out << ev.start << ' ' << ev.duration << ' ' << ev.node << ' ';
     if (ev.file == kNoFile) {
@@ -108,8 +127,15 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
 
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
+                const std::vector<QosEvent>& qos, const std::vector<LossEvent>& losses,
+                const std::vector<IntegrityEvent>& integrity) {
+  write_sddf(out, file_names, events, faults, qos, losses, integrity, {});
+}
+
+void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
+                const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
                 const std::vector<QosEvent>& qos, const std::vector<LossEvent>& losses) {
-  write_sddf(out, file_names, events, faults, qos, losses, {});
+  write_sddf(out, file_names, events, faults, qos, losses, {}, {});
 }
 
 void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
@@ -135,7 +161,7 @@ void write_sddf(std::ostream& out, const Collector& collector) {
     names.push_back(collector.file_name(static_cast<FileId>(i)));
   }
   write_sddf(out, names, collector.events(), collector.fault_events(), collector.qos_events(),
-             collector.loss_events(), collector.integrity_events());
+             collector.loss_events(), collector.integrity_events(), collector.span_events());
 }
 
 TraceFile read_sddf(std::istream& in) {
@@ -168,7 +194,7 @@ TraceFile read_sddf(std::istream& in) {
       std::istringstream ls(line.substr(7));
       FaultEvent f;
       std::string kind_name;
-      if (!(ls >> f.at >> kind_name >> f.node >> f.target >> f.info)) {
+      if (!(ls >> f.at >> f.op_id >> kind_name >> f.node >> f.target >> f.info)) {
         throw std::runtime_error("SDDF: bad #fault line: " + line);
       }
       f.kind = parse_fault_kind(kind_name);
@@ -179,7 +205,7 @@ TraceFile read_sddf(std::istream& in) {
       std::istringstream ls(line.substr(5));
       QosEvent q;
       std::string kind_name;
-      if (!(ls >> q.at >> kind_name >> q.node >> q.target >> q.info)) {
+      if (!(ls >> q.at >> q.op_id >> kind_name >> q.node >> q.target >> q.info)) {
         throw std::runtime_error("SDDF: bad #qos line: " + line);
       }
       q.kind = parse_qos_kind(kind_name);
@@ -206,7 +232,7 @@ TraceFile read_sddf(std::istream& in) {
       std::istringstream ls(line.substr(6));
       LossEvent l;
       std::string file_field;
-      if (!(ls >> l.at >> l.target >> file_field >> l.offset >> l.bytes >> l.torn)) {
+      if (!(ls >> l.at >> l.op_id >> l.target >> file_field >> l.offset >> l.bytes >> l.torn)) {
         throw std::runtime_error("SDDF: bad #loss line: " + line);
       }
       l.file = file_field == "-" ? kNoFile : static_cast<FileId>(std::stoul(file_field));
@@ -214,6 +240,18 @@ TraceFile read_sddf(std::istream& in) {
         throw std::runtime_error("SDDF: #loss references unknown file id");
       }
       tf.losses.push_back(l);  // siolint:allow(trace-vector-growth) batch decode materializes
+      continue;
+    }
+    if (line.rfind("#span ", 0) == 0) {
+      std::istringstream ls(line.substr(6));
+      SpanEvent s;
+      std::string stage_field;
+      if (!(ls >> s.start >> s.duration >> s.op_id >> s.span >> s.parent >> stage_field >>
+            s.node >> s.target >> s.bytes >> s.flags >> s.info)) {
+        throw std::runtime_error("SDDF: bad #span line: " + line);
+      }
+      s.stage = parse_stage_kind(stage_field);
+      tf.spans.push_back(s);  // siolint:allow(trace-vector-growth) batch decode materializes
       continue;
     }
     if (line[0] == '#') continue;  // future extension records

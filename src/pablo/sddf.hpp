@@ -12,21 +12,26 @@
 //   #SDDF-IO 1
 //   #fields start_ns duration_ns node file op offset bytes
 //   #file <id> <path>            (one per registered file)
-//   #fault-fields at_ns kind node target info        (when faults present)
-//   #fault <at> <kind-name> <node> <target> <info>   (one per fault event)
-//   #qos-fields at_ns kind node target info          (when QoS records present)
-//   #qos <at> <kind-name> <node> <target> <info>     (one per QoS event)
-//   #loss-fields at_ns target file offset bytes torn (when losses present)
-//   #loss <at> <target> <file> <offset> <bytes> <torn>  (one per dropped unit)
+//   #fault-fields at_ns op_id kind node target info  (when faults present)
+//   #fault <at> <op_id> <kind-name> <node> <target> <info>
+//   #qos-fields at_ns op_id kind node target info    (when QoS records present)
+//   #qos <at> <op_id> <kind-name> <node> <target> <info>
+//   #loss-fields at_ns op_id target file offset bytes torn (when losses present)
+//   #loss <at> <op_id> <target> <file> <offset> <bytes> <torn>
 //   #integrity-fields at_ns kind target file unit bytes (when present)
 //   #integrity <at> <kind-name> <target> <file> <unit> <bytes>
+//   #span-fields start_ns duration_ns op_id span parent stage node target bytes flags info
+//   #span <start> <dur> <op_id> <span> <parent> <stage-name> <node> <target> <bytes> <flags> <info>
 //   <records: one event per line, space separated, op by name>
 //
 // `#fault` records extend the dialect for fault-injection runs, `#qos`
 // records for overload-protection runs, `#loss` records for crash-induced
-// acknowledged-data losses and `#integrity` records for end-to-end
-// data-integrity runs; readers predating any of them skip unknown `#` lines,
-// so old tools still load new traces.
+// acknowledged-data losses, `#integrity` records for end-to-end
+// data-integrity runs and `#span` records for causal-tracing runs; readers
+// predating any of them skip unknown `#` lines, so old tools still load new
+// traces.  Every per-operation record family carries the operation identity
+// in one `op_id` column directly after its timestamp, so `siotrace` joins
+// #span/#fault/#qos/#loss without per-record special cases.
 
 #pragma once
 
@@ -48,6 +53,7 @@ struct TraceFile {
   std::vector<QosEvent> qos;
   std::vector<LossEvent> losses;
   std::vector<IntegrityEvent> integrity;
+  std::vector<SpanEvent> spans;
 };
 
 /// Writes the collector's registered files, events and fault records to
@@ -79,6 +85,13 @@ void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
                 const std::vector<QosEvent>& qos, const std::vector<LossEvent>& losses,
                 const std::vector<IntegrityEvent>& integrity);
 
+/// Writes a pre-extracted trace including every record family (spans last).
+void write_sddf(std::ostream& out, const std::vector<std::string>& file_names,
+                const std::vector<TraceEvent>& events, const std::vector<FaultEvent>& faults,
+                const std::vector<QosEvent>& qos, const std::vector<LossEvent>& losses,
+                const std::vector<IntegrityEvent>& integrity,
+                const std::vector<SpanEvent>& spans);
+
 /// Parses a trace written by write_sddf.  Throws std::runtime_error on
 /// malformed input (bad magic, unknown op, truncated record).
 TraceFile read_sddf(std::istream& in);
@@ -101,5 +114,9 @@ QosKind parse_qos_kind(const std::string& name);
 /// Parses an integrity-kind name ("bit-rot", "read-repair", ...); throws on
 /// unknown names.
 IntegrityKind parse_integrity_kind(const std::string& name);
+
+/// Parses a span stage name ("op", "admit", "disk", ...); throws on unknown
+/// names.
+obs::StageKind parse_stage_kind(const std::string& name);
 
 }  // namespace sio::pablo

@@ -176,6 +176,7 @@ void StreamingAnalytics::merge(const StreamingAnalytics& other) {
     integrity_counts_[i] += other.integrity_counts_[i];
     integrity_bytes_[i] += other.integrity_bytes_[i];
   }
+  critical_path_.merge(other.critical_path_);
 }
 
 std::size_t StreamingAnalytics::bytes_retained() const {
@@ -187,6 +188,7 @@ std::size_t StreamingAnalytics::bytes_retained() const {
   total += files_.capacity() * sizeof(FileLifetimeSummary);
   total += windows_.capacity() * sizeof(TimeWindowSummary);
   total += regions_.capacity() * sizeof(FileRegionSummary);
+  total += critical_path_.bytes_retained();
   return total;
 }
 
@@ -230,6 +232,10 @@ std::uint64_t StreamingAnalytics::fingerprint() const {
       f.mix(integrity_counts_[i]);
       f.mix(integrity_bytes_[i]);
     }
+  }
+  // Same gating for spans: only runs that traced mix the attribution.
+  if (!critical_path_.report().empty()) {
+    f.mix(critical_path_.report().fingerprint());
   }
   return f.value();
 }

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/critical_path.hpp"
 #include "pablo/event.hpp"
 #include "pablo/sketch.hpp"
 #include "pablo/summary.hpp"
@@ -65,6 +66,15 @@ class StreamingAnalytics {
   /// Folds one integrity occurrence into the per-kind count/byte totals.
   /// O(1); the record itself is never retained.
   void on_integrity(const IntegrityEvent& ev);
+
+  /// Folds one closed span into the critical-path attribution.  Spans arrive
+  /// children-before-parent (emission order); a tree is attributed and
+  /// dropped the moment its root closes, so retained state is bounded by the
+  /// spans of in-flight ops, not run length.
+  void on_span(const SpanEvent& ev) { critical_path_.on_span(ev); }
+
+  std::uint64_t spans_folded() const { return critical_path_.report().spans; }
+  const obs::CriticalPathReport& critical_path() const { return critical_path_.report(); }
 
   std::uint64_t integrity_folded() const { return integrity_folded_; }
   std::uint64_t integrity_count(IntegrityKind k) const {
@@ -129,6 +139,10 @@ class StreamingAnalytics {
   std::uint64_t integrity_folded_ = 0;
   std::array<std::uint64_t, kIntegrityKindCount> integrity_counts_{};
   std::array<std::uint64_t, kIntegrityKindCount> integrity_bytes_{};
+  /// Critical-path attribution over span trees (bounded pending buffer).
+  /// Folded only when a run records spans, so span-free runs keep their
+  /// pre-tracing fingerprint bit-for-bit.
+  obs::CriticalPathFold critical_path_;
 };
 
 }  // namespace sio::pablo

@@ -54,13 +54,15 @@ sim::Task<void> FileHandle::flush_write_buffer() {
   const std::uint64_t start = wb_start_;
   const std::uint64_t len = wb_len_;
   wb_len_ = 0;
-  co_await fs_->transfer(node_, *file_, start, len, /*is_write=*/true, /*buffered=*/true);
+  co_await fs_->transfer(node_, *file_, start, len, /*is_write=*/true, /*buffered=*/true,
+                         op_span_);
 }
 
 sim::Task<void> FileHandle::cached_read(std::uint64_t offset, std::uint64_t bytes) {
   const auto& os = fs_->os();
   // Served from the coalescing write buffer?
   if (wb_len_ > 0 && offset >= wb_start_ && offset + bytes <= wb_start_ + wb_len_) {
+    obs::SpanScope cache_span(op_span_, obs::StageKind::kCache, node_, -1, bytes);
     co_await fs_->machine().engine().delay(os.buffered_op);
     co_return;
   }
@@ -68,7 +70,8 @@ sim::Task<void> FileHandle::cached_read(std::uint64_t offset, std::uint64_t byte
   if (bytes >= unit_size) {
     // Big requests stream directly; caching them would only evict.
     co_await flush_write_buffer();
-    co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/false, /*buffered=*/true);
+    co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/false, /*buffered=*/true,
+                           op_span_);
     co_return;
   }
   const std::uint64_t first = fs_->layout().unit_of(offset);
@@ -76,9 +79,10 @@ sim::Task<void> FileHandle::cached_read(std::uint64_t offset, std::uint64_t byte
   for (std::uint64_t u = first; u <= last; ++u) {
     if (static_cast<std::int64_t>(u) != cached_unit_) {
       co_await flush_write_buffer();
-      co_await fs_->fetch_unit(node_, *file_, u);
+      co_await fs_->fetch_unit(node_, *file_, u, op_span_);
       cached_unit_ = static_cast<std::int64_t>(u);
     }
+    obs::SpanScope cache_span(op_span_, obs::StageKind::kCache, node_, -1, bytes);
     co_await fs_->machine().engine().delay(os.buffered_op);
   }
 }
@@ -88,7 +92,8 @@ sim::Task<void> FileHandle::buffered_write(std::uint64_t offset, std::uint64_t b
   const std::uint64_t unit_size = fs_->layout().unit();
   if (!client_cache_allowed() || bytes >= unit_size) {
     co_await flush_write_buffer();
-    co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_);
+    co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_,
+                           op_span_);
     co_return;
   }
   if (wb_len_ > 0 && offset == wb_start_ + wb_len_) {
@@ -102,7 +107,10 @@ sim::Task<void> FileHandle::buffered_write(std::uint64_t offset, std::uint64_t b
     const auto u = static_cast<std::uint64_t>(cached_unit_);
     if (offset < (u + 1) * unit_size && offset + bytes > u * unit_size) cached_unit_ = -1;
   }
-  co_await fs_->machine().engine().delay(os.buffered_op);
+  {
+    obs::SpanScope cache_span(op_span_, obs::StageKind::kCache, node_, -1, bytes);
+    co_await fs_->machine().engine().delay(os.buffered_op);
+  }
   if (wb_len_ >= unit_size) co_await flush_write_buffer();
 }
 
@@ -111,6 +119,9 @@ sim::Task<void> FileHandle::buffered_write(std::uint64_t offset, std::uint64_t b
 sim::Task<std::uint64_t> FileHandle::read(std::uint64_t bytes, std::span<std::byte> out) {
   SIO_ASSERT(open_);
   pablo::OpTimer timer(fs_->collector(), node_, file_->id, pablo::IoOp::kRead);
+  obs::SpanScope op_span(fs_->collector().span_origin(), obs::StageKind::kOp, node_, -1, bytes,
+                         static_cast<std::uint64_t>(pablo::IoOp::kRead));
+  op_span_ = op_span.ctx();
   std::uint64_t n = 0;
   switch (file_->mode) {
     case IoMode::kUnix:
@@ -134,7 +145,10 @@ sim::Task<std::uint64_t> FileHandle::read(std::uint64_t bytes, std::span<std::by
     SIO_ASSERT(out.size() >= n);
     file_->content->read(last_op_offset_, out.subspan(0, static_cast<std::size_t>(n)));
   }
+  op_span.set_bytes(n);
+  op_span_ = {};
   timer.finish(last_op_offset_, n);
+  op_span.close();
   co_return n;
 }
 
@@ -149,15 +163,20 @@ sim::Task<std::uint64_t> FileHandle::read_unix_or_async(std::uint64_t bytes) {
       // Shared UNIX semantics: atomicity bookkeeping serializes at the
       // metadata/token server, and the consistency validation cost grows
       // with the number of concurrent openers; no client caching.
-      co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
-      co_await fs_->metadata().token_op(file_->id, /*is_write=*/false, node_);
+      {
+        obs::SpanScope meta_span(op_span_, obs::StageKind::kMeta, node_);
+        co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
+        co_await fs_->metadata().token_op(file_->id, /*is_write=*/false, node_);
+      }
       co_await fs_->machine().engine().delay(os.shared_read_per_opener *
                                              static_cast<sim::Tick>(file_->open_count));
-      co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_);
+      co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_,
+                             op_span_);
     } else if (client_cache_allowed()) {
       co_await cached_read(offset, n);
     } else {
-      co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_);
+      co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_,
+                             op_span_);
     }
   }
   pos_ = offset + n;
@@ -179,7 +198,7 @@ sim::Task<std::uint64_t> FileHandle::read_record(std::uint64_t bytes) {
   const std::uint64_t n = clamp_read(*file_, offset, bytes);
   co_await fs_->machine().engine().delay(os.syscall_overhead + os.sync_mode_overhead);
   if (n > 0) {
-    co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_);
+    co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_, op_span_);
   }
   pos_ = offset + n;
   co_return n;
@@ -192,24 +211,31 @@ sim::Task<std::uint64_t> FileHandle::read_global(std::uint64_t bytes) {
   group_->scratch()[static_cast<std::size_t>(rank_)] = bytes;
   FileState* f = file_;
   Group* g = group_;
-  co_await group_->arrive([f, g] {
-    // All requests must be identical; advance the shared pointer once.
-    const std::uint64_t req = g->scratch()[0];
-    for (const std::uint64_t s : g->scratch()) {
-      if (s != req) throw PfsError("M_GLOBAL requires identical requests");
-    }
-    const std::uint64_t base = f->shared_offset;
-    const std::uint64_t n = clamp_read(*f, base, req);
-    for (auto& w : g->wave_offsets()) w = base;
-    f->shared_offset = base + n;
-  });
+  {
+    obs::SpanScope sync_span(op_span_, obs::StageKind::kSync, node_);
+    co_await group_->arrive([f, g] {
+      // All requests must be identical; advance the shared pointer once.
+      const std::uint64_t req = g->scratch()[0];
+      for (const std::uint64_t s : g->scratch()) {
+        if (s != req) throw PfsError("M_GLOBAL requires identical requests");
+      }
+      const std::uint64_t base = f->shared_offset;
+      const std::uint64_t n = clamp_read(*f, base, req);
+      for (auto& w : g->wave_offsets()) w = base;
+      f->shared_offset = base + n;
+    });
+  }
   const std::uint64_t base = group_->wave_offsets()[static_cast<std::size_t>(rank_)];
   const std::uint64_t n = clamp_read(*file_, base, bytes);
   last_op_offset_ = base;
   if (rank_ == 0 && n > 0) {
-    co_await fs_->transfer(node_, *file_, base, n, /*is_write=*/false, /*buffered=*/true);
+    co_await fs_->transfer(node_, *file_, base, n, /*is_write=*/false, /*buffered=*/true,
+                           op_span_);
   }
-  co_await group_->arrive();  // data is on the leader
+  {
+    obs::SpanScope sync_span(op_span_, obs::StageKind::kSync, node_);
+    co_await group_->arrive();  // data is on the leader
+  }
   co_await fs_->machine().engine().delay(
       fs_->machine().network().broadcast_arrival(rank_, group_->size(), n) +
       os.sync_mode_overhead);
@@ -223,14 +249,17 @@ sim::Task<std::uint64_t> FileHandle::read_sync(std::uint64_t bytes) {
   group_->scratch()[static_cast<std::size_t>(rank_)] = bytes;
   FileState* f = file_;
   Group* g = group_;
-  co_await group_->arrive([f, g] {
-    std::uint64_t acc = f->shared_offset;
-    for (std::size_t r = 0; r < g->wave_offsets().size(); ++r) {
-      g->wave_offsets()[r] = acc;
-      acc += g->scratch()[r];
-    }
-    f->shared_offset = acc;
-  });
+  {
+    obs::SpanScope sync_span(op_span_, obs::StageKind::kSync, node_);
+    co_await group_->arrive([f, g] {
+      std::uint64_t acc = f->shared_offset;
+      for (std::size_t r = 0; r < g->wave_offsets().size(); ++r) {
+        g->wave_offsets()[r] = acc;
+        acc += g->scratch()[r];
+      }
+      f->shared_offset = acc;
+    });
+  }
   const std::uint64_t offset = group_->wave_offsets()[static_cast<std::size_t>(rank_)];
   const std::uint64_t n = clamp_read(*file_, offset, bytes);
   last_op_offset_ = offset;
@@ -238,22 +267,31 @@ sim::Task<std::uint64_t> FileHandle::read_sync(std::uint64_t bytes) {
   co_await fs_->machine().engine().delay(static_cast<sim::Tick>(rank_) * os.token_read_service +
                                          os.sync_mode_overhead);
   if (n > 0) {
-    co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, /*buffered=*/true);
+    co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, /*buffered=*/true,
+                           op_span_);
   }
-  co_await group_->arrive();
+  {
+    obs::SpanScope sync_span(op_span_, obs::StageKind::kSync, node_);
+    co_await group_->arrive();
+  }
   co_return n;
 }
 
 sim::Task<std::uint64_t> FileHandle::read_log(std::uint64_t bytes) {
   const auto& os = fs_->os();
-  co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
-  co_await fs_->metadata().token_op(file_->id, /*is_write=*/false, node_);
+  {
+    // The combined syscall+round-trip delay stays one engine event (splitting
+    // it would perturb same-tick ordering); the meta span covers it whole.
+    obs::SpanScope meta_span(op_span_, obs::StageKind::kMeta, node_);
+    co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
+    co_await fs_->metadata().token_op(file_->id, /*is_write=*/false, node_);
+  }
   const std::uint64_t offset = file_->shared_offset;
   const std::uint64_t n = clamp_read(*file_, offset, bytes);
   file_->shared_offset = offset + n;
   last_op_offset_ = offset;
   if (n > 0) {
-    co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_);
+    co_await fs_->transfer(node_, *file_, offset, n, /*is_write=*/false, buffering_, op_span_);
   }
   co_return n;
 }
@@ -264,6 +302,9 @@ sim::Task<std::uint64_t> FileHandle::write(std::uint64_t bytes, std::span<const 
   SIO_ASSERT(open_);
   SIO_ASSERT(data.empty() || data.size() == bytes);
   pablo::OpTimer timer(fs_->collector(), node_, file_->id, pablo::IoOp::kWrite);
+  obs::SpanScope op_span(fs_->collector().span_origin(), obs::StageKind::kOp, node_, -1, bytes,
+                         static_cast<std::uint64_t>(pablo::IoOp::kWrite));
+  op_span_ = op_span.ctx();
   std::uint64_t n = 0;
   switch (file_->mode) {
     case IoMode::kUnix:
@@ -286,7 +327,10 @@ sim::Task<std::uint64_t> FileHandle::write(std::uint64_t bytes, std::span<const 
   if (!data.empty() && file_->content && n > 0) {
     file_->content->write(last_op_offset_, data.subspan(0, static_cast<std::size_t>(n)));
   }
+  op_span.set_bytes(n);
+  op_span_ = {};
   timer.finish(last_op_offset_, n);
+  op_span.close();
   co_return n;
 }
 
@@ -297,9 +341,13 @@ sim::Task<std::uint64_t> FileHandle::write_unix_or_async(std::uint64_t bytes) {
   co_await fs_->machine().engine().delay(os.syscall_overhead);
   if (bytes > 0) {
     if (file_->mode == IoMode::kUnix && file_->shared()) {
-      co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
-      co_await fs_->metadata().token_op(file_->id, /*is_write=*/true, node_);
-      co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_);
+      {
+        obs::SpanScope meta_span(op_span_, obs::StageKind::kMeta, node_);
+        co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
+        co_await fs_->metadata().token_op(file_->id, /*is_write=*/true, node_);
+      }
+      co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_,
+                             op_span_);
     } else {
       co_await buffered_write(offset, bytes);
     }
@@ -322,7 +370,7 @@ sim::Task<std::uint64_t> FileHandle::write_record(std::uint64_t bytes) {
   ++op_index_;
   last_op_offset_ = offset;
   co_await fs_->machine().engine().delay(os.syscall_overhead + os.sync_mode_overhead);
-  co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_);
+  co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_, op_span_);
   pos_ = offset + bytes;
   file_->size = std::max(file_->size, offset + bytes);
   co_return bytes;
@@ -335,22 +383,29 @@ sim::Task<std::uint64_t> FileHandle::write_global(std::uint64_t bytes) {
   group_->scratch()[static_cast<std::size_t>(rank_)] = bytes;
   FileState* f = file_;
   Group* g = group_;
-  co_await group_->arrive([f, g] {
-    const std::uint64_t req = g->scratch()[0];
-    for (const std::uint64_t s : g->scratch()) {
-      if (s != req) throw PfsError("M_GLOBAL requires identical requests");
-    }
-    const std::uint64_t base = f->shared_offset;
-    for (auto& w : g->wave_offsets()) w = base;
-    f->shared_offset = base + req;
-    f->size = std::max(f->size, base + req);
-  });
+  {
+    obs::SpanScope sync_span(op_span_, obs::StageKind::kSync, node_);
+    co_await group_->arrive([f, g] {
+      const std::uint64_t req = g->scratch()[0];
+      for (const std::uint64_t s : g->scratch()) {
+        if (s != req) throw PfsError("M_GLOBAL requires identical requests");
+      }
+      const std::uint64_t base = f->shared_offset;
+      for (auto& w : g->wave_offsets()) w = base;
+      f->shared_offset = base + req;
+      f->size = std::max(f->size, base + req);
+    });
+  }
   const std::uint64_t base = group_->wave_offsets()[static_cast<std::size_t>(rank_)];
   last_op_offset_ = base;
   if (rank_ == 0 && bytes > 0) {
-    co_await fs_->transfer(node_, *file_, base, bytes, /*is_write=*/true, /*buffered=*/true);
+    co_await fs_->transfer(node_, *file_, base, bytes, /*is_write=*/true, /*buffered=*/true,
+                           op_span_);
   }
-  co_await group_->arrive();
+  {
+    obs::SpanScope sync_span(op_span_, obs::StageKind::kSync, node_);
+    co_await group_->arrive();
+  }
   co_await fs_->machine().engine().delay(os.sync_mode_overhead);
   co_return bytes;
 }
@@ -362,36 +417,46 @@ sim::Task<std::uint64_t> FileHandle::write_sync(std::uint64_t bytes) {
   group_->scratch()[static_cast<std::size_t>(rank_)] = bytes;
   FileState* f = file_;
   Group* g = group_;
-  co_await group_->arrive([f, g] {
-    std::uint64_t acc = f->shared_offset;
-    for (std::size_t r = 0; r < g->wave_offsets().size(); ++r) {
-      g->wave_offsets()[r] = acc;
-      acc += g->scratch()[r];
-    }
-    f->shared_offset = acc;
-    f->size = std::max(f->size, acc);
-  });
+  {
+    obs::SpanScope sync_span(op_span_, obs::StageKind::kSync, node_);
+    co_await group_->arrive([f, g] {
+      std::uint64_t acc = f->shared_offset;
+      for (std::size_t r = 0; r < g->wave_offsets().size(); ++r) {
+        g->wave_offsets()[r] = acc;
+        acc += g->scratch()[r];
+      }
+      f->shared_offset = acc;
+      f->size = std::max(f->size, acc);
+    });
+  }
   const std::uint64_t offset = group_->wave_offsets()[static_cast<std::size_t>(rank_)];
   last_op_offset_ = offset;
   co_await fs_->machine().engine().delay(static_cast<sim::Tick>(rank_) * os.token_read_service +
                                          os.sync_mode_overhead);
   if (bytes > 0) {
-    co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, /*buffered=*/true);
+    co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, /*buffered=*/true,
+                           op_span_);
   }
-  co_await group_->arrive();
+  {
+    obs::SpanScope sync_span(op_span_, obs::StageKind::kSync, node_);
+    co_await group_->arrive();
+  }
   co_return bytes;
 }
 
 sim::Task<std::uint64_t> FileHandle::write_log(std::uint64_t bytes) {
   const auto& os = fs_->os();
-  co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
-  co_await fs_->metadata().token_op(file_->id, /*is_write=*/true, node_);
+  {
+    obs::SpanScope meta_span(op_span_, obs::StageKind::kMeta, node_);
+    co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
+    co_await fs_->metadata().token_op(file_->id, /*is_write=*/true, node_);
+  }
   const std::uint64_t offset = file_->shared_offset;
   file_->shared_offset = offset + bytes;
   file_->size = std::max(file_->size, offset + bytes);
   last_op_offset_ = offset;
   if (bytes > 0) {
-    co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_);
+    co_await fs_->transfer(node_, *file_, offset, bytes, /*is_write=*/true, buffering_, op_span_);
   }
   co_return bytes;
 }
@@ -404,18 +469,24 @@ sim::Task<void> FileHandle::seek(std::uint64_t offset) {
     throw PfsError("seek is not meaningful in mode " + std::string(io_mode_name(file_->mode)));
   }
   pablo::OpTimer timer(fs_->collector(), node_, file_->id, pablo::IoOp::kSeek);
+  obs::SpanScope op_span(fs_->collector().span_origin(), obs::StageKind::kOp, node_, -1, 0,
+                         static_cast<std::uint64_t>(pablo::IoOp::kSeek));
+  op_span_ = op_span.ctx();
   co_await flush_write_buffer();
   const auto& os = fs_->os();
   if (file_->mode == IoMode::kUnix && file_->shared()) {
     // Seeking a shared M_UNIX file registers the pointer move with the
     // metadata server — the cost that dominated ESCAT version B.
+    obs::SpanScope meta_span(op_span_, obs::StageKind::kMeta, node_);
     co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
     co_await fs_->metadata().seek_op(file_->id, node_);
   } else {
     co_await fs_->machine().engine().delay(os.local_seek);
   }
   pos_ = offset;
+  op_span_ = {};
   timer.finish(offset, 0);
+  op_span.close();
 }
 
 sim::Task<void> FileHandle::set_iomode(IoMode m, std::uint64_t record_size) {
@@ -432,6 +503,9 @@ sim::Task<void> FileHandle::set_iomode(IoMode m, std::uint64_t record_size) {
   }
 
   pablo::OpTimer timer(fs_->collector(), node_, file_->id, pablo::IoOp::kIomode);
+  obs::SpanScope op_span(fs_->collector().span_origin(), obs::StageKind::kOp, node_, -1, 0,
+                         static_cast<std::uint64_t>(pablo::IoOp::kIomode));
+  op_span_ = op_span.ctx();
   co_await flush_write_buffer();
   co_await fs_->machine().engine().delay(os.syscall_overhead);
   FileState* f = file_;
@@ -440,45 +514,68 @@ sim::Task<void> FileHandle::set_iomode(IoMode m, std::uint64_t record_size) {
     if (record_size != 0) f->record_size = record_size;
   };
   if (group_ != nullptr) {
-    co_await group_->arrive();
+    {
+      obs::SpanScope sync_span(op_span_, obs::StageKind::kSync, node_);
+      co_await group_->arrive();
+    }
     if (rank_ == 0) {
+      obs::SpanScope meta_span(op_span_, obs::StageKind::kMeta, node_);
       co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
       co_await fs_->metadata().iomode_op(file_->id, node_);
       apply();
     }
-    co_await group_->arrive();
+    {
+      obs::SpanScope sync_span(op_span_, obs::StageKind::kSync, node_);
+      co_await group_->arrive();
+    }
     co_await fs_->machine().engine().delay(os.iomode_client);
   } else {
+    obs::SpanScope meta_span(op_span_, obs::StageKind::kMeta, node_);
     co_await fs_->machine().engine().delay(fs_->meta_round_trip(node_));
     co_await fs_->metadata().iomode_op(file_->id, node_);
     apply();
   }
   cached_unit_ = -1;
   op_index_ = 0;
+  op_span_ = {};
   timer.finish();
+  op_span.close();
 }
 
 sim::Task<void> FileHandle::flush() {
   SIO_ASSERT(open_);
   pablo::OpTimer timer(fs_->collector(), node_, file_->id, pablo::IoOp::kFlush);
+  obs::SpanScope op_span(fs_->collector().span_origin(), obs::StageKind::kOp, node_, -1, 0,
+                         static_cast<std::uint64_t>(pablo::IoOp::kFlush));
+  op_span_ = op_span.ctx();
   co_await flush_write_buffer();
   const auto& os = fs_->os();
   co_await fs_->machine().engine().delay(os.syscall_overhead + os.flush_service);
+  op_span_ = {};
   timer.finish();
+  op_span.close();
 }
 
 sim::Task<void> FileHandle::close() {
   SIO_ASSERT(open_);
   pablo::OpTimer timer(fs_->collector(), node_, file_->id, pablo::IoOp::kClose);
+  obs::SpanScope op_span(fs_->collector().span_origin(), obs::StageKind::kOp, node_, -1, 0,
+                         static_cast<std::uint64_t>(pablo::IoOp::kClose));
+  op_span_ = op_span.ctx();
   co_await flush_write_buffer();
   const auto& os = fs_->os();
-  co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
-  co_await fs_->metadata().close_op(file_->id, node_);
+  {
+    obs::SpanScope meta_span(op_span_, obs::StageKind::kMeta, node_);
+    co_await fs_->machine().engine().delay(os.syscall_overhead + fs_->meta_round_trip(node_));
+    co_await fs_->metadata().close_op(file_->id, node_);
+  }
   --file_->open_count;
   SIO_ASSERT(file_->open_count >= 0);
   open_ = false;
   cached_unit_ = -1;
+  op_span_ = {};
   timer.finish();
+  op_span.close();
 }
 
 }  // namespace sio::pfs

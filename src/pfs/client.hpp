@@ -27,6 +27,7 @@
 #include <span>
 
 #include "machine/topology.hpp"
+#include "obs/trace.hpp"
 #include "pfs/file.hpp"
 #include "pfs/group.hpp"
 #include "pfs/types.hpp"
@@ -106,6 +107,11 @@ class FileHandle {
   std::uint64_t pos_ = 0;
   std::uint64_t op_index_ = 0;        // M_RECORD wave counter
   std::uint64_t last_op_offset_ = 0;  // offset of the last data op, for tracing
+
+  /// Context of the in-progress operation's root span; mode helpers open
+  /// their children (meta, sync, cache, segment...) under it.  Null tracer
+  /// when causal tracing is off — the zero-cost disabled path.
+  obs::SpanContext op_span_{};
 
   // One-unit client read cache.
   std::int64_t cached_unit_ = -1;

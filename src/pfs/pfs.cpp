@@ -216,7 +216,7 @@ std::uint64_t Pfs::disk_offset_of(FileState& file, std::uint64_t unit_index) {
 
 sim::Task<Pfs::Attempt> Pfs::segment_attempt(hw::NodeId node, FileState* file, StripeSegment seg,
                                              bool is_write, bool buffered, std::uint64_t op_id,
-                                             sim::Tick deadline_left) {
+                                             sim::Tick deadline_left, obs::SpanContext span) {
   auto& engine = machine_.engine();
   auto& net = machine_.network();
   const std::uint64_t unit_off = disk_offset_of(*file, seg.unit_index);
@@ -227,13 +227,16 @@ sim::Task<Pfs::Attempt> Pfs::segment_attempt(hw::NodeId node, FileState* file, S
   // delayed or dropped); otherwise the original analytic delay is used, so a
   // fault-free run keeps the exact event stream of the pre-fault model.
   const std::uint64_t req_bytes = is_write ? seg.length + kHeader : kHeader;
-  if (robust()) {
-    if (!co_await net.send_to_io(node, seg.io_node, req_bytes)) co_return Attempt{};
-  } else {
-    co_await engine.delay(net.message_time_to_io(node, seg.io_node, req_bytes));
+  {
+    obs::SpanScope req_span(span, obs::StageKind::kNetReq, node, seg.io_node, req_bytes);
+    if (robust()) {
+      if (!co_await net.send_to_io(node, seg.io_node, req_bytes)) co_return Attempt{};
+    } else {
+      co_await engine.delay(net.message_time_to_io(node, seg.io_node, req_bytes));
+    }
   }
 
-  const OpCtx ctx{node, op_id, deadline_left};
+  const OpCtx ctx{node, op_id, deadline_left, span};
   qos::Admission adm;
   if (is_write) {
     adm = co_await server(seg.io_node)
@@ -256,15 +259,19 @@ sim::Task<Pfs::Attempt> Pfs::segment_attempt(hw::NodeId node, FileState* file, S
     // Turned away at the server's front door: a small nack carries the
     // verdict and the retry-after credit back.  A dropped nack collapses to
     // silence — the client times out as if the server never answered.
+    obs::SpanScope nack_span(span, obs::StageKind::kNetResp, node, seg.io_node, kHeader);
     if (!co_await net.send_to_io(node, seg.io_node, kHeader)) co_return Attempt{};
     co_return Attempt{false, true, adm.retry_after};
   }
 
   const std::uint64_t rsp_bytes = is_write ? kHeader : seg.length + kHeader;
-  if (robust()) {
-    if (!co_await net.send_to_io(node, seg.io_node, rsp_bytes)) co_return Attempt{};
-  } else {
-    co_await engine.delay(net.message_time_to_io(node, seg.io_node, rsp_bytes));
+  {
+    obs::SpanScope rsp_span(span, obs::StageKind::kNetResp, node, seg.io_node, rsp_bytes);
+    if (robust()) {
+      if (!co_await net.send_to_io(node, seg.io_node, rsp_bytes)) co_return Attempt{};
+    } else {
+      co_await engine.delay(net.message_time_to_io(node, seg.io_node, rsp_bytes));
+    }
   }
 
   // Link corruption: the payload arrived, but its bytes were damaged on the
@@ -306,7 +313,8 @@ sim::Tick Pfs::backoff_for(int attempt) {
   return retry_rng_.jitter(b, rp.backoff_jitter);
 }
 
-sim::Task<void> Pfs::reconstruct_segment(hw::NodeId node, FileState* file, StripeSegment seg) {
+sim::Task<void> Pfs::reconstruct_segment(hw::NodeId node, FileState* file, StripeSegment seg,
+                                         obs::SpanContext span) {
   // RAID-3 degraded read: the sick I/O node's share is recomputed from the
   // surviving nodes' data + parity.  Model: a control fanout to the
   // survivors, a parallel raw-array read of each survivor's share (the
@@ -323,25 +331,31 @@ sim::Task<void> Pfs::reconstruct_segment(hw::NodeId node, FileState* file, Strip
   const std::uint64_t share = (seg.length + survivors - 1) / survivors;
 
   co_await engine.delay(net.broadcast_time(n - 1, kHeader));
-  sim::WaitGroup reads(engine);
-  for (int i = 0; i < n; ++i) {
-    if (i == seg.io_node) continue;
-    reads.add();
-    engine.spawn(read_share(server(i).disk(), unit_off + seg.offset_in_unit, share, &reads));
+  {
+    obs::SpanScope disk_span(span, obs::StageKind::kDisk, node, seg.io_node, share * survivors);
+    sim::WaitGroup reads(engine);
+    for (int i = 0; i < n; ++i) {
+      if (i == seg.io_node) continue;
+      reads.add();
+      engine.spawn(read_share(server(i).disk(), unit_off + seg.offset_in_unit, share, &reads));
+    }
+    co_await reads.wait();
   }
-  co_await reads.wait();
   co_await engine.delay(net.io_gather_time(node, n - 1, share + kHeader));
   co_await engine.delay(static_cast<sim::Tick>(static_cast<double>(seg.length) /
                                                cfg_.qos.xor_bytes_per_tick));
 }
 
 sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSegment seg,
-                                      bool is_write, bool buffered, sim::WaitGroup* wg) {
+                                      bool is_write, bool buffered, sim::WaitGroup* wg,
+                                      obs::SpanContext parent) {
   if (!robust()) {
     // Direct await: symmetric transfer, no extra engine events, so the
     // attempt split leaves fault-free timing untouched.
+    obs::SpanScope seg_span(parent, obs::StageKind::kSegment, node, seg.io_node, seg.length);
     co_await segment_attempt(node, file, seg, is_write, buffered, /*op_id=*/0,
-                             /*deadline_left=*/0);
+                             /*deadline_left=*/0, seg_span.ctx());
+    seg_span.close();
     if (wg != nullptr) wg->done();
     co_return;
   }
@@ -349,6 +363,8 @@ sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSe
   auto& engine = machine_.engine();
   const RetryPolicy& rp = cfg_.retry;
   const std::uint64_t op_id = next_op_id_++;
+  obs::SpanScope seg_span(parent, obs::StageKind::kSegment, node, seg.io_node, seg.length);
+  seg_span.set_op_id(op_id);
   qos::CircuitBreaker* br =
       cfg_.qos.enabled ? breakers_[static_cast<std::size_t>(seg.io_node)].get() : nullptr;
   // Satellite fix: cumulative backoff across the whole retry sequence is
@@ -368,10 +384,12 @@ sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSe
         // Reads don't need it — serve from the surviving shares + parity.
         ++reroutes_;
         collector_.record_qos(
-            {engine.now(), pablo::QosKind::kReroute, node, seg.io_node, op_id});
+            {engine.now(), op_id, pablo::QosKind::kReroute, node, seg.io_node, 0});
+        obs::SpanScope rr_span(seg_span.ctx(), obs::StageKind::kReroute, node, seg.io_node,
+                               seg.length);
         auto& slot = *rebuild_slots_[static_cast<std::size_t>(seg.io_node)];
         co_await slot.acquire();
-        co_await reconstruct_segment(node, file, seg);
+        co_await reconstruct_segment(node, file, seg, rr_span.ctx());
         slot.release();
         break;
       }
@@ -379,15 +397,18 @@ sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSe
       // back until the breaker is willing to probe again.
       ++breaker_holds_;
       collector_.record_qos(
-          {engine.now(), pablo::QosKind::kBreakerHold, node, seg.io_node, op_id});
+          {engine.now(), op_id, pablo::QosKind::kBreakerHold, node, seg.io_node, 0});
       if (attempt >= rp.max_retries) {
         ++failed_ops_;
         collector_.record_fault(
-            {engine.now(), pablo::FaultKind::kOpFailed, node, seg.io_node, op_id});
+            {engine.now(), op_id, pablo::FaultKind::kOpFailed, node, seg.io_node, 0});
         throw PfsError("segment transfer failed after retries (io node " +
                        std::to_string(seg.io_node) + ")");
       }
-      co_await engine.delay(std::max<sim::Tick>(br->wait_hint(), 1));
+      {
+        obs::SpanScope hold_span(seg_span.ctx(), obs::StageKind::kBackoff, node, seg.io_node);
+        co_await engine.delay(std::max<sim::Tick>(br->wait_hint(), 1));
+      }
       continue;
     }
 
@@ -399,11 +420,16 @@ sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSe
     // to the op before the whole retry sequence gives up.
     const sim::Tick patience =
         static_cast<sim::Tick>(rp.max_retries - attempt + 1) * rp.op_deadline;
+    // One attempt = one sibling span under the segment: retries and
+    // abandoned attempts stay visible side by side in the tree.
+    obs::SpanScope att_span(seg_span.ctx(), obs::StageKind::kAttempt, node, seg.io_node,
+                            seg.length, static_cast<std::uint64_t>(attempt + 1));
     auto res = co_await sim::with_timeout(
         engine,
-        segment_attempt(node, file, seg, is_write, buffered, op_id, patience),
+        segment_attempt(node, file, seg, is_write, buffered, op_id, patience, att_span.ctx()),
         rp.op_deadline, "pfs-op");
     if (res.status == sim::WaitStatus::kCompleted && res.value && res.value->ok) {
+      att_span.close();
       if (br != nullptr) br->on_success(node);
       break;
     }
@@ -412,39 +438,44 @@ sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSe
       // alive (it answered), so the breaker sees a success; the client
       // re-drives immediately — no deadline wait, no backoff — because the
       // failure was detected the instant the payload landed.
+      att_span.close();
       if (br != nullptr) br->on_success(node);
       if (attempt >= rp.max_retries) {
         ++failed_ops_;
         collector_.record_fault(
-            {engine.now(), pablo::FaultKind::kOpFailed, node, seg.io_node, op_id});
+            {engine.now(), op_id, pablo::FaultKind::kOpFailed, node, seg.io_node, 0});
         throw PfsError("segment transfer corrupt after retries (io node " +
                        std::to_string(seg.io_node) + ")");
       }
       ++retries_;
-      collector_.record_fault({engine.now(), pablo::FaultKind::kOpRetry, node, seg.io_node,
-                               static_cast<std::uint64_t>(attempt + 1)});
+      collector_.record_fault({engine.now(), op_id, pablo::FaultKind::kOpRetry, node,
+                               seg.io_node, static_cast<std::uint64_t>(attempt + 1)});
       continue;
     }
     if (res.status == sim::WaitStatus::kCompleted && res.value && res.value->turned_away) {
       // Explicit backpressure, not a failure: the server answered, so the
       // breaker is not fed, and the backoff honors the server's retry-after
       // credit (satellite fix) instead of blindly re-arriving early.
+      att_span.close();
       ++backpressure_rejects_;
       if (attempt >= rp.max_retries) {
         ++failed_ops_;
         collector_.record_fault(
-            {engine.now(), pablo::FaultKind::kOpFailed, node, seg.io_node, op_id});
+            {engine.now(), op_id, pablo::FaultKind::kOpFailed, node, seg.io_node, 0});
         throw PfsError("segment transfer rejected after retries (io node " +
                        std::to_string(seg.io_node) + ")");
       }
       ++retries_;
-      collector_.record_fault({engine.now(), pablo::FaultKind::kOpRetry, node, seg.io_node,
-                               static_cast<std::uint64_t>(attempt + 1)});
+      collector_.record_fault({engine.now(), op_id, pablo::FaultKind::kOpRetry, node,
+                               seg.io_node, static_cast<std::uint64_t>(attempt + 1)});
       // The credit is honored in full — it names the tick a slot is actually
       // expected to free, so arriving earlier only buys another rejection.
       // The cumulative cap applies to the client's own exponential schedule.
       const sim::Tick b = std::max(backoff(backoff_for(attempt)), res.value->retry_after);
-      if (b > 0) co_await engine.delay(b);
+      if (b > 0) {
+        obs::SpanScope back_span(seg_span.ctx(), obs::StageKind::kBackoff, node, seg.io_node);
+        co_await engine.delay(b);
+      }
       continue;
     }
     if (res.status == sim::WaitStatus::kCompleted) {
@@ -453,32 +484,44 @@ sim::Task<void> Pfs::transfer_segment(hw::NodeId node, FileState* file, StripeSe
       // of the deadline before acting, exactly like a genuine timeout.
       const sim::Tick elapsed = engine.now() - t0;
       if (elapsed < rp.op_deadline) co_await engine.delay(rp.op_deadline - elapsed);
+      att_span.close();
+    } else {
+      // Timed out: the attempt keeps running *detached* (with_timeout
+      // abandons, it does not destroy).  Force-close its whole subtree now,
+      // at the tick the client gave up, so abandoned work is visible in the
+      // tree instead of lost; the detached frame's own later closes no-op.
+      att_span.abandon();
     }
     ++timeouts_;
     // Early timeouts are ambiguous (congestion resolves them via the
     // retry/replay coalescing within an attempt or two); only a persistent
     // per-op timeout streak is evidence the node is unreachable.
     if (br != nullptr && attempt >= cfg_.qos.breaker_attempt_threshold) br->on_failure(node);
-    collector_.record_fault({engine.now(), pablo::FaultKind::kOpTimeout, node, seg.io_node,
-                             static_cast<std::uint64_t>(attempt)});
+    collector_.record_fault({engine.now(), op_id, pablo::FaultKind::kOpTimeout, node,
+                             seg.io_node, static_cast<std::uint64_t>(attempt)});
     if (attempt >= rp.max_retries) {
       ++failed_ops_;
       collector_.record_fault(
-          {engine.now(), pablo::FaultKind::kOpFailed, node, seg.io_node, op_id});
+          {engine.now(), op_id, pablo::FaultKind::kOpFailed, node, seg.io_node, 0});
       throw PfsError("segment transfer failed after retries (io node " +
                      std::to_string(seg.io_node) + ")");
     }
     ++retries_;
-    collector_.record_fault({engine.now(), pablo::FaultKind::kOpRetry, node, seg.io_node,
-                             static_cast<std::uint64_t>(attempt + 1)});
+    collector_.record_fault({engine.now(), op_id, pablo::FaultKind::kOpRetry, node,
+                             seg.io_node, static_cast<std::uint64_t>(attempt + 1)});
     const sim::Tick b = backoff(backoff_for(attempt));
-    if (b > 0) co_await engine.delay(b);
+    if (b > 0) {
+      obs::SpanScope back_span(seg_span.ctx(), obs::StageKind::kBackoff, node, seg.io_node);
+      co_await engine.delay(b);
+    }
   }
+  seg_span.close();
   if (wg != nullptr) wg->done();
 }
 
 sim::Task<void> Pfs::transfer(hw::NodeId node, FileState& file, std::uint64_t offset,
-                              std::uint64_t bytes, bool is_write, bool buffered) {
+                              std::uint64_t bytes, bool is_write, bool buffered,
+                              obs::SpanContext span) {
   if (bytes == 0) co_return;
   ++data_ops_;
   if (is_write) {
@@ -489,7 +532,7 @@ sim::Task<void> Pfs::transfer(hw::NodeId node, FileState& file, std::uint64_t of
 
   auto segs = layout_.map(offset, bytes);
   if (segs.size() == 1) {
-    co_await transfer_segment(node, &file, segs.front(), is_write, buffered, nullptr);
+    co_await transfer_segment(node, &file, segs.front(), is_write, buffered, nullptr, span);
     co_return;
   }
   // Striped parallelism: all segments proceed concurrently; segments that
@@ -497,12 +540,13 @@ sim::Task<void> Pfs::transfer(hw::NodeId node, FileState& file, std::uint64_t of
   sim::WaitGroup wg(machine_.engine());
   for (const auto& seg : segs) {
     wg.add();
-    machine_.engine().spawn(transfer_segment(node, &file, seg, is_write, buffered, &wg));
+    machine_.engine().spawn(transfer_segment(node, &file, seg, is_write, buffered, &wg, span));
   }
   co_await wg.wait();
 }
 
-sim::Task<void> Pfs::fetch_unit(hw::NodeId node, FileState& file, std::uint64_t unit_index) {
+sim::Task<void> Pfs::fetch_unit(hw::NodeId node, FileState& file, std::uint64_t unit_index,
+                                obs::SpanContext span) {
   StripeSegment seg;
   seg.io_node = layout_.io_node_of(unit_index);
   seg.unit_index = unit_index;
@@ -511,7 +555,8 @@ sim::Task<void> Pfs::fetch_unit(hw::NodeId node, FileState& file, std::uint64_t 
   seg.file_offset = unit_index * layout_.unit();
   bytes_read_ += seg.length;
   ++data_ops_;
-  co_await transfer_segment(node, &file, seg, /*is_write=*/false, /*buffered=*/true, nullptr);
+  co_await transfer_segment(node, &file, seg, /*is_write=*/false, /*buffered=*/true, nullptr,
+                            span);
 }
 
 sim::Task<void> Pfs::flush_servers() {
@@ -527,8 +572,16 @@ sim::Task<FileHandle> Pfs::open(hw::NodeId node, std::string_view path, OpenOpti
   }
 
   pablo::OpTimer timer(collector_, node, f.id, pablo::IoOp::kOpen);
-  co_await machine_.engine().delay(os().syscall_overhead + meta_round_trip(node));
-  co_await meta_.open_op(f.id, node);
+  obs::SpanScope op_span(collector_.span_origin(), obs::StageKind::kOp, node, -1, 0,
+                         static_cast<std::uint64_t>(pablo::IoOp::kOpen));
+  {
+    // One delay covering syscall + round trip, exactly as before tracing:
+    // never split an existing delay (extra engine events would perturb
+    // same-tick ordering of fault-free golden runs).
+    obs::SpanScope meta_span(op_span.ctx(), obs::StageKind::kMeta, node);
+    co_await machine_.engine().delay(os().syscall_overhead + meta_round_trip(node));
+    co_await meta_.open_op(f.id, node);
+  }
   if (opts.truncate && f.open_count == 0) f.truncate();
   ++f.open_count;
 
@@ -555,16 +608,25 @@ sim::Task<FileHandle> Pfs::gopen(hw::NodeId node, std::string_view path, Group& 
   const int rank = group.rank_of(node);
 
   pablo::OpTimer timer(collector_, node, f.id, pablo::IoOp::kGopen);
+  obs::SpanScope op_span(collector_.span_origin(), obs::StageKind::kOp, node, -1, 0,
+                         static_cast<std::uint64_t>(pablo::IoOp::kGopen));
   co_await machine_.engine().delay(os().syscall_overhead);
-  co_await group.arrive();  // all members enter the collective
+  {
+    obs::SpanScope sync_span(op_span.ctx(), obs::StageKind::kSync, node);
+    co_await group.arrive();  // all members enter the collective
+  }
   if (rank == 0) {
+    obs::SpanScope meta_span(op_span.ctx(), obs::StageKind::kMeta, node);
     co_await machine_.engine().delay(meta_round_trip(node));
     co_await meta_.gopen_op(f.id, node);
     if (opts.truncate && f.open_count == 0) f.truncate();
     f.mode = opts.mode;
     if (opts.record_size != 0) f.record_size = opts.record_size;
   }
-  co_await group.arrive();  // leader's metadata op is done
+  {
+    obs::SpanScope sync_span(op_span.ctx(), obs::StageKind::kSync, node);
+    co_await group.arrive();  // leader's metadata op is done
+  }
   co_await machine_.engine().delay(
       os().gopen_client + machine_.network().broadcast_arrival(rank, group.size(), 128));
   ++f.open_count;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "machine/machine.hpp"
+#include "obs/trace.hpp"
 #include "pablo/collector.hpp"
 #include "pablo/resilience.hpp"
 #include "pfs/client.hpp"
@@ -101,12 +102,15 @@ class Pfs {
   /// Performs the data movement of one request: splits [offset, offset +
   /// bytes) into stripe segments and runs them against their I/O-node
   /// servers in parallel, including the request/response network time.
+  /// `span` is the caller's enclosing span (default: tracing disabled).
   sim::Task<void> transfer(hw::NodeId node, FileState& file, std::uint64_t offset,
-                           std::uint64_t bytes, bool is_write, bool buffered);
+                           std::uint64_t bytes, bool is_write, bool buffered,
+                           obs::SpanContext span = {});
 
   /// Fetches one whole stripe unit into the server cache and charges the
   /// network round trip (client read-cache fill).
-  sim::Task<void> fetch_unit(hw::NodeId node, FileState& file, std::uint64_t unit_index);
+  sim::Task<void> fetch_unit(hw::NodeId node, FileState& file, std::uint64_t unit_index,
+                             obs::SpanContext span = {});
 
   /// Flushes every server's dirty units to the arrays (end-of-run barrier
   /// in tests; not part of the traced workload).
@@ -251,17 +255,20 @@ class Pfs {
 
   FileState& get_or_create(std::string_view path);
   sim::Task<void> transfer_segment(hw::NodeId node, FileState* file, StripeSegment seg,
-                                   bool is_write, bool buffered, sim::WaitGroup* wg);
+                                   bool is_write, bool buffered, sim::WaitGroup* wg,
+                                   obs::SpanContext span);
   /// One attempt of a segment transfer.  `op_id` = 0 means untracked
   /// (non-robust); `deadline_left` rides to the server for deadline-aware
-  /// shedding.
+  /// shedding; `span` is the enclosing attempt span (net hops and server
+  /// stages open under it).
   sim::Task<Attempt> segment_attempt(hw::NodeId node, FileState* file, StripeSegment seg,
                                      bool is_write, bool buffered, std::uint64_t op_id,
-                                     sim::Tick deadline_left);
+                                     sim::Tick deadline_left, obs::SpanContext span);
   /// Serves a read segment by RAID-3 degraded reconstruction: the stripe's
   /// surviving shares are pulled from the other I/O nodes' arrays and the
   /// missing share is recomputed from parity client-side.
-  sim::Task<void> reconstruct_segment(hw::NodeId node, FileState* file, StripeSegment seg);
+  sim::Task<void> reconstruct_segment(hw::NodeId node, FileState* file, StripeSegment seg,
+                                      obs::SpanContext span);
   /// Deterministic exponential backoff (with seeded jitter) before retry
   /// number `attempt` (0-based).
   sim::Tick backoff_for(int attempt);

@@ -350,11 +350,17 @@ sim::Task<void> IoServer::flush_oldest_dirty() {
 sim::Task<qos::Admission> IoServer::read(UnitKey key, std::uint64_t unit_disk_offset,
                                          std::uint64_t offset_in_unit, std::uint64_t len,
                                          bool buffered, int prefetch_cap, OpCtx ctx) {
+  // Admission stage: crash parking, replay/coalescing lookup, and the QoS
+  // front door — everything between arrival and the grant of server work.
+  obs::SpanScope admit_span(ctx.span, obs::StageKind::kAdmit, ctx.node, id_);
   co_await wait_if_crashed();
   bool handled = false;
   std::shared_ptr<sim::Event> done;
   co_await begin_op(ctx.op_id, &handled, &done);
-  if (handled) co_return qos::Admission{};
+  if (handled) {
+    admit_span.close();
+    co_return qos::Admission{};
+  }
 
   // Bounded admission (when a QoS front door is attached).  An op turned
   // away holds no server resources: its in-flight registration is withdrawn
@@ -364,14 +370,17 @@ sim::Task<qos::Admission> IoServer::read(UnitKey key, std::uint64_t unit_disk_of
   if (qos_ != nullptr) {
     est = estimate_read(key, unit_disk_offset, offset_in_unit, len, buffered);
     const qos::Admission adm =
-        co_await qos_->admit(ctx.node, qos::OpClass::kData, est, ctx.deadline_left);
+        co_await qos_->admit(ctx.node, qos::OpClass::kData, est, ctx.deadline_left, ctx.op_id);
     if (adm.verdict != qos::Verdict::kAdmitted) {
       abort_op(ctx.op_id, done);
+      admit_span.close();
       co_return adm;
     }
     granted_at = adm.granted_at;
   }
+  admit_span.close();
   note_cpu_queue();
+  obs::SpanScope svc_span(ctx.span, obs::StageKind::kService, ctx.node, id_, len);
   {
     auto guard = co_await cpu_.scoped();
     const std::uint64_t disk_offset = unit_disk_offset;
@@ -379,11 +388,15 @@ sim::Task<qos::Admission> IoServer::read(UnitKey key, std::uint64_t unit_disk_of
     if (!buffered) {
       ++unbuffered_;
       co_await engine_.delay(svc(cfg_.miss_setup));
-      // Unbuffered access bypasses the cache and pays a raw array access;
-      // RAID-3 rounds the transfer up to its granule internally.
-      co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/false);
+      {
+        // Unbuffered access bypasses the cache and pays a raw array access;
+        // RAID-3 rounds the transfer up to its granule internally.
+        obs::SpanScope disk_span(svc_span.ctx(), obs::StageKind::kDisk, ctx.node, id_, len);
+        co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/false);
+      }
       observe_fetched(key, unit_disk_offset, offset_in_unit, len);
       if (cfg_.integrity.enabled()) {
+        obs::SpanScope verify_span(svc_span.ctx(), obs::StageKind::kVerify, ctx.node, id_, len);
         co_await verify_range(key, unit_disk_offset, offset_in_unit, len);
       } else {
         note_corrupt_served(key, offset_in_unit, len);
@@ -425,7 +438,11 @@ sim::Task<qos::Admission> IoServer::read(UnitKey key, std::uint64_t unit_disk_of
       last_unit_[key.file] = key.unit;
 
       const std::uint64_t fetch_bytes = stripe_unit_ * static_cast<std::uint64_t>(1 + extra);
-      co_await disk_.access(disk_offset, fetch_bytes, /*write=*/false);
+      {
+        obs::SpanScope disk_span(svc_span.ctx(), obs::StageKind::kDisk, ctx.node, id_,
+                                 fetch_bytes);
+        co_await disk_.access(disk_offset, fetch_bytes, /*write=*/false);
+      }
       insert(key, disk_offset, /*dirty=*/false);
       for (int i = 1; i <= extra; ++i) {
         const auto step = static_cast<std::uint64_t>(i);
@@ -441,6 +458,8 @@ sim::Task<qos::Admission> IoServer::read(UnitKey key, std::uint64_t unit_disk_of
         const UnitKey fkey{key.file, key.unit + step * stripe_factor_};
         observe_fetched(fkey, disk_offset + step * stripe_unit_, 0, stripe_unit_);
         if (cfg_.integrity.enabled()) {
+          obs::SpanScope verify_span(svc_span.ctx(), obs::StageKind::kVerify, ctx.node, id_,
+                                     stripe_unit_);
           co_await verify_fetched(fkey, disk_offset + step * stripe_unit_);
         } else if (ledger_.unit_corrupt_bytes(fkey.file, fkey.unit) > 0) {
           const auto ent = cache_.find(fkey);
@@ -452,6 +471,7 @@ sim::Task<qos::Admission> IoServer::read(UnitKey key, std::uint64_t unit_disk_of
     }
     finish_op(ctx.op_id, done);
   }
+  svc_span.close();
   if (qos_ != nullptr) qos_->release(est, granted_at);
   co_return qos::Admission{};
 }
@@ -459,25 +479,32 @@ sim::Task<qos::Admission> IoServer::read(UnitKey key, std::uint64_t unit_disk_of
 sim::Task<qos::Admission> IoServer::write(UnitKey key, std::uint64_t unit_disk_offset,
                                           std::uint64_t offset_in_unit, std::uint64_t len,
                                           bool buffered, OpCtx ctx) {
+  obs::SpanScope admit_span(ctx.span, obs::StageKind::kAdmit, ctx.node, id_);
   co_await wait_if_crashed();
   bool handled = false;
   std::shared_ptr<sim::Event> done;
   co_await begin_op(ctx.op_id, &handled, &done);
-  if (handled) co_return qos::Admission{};
+  if (handled) {
+    admit_span.close();
+    co_return qos::Admission{};
+  }
 
   sim::Tick est = 0;
   sim::Tick granted_at = 0;
   if (qos_ != nullptr) {
     est = estimate_write(unit_disk_offset, offset_in_unit, len, buffered);
     const qos::Admission adm =
-        co_await qos_->admit(ctx.node, qos::OpClass::kData, est, ctx.deadline_left);
+        co_await qos_->admit(ctx.node, qos::OpClass::kData, est, ctx.deadline_left, ctx.op_id);
     if (adm.verdict != qos::Verdict::kAdmitted) {
       abort_op(ctx.op_id, done);
+      admit_span.close();
       co_return adm;
     }
     granted_at = adm.granted_at;
   }
+  admit_span.close();
   note_cpu_queue();
+  obs::SpanScope svc_span(ctx.span, obs::StageKind::kService, ctx.node, id_, len);
   {
     auto guard = co_await cpu_.scoped();
     const std::uint64_t disk_offset = unit_disk_offset;
@@ -485,7 +512,10 @@ sim::Task<qos::Admission> IoServer::write(UnitKey key, std::uint64_t unit_disk_o
     if (!buffered) {
       ++unbuffered_;
       co_await engine_.delay(svc(cfg_.miss_setup));
-      co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/true);
+      {
+        obs::SpanScope disk_span(svc_span.ctx(), obs::StageKind::kDisk, ctx.node, id_, len);
+        co_await disk_.access(unit_disk_offset + offset_in_unit, len, /*write=*/true);
+      }
     } else {
       co_await engine_.delay(svc(cfg_.write_absorb +
                                  static_cast<sim::Tick>(static_cast<double>(len) /
@@ -497,6 +527,8 @@ sim::Task<qos::Admission> IoServer::write(UnitKey key, std::uint64_t unit_disk_o
       if (journal_.enabled()) {
         const std::uint64_t logged =
             journal_.append(ctx.op_id, key.file, key.unit, disk_offset, len);
+        obs::SpanScope journal_span(svc_span.ctx(), obs::StageKind::kJournal, ctx.node, id_,
+                                    logged);
         co_await engine_.delay(
             svc(cfg_.journal_append_setup +
                 static_cast<sim::Tick>(static_cast<double>(logged) /
@@ -515,6 +547,7 @@ sim::Task<qos::Admission> IoServer::write(UnitKey key, std::uint64_t unit_disk_o
     }
     finish_op(ctx.op_id, done);
   }
+  svc_span.close();
   if (qos_ != nullptr) qos_->release(est, granted_at);
   co_return qos::Admission{};
 }

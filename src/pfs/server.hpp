@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "machine/disk.hpp"
+#include "obs/trace.hpp"
 #include "pablo/event.hpp"
 #include "pfs/content.hpp"
 #include "pfs/integrity.hpp"
@@ -72,12 +73,15 @@ class Collector;
 namespace sio::pfs {
 
 /// Per-operation client context threaded to the server: originating compute
-/// node (for fair queueing), replay id (0 = untracked) and remaining
-/// deadline budget (0 = none; enables deadline-aware shedding).
+/// node (for fair queueing), replay id (0 = untracked), remaining deadline
+/// budget (0 = none; enables deadline-aware shedding), and the causal-span
+/// context server-side stages (admit/service/disk/journal/verify) open
+/// children under (null tracer = tracing off).
 struct OpCtx {
   std::int32_t node = -1;
   std::uint64_t op_id = 0;
   sim::Tick deadline_left = 0;
+  obs::SpanContext span{};
 };
 
 struct ServerConfig {

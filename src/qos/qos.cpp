@@ -6,10 +6,11 @@
 
 namespace sio::qos {
 
-void ServerQos::record(pablo::QosKind kind, int node, std::uint64_t info) {
+void ServerQos::record(pablo::QosKind kind, int node, std::uint64_t info, std::uint64_t op_id) {
   if (collector_ == nullptr) return;
   pablo::QosEvent ev;
   ev.at = engine_.now();
+  ev.op_id = op_id;
   ev.kind = kind;
   ev.node = node;
   ev.target = id_;
@@ -33,7 +34,7 @@ sim::Tick ServerQos::drain_estimate(sim::Tick extra_cost) const {
   return scaled(backlog_est_ + extra_cost) / slots;
 }
 
-sim::Tick ServerQos::issue_credit(int node, sim::Tick cost) {
+sim::Tick ServerQos::issue_credit(int node, sim::Tick cost, std::uint64_t op_id) {
   // Credits come from a virtual slot clock: the first credit points just
   // past the estimated drain of the present backlog, and each further credit
   // is staggered one service-time behind the previous one so a storm's
@@ -44,12 +45,12 @@ sim::Tick ServerQos::issue_credit(int node, sim::Tick cost) {
   next_credit_ += std::max<sim::Tick>(scaled(cost) / slots, 1);
   ++credits_;
   const sim::Tick after = next_credit_ - now;
-  record(pablo::QosKind::kCredit, node, static_cast<std::uint64_t>(after));
+  record(pablo::QosKind::kCredit, node, static_cast<std::uint64_t>(after), op_id);
   return after;
 }
 
 sim::Task<Admission> ServerQos::admit(int node, OpClass cls, sim::Tick cost,
-                                      sim::Tick deadline_left) {
+                                      sim::Tick deadline_left, std::uint64_t op_id) {
   cost = std::max<sim::Tick>(cost, 1);
 
   // Fast path: a free slot and nobody waiting means serving is always the
@@ -59,7 +60,7 @@ sim::Task<Admission> ServerQos::admit(int node, OpClass cls, sim::Tick cost,
     backlog_est_ += cost;
     note_pending();
     ++admitted_;
-    record(pablo::QosKind::kAdmit, node, static_cast<std::uint64_t>(cost));
+    record(pablo::QosKind::kAdmit, node, static_cast<std::uint64_t>(cost), op_id);
     co_return Admission{Verdict::kAdmitted, 0, engine_.now()};
   }
 
@@ -80,8 +81,8 @@ sim::Task<Admission> ServerQos::admit(int node, OpClass cls, sim::Tick cost,
                                static_cast<sim::Tick>(rivals) * scaled(cost) / slots;
     if (wait_est + scaled(cost) > deadline_left) {
       ++shed_;
-      record(pablo::QosKind::kShed, node, static_cast<std::uint64_t>(cost));
-      co_return Admission{Verdict::kShed, issue_credit(node, cost)};
+      record(pablo::QosKind::kShed, node, static_cast<std::uint64_t>(cost), op_id);
+      co_return Admission{Verdict::kShed, issue_credit(node, cost, op_id)};
     }
   }
 
@@ -91,15 +92,15 @@ sim::Task<Admission> ServerQos::admit(int node, OpClass cls, sim::Tick cost,
   // starvation the fair queue exists to prevent).
   if (depth >= cfg_.queue_limit) {
     ++rejected_;
-    record(pablo::QosKind::kReject, node, static_cast<std::uint64_t>(cost));
-    co_return Admission{Verdict::kRejected, issue_credit(node, cost)};
+    record(pablo::QosKind::kReject, node, static_cast<std::uint64_t>(cost), op_id);
+    co_return Admission{Verdict::kRejected, issue_credit(node, cost, op_id)};
   }
 
   backlog_est_ += cost;
   co_await enqueue(node, cls, cost);
   // pump() moved us into a service slot before resuming us.
   ++admitted_;
-  record(pablo::QosKind::kAdmit, node, static_cast<std::uint64_t>(cost));
+  record(pablo::QosKind::kAdmit, node, static_cast<std::uint64_t>(cost), op_id);
   co_return Admission{Verdict::kAdmitted, 0, engine_.now()};
 }
 

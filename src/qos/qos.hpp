@@ -142,10 +142,13 @@ class ServerQos {
 
   /// One admission attempt for an op from `node` with estimated service time
   /// `cost`.  `deadline_left` is the op's remaining deadline budget (0 = no
-  /// deadline, shedding skipped).  On kAdmitted the caller owns a service
-  /// slot and must call `release(cost)` when the op finishes; on
+  /// deadline, shedding skipped).  `op_id` identifies the client operation in
+  /// the emitted `#qos` records (0 = untracked) so the trace inspector can
+  /// join them with `#fault`/`#span` records.  On kAdmitted the caller owns a
+  /// service slot and must call `release(cost)` when the op finishes; on
   /// kRejected/kShed nothing is held and `retry_after` carries the credit.
-  sim::Task<Admission> admit(int node, OpClass cls, sim::Tick cost, sim::Tick deadline_left);
+  sim::Task<Admission> admit(int node, OpClass cls, sim::Tick cost, sim::Tick deadline_left,
+                             std::uint64_t op_id = 0);
 
   /// Returns the service slot of an admitted op and grants waiting ops per
   /// DRR.  `cost` must be the value passed to the matching admit() and
@@ -216,14 +219,14 @@ class ServerQos {
   std::uint64_t shed_ = 0;
   std::uint64_t credits_ = 0;
 
-  void record(pablo::QosKind kind, int node, std::uint64_t info);
+  void record(pablo::QosKind kind, int node, std::uint64_t info, std::uint64_t op_id);
   void note_pending();
   /// Cost estimate scaled by the learned service-time ratio.
   sim::Tick scaled(sim::Tick cost) const;
   /// Estimated drain time of the current backlog across the service slots.
   sim::Tick drain_estimate(sim::Tick extra_cost) const;
   /// Issues the next staggered retry-after credit for an op of `cost`.
-  sim::Tick issue_credit(int node, sim::Tick cost);
+  sim::Tick issue_credit(int node, sim::Tick cost, std::uint64_t op_id);
   void park(Waiter* w, int node, OpClass cls);
   /// Grants parked ops while service slots are free (deficit round robin).
   void pump();

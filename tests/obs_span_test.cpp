@@ -1,0 +1,252 @@
+// Span-tree well-formedness and exact latency attribution under the nasty
+// paths: bounded retry with server-side replay coalescing, `with_timeout`
+// abandonment, breaker reroute through parity reconstruction, and
+// crash/recovery.  Every emitted tree must be single-rooted and properly
+// nested (child intervals inside the parent), abandoned attempts must stay
+// visible as flagged siblings, and the per-stage critical-path sums must
+// equal the summed end-to-end op latency to the tick — faults included.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "fault/plan.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/span.hpp"
+#include "qos/qos.hpp"
+
+namespace sio::core {
+namespace {
+
+using obs::SpanEvent;
+using obs::StageKind;
+
+apps::escat::Config tiny_escat() {
+  apps::escat::Workload w;
+  w.nodes = 16;
+  w.channels = 2;
+  w.init_small_reads = 8;
+  w.quad_cycles = 8;  // 8 * 16 nodes * 2 KiB = exactly one 16 KiB reload wave
+  w.reload_record = 16 * 1024;
+  w.phase1_setup_compute = sim::seconds(1);
+  w.phase2_cycle_compute = sim::seconds(1);
+  w.phase3_energy_compute = sim::seconds(1);
+  return apps::escat::make_config(apps::escat::Version::C, w);
+}
+
+TraceOptions spans_on() {
+  TraceOptions topt;
+  topt.spans = true;
+  return topt;
+}
+
+/// Asserts structural well-formedness of a span stream: unique nonzero ids,
+/// roots are kOp spans, every child resolves to an earlier-opened parent
+/// (ids are dense in open order, so parent < child proves the parent chain
+/// terminates at a root — each tree is single-rooted by construction), and
+/// child intervals nest inside the parent's.
+void expect_well_formed(const std::vector<SpanEvent>& spans) {
+  std::map<std::uint32_t, const SpanEvent*> by_id;
+  for (const SpanEvent& s : spans) {
+    ASSERT_NE(s.span, 0u);
+    ASSERT_TRUE(by_id.emplace(s.span, &s).second) << "duplicate span id " << s.span;
+  }
+  for (const SpanEvent& s : spans) {
+    ASSERT_GE(s.duration, 0);
+    if (s.parent == 0) {
+      EXPECT_EQ(s.stage, StageKind::kOp) << "root span " << s.span << " with non-op stage";
+      continue;
+    }
+    EXPECT_NE(s.stage, StageKind::kOp) << "op span " << s.span << " below a root";
+    const auto it = by_id.find(s.parent);
+    ASSERT_NE(it, by_id.end()) << "span " << s.span << " references unemitted parent " << s.parent;
+    const SpanEvent& p = *it->second;
+    EXPECT_LT(p.span, s.span) << "parent " << p.span << " opened after child " << s.span;
+    EXPECT_GE(s.start, p.start) << "child " << s.span << " starts before parent " << p.span;
+    EXPECT_LE(s.end(), p.end()) << "child " << s.span << " ends after parent " << p.span;
+  }
+}
+
+/// Asserts the attribution invariant: per op class, the exclusive per-stage
+/// critical-path sums equal the summed root latency exactly, and the report
+/// in RunResult matches a fresh batch attribution of the retained spans.
+void expect_exact_attribution(const RunResult& r) {
+  ASSERT_FALSE(r.span_events.empty());
+  ASSERT_GT(r.critical_path.roots, 0u);
+  for (const auto& row : r.critical_path.rows) {
+    EXPECT_EQ(row.exclusive_sum(), row.total_latency);
+  }
+  EXPECT_EQ(r.critical_path, obs::critical_path(r.span_events));
+}
+
+std::uint64_t count_stage(const std::vector<SpanEvent>& spans, StageKind k) {
+  std::uint64_t n = 0;
+  for (const SpanEvent& s : spans) n += s.stage == k ? 1 : 0;
+  return n;
+}
+
+TEST(ObsSpan, FaultFreeRunEmitsOneRootPerTraceEvent) {
+  const auto r = run_escat(tiny_escat(), fault::FaultPlan::fault_free(), spans_on(), 11);
+  expect_well_formed(r.span_events);
+  expect_exact_attribution(r);
+  // One client op = one trace event = one root span, in lockstep.
+  EXPECT_EQ(r.critical_path.roots, r.events.size());
+  EXPECT_FALSE(r.critical_path_table().empty());
+}
+
+TEST(ObsSpan, SpansOffIsTheDefaultAndEmitsNothing) {
+  const auto r = run_escat(tiny_escat(), fault::FaultPlan::fault_free(), TraceOptions{}, 11);
+  EXPECT_TRUE(r.span_events.empty());
+  EXPECT_TRUE(r.critical_path.empty());
+  EXPECT_TRUE(r.critical_path_table().empty());
+}
+
+TEST(ObsSpan, TimeoutAbandonsStayVisibleAsFlaggedSiblingAttempts) {
+  // Stuck first disk accesses out-wait the op deadline: `with_timeout`
+  // abandons the attempt mid-flight and the retry opens a sibling.
+  const auto r = run_escat(tiny_escat(), fault::FaultPlan::disk_degraded(11), spans_on(), 11);
+  ASSERT_GT(r.resilience.timeouts, 0u);
+  ASSERT_GT(r.resilience.retries, 0u);
+  expect_well_formed(r.span_events);
+  expect_exact_attribution(r);
+
+  std::uint64_t abandoned = 0, second_attempts = 0, backoffs = 0;
+  for (const SpanEvent& s : r.span_events) {
+    abandoned += s.abandoned() ? 1 : 0;
+    second_attempts += (s.stage == StageKind::kAttempt && s.info >= 2) ? 1 : 0;
+    backoffs += s.stage == StageKind::kBackoff ? 1 : 0;
+  }
+  EXPECT_GT(abandoned, 0u);        // the timed-out work is in the tree, not lost
+  EXPECT_GT(second_attempts, 0u);  // retries show up as attempt #2+ siblings
+  EXPECT_GT(backoffs, 0u);         // so does the wait between them
+  // The fold saw every abandoned span the stream carries.
+  std::uint64_t folded_abandoned = 0;
+  for (const auto& row : r.critical_path.rows) folded_abandoned += row.abandoned;
+  EXPECT_EQ(folded_abandoned, abandoned);
+}
+
+TEST(ObsSpan, RetrySiblingsShareTheSegmentParentAndOpId) {
+  const auto r = run_escat(tiny_escat(), fault::FaultPlan::disk_degraded(7), spans_on(), 7);
+  ASSERT_GT(r.resilience.retries, 0u);
+  std::map<std::uint32_t, const SpanEvent*> by_id;
+  for (const SpanEvent& s : r.span_events) by_id.emplace(s.span, &s);
+
+  // Every attempt hangs off a kSegment span carrying the op_id that the
+  // matching #fault retry/timeout records use as their join key.
+  std::uint64_t checked = 0;
+  for (const SpanEvent& s : r.span_events) {
+    if (s.stage != StageKind::kAttempt || s.info < 2) continue;
+    const auto it = by_id.find(s.parent);
+    ASSERT_NE(it, by_id.end());
+    EXPECT_EQ(it->second->stage, StageKind::kSegment);
+    EXPECT_NE(it->second->op_id, 0u);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(ObsSpan, CrashRecoveryReplayCoalescingKeepsTreesWellFormed) {
+  const auto r = run_escat(tiny_escat(), fault::FaultPlan::io_node_crash(3), spans_on(), 3);
+  ASSERT_EQ(r.resilience.server_crashes, 1u);
+  ASSERT_GT(r.resilience.replayed_ops + r.resilience.coalesced_ops, 0u);
+  ASSERT_EQ(r.resilience.failed_ops, 0u);
+  expect_well_formed(r.span_events);
+  expect_exact_attribution(r);
+  // Crash-parked admissions and the journaled/replayed service still tile
+  // their ops exactly; abandoned attempts from the outage are flagged.
+  EXPECT_GT(count_stage(r.span_events, StageKind::kAdmit), 0u);
+  std::uint64_t abandoned = 0;
+  for (const SpanEvent& s : r.span_events) abandoned += s.abandoned() ? 1 : 0;
+  EXPECT_GT(abandoned, 0u);
+}
+
+TEST(ObsSpan, BreakerRerouteTracesParityReconstruction) {
+  // A 9 s total link outage toward I/O node 0 over the serialized init
+  // reads: the first read's attempts stall past the 2 s op deadline one
+  // after another, and with the attempt threshold at zero its fourth
+  // consecutive timeout fills the breaker window and opens it.  The retry
+  // and the five init reads behind it then bypass the sick node through
+  // RAID-3 reconstruction — visible as kReroute spans whose subtree holds
+  // the survivor-read kDisk span.  The open interval is sized so the write
+  // burst (arriving after the outage) meets at most a short hold before the
+  // probe closes the breaker.
+  fault::FaultPlan plan;
+  plan.name = "breaker-reroute";
+  plan.seed = 21;
+  plan.retry = fault::FaultPlan::disk_degraded(21).retry;
+  plan.retry.max_retries = 25;
+  plan.qos.enabled = true;
+  plan.qos.breaker_window = 4;
+  plan.qos.breaker_min_samples = 4;
+  plan.qos.breaker_attempt_threshold = 0;  // every timeout is breaker evidence
+  plan.qos.breaker_open_for = sim::seconds(5);
+  plan.link_faults.push_back({0, 0, sim::seconds(9), /*down=*/true, 0, 0.0});
+  const auto r = run_escat(tiny_escat(), plan, spans_on(), 21);
+  ASSERT_EQ(r.resilience.failed_ops, 0u);
+  expect_well_formed(r.span_events);
+  expect_exact_attribution(r);
+
+  std::map<std::uint32_t, const SpanEvent*> by_id;
+  for (const SpanEvent& s : r.span_events) by_id.emplace(s.span, &s);
+  std::uint64_t reroutes = 0, reconstruction_reads = 0;
+  for (const SpanEvent& s : r.span_events) {
+    if (s.stage == StageKind::kReroute) ++reroutes;
+    if (s.stage != StageKind::kDisk || s.parent == 0) continue;
+    const auto it = by_id.find(s.parent);
+    if (it != by_id.end() && it->second->stage == StageKind::kReroute) ++reconstruction_reads;
+  }
+  EXPECT_GT(reroutes, 0u);
+  EXPECT_GT(reconstruction_reads, 0u);
+  // The #qos reroute records and the kReroute spans describe the same ops.
+  std::uint64_t qos_reroutes = 0;
+  for (const auto& q : r.qos_events) qos_reroutes += q.kind == pablo::QosKind::kReroute ? 1 : 0;
+  EXPECT_EQ(reroutes, qos_reroutes);
+}
+
+TEST(ObsSpan, OpIdJoinsSpansToFaultAndQosRecords) {
+  const auto r = run_escat(tiny_escat(), fault::FaultPlan::disk_degraded(13), spans_on(), 13);
+  std::map<std::uint64_t, std::uint64_t> span_ops;  // op_id -> span count
+  for (const SpanEvent& s : r.span_events) {
+    if (s.op_id != 0) ++span_ops[s.op_id];
+  }
+  ASSERT_FALSE(span_ops.empty());
+  // Every op-scoped #fault record names an op some span also carries, so
+  // siotrace-style joins need no per-record special cases.
+  std::uint64_t joined = 0;
+  for (const auto& f : r.fault_events) {
+    if (f.op_id == 0) continue;  // node-scoped records (crash, rebuild, ...)
+    EXPECT_TRUE(span_ops.contains(f.op_id)) << "fault op_id " << f.op_id << " has no span";
+    ++joined;
+  }
+  EXPECT_GT(joined, 0u);
+  for (const auto& q : r.qos_events) {
+    if (q.op_id == 0) continue;
+    EXPECT_TRUE(span_ops.contains(q.op_id)) << "qos op_id " << q.op_id << " has no span";
+  }
+}
+
+TEST(ObsSpan, FaultedSpanStreamsAreByteDeterministic) {
+  const auto plan = fault::FaultPlan::disk_degraded(5);
+  const auto a = run_escat(tiny_escat(), plan, spans_on(), 5);
+  const auto b = run_escat(tiny_escat(), plan, spans_on(), 5);
+  EXPECT_EQ(a.span_events, b.span_events);
+  EXPECT_EQ(a.critical_path, b.critical_path);
+  EXPECT_EQ(a.critical_path.fingerprint(), b.critical_path.fingerprint());
+}
+
+TEST(ObsSpan, StreamingFoldMatchesBatchUnderFaults) {
+  // The bounded-memory fold sees spans in emission order (children first);
+  // under crash/retry churn it must still land on the identical report.
+  TraceOptions topt = spans_on();
+  topt.streaming = true;
+  const auto r = run_escat(tiny_escat(), fault::FaultPlan::io_node_crash(9), spans_on(), 9);
+  const auto s = run_escat(tiny_escat(), fault::FaultPlan::io_node_crash(9), topt, 9);
+  ASSERT_TRUE(s.streaming.has_value());
+  EXPECT_EQ(s.critical_path, obs::critical_path(r.span_events));
+}
+
+}  // namespace
+}  // namespace sio::core

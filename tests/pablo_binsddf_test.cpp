@@ -247,11 +247,11 @@ TEST(BinSddf, RejectsTruncation) {
 
 TEST(BinSddf, RejectsUnknownTag) {
   // Hand-built container: magic + one stored frame (raw_len=1, enc_len=0)
-  // holding the reserved tag 0x05.
+  // holding the reserved tag 0x07 (0x00-0x06 are all assigned).
   std::string data(kBinarySddfMagic);
   data += '\x01';
   data += '\x00';
-  data += '\x05';
+  data += '\x07';
   EXPECT_THROW(from_binary_sddf(data), std::runtime_error);
 }
 

@@ -29,7 +29,8 @@ import sys
 # refresh bench/BASELINE_trace.json with `bench_trace
 # --benchmark_out=bench/BASELINE_trace.json --benchmark_out_format=json`).
 # Fractional drop allowed before failing / warning.
-GATED = {"BM_EngineScheduleDispatch", "BM_TraceEmitBinary", "BM_TraceStreamingFold"}
+GATED = {"BM_EngineScheduleDispatch", "BM_TraceEmitBinary", "BM_TraceStreamingFold",
+         "BM_SpanEmit"}
 MAX_DROP = 0.25
 
 # Keys that identify a scenario record (first full match wins).

@@ -38,6 +38,13 @@
 // sweeps) and the whole-run IntegrityReport counters.  A divergence here
 // means the corruption injector, the verify-on-read path, or the background
 // scrubber leaked nondeterminism into the schedule.
+//
+// `--capture-mode spans` additionally runs an ESCAT experiment (healthy and
+// under the degraded-disk fault plan) with causal tracing on, comparing the
+// ordered `#span` stream and the critical-path attribution fingerprint
+// byte-for-byte across two runs — and across capture modes (retained
+// vectors vs streaming-only), since the bounded fold must observe exactly
+// the spans the vector path retains.
 
 #include <cstdlib>
 #include <iostream>
@@ -136,6 +143,23 @@ bool check(const char* what, const std::string& a, const std::string& b, int& fa
   return false;
 }
 
+/// The causal-tracing observables: the full ordered span stream plus the
+/// per-(op class, stage) critical-path attribution.
+std::string span_fingerprint(const sio::core::RunResult& r) {
+  std::ostringstream out;
+  out << "label=" << r.label << "\n"
+      << "spans=" << r.span_events.size() << "\n"
+      << "critical_path_fp=" << r.critical_path.fingerprint() << "\n"
+      << "roots=" << r.critical_path.roots << "\n";
+  for (const auto& s : r.span_events) {
+    out << s.span << " " << s.parent << " " << static_cast<int>(s.stage) << " " << s.start << "+"
+        << s.duration << " op=" << s.op_id << " " << s.node << "->" << s.target << " "
+        << s.bytes << " " << s.flags << " " << s.info << "\n";
+  }
+  out << r.critical_path_table();
+  return out.str();
+}
+
 /// The streaming-capture observables: aggregate fingerprint plus the raw
 /// binary-SDDF container bytes.
 std::string streaming_fingerprint(const sio::core::RunResult& r) {
@@ -155,6 +179,7 @@ int main(int argc, char** argv) {
   bool with_faults = false;
   bool with_overload = false;
   bool with_corruption = false;
+  bool with_spans = false;
   std::uint64_t fault_seed = 0;
   std::uint64_t corruption_seed = 0;
   for (int i = 1; i < argc; ++i) {
@@ -167,9 +192,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--corruption-seed" && i + 1 < argc) {
       with_corruption = true;
       corruption_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--capture-mode" && i + 1 < argc && std::string(argv[i + 1]) == "spans") {
+      ++i;
+      with_spans = true;
     } else {
       std::cout << "usage: sio_determinism_check [--fault-seed N] [--overload-scenario]"
-                   " [--corruption-seed N]\n";
+                   " [--corruption-seed N] [--capture-mode spans]\n";
       return 2;
     }
   }
@@ -248,6 +276,35 @@ int main(int argc, char** argv) {
       const auto r2 =
           sio::core::run_prism(sio::apps::prism::make_config(sio::apps::prism::Version::C), plan);
       check("prism version C (bit-rot + scrub, same plan)", fingerprint(r1), fingerprint(r2),
+            failures);
+    }
+  }
+
+  if (with_spans) {
+    // Causal-tracing axis: the span streams and the critical-path
+    // attribution must be byte-reproducible, healthy and faulted alike, and
+    // the bounded streaming fold must land on the report the retained
+    // vectors produce.
+    sio::core::TraceOptions topt;
+    topt.spans = true;
+    topt.streaming = true;
+    const auto cfg = sio::apps::escat::make_config(sio::apps::escat::Version::C);
+    for (const auto& [what, plan] :
+         {std::pair{"escat version C (spans, two runs)", sio::fault::FaultPlan::fault_free()},
+          std::pair{"escat version C (spans, degraded disks, two runs)",
+                    sio::fault::FaultPlan::disk_degraded(29)}}) {
+      const auto r1 = sio::core::run_escat(cfg, plan, topt);
+      const auto r2 = sio::core::run_escat(cfg, plan, topt);
+      check(what, span_fingerprint(r1), span_fingerprint(r2), failures);
+      // Streaming-only capture drops the span vector but must fold the
+      // identical attribution report.
+      sio::core::TraceOptions slim = topt;
+      slim.retain_events = false;
+      const auto r3 = sio::core::run_escat(cfg, plan, slim);
+      std::ostringstream a, b;
+      a << r1.critical_path.fingerprint() << "\n" << r1.critical_path_table();
+      b << r3.critical_path.fingerprint() << "\n" << r3.critical_path_table();
+      check((std::string(what) + " [retained vs streaming-only fold]").c_str(), a.str(), b.str(),
             failures);
     }
   }

@@ -48,17 +48,20 @@ void spit(const std::string& path, const std::string& data) {
 
 std::string trace_to_text(const pablo::TraceFile& tf) {
   std::ostringstream out;
-  pablo::write_sddf(out, tf.file_names, tf.events, tf.faults, tf.qos, tf.losses);
+  pablo::write_sddf(out, tf.file_names, tf.events, tf.faults, tf.qos, tf.losses, tf.integrity,
+                    tf.spans);
   return out.str();
 }
 
 std::string trace_to_binary(const pablo::TraceFile& tf) {
-  return pablo::to_binary_sddf(tf.file_names, tf.events, tf.faults, tf.qos, tf.losses);
+  return pablo::to_binary_sddf(tf.file_names, tf.events, tf.faults, tf.qos, tf.losses,
+                               tf.integrity, tf.spans);
 }
 
 bool traces_equal(const pablo::TraceFile& a, const pablo::TraceFile& b) {
   return a.file_names == b.file_names && a.events == b.events && a.faults == b.faults &&
-         a.qos == b.qos && a.losses == b.losses;
+         a.qos == b.qos && a.losses == b.losses && a.integrity == b.integrity &&
+         a.spans == b.spans;
 }
 
 int cmd_to_binary(const std::string& in_path, const std::string& out_path) {
@@ -126,10 +129,12 @@ core::RunResult paper_run(const std::string& app, const core::TraceOptions& topt
 int cmd_emit(const std::string& out_path, const std::string& app) {
   core::TraceOptions topt;
   topt.binary_trace = true;
+  topt.spans = true;  // emitted traces carry `#span` records for siotrace
   const core::RunResult r = paper_run(app, topt);
   spit(out_path, r.binary_trace);
   std::cout << "sddfconv: " << r.label << ": " << r.events.size() << " events, "
-            << r.binary_trace.size() << " bytes binary SDDF -> " << out_path << "\n";
+            << r.span_events.size() << " spans, " << r.binary_trace.size()
+            << " bytes binary SDDF -> " << out_path << "\n";
   return 0;
 }
 
@@ -138,6 +143,7 @@ int cmd_selftest() {
   for (const std::string app : {"escat", "prism", "ckpt"}) {
     core::TraceOptions topt;
     topt.binary_trace = true;
+    topt.spans = true;  // `#span` records ride both dialects through the same gate
     const core::RunResult r = paper_run(app, topt);
     const std::string text = r.to_sddf();
 

@@ -22,6 +22,9 @@ bool is_order_sensitive_dir(std::string_view path) {
   return starts_with(path, "src/pablo/") || starts_with(path, "src/core/") ||
          starts_with(path, "src/fault/") || starts_with(path, "src/sim/") ||
          starts_with(path, "src/qos/") || starts_with(path, "src/mc/") ||
+         // Causal tracing promises byte-identical span streams and critical-
+         // path reports across runs; any hash-order leak breaks that.
+         starts_with(path, "src/obs/") ||
          // Crash-consistency code replays logs and emits loss records whose
          // order is observable (SDDF traces, recovery redo order).
          starts_with(path, "src/pfs/journal") || starts_with(path, "src/apps/ckpt") ||
@@ -207,7 +210,7 @@ void collect_trace_vector_members(const std::string& stripped, std::set<std::str
     if (quals != std::string::npos) arg = arg.substr(quals + 2);
     const bool event_vec =
         arg == "TraceEvent" || arg == "FaultEvent" || arg == "QosEvent" ||
-        arg == "LossEvent" || arg == "IntegrityEvent";
+        arg == "LossEvent" || arg == "IntegrityEvent" || arg == "SpanEvent";
     ++i;
     while (i < stripped.size() && std::isspace(static_cast<unsigned char>(stripped[i]))) ++i;
     std::size_t name_begin = i;
@@ -267,15 +270,15 @@ const std::vector<RuleInfo>& rule_table() {
       {"assert-side-effect", "SIO_ASSERT condition contains ++/--/assignment"},
       {"unordered-iter",
        "range-for over std::unordered_{map,set} in src/pablo/, src/core/, src/fault/, "
-       "src/sim/, src/qos/, or src/mc/ (iteration order can reach reports, fault "
-       "schedules, or explored interleavings)"},
+       "src/sim/, src/qos/, src/mc/, or src/obs/ (iteration order can reach reports, "
+       "fault schedules, explored interleavings, or span streams)"},
       {"std-function",
        "std::function in the engine hot path (src/sim/); use sim::InlineCallback, which "
        "never heap-allocates for small callables"},
       {"trace-vector-growth",
        "push_back/emplace_back on a std::vector<TraceEvent/FaultEvent/QosEvent/LossEvent/"
-                   "IntegrityEvent> "
-       "in src/pablo/ (grows without bound with trace length; gate on "
+                   "IntegrityEvent/SpanEvent> "
+       "in src/pablo/ or src/obs/ (grows without bound with trace length; gate on "
        "Collector::retain_events() or fold into pablo::StreamingAnalytics)"},
       {"detached-coroutine",
        "raw coroutine_handle .resume()/.destroy() in src/ outside src/sim/ (bypasses the "
@@ -500,7 +503,7 @@ std::vector<Diagnostic> lint(const std::vector<SourceFile>& files) {
       // so an unconditional push defeats the bounded-memory streaming path.
       // Legitimate sites — Collector appends gated on retain_events(), and
       // the explicit batch decoders — carry a siolint:allow marker.
-      if (starts_with(file.path, "src/pablo/")) {
+      if (starts_with(file.path, "src/pablo/") || starts_with(file.path, "src/obs/")) {
         static const std::regex kVecGrow(
             R"(([A-Za-z_]\w*)\s*\.\s*(?:push_back|emplace_back)\s*\()");
         for (auto it = std::sregex_iterator(line.begin(), line.end(), kVecGrow);
